@@ -1,0 +1,85 @@
+//! Error type for the UA query language.
+
+use std::fmt;
+
+/// Errors raised while building, validating, parsing or statically analysing
+/// UA queries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgebraError {
+    /// An attribute was referenced that the input schema does not provide.
+    UnknownAttribute(String),
+    /// A relation was referenced that is not in the catalog.
+    UnknownRelation(String),
+    /// The two inputs of a union/difference are not compatible.
+    NotUnionCompatible(String),
+    /// An arithmetic expression was applied to a non-numeric value.
+    TypeError(String),
+    /// Division by zero during expression evaluation.
+    DivisionByZero,
+    /// A construct appeared that is not allowed in the requested fragment
+    /// (e.g. difference inside positive UA).
+    NotInFragment(String),
+    /// An approximation parameter (ε, δ, ε₀) is outside its legal range.
+    InvalidParameter(String),
+    /// Error produced by the textual parser, with a position.
+    Parse {
+        /// Byte offset in the input where the error was detected.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Error propagated from the data-model layer.
+    Pdb(pdb::PdbError),
+    /// A schema-level invariant was violated.
+    Invariant(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            AlgebraError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            AlgebraError::NotUnionCompatible(m) => write!(f, "not union-compatible: {m}"),
+            AlgebraError::TypeError(m) => write!(f, "type error: {m}"),
+            AlgebraError::DivisionByZero => write!(f, "division by zero"),
+            AlgebraError::NotInFragment(m) => write!(f, "not in the requested fragment: {m}"),
+            AlgebraError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            AlgebraError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            AlgebraError::Pdb(e) => write!(f, "{e}"),
+            AlgebraError::Invariant(m) => write!(f, "invariant violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+impl From<pdb::PdbError> for AlgebraError {
+    fn from(e: pdb::PdbError) -> Self {
+        AlgebraError::Pdb(e)
+    }
+}
+
+/// Result alias for the `algebra` crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(AlgebraError::UnknownAttribute("A".into())
+            .to_string()
+            .contains("`A`"));
+        assert!(AlgebraError::Parse {
+            position: 7,
+            message: "expected `)`".into()
+        }
+        .to_string()
+        .contains("byte 7"));
+        let e: AlgebraError = pdb::PdbError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("`R`"));
+    }
+}

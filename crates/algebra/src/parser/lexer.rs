@@ -1,0 +1,296 @@
+//! Tokenizer for the textual UA query syntax.
+
+use crate::error::{AlgebraError, Result};
+
+/// A lexical token with its byte position in the input.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    /// Byte offset where the token starts.
+    pub position: usize,
+    /// The token kind and payload.
+    pub kind: TokenKind,
+}
+
+/// The kinds of tokens the UA query syntax uses.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`select`, `conf`, attribute names, …).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `@`
+    At,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `->`
+    Arrow,
+    /// End of input.
+    Eof,
+}
+
+/// Tokenizes `input`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { position: i, kind: TokenKind::LParen });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { position: i, kind: TokenKind::RParen });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { position: i, kind: TokenKind::LBracket });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { position: i, kind: TokenKind::RBracket });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { position: i, kind: TokenKind::Comma });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { position: i, kind: TokenKind::Semicolon });
+                i += 1;
+            }
+            '@' => {
+                tokens.push(Token { position: i, kind: TokenKind::At });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { position: i, kind: TokenKind::Plus });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { position: i, kind: TokenKind::Star });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { position: i, kind: TokenKind::Slash });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { position: i, kind: TokenKind::Eq });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { position: i, kind: TokenKind::Arrow });
+                    i += 2;
+                } else {
+                    tokens.push(Token { position: i, kind: TokenKind::Minus });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { position: i, kind: TokenKind::Ne });
+                    i += 2;
+                } else {
+                    return Err(AlgebraError::Parse {
+                        position: i,
+                        message: "expected `!=`".to_owned(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { position: i, kind: TokenKind::Le });
+                    i += 2;
+                } else {
+                    tokens.push(Token { position: i, kind: TokenKind::Lt });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { position: i, kind: TokenKind::Ge });
+                    i += 2;
+                } else {
+                    tokens.push(Token { position: i, kind: TokenKind::Gt });
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(AlgebraError::Parse {
+                                position: start,
+                                message: "unterminated string literal".to_owned(),
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { position: start, kind: TokenKind::Str(s) });
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: f64 = text.parse().map_err(|_| AlgebraError::Parse {
+                    position: start,
+                    message: format!("invalid number `{text}`"),
+                })?;
+                tokens.push(Token { position: start, kind: TokenKind::Number(value) });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Ident(input[start..i].to_owned()),
+                });
+            }
+            other => {
+                return Err(AlgebraError::Parse {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    tokens.push(Token { position: input.len(), kind: TokenKind::Eof });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_operators_and_idents() {
+        let ks = kinds("select[P1 / P2 <= 0.5](T)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::LBracket,
+                TokenKind::Ident("P1".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("P2".into()),
+                TokenKind::Le,
+                TokenKind::Number(0.5),
+                TokenKind::RBracket,
+                TokenKind::LParen,
+                TokenKind::Ident("T".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_arrows_and_comparisons() {
+        let ks = kinds("rename[P -> P1] Face = 'H' x != 1 a >= 2 b < 3");
+        assert!(ks.contains(&TokenKind::Arrow));
+        assert!(ks.contains(&TokenKind::Str("H".into())));
+        assert!(ks.contains(&TokenKind::Ne));
+        assert!(ks.contains(&TokenKind::Ge));
+        assert!(ks.contains(&TokenKind::Lt));
+    }
+
+    #[test]
+    fn tokenizes_scientific_numbers() {
+        let ks = kinds("1e-3 2.5E+2 7");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Number(1e-3),
+                TokenKind::Number(2.5e2),
+                TokenKind::Number(7.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn reports_errors_with_positions() {
+        let err = tokenize("abc $").unwrap_err();
+        assert!(matches!(err, AlgebraError::Parse { position: 4, .. }));
+        let err = tokenize("'open").unwrap_err();
+        assert!(matches!(err, AlgebraError::Parse { position: 0, .. }));
+        let err = tokenize("a ! b").unwrap_err();
+        assert!(matches!(err, AlgebraError::Parse { .. }));
+    }
+
+    #[test]
+    fn positions_point_at_token_starts() {
+        let ts = tokenize("ab cd").unwrap();
+        assert_eq!(ts[0].position, 0);
+        assert_eq!(ts[1].position, 3);
+    }
+}

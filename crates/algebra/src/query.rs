@@ -1,0 +1,564 @@
+//! The Uncertainty Algebra (UA) query AST and its builder API.
+//!
+//! Definition 2.1 of the paper: relational algebra applied per world, the
+//! `conf` operation, and the uncertainty-introducing `repair-key`.  Section 6
+//! adds the approximate selection operation `σ̂` and the approximate
+//! confidence operator `conf_{ε,δ}`.
+
+use crate::expr::Expr;
+use crate::predicate::Predicate;
+use std::fmt;
+
+/// A projection item: an expression and the name of the output attribute.
+///
+/// Plain projection `π_A` is the special case `ProjItem { expr: Attr(A),
+/// name: A }`; the arithmetic form `π_{P1/P2 → P}` of Example 2.2 uses an
+/// arbitrary expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProjItem {
+    /// Expression computed from the input tuple.
+    pub expr: Expr,
+    /// Output attribute name.
+    pub name: String,
+}
+
+impl ProjItem {
+    /// A pass-through item that keeps attribute `name` unchanged.
+    pub fn attr(name: impl Into<String>) -> ProjItem {
+        let name = name.into();
+        ProjItem {
+            expr: Expr::attr(name.clone()),
+            name,
+        }
+    }
+
+    /// A computed item `expr → name`.
+    pub fn computed(expr: Expr, name: impl Into<String>) -> ProjItem {
+        ProjItem {
+            expr,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProjItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Expr::Attr(a) = &self.expr {
+            if *a == self.name {
+                return write!(f, "{a}");
+            }
+        }
+        write!(f, "{} as {}", self.expr, self.name)
+    }
+}
+
+/// One confidence term `P_i := conf[A⃗_i]` of an approximate selection
+/// `σ̂_{φ(conf[A⃗₁], …, conf[A⃗_k])}(R)` (Section 6).
+///
+/// For each input tuple `t`, the term's value is the confidence of
+/// `t.A⃗_i ∈ π_{A⃗_i}(R)`; `attrs` empty means `conf[∅]`, the probability that
+/// `R` is non-empty.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfTerm {
+    /// Placeholder attribute name the predicate refers to (e.g. `P1`).
+    pub name: String,
+    /// Attributes projected before taking the confidence.
+    pub attrs: Vec<String>,
+}
+
+impl ConfTerm {
+    /// Creates a confidence term.
+    pub fn new(name: impl Into<String>, attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        ConfTerm {
+            name: name.into(),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+}
+
+impl fmt::Display for ConfTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = conf({})", self.name, self.attrs.join(", "))
+    }
+}
+
+/// Default ε₀ (smallest relative interval the predicate-approximation
+/// algorithm will refine to) used when a query does not specify one.
+pub const DEFAULT_EPSILON0: f64 = 0.01;
+
+/// Default error bound δ used when a query does not specify one.
+pub const DEFAULT_DELTA: f64 = 0.05;
+
+/// A UA query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// A base relation.
+    Table(String),
+    /// Selection `σ_φ(R)` evaluated per world.
+    Select {
+        /// Input query.
+        input: Box<Query>,
+        /// Selection predicate.
+        predicate: Predicate,
+    },
+    /// Generalised projection `π_{item₁, …}(R)` (set semantics).
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Output items.
+        items: Vec<ProjItem>,
+    },
+    /// Extension: keeps all input attributes and appends computed ones
+    /// (`ρ_{A+B→C}(R)` in the paper's notation).
+    Extend {
+        /// Input query.
+        input: Box<Query>,
+        /// Appended computed items.
+        items: Vec<ProjItem>,
+    },
+    /// Attribute renaming `ρ_{A→B}(R)`.
+    Rename {
+        /// Input query.
+        input: Box<Query>,
+        /// Attribute to rename.
+        from: String,
+        /// New attribute name.
+        to: String,
+    },
+    /// Cartesian product `R × S`.
+    Product {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Natural join `R ⋈ S` (equality on shared attribute names).
+    NaturalJoin {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Union `R ∪ S`.
+    Union {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Difference `R − S` (not part of positive UA).
+    Difference {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Difference `R −c S` restricted to inputs that are complete by `c`,
+    /// which stays inside the tractable fragment (Proposition 3.3).
+    DifferenceC {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Exact confidence computation `conf(R)`; output is complete and has
+    /// the extra probability column `prob_attr`.
+    Conf {
+        /// Input query.
+        input: Box<Query>,
+        /// Name of the probability column added (the paper's `P`).
+        prob_attr: String,
+    },
+    /// Approximate confidence `conf_{ε,δ}(R)` (Corollary 4.3).
+    ApproxConf {
+        /// Input query.
+        input: Box<Query>,
+        /// Name of the probability column added.
+        prob_attr: String,
+        /// Relative error ε.
+        epsilon: f64,
+        /// Error probability δ.
+        delta: f64,
+    },
+    /// `repair-key_{A⃗@B}(R)`: uncertainty introduction on a complete input.
+    RepairKey {
+        /// Input query (must evaluate to a complete relation).
+        input: Box<Query>,
+        /// Key attributes `A⃗` (may be empty).
+        key: Vec<String>,
+        /// Weight attribute `B`.
+        weight: String,
+    },
+    /// `poss(R)`: all tuples appearing in some world (complete result).
+    Poss {
+        /// Input query.
+        input: Box<Query>,
+    },
+    /// `cert(R)`: tuples appearing in every world (complete result).
+    Cert {
+        /// Input query.
+        input: Box<Query>,
+    },
+    /// Approximate selection `σ̂_{φ(conf[A⃗₁], …, conf[A⃗_k])}(R)` (Section 6).
+    ApproxSelect {
+        /// Input query.
+        input: Box<Query>,
+        /// Confidence terms the predicate refers to.
+        terms: Vec<ConfTerm>,
+        /// Predicate over the term names (and constants).
+        predicate: Predicate,
+        /// Smallest relative half-width ε₀ the algorithm refines to.
+        epsilon0: f64,
+        /// Per-operator error bound δ.
+        delta: f64,
+    },
+}
+
+impl Query {
+    /// A base relation.
+    pub fn table(name: impl Into<String>) -> Query {
+        Query::Table(name.into())
+    }
+
+    /// `σ_pred(self)`.
+    pub fn select(self, predicate: Predicate) -> Query {
+        Query::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// `π_attrs(self)` with pass-through items.
+    pub fn project(self, attrs: &[&str]) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            items: attrs.iter().map(|a| ProjItem::attr(*a)).collect(),
+        }
+    }
+
+    /// `π_items(self)` with arbitrary computed items.
+    pub fn project_items(self, items: Vec<ProjItem>) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            items,
+        }
+    }
+
+    /// Appends computed attributes, keeping the existing ones.
+    pub fn extend(self, items: Vec<ProjItem>) -> Query {
+        Query::Extend {
+            input: Box::new(self),
+            items,
+        }
+    }
+
+    /// `ρ_{from→to}(self)`.
+    pub fn rename(self, from: impl Into<String>, to: impl Into<String>) -> Query {
+        Query::Rename {
+            input: Box::new(self),
+            from: from.into(),
+            to: to.into(),
+        }
+    }
+
+    /// `self × other`.
+    pub fn product(self, other: Query) -> Query {
+        Query::Product {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self ⋈ other`.
+    pub fn natural_join(self, other: Query) -> Query {
+        Query::NaturalJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self ∪ other`.
+    pub fn union(self, other: Query) -> Query {
+        Query::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self − other`.
+    pub fn difference(self, other: Query) -> Query {
+        Query::Difference {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `self −c other` (both inputs must be complete).
+    pub fn difference_c(self, other: Query) -> Query {
+        Query::DifferenceC {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// `conf(self)` with probability column `prob_attr`.
+    pub fn conf(self, prob_attr: impl Into<String>) -> Query {
+        Query::Conf {
+            input: Box::new(self),
+            prob_attr: prob_attr.into(),
+        }
+    }
+
+    /// `conf_{ε,δ}(self)`.
+    pub fn approx_conf(self, prob_attr: impl Into<String>, epsilon: f64, delta: f64) -> Query {
+        Query::ApproxConf {
+            input: Box::new(self),
+            prob_attr: prob_attr.into(),
+            epsilon,
+            delta,
+        }
+    }
+
+    /// `repair-key_{key@weight}(self)`.
+    pub fn repair_key(self, key: &[&str], weight: impl Into<String>) -> Query {
+        Query::RepairKey {
+            input: Box::new(self),
+            key: key.iter().map(|s| s.to_string()).collect(),
+            weight: weight.into(),
+        }
+    }
+
+    /// `poss(self)`.
+    pub fn poss(self) -> Query {
+        Query::Poss {
+            input: Box::new(self),
+        }
+    }
+
+    /// `cert(self)`.
+    pub fn cert(self) -> Query {
+        Query::Cert {
+            input: Box::new(self),
+        }
+    }
+
+    /// `σ̂_{φ(terms)}(self)` with explicit approximation parameters.
+    pub fn approx_select(
+        self,
+        terms: Vec<ConfTerm>,
+        predicate: Predicate,
+        epsilon0: f64,
+        delta: f64,
+    ) -> Query {
+        Query::ApproxSelect {
+            input: Box::new(self),
+            terms,
+            predicate,
+            epsilon0,
+            delta,
+        }
+    }
+
+    /// `σ̂` with the default ε₀ and δ.
+    pub fn approx_select_default(self, terms: Vec<ConfTerm>, predicate: Predicate) -> Query {
+        self.approx_select(terms, predicate, DEFAULT_EPSILON0, DEFAULT_DELTA)
+    }
+
+    /// The children of this operator, in left-to-right order.
+    pub fn children(&self) -> Vec<&Query> {
+        match self {
+            Query::Table(_) => vec![],
+            Query::Select { input, .. }
+            | Query::Project { input, .. }
+            | Query::Extend { input, .. }
+            | Query::Rename { input, .. }
+            | Query::Conf { input, .. }
+            | Query::ApproxConf { input, .. }
+            | Query::RepairKey { input, .. }
+            | Query::Poss { input }
+            | Query::Cert { input }
+            | Query::ApproxSelect { input, .. } => vec![input],
+            Query::Product { left, right }
+            | Query::NaturalJoin { left, right }
+            | Query::Union { left, right }
+            | Query::Difference { left, right }
+            | Query::DifferenceC { left, right } => vec![left, right],
+        }
+    }
+
+    /// Names of the base relations the query reads, without duplicates.
+    pub fn base_relations(&self) -> Vec<String> {
+        fn collect(q: &Query, out: &mut Vec<String>) {
+            if let Query::Table(name) = q {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            for c in q.children() {
+                collect(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        collect(self, &mut out);
+        out
+    }
+
+    /// Number of operators in the query tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Table(name) => write!(f, "{name}"),
+            Query::Select { input, predicate } => write!(f, "select[{predicate}]({input})"),
+            Query::Project { input, items } => {
+                let items: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+                write!(f, "project[{}]({input})", items.join(", "))
+            }
+            Query::Extend { input, items } => {
+                let items: Vec<String> = items.iter().map(|i| i.to_string()).collect();
+                write!(f, "extend[{}]({input})", items.join(", "))
+            }
+            Query::Rename { input, from, to } => write!(f, "rename[{from} -> {to}]({input})"),
+            Query::Product { left, right } => write!(f, "product({left}, {right})"),
+            Query::NaturalJoin { left, right } => write!(f, "join({left}, {right})"),
+            Query::Union { left, right } => write!(f, "union({left}, {right})"),
+            Query::Difference { left, right } => write!(f, "diff({left}, {right})"),
+            Query::DifferenceC { left, right } => write!(f, "diffc({left}, {right})"),
+            Query::Conf { input, prob_attr } => write!(f, "conf[{prob_attr}]({input})"),
+            Query::ApproxConf {
+                input,
+                prob_attr,
+                epsilon,
+                delta,
+            } => write!(f, "aconf[{prob_attr}, {epsilon}, {delta}]({input})"),
+            Query::RepairKey { input, key, weight } => {
+                write!(f, "repairkey[{} @ {weight}]({input})", key.join(", "))
+            }
+            Query::Poss { input } => write!(f, "poss({input})"),
+            Query::Cert { input } => write!(f, "cert({input})"),
+            Query::ApproxSelect {
+                input,
+                terms,
+                predicate,
+                epsilon0,
+                delta,
+            } => {
+                let terms: Vec<String> = terms.iter().map(|t| t.to_string()).collect();
+                write!(
+                    f,
+                    "aselect[{}; {predicate}; eps0 = {epsilon0}; delta = {delta}]({input})",
+                    terms.join(", ")
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+
+    /// Builds the query of Example 2.2 up to relation `T`.
+    fn example_2_2_t() -> Query {
+        let r = Query::table("Coins")
+            .repair_key(&[], "Count")
+            .project(&["CoinType"]);
+        let s = Query::table("Faces")
+            .product(Query::table("Tosses"))
+            .repair_key(&["CoinType", "Toss"], "FProb")
+            .project(&["CoinType", "Toss", "Face"]);
+        let heads1 = s
+            .clone()
+            .select(
+                Predicate::eq(Expr::attr("Toss"), Expr::konst(1))
+                    .and(Predicate::eq(Expr::attr("Face"), Expr::konst("H"))),
+            )
+            .project(&["CoinType"]);
+        let heads2 = s
+            .select(
+                Predicate::eq(Expr::attr("Toss"), Expr::konst(2))
+                    .and(Predicate::eq(Expr::attr("Face"), Expr::konst("H"))),
+            )
+            .project(&["CoinType"]);
+        r.natural_join(heads1).natural_join(heads2)
+    }
+
+    #[test]
+    fn builder_produces_the_expected_shape() {
+        let t = example_2_2_t();
+        assert!(matches!(t, Query::NaturalJoin { .. }));
+        assert_eq!(
+            t.base_relations(),
+            vec!["Coins".to_string(), "Faces".to_string(), "Tosses".to_string()]
+        );
+        assert!(t.size() > 10);
+    }
+
+    #[test]
+    fn conditional_probability_query_displays() {
+        // U := π_{CoinType, P1/P2 → P}(ρ_{P→P1}(conf(T)) ⋈ ρ_{P→P2}(conf(π_∅(T)))).
+        let t = Query::table("T");
+        let u = t
+            .clone()
+            .conf("P")
+            .rename("P", "P1")
+            .product(t.project(&[]).conf("P").rename("P", "P2"))
+            .project_items(vec![
+                ProjItem::attr("CoinType"),
+                ProjItem::computed(Expr::attr("P1") / Expr::attr("P2"), "P"),
+            ]);
+        let s = u.to_string();
+        assert!(s.contains("conf[P](T)"));
+        assert!(s.contains("(P1 / P2) as P"));
+        assert!(s.contains("rename[P -> P2]"));
+    }
+
+    #[test]
+    fn approx_select_defaults() {
+        let q = Query::table("T").approx_select_default(
+            vec![
+                ConfTerm::new("P1", ["CoinType"]),
+                ConfTerm::new("P2", Vec::<String>::new()),
+            ],
+            Predicate::cmp(
+                Expr::attr("P1") / Expr::attr("P2"),
+                CmpOp::Le,
+                Expr::konst(0.5),
+            ),
+        );
+        if let Query::ApproxSelect {
+            epsilon0, delta, terms, ..
+        } = &q
+        {
+            assert_eq!(*epsilon0, DEFAULT_EPSILON0);
+            assert_eq!(*delta, DEFAULT_DELTA);
+            assert_eq!(terms[1].attrs.len(), 0);
+        } else {
+            panic!("expected ApproxSelect");
+        }
+        assert!(q.to_string().contains("aselect"));
+        assert!(q.to_string().contains("P2 = conf()"));
+    }
+
+    #[test]
+    fn children_and_size() {
+        let q = Query::table("A").union(Query::table("B")).select(Predicate::True);
+        assert_eq!(q.size(), 4);
+        assert_eq!(q.children().len(), 1);
+        assert_eq!(q.children()[0].children().len(), 2);
+        assert_eq!(Query::table("A").children().len(), 0);
+    }
+
+    #[test]
+    fn repair_key_display() {
+        let q = Query::table("Faces").repair_key(&["CoinType", "Toss"], "FProb");
+        assert_eq!(q.to_string(), "repairkey[CoinType, Toss @ FProb](Faces)");
+        let q = Query::table("Coins").repair_key(&[], "Count");
+        assert_eq!(q.to_string(), "repairkey[ @ Count](Coins)");
+    }
+}

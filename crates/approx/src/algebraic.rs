@@ -1,0 +1,387 @@
+//! Algebraic predicates over approximated values and the ε-maximisation of
+//! Theorem 5.5 (corner-point check plus binary search).
+//!
+//! Theorem 5.5 covers predicates `f(x₁, …, x_k) ≥ 0` where `f` is built from
+//! constants, `+`, `−`, `·`, `/` and **exactly one occurrence** of each
+//! variable.  For such `f`, fixing all variables but one yields a monotonic
+//! function, so if all `2^k` corner points of the relative orthotope agree
+//! with the centre point on the predicate, every point of the orthotope does;
+//! ε can then be maximised by binary search.
+
+use crate::error::{ApproxError, Result};
+use crate::interval::{Interval, Orthotope};
+use std::fmt;
+
+/// An algebraic expression over approximated values `x_0, …, x_{k−1}`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AlgExpr {
+    /// A constant.
+    Const(f64),
+    /// The i-th approximated value.
+    Var(usize),
+    /// Negation.
+    Neg(Box<AlgExpr>),
+    /// Addition.
+    Add(Box<AlgExpr>, Box<AlgExpr>),
+    /// Subtraction.
+    Sub(Box<AlgExpr>, Box<AlgExpr>),
+    /// Multiplication.
+    Mul(Box<AlgExpr>, Box<AlgExpr>),
+    /// Division.
+    Div(Box<AlgExpr>, Box<AlgExpr>),
+}
+
+impl AlgExpr {
+    /// Constant expression.
+    pub fn konst(v: f64) -> AlgExpr {
+        AlgExpr::Const(v)
+    }
+
+    /// The i-th approximated value.
+    pub fn var(i: usize) -> AlgExpr {
+        AlgExpr::Var(i)
+    }
+
+    /// Occurrence count per variable index.
+    pub fn occurrences(&self) -> Vec<(usize, usize)> {
+        fn collect(e: &AlgExpr, out: &mut Vec<(usize, usize)>) {
+            match e {
+                AlgExpr::Const(_) => {}
+                AlgExpr::Var(i) => {
+                    if let Some(entry) = out.iter_mut().find(|(v, _)| v == i) {
+                        entry.1 += 1;
+                    } else {
+                        out.push((*i, 1));
+                    }
+                }
+                AlgExpr::Neg(a) => collect(a, out),
+                AlgExpr::Add(a, b)
+                | AlgExpr::Sub(a, b)
+                | AlgExpr::Mul(a, b)
+                | AlgExpr::Div(a, b) => {
+                    collect(a, out);
+                    collect(b, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(self, &mut out);
+        out
+    }
+
+    /// The distinct variables mentioned, in increasing order.
+    pub fn variables(&self) -> Vec<usize> {
+        let mut vars: Vec<usize> = self.occurrences().into_iter().map(|(v, _)| v).collect();
+        vars.sort_unstable();
+        vars
+    }
+
+    /// The largest variable index mentioned, plus one (0 for constants).
+    pub fn arity(&self) -> usize {
+        self.variables().last().map_or(0, |v| v + 1)
+    }
+
+    /// True if every variable occurs at most once (the precondition of
+    /// Theorem 5.5).
+    pub fn is_single_occurrence(&self) -> bool {
+        self.occurrences().iter().all(|&(_, c)| c <= 1)
+    }
+
+    /// Evaluates the expression at a point.
+    pub fn eval(&self, point: &[f64]) -> Result<f64> {
+        match self {
+            AlgExpr::Const(c) => Ok(*c),
+            AlgExpr::Var(i) => point.get(*i).copied().ok_or(ApproxError::VariableOutOfRange {
+                var: *i,
+                supplied: point.len(),
+            }),
+            AlgExpr::Neg(a) => Ok(-a.eval(point)?),
+            AlgExpr::Add(a, b) => Ok(a.eval(point)? + b.eval(point)?),
+            AlgExpr::Sub(a, b) => Ok(a.eval(point)? - b.eval(point)?),
+            AlgExpr::Mul(a, b) => Ok(a.eval(point)? * b.eval(point)?),
+            AlgExpr::Div(a, b) => {
+                let d = b.eval(point)?;
+                if d == 0.0 {
+                    return Err(ApproxError::DivisionByZero);
+                }
+                Ok(a.eval(point)? / d)
+            }
+        }
+    }
+
+    /// Evaluates the expression over an orthotope by interval arithmetic
+    /// (used for singularity detection; conservative for repeated variables).
+    pub fn eval_interval(&self, orthotope: &Orthotope) -> Result<Interval> {
+        match self {
+            AlgExpr::Const(c) => Ok(Interval::point(*c)),
+            AlgExpr::Var(i) => orthotope
+                .intervals()
+                .get(*i)
+                .copied()
+                .ok_or(ApproxError::VariableOutOfRange {
+                    var: *i,
+                    supplied: orthotope.dimension(),
+                }),
+            AlgExpr::Neg(a) => Ok(a.eval_interval(orthotope)?.neg()),
+            AlgExpr::Add(a, b) => Ok(a.eval_interval(orthotope)?.add(&b.eval_interval(orthotope)?)),
+            AlgExpr::Sub(a, b) => Ok(a.eval_interval(orthotope)?.sub(&b.eval_interval(orthotope)?)),
+            AlgExpr::Mul(a, b) => Ok(a.eval_interval(orthotope)?.mul(&b.eval_interval(orthotope)?)),
+            AlgExpr::Div(a, b) => a
+                .eval_interval(orthotope)?
+                .div(&b.eval_interval(orthotope)?),
+        }
+    }
+}
+
+impl fmt::Display for AlgExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgExpr::Const(c) => write!(f, "{c}"),
+            AlgExpr::Var(i) => write!(f, "x{i}"),
+            AlgExpr::Neg(a) => write!(f, "(-{a})"),
+            AlgExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            AlgExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            AlgExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            AlgExpr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+impl std::ops::Add for AlgExpr {
+    type Output = AlgExpr;
+    fn add(self, rhs: AlgExpr) -> AlgExpr {
+        AlgExpr::Add(Box::new(self), Box::new(rhs))
+    }
+}
+impl std::ops::Sub for AlgExpr {
+    type Output = AlgExpr;
+    fn sub(self, rhs: AlgExpr) -> AlgExpr {
+        AlgExpr::Sub(Box::new(self), Box::new(rhs))
+    }
+}
+impl std::ops::Mul for AlgExpr {
+    type Output = AlgExpr;
+    fn mul(self, rhs: AlgExpr) -> AlgExpr {
+        AlgExpr::Mul(Box::new(self), Box::new(rhs))
+    }
+}
+impl std::ops::Div for AlgExpr {
+    type Output = AlgExpr;
+    fn div(self, rhs: AlgExpr) -> AlgExpr {
+        AlgExpr::Div(Box::new(self), Box::new(rhs))
+    }
+}
+impl std::ops::Neg for AlgExpr {
+    type Output = AlgExpr;
+    fn neg(self) -> AlgExpr {
+        AlgExpr::Neg(Box::new(self))
+    }
+}
+
+/// The algebraic predicate `f(x₁, …, x_k) ≥ 0` of Theorem 5.5.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlgebraicIneq {
+    expr: AlgExpr,
+}
+
+/// Precision to which [`AlgebraicIneq::epsilon_homogeneous`] resolves ε.
+pub const EPSILON_SEARCH_TOLERANCE: f64 = 1e-6;
+
+/// Largest ε the binary search will report (must stay below 1 for the
+/// relative orthotope to be defined).
+pub const EPSILON_SEARCH_MAX: f64 = 0.999_999;
+
+impl AlgebraicIneq {
+    /// Creates the predicate `expr ≥ 0`, enforcing the single-occurrence
+    /// requirement of Theorem 5.5.
+    pub fn new(expr: AlgExpr) -> Result<Self> {
+        if let Some(&(v, _)) = expr.occurrences().iter().find(|&&(_, c)| c > 1) {
+            return Err(ApproxError::RepeatedVariable(v));
+        }
+        Ok(AlgebraicIneq { expr })
+    }
+
+    /// The underlying expression.
+    pub fn expr(&self) -> &AlgExpr {
+        &self.expr
+    }
+
+    /// Number of values the predicate is defined over.
+    pub fn arity(&self) -> usize {
+        self.expr.arity()
+    }
+
+    /// Evaluates the predicate at a point.
+    pub fn eval(&self, point: &[f64]) -> Result<bool> {
+        Ok(self.expr.eval(point)? >= 0.0)
+    }
+
+    /// Checks whether all corner points of the relative orthotope around
+    /// `p_hat` with half-width ε agree with `p_hat` on the predicate
+    /// (the sufficient condition of Theorem 5.5).  Corner evaluations that
+    /// fail (division by zero when an interval endpoint hits a pole) count as
+    /// disagreement.
+    pub fn corners_agree(&self, p_hat: &[f64], epsilon: f64) -> Result<bool> {
+        let reference = self.eval(p_hat)?;
+        let orthotope = Orthotope::relative(p_hat, epsilon)?;
+        for corner in orthotope.corners() {
+            match self.eval(&corner) {
+                Ok(v) if v == reference => {}
+                Ok(_) => return Ok(false),
+                Err(ApproxError::DivisionByZero) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Maximises ε by binary search in `(0, EPSILON_SEARCH_MAX]` such that
+    /// all corners of the relative orthotope agree with `p_hat` on the
+    /// predicate; by Theorem 5.5 the whole orthotope then agrees.
+    ///
+    /// Returns 0 if not even the smallest probed ε is homogeneous (the point
+    /// is on or extremely near the decision boundary).
+    pub fn epsilon_homogeneous(&self, p_hat: &[f64]) -> Result<f64> {
+        // Validate the point itself first so errors are not silently mapped
+        // to 0.
+        self.eval(p_hat)?;
+        if self.corners_agree(p_hat, EPSILON_SEARCH_MAX)? {
+            return Ok(EPSILON_SEARCH_MAX);
+        }
+        let mut lo = 0.0f64;
+        let mut hi = EPSILON_SEARCH_MAX;
+        while hi - lo > EPSILON_SEARCH_TOLERANCE {
+            let mid = 0.5 * (lo + hi);
+            if self.corners_agree(p_hat, mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+impl fmt::Display for AlgebraicIneq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} >= 0", self.expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occurrence_checking() {
+        let e = AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5);
+        assert!(e.is_single_occurrence());
+        assert_eq!(e.variables(), vec![0, 1]);
+        assert_eq!(e.arity(), 2);
+        assert!(AlgebraicIneq::new(e).is_ok());
+
+        let repeated = AlgExpr::var(0) * AlgExpr::var(0);
+        assert!(!repeated.is_single_occurrence());
+        assert!(matches!(
+            AlgebraicIneq::new(repeated),
+            Err(ApproxError::RepeatedVariable(0))
+        ));
+    }
+
+    #[test]
+    fn evaluation_and_errors() {
+        let e = (AlgExpr::var(0) + AlgExpr::konst(1.0)) * AlgExpr::var(1);
+        assert_eq!(e.eval(&[2.0, 3.0]).unwrap(), 9.0);
+        assert!(matches!(
+            e.eval(&[2.0]),
+            Err(ApproxError::VariableOutOfRange { var: 1, .. })
+        ));
+        let d = AlgExpr::var(0) / AlgExpr::konst(0.0);
+        assert_eq!(d.eval(&[1.0]), Err(ApproxError::DivisionByZero));
+        let n = -AlgExpr::var(0);
+        assert_eq!(n.eval(&[2.5]).unwrap(), -2.5);
+    }
+
+    #[test]
+    fn interval_evaluation() {
+        let e = AlgExpr::var(0) / AlgExpr::var(1);
+        let o = Orthotope::relative(&[0.5, 0.25], 0.2).unwrap();
+        let iv = e.eval_interval(&o).unwrap();
+        assert!(iv.lo > 1.0 && iv.hi < 3.1);
+        // Division by an interval containing zero errors out.
+        let o = Orthotope::absolute(&[0.5, 0.0], 0.5).unwrap();
+        assert!(e.eval_interval(&o).is_err());
+    }
+
+    #[test]
+    fn ratio_predicate_epsilon_matches_theorem_5_2() {
+        // x0/x1 − 0.5 ≥ 0 at (1/2, 1/2): the algebraic search should find the
+        // same ε = 1/3 as the closed form (the ratio is monotone in each
+        // variable, and its extremes sit at orthotope corners).
+        let phi = AlgebraicIneq::new(
+            AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5),
+        )
+        .unwrap();
+        assert!(phi.eval(&[0.5, 0.5]).unwrap());
+        let eps = phi.epsilon_homogeneous(&[0.5, 0.5]).unwrap();
+        assert!(
+            (eps - 1.0 / 3.0).abs() < 1e-4,
+            "expected about 1/3, got {eps}"
+        );
+    }
+
+    #[test]
+    fn threshold_predicate_epsilon() {
+        // x0 − 0.25 ≥ 0 at p̂ = 0.5: the orthotope [p̂/(1+ε), p̂/(1−ε)] stays
+        // above 0.25 iff 0.5/(1+ε) ≥ 0.25 iff ε ≤ 1.
+        let phi = AlgebraicIneq::new(AlgExpr::var(0) - AlgExpr::konst(0.25)).unwrap();
+        let eps = phi.epsilon_homogeneous(&[0.5]).unwrap();
+        assert!(eps > 0.99, "got {eps}");
+        // On the false side: x0 = 0.2, the complement stays false while
+        // 0.2/(1−ε) < 0.25 iff ε < 0.2.
+        let eps = phi.epsilon_homogeneous(&[0.2]).unwrap();
+        assert!((eps - 0.2).abs() < 1e-3, "got {eps}");
+    }
+
+    #[test]
+    fn point_on_the_boundary_gets_epsilon_zero() {
+        let phi = AlgebraicIneq::new(AlgExpr::var(0) - AlgExpr::konst(0.5)).unwrap();
+        let eps = phi.epsilon_homogeneous(&[0.5]).unwrap();
+        // p̂ exactly on the boundary: any ε > 0 puts part of the orthotope on
+        // the other side, so the search collapses to (almost) zero.
+        assert!(eps < 1e-3, "got {eps}");
+    }
+
+    #[test]
+    fn corners_agree_is_monotone_in_epsilon() {
+        let phi = AlgebraicIneq::new(
+            AlgExpr::var(0) * AlgExpr::var(1) - AlgExpr::konst(0.04),
+        )
+        .unwrap();
+        let p = [0.3, 0.3];
+        assert!(phi.eval(&p).unwrap());
+        let eps = phi.epsilon_homogeneous(&p).unwrap();
+        assert!(eps > 0.0);
+        assert!(phi.corners_agree(&p, eps * 0.5).unwrap());
+        if eps < EPSILON_SEARCH_MAX {
+            assert!(!phi.corners_agree(&p, (eps + 0.05).min(0.999)).unwrap());
+        }
+    }
+
+    #[test]
+    fn trivially_constant_predicates_saturate() {
+        let phi = AlgebraicIneq::new(AlgExpr::konst(1.0)).unwrap();
+        assert_eq!(phi.arity(), 0);
+        let eps = phi.epsilon_homogeneous(&[]).unwrap();
+        assert_eq!(eps, EPSILON_SEARCH_MAX);
+    }
+
+    #[test]
+    fn display_forms() {
+        let phi = AlgebraicIneq::new(
+            AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5),
+        )
+        .unwrap();
+        assert_eq!(phi.to_string(), "((x0 / x1) - 0.5) >= 0");
+    }
+}

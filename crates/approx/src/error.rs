@@ -1,0 +1,86 @@
+//! Error type for predicate approximation.
+
+use std::fmt;
+
+/// Errors raised by the `approx` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApproxError {
+    /// A variable index referenced by a predicate exceeds the number of
+    /// approximated values supplied.
+    VariableOutOfRange {
+        /// The offending variable index.
+        var: usize,
+        /// Number of values supplied.
+        supplied: usize,
+    },
+    /// Theorem 5.5 requires each variable to occur at most once in an
+    /// algebraic atom.
+    RepeatedVariable(usize),
+    /// An approximation parameter is outside its legal range.
+    InvalidParameter(String),
+    /// Division by zero (or by an interval containing zero in a context that
+    /// cannot tolerate it) during evaluation.
+    DivisionByZero,
+    /// A linear inequality has no usable coefficients (`α = 0` in
+    /// Theorem 5.2, or an empty coefficient vector).
+    DegenerateInequality(String),
+    /// Error propagated from the estimator layer.
+    Confidence(confidence::ConfidenceError),
+    /// The algorithm was asked to decide a predicate with a mismatched number
+    /// of estimators.
+    ArityMismatch {
+        /// Number of values the predicate mentions.
+        expected: usize,
+        /// Number of estimators supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for ApproxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxError::VariableOutOfRange { var, supplied } => write!(
+                f,
+                "predicate refers to value x{var} but only {supplied} values were supplied"
+            ),
+            ApproxError::RepeatedVariable(v) => write!(
+                f,
+                "variable x{v} occurs more than once in an algebraic atom (Theorem 5.5 requires single occurrence)"
+            ),
+            ApproxError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            ApproxError::DivisionByZero => write!(f, "division by zero"),
+            ApproxError::DegenerateInequality(m) => write!(f, "degenerate inequality: {m}"),
+            ApproxError::Confidence(e) => write!(f, "{e}"),
+            ApproxError::ArityMismatch { expected, actual } => write!(
+                f,
+                "predicate mentions {expected} values but {actual} estimators were supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApproxError {}
+
+impl From<confidence::ConfidenceError> for ApproxError {
+    fn from(e: confidence::ConfidenceError) -> Self {
+        ApproxError::Confidence(e)
+    }
+}
+
+/// Result alias for the `approx` crate.
+pub type Result<T> = std::result::Result<T, ApproxError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ApproxError::VariableOutOfRange { var: 3, supplied: 2 }
+            .to_string()
+            .contains("x3"));
+        assert!(ApproxError::RepeatedVariable(1).to_string().contains("x1"));
+        let e: ApproxError = confidence::ConfidenceError::EmptyEvent.into();
+        assert!(e.to_string().contains("no terms"));
+    }
+}

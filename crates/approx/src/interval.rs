@@ -1,0 +1,283 @@
+//! Closed intervals and relative-error orthotopes.
+//!
+//! Lemma 5.1 bounds the error of a predicate decision by requiring all points
+//! of the axis-parallel orthotope
+//! `( p̂₁/(1+ε), p̂₁/(1−ε) ) × … × ( p̂_k/(1+ε), p̂_k/(1−ε) )`
+//! to agree on the predicate; Definition 5.6 uses the absolute box
+//! `Π [p_i(1−ε₀), p_i(1+ε₀)]` to define singularities.  Both are built from
+//! the closed [`Interval`] type here, which also provides the interval
+//! arithmetic used for singularity detection.
+
+use crate::error::{ApproxError, Result};
+use std::fmt;
+
+/// A closed, possibly degenerate interval `[lo, hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Creates an interval, normalising the endpoint order.
+    pub fn new(a: f64, b: f64) -> Interval {
+        if a <= b {
+            Interval { lo: a, hi: b }
+        } else {
+            Interval { lo: b, hi: a }
+        }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// The *relative* interval `[p̂/(1+ε), p̂/(1−ε)]` of Lemma 5.1 around an
+    /// approximated value (for `0 ≤ ε < 1` and `p̂ ≥ 0`).
+    pub fn relative(p_hat: f64, epsilon: f64) -> Result<Interval> {
+        if !(0.0..1.0).contains(&epsilon) {
+            return Err(ApproxError::InvalidParameter(format!(
+                "relative interval needs 0 <= epsilon < 1, got {epsilon}"
+            )));
+        }
+        Ok(Interval::new(p_hat / (1.0 + epsilon), p_hat / (1.0 - epsilon)))
+    }
+
+    /// The *absolute* box `[p·(1−ε₀), p·(1+ε₀)]` of Definition 5.6 around a
+    /// true value.
+    pub fn absolute(p: f64, epsilon0: f64) -> Result<Interval> {
+        if epsilon0 < 0.0 {
+            return Err(ApproxError::InvalidParameter(format!(
+                "absolute interval needs epsilon0 >= 0, got {epsilon0}"
+            )));
+        }
+        Ok(Interval::new(p * (1.0 - epsilon0), p * (1.0 + epsilon0)))
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// True if `v` lies in the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// True if the two intervals overlap.
+    pub fn intersects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    // ---- interval arithmetic (used for singularity detection) ------------
+
+    /// Interval addition.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo + other.lo, self.hi + other.hi)
+    }
+
+    /// Interval subtraction.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo - other.hi, self.hi - other.lo)
+    }
+
+    /// Interval negation.
+    pub fn neg(&self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+
+    /// Interval multiplication.
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let candidates = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Interval {
+            lo: candidates.iter().copied().fold(f64::INFINITY, f64::min),
+            hi: candidates.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Interval division; an error if the divisor interval contains zero
+    /// (callers treat that as "unknown sign", i.e. a potential singularity).
+    pub fn div(&self, other: &Interval) -> Result<Interval> {
+        if other.contains(0.0) {
+            return Err(ApproxError::DivisionByZero);
+        }
+        let inv = Interval::new(1.0 / other.lo, 1.0 / other.hi);
+        Ok(self.mul(&inv))
+    }
+
+    /// Interval scaling by a constant.
+    pub fn scale(&self, c: f64) -> Interval {
+        Interval::new(self.lo * c, self.hi * c)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// The axis-parallel orthotope of Lemma 5.1: one relative interval per
+/// approximated value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Orthotope {
+    intervals: Vec<Interval>,
+}
+
+impl Orthotope {
+    /// Builds the relative orthotope around the point `p_hat` with relative
+    /// half-width ε.
+    pub fn relative(p_hat: &[f64], epsilon: f64) -> Result<Orthotope> {
+        let intervals = p_hat
+            .iter()
+            .map(|&p| Interval::relative(p, epsilon))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Orthotope { intervals })
+    }
+
+    /// Builds the absolute box of Definition 5.6 around the point `p`.
+    pub fn absolute(p: &[f64], epsilon0: f64) -> Result<Orthotope> {
+        let intervals = p
+            .iter()
+            .map(|&v| Interval::absolute(v, epsilon0))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Orthotope { intervals })
+    }
+
+    /// Dimension of the orthotope.
+    pub fn dimension(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// The per-dimension intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// True if the point lies inside the orthotope.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        point.len() == self.intervals.len()
+            && point
+                .iter()
+                .zip(&self.intervals)
+                .all(|(&v, iv)| iv.contains(v))
+    }
+
+    /// Enumerates all `2^k` corner points, in a fixed order.  Corner `0` is
+    /// the all-lower corner; bit `i` of the index selects the upper endpoint
+    /// of dimension `i`.
+    pub fn corners(&self) -> Vec<Vec<f64>> {
+        let k = self.intervals.len();
+        let mut out = Vec::with_capacity(1 << k);
+        for mask in 0u64..(1u64 << k) {
+            let corner: Vec<f64> = self
+                .intervals
+                .iter()
+                .enumerate()
+                .map(|(i, iv)| if mask & (1 << i) != 0 { iv.hi } else { iv.lo })
+                .collect();
+            out.push(corner);
+        }
+        out
+    }
+
+    /// The centre of the orthotope.
+    pub fn center(&self) -> Vec<f64> {
+        self.intervals.iter().map(Interval::midpoint).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_interval_matches_example_5_4() {
+        // p̂ = 1/2, ε = 1/3 → [3/8, 3/4].
+        let iv = Interval::relative(0.5, 1.0 / 3.0).unwrap();
+        assert!((iv.lo - 0.375).abs() < 1e-12);
+        assert!((iv.hi - 0.75).abs() < 1e-12);
+        assert!(iv.contains(0.5));
+        assert!(Interval::relative(0.5, 1.0).is_err());
+        assert!(Interval::relative(0.5, -0.1).is_err());
+    }
+
+    #[test]
+    fn absolute_interval_and_basic_ops() {
+        let iv = Interval::absolute(2.0, 0.25).unwrap();
+        assert_eq!(iv, Interval::new(1.5, 2.5));
+        assert!(Interval::absolute(2.0, -0.1).is_err());
+        assert_eq!(iv.width(), 1.0);
+        assert_eq!(iv.midpoint(), 2.0);
+        assert!(iv.intersects(&Interval::new(2.4, 3.0)));
+        assert!(!iv.intersects(&Interval::new(2.6, 3.0)));
+        // Normalised endpoint order.
+        assert_eq!(Interval::new(3.0, 1.0), Interval::new(1.0, 3.0));
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = Interval::new(1.0, 2.0);
+        let b = Interval::new(-1.0, 3.0);
+        assert_eq!(a.add(&b), Interval::new(0.0, 5.0));
+        assert_eq!(a.sub(&b), Interval::new(-2.0, 3.0));
+        assert_eq!(a.neg(), Interval::new(-2.0, -1.0));
+        assert_eq!(a.mul(&b), Interval::new(-2.0, 6.0));
+        assert_eq!(a.scale(-2.0), Interval::new(-4.0, -2.0));
+        assert!(a.div(&b).is_err()); // divisor contains 0
+        let c = Interval::new(2.0, 4.0);
+        assert_eq!(a.div(&c).unwrap(), Interval::new(0.25, 1.0));
+        let d = Interval::new(-4.0, -2.0);
+        assert_eq!(a.div(&d).unwrap(), Interval::new(-1.0, -0.25));
+    }
+
+    #[test]
+    fn orthotope_corners_and_containment() {
+        let o = Orthotope::relative(&[0.5, 0.5], 1.0 / 3.0).unwrap();
+        assert_eq!(o.dimension(), 2);
+        let corners = o.corners();
+        assert_eq!(corners.len(), 4);
+        let has_corner = |x: f64, y: f64| {
+            corners
+                .iter()
+                .any(|c| (c[0] - x).abs() < 1e-12 && (c[1] - y).abs() < 1e-12)
+        };
+        assert!(has_corner(0.375, 0.375));
+        assert!(has_corner(0.75, 0.75));
+        assert!(has_corner(0.375, 0.75));
+        assert!(o.contains(&[0.5, 0.6]));
+        assert!(!o.contains(&[0.5, 0.8]));
+        assert!(!o.contains(&[0.5]));
+        let center = o.center();
+        assert!((center[0] - (0.375 + 0.75) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absolute_orthotope() {
+        let o = Orthotope::absolute(&[1.0, 2.0], 0.1).unwrap();
+        assert!(o.contains(&[0.95, 2.15]));
+        assert!(!o.contains(&[0.85, 2.0]));
+        assert_eq!(o.corners().len(), 4);
+    }
+
+    #[test]
+    fn zero_dimensional_orthotope_has_one_corner() {
+        let o = Orthotope::relative(&[], 0.5).unwrap();
+        assert_eq!(o.dimension(), 0);
+        assert_eq!(o.corners(), vec![Vec::<f64>::new()]);
+        assert!(o.contains(&[]));
+    }
+}

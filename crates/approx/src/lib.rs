@@ -1,0 +1,53 @@
+//! # Predicate approximation on approximable values (Section 5)
+//!
+//! The central difficulty addressed by Koch (PODS 2008): selection predicates
+//! over *approximated* values (tuple confidences computed by Monte Carlo
+//! estimation) may be decided wrongly, and for some inputs — singularities —
+//! they cannot be approximated at all.  This crate implements the paper's
+//! machinery for deciding such predicates with bounded error whenever the
+//! input is not a singularity:
+//!
+//! * [`Interval`] / [`Orthotope`] — the relative-error orthotopes of
+//!   Lemma 5.1 and the absolute boxes of Definition 5.6.
+//! * [`LinearIneq`] — linear inequalities with the closed-form ε-maximisation
+//!   of Theorem 5.2 (Example 5.4 / Figure 2 reproduce exactly).
+//! * [`AlgebraicIneq`] — single-occurrence algebraic predicates with the
+//!   corner-check + binary-search ε of Theorem 5.5.
+//! * [`ApproxPredicate`] — Boolean combinations with the min/max
+//!   ε-composition of Section 5.
+//! * [`singularity`] — ε₀-singularity detection by three-valued interval
+//!   evaluation.
+//! * [`approximate_predicate`] — the iterative algorithm of Figure 3
+//!   (Theorem 5.8), driven by incremental Karp–Luby estimators.
+//! * [`naive_decide`] — the fixed-sample baseline the paper compares the
+//!   algorithm against, plus the `(ε²_φ − ε²₀)/ε²_φ` saving estimate.
+//!
+//! ```
+//! use approx::LinearIneq;
+//!
+//! // Example 5.4: φ(x1, x2) = (x1/x2 ≥ 1/2) at p̂ = (1/2, 1/2) gives ε = 1/3.
+//! let phi = LinearIneq::ratio_at_least(2, 0, 1, 0.5);
+//! let eps = phi.epsilon_max(&[0.5, 0.5]).unwrap();
+//! assert!((eps - 1.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod algebraic;
+mod algorithm;
+mod error;
+mod interval;
+mod linear;
+mod naive;
+mod predicate;
+pub mod singularity;
+
+pub use algebraic::{AlgExpr, AlgebraicIneq, EPSILON_SEARCH_MAX, EPSILON_SEARCH_TOLERANCE};
+pub use algorithm::{approximate_predicate, ApproximationParams, Decision};
+pub use error::{ApproxError, Result};
+pub use interval::{Interval, Orthotope};
+pub use linear::LinearIneq;
+pub use naive::{expected_saving_factor, naive_decide};
+pub use predicate::{ApproxPredicate, Atom};
+pub use singularity::{evaluate_over_box, is_possibly_singular, BoxVerdict};

@@ -1,0 +1,338 @@
+//! Linear inequalities over approximated values and the closed-form
+//! ε-maximisation of Theorem 5.2.
+
+use crate::error::{ApproxError, Result};
+use crate::interval::{Interval, Orthotope};
+use std::fmt;
+
+/// A linear inequality `Σ_i a_i·x_i ≥ b` over approximated values
+/// `x_0, …, x_{k−1}`.
+///
+/// Coefficients are positional: `coeffs[i]` multiplies the i-th approximated
+/// value.  A zero coefficient means the value does not participate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearIneq {
+    /// The coefficients `a_i`.
+    pub coeffs: Vec<f64>,
+    /// The right-hand side `b`.
+    pub bound: f64,
+}
+
+impl LinearIneq {
+    /// Creates the inequality `Σ a_i·x_i ≥ b`.
+    pub fn new(coeffs: Vec<f64>, bound: f64) -> Self {
+        LinearIneq { coeffs, bound }
+    }
+
+    /// The inequality `x_i ≥ c` (a threshold on a single value).
+    pub fn threshold(num_values: usize, var: usize, c: f64) -> Self {
+        let mut coeffs = vec![0.0; num_values];
+        coeffs[var] = 1.0;
+        LinearIneq::new(coeffs, c)
+    }
+
+    /// The inequality `x_i / x_j ≥ c`, rewritten as `x_i − c·x_j ≥ 0` (the
+    /// rewriting used in Example 5.4; valid for positive `x_j`, which holds
+    /// for confidence values).
+    pub fn ratio_at_least(num_values: usize, numerator: usize, denominator: usize, c: f64) -> Self {
+        let mut coeffs = vec![0.0; num_values];
+        coeffs[numerator] = 1.0;
+        coeffs[denominator] -= c;
+        LinearIneq::new(coeffs, 0.0)
+    }
+
+    /// Number of values the inequality is defined over.
+    pub fn arity(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates the inequality at a point.
+    pub fn eval(&self, point: &[f64]) -> Result<bool> {
+        Ok(self.lhs(point)? >= self.bound)
+    }
+
+    /// The left-hand side `Σ a_i·x_i` at a point.
+    pub fn lhs(&self, point: &[f64]) -> Result<f64> {
+        if point.len() < self.coeffs.len() {
+            return Err(ApproxError::VariableOutOfRange {
+                var: self.coeffs.len() - 1,
+                supplied: point.len(),
+            });
+        }
+        Ok(self
+            .coeffs
+            .iter()
+            .zip(point)
+            .map(|(a, x)| a * x)
+            .sum())
+    }
+
+    /// The complementary inequality, describing (up to the measure-zero
+    /// boundary) the points where this one is false: `Σ (−a_i)·x_i ≥ −b`.
+    pub fn complement(&self) -> LinearIneq {
+        LinearIneq {
+            coeffs: self.coeffs.iter().map(|a| -a).collect(),
+            bound: -self.bound,
+        }
+    }
+
+    /// The range of the left-hand side over an orthotope, by interval
+    /// arithmetic (exact for linear forms).
+    pub fn lhs_range(&self, orthotope: &Orthotope) -> Result<Interval> {
+        if orthotope.dimension() < self.coeffs.len() {
+            return Err(ApproxError::VariableOutOfRange {
+                var: self.coeffs.len() - 1,
+                supplied: orthotope.dimension(),
+            });
+        }
+        let mut acc = Interval::point(0.0);
+        for (a, iv) in self.coeffs.iter().zip(orthotope.intervals()) {
+            acc = acc.add(&iv.scale(*a));
+        }
+        Ok(acc)
+    }
+
+    /// Theorem 5.2: the ε that maximises the relative orthotope around
+    /// `p_hat` (which must satisfy the inequality) while keeping the whole
+    /// orthotope on the satisfying side.
+    ///
+    /// The candidate ε is the root of the quadratic
+    /// `b·ε² − β·ε + (α − b) = 0` with `α = Σ a_i·p̂_i`, `β = Σ |a_i·p̂_i|`
+    /// (the paper's derivation multiplies the touching condition by
+    /// `(1−ε)(1+ε)`, which introduces a spurious root at `ε = 1` whenever
+    /// `α = β`; we therefore keep only roots of the *original* touching
+    /// condition rather than always taking the larger quadratic root).
+    /// [`f64::INFINITY`] is returned when the orthotope never reaches the
+    /// hyperplane for any ε (callers clamp below 1 anyway); values ≥ 1 are
+    /// possible as noted in Remark 5.3.
+    pub fn epsilon_max(&self, p_hat: &[f64]) -> Result<f64> {
+        if !self.eval(p_hat)? {
+            return Err(ApproxError::DegenerateInequality(
+                "epsilon_max requires a point satisfying the inequality".into(),
+            ));
+        }
+        let alpha: f64 = self
+            .coeffs
+            .iter()
+            .zip(p_hat)
+            .map(|(a, x)| a * x)
+            .sum();
+        let beta: f64 = self
+            .coeffs
+            .iter()
+            .zip(p_hat)
+            .map(|(a, x)| (a * x).abs())
+            .sum();
+        let b = self.bound;
+
+        if beta == 0.0 {
+            // Every coefficient·value product is zero: the inequality reduces
+            // to `0 ≥ b`, which the point satisfies; it then holds everywhere.
+            return Ok(f64::INFINITY);
+        }
+
+        // Candidate roots of the quadratic (a single linear root for b = 0).
+        let mut candidates: Vec<f64> = Vec::with_capacity(2);
+        if b == 0.0 {
+            candidates.push(alpha / beta);
+        } else {
+            // The paper shows the discriminant is ≥ 0 whenever β ≥ α ≥ b;
+            // numerical noise can push it slightly negative, so clamp.
+            let disc = (beta * beta - 4.0 * b * (alpha - b)).max(0.0);
+            let sqrt_disc = disc.sqrt();
+            candidates.push((beta + sqrt_disc) / (2.0 * b));
+            candidates.push((beta - sqrt_disc) / (2.0 * b));
+        }
+
+        // Keep only genuine roots: non-negative and not the spurious ε = 1
+        // introduced by the (1−ε²) factor.  The touching condition
+        // g(ε) = Σ a_i·p̂_i / (1 + sgn(a_i·p̂_i)·ε) − b is strictly decreasing
+        // on [0, 1), so the smallest remaining candidate is the first point
+        // at which the orthotope touches the hyperplane.
+        let eps = candidates
+            .into_iter()
+            .filter(|&r| r >= 0.0 && (r - 1.0).abs() > 1e-12)
+            .fold(f64::INFINITY, f64::min);
+        Ok(eps)
+    }
+
+    /// The homogeneous ε for a point on *either* side of the hyperplane: the
+    /// inequality's own ε if the point satisfies it, the complement's ε
+    /// otherwise.  This is the atom-level quantity used when composing
+    /// Boolean predicates (Section 5).
+    pub fn epsilon_homogeneous(&self, p_hat: &[f64]) -> Result<f64> {
+        if self.eval(p_hat)? {
+            self.epsilon_max(p_hat)
+        } else {
+            self.complement().epsilon_max(p_hat)
+        }
+    }
+}
+
+impl fmt::Display for LinearIneq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if *a == 0.0 {
+                continue;
+            }
+            if first {
+                write!(f, "{a}·x{i}")?;
+                first = false;
+            } else if *a >= 0.0 {
+                write!(f, " + {a}·x{i}")?;
+            } else {
+                write!(f, " - {}·x{i}", -a)?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        write!(f, " >= {}", self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_5_4_epsilon_is_one_third() {
+        // φ(x1, x2) = (x1/x2 ≥ 1/2) rewritten as x1 − 0.5·x2 ≥ 0, at
+        // p̂ = (1/2, 1/2):  ε = α/β = 0.25 / 0.75 = 1/3.
+        let phi = LinearIneq::ratio_at_least(2, 0, 1, 0.5);
+        assert_eq!(phi.coeffs, vec![1.0, -0.5]);
+        assert_eq!(phi.bound, 0.0);
+        let p_hat = [0.5, 0.5];
+        assert!(phi.eval(&p_hat).unwrap());
+        let eps = phi.epsilon_max(&p_hat).unwrap();
+        assert!((eps - 1.0 / 3.0).abs() < 1e-12);
+
+        // The maximal orthotope is [3/8, 3/4]² and it touches the hyperplane
+        // 2x1 = x2 at (3/8, 3/4).
+        let orthotope = Orthotope::relative(&p_hat, eps).unwrap();
+        let corners = orthotope.corners();
+        assert!(corners
+            .iter()
+            .any(|c| (c[0] - 0.375).abs() < 1e-12 && (c[1] - 0.75).abs() < 1e-12));
+        // Every corner still satisfies φ (the touching corner is on the
+        // boundary, which satisfies the non-strict inequality).
+        for corner in &corners {
+            assert!(phi.eval(corner).unwrap(), "corner {corner:?} violates φ");
+        }
+    }
+
+    #[test]
+    fn orthotope_with_epsilon_max_is_homogeneous() {
+        // For a selection of non-zero-b inequalities, the orthotope computed
+        // from ε_max stays on the satisfying side (checked at the corners,
+        // which suffices for linear predicates).
+        let cases = [
+            (LinearIneq::new(vec![1.0, 1.0], 0.6), vec![0.5, 0.3]),
+            (LinearIneq::new(vec![2.0, -1.0], 0.2), vec![0.4, 0.1]),
+            (LinearIneq::new(vec![1.0], 0.25), vec![0.9]),
+            (LinearIneq::new(vec![-1.0, 3.0], -0.5), vec![0.3, 0.05]),
+            (LinearIneq::new(vec![0.5, 0.5, 0.5], 0.3), vec![0.3, 0.3, 0.3]),
+        ];
+        for (phi, p_hat) in cases {
+            assert!(phi.eval(&p_hat).unwrap(), "{phi} at {p_hat:?}");
+            let eps = phi.epsilon_max(&p_hat).unwrap();
+            assert!(eps >= 0.0);
+            let eps_clamped = eps.min(0.999_999);
+            let orthotope = Orthotope::relative(&p_hat, eps_clamped).unwrap();
+            for corner in orthotope.corners() {
+                let lhs = phi.lhs(&corner).unwrap();
+                assert!(
+                    lhs >= phi.bound - 1e-9,
+                    "{phi}: corner {corner:?} of eps={eps} has lhs {lhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_is_zero_on_the_hyperplane() {
+        // Remark 5.3: a point on the hyperplane yields ε = 0.
+        let phi = LinearIneq::new(vec![1.0, 1.0], 1.0);
+        let eps = phi.epsilon_max(&[0.5, 0.5]).unwrap();
+        assert!(eps.abs() < 1e-12);
+        // The same holds for a hyperplane through the origin (b = 0, α = 0).
+        let psi = LinearIneq::new(vec![1.0, -1.0], 0.0);
+        assert!(psi.epsilon_max(&[0.5, 0.5]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_can_exceed_one() {
+        // Remark 5.3: values ε ≥ 1 are possible; e.g. a threshold far from
+        // the point.
+        let phi = LinearIneq::threshold(1, 0, 0.2);
+        let eps = phi.epsilon_max(&[0.5]).unwrap();
+        assert!((eps - 1.5).abs() < 1e-12, "expected 1.5, got {eps}");
+        // A negative threshold can never be reached by shrinking a positive
+        // value, so the orthotope never touches the hyperplane.
+        let phi = LinearIneq::threshold(1, 0, -10.0);
+        assert_eq!(phi.epsilon_max(&[0.5]).unwrap(), f64::INFINITY);
+        // A trivially true inequality with no active coefficients is
+        // homogeneous everywhere.
+        let always = LinearIneq::new(vec![0.0], -1.0);
+        assert_eq!(always.epsilon_max(&[0.3]).unwrap(), f64::INFINITY);
+    }
+
+    #[test]
+    fn spurious_root_at_one_is_not_reported() {
+        // x0 ≥ 0.45 at p̂ = 0.5: the quadratic roots are {1/9, 1}; the
+        // correct ε is 1/9 (the orthotope's lower corner 0.5/(1+ε) touches
+        // 0.45), not the spurious 1 that the (1−ε²) factor introduces.
+        let phi = LinearIneq::threshold(1, 0, 0.45);
+        let eps = phi.epsilon_max(&[0.5]).unwrap();
+        assert!((eps - 1.0 / 9.0).abs() < 1e-12, "expected 1/9, got {eps}");
+    }
+
+    #[test]
+    fn requires_a_satisfying_point() {
+        let phi = LinearIneq::threshold(1, 0, 0.9);
+        assert!(phi.epsilon_max(&[0.5]).is_err());
+        // The homogeneous variant switches to the complement instead.
+        let eps = phi.epsilon_homogeneous(&[0.5]).unwrap();
+        assert!(eps > 0.0);
+        // Complement: −x0 ≥ −0.9, satisfied by 0.5.
+        assert!(phi.complement().eval(&[0.5]).unwrap());
+    }
+
+    #[test]
+    fn homogeneous_epsilon_keeps_the_false_side_false() {
+        let phi = LinearIneq::threshold(2, 0, 0.9);
+        let p_hat = [0.5, 0.2];
+        assert!(!phi.eval(&p_hat).unwrap());
+        let eps = phi.epsilon_homogeneous(&p_hat).unwrap().min(0.999);
+        let orthotope = Orthotope::relative(&p_hat, eps).unwrap();
+        for corner in orthotope.corners() {
+            assert!(!phi.eval(&corner).unwrap() || phi.lhs(&corner).unwrap() <= phi.bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn lhs_range_by_interval_arithmetic() {
+        let phi = LinearIneq::new(vec![1.0, -2.0], 0.0);
+        let o = Orthotope::relative(&[0.5, 0.25], 0.2).unwrap();
+        let r = phi.lhs_range(&o).unwrap();
+        // x0 ∈ [0.4167, 0.625], −2·x1 ∈ [−0.625, −0.4167]
+        assert!(r.lo < 0.0 && r.hi > 0.0);
+        assert!(phi.lhs_range(&Orthotope::relative(&[0.5], 0.2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn eval_arity_errors() {
+        let phi = LinearIneq::new(vec![1.0, 1.0], 0.0);
+        assert!(phi.eval(&[0.5]).is_err());
+        assert!(phi.lhs(&[]).is_err());
+        assert_eq!(phi.arity(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let phi = LinearIneq::new(vec![1.0, -0.5, 0.0], 0.25);
+        assert_eq!(phi.to_string(), "1·x0 - 0.5·x1 >= 0.25");
+        assert_eq!(LinearIneq::new(vec![0.0], 1.0).to_string(), "0 >= 1");
+    }
+}

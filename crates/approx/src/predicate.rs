@@ -1,0 +1,367 @@
+//! Boolean combinations of atomic predicates over approximated values and
+//! their ε-composition (Section 5).
+//!
+//! The paper first pushes negations into the atoms (De Morgan + negated
+//! comparison operators) and then composes
+//! `ε_{φ∧ψ} = min(ε_φ, ε_ψ)` and `ε_{φ∨ψ} = max(ε_φ, ε_ψ)`.  Implemented
+//! directly on the predicate tree, this becomes the dual rule of
+//! [`ApproxPredicate::epsilon_homogeneous`]: for a conjunction that is true
+//! at `p̂` all conjuncts must stay true (min), for one that is false it
+//! suffices that one false conjunct stays false (max), and symmetrically for
+//! disjunctions.  The resulting ε always describes an orthotope on which the
+//! *whole* predicate is constant, which is exactly what Lemma 5.1 needs.
+
+use crate::algebraic::AlgebraicIneq;
+use crate::error::{ApproxError, Result};
+use crate::interval::Orthotope;
+use crate::linear::LinearIneq;
+use std::fmt;
+
+/// An atomic predicate over approximated values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    /// A linear inequality `Σ a_i·x_i ≥ b` (Theorem 5.2, closed-form ε).
+    Linear(LinearIneq),
+    /// A single-occurrence algebraic inequality `f(x⃗) ≥ 0` (Theorem 5.5,
+    /// ε by corner check and binary search).
+    Algebraic(AlgebraicIneq),
+}
+
+impl Atom {
+    /// Evaluates the atom at a point.
+    pub fn eval(&self, point: &[f64]) -> Result<bool> {
+        match self {
+            Atom::Linear(l) => l.eval(point),
+            Atom::Algebraic(a) => a.eval(point),
+        }
+    }
+
+    /// Number of approximated values the atom mentions (highest index + 1).
+    pub fn arity(&self) -> usize {
+        match self {
+            Atom::Linear(l) => l.arity(),
+            Atom::Algebraic(a) => a.arity(),
+        }
+    }
+
+    /// The homogeneous ε of the atom around `p̂` (on whichever side of the
+    /// decision boundary `p̂` lies).
+    pub fn epsilon_homogeneous(&self, p_hat: &[f64]) -> Result<f64> {
+        match self {
+            Atom::Linear(l) => match l.epsilon_homogeneous(p_hat) {
+                Ok(e) => Ok(e),
+                // A point exactly on a through-the-origin hyperplane has no
+                // positive homogeneous ε.
+                Err(ApproxError::DegenerateInequality(_)) => Ok(0.0),
+                Err(e) => Err(e),
+            },
+            Atom::Algebraic(a) => a.epsilon_homogeneous(p_hat),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Linear(l) => write!(f, "{l}"),
+            Atom::Algebraic(a) => write!(f, "{a}"),
+        }
+    }
+}
+
+/// A Boolean combination of atoms over approximated values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ApproxPredicate {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// An atomic predicate.
+    Atom(Atom),
+    /// Conjunction.
+    And(Box<ApproxPredicate>, Box<ApproxPredicate>),
+    /// Disjunction.
+    Or(Box<ApproxPredicate>, Box<ApproxPredicate>),
+    /// Negation.
+    Not(Box<ApproxPredicate>),
+}
+
+impl ApproxPredicate {
+    /// An atomic linear inequality.
+    pub fn linear(ineq: LinearIneq) -> ApproxPredicate {
+        ApproxPredicate::Atom(Atom::Linear(ineq))
+    }
+
+    /// An atomic algebraic inequality.
+    pub fn algebraic(ineq: AlgebraicIneq) -> ApproxPredicate {
+        ApproxPredicate::Atom(Atom::Algebraic(ineq))
+    }
+
+    /// The threshold predicate `x_var ≥ c`.
+    pub fn threshold(num_values: usize, var: usize, c: f64) -> ApproxPredicate {
+        ApproxPredicate::linear(LinearIneq::threshold(num_values, var, c))
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: ApproxPredicate) -> ApproxPredicate {
+        ApproxPredicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: ApproxPredicate) -> ApproxPredicate {
+        ApproxPredicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> ApproxPredicate {
+        ApproxPredicate::Not(Box::new(self))
+    }
+
+    /// Number of approximated values the predicate mentions (highest index
+    /// + 1 over all atoms).
+    pub fn arity(&self) -> usize {
+        match self {
+            ApproxPredicate::True | ApproxPredicate::False => 0,
+            ApproxPredicate::Atom(a) => a.arity(),
+            ApproxPredicate::And(a, b) | ApproxPredicate::Or(a, b) => a.arity().max(b.arity()),
+            ApproxPredicate::Not(a) => a.arity(),
+        }
+    }
+
+    /// Evaluates the predicate at a point of (estimated or true) values.
+    pub fn eval(&self, point: &[f64]) -> Result<bool> {
+        match self {
+            ApproxPredicate::True => Ok(true),
+            ApproxPredicate::False => Ok(false),
+            ApproxPredicate::Atom(a) => a.eval(point),
+            ApproxPredicate::And(a, b) => Ok(a.eval(point)? && b.eval(point)?),
+            ApproxPredicate::Or(a, b) => Ok(a.eval(point)? || b.eval(point)?),
+            ApproxPredicate::Not(a) => Ok(!a.eval(point)?),
+        }
+    }
+
+    /// The largest ε (up to the atoms' own search precision) such that the
+    /// predicate is constant on the relative orthotope around `p̂` — the
+    /// quantity written `ε_ψ(p̂₁, …, p̂_k)` in Section 5, with
+    /// `ψ = φ` if `φ(p̂)` holds and `ψ = ¬φ` otherwise.
+    pub fn epsilon_homogeneous(&self, p_hat: &[f64]) -> Result<f64> {
+        match self {
+            // Constants are homogeneous everywhere.
+            ApproxPredicate::True | ApproxPredicate::False => Ok(f64::INFINITY),
+            ApproxPredicate::Atom(a) => a.epsilon_homogeneous(p_hat),
+            ApproxPredicate::And(a, b) => {
+                let (ea, eb) = (a.epsilon_homogeneous(p_hat)?, b.epsilon_homogeneous(p_hat)?);
+                if self.eval(p_hat)? {
+                    // Both conjuncts are true and must remain true.
+                    Ok(ea.min(eb))
+                } else {
+                    // At least one conjunct is false; keeping any false one
+                    // false keeps the conjunction false.
+                    let mut best: f64 = 0.0;
+                    if !a.eval(p_hat)? {
+                        best = best.max(ea);
+                    }
+                    if !b.eval(p_hat)? {
+                        best = best.max(eb);
+                    }
+                    Ok(best)
+                }
+            }
+            ApproxPredicate::Or(a, b) => {
+                let (ea, eb) = (a.epsilon_homogeneous(p_hat)?, b.epsilon_homogeneous(p_hat)?);
+                if self.eval(p_hat)? {
+                    // Keeping any true disjunct true keeps the disjunction
+                    // true.
+                    let mut best: f64 = 0.0;
+                    if a.eval(p_hat)? {
+                        best = best.max(ea);
+                    }
+                    if b.eval(p_hat)? {
+                        best = best.max(eb);
+                    }
+                    Ok(best)
+                } else {
+                    // Both disjuncts are false and must remain false.
+                    Ok(ea.min(eb))
+                }
+            }
+            ApproxPredicate::Not(a) => a.epsilon_homogeneous(p_hat),
+        }
+    }
+
+    /// Checks homogeneity of the predicate over an explicit orthotope by
+    /// evaluating all corners (used by tests and by the singularity check for
+    /// predicates whose atoms are all monotone in each variable).
+    pub fn corners_agree(&self, orthotope: &Orthotope, reference: bool) -> Result<bool> {
+        for corner in orthotope.corners() {
+            match self.eval(&corner) {
+                Ok(v) if v == reference => {}
+                Ok(_) => return Ok(false),
+                Err(ApproxError::DivisionByZero) => return Ok(false),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+impl fmt::Display for ApproxPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApproxPredicate::True => write!(f, "true"),
+            ApproxPredicate::False => write!(f, "false"),
+            ApproxPredicate::Atom(a) => write!(f, "{a}"),
+            ApproxPredicate::And(a, b) => write!(f, "({a} and {b})"),
+            ApproxPredicate::Or(a, b) => write!(f, "({a} or {b})"),
+            ApproxPredicate::Not(a) => write!(f, "(not {a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebraic::AlgExpr;
+
+    #[test]
+    fn evaluation_of_combinations() {
+        let p = ApproxPredicate::threshold(2, 0, 0.5)
+            .and(ApproxPredicate::threshold(2, 1, 0.25));
+        assert!(p.eval(&[0.6, 0.3]).unwrap());
+        assert!(!p.eval(&[0.6, 0.2]).unwrap());
+        let q = p.clone().or(ApproxPredicate::True);
+        assert!(q.eval(&[0.0, 0.0]).unwrap());
+        let r = p.not();
+        assert!(r.eval(&[0.6, 0.2]).unwrap());
+        assert_eq!(r.arity(), 2);
+        assert!(!ApproxPredicate::False.eval(&[]).unwrap());
+    }
+
+    #[test]
+    fn atom_epsilon_delegates_to_the_right_theorem() {
+        let lin = Atom::Linear(LinearIneq::ratio_at_least(2, 0, 1, 0.5));
+        let alg = Atom::Algebraic(
+            AlgebraicIneq::new(AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5)).unwrap(),
+        );
+        let p_hat = [0.5, 0.5];
+        let e_lin = lin.epsilon_homogeneous(&p_hat).unwrap();
+        let e_alg = alg.epsilon_homogeneous(&p_hat).unwrap();
+        assert!((e_lin - 1.0 / 3.0).abs() < 1e-9);
+        assert!((e_alg - 1.0 / 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn conjunction_takes_the_minimum_when_true() {
+        // x0 ≥ 0.25 (wide margin at 0.5) AND x0 ≥ 0.45 (narrow margin).
+        let wide = ApproxPredicate::threshold(1, 0, 0.25);
+        let narrow = ApproxPredicate::threshold(1, 0, 0.45);
+        let p = wide.clone().and(narrow.clone());
+        let e_wide = wide.epsilon_homogeneous(&[0.5]).unwrap();
+        let e_narrow = narrow.epsilon_homogeneous(&[0.5]).unwrap();
+        let e_and = p.epsilon_homogeneous(&[0.5]).unwrap();
+        assert!(e_wide > e_narrow);
+        assert!((e_and - e_narrow).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjunction_takes_the_maximum_of_true_disjuncts() {
+        let wide = ApproxPredicate::threshold(1, 0, 0.3);
+        let narrow = ApproxPredicate::threshold(1, 0, 0.45);
+        let false_branch = ApproxPredicate::threshold(1, 0, 0.9);
+        let p = narrow.clone().or(wide.clone()).or(false_branch);
+        let e_wide = wide.epsilon_homogeneous(&[0.5]).unwrap();
+        let e_or = p.epsilon_homogeneous(&[0.5]).unwrap();
+        assert!((e_or - e_wide).abs() < 1e-12);
+    }
+
+    #[test]
+    fn false_conjunction_uses_the_false_conjunct() {
+        // x0 ≥ 0.9 is false at 0.5 with a wide false-side margin; the
+        // conjunction with a true predicate is false and inherits that margin.
+        let failing = ApproxPredicate::threshold(1, 0, 0.9);
+        let passing = ApproxPredicate::threshold(1, 0, 0.25);
+        let p = failing.clone().and(passing);
+        assert!(!p.eval(&[0.5]).unwrap());
+        let e = p.epsilon_homogeneous(&[0.5]).unwrap();
+        let e_failing = failing.epsilon_homogeneous(&[0.5]).unwrap();
+        assert!((e - e_failing).abs() < 1e-12);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn negation_is_transparent_for_homogeneity() {
+        let p = ApproxPredicate::threshold(1, 0, 0.25);
+        let n = p.clone().not();
+        assert_eq!(
+            p.epsilon_homogeneous(&[0.5]).unwrap(),
+            n.epsilon_homogeneous(&[0.5]).unwrap()
+        );
+        assert!(n.eval(&[0.5]).unwrap() != p.eval(&[0.5]).unwrap());
+    }
+
+    #[test]
+    fn homogeneous_epsilon_is_sound_on_corners() {
+        // The predicate is constant on the orthotope described by the ε the
+        // composition rule reports (checked at corners; all atoms here are
+        // linear, for which corners are the extremes).
+        let cases: Vec<(ApproxPredicate, Vec<f64>)> = vec![
+            (
+                ApproxPredicate::linear(LinearIneq::ratio_at_least(2, 0, 1, 0.5))
+                    .and(ApproxPredicate::threshold(2, 1, 0.1)),
+                vec![0.5, 0.5],
+            ),
+            (
+                ApproxPredicate::threshold(2, 0, 0.7)
+                    .or(ApproxPredicate::threshold(2, 1, 0.05)),
+                vec![0.5, 0.2],
+            ),
+            (
+                ApproxPredicate::threshold(2, 0, 0.7)
+                    .and(ApproxPredicate::threshold(2, 1, 0.6))
+                    .not(),
+                vec![0.5, 0.9],
+            ),
+        ];
+        for (pred, p_hat) in cases {
+            let reference = pred.eval(&p_hat).unwrap();
+            let eps = pred.epsilon_homogeneous(&p_hat).unwrap();
+            assert!(eps > 0.0, "{pred} at {p_hat:?}");
+            let eps = (eps * 0.999).min(0.999);
+            let orthotope = Orthotope::relative(&p_hat, eps).unwrap();
+            assert!(
+                pred.corners_agree(&orthotope, reference).unwrap(),
+                "{pred} not homogeneous at eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn constants_are_homogeneous_everywhere() {
+        assert_eq!(
+            ApproxPredicate::True.epsilon_homogeneous(&[0.1]).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(
+            ApproxPredicate::False.epsilon_homogeneous(&[0.1]).unwrap(),
+            f64::INFINITY
+        );
+        assert_eq!(ApproxPredicate::True.arity(), 0);
+    }
+
+    #[test]
+    fn boundary_point_yields_zero_epsilon() {
+        // conf = 1/2 exactly: the equality-style predicate x0 ≥ 0.5 ∧ x0 ≤ 0.5
+        // has ε = 0 at 0.5 (cannot be approximated; Example 5.7's situation).
+        let eq_half = ApproxPredicate::threshold(1, 0, 0.5)
+            .and(ApproxPredicate::linear(LinearIneq::new(vec![-1.0], -0.5)));
+        let e = eq_half.epsilon_homogeneous(&[0.5]).unwrap();
+        assert_eq!(e, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        let p = ApproxPredicate::threshold(1, 0, 0.5).not();
+        assert_eq!(p.to_string(), "(not 1·x0 >= 0.5)");
+    }
+}

@@ -1,0 +1,239 @@
+//! ε₀-singularity detection (Definition 5.6).
+//!
+//! A point `(p₁, …, p_k)` is an ε₀-singularity of a predicate φ if some point
+//! `(x₁, …, x_k)` with `|p_i − x_i| ≤ ε₀·p_i` for all `i` disagrees with it
+//! on φ.  Predicates cannot be approximated at singularities (Example 5.7:
+//! the tuple-certainty test `conf = 1` can never be confirmed), and
+//! Theorem 5.8's guarantee explicitly excludes them, so the query-level error
+//! analysis needs a way to tell whether a true value is singular.
+//!
+//! Detection uses three-valued interval evaluation over the absolute box of
+//! Definition 5.6: every atom is evaluated to *true*, *false* or *unknown*
+//! via interval arithmetic, and the verdicts are combined with Kleene logic.
+//! A definite verdict proves the box homogeneous (not a singularity); an
+//! unknown verdict is reported as "possibly singular", which is the
+//! conservative direction for all uses in this crate.  For predicates built
+//! solely from linear atoms the interval evaluation is exact, so "possibly
+//! singular" coincides with "singular" up to boundary cases.
+
+use crate::error::Result;
+use crate::interval::Orthotope;
+use crate::linear::LinearIneq;
+use crate::predicate::{ApproxPredicate, Atom};
+
+/// Verdict of a three-valued evaluation over a box.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoxVerdict {
+    /// The predicate holds everywhere on the box.
+    AlwaysTrue,
+    /// The predicate fails everywhere on the box.
+    AlwaysFalse,
+    /// The predicate may take both truth values on the box (or the interval
+    /// analysis cannot tell).
+    Unknown,
+}
+
+impl BoxVerdict {
+    fn negate(self) -> BoxVerdict {
+        match self {
+            BoxVerdict::AlwaysTrue => BoxVerdict::AlwaysFalse,
+            BoxVerdict::AlwaysFalse => BoxVerdict::AlwaysTrue,
+            BoxVerdict::Unknown => BoxVerdict::Unknown,
+        }
+    }
+
+    fn and(self, other: BoxVerdict) -> BoxVerdict {
+        use BoxVerdict::*;
+        match (self, other) {
+            (AlwaysFalse, _) | (_, AlwaysFalse) => AlwaysFalse,
+            (AlwaysTrue, AlwaysTrue) => AlwaysTrue,
+            _ => Unknown,
+        }
+    }
+
+    fn or(self, other: BoxVerdict) -> BoxVerdict {
+        use BoxVerdict::*;
+        match (self, other) {
+            (AlwaysTrue, _) | (_, AlwaysTrue) => AlwaysTrue,
+            (AlwaysFalse, AlwaysFalse) => AlwaysFalse,
+            _ => Unknown,
+        }
+    }
+}
+
+fn atom_verdict(atom: &Atom, orthotope: &Orthotope) -> Result<BoxVerdict> {
+    match atom {
+        Atom::Linear(l) => linear_verdict(l, orthotope),
+        Atom::Algebraic(a) => match a.expr().eval_interval(orthotope) {
+            Ok(range) => Ok(if range.lo >= 0.0 {
+                BoxVerdict::AlwaysTrue
+            } else if range.hi < 0.0 {
+                BoxVerdict::AlwaysFalse
+            } else {
+                BoxVerdict::Unknown
+            }),
+            // Division by an interval straddling zero: the sign cannot be
+            // determined, which is exactly the conservative Unknown case.
+            Err(crate::error::ApproxError::DivisionByZero) => Ok(BoxVerdict::Unknown),
+            Err(e) => Err(e),
+        },
+    }
+}
+
+fn linear_verdict(ineq: &LinearIneq, orthotope: &Orthotope) -> Result<BoxVerdict> {
+    let range = ineq.lhs_range(orthotope)?;
+    Ok(if range.lo >= ineq.bound {
+        BoxVerdict::AlwaysTrue
+    } else if range.hi < ineq.bound {
+        BoxVerdict::AlwaysFalse
+    } else {
+        BoxVerdict::Unknown
+    })
+}
+
+/// Three-valued evaluation of a predicate over an arbitrary orthotope.
+pub fn evaluate_over_box(
+    predicate: &ApproxPredicate,
+    orthotope: &Orthotope,
+) -> Result<BoxVerdict> {
+    Ok(match predicate {
+        ApproxPredicate::True => BoxVerdict::AlwaysTrue,
+        ApproxPredicate::False => BoxVerdict::AlwaysFalse,
+        ApproxPredicate::Atom(a) => atom_verdict(a, orthotope)?,
+        ApproxPredicate::And(a, b) => {
+            evaluate_over_box(a, orthotope)?.and(evaluate_over_box(b, orthotope)?)
+        }
+        ApproxPredicate::Or(a, b) => {
+            evaluate_over_box(a, orthotope)?.or(evaluate_over_box(b, orthotope)?)
+        }
+        ApproxPredicate::Not(a) => evaluate_over_box(a, orthotope)?.negate(),
+    })
+}
+
+/// Tests whether the true point `p` is (possibly) an ε₀-singularity of the
+/// predicate: `true` means the absolute box of Definition 5.6 around `p`
+/// could contain points of both truth values.
+pub fn is_possibly_singular(
+    predicate: &ApproxPredicate,
+    p: &[f64],
+    epsilon0: f64,
+) -> Result<bool> {
+    let boxed = Orthotope::absolute(p, epsilon0)?;
+    Ok(matches!(
+        evaluate_over_box(predicate, &boxed)?,
+        BoxVerdict::Unknown
+    ))
+}
+
+/// Distance-based helper for threshold predicates `x_i ≥ c`: the set of
+/// ε₀ for which `p` is *not* a singularity is `ε₀ < |p_i − c| / p_i`; this
+/// returns that critical ratio (`+∞` if `p_i = 0`).  Used by workload
+/// generators to place true values at controlled distances from the decision
+/// boundary.
+pub fn threshold_singularity_margin(p_i: f64, c: f64) -> f64 {
+    if p_i == 0.0 {
+        f64::INFINITY
+    } else {
+        (p_i - c).abs() / p_i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebraic::{AlgExpr, AlgebraicIneq};
+
+    #[test]
+    fn threshold_singularity_matches_definition() {
+        // Example 5.7: conf ≥ c with p exactly at c is singular for every
+        // ε₀ > 0; p away from c stops being singular once ε₀ is below the
+        // relative distance.
+        let phi = ApproxPredicate::threshold(1, 0, 0.5);
+        assert!(is_possibly_singular(&phi, &[0.5], 0.01).unwrap());
+        assert!(is_possibly_singular(&phi, &[0.5], 1e-9).unwrap());
+        // p = 0.6: margin is |0.6 − 0.5| / 0.6 = 1/6.
+        assert!(!is_possibly_singular(&phi, &[0.6], 0.1).unwrap());
+        assert!(is_possibly_singular(&phi, &[0.6], 0.2).unwrap());
+        let margin = threshold_singularity_margin(0.6, 0.5);
+        assert!((margin - 1.0 / 6.0).abs() < 1e-12);
+        assert!(!is_possibly_singular(&phi, &[0.6], margin * 0.99).unwrap());
+        assert!(is_possibly_singular(&phi, &[0.6], margin * 1.01).unwrap());
+        assert_eq!(threshold_singularity_margin(0.0, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn certainty_test_is_always_singular_from_below() {
+        // The tuple-certainty test conf ≥ 1 at any true value p < 1 within
+        // ε₀ of 1 is singular, and at p = 1 it is singular for every ε₀ > 0
+        // because the box always contains values below 1.
+        let phi = ApproxPredicate::threshold(1, 0, 1.0);
+        assert!(is_possibly_singular(&phi, &[1.0], 0.001).unwrap());
+        assert!(is_possibly_singular(&phi, &[0.999], 0.01).unwrap());
+        assert!(!is_possibly_singular(&phi, &[0.9], 0.05).unwrap());
+    }
+
+    #[test]
+    fn boolean_combinations_use_kleene_logic() {
+        let clear_true = ApproxPredicate::threshold(2, 0, 0.1);
+        let clear_false = ApproxPredicate::threshold(2, 1, 0.9);
+        let near_boundary = ApproxPredicate::threshold(2, 1, 0.5);
+        let p = [0.5, 0.5];
+        // true ∧ (x1 ≥ 0.9): definite false.
+        assert_eq!(
+            evaluate_over_box(
+                &clear_true.clone().and(clear_false.clone()),
+                &Orthotope::absolute(&p, 0.1).unwrap()
+            )
+            .unwrap(),
+            BoxVerdict::AlwaysFalse
+        );
+        // true ∨ anything: definite true even if the other side is unknown.
+        assert_eq!(
+            evaluate_over_box(
+                &clear_true.clone().or(near_boundary.clone()),
+                &Orthotope::absolute(&p, 0.1).unwrap()
+            )
+            .unwrap(),
+            BoxVerdict::AlwaysTrue
+        );
+        // unknown ∧ true: unknown, i.e. possibly singular.
+        assert!(is_possibly_singular(
+            &clear_true.clone().and(near_boundary.clone()),
+            &p,
+            0.1
+        )
+        .unwrap());
+        // Negation flips definite verdicts.
+        assert_eq!(
+            evaluate_over_box(
+                &clear_false.not(),
+                &Orthotope::absolute(&p, 0.1).unwrap()
+            )
+            .unwrap(),
+            BoxVerdict::AlwaysTrue
+        );
+    }
+
+    #[test]
+    fn algebraic_atoms_use_interval_arithmetic() {
+        // x0/x1 ≥ 0.5 at (0.5, 0.5): ratio is 1, clearly above 0.5 for a
+        // small box, unknown for a box wide enough to reach the boundary.
+        let phi = ApproxPredicate::algebraic(
+            AlgebraicIneq::new(AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5)).unwrap(),
+        );
+        assert!(!is_possibly_singular(&phi, &[0.5, 0.5], 0.1).unwrap());
+        assert!(is_possibly_singular(&phi, &[0.5, 0.5], 0.35).unwrap());
+        // A denominator interval straddling zero is conservatively unknown.
+        let psi = ApproxPredicate::algebraic(
+            AlgebraicIneq::new(AlgExpr::konst(1.0) / AlgExpr::var(0) - AlgExpr::konst(2.0))
+                .unwrap(),
+        );
+        assert!(is_possibly_singular(&psi, &[0.001], 1.0).unwrap());
+    }
+
+    #[test]
+    fn constants_are_never_singular() {
+        assert!(!is_possibly_singular(&ApproxPredicate::True, &[0.5], 0.5).unwrap());
+        assert!(!is_possibly_singular(&ApproxPredicate::False, &[0.5], 0.5).unwrap());
+    }
+}

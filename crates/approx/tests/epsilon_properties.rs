@@ -1,0 +1,107 @@
+//! Property tests for the Section 5 approximation machinery: the composed
+//! ε of Boolean predicates is always homogeneous, singularity detection is
+//! consistent with sampling, and the saving-factor formula behaves.
+
+use approx::{
+    expected_saving_factor, is_possibly_singular, ApproxPredicate, LinearIneq, Orthotope,
+};
+use proptest::prelude::*;
+
+/// A random threshold atom over two values.
+fn arb_atom() -> impl Strategy<Value = ApproxPredicate> {
+    (0usize..2, 5u32..95).prop_map(|(var, c)| {
+        ApproxPredicate::linear(LinearIneq::threshold(2, var, c as f64 / 100.0))
+    })
+}
+
+/// A random Boolean combination of up to three threshold atoms.
+fn arb_predicate() -> impl Strategy<Value = ApproxPredicate> {
+    (arb_atom(), arb_atom(), arb_atom(), 0usize..6).prop_map(|(a, b, c, shape)| match shape {
+        0 => a,
+        1 => a.and(b),
+        2 => a.or(b),
+        3 => a.and(b).or(c),
+        4 => a.or(b).and(c).not(),
+        _ => a.not().and(b.or(c)),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    /// The composed homogeneous ε really is homogeneous: all corners of the
+    /// orthotope agree with the centre on the predicate (corners are the
+    /// extremes for these monotone atoms).
+    #[test]
+    fn composed_epsilon_is_homogeneous(
+        pred in arb_predicate(),
+        x in 5u32..95,
+        y in 5u32..95,
+    ) {
+        let p_hat = [x as f64 / 100.0, y as f64 / 100.0];
+        let reference = pred.eval(&p_hat).unwrap();
+        let eps = pred.epsilon_homogeneous(&p_hat).unwrap();
+        prop_assume!(eps > 1e-6);
+        let eps = (eps * 0.999).min(0.999);
+        let orthotope = Orthotope::relative(&p_hat, eps).unwrap();
+        prop_assert!(
+            pred.corners_agree(&orthotope, reference).unwrap(),
+            "{pred} not constant on the eps = {eps} orthotope around {p_hat:?}"
+        );
+    }
+
+    /// Homogeneity is preserved under negation, and the ε of a predicate and
+    /// its negation coincide.
+    #[test]
+    fn negation_preserves_epsilon(pred in arb_predicate(), x in 5u32..95, y in 5u32..95) {
+        let p_hat = [x as f64 / 100.0, y as f64 / 100.0];
+        let e1 = pred.epsilon_homogeneous(&p_hat).unwrap();
+        let e2 = pred.clone().not().epsilon_homogeneous(&p_hat).unwrap();
+        prop_assert!((e1 - e2).abs() < 1e-12 || (e1.is_infinite() && e2.is_infinite()));
+    }
+
+    /// If the true point is not flagged as possibly singular at ε₀, then no
+    /// point of the absolute ε₀-box disagrees with it (checked by grid
+    /// sampling) — i.e. the interval-arithmetic verdict is sound.
+    #[test]
+    fn non_singular_points_are_really_homogeneous(
+        pred in arb_predicate(),
+        x in 5u32..95,
+        y in 5u32..95,
+        eps0 in 1u32..30,
+    ) {
+        let p = [x as f64 / 100.0, y as f64 / 100.0];
+        let eps0 = eps0 as f64 / 100.0;
+        prop_assume!(!is_possibly_singular(&pred, &p, eps0).unwrap());
+        let reference = pred.eval(&p).unwrap();
+        let boxed = Orthotope::absolute(&p, eps0).unwrap();
+        let grid = 6;
+        for i in 0..=grid {
+            for j in 0..=grid {
+                let q = [
+                    boxed.intervals()[0].lo + boxed.intervals()[0].width() * i as f64 / grid as f64,
+                    boxed.intervals()[1].lo + boxed.intervals()[1].width() * j as f64 / grid as f64,
+                ];
+                prop_assert_eq!(pred.eval(&q).unwrap(), reference,
+                    "{} flips at {:?} inside a box declared non-singular", pred, q);
+            }
+        }
+    }
+
+    /// The predicted saving factor is monotone: it grows with ε_φ and shrinks
+    /// with ε₀, and always lies in [0, 1).
+    #[test]
+    fn saving_factor_shape(eps_phi in 1u32..100, eps0 in 1u32..100) {
+        let eps_phi = eps_phi as f64 / 100.0;
+        let eps0 = eps0 as f64 / 100.0;
+        let f = expected_saving_factor(eps_phi, eps0);
+        prop_assert!((0.0..1.0).contains(&f));
+        if eps_phi > eps0 {
+            prop_assert!(f > 0.0);
+            prop_assert!(expected_saving_factor(eps_phi + 0.01, eps0) >= f - 1e-12);
+            prop_assert!(expected_saving_factor(eps_phi, eps0 + 0.01) <= f + 1e-12);
+        } else {
+            prop_assert_eq!(f, 0.0);
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Criterion benchmarks for confidence computation (E3, E4, E15):
+//! exact methods vs the Karp–Luby FPRAS as the event grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use confidence::{approximate_confidence, exact, FprasParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::RandomDnf;
+
+fn bench_exact_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_confidence");
+    group.sample_size(10);
+    for &num_vars in &[8usize, 12, 16] {
+        let gen = RandomDnf {
+            num_variables: num_vars,
+            num_terms: num_vars / 2,
+            literals_per_term: 3,
+            seed: 5,
+        };
+        let (event, space) = gen.generate();
+        group.bench_with_input(
+            BenchmarkId::new("enumeration", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| exact::by_enumeration(&event, &space, 1 << 26).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("shannon", num_vars),
+            &num_vars,
+            |b, _| {
+                b.iter(|| exact::by_shannon_expansion(&event, &space).unwrap());
+            },
+        );
+        if event.num_terms() <= 20 {
+            group.bench_with_input(
+                BenchmarkId::new("inclusion_exclusion", num_vars),
+                &num_vars,
+                |b, _| {
+                    b.iter(|| exact::by_inclusion_exclusion(&event, &space, 24).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_karp_luby(c: &mut Criterion) {
+    let mut group = c.benchmark_group("karp_luby_fpras");
+    group.sample_size(10);
+    for &num_terms in &[8usize, 32, 128] {
+        let gen = RandomDnf {
+            num_variables: num_terms * 2,
+            num_terms,
+            literals_per_term: 3,
+            seed: 9,
+        };
+        let (event, space) = gen.generate();
+        let params = FprasParams::new(0.1, 0.05).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("eps_0.1_delta_0.05", num_terms),
+            &num_terms,
+            |b, _| {
+                let mut rng = ChaCha8Rng::seed_from_u64(1);
+                b.iter(|| approximate_confidence(&event, &space, params, &mut rng).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_methods, bench_karp_luby);
+criterion_main!(benches);

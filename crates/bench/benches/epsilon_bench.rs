@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the ε-maximisation machinery of Section 5
+//! (E5–E7): the closed form of Theorem 5.2 vs the corner-check binary search
+//! of Theorem 5.5 as the number of approximated values grows.
+
+use approx::{AlgExpr, AlgebraicIneq, LinearIneq};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_epsilon_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_linear_theorem_5_2");
+    for &k in &[2usize, 4, 8, 16] {
+        let coeffs: Vec<f64> = (0..k).map(|i| if i % 2 == 0 { 1.0 } else { -0.25 }).collect();
+        let point: Vec<f64> = (0..k).map(|i| 0.3 + 0.02 * i as f64).collect();
+        let ineq = LinearIneq::new(coeffs, 0.05);
+        assert!(ineq.eval(&point).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| ineq.epsilon_max(&point).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_algebraic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epsilon_algebraic_theorem_5_5");
+    group.sample_size(20);
+    for &k in &[2usize, 4, 8] {
+        // f(x) = x0·x1 + x2·x3 + … − c, single occurrence per variable.
+        let mut expr = AlgExpr::konst(-0.05);
+        let mut i = 0;
+        while i + 1 < k {
+            expr = expr + AlgExpr::var(i) * AlgExpr::var(i + 1);
+            i += 2;
+        }
+        if i < k {
+            expr = expr + AlgExpr::var(i);
+        }
+        let phi = AlgebraicIneq::new(expr).unwrap();
+        let point: Vec<f64> = (0..k).map(|i| 0.4 + 0.01 * i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| phi.epsilon_homogeneous(&point).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epsilon_linear, bench_epsilon_algebraic);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks for predicate approximation (E8, E9): the Figure 3
+//! algorithm vs the naive fixed-sample baseline, for predicates at varying
+//! distance from the decision boundary.
+
+use approx::{
+    approximate_predicate, naive_decide, ApproximationParams, ApproxPredicate,
+};
+use confidence::{Assignment, DnfEvent, IncrementalEstimator, ProbabilitySpace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn make_event(n: usize, q: f64) -> (DnfEvent, ProbabilitySpace) {
+    let mut space = ProbabilitySpace::new();
+    let mut terms = Vec::new();
+    for _ in 0..n {
+        let v = space.add_bool_variable(q).unwrap();
+        terms.push(Assignment::new([(v, 0)]).unwrap());
+    }
+    (DnfEvent::new(terms), space)
+}
+
+fn bench_adaptive_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3_vs_naive");
+    group.sample_size(10);
+    // True probability ≈ 0.685; the threshold sets the margin.
+    for &threshold in &[0.2f64, 0.5, 0.62] {
+        let params = ApproximationParams::new(0.02, 0.05).unwrap();
+        let phi = ApproxPredicate::threshold(1, 0, threshold);
+        group.bench_with_input(
+            BenchmarkId::new("adaptive", format!("threshold_{threshold}")),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    let (event, space) = make_event(6, 0.175);
+                    let mut est = IncrementalEstimator::new(event, space).unwrap();
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    approximate_predicate(
+                        &phi,
+                        std::slice::from_mut(&mut est),
+                        params,
+                        &mut rng,
+                    )
+                    .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("threshold_{threshold}")),
+            &threshold,
+            |b, _| {
+                b.iter(|| {
+                    let (event, space) = make_event(6, 0.175);
+                    let mut est = IncrementalEstimator::new(event, space).unwrap();
+                    let mut rng = ChaCha8Rng::seed_from_u64(1);
+                    naive_decide(&phi, std::slice::from_mut(&mut est), params, &mut rng).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive_vs_naive);
+criterion_main!(benches);

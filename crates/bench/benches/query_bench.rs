@@ -1,0 +1,85 @@
+//! Criterion benchmarks for whole-query evaluation (E1, E12, E13, E15):
+//! the succinct engine vs the possible-worlds reference on the coin example,
+//! approximate-confidence query scaling, and the Theorem 6.7 adaptive driver
+//! vs a fixed iteration budget.
+
+use algebra::parse_query;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{
+    evaluate_adaptive, evaluate_naive, ApproxSelectMode, ConfidenceMode, EvalConfig, UEngine,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::{coins, SensorWorkload, TupleIndependentDb};
+
+fn bench_coin_example(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example_2_2");
+    group.sample_size(20);
+    let query = coins::query_u(2);
+    let udb = coins::coin_udatabase();
+    let pdb = coins::coin_database();
+    group.bench_function("u_relational_engine", |b| {
+        let engine = UEngine::new(EvalConfig::exact());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| engine.evaluate(&udb, &query, &mut rng).unwrap());
+    });
+    group.bench_function("possible_worlds_engine", |b| {
+        b.iter(|| evaluate_naive(&pdb, &query).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_conf_scaling");
+    group.sample_size(10);
+    let query = parse_query("aconf[0.2, 0.1](project[A](T))").unwrap();
+    for &n in &[10usize, 40, 160] {
+        let gen = TupleIndependentDb {
+            num_tuples: n,
+            domain_size: 4,
+            tuple_probability: Some(0.3),
+            seed: 7,
+        };
+        let db = gen.database();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let engine = UEngine::new(EvalConfig::default());
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            b.iter(|| engine.evaluate(&db, &query, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_adaptive_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_6_7");
+    group.sample_size(10);
+    let workload = SensorWorkload {
+        num_sensors: 6,
+        readings_per_sensor: 4,
+        high_probability: 0.45,
+        seed: 29,
+    };
+    let db = workload.database();
+    let query = SensorWorkload::alarm_query(0.7, 0.05, 0.05);
+    group.bench_function("adaptive_doubling", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| evaluate_adaptive(&db, &query, 0.05, 0.05, &mut rng).unwrap());
+    });
+    group.bench_function("fixed_l_4096", |b| {
+        let engine = UEngine::new(EvalConfig {
+            approx_select: ApproxSelectMode::FixedIterations(4096),
+            confidence: ConfidenceMode::Exact,
+        });
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| engine.evaluate(&db, &query, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_coin_example,
+    bench_query_scaling,
+    bench_adaptive_query
+);
+criterion_main!(benches);

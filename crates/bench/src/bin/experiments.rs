@@ -1,0 +1,43 @@
+//! Experiment driver: regenerates every figure/example/claim of the paper.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments            # run everything
+//! cargo run --release -p bench --bin experiments -- e5 e9   # run a subset
+//! cargo run --release -p bench --bin experiments -- --list  # list experiments
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--list") {
+        for id in bench::ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut failed = false;
+    for id in &ids {
+        match bench::run(&id.to_lowercase()) {
+            Some(report) => print!("{}", report.render()),
+            None => {
+                eprintln!("unknown experiment id `{id}` (use --list to see the available ids)");
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,215 @@
+//! Incremental (anytime) Karp–Luby estimation.
+//!
+//! The predicate-approximation algorithm of Figure 3 interleaves estimation
+//! and decision making: in each outer-loop iteration it draws `|F_i|` further
+//! samples for every approximable value `p̂_i`, then re-checks whether the
+//! current estimates already support the predicate.  [`IncrementalEstimator`]
+//! provides exactly that interface: an estimator whose sample count can grow
+//! batch by batch while keeping the running estimate and its Chernoff error
+//! bound available at all times.
+
+use crate::chernoff::{delta_prime, error_bound};
+use crate::error::Result;
+use crate::event::{DnfEvent, ProbabilitySpace};
+use crate::karp_luby::KarpLubyEstimator;
+use rand::Rng;
+
+/// A Karp–Luby estimator that accumulates samples across calls.
+#[derive(Clone, Debug)]
+pub struct IncrementalEstimator {
+    estimator: Option<KarpLubyEstimator>,
+    /// Exact value for trivial events (empty → 0, certain → 1).
+    trivial: Option<f64>,
+    /// Number of terms `|F_i|` (1 for trivial events so iteration counts stay
+    /// meaningful).
+    num_terms: usize,
+    /// Running sum `X = Σ X_i`.
+    successes: u64,
+    /// Number of samples drawn so far.
+    samples: u64,
+    /// Number of completed batches (outer-loop iterations `l`).
+    batches: u64,
+}
+
+impl IncrementalEstimator {
+    /// Prepares an incremental estimator for an event.
+    ///
+    /// Trivial events (no terms, or a term that is always true) are handled
+    /// exactly; they never consume samples and their error bound is 0.
+    pub fn new(event: DnfEvent, space: ProbabilitySpace) -> Result<Self> {
+        let trivial = if event.is_never() {
+            Some(0.0)
+        } else if event.is_certain() {
+            Some(1.0)
+        } else {
+            None
+        };
+        let num_terms = event.num_terms().max(1);
+        let estimator = if trivial.is_none() {
+            Some(KarpLubyEstimator::new(event, space)?)
+        } else {
+            None
+        };
+        Ok(IncrementalEstimator {
+            estimator,
+            trivial,
+            num_terms,
+            successes: 0,
+            samples: 0,
+            batches: 0,
+        })
+    }
+
+    /// True if the event's probability is known exactly (0 or 1).
+    pub fn is_trivial(&self) -> bool {
+        self.trivial.is_some()
+    }
+
+    /// The number of terms `|F_i|` of the underlying event.
+    pub fn num_terms(&self) -> usize {
+        self.num_terms
+    }
+
+    /// Number of samples drawn so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Number of completed batches (the paper's outer-loop counter `l`).
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Draws one batch of `|F_i|` samples (one outer-loop iteration of
+    /// Figure 3).
+    pub fn add_batch<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.add_samples(self.num_terms, rng);
+        self.batches += 1;
+    }
+
+    /// Draws `n` further samples.
+    pub fn add_samples<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) {
+        let Some(estimator) = &self.estimator else {
+            return;
+        };
+        let mut x = 0u64;
+        for _ in 0..n {
+            x += u64::from(estimator.sample(rng));
+        }
+        self.successes += x;
+        self.samples += n as u64;
+    }
+
+    /// The current estimate `p̂ = X · M / m` (or the exact value for trivial
+    /// events; 0 before any sample has been drawn).
+    pub fn estimate(&self) -> f64 {
+        if let Some(v) = self.trivial {
+            return v;
+        }
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let estimator = self.estimator.as_ref().expect("non-trivial estimator");
+        self.successes as f64 * estimator.total_weight() / self.samples as f64
+    }
+
+    /// The Chernoff bound `δ_i(ε) = 2·e^{−m·ε²/(3·|F_i|)}` on the probability
+    /// that the current estimate misses the true value by a relative error of
+    /// ε or more; 0 for trivial events.
+    pub fn error_bound(&self, epsilon: f64) -> Result<f64> {
+        if self.trivial.is_some() {
+            return Ok(0.0);
+        }
+        error_bound(epsilon, self.samples as usize, self.num_terms)
+    }
+
+    /// The balanced form `δ′(ε, l)` of the error bound, driven by the batch
+    /// counter instead of the raw sample count; 0 for trivial events.
+    pub fn error_bound_by_batches(&self, epsilon: f64) -> Result<f64> {
+        if self.trivial.is_some() {
+            return Ok(0.0);
+        }
+        delta_prime(epsilon, self.batches as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Assignment;
+    use crate::exact;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn setup() -> (DnfEvent, ProbabilitySpace) {
+        let mut s = ProbabilitySpace::new();
+        let a = s.add_bool_variable(0.4).unwrap();
+        let b = s.add_bool_variable(0.3).unwrap();
+        let c = s.add_bool_variable(0.2).unwrap();
+        let f = DnfEvent::new([
+            Assignment::new([(a, 0)]).unwrap(),
+            Assignment::new([(b, 0), (c, 0)]).unwrap(),
+        ]);
+        (f, s)
+    }
+
+    #[test]
+    fn trivial_events_are_exact_and_sample_free() {
+        let (_, s) = setup();
+        let mut never = IncrementalEstimator::new(DnfEvent::never(), s.clone()).unwrap();
+        assert!(never.is_trivial());
+        assert_eq!(never.estimate(), 0.0);
+        assert_eq!(never.error_bound(0.1).unwrap(), 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        never.add_batch(&mut rng);
+        assert_eq!(never.samples(), 0);
+
+        let certain = DnfEvent::new([Assignment::always()]);
+        let est = IncrementalEstimator::new(certain, s).unwrap();
+        assert_eq!(est.estimate(), 1.0);
+        assert_eq!(est.error_bound_by_batches(0.1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn batches_accumulate_and_shrink_the_error_bound() {
+        let (f, s) = setup();
+        let mut est = IncrementalEstimator::new(f, s).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(est.estimate(), 0.0);
+        est.add_batch(&mut rng);
+        let d1 = est.error_bound(0.2).unwrap();
+        for _ in 0..50 {
+            est.add_batch(&mut rng);
+        }
+        let d2 = est.error_bound(0.2).unwrap();
+        assert!(d2 < d1);
+        assert_eq!(est.batches(), 51);
+        assert_eq!(est.samples(), 51 * est.num_terms() as u64);
+        // The batch-driven bound matches the sample-driven bound because each
+        // batch draws exactly |F| samples.
+        assert!(
+            (est.error_bound(0.2).unwrap() - est.error_bound_by_batches(0.2).unwrap()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn estimate_converges_to_exact() {
+        let (f, s) = setup();
+        let exact_p = exact::probability(&f, &s).unwrap();
+        let mut est = IncrementalEstimator::new(f, s).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        est.add_samples(30_000, &mut rng);
+        assert!((est.estimate() - exact_p).abs() < 0.02);
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected() {
+        let (f, s) = setup();
+        let mut est = IncrementalEstimator::new(f, s).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        est.add_batch(&mut rng);
+        assert!(est.error_bound(0.0).is_err());
+        assert!(est.error_bound(1.0).is_err());
+    }
+}

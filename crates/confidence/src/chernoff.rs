@@ -1,0 +1,147 @@
+//! Chernoff-bound bookkeeping for the Karp–Luby estimator (Section 4).
+//!
+//! With `m` samples over an event of `|F|` terms, the paper derives
+//! `Pr[|p̂ − p| ≥ ε·p] ≤ 2·e^{−m·ε²/(3·|F|)}`, which yields the FPRAS sample
+//! bound `m = ⌈3·|F|·ln(2/δ)/ε²⌉` and the per-iteration error form
+//! `δ′(ε, l) = 2·e^{−l·ε²/3}` (with `l = m/|F|` outer iterations) used by the
+//! predicate-approximation algorithm of Figure 3.
+
+use crate::error::{ConfidenceError, Result};
+
+/// Checks that a relative error ε is usable by the bound (`0 < ε < 1`).
+pub fn check_epsilon(epsilon: f64) -> Result<()> {
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(ConfidenceError::InvalidParameter(format!(
+            "epsilon = {epsilon} must be in (0, 1)"
+        )));
+    }
+    Ok(())
+}
+
+/// Checks that an error probability δ is usable (`0 < δ < 1`).
+pub fn check_delta(delta: f64) -> Result<()> {
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(ConfidenceError::InvalidParameter(format!(
+            "delta = {delta} must be in (0, 1)"
+        )));
+    }
+    Ok(())
+}
+
+/// The FPRAS sample count `m = ⌈3·|F|·ln(2/δ)/ε²⌉` guaranteeing
+/// `Pr[|p̂ − p| ≥ ε·p] ≤ δ` (Proposition 4.2).
+pub fn required_samples(epsilon: f64, delta: f64, num_terms: usize) -> Result<usize> {
+    check_epsilon(epsilon)?;
+    check_delta(delta)?;
+    if num_terms == 0 {
+        return Err(ConfidenceError::EmptyEvent);
+    }
+    let m = (3.0 * num_terms as f64 * (2.0 / delta).ln() / (epsilon * epsilon)).ceil();
+    Ok(m as usize)
+}
+
+/// The error bound `δ_i(ε) = 2·e^{−m·ε²/(3·|F|)}` after `m` samples.
+pub fn error_bound(epsilon: f64, samples: usize, num_terms: usize) -> Result<f64> {
+    check_epsilon(epsilon)?;
+    if num_terms == 0 {
+        return Err(ConfidenceError::EmptyEvent);
+    }
+    Ok(2.0 * (-(samples as f64) * epsilon * epsilon / (3.0 * num_terms as f64)).exp())
+}
+
+/// The balanced per-estimator error `δ′(ε, l) = 2·e^{−l·ε²/3}` after `l`
+/// outer-loop iterations of the Figure 3 algorithm (each iteration draws
+/// `|F_i|` samples for estimator `i`).
+pub fn delta_prime(epsilon: f64, iterations: usize) -> Result<f64> {
+    check_epsilon(epsilon)?;
+    Ok(2.0 * (-(iterations as f64) * epsilon * epsilon / 3.0).exp())
+}
+
+/// The number of outer-loop iterations needed so that `δ′(ε, l) ≤ delta`:
+/// `l = ⌈3·ln(2/δ)/ε²⌉`.
+pub fn required_iterations(epsilon: f64, delta: f64) -> Result<usize> {
+    check_epsilon(epsilon)?;
+    check_delta(delta)?;
+    Ok((3.0 * (2.0 / delta).ln() / (epsilon * epsilon)).ceil() as usize)
+}
+
+/// Combines per-value error bounds into a bound for a predicate over `k`
+/// values (Lemma 5.1): the sum `Σ δ_i(ε)` in general, or the slightly better
+/// `1 − Π (1 − δ_i(ε))` when the values are independently approximated.
+pub fn combine_error_bounds(bounds: &[f64], independent: bool) -> f64 {
+    if independent {
+        1.0 - bounds.iter().map(|d| 1.0 - d.clamp(0.0, 1.0)).product::<f64>()
+    } else {
+        bounds.iter().sum::<f64>().min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_bound_matches_the_formula() {
+        // |F| = 10, ε = 0.1, δ = 0.05: m = ceil(3*10*ln(40)/0.01) = ceil(11067.1...)
+        let m = required_samples(0.1, 0.05, 10).unwrap();
+        let expected = (3.0 * 10.0 * (2.0f64 / 0.05).ln() / 0.01).ceil() as usize;
+        assert_eq!(m, expected);
+        assert!(m > 11_000 && m < 11_100);
+    }
+
+    #[test]
+    fn error_bound_decreases_with_samples_and_epsilon() {
+        let d1 = error_bound(0.1, 1_000, 10).unwrap();
+        let d2 = error_bound(0.1, 10_000, 10).unwrap();
+        let d3 = error_bound(0.2, 10_000, 10).unwrap();
+        assert!(d2 < d1);
+        assert!(d3 < d2);
+        // With the required m, the bound is at most δ.
+        let m = required_samples(0.1, 0.05, 10).unwrap();
+        assert!(error_bound(0.1, m, 10).unwrap() <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn delta_prime_matches_error_bound_with_l_batches() {
+        // δ'(ε, l) = error_bound(ε, l·|F|, |F|) for any |F|.
+        let l = 37;
+        for num_terms in [1usize, 5, 20] {
+            let a = delta_prime(0.15, l).unwrap();
+            let b = error_bound(0.15, l * num_terms, num_terms).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn required_iterations_reach_the_target() {
+        let l = required_iterations(0.1, 0.05).unwrap();
+        assert!(delta_prime(0.1, l).unwrap() <= 0.05 + 1e-12);
+        assert!(delta_prime(0.1, l.saturating_sub(2)).unwrap() > 0.05);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(required_samples(0.0, 0.05, 10).is_err());
+        assert!(required_samples(1.0, 0.05, 10).is_err());
+        assert!(required_samples(0.1, 0.0, 10).is_err());
+        assert!(required_samples(0.1, 1.0, 10).is_err());
+        assert!(required_samples(0.1, 0.05, 0).is_err());
+        assert!(error_bound(0.5, 10, 0).is_err());
+        assert!(delta_prime(2.0, 10).is_err());
+        assert!(required_iterations(0.1, 1.5).is_err());
+    }
+
+    #[test]
+    fn combining_bounds() {
+        let sum = combine_error_bounds(&[0.01, 0.02, 0.03], false);
+        assert!((sum - 0.06).abs() < 1e-12);
+        let indep = combine_error_bounds(&[0.01, 0.02, 0.03], true);
+        assert!(indep < sum);
+        assert!(indep > 0.058);
+        // Saturates at 1.
+        assert_eq!(combine_error_bounds(&[0.9, 0.9], false), 1.0);
+        assert!(combine_error_bounds(&[0.9, 0.9], true) <= 1.0);
+        assert_eq!(combine_error_bounds(&[], false), 0.0);
+        assert_eq!(combine_error_bounds(&[], true), 0.0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for confidence computation.
+
+use std::fmt;
+
+/// Errors raised by the `confidence` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfidenceError {
+    /// A variable id was used that is not declared in the probability space.
+    UnknownVariable(usize),
+    /// An alternative index was used that is out of range for its variable.
+    UnknownAlternative {
+        /// The variable id.
+        var: usize,
+        /// The offending alternative index.
+        alt: usize,
+    },
+    /// A variable's distribution is invalid.
+    InvalidDistribution(String),
+    /// An approximation parameter (ε, δ) is outside its legal range.
+    InvalidParameter(String),
+    /// The exact method would exceed its configured work limit.
+    TooLarge {
+        /// A description of the size that was exceeded.
+        what: String,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// The event is empty in a context that requires at least one term.
+    EmptyEvent,
+}
+
+impl fmt::Display for ConfidenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfidenceError::UnknownVariable(v) => write!(f, "unknown variable id {v}"),
+            ConfidenceError::UnknownAlternative { var, alt } => {
+                write!(f, "variable {var} has no alternative {alt}")
+            }
+            ConfidenceError::InvalidDistribution(m) => write!(f, "invalid distribution: {m}"),
+            ConfidenceError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            ConfidenceError::TooLarge { what, limit } => {
+                write!(f, "{what} exceeds the limit of {limit}")
+            }
+            ConfidenceError::EmptyEvent => write!(f, "the event has no terms"),
+        }
+    }
+}
+
+impl std::error::Error for ConfidenceError {}
+
+/// Result alias for the `confidence` crate.
+pub type Result<T> = std::result::Result<T, ConfidenceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(ConfidenceError::UnknownVariable(3).to_string().contains('3'));
+        assert!(ConfidenceError::TooLarge {
+            what: "number of worlds".into(),
+            limit: 100
+        }
+        .to_string()
+        .contains("100"));
+        assert!(ConfidenceError::EmptyEvent.to_string().contains("no terms"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Exact confidence computation.
+//!
+//! Computing the probability of a DNF event over independent discrete
+//! variables is #P-complete (Theorem 3.4 via [10, 7]), so every method here
+//! is exponential in the worst case.  Three methods are provided:
+//!
+//! * [`by_enumeration`] — iterate over all total assignments of the mentioned
+//!   variables; the paper's semantics spelled out, exponential in the number
+//!   of variables.
+//! * [`by_inclusion_exclusion`] — sum over subsets of terms, exponential in
+//!   the number of terms `|F|`.
+//! * [`by_shannon_expansion`] — Shannon expansion on one variable at a time
+//!   with memoisation and decomposition into independent components; the
+//!   practical exact method and the default [`probability`].
+
+use crate::error::{ConfidenceError, Result};
+use crate::event::{Assignment, DnfEvent, ProbabilitySpace, VarId};
+use std::collections::HashMap;
+
+/// Default limit on the number of total assignments [`by_enumeration`] will
+/// touch.
+pub const DEFAULT_ENUMERATION_LIMIT: u128 = 1 << 22;
+
+/// Default limit on the number of terms [`by_inclusion_exclusion`] accepts
+/// (it sums over `2^|F| − 1` subsets).
+pub const DEFAULT_INCLUSION_EXCLUSION_LIMIT: usize = 24;
+
+/// Exact probability of the event by enumerating all total assignments of
+/// the variables the event mentions.
+pub fn by_enumeration(
+    event: &DnfEvent,
+    space: &ProbabilitySpace,
+    limit: u128,
+) -> Result<f64> {
+    if event.is_never() {
+        return Ok(0.0);
+    }
+    let vars = event.variables();
+    let count = space.assignment_count(&vars)?;
+    if count > limit {
+        return Err(ConfidenceError::TooLarge {
+            what: format!("enumeration over {count} assignments"),
+            limit,
+        });
+    }
+    // Depth-first enumeration without materialising the assignment list.
+    fn recurse(
+        vars: &[VarId],
+        space: &ProbabilitySpace,
+        event: &DnfEvent,
+        partial: &mut Vec<(VarId, usize)>,
+        weight: f64,
+    ) -> Result<f64> {
+        match vars.split_first() {
+            None => {
+                let total = Assignment::new(partial.iter().copied())
+                    .expect("enumeration never assigns a variable twice");
+                Ok(if event.satisfied_by(&total) { weight } else { 0.0 })
+            }
+            Some((&v, rest)) => {
+                let mut acc = 0.0;
+                for alt in 0..space.num_alternatives(v)? {
+                    let p = space.probability(v, alt)?;
+                    partial.push((v, alt));
+                    acc += recurse(rest, space, event, partial, weight * p)?;
+                    partial.pop();
+                }
+                Ok(acc)
+            }
+        }
+    }
+    let mut partial = Vec::with_capacity(vars.len());
+    recurse(&vars, space, event, &mut partial, 1.0)
+}
+
+/// Exact probability by inclusion–exclusion over the terms:
+/// `Pr[⋃ f_i] = Σ_{∅ ≠ S ⊆ F} (−1)^{|S|+1} · Pr[⋀ S]`, where the conjunction
+/// of inconsistent terms has probability 0.
+pub fn by_inclusion_exclusion(
+    event: &DnfEvent,
+    space: &ProbabilitySpace,
+    max_terms: usize,
+) -> Result<f64> {
+    let event = event.simplified();
+    let n = event.num_terms();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    if n > max_terms {
+        return Err(ConfidenceError::TooLarge {
+            what: format!("inclusion-exclusion over {n} terms"),
+            limit: max_terms as u128,
+        });
+    }
+    let terms = event.terms();
+    let mut total = 0.0;
+    for mask in 1u64..(1u64 << n) {
+        let mut merged = Assignment::always();
+        let mut consistent = true;
+        for (i, term) in terms.iter().enumerate() {
+            if mask & (1 << i) == 0 {
+                continue;
+            }
+            match merged.merge(term) {
+                Some(m) => merged = m,
+                None => {
+                    consistent = false;
+                    break;
+                }
+            }
+        }
+        if !consistent {
+            continue;
+        }
+        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        total += sign * merged.weight(space)?;
+    }
+    Ok(total.clamp(0.0, 1.0))
+}
+
+/// Exact probability by Shannon expansion with memoisation and independent
+/// component factorisation.  This is the default exact method.
+pub fn by_shannon_expansion(event: &DnfEvent, space: &ProbabilitySpace) -> Result<f64> {
+    let mut memo: HashMap<Vec<Assignment>, f64> = HashMap::new();
+    shannon(&event.simplified(), space, &mut memo)
+}
+
+/// Exact probability using the default method ([`by_shannon_expansion`]).
+pub fn probability(event: &DnfEvent, space: &ProbabilitySpace) -> Result<f64> {
+    by_shannon_expansion(event, space)
+}
+
+fn shannon(
+    event: &DnfEvent,
+    space: &ProbabilitySpace,
+    memo: &mut HashMap<Vec<Assignment>, f64>,
+) -> Result<f64> {
+    if event.is_never() {
+        return Ok(0.0);
+    }
+    if event.is_certain() {
+        return Ok(1.0);
+    }
+
+    let key: Vec<Assignment> = {
+        let mut terms = event.terms().to_vec();
+        terms.sort();
+        terms
+    };
+    if let Some(&p) = memo.get(&key) {
+        return Ok(p);
+    }
+
+    // Factor into independent components first: they share no variables, so
+    // the union's probability is 1 − Π (1 − p_i).
+    let components = event.independent_components();
+    let p = if components.len() > 1 {
+        let mut q = 1.0;
+        for c in components {
+            q *= 1.0 - shannon(&c, space, memo)?;
+        }
+        1.0 - q
+    } else {
+        // Branch on the most frequently mentioned variable.
+        let var = most_frequent_variable(event).expect("non-empty, non-certain event");
+        let mut acc = 0.0;
+        for alt in 0..space.num_alternatives(var)? {
+            let p_alt = space.probability(var, alt)?;
+            // Condition the DNF on X_var = alt: terms requiring a different
+            // alternative disappear; the variable is removed elsewhere.
+            let mut restricted = Vec::new();
+            for term in event.terms() {
+                let (assigned, rest) = term.without(var);
+                match assigned {
+                    Some(a) if a != alt => continue,
+                    _ => restricted.push(rest),
+                }
+            }
+            let sub = DnfEvent::new(restricted).simplified();
+            acc += p_alt * shannon(&sub, space, memo)?;
+        }
+        acc
+    };
+
+    memo.insert(key, p);
+    Ok(p)
+}
+
+fn most_frequent_variable(event: &DnfEvent) -> Option<VarId> {
+    let mut counts: HashMap<VarId, usize> = HashMap::new();
+    for term in event.terms() {
+        for v in term.variables() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
+        .map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ProbabilitySpace {
+        let mut s = ProbabilitySpace::new();
+        s.add_variable(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap(); // 0
+        s.add_variable(vec![0.5, 0.5]).unwrap(); // 1
+        s.add_variable(vec![0.5, 0.5]).unwrap(); // 2
+        s.add_variable(vec![0.25, 0.75]).unwrap(); // 3
+        s
+    }
+
+    fn a(pairs: &[(usize, usize)]) -> Assignment {
+        Assignment::new(pairs.iter().copied()).unwrap()
+    }
+
+    /// The event of Example 2.2 / Figure 1(b): the picked coin is fair and
+    /// both tosses come up heads, OR the coin is double-headed.
+    fn coin_event() -> DnfEvent {
+        DnfEvent::new([a(&[(0, 0), (1, 0), (2, 0)]), a(&[(0, 1)])])
+    }
+
+    #[test]
+    fn all_methods_agree_on_the_coin_event() {
+        let s = space();
+        let f = coin_event();
+        let expected = 2.0 / 3.0 * 0.25 + 1.0 / 3.0; // = 1/2
+        for p in [
+            by_enumeration(&f, &s, DEFAULT_ENUMERATION_LIMIT).unwrap(),
+            by_inclusion_exclusion(&f, &s, DEFAULT_INCLUSION_EXCLUSION_LIMIT).unwrap(),
+            by_shannon_expansion(&f, &s).unwrap(),
+            probability(&f, &s).unwrap(),
+        ] {
+            assert!((p - expected).abs() < 1e-12, "got {p}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn trivial_events() {
+        let s = space();
+        assert_eq!(probability(&DnfEvent::never(), &s).unwrap(), 0.0);
+        let certain = DnfEvent::new([Assignment::always()]);
+        assert_eq!(probability(&certain, &s).unwrap(), 1.0);
+        assert_eq!(
+            by_enumeration(&DnfEvent::never(), &s, 10).unwrap(),
+            0.0
+        );
+        assert_eq!(
+            by_inclusion_exclusion(&DnfEvent::never(), &s, 10).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn single_term_probability_is_its_weight() {
+        let s = space();
+        let f = DnfEvent::new([a(&[(0, 0), (3, 1)])]);
+        let expected = 2.0 / 3.0 * 0.75;
+        assert!((probability(&f, &s).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_terms_are_not_double_counted() {
+        let s = space();
+        // X1 = 0  ∨  X2 = 0 : 0.5 + 0.5 − 0.25 = 0.75.
+        let f = DnfEvent::new([a(&[(1, 0)]), a(&[(2, 0)])]);
+        for p in [
+            by_enumeration(&f, &s, 1 << 10).unwrap(),
+            by_inclusion_exclusion(&f, &s, 10).unwrap(),
+            by_shannon_expansion(&f, &s).unwrap(),
+        ] {
+            assert!((p - 0.75).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contradictory_terms_drop_out_of_inclusion_exclusion() {
+        let s = space();
+        // The two terms are inconsistent, so their conjunction contributes 0.
+        let f = DnfEvent::new([a(&[(0, 0)]), a(&[(0, 1)])]);
+        let expected = 1.0; // exhaustive alternatives of variable 0
+        assert!((by_inclusion_exclusion(&f, &s, 10).unwrap() - expected).abs() < 1e-12);
+        assert!((by_shannon_expansion(&f, &s).unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn methods_agree_on_random_events() {
+        // Small pseudo-random stress test with a fixed pattern (no RNG needed).
+        let s = space();
+        let mut terms = Vec::new();
+        for i in 0..6usize {
+            let v1 = i % 4;
+            let v2 = (i * 7 + 1) % 4;
+            let t = if v1 == v2 {
+                a(&[(v1, i % 2)])
+            } else {
+                a(&[(v1, i % 2), (v2, (i / 2) % 2)])
+            };
+            terms.push(t);
+        }
+        let f = DnfEvent::new(terms);
+        let p1 = by_enumeration(&f, &s, 1 << 16).unwrap();
+        let p2 = by_inclusion_exclusion(&f, &s, 16).unwrap();
+        let p3 = by_shannon_expansion(&f, &s).unwrap();
+        assert!((p1 - p2).abs() < 1e-10);
+        assert!((p1 - p3).abs() < 1e-10);
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let s = space();
+        let f = coin_event();
+        assert!(matches!(
+            by_enumeration(&f, &s, 1),
+            Err(ConfidenceError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            by_inclusion_exclusion(&f, &s, 1),
+            Err(ConfidenceError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn shannon_handles_many_independent_components_quickly() {
+        // 2·n Boolean variables in n independent pair-components; enumeration
+        // would need 4^n assignments but factorisation keeps this instant.
+        let mut s = ProbabilitySpace::new();
+        let mut terms = Vec::new();
+        let n = 30;
+        for _ in 0..n {
+            let x = s.add_bool_variable(0.5).unwrap();
+            let y = s.add_bool_variable(0.5).unwrap();
+            terms.push(Assignment::new([(x, 0), (y, 0)]).unwrap());
+        }
+        let f = DnfEvent::new(terms);
+        let p = by_shannon_expansion(&f, &s).unwrap();
+        let expected = 1.0 - (1.0 - 0.25f64).powi(n);
+        assert!((p - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! # Confidence computation: exact and approximate
+//!
+//! Computing the confidence of a tuple represented in a U-relational
+//! database means computing the probability of a DNF event — a disjunction of
+//! partial assignments of independent discrete random variables (Section 4 of
+//! Koch, PODS 2008).  The problem is #P-complete (Theorem 3.4), so this crate
+//! offers both exact methods and the Karp–Luby FPRAS:
+//!
+//! * [`event`](crate::event) — the event model: [`ProbabilitySpace`],
+//!   [`Assignment`] (partial functions `Var → Dom`) and [`DnfEvent`].
+//! * [`exact`] — world enumeration, inclusion–exclusion and Shannon
+//!   expansion with memoisation/independence factorisation.
+//! * [`KarpLubyEstimator`] — the unbiased estimator of Definition 4.1.
+//! * [`chernoff`] — the sample-size bounds of Section 4 and the δ′(ε, l)
+//!   form used by the predicate-approximation algorithm.
+//! * [`approximate_confidence`] — the (ε, δ)-FPRAS of Proposition 4.2.
+//! * [`IncrementalEstimator`] — anytime estimation, the building block of the
+//!   Figure 3 algorithm in the `approx` crate.
+//!
+//! ```
+//! use confidence::{Assignment, DnfEvent, ProbabilitySpace, exact};
+//!
+//! // Pr[coin = fair ∧ two heads  ∨  coin = 2headed] = 1/2  (Example 2.2).
+//! let mut space = ProbabilitySpace::new();
+//! let c = space.add_variable(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+//! let t1 = space.add_variable(vec![0.5, 0.5]).unwrap();
+//! let t2 = space.add_variable(vec![0.5, 0.5]).unwrap();
+//! let event = DnfEvent::new([
+//!     Assignment::new([(c, 0), (t1, 0), (t2, 0)]).unwrap(),
+//!     Assignment::new([(c, 1)]).unwrap(),
+//! ]);
+//! assert!((exact::probability(&event, &space).unwrap() - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adaptive;
+pub mod chernoff;
+mod error;
+mod event;
+pub mod exact;
+mod fpras;
+mod karp_luby;
+
+pub use adaptive::IncrementalEstimator;
+pub use error::{ConfidenceError, Result};
+pub use event::{AltId, Assignment, DnfEvent, ProbabilitySpace, VarId, DISTRIBUTION_TOLERANCE};
+pub use fpras::{approximate_confidence, ConfidenceEstimate, FprasParams};
+pub use karp_luby::KarpLubyEstimator;

@@ -1,0 +1,110 @@
+//! Error type for the query evaluation engine.
+
+use std::fmt;
+
+/// Errors raised while evaluating UA queries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// Error from the possible-worlds data model.
+    Pdb(pdb::PdbError),
+    /// Error from the U-relational representation layer.
+    Urel(urel::UrelError),
+    /// Error from the query language / static analysis.
+    Algebra(algebra::AlgebraError),
+    /// Error from confidence computation.
+    Confidence(confidence::ConfidenceError),
+    /// Error from predicate approximation.
+    Approx(approx::ApproxError),
+    /// An operation needed a complete relation but got an uncertain one.
+    NotComplete(String),
+    /// An operation is not supported by this engine (e.g. unrestricted
+    /// difference over uncertain inputs, which is outside positive UA).
+    Unsupported(String),
+    /// The adaptive evaluation loop of Theorem 6.7 failed to reach the error
+    /// target within its iteration budget.
+    DidNotConverge {
+        /// Target error bound.
+        delta: f64,
+        /// The best (smallest) output error bound achieved.
+        achieved: f64,
+    },
+    /// Generic invariant violation.
+    Invariant(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Pdb(e) => write!(f, "{e}"),
+            EngineError::Urel(e) => write!(f, "{e}"),
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::Confidence(e) => write!(f, "{e}"),
+            EngineError::Approx(e) => write!(f, "{e}"),
+            EngineError::NotComplete(r) => {
+                write!(f, "relation `{r}` must be complete for this operation")
+            }
+            EngineError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            EngineError::DidNotConverge { delta, achieved } => write!(
+                f,
+                "adaptive evaluation did not reach the error target {delta} (achieved {achieved})"
+            ),
+            EngineError::Invariant(m) => write!(f, "invariant violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<pdb::PdbError> for EngineError {
+    fn from(e: pdb::PdbError) -> Self {
+        EngineError::Pdb(e)
+    }
+}
+impl From<urel::UrelError> for EngineError {
+    fn from(e: urel::UrelError) -> Self {
+        EngineError::Urel(e)
+    }
+}
+impl From<algebra::AlgebraError> for EngineError {
+    fn from(e: algebra::AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+impl From<confidence::ConfidenceError> for EngineError {
+    fn from(e: confidence::ConfidenceError) -> Self {
+        EngineError::Confidence(e)
+    }
+}
+impl From<approx::ApproxError> for EngineError {
+    fn from(e: approx::ApproxError) -> Self {
+        EngineError::Approx(e)
+    }
+}
+
+/// Result alias for the `engine` crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = pdb::PdbError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("`R`"));
+        let e: EngineError = algebra::AlgebraError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e: EngineError = confidence::ConfidenceError::EmptyEvent.into();
+        assert!(e.to_string().contains("terms"));
+        let e: EngineError = approx::ApproxError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e: EngineError = urel::UrelError::UnknownVariable("x".into()).into();
+        assert!(e.to_string().contains("`x`"));
+        assert!(EngineError::DidNotConverge {
+            delta: 0.05,
+            achieved: 0.2
+        }
+        .to_string()
+        .contains("0.05"));
+    }
+}

@@ -1,0 +1,129 @@
+//! The closed-form whole-query error bounds of Proposition 6.6 and the
+//! iteration budget of Theorem 6.7.
+
+use crate::error::{EngineError, Result};
+use confidence::chernoff;
+
+/// Structural parameters of a positive UA[σ̂] query used by the bound of
+/// Proposition 6.6.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryShape {
+    /// Upper bound `k` on both the maximum arity of subquery results and the
+    /// number of confidence terms in any single approximate selection.
+    pub k: usize,
+    /// Nesting depth `d` of approximate selection operators.
+    pub d: usize,
+    /// Number of active-domain elements `n` in the database.
+    pub n: usize,
+}
+
+impl QueryShape {
+    /// Creates a shape descriptor, requiring non-degenerate parameters.
+    pub fn new(k: usize, d: usize, n: usize) -> Result<Self> {
+        if k == 0 || n == 0 {
+            return Err(EngineError::Invariant(
+                "query shape needs k >= 1 and n >= 1".into(),
+            ));
+        }
+        Ok(QueryShape { k, d, n })
+    }
+
+    /// `n^{k·d}` computed in log-space and clamped to `f64::MAX`, since the
+    /// bound is only ever compared against probabilities.
+    pub fn domain_factor(&self) -> f64 {
+        let exponent = (self.k * self.d) as f64;
+        let log = exponent * (self.n as f64).ln();
+        if log > f64::MAX.ln() {
+            f64::MAX
+        } else {
+            log.exp()
+        }
+    }
+}
+
+/// Proposition 6.6: for a tuple without singularities in its provenance,
+/// `Pr[t ∈ Q ⇎ t ∈ Q∼] ≤ k·d·n^{k·d}·δ′(ε₀, l)`.
+pub fn proposition_6_6_bound(shape: QueryShape, epsilon0: f64, iterations: usize) -> Result<f64> {
+    let delta_prime = chernoff::delta_prime(epsilon0, iterations)?;
+    Ok((shape.k as f64 * shape.d as f64 * shape.domain_factor() * delta_prime).min(1.0))
+}
+
+/// Theorem 6.7: the iteration count
+/// `l₀ = ⌈3·ln(2·k·d·n^{k·d}/δ)/ε₀²⌉` at which the Proposition 6.6 bound
+/// drops below δ; the adaptive driver never needs to go beyond it.
+pub fn theorem_6_7_iterations(shape: QueryShape, epsilon0: f64, delta: f64) -> Result<usize> {
+    if !(epsilon0 > 0.0 && epsilon0 < 1.0) {
+        return Err(EngineError::Invariant(format!(
+            "epsilon0 = {epsilon0} must be in (0, 1)"
+        )));
+    }
+    if !(delta > 0.0 && delta < 1.0) {
+        return Err(EngineError::Invariant(format!(
+            "delta = {delta} must be in (0, 1)"
+        )));
+    }
+    if shape.d == 0 {
+        // No approximate selections: nothing to iterate.
+        return Ok(0);
+    }
+    // ln(2·k·d·n^{k·d}/δ) computed in log-space to avoid overflow.
+    let log_arg = (2.0 * shape.k as f64 * shape.d as f64 / delta).ln()
+        + (shape.k * shape.d) as f64 * (shape.n as f64).ln();
+    Ok((3.0 * log_arg / (epsilon0 * epsilon0)).ceil() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        assert!(QueryShape::new(0, 1, 10).is_err());
+        assert!(QueryShape::new(2, 1, 0).is_err());
+        let s = QueryShape::new(2, 1, 10).unwrap();
+        assert!((s.domain_factor() - 100.0).abs() < 1e-9);
+        // d = 0 means no σ̂ at all; the domain factor is 1.
+        let s = QueryShape::new(2, 0, 10).unwrap();
+        assert_eq!(s.domain_factor(), 1.0);
+        // Huge exponents saturate instead of overflowing.
+        let s = QueryShape::new(64, 64, 1_000_000).unwrap();
+        assert_eq!(s.domain_factor(), f64::MAX);
+    }
+
+    #[test]
+    fn bound_decreases_with_iterations_and_meets_delta_at_l0() {
+        let shape = QueryShape::new(2, 2, 20).unwrap();
+        let l0 = theorem_6_7_iterations(shape, 0.05, 0.05).unwrap();
+        let b1 = proposition_6_6_bound(shape, 0.05, l0 / 2).unwrap();
+        let bound_at_l0 = proposition_6_6_bound(shape, 0.05, l0).unwrap();
+        assert!(bound_at_l0 < b1);
+        assert!(b1 <= 1.0);
+        assert!(bound_at_l0 <= 0.05 + 1e-9, "bound at l0 = {bound_at_l0}");
+        // One fewer order of magnitude of iterations does not suffice.
+        let bound_small = proposition_6_6_bound(shape, 0.05, l0 / 10).unwrap();
+        assert!(bound_small > 0.05);
+    }
+
+    #[test]
+    fn iteration_budget_grows_with_depth_and_domain() {
+        let small = theorem_6_7_iterations(QueryShape::new(2, 1, 10).unwrap(), 0.1, 0.05).unwrap();
+        let deeper = theorem_6_7_iterations(QueryShape::new(2, 3, 10).unwrap(), 0.1, 0.05).unwrap();
+        let wider = theorem_6_7_iterations(QueryShape::new(2, 1, 1000).unwrap(), 0.1, 0.05).unwrap();
+        assert!(deeper > small);
+        assert!(wider > small);
+        // No σ̂ ⇒ no iterations.
+        assert_eq!(
+            theorem_6_7_iterations(QueryShape::new(2, 0, 10).unwrap(), 0.1, 0.05).unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let shape = QueryShape::new(2, 1, 10).unwrap();
+        assert!(theorem_6_7_iterations(shape, 0.0, 0.05).is_err());
+        assert!(theorem_6_7_iterations(shape, 0.1, 0.0).is_err());
+        assert!(theorem_6_7_iterations(shape, 1.0, 0.5).is_err());
+        assert!(proposition_6_6_bound(shape, 0.0, 10).is_err());
+    }
+}

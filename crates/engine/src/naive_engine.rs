@@ -1,0 +1,479 @@
+//! The possible-worlds reference engine.
+//!
+//! Evaluates UA queries directly over the nonsuccinct representation
+//! (Proposition 3.5): every relational operation is applied world by world,
+//! `conf` aggregates over the explicit world set, and `repair-key`
+//! materialises all repairs.  Exponential, but exact and simple — the ground
+//! truth the U-relational engine and the approximation machinery are tested
+//! against.
+
+use crate::error::{EngineError, Result};
+use algebra::{ConfTerm, Predicate, ProjItem, Query};
+use pdb::{ProbabilisticDatabase, Relation, Schema, Tuple, Value};
+use std::collections::HashMap;
+
+/// Result of a reference evaluation: the database state after evaluation
+/// (every subquery materialised as a relation in every world) and the name of
+/// the relation holding the query result.
+#[derive(Clone, Debug)]
+pub struct NaiveOutput {
+    /// The database after evaluation.
+    pub database: ProbabilisticDatabase,
+    /// Name of the result relation.
+    pub result: String,
+}
+
+impl NaiveOutput {
+    /// `poss` of the result.
+    pub fn possible_tuples(&self) -> Result<Relation> {
+        self.database.poss(&self.result).map_err(Into::into)
+    }
+
+    /// Exact confidence of a result tuple.
+    pub fn confidence(&self, t: &Tuple) -> Result<f64> {
+        self.database.confidence(&self.result, t).map_err(Into::into)
+    }
+
+    /// The exact `conf` relation of the result.
+    pub fn conf(&self, prob_attr: &str) -> Result<Relation> {
+        self.database.conf(&self.result, prob_attr).map_err(Into::into)
+    }
+}
+
+/// Evaluates a UA query over the possible-worlds representation.
+pub fn evaluate_naive(database: &ProbabilisticDatabase, query: &Query) -> Result<NaiveOutput> {
+    let mut ctx = NaiveContext {
+        database: database.clone(),
+        cache: HashMap::new(),
+        counter: 0,
+    };
+    let result = ctx.eval(query)?;
+    Ok(NaiveOutput {
+        database: ctx.database,
+        result,
+    })
+}
+
+struct NaiveContext {
+    database: ProbabilisticDatabase,
+    cache: HashMap<String, String>,
+    counter: usize,
+}
+
+impl NaiveContext {
+    fn fresh_name(&mut self) -> String {
+        self.counter += 1;
+        format!("__q{}", self.counter)
+    }
+
+    fn eval(&mut self, query: &Query) -> Result<String> {
+        let key = query.to_string();
+        if let Some(name) = self.cache.get(&key) {
+            return Ok(name.clone());
+        }
+        let name = self.eval_uncached(query)?;
+        self.cache.insert(key, name.clone());
+        Ok(name)
+    }
+
+    fn is_complete(&self, name: &str) -> bool {
+        self.database.is_complete(name)
+    }
+
+    fn eval_uncached(&mut self, query: &Query) -> Result<String> {
+        match query {
+            Query::Table(name) => {
+                // Validate existence.
+                self.database.schema_of(name)?;
+                Ok(name.clone())
+            }
+            Query::Select { input, predicate } => {
+                let input = self.eval(input)?;
+                let complete = self.is_complete(&input);
+                let predicate = predicate.clone();
+                self.materialise(complete, move |rel: &Relation| {
+                    rel.try_select(|t| {
+                        predicate
+                            .eval(rel.schema(), t)
+                            .map_err(|e| pdb::PdbError::Invariant(e.to_string()))
+                    })
+                    .map_err(EngineError::Pdb)
+                }, &input)
+            }
+            Query::Project { input, items } => {
+                let input = self.eval(input)?;
+                let complete = self.is_complete(&input);
+                let items = items.clone();
+                self.materialise(complete, move |rel: &Relation| {
+                    project_relation(rel, &items)
+                }, &input)
+            }
+            Query::Extend { input, items } => {
+                let input = self.eval(input)?;
+                let complete = self.is_complete(&input);
+                let items = items.clone();
+                self.materialise(complete, move |rel: &Relation| extend_relation(rel, &items), &input)
+            }
+            Query::Rename { input, from, to } => {
+                let input = self.eval(input)?;
+                let complete = self.is_complete(&input);
+                let (from, to) = (from.clone(), to.clone());
+                self.materialise(complete, move |rel: &Relation| {
+                    rel.rename_attr(&from, &to).map_err(EngineError::Pdb)
+                }, &input)
+            }
+            Query::Product { left, right } => self.binary(left, right, |l, r| {
+                l.product(r, "rhs").map_err(EngineError::Pdb)
+            }),
+            Query::NaturalJoin { left, right } => self.binary(left, right, |l, r| {
+                l.natural_join(r).map_err(EngineError::Pdb)
+            }),
+            Query::Union { left, right } => self.binary(left, right, |l, r| {
+                l.union(r).map_err(EngineError::Pdb)
+            }),
+            Query::Difference { left, right } | Query::DifferenceC { left, right } => {
+                self.binary(left, right, |l, r| l.difference(r).map_err(EngineError::Pdb))
+            }
+            Query::Conf { input, prob_attr } | Query::ApproxConf { input, prob_attr, .. } => {
+                // The reference engine computes confidence exactly in either
+                // case.
+                let input = self.eval(input)?;
+                let conf = self.database.conf(&input, prob_attr)?;
+                let name = self.fresh_name();
+                self.database.add_complete_relation(name.clone(), conf);
+                Ok(name)
+            }
+            Query::RepairKey { input, key, weight } => {
+                let input = self.eval(input)?;
+                let name = self.fresh_name();
+                let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
+                self.database
+                    .repair_key(&input, &key_refs, weight, name.clone())?;
+                Ok(name)
+            }
+            Query::Poss { input } => {
+                let input = self.eval(input)?;
+                let poss = self.database.poss(&input)?;
+                let name = self.fresh_name();
+                self.database.add_complete_relation(name.clone(), poss);
+                Ok(name)
+            }
+            Query::Cert { input } => {
+                let input = self.eval(input)?;
+                let cert = self.database.cert(&input)?;
+                let name = self.fresh_name();
+                self.database.add_complete_relation(name.clone(), cert);
+                Ok(name)
+            }
+            Query::ApproxSelect {
+                input,
+                terms,
+                predicate,
+                ..
+            } => {
+                let input = self.eval(input)?;
+                let rel = self.approx_select_exact(&input, terms, predicate)?;
+                let name = self.fresh_name();
+                self.database.add_complete_relation(name.clone(), rel);
+                Ok(name)
+            }
+        }
+    }
+
+    fn materialise<F>(&mut self, complete: bool, op: F, _input: &str) -> Result<String>
+    where
+        F: Fn(&Relation) -> Result<Relation>,
+    {
+        // `map_worlds` needs a pdb-level closure; errors are smuggled through
+        // an Option captured outside because the pdb API uses its own error
+        // type.
+        let name = self.fresh_name();
+        let input = _input.to_owned();
+        let mut failure: Option<EngineError> = None;
+        self.database
+            .map_worlds(name.clone(), complete, |world| {
+                let rel = world.relation(&input)?;
+                match op(rel) {
+                    Ok(r) => Ok(r),
+                    Err(e) => {
+                        failure = Some(e.clone());
+                        Err(pdb::PdbError::Invariant(e.to_string()))
+                    }
+                }
+            })
+            .map_err(|e| failure.take().unwrap_or(EngineError::Pdb(e)))?;
+        Ok(name)
+    }
+
+    fn binary<F>(&mut self, left: &Query, right: &Query, op: F) -> Result<String>
+    where
+        F: Fn(&Relation, &Relation) -> Result<Relation>,
+    {
+        let left = self.eval(left)?;
+        let right = self.eval(right)?;
+        let complete = self.is_complete(&left) && self.is_complete(&right);
+        let name = self.fresh_name();
+        let mut failure: Option<EngineError> = None;
+        self.database
+            .map_worlds(name.clone(), complete, |world| {
+                let l = world.relation(&left)?;
+                let r = world.relation(&right)?;
+                match op(l, r) {
+                    Ok(rel) => Ok(rel),
+                    Err(e) => {
+                        failure = Some(e.clone());
+                        Err(pdb::PdbError::Invariant(e.to_string()))
+                    }
+                }
+            })
+            .map_err(|e| failure.take().unwrap_or(EngineError::Pdb(e)))?;
+        Ok(name)
+    }
+
+    /// Exact semantics of `σ̂`: the confidences in the condition are computed
+    /// from the explicit world set, so no approximation error is introduced.
+    fn approx_select_exact(
+        &self,
+        input: &str,
+        terms: &[ConfTerm],
+        predicate: &Predicate,
+    ) -> Result<Relation> {
+        let input_schema = self.database.schema_of(input)?;
+        algebra::check_conf_terms(terms, &input_schema)?;
+
+        // Candidate tuples: natural join of poss(π_{A⃗_i}(input)).
+        let mut out_attrs: Vec<String> = Vec::new();
+        for term in terms {
+            for a in &term.attrs {
+                if !out_attrs.contains(a) {
+                    out_attrs.push(a.clone());
+                }
+            }
+        }
+        let mut candidates = Relation::new(Schema::empty(), [Tuple::empty()])?;
+        let mut projections: Vec<Relation> = Vec::with_capacity(terms.len());
+        for term in terms {
+            let attrs: Vec<&str> = term.attrs.iter().map(String::as_str).collect();
+            let poss = self.database.poss(input)?;
+            let proj = poss.project(&attrs)?;
+            candidates = candidates.natural_join(&proj)?;
+            projections.push(proj);
+        }
+        let out_attrs_refs: Vec<&str> = out_attrs.iter().map(String::as_str).collect();
+        let candidates = candidates.project(&out_attrs_refs)?;
+        let out_schema = candidates.schema().clone();
+
+        // Confidence of t.A⃗_i ∈ π_{A⃗_i}(input): the total weight of the
+        // worlds in which some input tuple projects onto the key.
+        let placeholder_schema = Schema::new(terms.iter().map(|t| t.name.clone()))?;
+        let mut out = Relation::empty(out_schema);
+        for candidate in candidates.iter() {
+            let mut probs = Vec::with_capacity(terms.len());
+            for term in terms {
+                let attrs: Vec<&str> = term.attrs.iter().map(String::as_str).collect();
+                let key_idx = candidates.schema().indices_of(&attrs)?;
+                let key = candidate.project(&key_idx);
+                let mut p = 0.0;
+                for world in self.database.worlds() {
+                    let rel = world.relation(input)?;
+                    let projected = rel.project(&attrs)?;
+                    if projected.contains(&key) {
+                        p += world.probability();
+                    }
+                }
+                probs.push(Value::float(p));
+            }
+            let keep = predicate.eval(&placeholder_schema, &Tuple::new(probs))?;
+            if keep {
+                out.insert(candidate.clone())?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn project_relation(rel: &Relation, items: &[ProjItem]) -> Result<Relation> {
+    let schema = Schema::new(items.iter().map(|i| i.name.clone()))?;
+    let mut out = Relation::empty(schema);
+    for t in rel.iter() {
+        let mut values = Vec::with_capacity(items.len());
+        for item in items {
+            values.push(item.expr.eval(rel.schema(), t)?);
+        }
+        out.insert(Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+fn extend_relation(rel: &Relation, items: &[ProjItem]) -> Result<Relation> {
+    let mut names: Vec<String> = rel.schema().attrs().to_vec();
+    names.extend(items.iter().map(|i| i.name.clone()));
+    let schema = Schema::new(names)?;
+    let mut out = Relation::empty(schema);
+    for t in rel.iter() {
+        let mut values: Vec<Value> = t.clone().into_values();
+        for item in items {
+            values.push(item.expr.eval(rel.schema(), t)?);
+        }
+        out.insert(Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::{parse_query, Expr};
+    use pdb::{relation, schema, tuple};
+
+    /// The complete database of Example 2.2.
+    fn coin_db() -> ProbabilisticDatabase {
+        ProbabilisticDatabase::from_complete_relations([
+            (
+                "Coins",
+                relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+            ),
+            (
+                "Faces",
+                relation![schema!["CoinType", "Face", "FProb"];
+                    ["fair", "H", 0.5], ["fair", "T", 0.5], ["2headed", "H", 1.0]],
+            ),
+            ("Tosses", relation![schema!["Toss"]; [1], [2]]),
+        ])
+        .unwrap()
+    }
+
+    /// The queries of Example 2.2, up to the conditional-probability table U.
+    fn example_2_2_u() -> Query {
+        parse_query(
+            "project[CoinType, P1 / P2 as P](\
+               join(rename[P -> P1](conf(join(\
+                      project[CoinType](repairkey[ @ Count](Coins)), \
+                      project[CoinType](select[Toss = 1 and Face = 'H'](\
+                        project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)))))))), \
+                    rename[P -> P2](conf(project[](join(\
+                      project[CoinType](repairkey[ @ Count](Coins)), \
+                      project[CoinType](select[Toss = 1 and Face = 'H'](\
+                        project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)))))))))))",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn repair_key_and_projection_reproduce_r() {
+        let db = coin_db();
+        let q = parse_query("project[CoinType](repairkey[ @ Count](Coins))").unwrap();
+        let out = evaluate_naive(&db, &q).unwrap();
+        assert_eq!(out.database.num_worlds(), 2);
+        assert!((out.confidence(&tuple!["fair"]).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((out.confidence(&tuple!["2headed"]).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn example_2_2_posterior_probabilities() {
+        // The famous posterior: Pr[coin is fair | first toss H] — the query T
+        // of the paper joins on both tosses; here the parsed query U uses the
+        // evidence of toss 1 only on both sides of the division, checking the
+        // whole pipeline end to end.
+        let db = coin_db();
+        let q = example_2_2_u();
+        let out = evaluate_naive(&db, &q).unwrap();
+        let result = out.possible_tuples().unwrap();
+        // Pr[toss1 = H ∧ fair] = 2/3 · 1/2 = 1/3; Pr[toss1 = H] = 2/3.
+        // Posterior for fair = 1/2; for 2headed = (1/3)/(2/3) = 1/2.
+        assert!(result.contains(&tuple!["fair", 0.5]));
+        assert!(result.contains(&tuple!["2headed", 0.5]));
+    }
+
+    #[test]
+    fn example_2_2_full_posterior_after_two_heads() {
+        // The paper's relation T (evidence: both tosses H) yields posteriors
+        // 1/3 (fair) and 2/3 (2headed).
+        let db = coin_db();
+        let s = "project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)))";
+        let r = "project[CoinType](repairkey[ @ Count](Coins))";
+        let t = format!(
+            "join(join({r}, project[CoinType](select[Toss = 1 and Face = 'H']({s}))), \
+                  project[CoinType](select[Toss = 2 and Face = 'H']({s})))"
+        );
+        let u = format!(
+            "project[CoinType, P1 / P2 as P](join(rename[P -> P1](conf({t})), rename[P -> P2](conf(project[]({t})))))"
+        );
+        let q = parse_query(&u).unwrap();
+        let out = evaluate_naive(&db, &q).unwrap();
+        let result = out.possible_tuples().unwrap();
+        let third = 1.0 / 3.0;
+        let two_thirds = 2.0 / 3.0;
+        let has = |coin: &str, p: f64| {
+            result.iter().any(|t| {
+                t[0] == Value::str(coin) && (t[1].as_f64().unwrap() - p).abs() < 1e-9
+            })
+        };
+        assert!(has("fair", third), "missing fair posterior: {result}");
+        assert!(has("2headed", two_thirds), "missing 2headed posterior: {result}");
+    }
+
+    #[test]
+    fn shared_subqueries_share_their_repairs() {
+        // Joining a repair-key result with itself must not create independent
+        // repairs: the join of R with itself has the same world count as R.
+        let db = coin_db();
+        let q = parse_query(
+            "join(project[CoinType](repairkey[ @ Count](Coins)), project[CoinType](repairkey[ @ Count](Coins)))",
+        )
+        .unwrap();
+        let out = evaluate_naive(&db, &q).unwrap();
+        assert_eq!(out.database.num_worlds(), 2);
+        assert!((out.confidence(&tuple!["fair"]).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn approx_select_exact_reference_semantics() {
+        let db = coin_db();
+        let q = Query::table("Coins")
+            .repair_key(&[], "Count")
+            .project(&["CoinType"])
+            .approx_select(
+                vec![ConfTerm::new("P1", ["CoinType"])],
+                Predicate::ge(Expr::attr("P1"), Expr::konst(0.5)),
+                0.01,
+                0.05,
+            );
+        let out = evaluate_naive(&db, &q).unwrap();
+        let result = out.possible_tuples().unwrap();
+        assert!(result.contains(&tuple!["fair"]));
+        assert!(!result.contains(&tuple!["2headed"]));
+        // The σ̂ result is complete by definition (it is a conf-derived
+        // relation).
+        assert_eq!(
+            out.database.cert(&out.result).unwrap().len(),
+            result.len()
+        );
+    }
+
+    #[test]
+    fn poss_cert_and_difference() {
+        let db = coin_db();
+        let q = parse_query(
+            "diffc(poss(project[CoinType](repairkey[ @ Count](Coins))), cert(project[CoinType](repairkey[ @ Count](Coins))))",
+        )
+        .unwrap();
+        let out = evaluate_naive(&db, &q).unwrap();
+        let result = out.possible_tuples().unwrap();
+        // Nothing is certain, so the difference is all possible coin types.
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_propagated_not_panicked() {
+        let db = coin_db();
+        // Unknown base relation.
+        assert!(evaluate_naive(&db, &parse_query("Nope").unwrap()).is_err());
+        // Type error inside a projection expression.
+        let q = parse_query("project[CoinType + 1 as X](Coins)").unwrap();
+        assert!(evaluate_naive(&db, &q).is_err());
+        // repair-key over an uncertain relation.
+        let q = parse_query("repairkey[ @ Count](repairkey[ @ Count](Coins))").unwrap();
+        assert!(evaluate_naive(&db, &q).is_err());
+    }
+}

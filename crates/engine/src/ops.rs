@@ -1,0 +1,303 @@
+//! The parsimonious translation of positive relational algebra onto
+//! U-relations (Section 3): every operation manipulates `(condition, tuple)`
+//! rows directly, merging conditions where the classical operation would
+//! combine tuples.
+
+use crate::error::{EngineError, Result};
+use algebra::{Predicate, ProjItem};
+use pdb::{Schema, Tuple, Value};
+use urel::URelation;
+
+/// `σ_φ`: keeps rows whose data tuple satisfies the predicate.
+pub fn select(rel: &URelation, predicate: &Predicate) -> Result<URelation> {
+    predicate.check(rel.schema())?;
+    let mut out = URelation::empty(rel.schema().clone());
+    for row in rel.iter() {
+        if predicate.eval(rel.schema(), &row.tuple)? {
+            out.insert(row.condition.clone(), row.tuple.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Generalised projection `π_items`: each output attribute is computed from
+/// the input tuple; conditions are carried over unchanged.
+pub fn project(rel: &URelation, items: &[ProjItem]) -> Result<URelation> {
+    let out_schema = Schema::new(items.iter().map(|i| i.name.clone())).map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for row in rel.iter() {
+        let mut values: Vec<Value> = Vec::with_capacity(items.len());
+        for item in items {
+            values.push(item.expr.eval(rel.schema(), &row.tuple)?);
+        }
+        out.insert(row.condition.clone(), Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// Extension: keeps all input attributes and appends the computed items.
+pub fn extend(rel: &URelation, items: &[ProjItem]) -> Result<URelation> {
+    let mut names: Vec<String> = rel.schema().attrs().to_vec();
+    names.extend(items.iter().map(|i| i.name.clone()));
+    let out_schema = Schema::new(names).map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for row in rel.iter() {
+        let mut values: Vec<Value> = row.tuple.clone().into_values();
+        for item in items {
+            values.push(item.expr.eval(rel.schema(), &row.tuple)?);
+        }
+        out.insert(row.condition.clone(), Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// `ρ_{from→to}`: renames an attribute.
+pub fn rename(rel: &URelation, from: &str, to: &str) -> Result<URelation> {
+    let out_schema = rel.schema().rename(from, to).map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for row in rel.iter() {
+        out.insert(row.condition.clone(), row.tuple.clone())?;
+    }
+    Ok(out)
+}
+
+/// `×`: pairs of rows with consistent conditions; their conditions are merged
+/// (the `UR.D ∪ US.D → D` of the Section 3 translation).
+pub fn product(left: &URelation, right: &URelation) -> Result<URelation> {
+    let out_schema = left
+        .schema()
+        .concat(right.schema(), "rhs")
+        .map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for l in left.iter() {
+        for r in right.iter() {
+            let Some(cond) = l.condition.merge(&r.condition) else {
+                continue;
+            };
+            out.insert(cond, l.tuple.concat(&r.tuple))?;
+        }
+    }
+    Ok(out)
+}
+
+/// `⋈`: natural join on shared attribute names, merging conditions.
+pub fn natural_join(left: &URelation, right: &URelation) -> Result<URelation> {
+    let shared: Vec<String> = left
+        .schema()
+        .attrs()
+        .iter()
+        .filter(|a| right.schema().contains(a))
+        .cloned()
+        .collect();
+    let left_idx = left.schema().indices_of(&shared).map_err(EngineError::Pdb)?;
+    let right_idx = right
+        .schema()
+        .indices_of(&shared)
+        .map_err(EngineError::Pdb)?;
+    let right_rest: Vec<String> = right.schema().minus(&shared);
+    let right_rest_idx = right
+        .schema()
+        .indices_of(&right_rest)
+        .map_err(EngineError::Pdb)?;
+
+    let mut names: Vec<String> = left.schema().attrs().to_vec();
+    names.extend(right_rest.iter().cloned());
+    let out_schema = Schema::new(names).map_err(EngineError::Pdb)?;
+
+    let mut out = URelation::empty(out_schema);
+    for l in left.iter() {
+        let lkey = l.tuple.project(&left_idx);
+        for r in right.iter() {
+            if r.tuple.project(&right_idx) != lkey {
+                continue;
+            }
+            let Some(cond) = l.condition.merge(&r.condition) else {
+                continue;
+            };
+            out.insert(cond, l.tuple.concat(&r.tuple.project(&right_rest_idx)))?;
+        }
+    }
+    Ok(out)
+}
+
+/// `∪`: union of the row sets (schemas must have equal arity; the left
+/// operand's attribute names win, as columns are positional).
+pub fn union(left: &URelation, right: &URelation) -> Result<URelation> {
+    if left.schema().arity() != right.schema().arity() {
+        return Err(EngineError::Pdb(pdb::PdbError::SchemaMismatch(format!(
+            "{} vs {}",
+            left.schema(),
+            right.schema()
+        ))));
+    }
+    let mut out = URelation::empty(left.schema().clone());
+    for row in left.iter().chain(right.iter()) {
+        out.insert(row.condition.clone(), row.tuple.clone())?;
+    }
+    Ok(out)
+}
+
+/// `−c`: set difference of two *complete* relations (Proposition 3.3 keeps
+/// this inside the tractable fragment).  Both inputs must carry only empty
+/// conditions.
+pub fn difference_complete(left: &URelation, right: &URelation) -> Result<URelation> {
+    if !left.is_complete_representation() || !right.is_complete_representation() {
+        return Err(EngineError::NotComplete(
+            "difference (−c) requires complete inputs".into(),
+        ));
+    }
+    if left.schema().arity() != right.schema().arity() {
+        return Err(EngineError::Pdb(pdb::PdbError::SchemaMismatch(format!(
+            "{} vs {}",
+            left.schema(),
+            right.schema()
+        ))));
+    }
+    let right_tuples = right.possible_tuples();
+    let mut out = URelation::empty(left.schema().clone());
+    for row in left.iter() {
+        if !right_tuples.contains(&row.tuple) {
+            out.insert(row.condition.clone(), row.tuple.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::{CmpOp, Expr};
+    use pdb::{relation, schema, tuple};
+    use urel::{Condition, Var};
+
+    fn cond(var: &str, val: &str) -> Condition {
+        Condition::new([(Var::new(var), Value::str(val))]).unwrap()
+    }
+
+    /// The uncertain relation R of Figure 1(a).
+    fn ur() -> URelation {
+        let mut u = URelation::empty(schema!["CoinType"]);
+        u.insert(cond("c", "fair"), tuple!["fair"]).unwrap();
+        u.insert(cond("c", "2headed"), tuple!["2headed"]).unwrap();
+        u
+    }
+
+    /// A complete Faces relation as a U-relation.
+    fn faces() -> URelation {
+        URelation::from_complete(&relation![schema!["CoinType", "Face", "FProb"];
+            ["fair", "H", 0.5], ["fair", "T", 0.5], ["2headed", "H", 1.0]])
+    }
+
+    #[test]
+    fn select_filters_on_data_only() {
+        let s = select(
+            &ur(),
+            &Predicate::eq(Expr::attr("CoinType"), Expr::konst("fair")),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next().unwrap().condition, cond("c", "fair"));
+        // Unknown attribute in the predicate is caught.
+        assert!(select(&ur(), &Predicate::eq(Expr::attr("X"), Expr::konst(1))).is_err());
+    }
+
+    #[test]
+    fn project_keeps_conditions_and_dedups() {
+        let p = project(&ur(), &[ProjItem::attr("CoinType")]).unwrap();
+        assert_eq!(p.len(), 2);
+        // Projecting onto the empty schema keeps one row per distinct
+        // condition.
+        let empty = project(&ur(), &[]).unwrap();
+        assert_eq!(empty.schema().arity(), 0);
+        assert_eq!(empty.len(), 2);
+    }
+
+    #[test]
+    fn extend_appends_computed_columns() {
+        let f = faces();
+        let e = extend(
+            &f,
+            &[ProjItem::computed(
+                Expr::attr("FProb") * Expr::konst(2.0),
+                "Doubled",
+            )],
+        )
+        .unwrap();
+        assert_eq!(e.schema().arity(), 4);
+        assert!(e
+            .possible_tuples()
+            .contains(&tuple!["fair", "H", 0.5, 1.0]));
+    }
+
+    #[test]
+    fn rename_preserves_rows() {
+        let r = rename(&ur(), "CoinType", "Kind").unwrap();
+        assert_eq!(r.schema().attrs(), &["Kind".to_string()]);
+        assert_eq!(r.len(), 2);
+        assert!(rename(&ur(), "Nope", "X").is_err());
+    }
+
+    #[test]
+    fn join_merges_conditions_and_drops_conflicts() {
+        // Joining R with itself on CoinType keeps consistent pairs only.
+        let j = natural_join(&ur(), &ur()).unwrap();
+        assert_eq!(j.len(), 2);
+        // Joining R with a renamed copy (no shared attributes → product)
+        // produces only the consistent combinations: (fair, fair) and
+        // (2headed, 2headed), since the conditions share variable c.
+        let renamed = rename(&ur(), "CoinType", "Other").unwrap();
+        let p = natural_join(&ur(), &renamed).unwrap();
+        assert_eq!(p.len(), 2);
+        for row in p.iter() {
+            assert_eq!(row.tuple[0], row.tuple[1]);
+        }
+    }
+
+    #[test]
+    fn product_prefixes_duplicate_attributes() {
+        let p = product(&ur(), &faces()).unwrap();
+        assert!(p.schema().contains("rhs.CoinType"));
+        // 2 uncertain rows × 3 complete rows, no condition conflicts.
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn join_with_complete_relation() {
+        let j = natural_join(&ur(), &faces()).unwrap();
+        // fair joins 2 faces, 2headed joins 1.
+        assert_eq!(j.len(), 3);
+        for row in j.iter() {
+            assert_eq!(row.condition.len(), 1);
+        }
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let u = union(&ur(), &ur()).unwrap();
+        assert_eq!(u.len(), 2); // identical rows dedup
+        let a = URelation::from_complete(&relation![schema!["A"]; [1], [2]]);
+        let b = URelation::from_complete(&relation![schema!["A"]; [2], [3]]);
+        let d = difference_complete(&a, &b).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(d.possible_tuples().contains(&tuple![1]));
+        // Uncertain inputs are rejected.
+        let bad = difference_complete(&ur(), &ur());
+        assert!(matches!(bad, Err(EngineError::NotComplete(_))));
+        // Arity mismatches are rejected.
+        let c = URelation::from_complete(&relation![schema!["A", "B"]; [1, 2]]);
+        assert!(union(&a, &c).is_err());
+        assert!(difference_complete(&a, &c).is_err());
+    }
+
+    #[test]
+    fn selection_with_comparison_on_numbers() {
+        let f = faces();
+        let s = select(
+            &f,
+            &Predicate::cmp(Expr::attr("FProb"), CmpOp::Ge, Expr::konst(0.9)),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 1);
+        assert!(s.possible_tuples().contains(&tuple!["2headed", "H", 1.0]));
+    }
+}

@@ -1,0 +1,288 @@
+//! Compiling the selection condition of an approximate selection into a
+//! predicate over approximable values.
+//!
+//! The condition of `σ̂_{φ(conf[A⃗₁], …, conf[A⃗_k])}` is written against the
+//! placeholder attributes `P₁, …, P_k`; the Section 5 machinery wants a
+//! predicate over indexed values `x₀, …, x_{k−1}`.  Atomic comparisons are
+//! compiled to [`LinearIneq`] when their difference is a linear combination
+//! of the placeholders (so that Theorem 5.2's closed form applies) and to
+//! single-occurrence [`AlgebraicIneq`] otherwise (Theorem 5.5).
+
+use crate::error::{EngineError, Result};
+use algebra::{CmpOp, Expr, Predicate};
+use approx::{AlgExpr, AlgebraicIneq, ApproxPredicate, LinearIneq};
+
+/// Compiles a placeholder predicate into an [`ApproxPredicate`].
+///
+/// `placeholders[i]` is the attribute name that maps to value index `i`.
+pub fn compile_predicate(
+    predicate: &Predicate,
+    placeholders: &[String],
+) -> Result<ApproxPredicate> {
+    Ok(match predicate {
+        Predicate::True => ApproxPredicate::True,
+        Predicate::False => ApproxPredicate::False,
+        Predicate::And(a, b) => {
+            compile_predicate(a, placeholders)?.and(compile_predicate(b, placeholders)?)
+        }
+        Predicate::Or(a, b) => {
+            compile_predicate(a, placeholders)?.or(compile_predicate(b, placeholders)?)
+        }
+        Predicate::Not(a) => compile_predicate(a, placeholders)?.not(),
+        Predicate::Cmp(lhs, op, rhs) => compile_comparison(lhs, *op, rhs, placeholders)?,
+    })
+}
+
+/// Compiles a single comparison.  Comparisons are rewritten into the `≥ 0`
+/// form of Section 5; strict comparisons differ only on the measure-zero
+/// boundary, which does not affect the error analysis, so `<`/`>` compile to
+/// the negation of the corresponding non-strict form.
+fn compile_comparison(
+    lhs: &Expr,
+    op: CmpOp,
+    rhs: &Expr,
+    placeholders: &[String],
+) -> Result<ApproxPredicate> {
+    let ge = |a: &Expr, b: &Expr| -> Result<ApproxPredicate> {
+        // a − b ≥ 0.
+        atom_from_difference(a, b, placeholders)
+    };
+    Ok(match op {
+        CmpOp::Ge => ge(lhs, rhs)?,
+        CmpOp::Le => ge(rhs, lhs)?,
+        CmpOp::Gt => ge(rhs, lhs)?.not(),
+        CmpOp::Lt => ge(lhs, rhs)?.not(),
+        CmpOp::Eq => ge(lhs, rhs)?.and(ge(rhs, lhs)?),
+        CmpOp::Ne => ge(lhs, rhs)?.and(ge(rhs, lhs)?).not(),
+    })
+}
+
+fn atom_from_difference(
+    lhs: &Expr,
+    rhs: &Expr,
+    placeholders: &[String],
+) -> Result<ApproxPredicate> {
+    // Try the linear form first: Σ a_i·x_i + c ≥ 0  ⇔  Σ a_i·x_i ≥ −c.
+    if let (Some(mut l), Some(r)) = (
+        linearize(lhs, placeholders),
+        linearize(rhs, placeholders),
+    ) {
+        for (a, b) in l.coeffs.iter_mut().zip(&r.coeffs) {
+            *a -= b;
+        }
+        l.constant -= r.constant;
+        return Ok(ApproxPredicate::linear(LinearIneq::new(
+            l.coeffs,
+            -l.constant,
+        )));
+    }
+    // Fall back to the algebraic form of Theorem 5.5.
+    let expr = to_alg_expr(lhs, placeholders)? - to_alg_expr(rhs, placeholders)?;
+    let ineq = AlgebraicIneq::new(expr).map_err(EngineError::Approx)?;
+    Ok(ApproxPredicate::algebraic(ineq))
+}
+
+/// A linear combination `Σ coeffs[i]·x_i + constant`.
+struct LinearForm {
+    coeffs: Vec<f64>,
+    constant: f64,
+}
+
+/// Attempts to view an expression as a linear combination of the
+/// placeholders; returns `None` if it is not linear (product or quotient of
+/// two non-constant subexpressions).
+fn linearize(expr: &Expr, placeholders: &[String]) -> Option<LinearForm> {
+    let k = placeholders.len();
+    let zero = || LinearForm {
+        coeffs: vec![0.0; k],
+        constant: 0.0,
+    };
+    match expr {
+        Expr::Const(v) => {
+            let c = v.as_f64()?;
+            let mut f = zero();
+            f.constant = c;
+            Some(f)
+        }
+        Expr::Attr(name) => {
+            let i = placeholders.iter().position(|p| p == name)?;
+            let mut f = zero();
+            f.coeffs[i] = 1.0;
+            Some(f)
+        }
+        Expr::Neg(a) => {
+            let mut f = linearize(a, placeholders)?;
+            for c in &mut f.coeffs {
+                *c = -*c;
+            }
+            f.constant = -f.constant;
+            Some(f)
+        }
+        Expr::Add(a, b) | Expr::Sub(a, b) => {
+            let fa = linearize(a, placeholders)?;
+            let fb = linearize(b, placeholders)?;
+            let sign = if matches!(expr, Expr::Add(_, _)) { 1.0 } else { -1.0 };
+            Some(LinearForm {
+                coeffs: fa
+                    .coeffs
+                    .iter()
+                    .zip(&fb.coeffs)
+                    .map(|(x, y)| x + sign * y)
+                    .collect(),
+                constant: fa.constant + sign * fb.constant,
+            })
+        }
+        Expr::Mul(a, b) => {
+            let fa = linearize(a, placeholders)?;
+            let fb = linearize(b, placeholders)?;
+            let a_const = fa.coeffs.iter().all(|&c| c == 0.0);
+            let b_const = fb.coeffs.iter().all(|&c| c == 0.0);
+            match (a_const, b_const) {
+                (true, _) => Some(LinearForm {
+                    coeffs: fb.coeffs.iter().map(|c| c * fa.constant).collect(),
+                    constant: fa.constant * fb.constant,
+                }),
+                (_, true) => Some(LinearForm {
+                    coeffs: fa.coeffs.iter().map(|c| c * fb.constant).collect(),
+                    constant: fa.constant * fb.constant,
+                }),
+                _ => None,
+            }
+        }
+        Expr::Div(a, b) => {
+            let fa = linearize(a, placeholders)?;
+            let fb = linearize(b, placeholders)?;
+            if fb.coeffs.iter().all(|&c| c == 0.0) && fb.constant != 0.0 {
+                Some(LinearForm {
+                    coeffs: fa.coeffs.iter().map(|c| c / fb.constant).collect(),
+                    constant: fa.constant / fb.constant,
+                })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Converts an expression over placeholder attributes into an [`AlgExpr`]
+/// over value indices.
+fn to_alg_expr(expr: &Expr, placeholders: &[String]) -> Result<AlgExpr> {
+    Ok(match expr {
+        Expr::Const(v) => AlgExpr::konst(v.as_f64().ok_or_else(|| {
+            EngineError::Algebra(algebra::AlgebraError::TypeError(format!(
+                "non-numeric constant `{v}` in an approximate selection condition"
+            )))
+        })?),
+        Expr::Attr(name) => {
+            let i = placeholders.iter().position(|p| p == name).ok_or_else(|| {
+                EngineError::Algebra(algebra::AlgebraError::UnknownAttribute(name.clone()))
+            })?;
+            AlgExpr::var(i)
+        }
+        Expr::Neg(a) => -to_alg_expr(a, placeholders)?,
+        Expr::Add(a, b) => to_alg_expr(a, placeholders)? + to_alg_expr(b, placeholders)?,
+        Expr::Sub(a, b) => to_alg_expr(a, placeholders)? - to_alg_expr(b, placeholders)?,
+        Expr::Mul(a, b) => to_alg_expr(a, placeholders)? * to_alg_expr(b, placeholders)?,
+        Expr::Div(a, b) => to_alg_expr(a, placeholders)? / to_alg_expr(b, placeholders)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::parse_predicate;
+
+    fn placeholders(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threshold_compiles_to_linear() {
+        let p = parse_predicate("P1 >= 0.5").unwrap();
+        let compiled = compile_predicate(&p, &placeholders(&["P1"])).unwrap();
+        match &compiled {
+            ApproxPredicate::Atom(approx::Atom::Linear(l)) => {
+                assert_eq!(l.coeffs, vec![1.0]);
+                assert_eq!(l.bound, 0.5);
+            }
+            other => panic!("expected a linear atom, got {other:?}"),
+        }
+        assert!(compiled.eval(&[0.6]).unwrap());
+        assert!(!compiled.eval(&[0.4]).unwrap());
+    }
+
+    #[test]
+    fn linear_combination_compiles_to_linear() {
+        let p = parse_predicate("P1 - 2 * P2 + 0.1 >= 0.3").unwrap();
+        let compiled = compile_predicate(&p, &placeholders(&["P1", "P2"])).unwrap();
+        match &compiled {
+            ApproxPredicate::Atom(approx::Atom::Linear(l)) => {
+                assert_eq!(l.coeffs, vec![1.0, -2.0]);
+                assert!((l.bound - 0.2).abs() < 1e-12);
+            }
+            other => panic!("expected a linear atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ratio_compiles_to_algebraic() {
+        // Example 6.1: P1/P2 ≤ 0.5 compiles to 0.5 − P1/P2 ≥ 0 (algebraic,
+        // single occurrence).
+        let p = parse_predicate("P1 / P2 <= 0.5").unwrap();
+        let compiled = compile_predicate(&p, &placeholders(&["P1", "P2"])).unwrap();
+        assert!(matches!(
+            compiled,
+            ApproxPredicate::Atom(approx::Atom::Algebraic(_))
+        ));
+        assert!(compiled.eval(&[0.2, 0.6]).unwrap());
+        assert!(!compiled.eval(&[0.5, 0.6]).unwrap());
+    }
+
+    #[test]
+    fn strict_and_equality_forms() {
+        let placeholders = placeholders(&["P1", "P2"]);
+        let lt = compile_predicate(&parse_predicate("P1 < 0.5").unwrap(), &placeholders).unwrap();
+        assert!(lt.eval(&[0.4, 0.0]).unwrap());
+        assert!(!lt.eval(&[0.6, 0.0]).unwrap());
+        let gt = compile_predicate(&parse_predicate("P1 > P2").unwrap(), &placeholders).unwrap();
+        assert!(gt.eval(&[0.7, 0.2]).unwrap());
+        assert!(!gt.eval(&[0.2, 0.7]).unwrap());
+        let eq = compile_predicate(&parse_predicate("P1 = P2").unwrap(), &placeholders).unwrap();
+        assert!(eq.eval(&[0.3, 0.3]).unwrap());
+        assert!(!eq.eval(&[0.3, 0.4]).unwrap());
+        let ne = compile_predicate(&parse_predicate("P1 != P2").unwrap(), &placeholders).unwrap();
+        assert!(ne.eval(&[0.3, 0.4]).unwrap());
+    }
+
+    #[test]
+    fn boolean_structure_is_preserved() {
+        let p = parse_predicate("P1 >= 0.5 and not P2 >= 0.9 or false").unwrap();
+        let compiled = compile_predicate(&p, &placeholders(&["P1", "P2"])).unwrap();
+        assert!(compiled.eval(&[0.6, 0.1]).unwrap());
+        assert!(!compiled.eval(&[0.6, 0.95]).unwrap());
+        assert!(!compiled.eval(&[0.4, 0.1]).unwrap());
+        let t = compile_predicate(&Predicate::True, &placeholders(&[])).unwrap();
+        assert_eq!(t, ApproxPredicate::True);
+    }
+
+    #[test]
+    fn repeated_variable_in_nonlinear_atom_is_rejected() {
+        // P1·P1 ≥ 0.5 is neither linear nor single-occurrence.
+        let p = parse_predicate("P1 * P1 >= 0.5").unwrap();
+        let err = compile_predicate(&p, &placeholders(&["P1"]));
+        assert!(err.is_err());
+        // But P1·P1 appearing linearly via constants is fine: 2·P1 ≥ 0.5.
+        let p = parse_predicate("2 * P1 >= 0.5").unwrap();
+        assert!(compile_predicate(&p, &placeholders(&["P1"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_placeholder_is_rejected() {
+        let p = parse_predicate("P9 / P1 >= 0.5").unwrap();
+        assert!(compile_predicate(&p, &placeholders(&["P1"])).is_err());
+        // Non-numeric constants are rejected too.
+        let p = parse_predicate("P1 >= 'abc'").unwrap();
+        assert!(compile_predicate(&p, &placeholders(&["P1"])).is_err());
+    }
+
+}

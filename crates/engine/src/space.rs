@@ -1,0 +1,151 @@
+//! Bridging the named random variables of a U-relational database to the
+//! index-based probability space the `confidence` crate estimates over.
+
+use crate::error::{EngineError, Result};
+use confidence::{Assignment, DnfEvent, ProbabilitySpace, VarId};
+use pdb::Value;
+use std::collections::HashMap;
+use urel::{Condition, Var, WTable};
+
+/// A compiled view of a W-table: the probability space plus the name/value →
+/// index mappings needed to translate conditions into assignments.
+#[derive(Clone, Debug)]
+pub struct CompiledSpace {
+    space: ProbabilitySpace,
+    var_ids: HashMap<Var, VarId>,
+    alt_ids: HashMap<(Var, Value), usize>,
+}
+
+impl CompiledSpace {
+    /// Compiles a W-table.
+    pub fn compile(wtable: &WTable) -> Result<CompiledSpace> {
+        let mut space = ProbabilitySpace::new();
+        let mut var_ids = HashMap::new();
+        let mut alt_ids = HashMap::new();
+        for (var, dist) in wtable.iter() {
+            let probs: Vec<f64> = dist.iter().map(|(_, p)| *p).collect();
+            let id = space.add_variable(probs)?;
+            var_ids.insert(var.clone(), id);
+            for (alt, (value, _)) in dist.iter().enumerate() {
+                alt_ids.insert((var.clone(), value.clone()), alt);
+            }
+        }
+        Ok(CompiledSpace {
+            space,
+            var_ids,
+            alt_ids,
+        })
+    }
+
+    /// The index-based probability space.
+    pub fn space(&self) -> &ProbabilitySpace {
+        &self.space
+    }
+
+    /// Translates a condition (partial function over named variables) into an
+    /// index-based assignment.
+    pub fn assignment(&self, condition: &Condition) -> Result<Assignment> {
+        let mut pairs = Vec::with_capacity(condition.len());
+        for (var, value) in condition.iter() {
+            let var_id = *self.var_ids.get(var).ok_or_else(|| {
+                EngineError::Urel(urel::UrelError::UnknownVariable(var.name().to_owned()))
+            })?;
+            let alt = *self
+                .alt_ids
+                .get(&(var.clone(), value.clone()))
+                .ok_or_else(|| {
+                    EngineError::Urel(urel::UrelError::UnknownDomainValue {
+                        var: var.name().to_owned(),
+                        value: value.to_string(),
+                    })
+                })?;
+            pairs.push((var_id, alt));
+        }
+        Assignment::new(pairs).map_err(Into::into)
+    }
+
+    /// Translates a DNF of conditions (the event under which a tuple belongs
+    /// to a relation) into an index-based [`DnfEvent`].
+    pub fn event(&self, conditions: &[Condition]) -> Result<DnfEvent> {
+        let mut terms = Vec::with_capacity(conditions.len());
+        for c in conditions {
+            terms.push(self.assignment(c)?);
+        }
+        Ok(DnfEvent::new(terms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confidence::exact;
+    use pdb::Value;
+
+    fn coin_wtable() -> WTable {
+        let mut w = WTable::new();
+        w.add_variable(
+            Var::new("c"),
+            [
+                (Value::str("fair"), 2.0 / 3.0),
+                (Value::str("2headed"), 1.0 / 3.0),
+            ],
+        )
+        .unwrap();
+        w.add_variable(
+            Var::new("t1"),
+            [(Value::str("H"), 0.5), (Value::str("T"), 0.5)],
+        )
+        .unwrap();
+        w.add_variable(
+            Var::new("t2"),
+            [(Value::str("H"), 0.5), (Value::str("T"), 0.5)],
+        )
+        .unwrap();
+        w
+    }
+
+    #[test]
+    fn compiles_and_translates_conditions() {
+        let w = coin_wtable();
+        let cs = CompiledSpace::compile(&w).unwrap();
+        assert_eq!(cs.space().num_variables(), 3);
+        let cond = Condition::new([
+            (Var::new("c"), Value::str("fair")),
+            (Var::new("t1"), Value::str("H")),
+        ])
+        .unwrap();
+        let a = cs.assignment(&cond).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(
+            (a.weight(cs.space()).unwrap() - cond.weight(&w).unwrap()).abs() < 1e-12,
+            "weights must agree between representations"
+        );
+    }
+
+    #[test]
+    fn event_probability_matches_example_2_2() {
+        let w = coin_wtable();
+        let cs = CompiledSpace::compile(&w).unwrap();
+        let both_heads_fair = Condition::new([
+            (Var::new("c"), Value::str("fair")),
+            (Var::new("t1"), Value::str("H")),
+            (Var::new("t2"), Value::str("H")),
+        ])
+        .unwrap();
+        let two_headed = Condition::new([(Var::new("c"), Value::str("2headed"))]).unwrap();
+        let event = cs.event(&[both_heads_fair, two_headed]).unwrap();
+        let p = exact::probability(&event, cs.space()).unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_variables_and_values_error() {
+        let w = coin_wtable();
+        let cs = CompiledSpace::compile(&w).unwrap();
+        let unknown_var = Condition::new([(Var::new("ghost"), Value::Int(1))]).unwrap();
+        assert!(cs.assignment(&unknown_var).is_err());
+        let unknown_value = Condition::new([(Var::new("c"), Value::str("3headed"))]).unwrap();
+        assert!(cs.assignment(&unknown_value).is_err());
+        assert!(cs.event(&[unknown_value]).is_err());
+    }
+}

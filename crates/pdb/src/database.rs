@@ -1,0 +1,458 @@
+//! Probabilistic databases as finite weighted sets of possible worlds
+//! (Section 2 of the paper).
+
+use crate::error::{PdbError, Result};
+use crate::relation::Relation;
+use crate::repair_key::repairs;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::world::World;
+use std::collections::BTreeMap;
+
+/// Numerical slack accepted when checking that world probabilities sum to 1.
+pub const DISTRIBUTION_TOLERANCE: f64 = 1e-9;
+
+/// A probabilistic database: a finite set of possible worlds whose
+/// probabilities sum to 1, together with the completeness function `c`
+/// marking which relations are complete by definition.
+///
+/// This is the *nonsuccinct* representation of the paper (used in
+/// Proposition 3.5 and as the reference semantics for everything else).  The
+/// succinct U-relational representation lives in the `urel` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbabilisticDatabase {
+    /// `c(R) = true` iff `R` is complete by definition.
+    complete: BTreeMap<String, bool>,
+    worlds: Vec<World>,
+}
+
+impl ProbabilisticDatabase {
+    /// Creates a database consisting of a single world of probability 1 in
+    /// which every given relation is complete.
+    pub fn from_complete_relations(
+        relations: impl IntoIterator<Item = (impl Into<String>, Relation)>,
+    ) -> Result<Self> {
+        let mut world = World::new(1.0)?;
+        let mut complete = BTreeMap::new();
+        for (name, rel) in relations {
+            let name = name.into();
+            world.set_relation(name.clone(), rel);
+            complete.insert(name, true);
+        }
+        Ok(ProbabilisticDatabase {
+            complete,
+            worlds: vec![world],
+        })
+    }
+
+    /// Creates a database from explicit worlds and a completeness marking.
+    ///
+    /// Validates that probabilities form a distribution, that every world
+    /// defines the same relation names with identical schemas, and that
+    /// relations marked complete are identical across worlds.
+    pub fn from_worlds(
+        worlds: Vec<World>,
+        complete: impl IntoIterator<Item = (impl Into<String>, bool)>,
+    ) -> Result<Self> {
+        let complete: BTreeMap<String, bool> =
+            complete.into_iter().map(|(n, c)| (n.into(), c)).collect();
+        let db = ProbabilisticDatabase { complete, worlds };
+        db.validate()?;
+        Ok(db)
+    }
+
+    /// The possible worlds.
+    pub fn worlds(&self) -> &[World] {
+        &self.worlds
+    }
+
+    /// Number of possible worlds.
+    pub fn num_worlds(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// Names of all relations (taken from the first world).
+    pub fn relation_names(&self) -> Vec<String> {
+        self.worlds
+            .first()
+            .map(|w| w.relation_names())
+            .unwrap_or_default()
+    }
+
+    /// True if relation `name` is marked complete by definition.
+    pub fn is_complete(&self, name: &str) -> bool {
+        self.complete.get(name).copied().unwrap_or(false)
+    }
+
+    /// Schema of relation `name`.
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        let w = self
+            .worlds
+            .first()
+            .ok_or_else(|| PdbError::Invariant("database has no worlds".into()))?;
+        Ok(w.relation(name)?.schema().clone())
+    }
+
+    /// Sum of the world probabilities (should be 1).
+    pub fn total_probability(&self) -> f64 {
+        self.worlds.iter().map(World::probability).sum()
+    }
+
+    /// Checks all invariants of the possible-worlds model.
+    pub fn validate(&self) -> Result<()> {
+        if self.worlds.is_empty() {
+            return Err(PdbError::InvalidDistribution(
+                "a probabilistic database needs at least one world".into(),
+            ));
+        }
+        let total = self.total_probability();
+        if (total - 1.0).abs() > DISTRIBUTION_TOLERANCE {
+            return Err(PdbError::InvalidDistribution(format!(
+                "world probabilities sum to {total}, expected 1"
+            )));
+        }
+        let names = self.worlds[0].relation_names();
+        for w in &self.worlds {
+            if w.relation_names() != names {
+                return Err(PdbError::SchemaMismatch(
+                    "worlds define different relation names".into(),
+                ));
+            }
+        }
+        for name in &names {
+            let first = self.worlds[0].relation(name)?;
+            for w in &self.worlds[1..] {
+                let r = w.relation(name)?;
+                if r.schema() != first.schema() {
+                    return Err(PdbError::SchemaMismatch(format!(
+                        "relation `{name}` has differing schemas across worlds"
+                    )));
+                }
+                if self.is_complete(name) && r != first {
+                    return Err(PdbError::NotComplete(format!(
+                        "relation `{name}` is marked complete but differs across worlds"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Confidence in tuple `t` for relation `name`:
+    /// `Pr[t ∈ R] = Σ_{i : t ∈ Rⁱ} p⁽ⁱ⁾`.
+    pub fn confidence(&self, name: &str, t: &Tuple) -> Result<f64> {
+        // Validate the relation exists.
+        self.schema_of(name)?;
+        Ok(self
+            .worlds
+            .iter()
+            .filter(|w| w.contains(name, t))
+            .map(World::probability)
+            .sum())
+    }
+
+    /// `poss(R)`: the union of `R` over all worlds.
+    pub fn poss(&self, name: &str) -> Result<Relation> {
+        let schema = self.schema_of(name)?;
+        let mut out = Relation::empty(schema);
+        for w in &self.worlds {
+            for t in w.relation(name)?.iter() {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `cert(R)`: tuples present in every world.
+    pub fn cert(&self, name: &str) -> Result<Relation> {
+        let schema = self.schema_of(name)?;
+        let mut out = Relation::empty(schema);
+        for t in self.poss(name)?.iter() {
+            if self.worlds.iter().all(|w| w.contains(name, t)) {
+                out.insert(t.clone())?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The `conf` operation (Definition 2.1): one complete relation holding
+    /// every possible tuple of `R` extended by its exact confidence in a new
+    /// column `prob_attr`.
+    pub fn conf(&self, name: &str, prob_attr: &str) -> Result<Relation> {
+        let schema = self.schema_of(name)?.with_appended(prob_attr)?;
+        let mut out = Relation::empty(schema);
+        for t in self.poss(name)?.iter() {
+            let p = self.confidence(name, t)?;
+            out.insert(t.with_appended(Value::float(p)))?;
+        }
+        Ok(out)
+    }
+
+    /// Applies a per-world operation, storing its output as relation
+    /// `out_name` in every world.  This is how the classical relational
+    /// algebra operations of UA are given semantics (Definition 2.1).
+    ///
+    /// `complete` marks whether the result is complete by definition (it is
+    /// when all inputs of the operation are).
+    pub fn map_worlds(
+        &mut self,
+        out_name: impl Into<String>,
+        complete: bool,
+        mut op: impl FnMut(&World) -> Result<Relation>,
+    ) -> Result<()> {
+        let out_name = out_name.into();
+        let mut results = Vec::with_capacity(self.worlds.len());
+        for w in &self.worlds {
+            results.push(op(w)?);
+        }
+        for (w, rel) in self.worlds.iter_mut().zip(results) {
+            w.set_relation(out_name.clone(), rel);
+        }
+        self.complete.insert(out_name, complete);
+        Ok(())
+    }
+
+    /// Adds the same complete relation to every world.
+    pub fn add_complete_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        let name = name.into();
+        for w in &mut self.worlds {
+            w.set_relation(name.clone(), rel.clone());
+        }
+        self.complete.insert(name, true);
+    }
+
+    /// `W₁ ⊗ W₂` (Equation 1): the product combination of two probabilistic
+    /// databases over disjoint (or agreeing-complete) relation names.
+    pub fn combine(&self, other: &ProbabilisticDatabase) -> Result<ProbabilisticDatabase> {
+        let mut worlds = Vec::with_capacity(self.worlds.len() * other.worlds.len());
+        for a in &self.worlds {
+            for b in &other.worlds {
+                worlds.push(a.combine(b)?);
+            }
+        }
+        let mut complete = self.complete.clone();
+        for (name, c) in &other.complete {
+            complete.insert(name.clone(), *c);
+        }
+        let db = ProbabilisticDatabase { complete, worlds };
+        db.validate()?;
+        Ok(db)
+    }
+
+    /// `repair-key_{A⃗@B}(R)` as an uncertainty-introducing operation
+    /// (Definition 2.1): `R` must be complete; the result database is
+    /// `self ⊗ repair-key(R)` with the repaired relation stored as
+    /// `out_name` (not complete).
+    pub fn repair_key(
+        &mut self,
+        rel_name: &str,
+        key_attrs: &[&str],
+        weight_attr: &str,
+        out_name: impl Into<String>,
+    ) -> Result<()> {
+        if !self.is_complete(rel_name) {
+            return Err(PdbError::NotComplete(rel_name.to_owned()));
+        }
+        let out_name = out_name.into();
+        // All worlds agree on a complete relation, so repair the first copy.
+        let rel = self.worlds[0].relation(rel_name)?.clone();
+        let reps = repairs(&rel, key_attrs, weight_attr)?;
+
+        let mut worlds = Vec::with_capacity(self.worlds.len() * reps.len());
+        for w in &self.worlds {
+            for rep in &reps {
+                let mut nw = w.clone();
+                nw.scale_probability(rep.probability);
+                nw.set_relation(out_name.clone(), rep.relation.clone());
+                worlds.push(nw);
+            }
+        }
+        self.worlds = worlds;
+        self.complete.insert(out_name, false);
+        self.validate()
+    }
+
+    /// Coalesces worlds with identical contents by summing their
+    /// probabilities.  Keeps results small after chains of `repair-key`.
+    pub fn coalesce(&mut self) {
+        let mut merged: Vec<World> = Vec::new();
+        for w in &self.worlds {
+            if let Some(existing) = merged.iter_mut().find(|m| m.content() == w.content()) {
+                let factor = (existing.probability() + w.probability()) / existing.probability();
+                existing.scale_probability(factor);
+            } else {
+                merged.push(w.clone());
+            }
+        }
+        self.worlds = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{relation, schema, tuple};
+
+    fn coin_db() -> ProbabilisticDatabase {
+        ProbabilisticDatabase::from_complete_relations([
+            (
+                "Coins",
+                relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+            ),
+            (
+                "Faces",
+                relation![schema!["CoinType", "Face", "FProb"];
+                    ["fair", "H", 0.5], ["fair", "T", 0.5], ["2headed", "H", 1.0]],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn complete_db_has_one_world() {
+        let db = coin_db();
+        assert_eq!(db.num_worlds(), 1);
+        assert!((db.total_probability() - 1.0).abs() < 1e-12);
+        assert!(db.is_complete("Coins"));
+        assert!(!db.is_complete("R"));
+        db.validate().unwrap();
+    }
+
+    #[test]
+    fn repair_key_creates_worlds_with_example_2_2_probabilities() {
+        let mut db = coin_db();
+        db.repair_key("Coins", &[], "Count", "PickedCoin").unwrap();
+        assert_eq!(db.num_worlds(), 2);
+        assert!(!db.is_complete("PickedCoin"));
+        let p_fair = db
+            .confidence("PickedCoin", &tuple!["fair", 2])
+            .unwrap();
+        let p_2h = db
+            .confidence("PickedCoin", &tuple!["2headed", 1])
+            .unwrap();
+        assert!((p_fair - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p_2h - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_key_requires_complete_relation() {
+        let mut db = coin_db();
+        db.repair_key("Coins", &[], "Count", "R").unwrap();
+        let err = db.repair_key("R", &[], "Count", "S");
+        assert!(matches!(err, Err(PdbError::NotComplete(_))));
+    }
+
+    #[test]
+    fn conf_poss_cert() {
+        let mut db = coin_db();
+        db.repair_key("Coins", &[], "Count", "R").unwrap();
+        let conf = db.conf("R", "P").unwrap();
+        assert_eq!(conf.len(), 2);
+        assert_eq!(conf.schema().attrs().last().unwrap(), "P");
+        let poss = db.poss("R").unwrap();
+        assert_eq!(poss.len(), 2);
+        let cert = db.cert("R").unwrap();
+        assert!(cert.is_empty());
+        // Coins is complete: cert = poss.
+        assert_eq!(db.cert("Coins").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn map_worlds_applies_relational_ops_per_world() {
+        let mut db = coin_db();
+        db.repair_key("Coins", &[], "Count", "R").unwrap();
+        db.map_worlds("FairOnly", false, |w| {
+            Ok(w.relation("R")?
+                .select(|t| t[0] == Value::str("fair")))
+        })
+        .unwrap();
+        let p = db.confidence("FairOnly", &tuple!["fair", 2]).unwrap();
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        let p = db.confidence("FairOnly", &tuple!["2headed", 1]).unwrap();
+        assert_eq!(p, 0.0);
+    }
+
+    #[test]
+    fn combine_multiplies_world_sets() {
+        let mut a = coin_db();
+        a.repair_key("Coins", &[], "Count", "R").unwrap();
+        let b = ProbabilisticDatabase::from_worlds(
+            vec![
+                {
+                    let mut w = World::new(0.5).unwrap();
+                    w.set_relation("S", relation![schema!["X"]; [1]]);
+                    w
+                },
+                {
+                    let mut w = World::new(0.5).unwrap();
+                    w.set_relation("S", relation![schema!["X"]; [2]]);
+                    w
+                },
+            ],
+            [("S", false)],
+        )
+        .unwrap();
+        let c = a.combine(&b).unwrap();
+        assert_eq!(c.num_worlds(), 4);
+        assert!((c.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_distributions() {
+        let w1 = {
+            let mut w = World::new(0.4).unwrap();
+            w.set_relation("R", relation![schema!["A"]; [1]]);
+            w
+        };
+        let w2 = {
+            let mut w = World::new(0.4).unwrap();
+            w.set_relation("R", relation![schema!["A"]; [2]]);
+            w
+        };
+        let err = ProbabilisticDatabase::from_worlds(vec![w1, w2], [("R", false)]);
+        assert!(matches!(err, Err(PdbError::InvalidDistribution(_))));
+    }
+
+    #[test]
+    fn validation_catches_incomplete_complete_relations() {
+        let w1 = {
+            let mut w = World::new(0.5).unwrap();
+            w.set_relation("R", relation![schema!["A"]; [1]]);
+            w
+        };
+        let w2 = {
+            let mut w = World::new(0.5).unwrap();
+            w.set_relation("R", relation![schema!["A"]; [2]]);
+            w
+        };
+        let err = ProbabilisticDatabase::from_worlds(vec![w1, w2], [("R", true)]);
+        assert!(matches!(err, Err(PdbError::NotComplete(_))));
+    }
+
+    #[test]
+    fn coalesce_merges_identical_worlds() {
+        let mut db = coin_db();
+        db.repair_key("Coins", &[], "Count", "R").unwrap();
+        // Project R to the empty schema in every world: both worlds now have
+        // identical content except for R itself, so nothing merges; then drop
+        // R by overwriting it with the same projection to force a merge.
+        db.map_worlds("E", false, |w| {
+            Ok(w.relation("R")?.project(&[] as &[&str]).unwrap())
+        })
+        .unwrap();
+        db.map_worlds("R", false, |w| Ok(w.relation("E")?.clone()))
+            .unwrap();
+        db.coalesce();
+        assert_eq!(db.num_worlds(), 1);
+        assert!((db.total_probability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_of_unknown_relation_errors() {
+        let db = coin_db();
+        assert!(db.confidence("Nope", &tuple![1]).is_err());
+        assert!(db.poss("Nope").is_err());
+        assert!(db.schema_of("Nope").is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for the possible-worlds data model.
+
+use std::fmt;
+
+/// Errors raised by the `pdb` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PdbError {
+    /// A schema was declared with two attributes of the same name.
+    DuplicateAttribute(String),
+    /// An attribute name was referenced that is not part of the schema.
+    UnknownAttribute(String),
+    /// A relation name was referenced that is not part of the database.
+    UnknownRelation(String),
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Arity expected by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// Two relations that should share a schema do not.
+    SchemaMismatch(String),
+    /// World probabilities do not form a distribution (each must be in
+    /// `(0, 1]` and they must sum to 1).
+    InvalidDistribution(String),
+    /// `repair-key` was applied with a non-positive or non-numeric weight.
+    InvalidWeight(String),
+    /// An operation that requires a complete relation was applied to an
+    /// uncertain one (for example `repair-key` or `−c`).
+    NotComplete(String),
+    /// Generic invariant violation with a description.
+    Invariant(String),
+}
+
+impl fmt::Display for PdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PdbError::DuplicateAttribute(a) => write!(f, "duplicate attribute `{a}`"),
+            PdbError::UnknownAttribute(a) => write!(f, "unknown attribute `{a}`"),
+            PdbError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            PdbError::ArityMismatch { expected, actual } => {
+                write!(f, "arity mismatch: expected {expected}, got {actual}")
+            }
+            PdbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            PdbError::InvalidDistribution(m) => write!(f, "invalid distribution: {m}"),
+            PdbError::InvalidWeight(m) => write!(f, "invalid repair-key weight: {m}"),
+            PdbError::NotComplete(r) => {
+                write!(f, "relation `{r}` must be complete for this operation")
+            }
+            PdbError::Invariant(m) => write!(f, "invariant violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+/// Result alias for the `pdb` crate.
+pub type Result<T> = std::result::Result<T, PdbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = PdbError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+        assert!(PdbError::UnknownRelation("R".into())
+            .to_string()
+            .contains("`R`"));
+        assert!(PdbError::NotComplete("S".into()).to_string().contains("complete"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&PdbError::Invariant("x".into()));
+    }
+}

@@ -1,0 +1,53 @@
+//! # Possible-worlds probabilistic data model
+//!
+//! This crate implements the probabilistic database model of Section 2 of
+//! Koch, *"Approximating Predicates and Expressive Queries on Probabilistic
+//! Databases"* (PODS 2008): a probabilistic database is a finite weighted set
+//! of possible worlds, each a complete relational instance, with
+//!
+//! * a completeness function `c` marking relations that agree by definition
+//!   across all worlds,
+//! * tuple confidence `Pr[t ∈ R]` as the total weight of the worlds
+//!   containing the tuple,
+//! * the `repair-key` uncertainty-introducing operation, and
+//! * the product combination `W₁ ⊗ W₂` of independent databases.
+//!
+//! This is the paper's *nonsuccinct* representation (Proposition 3.5); the
+//! succinct U-relational representation is the `urel` crate, and query
+//! evaluation over either lives in the `engine` crate.  Because every
+//! operation here has straightforward enumerate-all-worlds semantics, this
+//! crate doubles as the ground-truth oracle for the approximation machinery.
+//!
+//! ## Example: picking a coin from the bag (Example 2.2)
+//!
+//! ```
+//! use pdb::{relation, schema, tuple, ProbabilisticDatabase};
+//!
+//! let mut db = ProbabilisticDatabase::from_complete_relations([
+//!     ("Coins", relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]]),
+//! ]).unwrap();
+//! db.repair_key("Coins", &[], "Count", "Picked").unwrap();
+//! let p = db.confidence("Picked", &tuple!["fair", 2]).unwrap();
+//! assert!((p - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod database;
+mod error;
+mod relation;
+mod repair_key;
+mod schema;
+mod tuple;
+mod value;
+mod world;
+
+pub use database::{ProbabilisticDatabase, DISTRIBUTION_TOLERANCE};
+pub use error::{PdbError, Result};
+pub use relation::Relation;
+pub use repair_key::{repair_count, repairs, Repair};
+pub use schema::Schema;
+pub use tuple::Tuple;
+pub use value::{Value, F64};
+pub use world::World;

@@ -1,0 +1,181 @@
+//! World-level semantics of the `repair-key` operation (Section 2).
+//!
+//! `repair-key_{A⃗@B}(R)` computes all subset-maximal relations obtainable
+//! from the complete relation `R` by removing tuples such that `A⃗` becomes a
+//! key, i.e. it picks exactly one tuple per `A⃗`-group.  Each repair is a
+//! choice function `f : π_{A⃗}(R) → R`, weighted by the product over groups of
+//! the chosen tuple's `B` value divided by the group's total `B` weight.
+
+use crate::error::{PdbError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// One repair: the chosen tuples and the probability of this choice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Repair {
+    /// The repaired relation `R_f`.
+    pub relation: Relation,
+    /// Its probability `p_f`.
+    pub probability: f64,
+}
+
+/// Enumerates all repairs of `rel` for key `key_attrs` with weight column
+/// `weight_attr`.
+///
+/// The number of repairs is the product of the group sizes, so this is
+/// intended for reference semantics and moderate inputs; the succinct engine
+/// in the `engine` crate introduces random variables instead (Section 3).
+///
+/// Errors if a weight is non-numeric or not strictly positive, or if a group
+/// has zero total weight.
+pub fn repairs(rel: &Relation, key_attrs: &[&str], weight_attr: &str) -> Result<Vec<Repair>> {
+    let groups = rel.group_by(key_attrs)?;
+
+    // Validate weights up front so failure injection gets a typed error.
+    let mut weighted_groups: Vec<Vec<(Tuple, f64)>> = Vec::with_capacity(groups.len());
+    for (_, members) in &groups {
+        let mut wm = Vec::with_capacity(members.len());
+        let mut total = 0.0;
+        for t in members {
+            let w = rel.numeric_value(t, weight_attr)?;
+            if !(w > 0.0) || !w.is_finite() {
+                return Err(PdbError::InvalidWeight(format!(
+                    "weight {w} of tuple {t} is not a positive finite number"
+                )));
+            }
+            total += w;
+            wm.push((t.clone(), w));
+        }
+        if total <= 0.0 {
+            return Err(PdbError::InvalidWeight(
+                "group has zero total weight".to_owned(),
+            ));
+        }
+        for entry in &mut wm {
+            entry.1 /= total;
+        }
+        weighted_groups.push(wm);
+    }
+
+    // Cartesian product over the groups' choices.
+    let mut out: Vec<Repair> = vec![Repair {
+        relation: Relation::empty(rel.schema().clone()),
+        probability: 1.0,
+    }];
+    for group in &weighted_groups {
+        let mut next = Vec::with_capacity(out.len() * group.len());
+        for partial in &out {
+            for (tuple, p) in group {
+                let mut relation = partial.relation.clone();
+                relation.insert(tuple.clone())?;
+                next.push(Repair {
+                    relation,
+                    probability: partial.probability * p,
+                });
+            }
+        }
+        out = next;
+    }
+    Ok(out)
+}
+
+/// Number of repairs `repairs` would produce, without materialising them.
+pub fn repair_count(rel: &Relation, key_attrs: &[&str]) -> Result<usize> {
+    let groups = rel.group_by(key_attrs)?;
+    Ok(groups.iter().map(|(_, m)| m.len()).product())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{relation, schema, tuple};
+
+    fn coins() -> Relation {
+        relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]]
+    }
+
+    fn faces() -> Relation {
+        relation![schema!["CoinType", "Face", "FProb"];
+            ["fair", "H", 0.5], ["fair", "T", 0.5], ["2headed", "H", 1.0]]
+    }
+
+    #[test]
+    fn repair_on_empty_key_picks_one_tuple_total() {
+        // Example 2.2: repair-key_∅@Count(Coins) yields two worlds with
+        // probabilities 2/3 and 1/3.
+        let reps = repairs(&coins(), &[], "Count").unwrap();
+        assert_eq!(reps.len(), 2);
+        let mut probs: Vec<f64> = reps.iter().map(|r| r.probability).collect();
+        probs.sort_by(f64::total_cmp);
+        assert!((probs[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((probs[1] - 2.0 / 3.0).abs() < 1e-12);
+        for r in &reps {
+            assert_eq!(r.relation.len(), 1);
+        }
+        // The heavier repair keeps the `fair` tuple.
+        let fair = reps
+            .iter()
+            .find(|r| r.relation.contains(&tuple!["fair", 2]))
+            .unwrap();
+        assert!((fair.probability - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_on_key_groups_by_key() {
+        // Keying Faces by CoinType picks one face per coin type:
+        // 2 choices for fair × 1 for 2headed = 2 repairs, each containing two
+        // tuples.
+        let reps = repairs(&faces(), &["CoinType"], "FProb").unwrap();
+        assert_eq!(reps.len(), 2);
+        for r in &reps {
+            assert_eq!(r.relation.len(), 2);
+            assert!((r.probability - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let reps = repairs(&faces(), &["CoinType", "Face"], "FProb").unwrap();
+        // Every tuple is alone in its group: single repair of probability 1.
+        assert_eq!(reps.len(), 1);
+        assert!((reps[0].probability - 1.0).abs() < 1e-12);
+        assert_eq!(reps[0].relation.len(), 3);
+
+        let reps = repairs(&faces(), &[], "FProb").unwrap();
+        let total: f64 = reps.iter().map(|r| r.probability).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert_eq!(reps.len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let r = relation![schema!["A", "W"]; [1, 0], [2, 1]];
+        assert!(repairs(&r, &[], "W").is_err());
+        let r = relation![schema!["A", "W"]; [1, -1.0], [2, 1]];
+        assert!(repairs(&r, &[], "W").is_err());
+        let r = relation![schema!["A", "W"]; [1, "x"]];
+        assert!(repairs(&r, &[], "W").is_err());
+        let r = relation![schema!["A", "W"]; [1, 1]];
+        assert!(repairs(&r, &[], "Missing").is_err());
+    }
+
+    #[test]
+    fn repair_of_empty_relation_is_single_empty_world() {
+        let r = Relation::empty(schema!["A", "W"]);
+        let reps = repairs(&r, &[], "W").unwrap();
+        assert_eq!(reps.len(), 1);
+        assert!(reps[0].relation.is_empty());
+        assert!((reps[0].probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repair_count_matches_enumeration() {
+        assert_eq!(repair_count(&coins(), &[]).unwrap(), 2);
+        assert_eq!(repair_count(&faces(), &["CoinType"]).unwrap(), 2);
+        assert_eq!(repair_count(&faces(), &[]).unwrap(), 3);
+        assert_eq!(
+            repairs(&faces(), &["CoinType"], "FProb").unwrap().len(),
+            repair_count(&faces(), &["CoinType"]).unwrap()
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Relation schemas: named attribute lists.
+
+use crate::error::{PdbError, Result};
+use std::fmt;
+
+/// The schema of a relation: an ordered list of distinct attribute names.
+///
+/// The paper treats `sch(R)` as a set of attributes but relies on an implicit
+/// order for tuples; we make that order explicit and keep attribute names
+/// unique within a schema (duplicates arising from `×` are disambiguated by
+/// the caller, as in `UR.D`/`US.D` in Section 3).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Schema {
+    attrs: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names, which must be distinct.
+    pub fn new<S: Into<String>>(attrs: impl IntoIterator<Item = S>) -> Result<Self> {
+        let attrs: Vec<String> = attrs.into_iter().map(Into::into).collect();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].contains(a) {
+                return Err(PdbError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// The empty schema (for `π_∅`, Boolean queries).
+    pub fn empty() -> Self {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True if the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attribute names in order.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Position of attribute `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+
+    /// Positions of several attributes, failing on the first unknown one.
+    pub fn indices_of(&self, names: &[impl AsRef<str>]) -> Result<Vec<usize>> {
+        names
+            .iter()
+            .map(|n| {
+                self.index_of(n.as_ref())
+                    .ok_or_else(|| PdbError::UnknownAttribute(n.as_ref().to_owned()))
+            })
+            .collect()
+    }
+
+    /// True if `name` is an attribute of this schema.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
+    /// Schema of a projection onto `names` (in the given order).
+    pub fn project(&self, names: &[impl AsRef<str>]) -> Result<Schema> {
+        let idx = self.indices_of(names)?;
+        Ok(Schema {
+            attrs: idx.iter().map(|&i| self.attrs[i].clone()).collect(),
+        })
+    }
+
+    /// Concatenates two schemas; duplicate names on the right are prefixed
+    /// with `prefix` (mirroring `US.D`-style disambiguation of Section 3).
+    pub fn concat(&self, other: &Schema, prefix: &str) -> Result<Schema> {
+        let mut attrs = self.attrs.clone();
+        for a in &other.attrs {
+            if attrs.contains(a) {
+                let renamed = format!("{prefix}.{a}");
+                if attrs.contains(&renamed) {
+                    return Err(PdbError::DuplicateAttribute(renamed));
+                }
+                attrs.push(renamed);
+            } else {
+                attrs.push(a.clone());
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Renames attribute `from` to `to`.
+    pub fn rename(&self, from: &str, to: &str) -> Result<Schema> {
+        let i = self
+            .index_of(from)
+            .ok_or_else(|| PdbError::UnknownAttribute(from.to_owned()))?;
+        if self.contains(to) && from != to {
+            return Err(PdbError::DuplicateAttribute(to.to_owned()));
+        }
+        let mut attrs = self.attrs.clone();
+        attrs[i] = to.to_owned();
+        Ok(Schema { attrs })
+    }
+
+    /// Returns a new schema with `name` appended (used by `conf`, which adds
+    /// the probability column `P`).
+    pub fn with_appended(&self, name: &str) -> Result<Schema> {
+        if self.contains(name) {
+            return Err(PdbError::DuplicateAttribute(name.to_owned()));
+        }
+        let mut attrs = self.attrs.clone();
+        attrs.push(name.to_owned());
+        Ok(Schema { attrs })
+    }
+
+    /// Attributes of `self` that are not in `other` (set difference, order
+    /// preserved).  Used by repair-key to compute `(sch(R) − A⃗) − B`.
+    pub fn minus(&self, other: &[impl AsRef<str>]) -> Vec<String> {
+        let other: Vec<&str> = other.iter().map(|s| s.as_ref()).collect();
+        self.attrs
+            .iter()
+            .filter(|a| !other.contains(&a.as_str()))
+            .cloned()
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attrs.join(", "))
+    }
+}
+
+/// Builds a [`Schema`], panicking on duplicate names (intended for literals).
+#[macro_export]
+macro_rules! schema {
+    ($($a:expr),* $(,)?) => {
+        $crate::Schema::new(vec![$($a.to_string()),*]).expect("duplicate attribute in schema! literal")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Schema::new(["A", "B", "A"]).is_err());
+        assert!(Schema::new(["A", "B"]).is_ok());
+    }
+
+    #[test]
+    fn lookup_and_projection() {
+        let s = schema!["CoinType", "Count"];
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("Count"), Some(1));
+        assert!(s.contains("CoinType"));
+        assert!(!s.contains("Face"));
+        let p = s.project(&["Count"]).unwrap();
+        assert_eq!(p.attrs(), &["Count".to_string()]);
+        assert!(s.project(&["Nope"]).is_err());
+    }
+
+    #[test]
+    fn concat_disambiguates() {
+        let s = schema!["A", "B"];
+        let t = schema!["B", "C"];
+        let c = s.concat(&t, "t").unwrap();
+        assert_eq!(
+            c.attrs(),
+            &[
+                "A".to_string(),
+                "B".to_string(),
+                "t.B".to_string(),
+                "C".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn rename_and_append() {
+        let s = schema!["A", "B"];
+        let r = s.rename("B", "P1").unwrap();
+        assert_eq!(r.attrs(), &["A".to_string(), "P1".to_string()]);
+        assert!(s.rename("A", "B").is_err());
+        assert!(s.rename("Z", "Q").is_err());
+        let a = s.with_appended("P").unwrap();
+        assert_eq!(a.arity(), 3);
+        assert!(s.with_appended("A").is_err());
+    }
+
+    #[test]
+    fn minus_preserves_order() {
+        let s = schema!["A", "B", "C", "D"];
+        assert_eq!(s.minus(&["B", "D"]), vec!["A".to_string(), "C".to_string()]);
+        assert_eq!(s.minus(&["X"]).len(), 4);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let e = Schema::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.arity(), 0);
+        assert_eq!(e.to_string(), "()");
+    }
+}

@@ -1,0 +1,242 @@
+//! Scalar values stored in tuples.
+//!
+//! The paper's algebra allows arithmetic in selection conditions and in the
+//! arguments of `π`/`ρ` (Section 2), and the `conf` operator extends tuples
+//! with a numeric probability column `P`.  Values therefore need a numeric
+//! type with a total order so that relations (sets of tuples) can be kept in
+//! deterministic, canonical order.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// A totally ordered, hashable wrapper around `f64`.
+///
+/// Ordering uses [`f64::total_cmp`], so `NaN` values are admitted and sort
+/// after all other numbers; equality is bit-pattern based for `NaN` and value
+/// based otherwise (with `-0.0 == 0.0` normalised at construction).
+#[derive(Clone, Copy, Debug)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a float, normalising `-0.0` to `0.0` so equal-looking values
+    /// compare equal.
+    pub fn new(v: f64) -> Self {
+        if v == 0.0 {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// Returns the wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+/// A single attribute value.
+///
+/// `Null` exists only so that failure-injection tests can exercise missing
+/// data; the algebra itself never produces it.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Absent value (sorts first).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with total ordering.
+    Float(F64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// Convenience constructor for floats.
+    pub fn float(v: f64) -> Self {
+        Value::Float(F64::new(v))
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Numeric view: integers and floats are numbers, booleans count as 0/1.
+    ///
+    /// Returns `None` for strings and nulls, which lets arithmetic report a
+    /// type error instead of silently coercing.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(f.get()),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) | Value::Null => None,
+        }
+    }
+
+    /// Returns the integer if this value is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string slice if this value is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if this value is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is numeric (int, float or bool).
+    pub fn is_numeric(&self) -> bool {
+        self.as_f64().is_some()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn f64_total_order_and_hash() {
+        let a = F64::new(1.0);
+        let b = F64::new(1.0);
+        assert_eq!(a, b);
+        assert!(F64::new(-1.0) < F64::new(0.0));
+        assert!(F64::new(0.0) < F64::new(1.0));
+        // -0.0 is normalised
+        assert_eq!(F64::new(-0.0), F64::new(0.0));
+        // NaN admitted and ordered last
+        assert!(F64::new(f64::NAN) > F64::new(f64::INFINITY));
+    }
+
+    #[test]
+    fn value_ordering_is_total_and_stable() {
+        let mut set = BTreeSet::new();
+        set.insert(Value::Null);
+        set.insert(Value::Bool(true));
+        set.insert(Value::Int(3));
+        set.insert(Value::float(2.5));
+        set.insert(Value::str("x"));
+        assert_eq!(set.len(), 5);
+        let first = set.iter().next().unwrap();
+        assert_eq!(*first, Value::Null);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::float(0.25).as_f64(), Some(0.25));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::str("x").as_f64(), None);
+        assert_eq!(Value::Null.as_f64(), None);
+        assert!(Value::Int(1).is_numeric());
+        assert!(!Value::str("a").is_numeric());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(1.5f64), Value::float(1.5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::float(0.5).to_string(), "0.5");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+}

@@ -1,0 +1,162 @@
+//! Possible worlds: complete instances paired with a probability.
+
+use crate::error::{PdbError, Result};
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One possible world `⟨R₁, …, R_k, p⟩`: a complete database instance with a
+/// probability `0 < p ≤ 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct World {
+    relations: BTreeMap<String, Relation>,
+    prob: f64,
+}
+
+impl World {
+    /// Creates a world with the given probability and no relations.
+    pub fn new(prob: f64) -> Result<Self> {
+        if !(prob > 0.0 && prob <= 1.0 + 1e-12) {
+            return Err(PdbError::InvalidDistribution(format!(
+                "world probability {prob} not in (0, 1]"
+            )));
+        }
+        Ok(World {
+            relations: BTreeMap::new(),
+            prob,
+        })
+    }
+
+    /// The world's probability `p`.
+    pub fn probability(&self) -> f64 {
+        self.prob
+    }
+
+    /// Rescales the probability (used by `⊗` and by coalescing).
+    pub(crate) fn scale_probability(&mut self, factor: f64) {
+        self.prob *= factor;
+    }
+
+    /// Sets (or replaces) a relation.
+    pub fn set_relation(&mut self, name: impl Into<String>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| PdbError::UnknownRelation(name.to_owned()))
+    }
+
+    /// True if the world defines `name`.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterates over `(name, relation)` pairs in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Names of the relations in this world.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// True if tuple `t` is in relation `name` in this world.
+    pub fn contains(&self, name: &str, t: &Tuple) -> bool {
+        self.relations.get(name).is_some_and(|r| r.contains(t))
+    }
+
+    /// Merges the relations of `other` into this world, multiplying the
+    /// probabilities.  Relations present in both must be identical (they can
+    /// only be the complete ones, which agree by definition).
+    pub fn combine(&self, other: &World) -> Result<World> {
+        let mut relations = self.relations.clone();
+        for (name, rel) in &other.relations {
+            match relations.get(name) {
+                Some(existing) if existing != rel => {
+                    return Err(PdbError::SchemaMismatch(format!(
+                        "relation `{name}` differs between combined worlds"
+                    )));
+                }
+                _ => {
+                    relations.insert(name.clone(), rel.clone());
+                }
+            }
+        }
+        Ok(World {
+            relations,
+            prob: self.prob * other.prob,
+        })
+    }
+
+    /// The world's database content without the probability, used to decide
+    /// whether two worlds are identical and can be coalesced.
+    pub fn content(&self) -> &BTreeMap<String, Relation> {
+        &self.relations
+    }
+}
+
+impl fmt::Display for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "world (p = {}):", self.prob)?;
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name} {rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{relation, schema, tuple};
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(World::new(0.0).is_err());
+        assert!(World::new(-0.1).is_err());
+        assert!(World::new(1.5).is_err());
+        assert!(World::new(1.0).is_ok());
+        assert!(World::new(1e-9).is_ok());
+    }
+
+    #[test]
+    fn relation_access() {
+        let mut w = World::new(0.5).unwrap();
+        w.set_relation("R", relation![schema!["A"]; [1], [2]]);
+        assert!(w.has_relation("R"));
+        assert!(w.contains("R", &tuple![1]));
+        assert!(!w.contains("R", &tuple![3]));
+        assert!(!w.contains("S", &tuple![1]));
+        assert!(w.relation("S").is_err());
+        assert_eq!(w.relation_names(), vec!["R".to_string()]);
+    }
+
+    #[test]
+    fn combine_multiplies_probabilities() {
+        let mut a = World::new(0.5).unwrap();
+        a.set_relation("R", relation![schema!["A"]; [1]]);
+        let mut b = World::new(0.25).unwrap();
+        b.set_relation("S", relation![schema!["B"]; [2]]);
+        let c = a.combine(&b).unwrap();
+        assert!((c.probability() - 0.125).abs() < 1e-12);
+        assert!(c.has_relation("R") && c.has_relation("S"));
+    }
+
+    #[test]
+    fn combine_rejects_conflicting_shared_relations() {
+        let mut a = World::new(0.5).unwrap();
+        a.set_relation("R", relation![schema!["A"]; [1]]);
+        let mut b = World::new(0.5).unwrap();
+        b.set_relation("R", relation![schema!["A"]; [2]]);
+        assert!(a.combine(&b).is_err());
+        // identical shared relation is fine
+        let mut c = World::new(0.5).unwrap();
+        c.set_relation("R", relation![schema!["A"]; [1]]);
+        assert!(a.combine(&c).is_ok());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the relational core: algebraic laws of the per-world
+//! operations and invariants of `repair-key`.
+
+use pdb::{repair_count, repairs, Relation, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+fn arb_relation(max_rows: usize) -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..5, 0i64..5, 1i64..6), 0..max_rows).prop_map(|rows| {
+        let schema = Schema::new(["A", "B", "W"]).unwrap();
+        let mut rel = Relation::empty(schema);
+        for (a, b, w) in rows {
+            let _ = rel.insert(Tuple::new(vec![
+                Value::Int(a),
+                Value::Int(b),
+                Value::Int(w),
+            ]));
+        }
+        rel
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Union is commutative and associative; intersection distributes as set
+    /// semantics dictate.
+    #[test]
+    fn union_laws(a in arb_relation(8), b in arb_relation(8), c in arb_relation(8)) {
+        let ab = a.union(&b).unwrap();
+        let ba = b.union(&a).unwrap();
+        prop_assert_eq!(&ab, &ba);
+        let left = ab.union(&c).unwrap();
+        let right = a.union(&b.union(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+        // Union with itself is identity.
+        prop_assert_eq!(a.union(&a).unwrap(), a.clone());
+    }
+
+    /// Difference and intersection relate as A ∩ B = A − (A − B).
+    #[test]
+    fn difference_intersection_law(a in arb_relation(8), b in arb_relation(8)) {
+        let diff = a.difference(&b).unwrap();
+        let derived_intersection = a.difference(&diff).unwrap();
+        prop_assert_eq!(derived_intersection, a.intersection(&b).unwrap());
+        // Difference never grows.
+        prop_assert!(a.difference(&b).unwrap().len() <= a.len());
+    }
+
+    /// Selection commutes with union and distributes over intersection.
+    #[test]
+    fn selection_commutes_with_union(a in arb_relation(8), b in arb_relation(8), bound in 0i64..5) {
+        let pred = |t: &Tuple| t[0] >= Value::Int(bound);
+        let left = a.union(&b).unwrap().select(pred);
+        let right = a.select(pred).union(&b.select(pred)).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Projection of a union equals the union of projections.
+    #[test]
+    fn projection_distributes_over_union(a in arb_relation(8), b in arb_relation(8)) {
+        let left = a.union(&b).unwrap().project(&["A"]).unwrap();
+        let right = a
+            .project(&["A"]).unwrap()
+            .union(&b.project(&["A"]).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Natural join with itself is idempotent (a relation joined with itself
+    /// on all attributes is itself).
+    #[test]
+    fn self_join_is_identity(a in arb_relation(8)) {
+        let joined = a.natural_join(&a).unwrap();
+        prop_assert_eq!(joined, a.clone());
+    }
+
+    /// Repairs form a probability distribution over subset-maximal key-
+    /// respecting subsets: probabilities are positive and sum to one, every
+    /// repair picks exactly one tuple per key group, and the number of
+    /// repairs matches the group-size product.
+    #[test]
+    fn repair_key_is_a_distribution(a in arb_relation(6)) {
+        prop_assume!(!a.is_empty());
+        let reps = repairs(&a, &["A"], "W").unwrap();
+        prop_assert_eq!(reps.len(), repair_count(&a, &["A"]).unwrap());
+        let total: f64 = reps.iter().map(|r| r.probability).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let groups = a.group_by(&["A"]).unwrap();
+        for rep in &reps {
+            prop_assert!(rep.probability > 0.0);
+            prop_assert_eq!(rep.relation.len(), groups.len());
+            // One representative per group key.
+            let keys = rep.relation.project(&["A"]).unwrap();
+            prop_assert_eq!(keys.len(), groups.len());
+        }
+    }
+
+    /// Tuple confidence under repair-key equals the tuple's weight share of
+    /// its key group.
+    #[test]
+    fn repair_key_marginals_match_weight_shares(a in arb_relation(6)) {
+        prop_assume!(!a.is_empty());
+        let reps = repairs(&a, &["A"], "W").unwrap();
+        for t in a.iter() {
+            let marginal: f64 = reps
+                .iter()
+                .filter(|r| r.relation.contains(t))
+                .map(|r| r.probability)
+                .sum();
+            let group_total: f64 = a
+                .iter()
+                .filter(|u| u[0] == t[0])
+                .map(|u| u[2].as_f64().unwrap())
+                .sum();
+            let expected = t[2].as_f64().unwrap() / group_total;
+            prop_assert!((marginal - expected).abs() < 1e-9,
+                "tuple {} has marginal {} expected {}", t, marginal, expected);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Conversions between the succinct U-relational representation and the
+//! nonsuccinct possible-worlds representation (Theorem 3.1: U-relational
+//! databases are a complete representation system).
+
+use crate::condition::Condition;
+use crate::error::{Result, UrelError};
+use crate::udb::UDatabase;
+use crate::urelation::URelation;
+use crate::variable::Var;
+use crate::wtable::WTable;
+use pdb::{ProbabilisticDatabase, Value, World};
+
+/// Default limit on the number of worlds [`decode`] is willing to
+/// materialise.  Decoding is exponential in the number of variables; it is a
+/// test/oracle facility, not a query-processing path.
+pub const DEFAULT_DECODE_LIMIT: u128 = 1 << 20;
+
+/// Enumerates every total assignment `f* : Var → Dom` of the W-table together
+/// with its probability, in a deterministic order.
+pub fn total_assignments(w: &WTable) -> Vec<(Condition, f64)> {
+    let mut out = vec![(Condition::always(), 1.0)];
+    for (var, dist) in w.iter() {
+        let mut next = Vec::with_capacity(out.len() * dist.len());
+        for (cond, p) in &out {
+            for (value, q) in dist {
+                let mut c = cond.clone();
+                // A fresh variable can never conflict with the prefix.
+                c.assign(var.clone(), value.clone())
+                    .expect("fresh variable cannot conflict");
+                next.push((c, p * q));
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+/// Decodes a U-relational database into the explicit set of possible worlds
+/// it represents.
+///
+/// Worlds are produced per total assignment, so worlds with identical
+/// relation contents are *not* merged (they are distinct `f*`); call
+/// [`pdb::ProbabilisticDatabase::coalesce`] afterwards if a merged view is
+/// wanted.  Fails if the W-table induces more than `limit` assignments.
+pub fn decode(udb: &UDatabase, limit: u128) -> Result<ProbabilisticDatabase> {
+    udb.validate()?;
+    let n = udb.num_possible_worlds();
+    if n > limit {
+        return Err(UrelError::TooManyWorlds { worlds: n, limit });
+    }
+    let assignments = total_assignments(udb.wtable());
+    let mut worlds = Vec::with_capacity(assignments.len());
+    for (assignment, p) in assignments {
+        let mut world = World::new(p).map_err(UrelError::from)?;
+        for name in udb.relation_names() {
+            let rel = udb.relation(&name)?;
+            world.set_relation(name, rel.instantiate(&assignment));
+        }
+        worlds.push(world);
+    }
+    let complete = udb
+        .relation_names()
+        .into_iter()
+        .map(|n| {
+            let c = udb.is_complete(&n);
+            (n, c)
+        })
+        .collect::<Vec<_>>();
+    ProbabilisticDatabase::from_worlds(worlds, complete).map_err(UrelError::from)
+}
+
+/// Decodes with the [`DEFAULT_DECODE_LIMIT`].
+pub fn decode_default(udb: &UDatabase) -> Result<ProbabilisticDatabase> {
+    decode(udb, DEFAULT_DECODE_LIMIT)
+}
+
+/// Name of the world-selector variable introduced by [`encode`].
+pub const WORLD_VAR: &str = "__world";
+
+/// Encodes an explicit probabilistic database as a U-relational database
+/// (the construction behind Theorem 3.1).
+///
+/// A single variable [`WORLD_VAR`] with one domain value per possible world
+/// selects the world; each tuple of an uncertain relation in world `i` yields
+/// a row conditioned on `__world ↦ i`, while complete relations keep empty
+/// conditions.
+pub fn encode(db: &ProbabilisticDatabase) -> Result<UDatabase> {
+    db.validate()?;
+    let mut udb = UDatabase::new();
+    let world_var = Var::new(WORLD_VAR);
+
+    // Only introduce the selector variable if there is actual uncertainty.
+    if db.num_worlds() > 1 {
+        let dist: Vec<(Value, f64)> = db
+            .worlds()
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (Value::Int(i as i64), w.probability()))
+            .collect();
+        udb.add_variable(world_var.clone(), dist)?;
+    }
+
+    for name in db.relation_names() {
+        let schema = db.schema_of(&name)?;
+        if db.is_complete(&name) || db.num_worlds() == 1 {
+            udb.add_complete_relation(&name, db.worlds()[0].relation(&name)?);
+            continue;
+        }
+        let mut urel = URelation::empty(schema);
+        for (i, w) in db.worlds().iter().enumerate() {
+            let cond = Condition::new([(world_var.clone(), Value::Int(i as i64))])?;
+            for t in w.relation(&name)?.iter() {
+                urel.insert(cond.clone(), t.clone())?;
+            }
+        }
+        udb.set_relation(name, urel, false);
+    }
+    udb.validate()?;
+    Ok(udb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb::{relation, schema, tuple};
+
+    fn coin_udb() -> UDatabase {
+        let mut db = UDatabase::from_complete_relations([(
+            "Coins",
+            relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+        )]);
+        db.add_variable(
+            Var::new("c"),
+            [
+                (Value::str("fair"), 2.0 / 3.0),
+                (Value::str("2headed"), 1.0 / 3.0),
+            ],
+        )
+        .unwrap();
+        let mut ur = URelation::empty(schema!["CoinType"]);
+        ur.insert(
+            Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+            tuple!["fair"],
+        )
+        .unwrap();
+        ur.insert(
+            Condition::new([(Var::new("c"), Value::str("2headed"))]).unwrap(),
+            tuple!["2headed"],
+        )
+        .unwrap();
+        db.set_relation("R", ur, false);
+        db
+    }
+
+    #[test]
+    fn total_assignments_enumerate_the_product_space() {
+        let db = coin_udb();
+        let assignments = total_assignments(db.wtable());
+        assert_eq!(assignments.len(), 2);
+        let total: f64 = assignments.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_produces_the_expected_worlds() {
+        let db = coin_udb();
+        let pdb = decode_default(&db).unwrap();
+        assert_eq!(pdb.num_worlds(), 2);
+        let p_fair = pdb.confidence("R", &tuple!["fair"]).unwrap();
+        assert!((p_fair - 2.0 / 3.0).abs() < 1e-12);
+        // Complete relation present in every world.
+        assert_eq!(pdb.cert("Coins").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn decode_respects_the_world_limit() {
+        let db = coin_udb();
+        assert!(matches!(
+            decode(&db, 1),
+            Err(UrelError::TooManyWorlds { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_then_decode_round_trips_confidence() {
+        let db = coin_udb();
+        let explicit = decode_default(&db).unwrap();
+        let re_encoded = encode(&explicit).unwrap();
+        let decoded_again = decode_default(&re_encoded).unwrap();
+        for t in [tuple!["fair"], tuple!["2headed"]] {
+            let a = explicit.confidence("R", &t).unwrap();
+            let b = decoded_again.confidence("R", &t).unwrap();
+            assert!((a - b).abs() < 1e-12);
+        }
+        // Complete relations survive as complete.
+        assert!(re_encoded.is_complete("Coins"));
+        assert!(!re_encoded.is_complete("R"));
+    }
+
+    #[test]
+    fn encode_of_single_world_database_needs_no_variables() {
+        let explicit = ProbabilisticDatabase::from_complete_relations([(
+            "S",
+            relation![schema!["A"]; [1], [2]],
+        )])
+        .unwrap();
+        let udb = encode(&explicit).unwrap();
+        assert_eq!(udb.num_possible_worlds(), 1);
+        assert!(udb.wtable().is_empty());
+        assert!(udb.is_complete("S"));
+    }
+}

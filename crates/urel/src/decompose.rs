@@ -1,0 +1,173 @@
+//! Vertical decomposition of U-relations (attribute-level uncertainty).
+//!
+//! Section 3 notes that "attribute-level uncertainty can be realized
+//! succinctly by vertical decompositioning without additional cost" [1].
+//! This module provides that facility: a U-relation over schema
+//! `(K⃗, A₁, …, A_m)` can be split into `m` component U-relations
+//! `(K⃗, A_i)`, each carrying only the conditions relevant to its attribute,
+//! and re-assembled by a key-join that merges conditions.
+
+use crate::condition::Condition;
+use crate::error::{Result, UrelError};
+use crate::urelation::URelation;
+use pdb::{Schema, Tuple};
+
+/// One vertical fragment: the key attributes plus a single payload attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fragment {
+    /// The payload attribute this fragment stores.
+    pub attribute: String,
+    /// Rows of schema `(K⃗, attribute)`.
+    pub relation: URelation,
+}
+
+/// Splits `rel` into one fragment per non-key attribute.
+///
+/// Every fragment row keeps the full condition of its source row, so the
+/// decomposition loses no uncertainty information.
+pub fn decompose(rel: &URelation, key: &[&str]) -> Result<Vec<Fragment>> {
+    let schema = rel.schema();
+    let key_idx = schema.indices_of(key).map_err(UrelError::from)?;
+    let payload: Vec<String> = schema.minus(key);
+    if payload.is_empty() {
+        return Err(UrelError::Invariant(
+            "vertical decomposition needs at least one non-key attribute".into(),
+        ));
+    }
+
+    let mut fragments = Vec::with_capacity(payload.len());
+    for attr in &payload {
+        let attr_idx = schema
+            .index_of(attr)
+            .expect("attribute comes from the schema");
+        let mut frag_schema_names: Vec<String> = key.iter().map(|s| s.to_string()).collect();
+        frag_schema_names.push(attr.clone());
+        let frag_schema = Schema::new(frag_schema_names).map_err(UrelError::from)?;
+        let mut frag = URelation::empty(frag_schema);
+        for row in rel.iter() {
+            let mut values: Vec<pdb::Value> = key_idx
+                .iter()
+                .map(|&i| row.tuple[i].clone())
+                .collect();
+            values.push(row.tuple[attr_idx].clone());
+            frag.insert(row.condition.clone(), Tuple::new(values))?;
+        }
+        fragments.push(Fragment {
+            attribute: attr.clone(),
+            relation: frag,
+        });
+    }
+    Ok(fragments)
+}
+
+/// Re-assembles fragments produced by [`decompose`] by joining them on the
+/// key attributes and merging (unioning) their conditions; rows whose
+/// conditions conflict do not join, exactly as in the parsimonious product
+/// translation.
+pub fn recompose(fragments: &[Fragment], key: &[&str]) -> Result<URelation> {
+    let first = fragments.first().ok_or_else(|| {
+        UrelError::Invariant("cannot recompose an empty fragment list".into())
+    })?;
+
+    // Output schema: key attributes then each fragment's payload attribute.
+    let mut names: Vec<String> = key.iter().map(|s| s.to_string()).collect();
+    for f in fragments {
+        names.push(f.attribute.clone());
+    }
+    let out_schema = Schema::new(names).map_err(UrelError::from)?;
+
+    let key_len = key.len();
+    // Start from the first fragment's rows.
+    let mut acc: Vec<(Condition, Vec<pdb::Value>)> = first
+        .relation
+        .iter()
+        .map(|row| (row.condition.clone(), row.tuple.clone().into_values()))
+        .collect();
+
+    for frag in &fragments[1..] {
+        let mut next = Vec::new();
+        for (cond, values) in &acc {
+            for row in frag.relation.iter() {
+                let row_values = row.tuple.clone().into_values();
+                // Key columns must match.
+                if values[..key_len] != row_values[..key_len] {
+                    continue;
+                }
+                let Some(merged) = cond.merge(&row.condition) else {
+                    continue;
+                };
+                let mut combined = values.clone();
+                combined.push(row_values[key_len].clone());
+                next.push((merged, combined));
+            }
+        }
+        acc = next;
+    }
+
+    let mut out = URelation::empty(out_schema);
+    for (cond, values) in acc {
+        out.insert(cond, Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+    use pdb::{schema, tuple, Value};
+
+    fn sensor_urel() -> URelation {
+        // Sensor readings keyed by SensorId, with uncertain Temp and Hum.
+        let mut u = URelation::empty(schema!["SensorId", "Temp", "Hum"]);
+        let x1 = Condition::new([(Var::new("x1"), Value::Int(0))]).unwrap();
+        let x2 = Condition::new([(Var::new("x1"), Value::Int(1))]).unwrap();
+        u.insert(x1, tuple![1, 20.0, 0.4]).unwrap();
+        u.insert(x2, tuple![1, 22.0, 0.5]).unwrap();
+        u.insert(Condition::always(), tuple![2, 18.0, 0.6]).unwrap();
+        u
+    }
+
+    #[test]
+    fn decompose_produces_one_fragment_per_payload_attribute() {
+        let u = sensor_urel();
+        let frags = decompose(&u, &["SensorId"]).unwrap();
+        assert_eq!(frags.len(), 2);
+        assert_eq!(frags[0].attribute, "Temp");
+        assert_eq!(frags[1].attribute, "Hum");
+        assert_eq!(frags[0].relation.len(), 3);
+        assert_eq!(frags[0].relation.schema().attrs(), &["SensorId".to_string(), "Temp".to_string()]);
+    }
+
+    #[test]
+    fn recompose_round_trips() {
+        let u = sensor_urel();
+        let frags = decompose(&u, &["SensorId"]).unwrap();
+        let back = recompose(&frags, &["SensorId"]).unwrap();
+        assert_eq!(back, u);
+    }
+
+    #[test]
+    fn recompose_drops_conflicting_conditions() {
+        // Fragments whose rows disagree on the variable assignment do not
+        // join: sensor 1's Temp under x1=0 cannot pair with Hum under x1=1.
+        let u = sensor_urel();
+        let frags = decompose(&u, &["SensorId"]).unwrap();
+        let back = recompose(&frags, &["SensorId"]).unwrap();
+        // Only consistent combinations survive: 2 for sensor 1, 1 for sensor 2.
+        assert_eq!(back.len(), 3);
+    }
+
+    #[test]
+    fn decompose_requires_a_payload() {
+        let u = URelation::empty(schema!["K"]);
+        assert!(decompose(&u, &["K"]).is_err());
+        assert!(recompose(&[], &["K"]).is_err());
+    }
+
+    #[test]
+    fn decompose_unknown_key_errors() {
+        let u = sensor_urel();
+        assert!(decompose(&u, &["Nope"]).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for the U-relational representation system.
+
+use std::fmt;
+
+/// Errors raised by the `urel` crate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UrelError {
+    /// A variable was used that is not declared in the W-table.
+    UnknownVariable(String),
+    /// A domain value was used that is not in the variable's domain.
+    UnknownDomainValue {
+        /// The variable.
+        var: String,
+        /// The offending domain value.
+        value: String,
+    },
+    /// A variable's distribution is invalid (non-positive probabilities or a
+    /// total different from 1).
+    InvalidDistribution {
+        /// The variable.
+        var: String,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// A condition assigned two different values to the same variable.
+    InconsistentCondition(String),
+    /// A relation name was referenced that does not exist.
+    UnknownRelation(String),
+    /// Error propagated from the possible-worlds layer.
+    Pdb(pdb::PdbError),
+    /// The decoded world set would be too large to materialise.
+    TooManyWorlds {
+        /// Number of total assignments the W-table induces.
+        worlds: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// Generic invariant violation.
+    Invariant(String),
+}
+
+impl fmt::Display for UrelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrelError::UnknownVariable(v) => write!(f, "unknown random variable `{v}`"),
+            UrelError::UnknownDomainValue { var, value } => {
+                write!(f, "value `{value}` is not in the domain of variable `{var}`")
+            }
+            UrelError::InvalidDistribution { var, reason } => {
+                write!(f, "invalid distribution for variable `{var}`: {reason}")
+            }
+            UrelError::InconsistentCondition(v) => {
+                write!(f, "condition assigns two values to variable `{v}`")
+            }
+            UrelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            UrelError::Pdb(e) => write!(f, "{e}"),
+            UrelError::TooManyWorlds { worlds, limit } => write!(
+                f,
+                "decoding would materialise {worlds} worlds, above the limit of {limit}"
+            ),
+            UrelError::Invariant(m) => write!(f, "invariant violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for UrelError {}
+
+impl From<pdb::PdbError> for UrelError {
+    fn from(e: pdb::PdbError) -> Self {
+        UrelError::Pdb(e)
+    }
+}
+
+/// Result alias for the `urel` crate.
+pub type Result<T> = std::result::Result<T, UrelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(UrelError::UnknownVariable("x".into())
+            .to_string()
+            .contains("`x`"));
+        assert!(UrelError::TooManyWorlds {
+            worlds: 1 << 40,
+            limit: 1 << 20
+        }
+        .to_string()
+        .contains("limit"));
+        let e: UrelError = pdb::PdbError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("`R`"));
+    }
+}

@@ -1,0 +1,57 @@
+//! # U-relational databases
+//!
+//! The succinct and complete representation system for probabilistic
+//! databases used throughout Koch (PODS 2008), Section 3: a finite set of
+//! independent discrete random variables (the [`WTable`]) together with
+//! representation relations ([`URelation`]) whose rows pair a data tuple with
+//! a [`Condition`] — a partial assignment of variables to domain values.
+//!
+//! A tuple is in relation `R` of the possible world identified by a total
+//! assignment `f*` iff some row `⟨f, t⟩ ∈ U_R` has `f` consistent with `f*`.
+//!
+//! The module [`convert`] implements both directions of Theorem 3.1
+//! (completeness of the representation system): decoding a [`UDatabase`]
+//! into an explicit [`pdb::ProbabilisticDatabase`] and encoding any explicit
+//! database back into a U-relational one.  [`decompose`] provides the
+//! vertical decomposition for attribute-level uncertainty mentioned in the
+//! same section.
+//!
+//! ```
+//! use urel::{Condition, UDatabase, URelation, Var};
+//! use pdb::{schema, tuple, Value};
+//!
+//! // Figure 1(a): the picked coin is fair with probability 2/3.
+//! let mut db = UDatabase::new();
+//! db.add_variable(Var::new("c"), [
+//!     (Value::str("fair"), 2.0 / 3.0),
+//!     (Value::str("2headed"), 1.0 / 3.0),
+//! ]).unwrap();
+//! let mut ur = URelation::empty(schema!["CoinType"]);
+//! ur.insert(Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+//!           tuple!["fair"]).unwrap();
+//! db.set_relation("R", ur, false);
+//! let event = db.event_for("R", &tuple!["fair"]).unwrap();
+//! assert!((event[0].weight(db.wtable()).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod condition;
+pub mod convert;
+pub mod decompose;
+mod error;
+mod udb;
+mod urelation;
+mod variable;
+mod wtable;
+
+pub use condition::Condition;
+pub use convert::{
+    decode, decode_default, encode, total_assignments, DEFAULT_DECODE_LIMIT, WORLD_VAR,
+};
+pub use error::{Result, UrelError};
+pub use udb::UDatabase;
+pub use urelation::{URelation, URow};
+pub use variable::Var;
+pub use wtable::{WTable, WTABLE_TOLERANCE};

@@ -1,0 +1,212 @@
+//! U-relational databases: a W-table plus a set of named U-relations.
+
+use crate::condition::Condition;
+use crate::error::{Result, UrelError};
+use crate::urelation::URelation;
+use crate::variable::Var;
+use crate::wtable::WTable;
+use pdb::{Relation, Schema, Tuple};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A U-relational database `⟨U_{R₁}, …, U_{R_k}, W⟩` (Section 3).
+///
+/// This is the succinct, complete representation system over which the
+/// `engine` crate evaluates UA queries by parsimonious translation.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct UDatabase {
+    wtable: WTable,
+    relations: BTreeMap<String, URelation>,
+    complete: BTreeMap<String, bool>,
+}
+
+impl UDatabase {
+    /// Creates an empty database (no variables, no relations).
+    pub fn new() -> Self {
+        UDatabase::default()
+    }
+
+    /// Creates a database whose relations are all complete.
+    pub fn from_complete_relations(
+        relations: impl IntoIterator<Item = (impl Into<String>, Relation)>,
+    ) -> Self {
+        let mut db = UDatabase::new();
+        for (name, rel) in relations {
+            db.add_complete_relation(name, &rel);
+        }
+        db
+    }
+
+    /// Read access to the W-table.
+    pub fn wtable(&self) -> &WTable {
+        &self.wtable
+    }
+
+    /// Mutable access to the W-table (used by `repair-key` translation to
+    /// introduce variables).
+    pub fn wtable_mut(&mut self) -> &mut WTable {
+        &mut self.wtable
+    }
+
+    /// Adds a complete relation (empty conditions, marked complete).
+    pub fn add_complete_relation(&mut self, name: impl Into<String>, rel: &Relation) {
+        let name = name.into();
+        self.relations
+            .insert(name.clone(), URelation::from_complete(rel));
+        self.complete.insert(name, true);
+    }
+
+    /// Adds (or replaces) an uncertain relation.
+    pub fn set_relation(&mut self, name: impl Into<String>, rel: URelation, complete: bool) {
+        let name = name.into();
+        self.relations.insert(name.clone(), rel);
+        self.complete.insert(name, complete);
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Result<&URelation> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| UrelError::UnknownRelation(name.to_owned()))
+    }
+
+    /// True if relation `name` exists.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// True if relation `name` is marked complete by definition.
+    pub fn is_complete(&self, name: &str) -> bool {
+        self.complete.get(name).copied().unwrap_or(false)
+    }
+
+    /// Names of all relations, in order.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Schema of relation `name`.
+    pub fn schema_of(&self, name: &str) -> Result<Schema> {
+        Ok(self.relation(name)?.schema().clone())
+    }
+
+    /// The event (DNF of conditions) under which tuple `t` belongs to
+    /// relation `name`; its probability is the tuple's confidence.
+    pub fn event_for(&self, name: &str, t: &Tuple) -> Result<Vec<Condition>> {
+        Ok(self.relation(name)?.conditions_for(t))
+    }
+
+    /// Introduces a fresh variable, erroring if it already exists.
+    pub fn add_variable(
+        &mut self,
+        var: Var,
+        distribution: impl IntoIterator<Item = (pdb::Value, f64)>,
+    ) -> Result<()> {
+        self.wtable.add_variable(var, distribution)
+    }
+
+    /// Checks that every condition in every relation only mentions declared
+    /// variables and domain values.
+    pub fn validate(&self) -> Result<()> {
+        for rel in self.relations.values() {
+            rel.check_against(&self.wtable)?;
+        }
+        Ok(())
+    }
+
+    /// Number of possible worlds (total assignments) the W-table induces.
+    pub fn num_possible_worlds(&self) -> u128 {
+        self.wtable.num_total_assignments()
+    }
+}
+
+impl fmt::Display for UDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            let marker = if self.is_complete(name) { " (complete)" } else { "" };
+            writeln!(f, "U_{name}{marker}:\n{rel}")?;
+        }
+        write!(f, "{}", self.wtable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdb::{relation, schema, tuple, Value};
+
+    fn figure1a() -> UDatabase {
+        let mut db = UDatabase::from_complete_relations([
+            (
+                "Coins",
+                relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+            ),
+        ]);
+        db.add_variable(
+            Var::new("c"),
+            [
+                (Value::str("fair"), 2.0 / 3.0),
+                (Value::str("2headed"), 1.0 / 3.0),
+            ],
+        )
+        .unwrap();
+        let mut ur = URelation::empty(schema!["CoinType"]);
+        ur.insert(
+            Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+            tuple!["fair"],
+        )
+        .unwrap();
+        ur.insert(
+            Condition::new([(Var::new("c"), Value::str("2headed"))]).unwrap(),
+            tuple!["2headed"],
+        )
+        .unwrap();
+        db.set_relation("R", ur, false);
+        db
+    }
+
+    #[test]
+    fn builds_figure_1a() {
+        let db = figure1a();
+        db.validate().unwrap();
+        assert!(db.is_complete("Coins"));
+        assert!(!db.is_complete("R"));
+        assert_eq!(db.num_possible_worlds(), 2);
+        assert_eq!(db.relation_names(), vec!["Coins".to_string(), "R".to_string()]);
+        let ev = db.event_for("R", &tuple!["fair"]).unwrap();
+        assert_eq!(ev.len(), 1);
+        let w = ev[0].weight(db.wtable()).unwrap();
+        assert!((w - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let db = figure1a();
+        assert!(db.relation("Nope").is_err());
+        assert!(db.schema_of("Nope").is_err());
+        assert!(db.event_for("Nope", &tuple![1]).is_err());
+        assert!(!db.has_relation("Nope"));
+        assert!(db.has_relation("R"));
+    }
+
+    #[test]
+    fn validate_catches_undeclared_variables() {
+        let mut db = figure1a();
+        let mut bad = URelation::empty(schema!["A"]);
+        bad.insert(
+            Condition::new([(Var::new("ghost"), Value::Int(1))]).unwrap(),
+            tuple![1],
+        )
+        .unwrap();
+        db.set_relation("Bad", bad, false);
+        assert!(db.validate().is_err());
+    }
+
+    #[test]
+    fn empty_database_is_valid() {
+        let db = UDatabase::new();
+        db.validate().unwrap();
+        assert_eq!(db.num_possible_worlds(), 1);
+        assert!(db.relation_names().is_empty());
+    }
+}

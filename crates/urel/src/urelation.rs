@@ -1,0 +1,236 @@
+//! U-relations: representation relations `U_R(D, A⃗)` pairing a condition
+//! with a data tuple.
+
+use crate::condition::Condition;
+use crate::error::Result;
+use crate::wtable::WTable;
+use pdb::{Relation, Schema, Tuple};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One row `⟨f, t⟩` of a U-relation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct URow {
+    /// The condition `f` (the `D` columns).
+    pub condition: Condition,
+    /// The data tuple `t` (the `A⃗` columns).
+    pub tuple: Tuple,
+}
+
+/// A U-relation: a set of condition/tuple rows over a fixed data schema.
+///
+/// Tuple `t` is in relation `R` of possible world `f*` iff some row
+/// `⟨f, t⟩` has `f` consistent with `f*`.  A classical complete relation is
+/// the special case where every condition is empty.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct URelation {
+    schema: Schema,
+    rows: BTreeSet<URow>,
+}
+
+impl URelation {
+    /// Creates an empty U-relation with the given data schema.
+    pub fn empty(schema: Schema) -> Self {
+        URelation {
+            schema,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Creates a U-relation representing a complete relation: every tuple is
+    /// paired with the empty condition.
+    pub fn from_complete(rel: &Relation) -> Self {
+        let mut u = URelation::empty(rel.schema().clone());
+        for t in rel.iter() {
+            u.rows.insert(URow {
+                condition: Condition::always(),
+                tuple: t.clone(),
+            });
+        }
+        u
+    }
+
+    /// The data schema `A⃗` (conditions are not part of the schema).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the U-relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row; duplicate rows are kept only once.
+    pub fn insert(&mut self, condition: Condition, tuple: Tuple) -> Result<bool> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(pdb::PdbError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            }
+            .into());
+        }
+        Ok(self.rows.insert(URow { condition, tuple }))
+    }
+
+    /// Iterates over the rows in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &URow> {
+        self.rows.iter()
+    }
+
+    /// `poss(R)`: the distinct data tuples appearing in any row.
+    pub fn possible_tuples(&self) -> Relation {
+        let mut rel = Relation::empty(self.schema.clone());
+        for row in &self.rows {
+            // Arity already validated on insert.
+            let _ = rel.insert(row.tuple.clone());
+        }
+        rel
+    }
+
+    /// The event `F = {f | ⟨f, t⟩ ∈ U_R}` for tuple `t`: the set of
+    /// conditions under which `t` appears.  This is the DNF whose probability
+    /// is the tuple's confidence (Section 4).
+    pub fn conditions_for(&self, t: &Tuple) -> Vec<Condition> {
+        self.rows
+            .iter()
+            .filter(|r| &r.tuple == t)
+            .map(|r| r.condition.clone())
+            .collect()
+    }
+
+    /// True if the U-relation is purely complete (all conditions empty).
+    pub fn is_complete_representation(&self) -> bool {
+        self.rows.iter().all(|r| r.condition.is_empty())
+    }
+
+    /// The set of random variables mentioned anywhere in the relation.
+    pub fn mentioned_variables(&self) -> BTreeSet<crate::Var> {
+        self.rows
+            .iter()
+            .flat_map(|r| r.condition.variables().cloned())
+            .collect()
+    }
+
+    /// Checks that every condition only mentions declared variables/values.
+    pub fn check_against(&self, w: &WTable) -> Result<()> {
+        for row in &self.rows {
+            row.condition.check_against(w)?;
+        }
+        Ok(())
+    }
+
+    /// Materialises the relation's content in the possible world described by
+    /// the total assignment `world` (a condition defined on all variables the
+    /// relation mentions).
+    pub fn instantiate(&self, world: &Condition) -> Relation {
+        let mut rel = Relation::empty(self.schema.clone());
+        for row in &self.rows {
+            if row.condition.satisfied_by(world) {
+                let _ = rel.insert(row.tuple.clone());
+            }
+        }
+        rel
+    }
+}
+
+impl fmt::Display for URelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "U{} [D | data]", self.schema)?;
+        for row in &self.rows {
+            writeln!(f, "  {} | {}", row.condition, row.tuple)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+    use pdb::{relation, schema, tuple, Value};
+
+    fn ur_coin() -> URelation {
+        // Figure 1(a): U_R with variable c.
+        let mut u = URelation::empty(schema!["CoinType"]);
+        u.insert(
+            Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+            tuple!["fair"],
+        )
+        .unwrap();
+        u.insert(
+            Condition::new([(Var::new("c"), Value::str("2headed"))]).unwrap(),
+            tuple!["2headed"],
+        )
+        .unwrap();
+        u
+    }
+
+    #[test]
+    fn from_complete_gives_empty_conditions() {
+        let r = relation![schema!["A", "B"]; [1, 2], [3, 4]];
+        let u = URelation::from_complete(&r);
+        assert_eq!(u.len(), 2);
+        assert!(u.is_complete_representation());
+        assert_eq!(u.possible_tuples(), r);
+        assert!(u.mentioned_variables().is_empty());
+    }
+
+    #[test]
+    fn insert_validates_arity_and_dedups() {
+        let mut u = URelation::empty(schema!["A"]);
+        assert!(u.insert(Condition::always(), tuple![1, 2]).is_err());
+        assert!(u.insert(Condition::always(), tuple![1]).unwrap());
+        assert!(!u.insert(Condition::always(), tuple![1]).unwrap());
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn conditions_for_collects_the_dnf() {
+        let u = ur_coin();
+        let f = u.conditions_for(&tuple!["fair"]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(
+            f[0].get(&Var::new("c")),
+            Some(&Value::str("fair"))
+        );
+        assert!(u.conditions_for(&tuple!["3sided"]).is_empty());
+    }
+
+    #[test]
+    fn instantiate_picks_rows_consistent_with_world() {
+        let u = ur_coin();
+        let world = Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap();
+        let r = u.instantiate(&world);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&tuple!["fair"]));
+    }
+
+    #[test]
+    fn check_against_requires_declared_variables() {
+        let u = ur_coin();
+        let mut w = WTable::new();
+        assert!(u.check_against(&w).is_err());
+        w.add_variable(
+            Var::new("c"),
+            [
+                (Value::str("fair"), 2.0 / 3.0),
+                (Value::str("2headed"), 1.0 / 3.0),
+            ],
+        )
+        .unwrap();
+        assert!(u.check_against(&w).is_ok());
+    }
+
+    #[test]
+    fn mentioned_variables() {
+        let u = ur_coin();
+        let vars = u.mentioned_variables();
+        assert_eq!(vars.len(), 1);
+        assert!(vars.contains(&Var::new("c")));
+    }
+}

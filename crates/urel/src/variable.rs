@@ -1,0 +1,73 @@
+//! Discrete random variables used by U-relational databases.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A named discrete random variable `X ∈ Var`.
+///
+/// Variables are introduced by `repair-key` (Section 3): the translation
+/// creates one variable per key-group, named after the key values of that
+/// group, e.g. `c` or `(fair, 1)` in Figure 1.  The name is stored behind an
+/// [`Arc`] so conditions can clone variables cheaply.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+impl From<String> for Var {
+    fn from(s: String) -> Self {
+        Var::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn equality_is_by_name() {
+        assert_eq!(Var::new("c"), Var::from("c"));
+        assert_ne!(Var::new("c"), Var::new("d"));
+        assert_eq!(Var::new("(fair, 1)").name(), "(fair, 1)");
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let mut s = BTreeSet::new();
+        s.insert(Var::new("b"));
+        s.insert(Var::new("a"));
+        let names: Vec<&str> = s.iter().map(Var::name).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(Var::new("x").to_string(), "x");
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let v = Var::new("shared");
+        let w = v.clone();
+        assert!(Arc::ptr_eq(&v.0, &w.0));
+    }
+}

@@ -1,0 +1,170 @@
+//! Data-cleaning / deduplication workloads: dirty records with alternative
+//! interpretations, cleaned by `repair-key` and filtered by confidence
+//! thresholds — the other headline use case of the paper's introduction.
+//! Also provides the conditional-probability-under-constraint query shape of
+//! Theorem 4.4 (`Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ]` for an egd ψ).
+
+use algebra::{parse_query, ConfTerm, Expr, Predicate, Query};
+use pdb::{Relation, Schema, Tuple, Value};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urel::UDatabase;
+
+/// Parameters of the cleaning workload generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CleaningWorkload {
+    /// Number of dirty source records.
+    pub num_records: usize,
+    /// Number of alternative interpretations per record.
+    pub alternatives_per_record: usize,
+    /// Number of distinct cities interpretations draw from.
+    pub num_cities: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CleaningWorkload {
+    fn default() -> Self {
+        CleaningWorkload {
+            num_records: 8,
+            alternatives_per_record: 3,
+            num_cities: 4,
+            seed: 3,
+        }
+    }
+}
+
+impl CleaningWorkload {
+    /// The dirty relation `Dirty(RecId, Name, City, Weight)`: each record has
+    /// several weighted candidate interpretations.
+    pub fn dirty(&self) -> Relation {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let schema = Schema::new(["RecId", "Name", "City", "Weight"]).expect("cleaning schema");
+        let mut rel = Relation::empty(schema);
+        // Names repeat across records (two records per name) so that the
+        // "one city per name" dependency of the Theorem 4.4 example is not
+        // trivially satisfied.
+        let names = (self.num_records / 2).max(1);
+        for rec in 0..self.num_records {
+            for alt in 0..self.alternatives_per_record {
+                let city = rng.gen_range(0..self.num_cities);
+                let weight = rng.gen_range(1.0..10.0_f64);
+                rel.insert(Tuple::new(vec![
+                    Value::Int(rec as i64),
+                    Value::str(format!("name{}", rec % names)),
+                    Value::str(format!("city{city}")),
+                    Value::float((weight * 100.0).round() / 100.0 + alt as f64 * 1e-4),
+                ]))
+                .expect("cleaning arity");
+            }
+        }
+        rel
+    }
+
+    /// The U-relational database holding the dirty relation.
+    pub fn database(&self) -> UDatabase {
+        UDatabase::from_complete_relations([("Dirty", self.dirty())])
+    }
+
+    /// The cleaned relation: one interpretation per record, chosen by
+    /// `repair-key_{RecId@Weight}`.
+    pub fn cleaned_query() -> Query {
+        Query::table("Dirty").repair_key(&["RecId"], "Weight")
+    }
+
+    /// The "confident residents" query: cities whose probability of housing
+    /// at least one cleaned record is at least `threshold`
+    /// (`σ̂_{conf[City] ≥ threshold}(π_{City}(clean))` as an approximate
+    /// selection).
+    pub fn confident_city_query(threshold: f64, epsilon0: f64, delta: f64) -> Query {
+        Self::cleaned_query()
+            .project(&["City"])
+            .approx_select(
+                vec![ConfTerm::new("P1", ["City"])],
+                Predicate::ge(Expr::attr("P1"), Expr::konst(threshold)),
+                epsilon0,
+                delta,
+            )
+    }
+
+    /// The Boolean query φ of the Theorem 4.4 example: "some cleaned record
+    /// lives in `city`", as `conf(π_∅(σ_{City = city}(clean)))`.
+    pub fn egd_phi_query(city_index: usize) -> Query {
+        let clean = Self::cleaned_query().to_string();
+        let city = format!("city{city_index}");
+        let q = format!("rename[P -> Pphi](conf(project[](select[City = '{city}']({clean}))))");
+        parse_query(&q).expect("egd phi query parses")
+    }
+
+    /// The query computing `Pr[φ ∧ ¬ψ]` where ψ is the egd "no two cleaned
+    /// records of the same name live in different cities" (¬ψ is
+    /// existential, so this stays in positive UA[conf]); Theorem 4.4 then
+    /// gives `Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ]`.
+    pub fn egd_violation_query(city_index: usize) -> Query {
+        let clean = Self::cleaned_query().to_string();
+        let city = format!("city{city_index}");
+        let phi = format!("project[](select[City = '{city}']({clean}))");
+        let violation = format!(
+            "project[](select[Name = Name2 and City != City2](product({clean}, \
+             rename[RecId -> RecId2](rename[Name -> Name2](rename[City -> City2](rename[Weight -> Weight2]({clean})))))))"
+        );
+        let q = format!("rename[P -> Pviol](conf(join({phi}, {violation})))");
+        parse_query(&q).expect("egd violation query parses")
+    }
+
+    /// Theorem 4.4, packaged: a query whose single result row carries both
+    /// `Pphi = Pr[φ]` and `Pviol = Pr[φ ∧ ¬ψ]`.  Note that when `Pr[φ ∧ ¬ψ]`
+    /// is zero the violation side has no possible tuple and the product is
+    /// empty; callers that need to distinguish "zero" from "no row" should
+    /// use [`CleaningWorkload::egd_phi_query`] and
+    /// [`CleaningWorkload::egd_violation_query`] separately.
+    pub fn egd_conditional_query(city_index: usize) -> Query {
+        let phi = Self::egd_phi_query(city_index).to_string();
+        let violation = Self::egd_violation_query(city_index).to_string();
+        parse_query(&format!("product({phi}, {violation})")).expect("egd conditional query parses")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::{output_schema, Catalog};
+
+    fn catalog(w: &CleaningWorkload) -> Catalog {
+        let mut c = Catalog::new();
+        c.add("Dirty", w.dirty().schema().clone(), true);
+        c
+    }
+
+    #[test]
+    fn generator_shape_and_determinism() {
+        let w = CleaningWorkload::default();
+        let d = w.dirty();
+        assert_eq!(d.len(), w.num_records * w.alternatives_per_record);
+        assert_eq!(d, w.dirty());
+        w.database().validate().unwrap();
+    }
+
+    #[test]
+    fn queries_typecheck() {
+        let w = CleaningWorkload::default();
+        let cat = catalog(&w);
+        let q = CleaningWorkload::confident_city_query(0.5, 0.05, 0.05);
+        assert_eq!(
+            output_schema(&q, &cat).unwrap().attrs(),
+            &["City".to_string()]
+        );
+        let q = CleaningWorkload::egd_conditional_query(0);
+        let schema = output_schema(&q, &cat).unwrap();
+        assert!(schema.contains("Pphi"));
+        assert!(schema.contains("Pviol"));
+    }
+
+    #[test]
+    fn cleaned_query_is_positive_ua() {
+        let q = CleaningWorkload::confident_city_query(0.5, 0.05, 0.05);
+        assert!(algebra::is_positive(&q));
+        assert!(algebra::repair_key_below_approx_select(&q));
+    }
+}

@@ -1,0 +1,172 @@
+//! The coin-bag scenario of Example 2.2 (and its generalisations).
+
+use algebra::{parse_query, Query};
+use pdb::{relation, schema, ProbabilisticDatabase, Relation, Tuple, Value};
+use urel::UDatabase;
+
+/// The complete relations of Example 2.2: two fair coins, one double-headed
+/// coin, and the face probabilities.
+pub fn coin_relations() -> Vec<(String, Relation)> {
+    coin_relations_with(2, 1, 2)
+}
+
+/// A generalised coin bag: `num_fair` fair coins, `num_double` double-headed
+/// coins, and `num_tosses` tosses of the chosen coin.
+pub fn coin_relations_with(
+    num_fair: i64,
+    num_double: i64,
+    num_tosses: i64,
+) -> Vec<(String, Relation)> {
+    let coins = relation![schema!["CoinType", "Count"];
+        ["fair", num_fair], ["2headed", num_double]];
+    let faces = relation![schema!["CoinType", "Face", "FProb"];
+        ["fair", "H", 0.5], ["fair", "T", 0.5], ["2headed", "H", 1.0]];
+    let mut tosses = Relation::empty(schema!["Toss"]);
+    for i in 1..=num_tosses {
+        tosses
+            .insert(Tuple::new(vec![Value::Int(i)]))
+            .expect("toss arity");
+    }
+    vec![
+        ("Coins".to_string(), coins),
+        ("Faces".to_string(), faces),
+        ("Tosses".to_string(), tosses),
+    ]
+}
+
+/// The Example 2.2 database in the possible-worlds representation.
+pub fn coin_database() -> ProbabilisticDatabase {
+    ProbabilisticDatabase::from_complete_relations(coin_relations())
+        .expect("the coin database is well-formed")
+}
+
+/// The Example 2.2 database in the U-relational representation.
+pub fn coin_udatabase() -> UDatabase {
+    UDatabase::from_complete_relations(coin_relations())
+}
+
+/// A generalised coin database in the U-relational representation.
+pub fn coin_udatabase_with(num_fair: i64, num_double: i64, num_tosses: i64) -> UDatabase {
+    UDatabase::from_complete_relations(coin_relations_with(num_fair, num_double, num_tosses))
+}
+
+/// `R := π_CoinType(repair-key_∅@Count(Coins))`: the chosen coin.
+pub fn query_r() -> Query {
+    parse_query("project[CoinType](repairkey[ @ Count](Coins))").expect("query R parses")
+}
+
+/// `S := π_{CoinType,Toss,Face}(repair-key_{CoinType,Toss@FProb}(Faces × Tosses))`:
+/// the outcomes of tossing every coin type `num_tosses` times.
+pub fn query_s() -> Query {
+    parse_query(
+        "project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)))",
+    )
+    .expect("query S parses")
+}
+
+/// The textual form of `S`, used to build larger queries by substitution.
+fn s_text() -> &'static str {
+    "project[CoinType, Toss, Face](repairkey[CoinType, Toss @ FProb](product(Faces, Tosses)))"
+}
+
+/// `T`: the chosen coin's type in the worlds where the observed tosses all
+/// came up heads (the evidence of Example 2.2 with `num_evidence_tosses`
+/// heads observed).
+pub fn query_t(num_evidence_tosses: i64) -> Query {
+    let r = "project[CoinType](repairkey[ @ Count](Coins))";
+    let mut t = r.to_string();
+    for i in 1..=num_evidence_tosses {
+        t = format!(
+            "join({t}, project[CoinType](select[Toss = {i} and Face = 'H']({})))",
+            s_text()
+        );
+    }
+    parse_query(&t).expect("query T parses")
+}
+
+/// `U`: the posterior probability of each coin type given the evidence — the
+/// conditional-probability table of Example 2.2.
+pub fn query_u(num_evidence_tosses: i64) -> Query {
+    let t = query_t(num_evidence_tosses).to_string();
+    let u = format!(
+        "project[CoinType, P1 / P2 as P](join(rename[P -> P1](conf({t})), rename[P -> P2](conf(project[]({t})))))"
+    );
+    parse_query(&u).expect("query U parses")
+}
+
+/// The approximate-selection form of Example 6.1:
+/// `σ̂_{conf[CoinType]/conf[∅] ≤ bound}(T)`.
+pub fn query_posterior_filter(num_evidence_tosses: i64, bound: f64) -> Query {
+    let t = query_t(num_evidence_tosses).to_string();
+    let q = format!(
+        "aselect[P1 = conf(CoinType), P2 = conf(); P1 / P2 <= {bound}; eps0 = 0.02; delta = 0.05]({t})"
+    );
+    parse_query(&q).expect("posterior filter parses")
+}
+
+/// The paper's expected posterior for Example 2.2 (two tosses, both heads):
+/// `(coin type, posterior)` pairs.
+pub fn expected_posterior_two_heads() -> Vec<(&'static str, f64)> {
+    vec![("fair", 1.0 / 3.0), ("2headed", 2.0 / 3.0)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::{output_schema, Catalog};
+    use pdb::schema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for (name, rel) in coin_relations() {
+            c.add(name, rel.schema().clone(), true);
+        }
+        c
+    }
+
+    #[test]
+    fn relations_match_the_paper() {
+        let rels = coin_relations();
+        assert_eq!(rels.len(), 3);
+        assert_eq!(rels[0].1.len(), 2);
+        assert_eq!(rels[1].1.len(), 3);
+        assert_eq!(rels[2].1.len(), 2);
+        let big = coin_relations_with(5, 3, 4);
+        assert_eq!(big[2].1.len(), 4);
+    }
+
+    #[test]
+    fn queries_parse_and_typecheck() {
+        let cat = catalog();
+        assert_eq!(
+            output_schema(&query_r(), &cat).unwrap(),
+            schema!["CoinType"]
+        );
+        assert_eq!(
+            output_schema(&query_s(), &cat).unwrap(),
+            schema!["CoinType", "Toss", "Face"]
+        );
+        assert_eq!(
+            output_schema(&query_t(2), &cat).unwrap(),
+            schema!["CoinType"]
+        );
+        assert_eq!(
+            output_schema(&query_u(2), &cat).unwrap(),
+            schema!["CoinType", "P"]
+        );
+        assert_eq!(
+            output_schema(&query_posterior_filter(2, 0.5), &cat).unwrap(),
+            schema!["CoinType"]
+        );
+    }
+
+    #[test]
+    fn databases_are_consistent() {
+        let db = coin_database();
+        db.validate().unwrap();
+        let udb = coin_udatabase();
+        udb.validate().unwrap();
+        assert_eq!(udb.relation_names().len(), 3);
+        assert_eq!(expected_posterior_two_heads().len(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! # Synthetic workloads for the PODS'08 reproduction
+//!
+//! The paper has no datasets: its scenarios are the coin-bag example
+//! (Example 2.2) and the use cases named in its introduction (sensor data
+//! management, data cleaning).  This crate provides deterministic, seeded
+//! generators for all of them plus random tuple-independent databases and
+//! random DNF events for the confidence-computation experiments:
+//!
+//! * [`coins`] — Example 2.2 and generalisations, with the queries R, S, T, U
+//!   and the σ̂ form of Example 6.1.
+//! * [`sensors`] — sensor fusion: uncertain readings, alarm queries with
+//!   confidence thresholds.
+//! * [`cleaning`] — deduplication with `repair-key`, confidence-filtered
+//!   results, and the egd-conditional query shape of Theorem 4.4.
+//! * [`random_db`] — random tuple-independent databases and random DNF
+//!   events.
+//! * [`sweep`] — parameter grids used by the benchmark harness.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cleaning;
+pub mod coins;
+pub mod random_db;
+pub mod sensors;
+pub mod sweep;
+
+pub use cleaning::CleaningWorkload;
+pub use coins::{coin_database, coin_udatabase, coin_udatabase_with};
+pub use random_db::{RandomDnf, TupleIndependentDb};
+pub use sensors::SensorWorkload;
+pub use sweep::{GridPoint, ParameterGrid};

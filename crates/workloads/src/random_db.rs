@@ -1,0 +1,194 @@
+//! Random tuple-independent databases and random DNF events, the synthetic
+//! inputs for the confidence-computation and scaling experiments.
+
+use confidence::{Assignment, DnfEvent, ProbabilitySpace};
+use pdb::{Relation, Schema, Tuple, Value};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urel::{Condition, UDatabase, URelation, Var};
+
+/// Parameters of the tuple-independent database generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TupleIndependentDb {
+    /// Number of tuples in the uncertain relation.
+    pub num_tuples: usize,
+    /// Number of distinct values per non-key attribute.
+    pub domain_size: usize,
+    /// Marginal probability of each tuple (if `None`, drawn uniformly from
+    /// `(0.05, 0.95)`).
+    pub tuple_probability: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TupleIndependentDb {
+    fn default() -> Self {
+        TupleIndependentDb {
+            num_tuples: 20,
+            domain_size: 5,
+            tuple_probability: None,
+            seed: 1,
+        }
+    }
+}
+
+impl TupleIndependentDb {
+    /// Generates a U-relational database with one uncertain relation
+    /// `T(Id, A, B)` under the tuple-independence model: each tuple is
+    /// present iff its own Boolean variable is true.
+    pub fn database(&self) -> UDatabase {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut db = UDatabase::new();
+        let schema = Schema::new(["Id", "A", "B"]).expect("tuple-independent schema");
+        let mut rel = URelation::empty(schema);
+        for i in 0..self.num_tuples {
+            let p = self
+                .tuple_probability
+                .unwrap_or_else(|| rng.gen_range(0.05..0.95));
+            let var = Var::new(format!("t{i}"));
+            db.wtable_mut()
+                .add_bool_variable(var.clone(), p)
+                .expect("valid tuple probability");
+            let cond = Condition::new([(var, Value::Bool(true))]).expect("fresh variable");
+            let tuple = Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..self.domain_size) as i64),
+                Value::Int(rng.gen_range(0..self.domain_size) as i64),
+            ]);
+            rel.insert(cond, tuple).expect("tuple arity");
+        }
+        db.set_relation("T", rel, false);
+        db
+    }
+
+    /// The same data as a complete relation plus per-tuple probabilities,
+    /// used when a possible-worlds (nonsuccinct) copy is needed.
+    pub fn complete_with_probabilities(&self) -> (Relation, Vec<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let schema = Schema::new(["Id", "A", "B"]).expect("tuple-independent schema");
+        let mut rel = Relation::empty(schema);
+        let mut probs = Vec::with_capacity(self.num_tuples);
+        for i in 0..self.num_tuples {
+            let p = self
+                .tuple_probability
+                .unwrap_or_else(|| rng.gen_range(0.05..0.95));
+            probs.push(p);
+            rel.insert(Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..self.domain_size) as i64),
+                Value::Int(rng.gen_range(0..self.domain_size) as i64),
+            ]))
+            .expect("tuple arity");
+        }
+        (rel, probs)
+    }
+}
+
+/// Parameters of the random DNF event generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RandomDnf {
+    /// Number of Boolean variables.
+    pub num_variables: usize,
+    /// Number of terms `|F|`.
+    pub num_terms: usize,
+    /// Number of literals per term.
+    pub literals_per_term: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDnf {
+    fn default() -> Self {
+        RandomDnf {
+            num_variables: 16,
+            num_terms: 8,
+            literals_per_term: 3,
+            seed: 2,
+        }
+    }
+}
+
+impl RandomDnf {
+    /// Generates the probability space and the DNF event.
+    pub fn generate(&self) -> (DnfEvent, ProbabilitySpace) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut space = ProbabilitySpace::new();
+        for _ in 0..self.num_variables {
+            space
+                .add_bool_variable(rng.gen_range(0.05..0.95))
+                .expect("valid probability");
+        }
+        let mut terms = Vec::with_capacity(self.num_terms);
+        for _ in 0..self.num_terms {
+            let mut pairs = Vec::with_capacity(self.literals_per_term);
+            for _ in 0..self.literals_per_term {
+                let var = rng.gen_range(0..self.num_variables);
+                let alt = usize::from(rng.gen_bool(0.5));
+                // Duplicate variables within a term keep their first polarity.
+                if !pairs.iter().any(|&(v, _)| v == var) {
+                    pairs.push((var, alt));
+                }
+            }
+            terms.push(Assignment::new(pairs).expect("no conflicting literals"));
+        }
+        (DnfEvent::new(terms), space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confidence::exact;
+
+    #[test]
+    fn tuple_independent_database_is_valid_and_deterministic() {
+        let gen = TupleIndependentDb::default();
+        let db = gen.database();
+        db.validate().unwrap();
+        assert_eq!(db.wtable().num_variables(), gen.num_tuples);
+        assert_eq!(db.relation("T").unwrap().len(), gen.num_tuples);
+        let again = gen.database();
+        assert_eq!(db.relation("T").unwrap(), again.relation("T").unwrap());
+        let (rel, probs) = gen.complete_with_probabilities();
+        assert_eq!(rel.len(), gen.num_tuples);
+        assert_eq!(probs.len(), gen.num_tuples);
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn fixed_probability_is_honoured() {
+        let gen = TupleIndependentDb {
+            tuple_probability: Some(0.25),
+            num_tuples: 5,
+            ..TupleIndependentDb::default()
+        };
+        let db = gen.database();
+        for var in db.wtable().variables() {
+            let p = db
+                .wtable()
+                .probability(&var, &Value::Bool(true))
+                .unwrap();
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_dnf_is_well_formed() {
+        let gen = RandomDnf::default();
+        let (event, space) = gen.generate();
+        assert_eq!(event.num_terms(), gen.num_terms);
+        assert_eq!(space.num_variables(), gen.num_variables);
+        let p = exact::probability(&event, &space).unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        // Deterministic under the seed.
+        let (event2, _) = gen.generate();
+        assert_eq!(event, event2);
+        // Different seeds give different events.
+        let other = RandomDnf {
+            seed: 99,
+            ..RandomDnf::default()
+        };
+        assert_ne!(event, other.generate().0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Sensor-fusion workloads: uncertain readings per sensor, the kind of use
+//! case the paper's introduction motivates for probabilistic databases.
+
+use algebra::{ConfTerm, Expr, Predicate, Query};
+use pdb::{Relation, Schema, Tuple, Value};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand::SeedableRng;
+use urel::UDatabase;
+
+/// Parameters of the sensor workload generator.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SensorWorkload {
+    /// Number of sensors.
+    pub num_sensors: usize,
+    /// Number of candidate readings per sensor (repair-key keeps one).
+    pub readings_per_sensor: usize,
+    /// Probability that a candidate reading is "high" (above the alarm
+    /// threshold).
+    pub high_probability: f64,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for SensorWorkload {
+    fn default() -> Self {
+        SensorWorkload {
+            num_sensors: 10,
+            readings_per_sensor: 4,
+            high_probability: 0.4,
+            seed: 7,
+        }
+    }
+}
+
+/// Alarm threshold separating "high" from "normal" readings (degrees).
+pub const HIGH_TEMPERATURE: f64 = 30.0;
+
+impl SensorWorkload {
+    /// Generates the complete `Readings(Sensor, Temp, Weight)` relation.
+    pub fn readings(&self) -> Relation {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let schema = Schema::new(["Sensor", "Temp", "Weight"]).expect("sensor schema");
+        let mut rel = Relation::empty(schema);
+        for sensor in 0..self.num_sensors {
+            for reading in 0..self.readings_per_sensor {
+                let high = rng.gen_bool(self.high_probability);
+                let base = if high { 30.0 } else { 15.0 };
+                // Distinct temperatures per (sensor, reading) keep set
+                // semantics from collapsing candidates.
+                let temp = base + reading as f64 + sensor as f64 * 0.01;
+                let weight = rng.gen_range(1.0..10.0_f64);
+                rel.insert(Tuple::new(vec![
+                    Value::Int(sensor as i64),
+                    Value::float(temp),
+                    Value::float((weight * 100.0).round() / 100.0),
+                ]))
+                .expect("reading arity");
+            }
+        }
+        rel
+    }
+
+    /// The U-relational database holding the readings.
+    pub fn database(&self) -> UDatabase {
+        UDatabase::from_complete_relations([("Readings", self.readings())])
+    }
+
+    /// The cleaned readings: `repair-key_{Sensor@Weight}(Readings)` keeps one
+    /// candidate reading per sensor, weighted by plausibility.
+    pub fn cleaned_query() -> Query {
+        Query::table("Readings").repair_key(&["Sensor"], "Weight")
+    }
+
+    /// The alarm query: sensors whose probability of a high reading is at
+    /// least `threshold`, as an approximate selection
+    /// `σ̂_{conf[Sensor] ≥ threshold}(σ_{Temp ≥ 30}(repair-key(Readings)))`.
+    pub fn alarm_query(threshold: f64, epsilon0: f64, delta: f64) -> Query {
+        Self::cleaned_query()
+            .select(Predicate::ge(
+                Expr::attr("Temp"),
+                Expr::konst(HIGH_TEMPERATURE),
+            ))
+            .approx_select(
+                vec![ConfTerm::new("P1", ["Sensor"])],
+                Predicate::ge(Expr::attr("P1"), Expr::konst(threshold)),
+                epsilon0,
+                delta,
+            )
+    }
+
+    /// The exact probability that a given sensor's repaired reading is high,
+    /// computed directly from the weights (used as ground truth in tests and
+    /// experiments).
+    pub fn exact_high_probability(&self, sensor: usize) -> f64 {
+        let readings = self.readings();
+        let mut high = 0.0;
+        let mut total = 0.0;
+        for t in readings.iter() {
+            if t[0] != Value::Int(sensor as i64) {
+                continue;
+            }
+            let temp = t[1].as_f64().expect("numeric temperature");
+            let weight = t[2].as_f64().expect("numeric weight");
+            total += weight;
+            if temp >= HIGH_TEMPERATURE {
+                high += weight;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            high / total
+        }
+    }
+
+    /// Sensors whose exact high-probability clears `threshold` — the expected
+    /// result of [`SensorWorkload::alarm_query`].
+    pub fn expected_alarms(&self, threshold: f64) -> Vec<usize> {
+        (0..self.num_sensors)
+            .filter(|&s| self.exact_high_probability(s) >= threshold)
+            .collect()
+    }
+
+    /// The smallest relative distance of any sensor's high-probability to the
+    /// threshold — a measure of how close the workload is to a singularity.
+    pub fn smallest_margin(&self, threshold: f64) -> f64 {
+        (0..self.num_sensors)
+            .map(|s| {
+                let p = self.exact_high_probability(s);
+                if p == 0.0 {
+                    1.0
+                } else {
+                    (p - threshold).abs() / p
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algebra::{output_schema, Catalog};
+
+    #[test]
+    fn generator_is_deterministic_and_well_formed() {
+        let w = SensorWorkload::default();
+        let a = w.readings();
+        let b = w.readings();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), w.num_sensors * w.readings_per_sensor);
+        w.database().validate().unwrap();
+        let other = SensorWorkload {
+            seed: 8,
+            ..SensorWorkload::default()
+        };
+        assert_ne!(a, other.readings());
+    }
+
+    #[test]
+    fn queries_typecheck() {
+        let w = SensorWorkload::default();
+        let mut catalog = Catalog::new();
+        catalog.add("Readings", w.readings().schema().clone(), true);
+        let q = SensorWorkload::alarm_query(0.5, 0.05, 0.05);
+        let schema = output_schema(&q, &catalog).unwrap();
+        assert_eq!(schema.attrs(), &["Sensor".to_string()]);
+    }
+
+    #[test]
+    fn exact_probabilities_are_probabilities() {
+        let w = SensorWorkload::default();
+        for s in 0..w.num_sensors {
+            let p = w.exact_high_probability(s);
+            assert!((0.0..=1.0).contains(&p), "sensor {s} has p = {p}");
+        }
+        let alarms = w.expected_alarms(0.0);
+        assert_eq!(alarms.len(), w.num_sensors);
+        let none = w.expected_alarms(1.1);
+        assert!(none.is_empty());
+        assert!(w.smallest_margin(0.5) >= 0.0);
+    }
+}

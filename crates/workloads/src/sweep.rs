@@ -1,0 +1,107 @@
+//! Parameter sweeps: small helpers the benchmark harness uses to iterate
+//! experiment grids deterministically.
+
+/// One point of a parameter grid.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GridPoint {
+    /// Name/value pairs of the swept parameters, in declaration order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl GridPoint {
+    /// Looks up a parameter by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// A compact `name=value` rendering for labels.
+    pub fn label(&self) -> String {
+        self.values
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// A cartesian parameter grid.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParameterGrid {
+    axes: Vec<(String, Vec<f64>)>,
+}
+
+impl ParameterGrid {
+    /// Creates an empty grid (a single point with no parameters).
+    pub fn new() -> Self {
+        ParameterGrid::default()
+    }
+
+    /// Adds an axis with the given values.
+    pub fn axis(mut self, name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        self.axes
+            .push((name.into(), values.into_iter().collect()));
+        self
+    }
+
+    /// Number of points in the grid.
+    pub fn len(&self) -> usize {
+        self.axes.iter().map(|(_, v)| v.len().max(1)).product()
+    }
+
+    /// True if the grid has no axes.
+    pub fn is_empty(&self) -> bool {
+        self.axes.is_empty()
+    }
+
+    /// Enumerates all grid points in row-major order (last axis varies
+    /// fastest).
+    pub fn points(&self) -> Vec<GridPoint> {
+        let mut out = vec![GridPoint { values: Vec::new() }];
+        for (name, values) in &self.axes {
+            let mut next = Vec::with_capacity(out.len() * values.len().max(1));
+            for point in &out {
+                for v in values {
+                    let mut values = point.values.clone();
+                    values.push((name.clone(), *v));
+                    next.push(GridPoint { values });
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumeration_is_row_major() {
+        let grid = ParameterGrid::new()
+            .axis("n", [1.0, 2.0])
+            .axis("eps", [0.1, 0.2, 0.3]);
+        assert_eq!(grid.len(), 6);
+        assert!(!grid.is_empty());
+        let points = grid.points();
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0].get("n"), Some(1.0));
+        assert_eq!(points[0].get("eps"), Some(0.1));
+        assert_eq!(points[1].get("eps"), Some(0.2));
+        assert_eq!(points[5].get("n"), Some(2.0));
+        assert_eq!(points[5].get("eps"), Some(0.3));
+        assert_eq!(points[0].get("missing"), None);
+        assert_eq!(points[0].label(), "n=1,eps=0.1");
+    }
+
+    #[test]
+    fn empty_grid_is_a_single_point() {
+        let grid = ParameterGrid::new();
+        assert!(grid.is_empty());
+        assert_eq!(grid.points().len(), 1);
+        assert!(grid.points()[0].values.is_empty());
+    }
+}

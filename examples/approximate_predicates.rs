@@ -1,0 +1,91 @@
+//! The Section 5 machinery in isolation: the ε-geometry of Example 5.4 /
+//! Figure 2 and the predicate-approximation algorithm of Figure 3 compared
+//! against the naive fixed-sample baseline.
+//!
+//! Run with `cargo run --example approximate_predicates`.
+
+use approx::{
+    approximate_predicate, expected_saving_factor, naive_decide, ApproximationParams,
+    ApproxPredicate, LinearIneq, Orthotope,
+};
+use confidence::{Assignment, DnfEvent, IncrementalEstimator, ProbabilitySpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // ---- Example 5.4 / Figure 2 -------------------------------------------
+    // φ(x1, x2) = (x1 / x2 ≥ 1/2), rewritten as x1 − 0.5·x2 ≥ 0, at the
+    // approximated point p̂ = (1/2, 1/2).
+    let phi = LinearIneq::ratio_at_least(2, 0, 1, 0.5);
+    let p_hat = [0.5, 0.5];
+    let eps = phi.epsilon_max(&p_hat).expect("epsilon exists");
+    let orthotope = Orthotope::relative(&p_hat, eps).expect("epsilon < 1");
+    println!("Example 5.4 / Figure 2:");
+    println!("  predicate:            {phi}");
+    println!("  p-hat:                ({}, {})", p_hat[0], p_hat[1]);
+    println!("  maximal epsilon:      {eps:.6}   (paper: 1/3)");
+    println!(
+        "  maximal orthotope:    {} x {}   (paper: [3/8, 3/4]^2)",
+        orthotope.intervals()[0],
+        orthotope.intervals()[1]
+    );
+
+    // ---- Figure 3: adaptive predicate approximation ------------------------
+    // Decide "conf >= 0.3" for an event whose true probability is ~0.68,
+    // estimating the confidence with incremental Karp–Luby estimators.
+    let mut space = ProbabilitySpace::new();
+    let mut terms = Vec::new();
+    for _ in 0..6 {
+        let v = space.add_bool_variable(0.175).expect("valid probability");
+        terms.push(Assignment::new([(v, 0)]).expect("fresh variable"));
+    }
+    let event = DnfEvent::new(terms);
+    let exact = 1.0 - (1.0 - 0.175f64).powi(6);
+    let predicate = ApproxPredicate::threshold(1, 0, 0.3);
+    let params = ApproximationParams::new(0.02, 0.05).expect("valid parameters");
+
+    let mut adaptive_estimator =
+        IncrementalEstimator::new(event.clone(), space.clone()).expect("estimator");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let adaptive = approximate_predicate(
+        &predicate,
+        std::slice::from_mut(&mut adaptive_estimator),
+        params,
+        &mut rng,
+    )
+    .expect("adaptive decision");
+
+    let mut naive_estimator = IncrementalEstimator::new(event, space).expect("estimator");
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let naive = naive_decide(
+        &predicate,
+        std::slice::from_mut(&mut naive_estimator),
+        params,
+        &mut rng,
+    )
+    .expect("naive decision");
+
+    println!("\nFigure 3 algorithm vs the naive baseline (true p = {exact:.4}, threshold 0.3):");
+    println!(
+        "  adaptive: value = {}, error bound = {:.4}, iterations = {}, samples = {}",
+        adaptive.value, adaptive.error_bound, adaptive.iterations, adaptive.samples
+    );
+    println!(
+        "  naive:    value = {}, error bound = {:.4}, iterations = {}, samples = {}",
+        naive.value, naive.error_bound, naive.iterations, naive.samples
+    );
+    println!(
+        "  measured sample saving: {:.1}%   (paper predicts close to (eps_phi^2 - eps0^2)/eps_phi^2 = {:.1}%)",
+        100.0 * (1.0 - adaptive.samples as f64 / naive.samples as f64),
+        100.0 * expected_saving_factor(adaptive.epsilon, params.epsilon0)
+    );
+
+    // ---- A singularity (Example 5.7) ---------------------------------------
+    let singular = approx::is_possibly_singular(
+        &ApproxPredicate::threshold(1, 0, 1.0),
+        &[1.0],
+        0.01,
+    )
+    .expect("singularity check");
+    println!("\nExample 5.7: the tuple-certainty test conf >= 1 at p = 1 is a singularity: {singular}");
+}

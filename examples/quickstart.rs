@@ -1,0 +1,59 @@
+//! Quickstart: the coin-bag example of the paper (Example 2.2), end to end.
+//!
+//! We pick a coin from a bag of two fair and one double-headed coin, toss it
+//! twice, observe two heads, and ask for the posterior probability of each
+//! coin type — all expressed in the Uncertainty Algebra and evaluated both
+//! exactly and with approximate confidence computation.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use engine::{ConfidenceMode, EvalConfig, UEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::coins;
+
+fn main() {
+    // The complete input relations (Coins, Faces, Tosses) as a U-relational
+    // database.
+    let db = coins::coin_udatabase();
+
+    // U := π_{CoinType, P1/P2 → P}(ρ_{P→P1}(conf(T)) ⋈ ρ_{P→P2}(conf(π_∅(T))))
+    // where T restricts the chosen coin to the worlds in which both observed
+    // tosses came up heads.
+    let query = coins::query_u(2);
+    println!("query U:\n  {query}\n");
+
+    // Exact evaluation.
+    let engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let output = engine
+        .evaluate(&db, &query, &mut rng)
+        .expect("exact evaluation succeeds");
+    println!("posterior after observing two heads (exact):");
+    for row in output.result.relation.iter() {
+        println!("  {}", row.tuple);
+    }
+
+    // The same query with the Karp-Luby FPRAS substituted for exact
+    // confidence computation (conf_{ε,δ} with ε = 0.05, δ = 0.01).
+    let approx_engine = UEngine::new(EvalConfig {
+        confidence: ConfidenceMode::Fpras {
+            epsilon: 0.05,
+            delta: 0.01,
+        },
+        ..EvalConfig::default()
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let output = approx_engine
+        .evaluate(&db, &query, &mut rng)
+        .expect("approximate evaluation succeeds");
+    println!("\nposterior after observing two heads (Karp-Luby, eps = 0.05):");
+    for row in output.result.relation.iter() {
+        println!("  {}", row.tuple);
+    }
+    println!(
+        "\nKarp-Luby samples drawn: {}",
+        output.stats.karp_luby_samples
+    );
+    println!("paper's expected posteriors: fair -> 1/3, 2headed -> 2/3");
+}

@@ -1,0 +1,80 @@
+//! Sensor fusion with approximate selections: keep the sensors whose
+//! probability of a high reading clears a threshold, deciding the threshold
+//! predicate with the adaptive algorithm of Figure 3, and compare against the
+//! exact decision.
+//!
+//! Run with `cargo run --example sensor_fusion`.
+
+use engine::{ApproxSelectMode, ConfidenceMode, EvalConfig, UEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::sensors::SensorWorkload;
+
+fn main() {
+    let workload = SensorWorkload {
+        num_sensors: 12,
+        readings_per_sensor: 5,
+        high_probability: 0.45,
+        seed: 42,
+    };
+    let db = workload.database();
+    let threshold = 0.5;
+    let query = SensorWorkload::alarm_query(threshold, 0.02, 0.05);
+    println!("alarm query:\n  {query}\n");
+
+    println!("exact probability of a high reading per sensor:");
+    for sensor in 0..workload.num_sensors {
+        println!(
+            "  sensor {sensor}: {:.3}",
+            workload.exact_high_probability(sensor)
+        );
+    }
+
+    // Exact σ̂ decision (reference).
+    let exact_engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let exact = exact_engine
+        .evaluate(&db, &query, &mut rng)
+        .expect("exact evaluation");
+    let exact_sensors: Vec<String> = exact
+        .result
+        .relation
+        .iter()
+        .map(|row| row.tuple.to_string())
+        .collect();
+    println!("\nsensors above the threshold (exact): {exact_sensors:?}");
+
+    // Adaptive Figure-3 decision.
+    let adaptive_engine = UEngine::new(EvalConfig {
+        approx_select: ApproxSelectMode::Adaptive,
+        confidence: ConfidenceMode::Exact,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let adaptive = adaptive_engine
+        .evaluate(&db, &query, &mut rng)
+        .expect("adaptive evaluation");
+    println!("sensors above the threshold (adaptive σ̂):");
+    for row in adaptive.result.relation.iter() {
+        println!(
+            "  {}  (error bound {:.4})",
+            row.tuple,
+            adaptive.result.error_of(&row.tuple)
+        );
+    }
+    println!(
+        "Karp-Luby samples drawn by the adaptive decisions: {}",
+        adaptive.stats.karp_luby_samples
+    );
+    println!(
+        "largest per-tuple error bound in the output: {:.4}",
+        adaptive.result.max_error()
+    );
+    println!(
+        "smallest relative margin of any sensor to the threshold: {:.3}",
+        workload.smallest_margin(threshold)
+    );
+    println!(
+        "expected alarms from the generator's ground truth: {:?}",
+        workload.expected_alarms(threshold)
+    );
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the public API of the PODS'08 reproduction.
+//!
+//! See the individual crates for the paper-section-by-section implementation:
+//! [`pdb`] (possible worlds, §2), [`urel`] (U-relations, §3), [`algebra`]
+//! (the UA query language, §2/§6), [`confidence`] (exact and Karp–Luby
+//! confidence computation, §3–4), [`approx`] (predicate approximation, §5),
+//! [`engine`] (query evaluation and error propagation, §3/§6) and
+//! [`workloads`] (synthetic scenario generators).
+pub use algebra;
+pub use approx;
+pub use confidence;
+pub use engine;
+pub use pdb;
+pub use urel;
+pub use workloads;

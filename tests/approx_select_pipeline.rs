@@ -1,0 +1,166 @@
+//! Integration tests of the approximate-selection pipeline on the sensor and
+//! cleaning workloads: adaptive decisions match the exact reference whenever
+//! the margins are clear, error bounds are honoured, the textual syntax
+//! round-trips, and the Theorem 6.7 driver meets its target.
+
+use algebra::parse_query;
+use engine::{evaluate_adaptive, ApproxSelectMode, ConfidenceMode, EvalConfig, UEngine};
+use pdb::{Tuple, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::{CleaningWorkload, SensorWorkload};
+
+fn sensor_workload() -> SensorWorkload {
+    SensorWorkload {
+        num_sensors: 9,
+        readings_per_sensor: 4,
+        high_probability: 0.4,
+        seed: 123,
+    }
+}
+
+/// Picks a threshold in the widest gap between two adjacent sensor
+/// probabilities, so every sensor has a clear margin to the threshold.
+fn clear_threshold(workload: &SensorWorkload) -> f64 {
+    let mut probs: Vec<f64> = (0..workload.num_sensors)
+        .map(|s| workload.exact_high_probability(s))
+        .collect();
+    probs.push(0.0);
+    probs.push(1.0);
+    probs.sort_by(f64::total_cmp);
+    probs
+        .windows(2)
+        .max_by(|a, b| (a[1] - a[0]).total_cmp(&(b[1] - b[0])))
+        .map(|w| 0.5 * (w[0] + w[1]))
+        .unwrap_or(0.5)
+}
+
+#[test]
+fn adaptive_alarms_match_exact_alarms_on_clear_margins() {
+    let workload = sensor_workload();
+    let db = workload.database();
+    // Pick a threshold that stays clear of every sensor's true probability.
+    let threshold = clear_threshold(&workload);
+    assert!(
+        workload.smallest_margin(threshold) > 0.02,
+        "workload accidentally placed a sensor on the boundary (threshold {threshold})"
+    );
+    let query = SensorWorkload::alarm_query(threshold, 0.02, 0.05);
+
+    let exact = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let exact_out = exact.evaluate(&db, &query, &mut rng).expect("exact");
+
+    let adaptive = UEngine::new(EvalConfig {
+        approx_select: ApproxSelectMode::Adaptive,
+        confidence: ConfidenceMode::Exact,
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let adaptive_out = adaptive.evaluate(&db, &query, &mut rng).expect("adaptive");
+
+    assert_eq!(
+        exact_out.result.relation.possible_tuples(),
+        adaptive_out.result.relation.possible_tuples()
+    );
+    assert!(adaptive_out.result.max_error() <= 0.05 + 1e-9);
+    assert!(adaptive_out.stats.karp_luby_samples > 0);
+    assert_eq!(adaptive_out.stats.approx_select_operators, 1);
+
+    // Ground truth from the generator agrees with the exact engine.
+    let expected: Vec<Tuple> = workload
+        .expected_alarms(threshold)
+        .into_iter()
+        .map(|s| Tuple::new(vec![Value::Int(s as i64)]))
+        .collect();
+    let exact_tuples = exact_out.result.relation.possible_tuples();
+    assert_eq!(exact_tuples.len(), expected.len());
+    for t in expected {
+        assert!(exact_tuples.contains(&t), "missing {t}");
+    }
+}
+
+#[test]
+fn theorem_6_7_driver_meets_the_error_target() {
+    let workload = sensor_workload();
+    let db = workload.database();
+    let query = SensorWorkload::alarm_query(0.65, 0.05, 0.05);
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let out = evaluate_adaptive(&db, &query, 0.05, 0.1, &mut rng).expect("adaptive driver");
+    assert!(out.output.result.max_error() <= 0.1);
+    assert!(out.iterations_used <= out.l0);
+    // The attempts are strictly increasing in l.
+    for pair in out.attempts.windows(2) {
+        assert!(pair[0].0 < pair[1].0);
+    }
+}
+
+#[test]
+fn textual_syntax_round_trips_for_workload_queries() {
+    for query in [
+        SensorWorkload::alarm_query(0.5, 0.02, 0.05),
+        CleaningWorkload::confident_city_query(0.8, 0.02, 0.05),
+        CleaningWorkload::egd_phi_query(1),
+        CleaningWorkload::egd_violation_query(0),
+        workloads::coins::query_posterior_filter(2, 0.5),
+    ] {
+        let text = query.to_string();
+        let reparsed = parse_query(&text).expect("display output parses");
+        assert_eq!(reparsed.to_string(), text);
+    }
+}
+
+#[test]
+fn cleaning_confidence_threshold_results_are_consistent() {
+    let workload = CleaningWorkload {
+        num_records: 5,
+        alternatives_per_record: 2,
+        num_cities: 3,
+        seed: 77,
+    };
+    let db = workload.database();
+    // Threshold 0: every city with any candidate qualifies; threshold just
+    // above 1 excludes everything.
+    let engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let all = engine
+        .evaluate(&db, &CleaningWorkload::confident_city_query(1e-9, 0.05, 0.05), &mut rng)
+        .expect("low threshold");
+    let none = engine
+        .evaluate(&db, &CleaningWorkload::confident_city_query(1.0 + 1e-9, 0.05, 0.05), &mut rng)
+        .expect("high threshold");
+    assert!(all.result.relation.len() >= 1);
+    assert!(none.result.relation.is_empty());
+    // Monotonicity: raising the threshold never adds cities.
+    let mid = engine
+        .evaluate(&db, &CleaningWorkload::confident_city_query(0.6, 0.05, 0.05), &mut rng)
+        .expect("mid threshold");
+    assert!(mid.result.relation.len() <= all.result.relation.len());
+    for row in mid.result.relation.iter() {
+        assert!(all
+            .result
+            .relation
+            .possible_tuples()
+            .contains(&row.tuple));
+    }
+}
+
+#[test]
+fn fpras_confidence_mode_composes_with_adaptive_selection() {
+    // Both sources of approximation at once: conf_{ε,δ} values inside the
+    // pipeline and adaptive σ̂ decisions on top.
+    let workload = sensor_workload();
+    let db = workload.database();
+    let query = SensorWorkload::alarm_query(0.65, 0.05, 0.1);
+    let engine = UEngine::new(EvalConfig {
+        approx_select: ApproxSelectMode::Adaptive,
+        confidence: ConfidenceMode::Fpras {
+            epsilon: 0.1,
+            delta: 0.05,
+        },
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let out = engine.evaluate(&db, &query, &mut rng).expect("composed evaluation");
+    // Result is a subset of all sensors and carries bounded error.
+    assert!(out.result.relation.len() <= workload.num_sensors);
+    assert!(out.result.max_error() <= 0.5);
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration test of Example 2.2 / Figure 1: the coin-bag
+//! pipeline on both engines, exact and approximate.
+
+use engine::{evaluate_naive, ConfidenceMode, EvalConfig, UEngine};
+use pdb::{tuple, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::coins;
+
+fn posterior_of(relation: &urel::URelation, coin: &str) -> f64 {
+    relation
+        .iter()
+        .find(|row| row.tuple[0] == Value::str(coin))
+        .map(|row| row.tuple[1].as_f64().expect("posterior is numeric"))
+        .expect("coin type present")
+}
+
+#[test]
+fn example_2_2_posterior_exact_on_both_engines() {
+    let udb = coins::coin_udatabase();
+    let query = coins::query_u(2);
+
+    let engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let out = engine.evaluate(&udb, &query, &mut rng).expect("succinct engine");
+    assert!((posterior_of(&out.result.relation, "fair") - 1.0 / 3.0).abs() < 1e-9);
+    assert!((posterior_of(&out.result.relation, "2headed") - 2.0 / 3.0).abs() < 1e-9);
+
+    let reference = evaluate_naive(&coins::coin_database(), &query).expect("reference engine");
+    let rel = reference.possible_tuples().expect("result");
+    assert_eq!(rel.len(), 2);
+    for expected in coins::expected_posterior_two_heads() {
+        assert!(
+            rel.iter().any(|t| t[0] == Value::str(expected.0)
+                && (t[1].as_f64().unwrap() - expected.1).abs() < 1e-9),
+            "missing {expected:?} in {rel}"
+        );
+    }
+}
+
+#[test]
+fn example_2_2_has_eight_worlds_after_t() {
+    let udb = coins::coin_udatabase();
+    let engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let out = engine
+        .evaluate(&udb, &coins::query_t(2), &mut rng)
+        .expect("T evaluates");
+    assert_eq!(out.database.num_possible_worlds(), 8);
+    // The chosen-coin marginals of Figure 1(a).
+    let r = engine
+        .evaluate(&udb, &coins::query_r().conf("P"), &mut rng)
+        .expect("conf(R)");
+    let rel = r.result.relation.possible_tuples();
+    assert!(rel.contains(&tuple!["fair", 2.0 / 3.0]));
+    assert!(rel.contains(&tuple!["2headed", 1.0 / 3.0]));
+}
+
+#[test]
+fn example_2_2_fpras_is_close_to_exact() {
+    let udb = coins::coin_udatabase();
+    let query = coins::query_u(2);
+    let engine = UEngine::new(EvalConfig {
+        confidence: ConfidenceMode::Fpras {
+            epsilon: 0.05,
+            delta: 0.01,
+        },
+        ..EvalConfig::default()
+    });
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let out = engine.evaluate(&udb, &query, &mut rng).expect("fpras engine");
+    let fair = posterior_of(&out.result.relation, "fair");
+    let two_headed = posterior_of(&out.result.relation, "2headed");
+    // Both numerator and denominator carry up to 5 % relative error, so allow
+    // ~12 % on the ratio.
+    assert!((fair - 1.0 / 3.0).abs() < 0.04, "fair posterior {fair}");
+    assert!(
+        (two_headed - 2.0 / 3.0).abs() < 0.08,
+        "2headed posterior {two_headed}"
+    );
+    assert!(out.stats.karp_luby_samples > 0);
+}
+
+#[test]
+fn example_6_1_approximate_selection_keeps_the_right_coin() {
+    // σ̂_{conf[CoinType]/conf[∅] ≤ 0.5}(T): with the evidence of two heads the
+    // fair coin's posterior is 1/3 ≤ 0.5 and the double-headed coin's is 2/3.
+    let udb = coins::coin_udatabase();
+    let query = coins::query_posterior_filter(2, 0.5);
+    let engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let exact = engine.evaluate(&udb, &query, &mut rng).expect("exact σ̂");
+    let exact_tuples = exact.result.relation.possible_tuples();
+    assert!(exact_tuples.contains(&tuple!["fair"]));
+    assert!(!exact_tuples.contains(&tuple!["2headed"]));
+
+    // The adaptive decision agrees (margins are far from the threshold).
+    let adaptive = UEngine::new(EvalConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let out = adaptive.evaluate(&udb, &query, &mut rng).expect("adaptive σ̂");
+    assert_eq!(out.result.relation.possible_tuples(), exact_tuples);
+    assert!(out.result.max_error() <= 0.05 + 1e-9);
+}
+
+#[test]
+fn generalised_coin_bags_keep_probabilities_consistent() {
+    for (fair, double) in [(1i64, 1i64), (3, 2), (5, 1)] {
+        let udb = coins::coin_udatabase_with(fair, double, 1);
+        let engine = UEngine::new(EvalConfig::exact());
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let out = engine
+            .evaluate(&udb, &coins::query_r().conf("P"), &mut rng)
+            .expect("conf(R)");
+        let rel = out.result.relation.possible_tuples();
+        let total: f64 = rel.iter().map(|t| t[1].as_f64().unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "marginals sum to {total}");
+        let expected_fair = fair as f64 / (fair + double) as f64;
+        assert!(rel
+            .iter()
+            .any(|t| t[0] == Value::str("fair")
+                && (t[1].as_f64().unwrap() - expected_fair).abs() < 1e-9));
+    }
+}

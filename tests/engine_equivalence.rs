@@ -1,0 +1,155 @@
+//! Cross-engine equivalence: the succinct U-relational engine and the
+//! possible-worlds reference engine must agree on exact results, for the
+//! workload queries and for randomly generated positive UA queries over small
+//! random databases.
+
+use algebra::{parse_query, Query};
+use engine::{evaluate_naive, EvalConfig, UEngine};
+use pdb::{ProbabilisticDatabase, Relation, Schema, Tuple, Value};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urel::UDatabase;
+use workloads::coins;
+
+/// Evaluates `query` on both engines over the same complete input relations
+/// and asserts the exact confidence of every possible result tuple matches.
+fn assert_engines_agree(relations: &[(String, Relation)], query: &Query) {
+    let udb = UDatabase::from_complete_relations(
+        relations.iter().map(|(n, r)| (n.clone(), r.clone())),
+    );
+    let pdb = ProbabilisticDatabase::from_complete_relations(
+        relations.iter().map(|(n, r)| (n.clone(), r.clone())),
+    )
+    .expect("well-formed complete database");
+
+    let engine = UEngine::new(EvalConfig::exact());
+    let mut rng = ChaCha8Rng::seed_from_u64(0);
+    let succinct = engine.evaluate(&udb, query, &mut rng).expect("succinct engine");
+    let reference = evaluate_naive(&pdb, query).expect("reference engine");
+
+    // Same possible tuples, with a numeric tolerance because computed
+    // probability columns may differ in the last bits between the two
+    // engines (different summation/multiplication orders).
+    let succinct_poss = succinct.result.relation.possible_tuples();
+    let reference_poss = reference.possible_tuples().expect("reference poss");
+    assert_eq!(
+        succinct_poss.len(),
+        reference_poss.len(),
+        "result sizes differ for {query}: {succinct_poss} vs {reference_poss}"
+    );
+    for t in succinct_poss.iter() {
+        let matched = reference_poss.iter().any(|u| tuples_close(t, u));
+        assert!(matched, "tuple {t} missing from the reference result for {query}");
+    }
+
+    // Same per-tuple confidence (computed exactly on both sides).
+    let compiled = engine::CompiledSpace::compile(succinct.database.wtable()).expect("compile");
+    for t in succinct_poss.iter() {
+        let event = compiled
+            .event(&succinct.result.relation.conditions_for(t))
+            .expect("event");
+        let p_succinct = confidence::exact::probability(&event, compiled.space()).expect("exact");
+        let reference_tuple = reference_poss
+            .iter()
+            .find(|u| tuples_close(t, u))
+            .expect("matched above");
+        let p_reference = reference
+            .confidence(reference_tuple)
+            .expect("reference confidence");
+        assert!(
+            (p_succinct - p_reference).abs() < 1e-9,
+            "confidence of {t} differs for {query}: {p_succinct} vs {p_reference}"
+        );
+    }
+}
+
+/// Value-wise tuple comparison with a small tolerance on numeric columns.
+fn tuples_close(a: &Tuple, b: &Tuple) -> bool {
+    if a.arity() != b.arity() {
+        return false;
+    }
+    a.values().zip(b.values()).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+        (Some(p), Some(q)) => (p - q).abs() < 1e-9,
+        _ => x == y,
+    })
+}
+
+#[test]
+fn engines_agree_on_the_coin_workload_queries() {
+    let relations = coins::coin_relations();
+    for query in [
+        coins::query_r(),
+        coins::query_s(),
+        coins::query_t(1),
+        coins::query_t(2),
+        coins::query_u(2),
+        coins::query_posterior_filter(2, 0.5),
+        parse_query("poss(project[CoinType](repairkey[ @ Count](Coins)))").unwrap(),
+        parse_query("cert(project[CoinType](repairkey[ @ Count](Coins)))").unwrap(),
+        parse_query("union(project[CoinType](Coins), project[CoinType](Faces))").unwrap(),
+        parse_query("diffc(project[CoinType](Faces), project[CoinType](Coins))").unwrap(),
+    ] {
+        assert_engines_agree(&relations, &query);
+    }
+}
+
+// ---- randomised equivalence -----------------------------------------------
+
+/// A small random complete relation R(A, B, W) with strictly positive weights.
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec((0i64..4, 0i64..4, 1i64..5), 1..8).prop_map(|rows| {
+        let schema = Schema::new(["A", "B", "W"]).unwrap();
+        let mut rel = Relation::empty(schema);
+        for (a, b, w) in rows {
+            let _ = rel.insert(Tuple::new(vec![
+                Value::Int(a),
+                Value::Int(b),
+                Value::Int(w),
+            ]));
+        }
+        rel
+    })
+}
+
+/// A random positive UA query over R: repair-key by a random key, then a
+/// couple of relational operators, optionally capped by conf.
+fn arb_query() -> impl Strategy<Value = Query> {
+    let key_choice = prop_oneof![Just(Vec::new()), Just(vec!["A"]), Just(vec!["A", "B"])];
+    (key_choice, 0usize..4, any::<bool>()).prop_map(|(key, shape, with_conf)| {
+        let key_refs: Vec<&str> = key.to_vec();
+        let base = Query::table("R").repair_key(&key_refs, "W");
+        let shaped = match shape {
+            0 => base.project(&["A"]),
+            1 => base.select(algebra::Predicate::ge(
+                algebra::Expr::attr("B"),
+                algebra::Expr::konst(1),
+            )),
+            2 => base
+                .clone()
+                .project(&["A"])
+                .natural_join(base.project(&["A", "B"])),
+            _ => base.project(&["B"]).union(Query::table("R").project(&["A"])),
+        };
+        if with_conf {
+            shaped.conf("P")
+        } else {
+            shaped
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn engines_agree_on_random_positive_queries(rel in arb_relation(), query in arb_query()) {
+        // Guard against world-count blow-ups in the reference engine.
+        let groups: usize = {
+            let key: Vec<&str> = vec![];
+            pdb::repair_count(&rel, &key).unwrap_or(usize::MAX)
+        };
+        prop_assume!(groups <= 512);
+        assert_engines_agree(&[("R".to_string(), rel)], &query);
+    }
+}

@@ -1,0 +1,189 @@
+//! Cross-crate property tests: representation round trips, agreement of the
+//! exact confidence methods, Karp–Luby accuracy, ε-orthotope homogeneity and
+//! parser round trips on randomly generated inputs.
+
+use approx::{LinearIneq, Orthotope};
+use confidence::{exact, Assignment, DnfEvent, FprasParams, ProbabilitySpace};
+use pdb::Value;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urel::{decode_default, encode, Condition, UDatabase, URelation, Var};
+
+// ---- random generators -----------------------------------------------------
+
+/// A random small tuple-independent U-relational database (≤ 8 Boolean
+/// variables so decoding stays cheap).
+fn arb_udatabase() -> impl Strategy<Value = UDatabase> {
+    proptest::collection::vec((1u32..99, 0i64..6), 1..8).prop_map(|tuples| {
+        let mut db = UDatabase::new();
+        let schema = pdb::Schema::new(["Id", "A"]).unwrap();
+        let mut rel = URelation::empty(schema);
+        for (i, (percent, a)) in tuples.into_iter().enumerate() {
+            let var = Var::new(format!("t{i}"));
+            db.wtable_mut()
+                .add_bool_variable(var.clone(), percent as f64 / 100.0)
+                .unwrap();
+            rel.insert(
+                Condition::new([(var, Value::Bool(true))]).unwrap(),
+                pdb::Tuple::new(vec![Value::Int(i as i64), Value::Int(a)]),
+            )
+            .unwrap();
+        }
+        db.set_relation("T", rel, false);
+        db
+    })
+}
+
+/// A random DNF event over ≤ 10 Boolean variables with ≤ 6 terms.
+fn arb_event() -> impl Strategy<Value = (DnfEvent, ProbabilitySpace)> {
+    (
+        proptest::collection::vec(5u32..95, 2..10),
+        proptest::collection::vec(proptest::collection::vec((0usize..10, 0usize..2), 1..4), 1..6),
+    )
+        .prop_map(|(probs, raw_terms)| {
+            let mut space = ProbabilitySpace::new();
+            for p in &probs {
+                space.add_bool_variable(*p as f64 / 100.0).unwrap();
+            }
+            let num_vars = probs.len();
+            let mut terms = Vec::new();
+            for pairs in raw_terms {
+                let pairs: Vec<(usize, usize)> = pairs
+                    .into_iter()
+                    .map(|(v, a)| (v % num_vars, a))
+                    .collect();
+                if let Ok(a) = Assignment::new(pairs) {
+                    terms.push(a);
+                }
+            }
+            if terms.is_empty() {
+                terms.push(Assignment::new([(0, 0)]).unwrap());
+            }
+            (DnfEvent::new(terms), space)
+        })
+}
+
+// ---- properties -------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, .. ProptestConfig::default() })]
+
+    /// Theorem 3.1: decoding and re-encoding a U-relational database
+    /// preserves every tuple confidence.
+    #[test]
+    fn representation_round_trip_preserves_confidence(db in arb_udatabase()) {
+        let explicit = decode_default(&db).unwrap();
+        let re_encoded = encode(&explicit).unwrap();
+        let decoded_again = decode_default(&re_encoded).unwrap();
+        for t in explicit.poss("T").unwrap().iter() {
+            let a = explicit.confidence("T", t).unwrap();
+            let b = decoded_again.confidence("T", t).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// The three exact confidence methods agree with each other and stay in
+    /// [0, 1].
+    #[test]
+    fn exact_methods_agree((event, space) in arb_event()) {
+        let p1 = exact::by_enumeration(&event, &space, 1 << 20).unwrap();
+        let p2 = exact::by_shannon_expansion(&event, &space).unwrap();
+        let p3 = exact::by_inclusion_exclusion(&event, &space, 24).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p1));
+        prop_assert!((p1 - p2).abs() < 1e-9, "enumeration {p1} vs shannon {p2}");
+        prop_assert!((p1 - p3).abs() < 1e-9, "enumeration {p1} vs incl-excl {p3}");
+    }
+
+    /// Simplification and independent-component factorisation never change
+    /// the event probability.
+    #[test]
+    fn event_transformations_preserve_probability((event, space) in arb_event()) {
+        let p = exact::by_shannon_expansion(&event, &space).unwrap();
+        let simplified = event.simplified();
+        let p_simplified = exact::by_shannon_expansion(&simplified, &space).unwrap();
+        prop_assert!((p - p_simplified).abs() < 1e-9);
+        let components = event.independent_components();
+        let mut q = 1.0;
+        for c in &components {
+            q *= 1.0 - exact::by_shannon_expansion(c, &space).unwrap();
+        }
+        prop_assert!((p - (1.0 - q)).abs() < 1e-9);
+    }
+
+    /// Theorem 5.2: the closed-form ε always produces an orthotope on which
+    /// the linear inequality is constant (checked at the corners).
+    #[test]
+    fn linear_epsilon_is_homogeneous(
+        coeffs in proptest::collection::vec(-200i32..200, 1..5),
+        values in proptest::collection::vec(5u32..95, 5),
+        slack in 1u32..50,
+    ) {
+        let k = coeffs.len();
+        let coeffs: Vec<f64> = coeffs.iter().map(|c| *c as f64 / 100.0).collect();
+        let point: Vec<f64> = values.iter().take(k).map(|v| *v as f64 / 100.0).collect();
+        prop_assume!(point.len() == k);
+        let lhs: f64 = coeffs.iter().zip(&point).map(|(a, x)| a * x).sum();
+        let ineq = LinearIneq::new(coeffs, lhs - slack as f64 / 100.0);
+        prop_assume!(ineq.eval(&point).unwrap());
+        let eps = match ineq.epsilon_max(&point) {
+            Ok(e) => e.min(0.999),
+            Err(_) => return Ok(()),
+        };
+        prop_assume!(eps > 1e-6);
+        let orthotope = Orthotope::relative(&point, eps * 0.999).unwrap();
+        for corner in orthotope.corners() {
+            prop_assert!(ineq.eval(&corner).unwrap(), "corner {corner:?} flips {ineq}");
+        }
+    }
+
+    /// The Karp–Luby FPRAS stays within its relative-error budget for the
+    /// vast majority of seeds (allowing the δ fraction of failures over the
+    /// whole property run would be flaky, so ε is tested with head-room).
+    #[test]
+    fn fpras_is_accurate((event, space) in arb_event(), seed in 0u64..1000) {
+        let exact_p = exact::by_shannon_expansion(&event, &space).unwrap();
+        prop_assume!(exact_p > 0.01);
+        let params = FprasParams::new(0.25, 0.01).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let estimate = confidence::approximate_confidence(&event, &space, params, &mut rng)
+            .unwrap()
+            .estimate;
+        // ε = 0.25 with δ = 0.01: a violation by more than 1.5× the budget in
+        // a single sampled run would indicate a real bug rather than noise.
+        prop_assert!(
+            (estimate - exact_p).abs() <= 0.375 * exact_p,
+            "estimate {estimate} too far from {exact_p}"
+        );
+    }
+
+    /// The textual query syntax round-trips through Display → parse for
+    /// queries assembled from random building blocks.
+    #[test]
+    fn parser_round_trips(
+        key in prop_oneof![Just(Vec::new()), Just(vec!["A".to_string()])],
+        threshold in 1u32..99,
+        use_conf in any::<bool>(),
+        use_aselect in any::<bool>(),
+    ) {
+        use algebra::{ConfTerm, Expr, Predicate, Query};
+        let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
+        let mut q = Query::table("R").repair_key(&key_refs, "W").select(
+            Predicate::ge(Expr::attr("A"), Expr::konst(threshold as f64 / 100.0)),
+        );
+        if use_aselect {
+            q = q.approx_select(
+                vec![ConfTerm::new("P1", ["A"])],
+                Predicate::ge(Expr::attr("P1"), Expr::konst(0.5)),
+                0.05,
+                0.05,
+            );
+        }
+        if use_conf {
+            q = q.conf("P");
+        }
+        let text = q.to_string();
+        let reparsed = algebra::parse_query(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+}
