@@ -220,10 +220,7 @@ mod tests {
     fn type_and_division_errors() {
         let (s, t) = env();
         let e = Expr::attr("Name") + Expr::konst(1.0);
-        assert!(matches!(
-            e.eval(&s, &t),
-            Err(AlgebraError::TypeError(_))
-        ));
+        assert!(matches!(e.eval(&s, &t), Err(AlgebraError::TypeError(_))));
         let e = Expr::attr("A") / Expr::konst(0.0);
         assert_eq!(e.eval(&s, &t), Err(AlgebraError::DivisionByZero));
         let e = Expr::attr("Missing");

@@ -14,7 +14,9 @@
 //! The crate provides the query AST ([`Query`]) with a fluent builder,
 //! arithmetic [`Expr`]essions and Boolean [`Predicate`]s, static analysis
 //! ([`validate`]: schema inference, completeness, positivity, the structural
-//! parameters of Proposition 6.6) and a textual [`parser`].
+//! parameters of Proposition 6.6), a textual [`parser`], and the logical
+//! [`plan`]ner lowering queries into validated operator DAGs with per-node
+//! ε/δ annotations — the representation every execution engine consumes.
 //!
 //! ```
 //! use algebra::{parse_query, Query};
@@ -29,6 +31,7 @@
 mod error;
 mod expr;
 pub mod parser;
+pub mod plan;
 mod predicate;
 mod query;
 pub mod validate;
@@ -36,6 +39,7 @@ pub mod validate;
 pub use error::{AlgebraError, Result};
 pub use expr::Expr;
 pub use parser::{parse_expr, parse_predicate, parse_query};
+pub use plan::{Accuracy, LogicalOp, LogicalPlan, NodeId, PlanNode};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ConfTerm, ProjItem, Query, DEFAULT_DELTA, DEFAULT_EPSILON0};
 pub use validate::{

@@ -74,61 +74,103 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { position: i, kind: TokenKind::LParen });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::LParen,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { position: i, kind: TokenKind::RParen });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::RParen,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { position: i, kind: TokenKind::LBracket });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::LBracket,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { position: i, kind: TokenKind::RBracket });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::RBracket,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { position: i, kind: TokenKind::Comma });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::Comma,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { position: i, kind: TokenKind::Semicolon });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::Semicolon,
+                });
                 i += 1;
             }
             '@' => {
-                tokens.push(Token { position: i, kind: TokenKind::At });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::At,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { position: i, kind: TokenKind::Plus });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::Plus,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { position: i, kind: TokenKind::Star });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::Star,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { position: i, kind: TokenKind::Slash });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::Slash,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { position: i, kind: TokenKind::Eq });
+                tokens.push(Token {
+                    position: i,
+                    kind: TokenKind::Eq,
+                });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { position: i, kind: TokenKind::Arrow });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Arrow,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { position: i, kind: TokenKind::Minus });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Minus,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { position: i, kind: TokenKind::Ne });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Ne,
+                    });
                     i += 2;
                 } else {
                     return Err(AlgebraError::Parse {
@@ -139,19 +181,31 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { position: i, kind: TokenKind::Le });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Le,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { position: i, kind: TokenKind::Lt });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Lt,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { position: i, kind: TokenKind::Ge });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Ge,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { position: i, kind: TokenKind::Gt });
+                    tokens.push(Token {
+                        position: i,
+                        kind: TokenKind::Gt,
+                    });
                     i += 1;
                 }
             }
@@ -177,7 +231,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { position: start, kind: TokenKind::Str(s) });
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Str(s),
+                });
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
@@ -197,7 +254,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     position: start,
                     message: format!("invalid number `{text}`"),
                 })?;
-                tokens.push(Token { position: start, kind: TokenKind::Number(value) });
+                tokens.push(Token {
+                    position: start,
+                    kind: TokenKind::Number(value),
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -219,7 +279,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    tokens.push(Token { position: input.len(), kind: TokenKind::Eof });
+    tokens.push(Token {
+        position: input.len(),
+        kind: TokenKind::Eof,
+    });
     Ok(tokens)
 }
 
@@ -228,7 +291,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

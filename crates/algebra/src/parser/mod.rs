@@ -395,7 +395,9 @@ impl Parser {
             TokenKind::Le => CmpOp::Le,
             TokenKind::Gt => CmpOp::Gt,
             TokenKind::Ge => CmpOp::Ge,
-            other => return Err(self.error(format!("expected comparison operator, found {other:?}"))),
+            other => {
+                return Err(self.error(format!("expected comparison operator, found {other:?}")))
+            }
         };
         self.advance();
         let right = self.expr()?;
@@ -531,10 +533,7 @@ mod tests {
             Expr::attr("P1") / Expr::attr("P2") + Expr::konst(2.0) * Expr::konst(3.0)
         );
         let e = parse_expr("(A + B) * -C").unwrap();
-        assert_eq!(
-            e,
-            (Expr::attr("A") + Expr::attr("B")) * (-Expr::attr("C"))
-        );
+        assert_eq!(e, (Expr::attr("A") + Expr::attr("B")) * (-Expr::attr("C")));
     }
 
     #[test]
@@ -585,7 +584,10 @@ mod tests {
         }
         // Defaults are filled in when parameters are omitted.
         let q = parse_query("aselect[P1 = conf(A); P1 >= 0.5](T)").unwrap();
-        if let Query::ApproxSelect { epsilon0, delta, .. } = q {
+        if let Query::ApproxSelect {
+            epsilon0, delta, ..
+        } = q
+        {
             assert_eq!(epsilon0, DEFAULT_EPSILON0);
             assert_eq!(delta, DEFAULT_DELTA);
         } else {
@@ -601,7 +603,9 @@ mod tests {
         );
         assert_eq!(
             parse_query("diffc(poss(A), cert(B))").unwrap(),
-            Query::table("A").poss().difference_c(Query::table("B").cert())
+            Query::table("A")
+                .poss()
+                .difference_c(Query::table("B").cert())
         );
     }
 

@@ -192,9 +192,7 @@ impl Predicate {
             match (p, negated) {
                 (Predicate::True, false) | (Predicate::False, true) => Predicate::True,
                 (Predicate::True, true) | (Predicate::False, false) => Predicate::False,
-                (Predicate::Cmp(a, op, b), false) => {
-                    Predicate::Cmp(a.clone(), *op, b.clone())
-                }
+                (Predicate::Cmp(a, op, b), false) => Predicate::Cmp(a.clone(), *op, b.clone()),
                 (Predicate::Cmp(a, op, b), true) => {
                     Predicate::Cmp(a.clone(), op.negate(), b.clone())
                 }
@@ -289,10 +287,7 @@ mod tests {
 
     #[test]
     fn attrs_and_check() {
-        let p = Predicate::ge(
-            Expr::attr("P1") / Expr::attr("P2"),
-            Expr::konst(0.5),
-        );
+        let p = Predicate::ge(Expr::attr("P1") / Expr::attr("P2"), Expr::konst(0.5));
         assert_eq!(p.attrs(), vec!["P1".to_string(), "P2".to_string()]);
         let s = schema!["P1", "P2"];
         assert!(p.check(&s).is_ok());

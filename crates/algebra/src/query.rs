@@ -68,7 +68,10 @@ pub struct ConfTerm {
 
 impl ConfTerm {
     /// Creates a confidence term.
-    pub fn new(name: impl Into<String>, attrs: impl IntoIterator<Item = impl Into<String>>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        attrs: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
         ConfTerm {
             name: name.into(),
             attrs: attrs.into_iter().map(Into::into).collect(),
@@ -494,7 +497,11 @@ mod tests {
         assert!(matches!(t, Query::NaturalJoin { .. }));
         assert_eq!(
             t.base_relations(),
-            vec!["Coins".to_string(), "Faces".to_string(), "Tosses".to_string()]
+            vec![
+                "Coins".to_string(),
+                "Faces".to_string(),
+                "Tosses".to_string()
+            ]
         );
         assert!(t.size() > 10);
     }
@@ -532,7 +539,10 @@ mod tests {
             ),
         );
         if let Query::ApproxSelect {
-            epsilon0, delta, terms, ..
+            epsilon0,
+            delta,
+            terms,
+            ..
         } = &q
         {
             assert_eq!(*epsilon0, DEFAULT_EPSILON0);
@@ -547,7 +557,9 @@ mod tests {
 
     #[test]
     fn children_and_size() {
-        let q = Query::table("A").union(Query::table("B")).select(Predicate::True);
+        let q = Query::table("A")
+            .union(Query::table("B"))
+            .select(Predicate::True);
         assert_eq!(q.size(), 4);
         assert_eq!(q.children().len(), 1);
         assert_eq!(q.children()[0].children().len(), 2);

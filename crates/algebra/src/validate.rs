@@ -104,7 +104,10 @@ pub fn output_schema(query: &Query, catalog: &Catalog) -> Result<Schema> {
             }
             Ok(l)
         }
-        Query::Conf { input, prob_attr } | Query::ApproxConf { input, prob_attr, .. } => {
+        Query::Conf { input, prob_attr }
+        | Query::ApproxConf {
+            input, prob_attr, ..
+        } => {
             let s = output_schema(input, catalog)?;
             s.with_appended(prob_attr).map_err(Into::into)
         }
@@ -237,11 +240,7 @@ pub struct StructuralParams {
 
 /// Computes the structural parameters of a query.
 pub fn structural_params(query: &Query, catalog: &Catalog) -> Result<StructuralParams> {
-    fn walk(
-        q: &Query,
-        catalog: &Catalog,
-        params: &mut StructuralParams,
-    ) -> Result<usize> {
+    fn walk(q: &Query, catalog: &Catalog, params: &mut StructuralParams) -> Result<usize> {
         // Returns the σ̂-nesting depth of `q`.
         let arity = output_schema(q, catalog)?.arity();
         params.k = params.k.max(arity);
@@ -302,11 +301,7 @@ mod tests {
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
         c.add("Coins", schema!["CoinType", "Count"], true);
-        c.add(
-            "Faces",
-            schema!["CoinType", "Face", "FProb"],
-            true,
-        );
+        c.add("Faces", schema!["CoinType", "Face", "FProb"], true);
         c.add("Tosses", schema!["Toss"], true);
         c
     }
@@ -345,10 +340,7 @@ mod tests {
         assert!(output_schema(&Query::table("Nope"), &cat).is_err());
         let q = Query::table("Coins").project(&["Missing"]);
         assert!(output_schema(&q, &cat).is_err());
-        let q = Query::table("Coins").select(Predicate::eq(
-            Expr::attr("Missing"),
-            Expr::konst(1),
-        ));
+        let q = Query::table("Coins").select(Predicate::eq(Expr::attr("Missing"), Expr::konst(1)));
         assert!(output_schema(&q, &cat).is_err());
         let q = Query::table("Coins").repair_key(&["Missing"], "Count");
         assert!(output_schema(&q, &cat).is_err());
@@ -428,7 +420,12 @@ mod tests {
         let pred = Predicate::cmp(Expr::attr("P1"), CmpOp::Ge, Expr::konst(0.5));
         let below = Query::table("Coins")
             .repair_key(&[], "Count")
-            .approx_select(vec![ConfTerm::new("P1", ["CoinType"])], pred.clone(), 0.01, 0.05);
+            .approx_select(
+                vec![ConfTerm::new("P1", ["CoinType"])],
+                pred.clone(),
+                0.01,
+                0.05,
+            );
         assert!(repair_key_below_approx_select(&below));
         let above = Query::table("Coins")
             .approx_select(vec![ConfTerm::new("P1", ["CoinType"])], pred, 0.01, 0.05)
@@ -442,7 +439,12 @@ mod tests {
         let pred = Predicate::cmp(Expr::attr("P1"), CmpOp::Ge, Expr::konst(0.5));
         let inner = Query::table("Coins")
             .repair_key(&[], "Count")
-            .approx_select(vec![ConfTerm::new("P1", ["CoinType"])], pred.clone(), 0.01, 0.05);
+            .approx_select(
+                vec![ConfTerm::new("P1", ["CoinType"])],
+                pred.clone(),
+                0.01,
+                0.05,
+            );
         let outer = inner.approx_select(
             vec![
                 ConfTerm::new("P1", ["CoinType"]),

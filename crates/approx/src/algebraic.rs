@@ -91,10 +91,13 @@ impl AlgExpr {
     pub fn eval(&self, point: &[f64]) -> Result<f64> {
         match self {
             AlgExpr::Const(c) => Ok(*c),
-            AlgExpr::Var(i) => point.get(*i).copied().ok_or(ApproxError::VariableOutOfRange {
-                var: *i,
-                supplied: point.len(),
-            }),
+            AlgExpr::Var(i) => point
+                .get(*i)
+                .copied()
+                .ok_or(ApproxError::VariableOutOfRange {
+                    var: *i,
+                    supplied: point.len(),
+                }),
             AlgExpr::Neg(a) => Ok(-a.eval(point)?),
             AlgExpr::Add(a, b) => Ok(a.eval(point)? + b.eval(point)?),
             AlgExpr::Sub(a, b) => Ok(a.eval(point)? - b.eval(point)?),
@@ -114,18 +117,26 @@ impl AlgExpr {
     pub fn eval_interval(&self, orthotope: &Orthotope) -> Result<Interval> {
         match self {
             AlgExpr::Const(c) => Ok(Interval::point(*c)),
-            AlgExpr::Var(i) => orthotope
-                .intervals()
-                .get(*i)
-                .copied()
-                .ok_or(ApproxError::VariableOutOfRange {
-                    var: *i,
-                    supplied: orthotope.dimension(),
-                }),
+            AlgExpr::Var(i) => {
+                orthotope
+                    .intervals()
+                    .get(*i)
+                    .copied()
+                    .ok_or(ApproxError::VariableOutOfRange {
+                        var: *i,
+                        supplied: orthotope.dimension(),
+                    })
+            }
             AlgExpr::Neg(a) => Ok(a.eval_interval(orthotope)?.neg()),
-            AlgExpr::Add(a, b) => Ok(a.eval_interval(orthotope)?.add(&b.eval_interval(orthotope)?)),
-            AlgExpr::Sub(a, b) => Ok(a.eval_interval(orthotope)?.sub(&b.eval_interval(orthotope)?)),
-            AlgExpr::Mul(a, b) => Ok(a.eval_interval(orthotope)?.mul(&b.eval_interval(orthotope)?)),
+            AlgExpr::Add(a, b) => Ok(a
+                .eval_interval(orthotope)?
+                .add(&b.eval_interval(orthotope)?)),
+            AlgExpr::Sub(a, b) => Ok(a
+                .eval_interval(orthotope)?
+                .sub(&b.eval_interval(orthotope)?)),
+            AlgExpr::Mul(a, b) => Ok(a
+                .eval_interval(orthotope)?
+                .mul(&b.eval_interval(orthotope)?)),
             AlgExpr::Div(a, b) => a
                 .eval_interval(orthotope)?
                 .div(&b.eval_interval(orthotope)?),
@@ -318,10 +329,8 @@ mod tests {
         // x0/x1 − 0.5 ≥ 0 at (1/2, 1/2): the algebraic search should find the
         // same ε = 1/3 as the closed form (the ratio is monotone in each
         // variable, and its extremes sit at orthotope corners).
-        let phi = AlgebraicIneq::new(
-            AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5),
-        )
-        .unwrap();
+        let phi =
+            AlgebraicIneq::new(AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5)).unwrap();
         assert!(phi.eval(&[0.5, 0.5]).unwrap());
         let eps = phi.epsilon_homogeneous(&[0.5, 0.5]).unwrap();
         assert!(
@@ -354,10 +363,8 @@ mod tests {
 
     #[test]
     fn corners_agree_is_monotone_in_epsilon() {
-        let phi = AlgebraicIneq::new(
-            AlgExpr::var(0) * AlgExpr::var(1) - AlgExpr::konst(0.04),
-        )
-        .unwrap();
+        let phi =
+            AlgebraicIneq::new(AlgExpr::var(0) * AlgExpr::var(1) - AlgExpr::konst(0.04)).unwrap();
         let p = [0.3, 0.3];
         assert!(phi.eval(&p).unwrap());
         let eps = phi.epsilon_homogeneous(&p).unwrap();
@@ -378,10 +385,8 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        let phi = AlgebraicIneq::new(
-            AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5),
-        )
-        .unwrap();
+        let phi =
+            AlgebraicIneq::new(AlgExpr::var(0) / AlgExpr::var(1) - AlgExpr::konst(0.5)).unwrap();
         assert_eq!(phi.to_string(), "((x0 / x1) - 0.5) >= 0");
     }
 }

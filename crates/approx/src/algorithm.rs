@@ -122,7 +122,10 @@ pub fn approximate_predicate<R: Rng + ?Sized>(
         for est in estimators.iter_mut() {
             est.add_batch(rng);
         }
-        let estimates: Vec<f64> = estimators.iter().map(IncrementalEstimator::estimate).collect();
+        let estimates: Vec<f64> = estimators
+            .iter()
+            .map(IncrementalEstimator::estimate)
+            .collect();
 
         let value = phi.eval(&estimates)?;
         // ε_ψ(p̂) for ψ = φ or ¬φ: the homogeneous ε of the predicate around
@@ -144,7 +147,10 @@ pub fn approximate_predicate<R: Rng + ?Sized>(
     };
 
     let samples = estimators.iter().map(IncrementalEstimator::samples).sum();
-    let estimates: Vec<f64> = estimators.iter().map(IncrementalEstimator::estimate).collect();
+    let estimates: Vec<f64> = estimators
+        .iter()
+        .map(IncrementalEstimator::estimate)
+        .collect();
     Ok(Decision {
         value,
         error_bound: error_bound.min(0.5),
@@ -201,8 +207,8 @@ mod tests {
         let phi = ApproxPredicate::threshold(1, 0, 0.3);
         let params = ApproximationParams::new(0.05, 0.05).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let d = approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng)
-            .unwrap();
+        let d =
+            approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng).unwrap();
         assert!(d.value);
         assert!(d.error_bound <= 0.05);
         assert!(d.converged_above_epsilon0);
@@ -217,8 +223,8 @@ mod tests {
         let phi = ApproxPredicate::threshold(1, 0, 0.6);
         let params = ApproximationParams::new(0.05, 0.05).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let d = approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng)
-            .unwrap();
+        let d =
+            approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng).unwrap();
         assert!(!d.value);
         assert!(d.error_bound <= 0.05);
         assert!(d.converged_above_epsilon0);
@@ -257,8 +263,8 @@ mod tests {
             .unwrap()
             .with_max_iterations(200);
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let d = approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng)
-            .unwrap();
+        let d =
+            approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng).unwrap();
         assert_eq!(d.iterations, 200);
         assert!(!d.converged_above_epsilon0);
         // The error bound is still reported (capped at 0.5).
@@ -272,8 +278,8 @@ mod tests {
         let phi = ApproxPredicate::threshold(1, 0, 0.5);
         let params = ApproximationParams::new(0.05, 0.05).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let d = approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng)
-            .unwrap();
+        let d =
+            approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng).unwrap();
         // conf = 0 ≥ 0.5 is false, and exact, so one iteration suffices.
         assert!(!d.value);
         assert_eq!(d.iterations, 1);
@@ -302,13 +308,8 @@ mod tests {
             let (mut est, exact) = estimator(5, 0.13); // ≈ 0.502
             let truth = exact >= 0.4;
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let d = approximate_predicate(
-                &phi,
-                std::slice::from_mut(&mut est),
-                params,
-                &mut rng,
-            )
-            .unwrap();
+            let d = approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng)
+                .unwrap();
             if d.value != truth {
                 wrong += 1;
             }

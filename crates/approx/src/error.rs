@@ -76,9 +76,12 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(ApproxError::VariableOutOfRange { var: 3, supplied: 2 }
-            .to_string()
-            .contains("x3"));
+        assert!(ApproxError::VariableOutOfRange {
+            var: 3,
+            supplied: 2
+        }
+        .to_string()
+        .contains("x3"));
         assert!(ApproxError::RepeatedVariable(1).to_string().contains("x1"));
         let e: ApproxError = confidence::ConfidenceError::EmptyEvent.into();
         assert!(e.to_string().contains("no terms"));

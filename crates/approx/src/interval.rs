@@ -43,7 +43,10 @@ impl Interval {
                 "relative interval needs 0 <= epsilon < 1, got {epsilon}"
             )));
         }
-        Ok(Interval::new(p_hat / (1.0 + epsilon), p_hat / (1.0 - epsilon)))
+        Ok(Interval::new(
+            p_hat / (1.0 + epsilon),
+            p_hat / (1.0 - epsilon),
+        ))
     }
 
     /// The *absolute* box `[p·(1−ε₀), p·(1+ε₀)]` of Definition 5.6 around a

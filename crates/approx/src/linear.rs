@@ -59,12 +59,7 @@ impl LinearIneq {
                 supplied: point.len(),
             });
         }
-        Ok(self
-            .coeffs
-            .iter()
-            .zip(point)
-            .map(|(a, x)| a * x)
-            .sum())
+        Ok(self.coeffs.iter().zip(point).map(|(a, x)| a * x).sum())
     }
 
     /// The complementary inequality, describing (up to the measure-zero
@@ -111,12 +106,7 @@ impl LinearIneq {
                 "epsilon_max requires a point satisfying the inequality".into(),
             ));
         }
-        let alpha: f64 = self
-            .coeffs
-            .iter()
-            .zip(p_hat)
-            .map(|(a, x)| a * x)
-            .sum();
+        let alpha: f64 = self.coeffs.iter().zip(p_hat).map(|(a, x)| a * x).sum();
         let beta: f64 = self
             .coeffs
             .iter()
@@ -232,7 +222,10 @@ mod tests {
             (LinearIneq::new(vec![2.0, -1.0], 0.2), vec![0.4, 0.1]),
             (LinearIneq::new(vec![1.0], 0.25), vec![0.9]),
             (LinearIneq::new(vec![-1.0, 3.0], -0.5), vec![0.3, 0.05]),
-            (LinearIneq::new(vec![0.5, 0.5, 0.5], 0.3), vec![0.3, 0.3, 0.3]),
+            (
+                LinearIneq::new(vec![0.5, 0.5, 0.5], 0.3),
+                vec![0.3, 0.3, 0.3],
+            ),
         ];
         for (phi, p_hat) in cases {
             assert!(phi.eval(&p_hat).unwrap(), "{phi} at {p_hat:?}");
@@ -318,7 +311,9 @@ mod tests {
         let r = phi.lhs_range(&o).unwrap();
         // x0 ∈ [0.4167, 0.625], −2·x1 ∈ [−0.625, −0.4167]
         assert!(r.lo < 0.0 && r.hi > 0.0);
-        assert!(phi.lhs_range(&Orthotope::relative(&[0.5], 0.2).unwrap()).is_err());
+        assert!(phi
+            .lhs_range(&Orthotope::relative(&[0.5], 0.2).unwrap())
+            .is_err());
     }
 
     #[test]

@@ -38,8 +38,8 @@ pub fn naive_decide<R: Rng + ?Sized>(
     }
     let k = estimators.len().max(1);
     let per_value_delta = params.delta / k as f64;
-    let iterations =
-        chernoff::required_iterations(params.epsilon0, per_value_delta).map_err(ApproxError::from)?;
+    let iterations = chernoff::required_iterations(params.epsilon0, per_value_delta)
+        .map_err(ApproxError::from)?;
 
     for est in estimators.iter_mut() {
         for _ in 0..iterations {
@@ -47,7 +47,10 @@ pub fn naive_decide<R: Rng + ?Sized>(
         }
     }
 
-    let estimates: Vec<f64> = estimators.iter().map(IncrementalEstimator::estimate).collect();
+    let estimates: Vec<f64> = estimators
+        .iter()
+        .map(IncrementalEstimator::estimate)
+        .collect();
     let value = phi.eval(&estimates)?;
     let eps_psi = phi.epsilon_homogeneous(&estimates)?;
     let converged_above_epsilon0 = eps_psi >= params.epsilon0;
@@ -129,8 +132,8 @@ mod tests {
 
         let (mut est_naive, _) = estimator(6, 0.175);
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let naive = naive_decide(&phi, std::slice::from_mut(&mut est_naive), params, &mut rng)
-            .unwrap();
+        let naive =
+            naive_decide(&phi, std::slice::from_mut(&mut est_naive), params, &mut rng).unwrap();
 
         let (mut est_adaptive, _) = estimator(6, 0.175);
         let mut rng = ChaCha8Rng::seed_from_u64(5);

@@ -226,8 +226,7 @@ mod tests {
 
     #[test]
     fn evaluation_of_combinations() {
-        let p = ApproxPredicate::threshold(2, 0, 0.5)
-            .and(ApproxPredicate::threshold(2, 1, 0.25));
+        let p = ApproxPredicate::threshold(2, 0, 0.5).and(ApproxPredicate::threshold(2, 1, 0.25));
         assert!(p.eval(&[0.6, 0.3]).unwrap());
         assert!(!p.eval(&[0.6, 0.2]).unwrap());
         let q = p.clone().or(ApproxPredicate::True);
@@ -312,8 +311,7 @@ mod tests {
                 vec![0.5, 0.5],
             ),
             (
-                ApproxPredicate::threshold(2, 0, 0.7)
-                    .or(ApproxPredicate::threshold(2, 1, 0.05)),
+                ApproxPredicate::threshold(2, 0, 0.7).or(ApproxPredicate::threshold(2, 1, 0.05)),
                 vec![0.5, 0.2],
             ),
             (

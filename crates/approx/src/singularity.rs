@@ -92,10 +92,7 @@ fn linear_verdict(ineq: &LinearIneq, orthotope: &Orthotope) -> Result<BoxVerdict
 }
 
 /// Three-valued evaluation of a predicate over an arbitrary orthotope.
-pub fn evaluate_over_box(
-    predicate: &ApproxPredicate,
-    orthotope: &Orthotope,
-) -> Result<BoxVerdict> {
+pub fn evaluate_over_box(predicate: &ApproxPredicate, orthotope: &Orthotope) -> Result<BoxVerdict> {
     Ok(match predicate {
         ApproxPredicate::True => BoxVerdict::AlwaysTrue,
         ApproxPredicate::False => BoxVerdict::AlwaysFalse,
@@ -113,11 +110,7 @@ pub fn evaluate_over_box(
 /// Tests whether the true point `p` is (possibly) an ε₀-singularity of the
 /// predicate: `true` means the absolute box of Definition 5.6 around `p`
 /// could contain points of both truth values.
-pub fn is_possibly_singular(
-    predicate: &ApproxPredicate,
-    p: &[f64],
-    epsilon0: f64,
-) -> Result<bool> {
+pub fn is_possibly_singular(predicate: &ApproxPredicate, p: &[f64], epsilon0: f64) -> Result<bool> {
     let boxed = Orthotope::absolute(p, epsilon0)?;
     Ok(matches!(
         evaluate_over_box(predicate, &boxed)?,
@@ -197,19 +190,12 @@ mod tests {
             BoxVerdict::AlwaysTrue
         );
         // unknown ∧ true: unknown, i.e. possibly singular.
-        assert!(is_possibly_singular(
-            &clear_true.clone().and(near_boundary.clone()),
-            &p,
-            0.1
-        )
-        .unwrap());
+        assert!(
+            is_possibly_singular(&clear_true.clone().and(near_boundary.clone()), &p, 0.1).unwrap()
+        );
         // Negation flips definite verdicts.
         assert_eq!(
-            evaluate_over_box(
-                &clear_false.not(),
-                &Orthotope::absolute(&p, 0.1).unwrap()
-            )
-            .unwrap(),
+            evaluate_over_box(&clear_false.not(), &Orthotope::absolute(&p, 0.1).unwrap()).unwrap(),
             BoxVerdict::AlwaysTrue
         );
     }

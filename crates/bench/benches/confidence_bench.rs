@@ -1,8 +1,8 @@
 //! Criterion benchmarks for confidence computation (E3, E4, E15):
 //! exact methods vs the Karp–Luby FPRAS as the event grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confidence::{approximate_confidence, exact, FprasParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use workloads::RandomDnf;
@@ -25,13 +25,9 @@ fn bench_exact_methods(c: &mut Criterion) {
                 b.iter(|| exact::by_enumeration(&event, &space, 1 << 26).unwrap());
             },
         );
-        group.bench_with_input(
-            BenchmarkId::new("shannon", num_vars),
-            &num_vars,
-            |b, _| {
-                b.iter(|| exact::by_shannon_expansion(&event, &space).unwrap());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("shannon", num_vars), &num_vars, |b, _| {
+            b.iter(|| exact::by_shannon_expansion(&event, &space).unwrap());
+        });
         if event.num_terms() <= 20 {
             group.bench_with_input(
                 BenchmarkId::new("inclusion_exclusion", num_vars),

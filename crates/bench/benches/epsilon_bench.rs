@@ -8,7 +8,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_epsilon_linear(c: &mut Criterion) {
     let mut group = c.benchmark_group("epsilon_linear_theorem_5_2");
     for &k in &[2usize, 4, 8, 16] {
-        let coeffs: Vec<f64> = (0..k).map(|i| if i % 2 == 0 { 1.0 } else { -0.25 }).collect();
+        let coeffs: Vec<f64> = (0..k)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -0.25 })
+            .collect();
         let point: Vec<f64> = (0..k).map(|i| 0.3 + 0.02 * i as f64).collect();
         let ineq = LinearIneq::new(coeffs, 0.05);
         assert!(ineq.eval(&point).unwrap());

@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the logical-plan / physical-operator pipeline on
+//! the `sensors` and `cleaning` workloads.
+//!
+//! Three paths per workload:
+//!
+//! * `lower_per_call` — the pre-refactor call pattern: every evaluation
+//!   lowers the query (validation + DAG construction) and then executes, as
+//!   the old recursive evaluator implicitly re-walked the syntax tree per
+//!   call.
+//! * `prelowered_pipeline` — the plan is lowered once and
+//!   `UEngine::evaluate_plan` re-executes it, the pattern the Theorem 6.7
+//!   adaptive driver uses.
+//! * `adaptive_sigma` — the full adaptive σ̂ evaluation (parallel
+//!   per-candidate Figure 3 decisions).
+
+use algebra::LogicalPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{catalog_of, EvalConfig, UEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::{CleaningWorkload, SensorWorkload};
+
+fn bench_sensors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_sensors");
+    group.sample_size(20);
+    let workload = SensorWorkload {
+        num_sensors: 8,
+        readings_per_sensor: 4,
+        high_probability: 0.45,
+        seed: 29,
+    };
+    let db = workload.database();
+    let query = SensorWorkload::alarm_query(0.7, 0.05, 0.05);
+    let catalog = catalog_of(&db).unwrap();
+    let plan = LogicalPlan::lower_validated(&query, &catalog).unwrap();
+    let engine = UEngine::new(EvalConfig::exact());
+
+    group.bench_function(BenchmarkId::new("lower_per_call", "exact"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| engine.evaluate(&db, &query, &mut rng).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("prelowered_pipeline", "exact"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| engine.evaluate_plan(&db, &plan, &mut rng).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("adaptive_sigma", "default"), |b| {
+        let adaptive = UEngine::new(EvalConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        b.iter(|| adaptive.evaluate_plan(&db, &plan, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_cleaning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_cleaning");
+    group.sample_size(10);
+    let workload = CleaningWorkload {
+        num_records: 8,
+        alternatives_per_record: 2,
+        num_cities: 3,
+        seed: 13,
+    };
+    let db = workload.database();
+    let query = CleaningWorkload::egd_conditional_query(0);
+    let catalog = catalog_of(&db).unwrap();
+    let plan = LogicalPlan::lower_validated(&query, &catalog).unwrap();
+    let engine = UEngine::new(EvalConfig::exact());
+
+    group.bench_function(BenchmarkId::new("lower_per_call", "egd"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| engine.evaluate(&db, &query, &mut rng).unwrap());
+    });
+    group.bench_function(BenchmarkId::new("prelowered_pipeline", "egd"), |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        b.iter(|| engine.evaluate_plan(&db, &plan, &mut rng).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensors, bench_cleaning);
+criterion_main!(benches);

@@ -2,9 +2,7 @@
 //! algorithm vs the naive fixed-sample baseline, for predicates at varying
 //! distance from the decision boundary.
 
-use approx::{
-    approximate_predicate, naive_decide, ApproximationParams, ApproxPredicate,
-};
+use approx::{approximate_predicate, naive_decide, ApproxPredicate, ApproximationParams};
 use confidence::{Assignment, DnfEvent, IncrementalEstimator, ProbabilitySpace};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::SeedableRng;
@@ -35,13 +33,8 @@ fn bench_adaptive_vs_naive(c: &mut Criterion) {
                     let (event, space) = make_event(6, 0.175);
                     let mut est = IncrementalEstimator::new(event, space).unwrap();
                     let mut rng = ChaCha8Rng::seed_from_u64(1);
-                    approximate_predicate(
-                        &phi,
-                        std::slice::from_mut(&mut est),
-                        params,
-                        &mut rng,
-                    )
-                    .unwrap()
+                    approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng)
+                        .unwrap()
                 });
             },
         );

@@ -19,7 +19,10 @@ fn main() -> ExitCode {
     }
 
     let ids: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        bench::ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
+        bench::ALL_EXPERIMENTS
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
     } else {
         args
     };

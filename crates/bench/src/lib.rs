@@ -14,7 +14,7 @@
 
 use algebra::parse_query;
 use approx::{
-    approximate_predicate, naive_decide, ApproximationParams, ApproxPredicate, LinearIneq,
+    approximate_predicate, naive_decide, ApproxPredicate, ApproximationParams, LinearIneq,
     Orthotope,
 };
 use confidence::{
@@ -119,7 +119,10 @@ pub fn e1_coin_example() -> Report {
 
 /// E2: Theorem 3.1 — encode/decode round trip preserves confidences.
 pub fn e2_representation_roundtrip() -> Report {
-    let mut report = Report::new("E2", "Theorem 3.1: U-relations are a complete representation");
+    let mut report = Report::new(
+        "E2",
+        "Theorem 3.1: U-relations are a complete representation",
+    );
     let gen = TupleIndependentDb {
         num_tuples: 6,
         ..TupleIndependentDb::default()
@@ -411,13 +414,9 @@ pub fn e8_figure_3_algorithm() -> Report {
                 .expect("params")
                 .with_max_iterations(3000);
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let d = approximate_predicate(
-                &phi,
-                std::slice::from_mut(&mut estimator),
-                params,
-                &mut rng,
-            )
-            .expect("decision");
+            let d =
+                approximate_predicate(&phi, std::slice::from_mut(&mut estimator), params, &mut rng)
+                    .expect("decision");
             if d.value != truth {
                 wrong += 1;
             }
@@ -579,8 +578,8 @@ pub fn e12_proposition_6_6() -> Report {
             }
         }
     }
-    let shape = QueryShape::new(3, 1, engine::active_domain_size(&db).expect("domain"))
-        .expect("shape");
+    let shape =
+        QueryShape::new(3, 1, engine::active_domain_size(&db).expect("domain")).expect("shape");
     let closed_form = proposition_6_6_bound(shape, 0.05, l).expect("bound");
     report.push(format!(
         "observed membership flips: {flips} / {decisions} decisions ({:.4})",
@@ -757,9 +756,8 @@ pub fn e15_query_scaling() -> Report {
             elapsed.as_secs_f64() * 1e3
         ));
     }
-    report.push(
-        "paper: polynomial time in the size of the input U-relational database".to_string(),
-    );
+    report
+        .push("paper: polynomial time in the size of the input U-relational database".to_string());
     report
 }
 

@@ -70,7 +70,10 @@ pub fn required_iterations(epsilon: f64, delta: f64) -> Result<usize> {
 /// `1 − Π (1 − δ_i(ε))` when the values are independently approximated.
 pub fn combine_error_bounds(bounds: &[f64], independent: bool) -> f64 {
     if independent {
-        1.0 - bounds.iter().map(|d| 1.0 - d.clamp(0.0, 1.0)).product::<f64>()
+        1.0 - bounds
+            .iter()
+            .map(|d| 1.0 - d.clamp(0.0, 1.0))
+            .product::<f64>()
     } else {
         bounds.iter().sum::<f64>().min(1.0)
     }

@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(ConfidenceError::UnknownVariable(3).to_string().contains('3'));
+        assert!(ConfidenceError::UnknownVariable(3)
+            .to_string()
+            .contains('3'));
         assert!(ConfidenceError::TooLarge {
             what: "number of worlds".into(),
             limit: 100

@@ -1,0 +1,328 @@
+//! The unified confidence-estimation layer: one trait, batched and parallel.
+//!
+//! Query operators that compute confidences (`conf`, `cert`, `σ̂`) never need
+//! a single probability — they need the probabilities of *all* tuple lineages
+//! of a relation at once.  [`ConfidenceEstimator`] is the seam between the
+//! engine's physical operators and the estimation machinery of Sections 4–5:
+//! it accepts a batch of DNF events and evaluates them **in parallel** (via
+//! rayon) while staying **deterministic under a fixed seed**, because every
+//! event of a batch derives its own sub-RNG from `(master seed, batch index)`
+//! — never from thread scheduling.
+//!
+//! Three implementations cover the paper's estimation modes:
+//!
+//! * [`ExactEstimator`] — exact model counting by Shannon expansion
+//!   (Section 4's #P-hard baseline, [`crate::exact`]).
+//! * [`FprasEstimator`] — the Karp–Luby (ε, δ)-FPRAS of Proposition 4.2,
+//!   backed by [`crate::KarpLubyEstimator`].
+//! * [`BatchedIncrementalEstimator`] — a fixed number of anytime batches per
+//!   event, backed by [`crate::IncrementalEstimator`]; this is the inner step
+//!   of the Theorem 6.7 whole-query approximation.
+//!
+//! ```
+//! use confidence::{Assignment, ConfidenceEstimator, DnfEvent, ExactEstimator,
+//!                  FprasEstimator, FprasParams, ProbabilitySpace};
+//!
+//! let mut space = ProbabilitySpace::new();
+//! let a = space.add_bool_variable(0.5).unwrap();
+//! let event = DnfEvent::new([Assignment::new([(a, 0)]).unwrap()]);
+//! let events = vec![event.clone(), event];
+//!
+//! let exact = ExactEstimator.estimate_batch(&events, &space, 7).unwrap();
+//! assert!((exact[0].estimate - 0.5).abs() < 1e-12);
+//!
+//! let fpras = FprasEstimator::new(FprasParams::new(0.2, 0.05).unwrap());
+//! let approx = fpras.estimate_batch(&events, &space, 7).unwrap();
+//! // Same seed, same batch → identical estimates, regardless of thread count.
+//! assert_eq!(approx, fpras.estimate_batch(&events, &space, 7).unwrap());
+//! ```
+
+use crate::adaptive::IncrementalEstimator;
+use crate::error::Result;
+use crate::event::{DnfEvent, ProbabilitySpace};
+use crate::exact;
+use crate::fpras::{approximate_confidence, FprasParams};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// The estimate produced for one event of a batch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventEstimate {
+    /// The probability estimate `p̂` (exact value for exact estimators and
+    /// for trivial events).
+    pub estimate: f64,
+    /// Number of Karp–Luby samples drawn for this event.
+    pub samples: u64,
+    /// True when the value is exact: exact model counting, or a trivial
+    /// event (never/certain) answered without sampling.
+    pub exact: bool,
+}
+
+/// Derives the deterministic per-event seed for position `index` of a batch
+/// started with `master` (a SplitMix64 step keyed by the index, so adjacent
+/// indices get uncorrelated streams).
+pub fn event_seed(master: u64, index: usize) -> u64 {
+    let mut z = master ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A strategy for estimating the probabilities of DNF events, in batches.
+///
+/// `estimate_batch` must equal mapping [`estimate_event`] over the batch with
+/// the per-index seeds of [`event_seed`] — implementations parallelise, but
+/// the result is defined sequentially.  The default implementation does
+/// exactly that via rayon.
+///
+/// [`estimate_event`]: ConfidenceEstimator::estimate_event
+pub trait ConfidenceEstimator: Send + Sync {
+    /// A short name for statistics and plan rendering.
+    fn name(&self) -> &'static str;
+
+    /// Estimates a single event; all randomness is derived from `seed`.
+    fn estimate_event(
+        &self,
+        event: &DnfEvent,
+        space: &ProbabilitySpace,
+        seed: u64,
+    ) -> Result<EventEstimate>;
+
+    /// Estimates a batch of events in parallel, deterministically in
+    /// `master_seed`.
+    fn estimate_batch(
+        &self,
+        events: &[DnfEvent],
+        space: &ProbabilitySpace,
+        master_seed: u64,
+    ) -> Result<Vec<EventEstimate>> {
+        (0..events.len())
+            .into_par_iter()
+            .map(|i| self.estimate_event(&events[i], space, event_seed(master_seed, i)))
+            .collect()
+    }
+}
+
+/// Exact model counting (Shannon expansion with memoisation); ignores seeds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ExactEstimator;
+
+impl ConfidenceEstimator for ExactEstimator {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn estimate_event(
+        &self,
+        event: &DnfEvent,
+        space: &ProbabilitySpace,
+        _seed: u64,
+    ) -> Result<EventEstimate> {
+        Ok(EventEstimate {
+            estimate: exact::probability(event, space)?,
+            samples: 0,
+            exact: true,
+        })
+    }
+}
+
+/// The Karp–Luby (ε, δ)-FPRAS of Proposition 4.2 with fixed parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FprasEstimator {
+    params: FprasParams,
+}
+
+impl FprasEstimator {
+    /// Creates an estimator drawing the Chernoff-bound sample count for the
+    /// given (ε, δ).
+    pub fn new(params: FprasParams) -> Self {
+        FprasEstimator { params }
+    }
+
+    /// The (ε, δ) parameters.
+    pub fn params(&self) -> FprasParams {
+        self.params
+    }
+}
+
+impl ConfidenceEstimator for FprasEstimator {
+    fn name(&self) -> &'static str {
+        "karp-luby-fpras"
+    }
+
+    fn estimate_event(
+        &self,
+        event: &DnfEvent,
+        space: &ProbabilitySpace,
+        seed: u64,
+    ) -> Result<EventEstimate> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let outcome = approximate_confidence(event, space, self.params, &mut rng)?;
+        Ok(EventEstimate {
+            estimate: outcome.estimate,
+            samples: outcome.samples as u64,
+            // Trivial events are answered exactly without sampling.
+            exact: outcome.samples == 0,
+        })
+    }
+}
+
+/// A fixed number of anytime Karp–Luby batches per event (the paper's
+/// outer-loop counter `l`), the inner step of the Theorem 6.7 driver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BatchedIncrementalEstimator {
+    batches: usize,
+}
+
+impl BatchedIncrementalEstimator {
+    /// Creates an estimator drawing `batches` batches of `|F_i|` samples per
+    /// event.
+    pub fn new(batches: usize) -> Self {
+        BatchedIncrementalEstimator { batches }
+    }
+
+    /// The batch count `l`.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+}
+
+impl ConfidenceEstimator for BatchedIncrementalEstimator {
+    fn name(&self) -> &'static str {
+        "incremental-fixed-l"
+    }
+
+    fn estimate_event(
+        &self,
+        event: &DnfEvent,
+        space: &ProbabilitySpace,
+        seed: u64,
+    ) -> Result<EventEstimate> {
+        let mut estimator = IncrementalEstimator::new(event.clone(), space.clone())?;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..self.batches {
+            estimator.add_batch(&mut rng);
+        }
+        Ok(EventEstimate {
+            estimate: estimator.estimate(),
+            samples: estimator.samples(),
+            exact: estimator.is_trivial(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Assignment;
+    use rand::Rng;
+
+    fn batch_setup(n: usize) -> (Vec<DnfEvent>, ProbabilitySpace) {
+        let mut space = ProbabilitySpace::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let vars: Vec<_> = (0..8)
+            .map(|_| space.add_bool_variable(rng.gen_range(0.1..0.9)).unwrap())
+            .collect();
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let terms: Vec<Assignment> = (0..rng.gen_range(1..=3usize))
+                .filter_map(|_| {
+                    let pairs: Vec<(usize, usize)> = (0..rng.gen_range(1..=2usize))
+                        .map(|_| (vars[rng.gen_range(0..vars.len())], rng.gen_range(0..2usize)))
+                        .collect();
+                    Assignment::new(pairs).ok()
+                })
+                .collect();
+            if terms.is_empty() {
+                events.push(DnfEvent::new([Assignment::new([(vars[0], 0)]).unwrap()]));
+            } else {
+                events.push(DnfEvent::new(terms));
+            }
+        }
+        (events, space)
+    }
+
+    #[test]
+    fn parallel_batch_equals_sequential_map_for_every_estimator() {
+        let (events, space) = batch_setup(40);
+        let estimators: Vec<Box<dyn ConfidenceEstimator>> = vec![
+            Box::new(ExactEstimator),
+            Box::new(FprasEstimator::new(FprasParams::new(0.3, 0.1).unwrap())),
+            Box::new(BatchedIncrementalEstimator::new(16)),
+        ];
+        for estimator in &estimators {
+            let master = 99u64;
+            let parallel = estimator.estimate_batch(&events, &space, master).unwrap();
+            let sequential: Vec<EventEstimate> = events
+                .iter()
+                .enumerate()
+                .map(|(i, e)| {
+                    estimator
+                        .estimate_event(e, &space, event_seed(master, i))
+                        .unwrap()
+                })
+                .collect();
+            assert_eq!(
+                parallel,
+                sequential,
+                "estimator {} must be schedule-independent",
+                estimator.name()
+            );
+        }
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_seed_sensitive() {
+        let (events, space) = batch_setup(12);
+        let fpras = FprasEstimator::new(FprasParams::new(0.25, 0.1).unwrap());
+        let a = fpras.estimate_batch(&events, &space, 1).unwrap();
+        let b = fpras.estimate_batch(&events, &space, 1).unwrap();
+        let c = fpras.estimate_batch(&events, &space, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different master seeds must change some estimate");
+    }
+
+    #[test]
+    fn estimators_agree_with_exact_within_their_guarantees() {
+        let (events, space) = batch_setup(10);
+        let exact = ExactEstimator.estimate_batch(&events, &space, 0).unwrap();
+        let fpras = FprasEstimator::new(FprasParams::new(0.2, 0.01).unwrap());
+        let approx = fpras.estimate_batch(&events, &space, 5).unwrap();
+        for (e, a) in exact.iter().zip(&approx) {
+            assert!(e.exact && e.samples == 0);
+            // ε = 0.2 at δ = 0.01 over 10 events: allow 1.5× the budget so a
+            // single unlucky draw cannot flake the suite.
+            assert!(
+                (a.estimate - e.estimate).abs() <= 0.3 * e.estimate.max(1e-9),
+                "estimate {} too far from exact {}",
+                a.estimate,
+                e.estimate
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_events_are_flagged_exact_by_every_estimator() {
+        let mut space = ProbabilitySpace::new();
+        space.add_bool_variable(0.4).unwrap();
+        let events = vec![DnfEvent::never(), DnfEvent::new([Assignment::always()])];
+        for estimator in [
+            Box::new(ExactEstimator) as Box<dyn ConfidenceEstimator>,
+            Box::new(FprasEstimator::new(FprasParams::new(0.2, 0.1).unwrap())),
+            Box::new(BatchedIncrementalEstimator::new(4)),
+        ] {
+            let out = estimator.estimate_batch(&events, &space, 3).unwrap();
+            assert_eq!(out[0].estimate, 0.0);
+            assert_eq!(out[1].estimate, 1.0);
+            assert!(out.iter().all(|e| e.exact && e.samples == 0));
+        }
+    }
+
+    #[test]
+    fn event_seed_spreads_indices() {
+        let seeds: std::collections::BTreeSet<u64> = (0..1000).map(|i| event_seed(42, i)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+}

@@ -42,7 +42,7 @@ impl ProbabilitySpace {
         }
         let mut total = 0.0;
         for &p in &probabilities {
-            if !(p > 0.0) || !p.is_finite() {
+            if !p.is_finite() || p <= 0.0 {
                 return Err(ConfidenceError::InvalidDistribution(format!(
                     "probability {p} is not in (0, 1]"
                 )));
@@ -316,7 +316,10 @@ impl DnfEvent {
         let mut kept: Vec<Assignment> = Vec::with_capacity(self.terms.len());
         for t in &self.terms {
             // Skip `t` if an already-kept term is a subset of it.
-            if kept.iter().any(|k| k.iter().all(|(v, a)| t.get(v) == Some(a))) {
+            if kept
+                .iter()
+                .any(|k| k.iter().all(|(v, a)| t.get(v) == Some(a)))
+            {
                 continue;
             }
             // Drop previously kept terms that `t` subsumes.
@@ -343,7 +346,7 @@ impl DnfEvent {
         }
         // Union-find over term indices.
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -467,7 +470,12 @@ mod tests {
     fn simplification_removes_duplicates_and_subsumed_terms() {
         let general = Assignment::new([(0, 0)]).unwrap();
         let specific = Assignment::new([(0, 0), (1, 1)]).unwrap();
-        let f = DnfEvent::new([specific.clone(), general.clone(), specific.clone(), general.clone()]);
+        let f = DnfEvent::new([
+            specific.clone(),
+            general.clone(),
+            specific.clone(),
+            general.clone(),
+        ]);
         let s = f.simplified();
         assert_eq!(s.num_terms(), 1);
         assert_eq!(s.terms()[0], general);

@@ -27,11 +27,7 @@ pub const DEFAULT_INCLUSION_EXCLUSION_LIMIT: usize = 24;
 
 /// Exact probability of the event by enumerating all total assignments of
 /// the variables the event mentions.
-pub fn by_enumeration(
-    event: &DnfEvent,
-    space: &ProbabilitySpace,
-    limit: u128,
-) -> Result<f64> {
+pub fn by_enumeration(event: &DnfEvent, space: &ProbabilitySpace, limit: u128) -> Result<f64> {
     if event.is_never() {
         return Ok(0.0);
     }
@@ -55,7 +51,11 @@ pub fn by_enumeration(
             None => {
                 let total = Assignment::new(partial.iter().copied())
                     .expect("enumeration never assigns a variable twice");
-                Ok(if event.satisfied_by(&total) { weight } else { 0.0 })
+                Ok(if event.satisfied_by(&total) {
+                    weight
+                } else {
+                    0.0
+                })
             }
             Some((&v, rest)) => {
                 let mut acc = 0.0;
@@ -112,7 +112,11 @@ pub fn by_inclusion_exclusion(
         if !consistent {
             continue;
         }
-        let sign = if mask.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if mask.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         total += sign * merged.weight(space)?;
     }
     Ok(total.clamp(0.0, 1.0))
@@ -243,10 +247,7 @@ mod tests {
         assert_eq!(probability(&DnfEvent::never(), &s).unwrap(), 0.0);
         let certain = DnfEvent::new([Assignment::always()]);
         assert_eq!(probability(&certain, &s).unwrap(), 1.0);
-        assert_eq!(
-            by_enumeration(&DnfEvent::never(), &s, 10).unwrap(),
-            0.0
-        );
+        assert_eq!(by_enumeration(&DnfEvent::never(), &s, 10).unwrap(), 0.0);
         assert_eq!(
             by_inclusion_exclusion(&DnfEvent::never(), &s, 10).unwrap(),
             0.0

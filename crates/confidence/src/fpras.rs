@@ -158,20 +158,20 @@ mod tests {
                 violations += 1;
             }
         }
-        assert!(violations <= 2, "{violations} of 20 runs exceeded the bound");
+        assert!(
+            violations <= 2,
+            "{violations} of 20 runs exceeded the bound"
+        );
     }
 
     #[test]
     fn sample_count_follows_the_fpras_formula() {
-        let params = FprasParams::new(0.25, 0.1, ).unwrap();
+        let params = FprasParams::new(0.25, 0.1).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let (event, space) = random_event(&mut rng, 6, 5, 2);
         let mut rng2 = ChaCha8Rng::seed_from_u64(6);
         let r = approximate_confidence(&event, &space, params, &mut rng2).unwrap();
-        assert_eq!(
-            r.samples,
-            params.samples_for(event.num_terms()).unwrap()
-        );
+        assert_eq!(r.samples, params.samples_for(event.num_terms()).unwrap());
         assert!(r.samples > 0);
     }
 }

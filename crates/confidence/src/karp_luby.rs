@@ -72,11 +72,7 @@ impl KarpLubyEstimator {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
         // Step 1: choose a term f with probability p_f / M.
         let target = rng.gen_range(0.0..self.total_weight);
-        let chosen = match self
-            .cumulative_weights
-            .iter()
-            .position(|&w| target < w)
-        {
+        let chosen = match self.cumulative_weights.iter().position(|&w| target < w) {
             Some(i) => i,
             // Floating-point edge: fall back to the last term.
             None => self.cumulative_weights.len() - 1,
@@ -211,7 +207,10 @@ mod tests {
         let est = KarpLubyEstimator::new(f, s).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let p_hat = est.estimate(40_000, &mut rng).unwrap();
-        assert!((p_hat - exact_p).abs() < 0.015, "estimate {p_hat} vs {exact_p}");
+        assert!(
+            (p_hat - exact_p).abs() < 0.015,
+            "estimate {p_hat} vs {exact_p}"
+        );
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! * [`approximate_confidence`] — the (ε, δ)-FPRAS of Proposition 4.2.
 //! * [`IncrementalEstimator`] — anytime estimation, the building block of the
 //!   Figure 3 algorithm in the `approx` crate.
+//! * [`estimator`] — the unified [`ConfidenceEstimator`] layer: exact, FPRAS
+//!   and fixed-batch incremental estimation behind one trait that evaluates
+//!   *batches* of events in parallel (rayon), deterministically under a
+//!   fixed seed via per-event sub-RNGs.
 //!
 //! ```
 //! use confidence::{Assignment, DnfEvent, ProbabilitySpace, exact};
@@ -38,6 +42,7 @@
 mod adaptive;
 pub mod chernoff;
 mod error;
+pub mod estimator;
 mod event;
 pub mod exact;
 mod fpras;
@@ -45,6 +50,10 @@ mod karp_luby;
 
 pub use adaptive::IncrementalEstimator;
 pub use error::{ConfidenceError, Result};
+pub use estimator::{
+    event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, EventEstimate, ExactEstimator,
+    FprasEstimator,
+};
 pub use event::{AltId, Assignment, DnfEvent, ProbabilitySpace, VarId, DISTRIBUTION_TOLERANCE};
 pub use fpras::{approximate_confidence, ConfidenceEstimate, FprasParams};
 pub use karp_luby::KarpLubyEstimator;

@@ -9,7 +9,7 @@
 use crate::error::{EngineError, Result};
 use crate::error_bound::{theorem_6_7_iterations, QueryShape};
 use crate::exec::{ApproxSelectMode, ConfidenceMode, EvalConfig, EvalOutput, UEngine};
-use algebra::{structural_params, Catalog, Query};
+use algebra::{structural_params, Catalog, LogicalPlan, Query};
 use rand::Rng;
 use urel::UDatabase;
 
@@ -74,6 +74,9 @@ pub fn evaluate_adaptive<R: Rng + ?Sized>(
     let shape = QueryShape::new(params.k.max(1), params.approx_select_depth.max(1), n)?;
     let l0 = theorem_6_7_iterations(shape, epsilon0, delta)?;
 
+    // Lower (and validate) once; every attempt re-lowers only the physical
+    // plan, with a doubled iteration budget.
+    let plan = LogicalPlan::lower_validated(query, &catalog)?;
     let mut attempts = Vec::new();
     let mut l = 1usize;
     loop {
@@ -81,7 +84,7 @@ pub fn evaluate_adaptive<R: Rng + ?Sized>(
             approx_select: ApproxSelectMode::FixedIterations(l),
             confidence: ConfidenceMode::Exact,
         });
-        let output = engine.evaluate(database, query, rng)?;
+        let output = engine.evaluate_plan(database, &plan, rng)?;
         let max_error = output.result.max_error();
         attempts.push((l, max_error));
         if max_error <= delta {
@@ -108,7 +111,7 @@ pub fn evaluate_adaptive<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use algebra::{parse_query, ConfTerm, Predicate, Expr, CmpOp};
+    use algebra::{parse_query, CmpOp, ConfTerm, Expr, Predicate};
     use pdb::{relation, schema, tuple};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;

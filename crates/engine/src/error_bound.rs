@@ -108,7 +108,8 @@ mod tests {
     fn iteration_budget_grows_with_depth_and_domain() {
         let small = theorem_6_7_iterations(QueryShape::new(2, 1, 10).unwrap(), 0.1, 0.05).unwrap();
         let deeper = theorem_6_7_iterations(QueryShape::new(2, 3, 10).unwrap(), 0.1, 0.05).unwrap();
-        let wider = theorem_6_7_iterations(QueryShape::new(2, 1, 1000).unwrap(), 0.1, 0.05).unwrap();
+        let wider =
+            theorem_6_7_iterations(QueryShape::new(2, 1, 1000).unwrap(), 0.1, 0.05).unwrap();
         assert!(deeper > small);
         assert!(wider > small);
         // No σ̂ ⇒ no iterations.

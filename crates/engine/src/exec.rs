@@ -1,23 +1,27 @@
-//! The U-relational query evaluator.
+//! Engine configuration and the plan-driven evaluation entry point.
 //!
-//! Positive relational algebra, `poss` and `repair-key` are evaluated by the
-//! parsimonious translation of Section 3; `conf` uses exact model counting or
-//! the Karp–Luby FPRAS (Section 4); the approximate selection `σ̂` uses the
-//! predicate-approximation algorithm of Figure 3 (Section 5); and per-tuple
-//! error bounds are propagated through the operator tree following the
-//! provenance-based analysis of Section 6.
+//! Evaluation is a three-stage pipeline:
+//!
+//! 1. the query is lowered into a validated [`LogicalPlan`] (an operator DAG
+//!    with per-node ε/δ annotations, shared subqueries merged — see
+//!    [`algebra::plan`]),
+//! 2. the logical plan is lowered into a [`PhysicalPlan`]
+//!    (see [`crate::physical`]), resolving each accuracy annotation against
+//!    the [`EvalConfig`] — exact model counting vs the Karp–Luby FPRAS for
+//!    `conf`, and the σ̂ decision strategy,
+//! 3. the physical pipeline executes over [`EvaluatedRelation`] values,
+//!    estimating all tuple lineages of each confidence-bearing operator as
+//!    one parallel batch.
+//!
+//! [`LogicalPlan`]: algebra::LogicalPlan
 
-use crate::error::{EngineError, Result};
-use crate::ops;
-use crate::predicate_compile::compile_predicate;
-use crate::space::CompiledSpace;
-use algebra::{ConfTerm, Predicate, ProjItem, Query};
-use approx::{approximate_predicate, ApproximationParams};
-use confidence::{chernoff, exact, FprasParams, IncrementalEstimator};
-use pdb::{Schema, Tuple, Value};
-use rand::Rng;
-use std::collections::{BTreeMap, HashMap};
-use urel::{Condition, UDatabase, URelation, Var};
+use crate::error::Result;
+use crate::physical::{ExecContext, PhysicalPlan};
+use algebra::{LogicalPlan, Query};
+use pdb::Tuple;
+use rand::{Rng, RngCore};
+use std::collections::BTreeMap;
+use urel::{UDatabase, URelation};
 
 /// How `σ̂` operators decide their predicates.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -106,14 +110,6 @@ pub struct EvaluatedRelation {
 }
 
 impl EvaluatedRelation {
-    fn reliable(relation: URelation, complete: bool) -> Self {
-        EvaluatedRelation {
-            relation,
-            complete,
-            errors: BTreeMap::new(),
-        }
-    }
-
     /// The error bound recorded for a tuple (0 if none).
     pub fn error_of(&self, t: &Tuple) -> f64 {
         self.errors.get(t).copied().unwrap_or(0.0)
@@ -154,583 +150,45 @@ impl UEngine {
         &self.config
     }
 
-    /// Evaluates a UA query over a U-relational database.
+    /// Evaluates a UA query: lowers it into a validated logical plan (the
+    /// database supplies the catalog), then executes the physical pipeline.
     pub fn evaluate<R: Rng + ?Sized>(
         &self,
         database: &UDatabase,
         query: &Query,
         rng: &mut R,
     ) -> Result<EvalOutput> {
-        let mut ctx = Context {
+        let catalog = crate::adaptive_query::catalog_of(database)?;
+        let plan = LogicalPlan::lower_validated(query, &catalog)?;
+        self.evaluate_plan(database, &plan, rng)
+    }
+
+    /// Evaluates an already lowered logical plan.  Callers that re-evaluate
+    /// the same query under different configurations (e.g. the Theorem 6.7
+    /// adaptive driver) lower once and call this repeatedly.
+    pub fn evaluate_plan<R: Rng + ?Sized>(
+        &self,
+        database: &UDatabase,
+        plan: &LogicalPlan,
+        rng: &mut R,
+    ) -> Result<EvalOutput> {
+        let physical = PhysicalPlan::lower(plan, self.config)?;
+        // `&mut R` implements `RngCore` and is `Sized`, so it coerces to the
+        // trait object the operator pipeline consumes.
+        let mut rng_ref: &mut R = rng;
+        let dyn_rng: &mut dyn RngCore = &mut rng_ref;
+        let mut ctx = ExecContext {
             config: self.config,
             database: database.clone(),
-            cache: HashMap::new(),
             stats: EvalStats::default(),
             var_counter: 0,
+            rng: dyn_rng,
         };
-        let result = ctx.eval(query, rng)?;
+        let result = physical.execute(&mut ctx)?;
         Ok(EvalOutput {
             result,
             database: ctx.database,
             stats: ctx.stats,
         })
-    }
-}
-
-struct Context {
-    config: EvalConfig,
-    database: UDatabase,
-    /// Structural memoisation: shared subqueries (e.g. the relation `S` used
-    /// twice in Example 2.2's join) are evaluated once, which also makes them
-    /// share the random variables introduced by `repair-key`.
-    cache: HashMap<String, EvaluatedRelation>,
-    stats: EvalStats,
-    var_counter: usize,
-}
-
-impl Context {
-    fn eval<R: Rng + ?Sized>(&mut self, query: &Query, rng: &mut R) -> Result<EvaluatedRelation> {
-        let key = query.to_string();
-        if let Some(cached) = self.cache.get(&key) {
-            return Ok(cached.clone());
-        }
-        let result = self.eval_uncached(query, rng)?;
-        self.cache.insert(key, result.clone());
-        Ok(result)
-    }
-
-    fn eval_uncached<R: Rng + ?Sized>(
-        &mut self,
-        query: &Query,
-        rng: &mut R,
-    ) -> Result<EvaluatedRelation> {
-        match query {
-            Query::Table(name) => {
-                let rel = self.database.relation(name)?.clone();
-                let complete = self.database.is_complete(name);
-                Ok(EvaluatedRelation::reliable(rel, complete))
-            }
-            Query::Select { input, predicate } => {
-                let input = self.eval(input, rng)?;
-                let relation = ops::select(&input.relation, predicate)?;
-                Ok(self.propagate_unary(relation, &input))
-            }
-            Query::Project { input, items } => {
-                let input = self.eval(input, rng)?;
-                let relation = ops::project(&input.relation, items)?;
-                Ok(self.propagate_projection(relation, &input, items)?)
-            }
-            Query::Extend { input, items } => {
-                let input = self.eval(input, rng)?;
-                let relation = ops::extend(&input.relation, items)?;
-                Ok(self.propagate_unary(relation, &input))
-            }
-            Query::Rename { input, from, to } => {
-                let input = self.eval(input, rng)?;
-                let relation = ops::rename(&input.relation, from, to)?;
-                Ok(self.propagate_unary(relation, &input))
-            }
-            Query::Product { left, right } => {
-                let left = self.eval(left, rng)?;
-                let right = self.eval(right, rng)?;
-                let relation = ops::product(&left.relation, &right.relation)?;
-                Ok(self.propagate_binary(relation, &left, &right))
-            }
-            Query::NaturalJoin { left, right } => {
-                let left = self.eval(left, rng)?;
-                let right = self.eval(right, rng)?;
-                let relation = ops::natural_join(&left.relation, &right.relation)?;
-                Ok(self.propagate_binary(relation, &left, &right))
-            }
-            Query::Union { left, right } => {
-                let left = self.eval(left, rng)?;
-                let right = self.eval(right, rng)?;
-                let relation = ops::union(&left.relation, &right.relation)?;
-                Ok(self.propagate_binary(relation, &left, &right))
-            }
-            Query::Difference { left, right } => {
-                let left = self.eval(left, rng)?;
-                let right = self.eval(right, rng)?;
-                if !(left.relation.is_complete_representation()
-                    && right.relation.is_complete_representation())
-                {
-                    return Err(EngineError::Unsupported(
-                        "difference over uncertain relations is outside positive UA; use −c on complete inputs"
-                            .into(),
-                    ));
-                }
-                let relation = ops::difference_complete(&left.relation, &right.relation)?;
-                Ok(self.propagate_binary(relation, &left, &right))
-            }
-            Query::DifferenceC { left, right } => {
-                let left = self.eval(left, rng)?;
-                let right = self.eval(right, rng)?;
-                let relation = ops::difference_complete(&left.relation, &right.relation)?;
-                Ok(self.propagate_binary(relation, &left, &right))
-            }
-            Query::Conf { input, prob_attr } => {
-                let input = self.eval(input, rng)?;
-                let params = match self.config.confidence {
-                    ConfidenceMode::Exact => None,
-                    ConfidenceMode::Fpras { epsilon, delta } => {
-                        Some(FprasParams::new(epsilon, delta)?)
-                    }
-                };
-                self.conf_operator(&input, prob_attr, params, rng)
-            }
-            Query::ApproxConf {
-                input,
-                prob_attr,
-                epsilon,
-                delta,
-            } => {
-                let input = self.eval(input, rng)?;
-                let params = FprasParams::new(*epsilon, *delta)?;
-                self.conf_operator(&input, prob_attr, Some(params), rng)
-            }
-            Query::RepairKey { input, key, weight } => {
-                let input = self.eval(input, rng)?;
-                self.repair_key(&input, key, weight)
-            }
-            Query::Poss { input } => {
-                let input = self.eval(input, rng)?;
-                let relation = URelation::from_complete(&input.relation.possible_tuples());
-                Ok(self.propagate_unary_complete(relation, &input))
-            }
-            Query::Cert { input } => {
-                let input = self.eval(input, rng)?;
-                self.cert_operator(&input)
-            }
-            Query::ApproxSelect {
-                input,
-                terms,
-                predicate,
-                epsilon0,
-                delta,
-            } => {
-                let input = self.eval(input, rng)?;
-                self.approx_select(&input, terms, predicate, *epsilon0, *delta, rng)
-            }
-        }
-    }
-
-    // ---- error-bound propagation (Lemma 6.4(1)) ---------------------------
-
-    fn propagate_unary(&self, relation: URelation, input: &EvaluatedRelation) -> EvaluatedRelation {
-        // Selection/extension/renaming keep tuples in 1:1 correspondence with
-        // input tuples (modulo data-only transformation), so each output
-        // tuple inherits the error of the input tuples it came from.  For
-        // simplicity and soundness we look the error up by the shared data
-        // prefix when arities match, falling back to the sum of all input
-        // errors when they do not.
-        if input.errors.is_empty() {
-            return EvaluatedRelation {
-                relation,
-                complete: input.complete,
-                errors: BTreeMap::new(),
-            };
-        }
-        if relation.schema() == input.relation.schema() {
-            let errors = relation
-                .possible_tuples()
-                .iter()
-                .filter_map(|t| input.errors.get(t).map(|e| (t.clone(), *e)))
-                .filter(|(_, e)| *e > 0.0)
-                .collect();
-            return EvaluatedRelation {
-                relation,
-                complete: input.complete,
-                errors,
-            };
-        }
-        let total: f64 = input.errors.values().sum::<f64>().min(1.0);
-        let errors = relation
-            .possible_tuples()
-            .iter()
-            .map(|t| (t.clone(), total))
-            .collect();
-        EvaluatedRelation {
-            relation,
-            complete: input.complete,
-            errors,
-        }
-    }
-
-    fn propagate_unary_complete(
-        &self,
-        relation: URelation,
-        input: &EvaluatedRelation,
-    ) -> EvaluatedRelation {
-        let mut out = self.propagate_unary(relation, input);
-        out.complete = true;
-        out
-    }
-
-    fn propagate_projection(
-        &self,
-        relation: URelation,
-        input: &EvaluatedRelation,
-        items: &[ProjItem],
-    ) -> Result<EvaluatedRelation> {
-        if input.errors.is_empty() {
-            return Ok(EvaluatedRelation {
-                relation,
-                complete: input.complete,
-                errors: BTreeMap::new(),
-            });
-        }
-        // Each output tuple's membership can change whenever any input tuple
-        // that projects onto it changes (Example 6.5): sum the errors of the
-        // contributing input tuples.
-        let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
-        for t in input.relation.possible_tuples().iter() {
-            let e = input.error_of(t);
-            if e == 0.0 {
-                continue;
-            }
-            let mut values = Vec::with_capacity(items.len());
-            for item in items {
-                values.push(item.expr.eval(input.relation.schema(), t)?);
-            }
-            let out_t = Tuple::new(values);
-            *errors.entry(out_t).or_insert(0.0) += e;
-        }
-        for e in errors.values_mut() {
-            *e = e.min(1.0);
-        }
-        Ok(EvaluatedRelation {
-            relation,
-            complete: input.complete,
-            errors,
-        })
-    }
-
-    fn propagate_binary(
-        &self,
-        relation: URelation,
-        left: &EvaluatedRelation,
-        right: &EvaluatedRelation,
-    ) -> EvaluatedRelation {
-        let complete = left.complete && right.complete;
-        if left.errors.is_empty() && right.errors.is_empty() {
-            return EvaluatedRelation {
-                relation,
-                complete,
-                errors: BTreeMap::new(),
-            };
-        }
-        // Conservative propagation: any output tuple of a binary operation
-        // depends on at most one tuple from each side plus, for unions, on a
-        // tuple of either side; we bound its error by the sum of the maximal
-        // per-side errors (capped at 1).  This over-approximates Lemma 6.4
-        // but never under-reports.
-        let bound = (left.max_error() + right.max_error()).min(1.0);
-        let errors = relation
-            .possible_tuples()
-            .iter()
-            .map(|t| (t.clone(), bound))
-            .collect();
-        EvaluatedRelation {
-            relation,
-            complete,
-            errors,
-        }
-    }
-
-    // ---- conf / cert -------------------------------------------------------
-
-    fn conf_operator<R: Rng + ?Sized>(
-        &mut self,
-        input: &EvaluatedRelation,
-        prob_attr: &str,
-        params: Option<FprasParams>,
-        rng: &mut R,
-    ) -> Result<EvaluatedRelation> {
-        self.stats.conf_operators += 1;
-        let compiled = CompiledSpace::compile(self.database.wtable())?;
-        let schema = input
-            .relation
-            .schema()
-            .with_appended(prob_attr)
-            .map_err(EngineError::Pdb)?;
-        let mut out = URelation::empty(schema);
-        let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
-        for t in input.relation.possible_tuples().iter() {
-            let event = compiled.event(&input.relation.conditions_for(t))?;
-            let p = match params {
-                None => {
-                    self.stats.exact_confidence_calls += 1;
-                    exact::probability(&event, compiled.space())?
-                }
-                Some(params) => {
-                    let estimate =
-                        confidence::approximate_confidence(&event, compiled.space(), params, rng)?;
-                    self.stats.karp_luby_samples += estimate.samples as u64;
-                    estimate.estimate
-                }
-            };
-            let out_t = t.with_appended(Value::float(p));
-            out.insert(Condition::always(), out_t.clone())?;
-            let e = input.error_of(t);
-            if e > 0.0 {
-                errors.insert(out_t, e);
-            }
-        }
-        Ok(EvaluatedRelation {
-            relation: out,
-            complete: true,
-            errors,
-        })
-    }
-
-    fn cert_operator(&mut self, input: &EvaluatedRelation) -> Result<EvaluatedRelation> {
-        // Certainty is the `conf = 1` test — exactly the singularity of
-        // Example 5.7 — so it is always answered by exact model counting.
-        let compiled = CompiledSpace::compile(self.database.wtable())?;
-        let mut out = URelation::empty(input.relation.schema().clone());
-        let mut errors = BTreeMap::new();
-        for t in input.relation.possible_tuples().iter() {
-            let event = compiled.event(&input.relation.conditions_for(t))?;
-            self.stats.exact_confidence_calls += 1;
-            let p = exact::probability(&event, compiled.space())?;
-            if (p - 1.0).abs() < 1e-9 {
-                out.insert(Condition::always(), t.clone())?;
-                let e = input.error_of(t);
-                if e > 0.0 {
-                    errors.insert(t.clone(), e);
-                }
-            }
-        }
-        Ok(EvaluatedRelation {
-            relation: out,
-            complete: true,
-            errors,
-        })
-    }
-
-    // ---- repair-key --------------------------------------------------------
-
-    fn repair_key(
-        &mut self,
-        input: &EvaluatedRelation,
-        key: &[String],
-        weight: &str,
-    ) -> Result<EvaluatedRelation> {
-        if !input.relation.is_complete_representation() {
-            return Err(EngineError::NotComplete(
-                "repair-key requires a complete input relation".into(),
-            ));
-        }
-        let complete = input.relation.possible_tuples();
-        let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
-        let groups = complete.group_by(&key_refs).map_err(EngineError::Pdb)?;
-
-        let mut out = URelation::empty(complete.schema().clone());
-        for (key_tuple, members) in groups {
-            // Validate and normalise the weights.
-            let mut weights = Vec::with_capacity(members.len());
-            let mut total = 0.0;
-            for t in &members {
-                let w = complete.numeric_value(t, weight).map_err(EngineError::Pdb)?;
-                if !(w > 0.0) || !w.is_finite() {
-                    return Err(EngineError::Pdb(pdb::PdbError::InvalidWeight(format!(
-                        "weight {w} of tuple {t} is not a positive finite number"
-                    ))));
-                }
-                total += w;
-                weights.push(w);
-            }
-            if members.len() == 1 {
-                // A single candidate is chosen with probability 1; no random
-                // variable is needed.
-                out.insert(Condition::always(), members[0].clone())?;
-                continue;
-            }
-            // One fresh variable per key group (the Section 3 translation
-            // names it after the key values; we add a counter for global
-            // uniqueness across repeated repair-key applications).
-            self.var_counter += 1;
-            let var = Var::new(format!("rk{}:{}", self.var_counter, key_tuple));
-            let dist: Vec<(Value, f64)> = weights
-                .iter()
-                .enumerate()
-                .map(|(i, w)| (Value::Int(i as i64), w / total))
-                .collect();
-            self.database.wtable_mut().add_variable(var.clone(), dist)?;
-            for (i, t) in members.iter().enumerate() {
-                let cond = Condition::new([(var.clone(), Value::Int(i as i64))])?;
-                out.insert(cond, t.clone())?;
-            }
-        }
-
-        let errors = if input.errors.is_empty() {
-            BTreeMap::new()
-        } else {
-            out.possible_tuples()
-                .iter()
-                .filter_map(|t| input.errors.get(t).map(|e| (t.clone(), *e)))
-                .collect()
-        };
-        Ok(EvaluatedRelation {
-            relation: out,
-            complete: false,
-            errors,
-        })
-    }
-
-    // ---- approximate selection (σ̂) -----------------------------------------
-
-    fn approx_select<R: Rng + ?Sized>(
-        &mut self,
-        input: &EvaluatedRelation,
-        terms: &[ConfTerm],
-        predicate: &Predicate,
-        epsilon0: f64,
-        delta: f64,
-        rng: &mut R,
-    ) -> Result<EvaluatedRelation> {
-        self.stats.approx_select_operators += 1;
-        algebra::check_conf_terms(terms, input.relation.schema())?;
-        let compiled = CompiledSpace::compile(self.database.wtable())?;
-
-        // Projections π_{A⃗_i}(R), one per confidence term.
-        let mut projections = Vec::with_capacity(terms.len());
-        for term in terms {
-            let items: Vec<ProjItem> = term.attrs.iter().map(ProjItem::attr).collect();
-            projections.push(ops::project(&input.relation, &items)?);
-        }
-
-        // The candidate output tuples: the natural join of the possible
-        // tuples of the projections (over the union of the term attributes).
-        let out_attrs: Vec<String> = {
-            let mut attrs = Vec::new();
-            for term in terms {
-                for a in &term.attrs {
-                    if !attrs.contains(a) {
-                        attrs.push(a.clone());
-                    }
-                }
-            }
-            attrs
-        };
-        let out_schema = Schema::new(out_attrs.clone()).map_err(EngineError::Pdb)?;
-        let mut candidates = URelation::from_complete(&pdb::Relation::new(
-            Schema::empty(),
-            [Tuple::empty()],
-        )?);
-        for proj in &projections {
-            candidates = ops::natural_join(
-                &candidates,
-                &URelation::from_complete(&proj.possible_tuples()),
-            )?;
-        }
-        // Reorder candidate columns to the declared output order.
-        let reorder: Vec<ProjItem> = out_attrs.iter().map(ProjItem::attr).collect();
-        let candidates = ops::project(&candidates, &reorder)?;
-
-        // Compile the predicate over the term placeholders.
-        let placeholders: Vec<String> = terms.iter().map(|t| t.name.clone()).collect();
-        let compiled_predicate = compile_predicate(predicate, &placeholders)?;
-
-        // The input-error contribution: the confidence terms aggregate over
-        // the whole input relation, so every candidate depends on every input
-        // tuple (cf. Example 6.5).
-        let input_error: f64 = input.errors.values().sum::<f64>().min(1.0);
-
-        let mut out = URelation::empty(out_schema);
-        let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
-        for candidate in candidates.possible_tuples().iter() {
-            self.stats.approx_select_decisions += 1;
-            // Build the k events for this candidate.
-            let mut events = Vec::with_capacity(terms.len());
-            for (term, proj) in terms.iter().zip(&projections) {
-                let idx = candidates
-                    .schema()
-                    .indices_of(&term.attrs)
-                    .map_err(EngineError::Pdb)?;
-                let key = candidate.project(&idx);
-                events.push(compiled.event(&proj.conditions_for(&key))?);
-            }
-
-            let (keep, decision_error) = match self.config.approx_select {
-                ApproxSelectMode::Exact => {
-                    let mut values = Vec::with_capacity(events.len());
-                    for event in &events {
-                        self.stats.exact_confidence_calls += 1;
-                        values.push(exact::probability(event, compiled.space())?);
-                    }
-                    (compiled_predicate.eval(&values)?, 0.0)
-                }
-                ApproxSelectMode::Adaptive => {
-                    let mut estimators = self.estimators(&events, &compiled)?;
-                    let params = ApproximationParams::new(epsilon0, delta)?;
-                    let decision = approximate_predicate(
-                        &compiled_predicate,
-                        &mut estimators,
-                        params,
-                        rng,
-                    )?;
-                    self.stats.karp_luby_samples += decision.samples;
-                    (decision.value, decision.error_bound)
-                }
-                ApproxSelectMode::FixedIterations(l) => {
-                    let mut estimators = self.estimators(&events, &compiled)?;
-                    for est in &mut estimators {
-                        for _ in 0..l {
-                            est.add_batch(rng);
-                        }
-                        self.stats.karp_luby_samples += est.samples();
-                    }
-                    let estimates: Vec<f64> =
-                        estimators.iter().map(IncrementalEstimator::estimate).collect();
-                    let keep = compiled_predicate.eval(&estimates)?;
-                    let eps_psi = compiled_predicate.epsilon_homogeneous(&estimates)?;
-                    let eps = eps_psi.max(epsilon0).min(0.999_999);
-                    let mut bound = 0.0;
-                    for est in &estimators {
-                        bound += if est.is_trivial() {
-                            0.0
-                        } else {
-                            chernoff::delta_prime(eps, l)?
-                        };
-                    }
-                    (keep, bound.min(0.5))
-                }
-            };
-
-            let total_error = (decision_error + input_error).min(1.0);
-            if keep {
-                out.insert(Condition::always(), candidate.clone())?;
-                if total_error > 0.0 {
-                    errors.insert(candidate.clone(), total_error);
-                }
-            } else if total_error > 0.0 {
-                // Dropped tuples may also be wrongly dropped; their error is
-                // recorded so that downstream negation-free operators (and
-                // the adaptive driver) can still reason about them.  They are
-                // keyed by the candidate tuple even though it is absent.
-                errors.insert(candidate.clone(), total_error);
-            }
-        }
-
-        Ok(EvaluatedRelation {
-            relation: out,
-            complete: false,
-            errors,
-        })
-    }
-
-    fn estimators(
-        &self,
-        events: &[confidence::DnfEvent],
-        compiled: &CompiledSpace,
-    ) -> Result<Vec<IncrementalEstimator>> {
-        events
-            .iter()
-            .map(|e| {
-                IncrementalEstimator::new(e.clone(), compiled.space().clone())
-                    .map_err(EngineError::Confidence)
-            })
-            .collect()
     }
 }

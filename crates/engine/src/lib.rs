@@ -1,13 +1,16 @@
 //! # UA query evaluation
 //!
-//! Two engines for the Uncertainty Algebra of Koch (PODS 2008):
+//! Two engines for the Uncertainty Algebra of Koch (PODS 2008), both
+//! lowerings of the same logical plan ([`algebra::plan`]):
 //!
-//! * [`UEngine`] evaluates queries over U-relational databases by the
-//!   parsimonious translation of Section 3, computing confidences exactly or
-//!   by the Karp–Luby FPRAS (Section 4), deciding approximate selections with
-//!   the Figure 3 algorithm (Section 5), and propagating per-tuple error
-//!   bounds following the provenance analysis of Section 6.
-//! * [`evaluate_naive`] evaluates the same queries over the explicit
+//! * [`UEngine`] lowers queries into a validated [`algebra::LogicalPlan`]
+//!   and executes the [`physical`] operator pipeline over U-relational
+//!   databases: the parsimonious translation of Section 3, confidences
+//!   computed exactly or by the Karp–Luby FPRAS (Section 4) through the
+//!   batched parallel `confidence::estimator` layer, approximate selections
+//!   decided by the Figure 3 algorithm (Section 5), and per-tuple error
+//!   bounds propagated following the provenance analysis of Section 6.
+//! * [`evaluate_naive`] executes the same plan over the explicit
 //!   possible-worlds representation (Proposition 3.5) — exponential but
 //!   exact, the ground truth for tests and benchmarks.
 //!
@@ -43,6 +46,7 @@ pub mod error_bound;
 mod exec;
 mod naive_engine;
 pub mod ops;
+pub mod physical;
 mod predicate_compile;
 pub mod provenance;
 mod space;
@@ -51,9 +55,9 @@ pub use adaptive_query::{active_domain_size, catalog_of, evaluate_adaptive, Adap
 pub use error::{EngineError, Result};
 pub use error_bound::{proposition_6_6_bound, theorem_6_7_iterations, QueryShape};
 pub use exec::{
-    ApproxSelectMode, ConfidenceMode, EvalConfig, EvalOutput, EvalStats, EvaluatedRelation,
-    UEngine,
+    ApproxSelectMode, ConfidenceMode, EvalConfig, EvalOutput, EvalStats, EvaluatedRelation, UEngine,
 };
-pub use naive_engine::{evaluate_naive, NaiveOutput};
+pub use naive_engine::{evaluate_naive, evaluate_naive_plan, NaiveOutput};
+pub use physical::{ExecContext, PhysicalOperator, PhysicalPlan};
 pub use predicate_compile::compile_predicate;
 pub use space::CompiledSpace;

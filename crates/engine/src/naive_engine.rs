@@ -6,11 +6,17 @@
 //! materialises all repairs.  Exponential, but exact and simple — the ground
 //! truth the U-relational engine and the approximation machinery are tested
 //! against.
+//!
+//! The reference engine is an alternative lowering of the same
+//! [`LogicalPlan`] the succinct pipeline executes: the query is flattened
+//! into the shared operator DAG and each node is materialised as a named
+//! relation in every world.  DAG sharing replaces the old string-keyed
+//! memoisation — a shared `repair-key` subquery is evaluated once, so its
+//! repairs are shared (Example 2.2's self-join).
 
 use crate::error::{EngineError, Result};
-use algebra::{ConfTerm, Predicate, ProjItem, Query};
+use algebra::{Accuracy, ConfTerm, LogicalOp, LogicalPlan, PlanNode, Predicate, ProjItem, Query};
 use pdb::{ProbabilisticDatabase, Relation, Schema, Tuple, Value};
-use std::collections::HashMap;
 
 /// Result of a reference evaluation: the database state after evaluation
 /// (every subquery materialised as a relation in every world) and the name of
@@ -31,32 +37,49 @@ impl NaiveOutput {
 
     /// Exact confidence of a result tuple.
     pub fn confidence(&self, t: &Tuple) -> Result<f64> {
-        self.database.confidence(&self.result, t).map_err(Into::into)
+        self.database
+            .confidence(&self.result, t)
+            .map_err(Into::into)
     }
 
     /// The exact `conf` relation of the result.
     pub fn conf(&self, prob_attr: &str) -> Result<Relation> {
-        self.database.conf(&self.result, prob_attr).map_err(Into::into)
+        self.database
+            .conf(&self.result, prob_attr)
+            .map_err(Into::into)
     }
 }
 
-/// Evaluates a UA query over the possible-worlds representation.
+/// Evaluates a UA query over the possible-worlds representation by lowering
+/// it to the shared [`LogicalPlan`] and executing every node world by world.
 pub fn evaluate_naive(database: &ProbabilisticDatabase, query: &Query) -> Result<NaiveOutput> {
+    let plan = LogicalPlan::lower(query)?;
+    evaluate_naive_plan(database, &plan)
+}
+
+/// Evaluates an already lowered logical plan on the reference engine.
+pub fn evaluate_naive_plan(
+    database: &ProbabilisticDatabase,
+    plan: &LogicalPlan,
+) -> Result<NaiveOutput> {
     let mut ctx = NaiveContext {
         database: database.clone(),
-        cache: HashMap::new(),
         counter: 0,
     };
-    let result = ctx.eval(query)?;
+    let mut names: Vec<String> = Vec::with_capacity(plan.len());
+    for node in plan.nodes() {
+        let inputs: Vec<&str> = node.inputs.iter().map(|&i| names[i].as_str()).collect();
+        let name = ctx.eval_node(node, &inputs)?;
+        names.push(name);
+    }
     Ok(NaiveOutput {
         database: ctx.database,
-        result,
+        result: names[plan.root()].clone(),
     })
 }
 
 struct NaiveContext {
     database: ProbabilisticDatabase,
-    cache: HashMap<String, String>,
     counter: usize,
 }
 
@@ -66,113 +89,91 @@ impl NaiveContext {
         format!("__q{}", self.counter)
     }
 
-    fn eval(&mut self, query: &Query) -> Result<String> {
-        let key = query.to_string();
-        if let Some(name) = self.cache.get(&key) {
-            return Ok(name.clone());
-        }
-        let name = self.eval_uncached(query)?;
-        self.cache.insert(key, name.clone());
-        Ok(name)
-    }
-
     fn is_complete(&self, name: &str) -> bool {
         self.database.is_complete(name)
     }
 
-    fn eval_uncached(&mut self, query: &Query) -> Result<String> {
-        match query {
-            Query::Table(name) => {
+    fn eval_node(&mut self, node: &PlanNode, inputs: &[&str]) -> Result<String> {
+        match &node.op {
+            LogicalOp::Scan { relation } => {
                 // Validate existence.
-                self.database.schema_of(name)?;
-                Ok(name.clone())
+                self.database.schema_of(relation)?;
+                Ok(relation.clone())
             }
-            Query::Select { input, predicate } => {
-                let input = self.eval(input)?;
-                let complete = self.is_complete(&input);
+            LogicalOp::Select { predicate } => {
                 let predicate = predicate.clone();
-                self.materialise(complete, move |rel: &Relation| {
+                self.materialise(inputs[0], move |rel: &Relation| {
                     rel.try_select(|t| {
                         predicate
                             .eval(rel.schema(), t)
                             .map_err(|e| pdb::PdbError::Invariant(e.to_string()))
                     })
                     .map_err(EngineError::Pdb)
-                }, &input)
+                })
             }
-            Query::Project { input, items } => {
-                let input = self.eval(input)?;
-                let complete = self.is_complete(&input);
+            LogicalOp::Project { items } => {
                 let items = items.clone();
-                self.materialise(complete, move |rel: &Relation| {
+                self.materialise(inputs[0], move |rel: &Relation| {
                     project_relation(rel, &items)
-                }, &input)
+                })
             }
-            Query::Extend { input, items } => {
-                let input = self.eval(input)?;
-                let complete = self.is_complete(&input);
+            LogicalOp::Extend { items } => {
                 let items = items.clone();
-                self.materialise(complete, move |rel: &Relation| extend_relation(rel, &items), &input)
+                self.materialise(inputs[0], move |rel: &Relation| {
+                    extend_relation(rel, &items)
+                })
             }
-            Query::Rename { input, from, to } => {
-                let input = self.eval(input)?;
-                let complete = self.is_complete(&input);
+            LogicalOp::Rename { from, to } => {
                 let (from, to) = (from.clone(), to.clone());
-                self.materialise(complete, move |rel: &Relation| {
+                self.materialise(inputs[0], move |rel: &Relation| {
                     rel.rename_attr(&from, &to).map_err(EngineError::Pdb)
-                }, &input)
+                })
             }
-            Query::Product { left, right } => self.binary(left, right, |l, r| {
+            LogicalOp::Product => self.binary(inputs[0], inputs[1], |l, r| {
                 l.product(r, "rhs").map_err(EngineError::Pdb)
             }),
-            Query::NaturalJoin { left, right } => self.binary(left, right, |l, r| {
+            LogicalOp::NaturalJoin => self.binary(inputs[0], inputs[1], |l, r| {
                 l.natural_join(r).map_err(EngineError::Pdb)
             }),
-            Query::Union { left, right } => self.binary(left, right, |l, r| {
+            LogicalOp::Union => self.binary(inputs[0], inputs[1], |l, r| {
                 l.union(r).map_err(EngineError::Pdb)
             }),
-            Query::Difference { left, right } | Query::DifferenceC { left, right } => {
-                self.binary(left, right, |l, r| l.difference(r).map_err(EngineError::Pdb))
-            }
-            Query::Conf { input, prob_attr } | Query::ApproxConf { input, prob_attr, .. } => {
-                // The reference engine computes confidence exactly in either
-                // case.
-                let input = self.eval(input)?;
-                let conf = self.database.conf(&input, prob_attr)?;
+            LogicalOp::Difference { .. } => self.binary(inputs[0], inputs[1], |l, r| {
+                l.difference(r).map_err(EngineError::Pdb)
+            }),
+            LogicalOp::Conf { prob_attr } => {
+                // The reference engine computes confidence exactly whether
+                // the node is annotated exact or (ε, δ)-approximate.
+                debug_assert!(matches!(
+                    node.accuracy,
+                    Accuracy::Exact | Accuracy::Fpras { .. }
+                ));
+                let conf = self.database.conf(inputs[0], prob_attr)?;
                 let name = self.fresh_name();
                 self.database.add_complete_relation(name.clone(), conf);
                 Ok(name)
             }
-            Query::RepairKey { input, key, weight } => {
-                let input = self.eval(input)?;
+            LogicalOp::RepairKey { key, weight } => {
                 let name = self.fresh_name();
                 let key_refs: Vec<&str> = key.iter().map(String::as_str).collect();
                 self.database
-                    .repair_key(&input, &key_refs, weight, name.clone())?;
+                    .repair_key(inputs[0], &key_refs, weight, name.clone())?;
                 Ok(name)
             }
-            Query::Poss { input } => {
-                let input = self.eval(input)?;
-                let poss = self.database.poss(&input)?;
+            LogicalOp::Poss => {
+                let poss = self.database.poss(inputs[0])?;
                 let name = self.fresh_name();
                 self.database.add_complete_relation(name.clone(), poss);
                 Ok(name)
             }
-            Query::Cert { input } => {
-                let input = self.eval(input)?;
-                let cert = self.database.cert(&input)?;
+            LogicalOp::Cert => {
+                let cert = self.database.cert(inputs[0])?;
                 let name = self.fresh_name();
                 self.database.add_complete_relation(name.clone(), cert);
                 Ok(name)
             }
-            Query::ApproxSelect {
-                input,
-                terms,
-                predicate,
-                ..
-            } => {
-                let input = self.eval(input)?;
-                let rel = self.approx_select_exact(&input, terms, predicate)?;
+            LogicalOp::ApproxSelect { terms, predicate } => {
+                let rel = self.approx_select_exact(inputs[0], terms, predicate)?;
                 let name = self.fresh_name();
                 self.database.add_complete_relation(name.clone(), rel);
                 Ok(name)
@@ -180,15 +181,16 @@ impl NaiveContext {
         }
     }
 
-    fn materialise<F>(&mut self, complete: bool, op: F, _input: &str) -> Result<String>
+    fn materialise<F>(&mut self, input: &str, op: F) -> Result<String>
     where
         F: Fn(&Relation) -> Result<Relation>,
     {
         // `map_worlds` needs a pdb-level closure; errors are smuggled through
         // an Option captured outside because the pdb API uses its own error
         // type.
+        let complete = self.is_complete(input);
         let name = self.fresh_name();
-        let input = _input.to_owned();
+        let input = input.to_owned();
         let mut failure: Option<EngineError> = None;
         self.database
             .map_worlds(name.clone(), complete, |world| {
@@ -205,14 +207,13 @@ impl NaiveContext {
         Ok(name)
     }
 
-    fn binary<F>(&mut self, left: &Query, right: &Query, op: F) -> Result<String>
+    fn binary<F>(&mut self, left: &str, right: &str, op: F) -> Result<String>
     where
         F: Fn(&Relation, &Relation) -> Result<Relation>,
     {
-        let left = self.eval(left)?;
-        let right = self.eval(right)?;
-        let complete = self.is_complete(&left) && self.is_complete(&right);
+        let complete = self.is_complete(left) && self.is_complete(right);
         let name = self.fresh_name();
+        let (left, right) = (left.to_owned(), right.to_owned());
         let mut failure: Option<EngineError> = None;
         self.database
             .map_worlds(name.clone(), complete, |world| {
@@ -405,23 +406,30 @@ mod tests {
         let third = 1.0 / 3.0;
         let two_thirds = 2.0 / 3.0;
         let has = |coin: &str, p: f64| {
-            result.iter().any(|t| {
-                t[0] == Value::str(coin) && (t[1].as_f64().unwrap() - p).abs() < 1e-9
-            })
+            result
+                .iter()
+                .any(|t| t[0] == Value::str(coin) && (t[1].as_f64().unwrap() - p).abs() < 1e-9)
         };
         assert!(has("fair", third), "missing fair posterior: {result}");
-        assert!(has("2headed", two_thirds), "missing 2headed posterior: {result}");
+        assert!(
+            has("2headed", two_thirds),
+            "missing 2headed posterior: {result}"
+        );
     }
 
     #[test]
     fn shared_subqueries_share_their_repairs() {
         // Joining a repair-key result with itself must not create independent
         // repairs: the join of R with itself has the same world count as R.
+        // The plan DAG guarantees this by construction — the shared subquery
+        // is one node.
         let db = coin_db();
         let q = parse_query(
             "join(project[CoinType](repairkey[ @ Count](Coins)), project[CoinType](repairkey[ @ Count](Coins)))",
         )
         .unwrap();
+        let plan = LogicalPlan::lower(&q).unwrap();
+        assert_eq!(plan.len(), 4, "shared subquery must lower to one node");
         let out = evaluate_naive(&db, &q).unwrap();
         assert_eq!(out.database.num_worlds(), 2);
         assert!((out.confidence(&tuple!["fair"]).unwrap() - 2.0 / 3.0).abs() < 1e-12);
@@ -445,10 +453,7 @@ mod tests {
         assert!(!result.contains(&tuple!["2headed"]));
         // The σ̂ result is complete by definition (it is a conf-derived
         // relation).
-        assert_eq!(
-            out.database.cert(&out.result).unwrap().len(),
-            result.len()
-        );
+        assert_eq!(out.database.cert(&out.result).unwrap().len(), result.len());
     }
 
     #[test]

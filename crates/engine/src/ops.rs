@@ -89,7 +89,10 @@ pub fn natural_join(left: &URelation, right: &URelation) -> Result<URelation> {
         .filter(|a| right.schema().contains(a))
         .cloned()
         .collect();
-    let left_idx = left.schema().indices_of(&shared).map_err(EngineError::Pdb)?;
+    let left_idx = left
+        .schema()
+        .indices_of(&shared)
+        .map_err(EngineError::Pdb)?;
     let right_idx = right
         .schema()
         .indices_of(&shared)
@@ -224,9 +227,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(e.schema().arity(), 4);
-        assert!(e
-            .possible_tuples()
-            .contains(&tuple!["fair", "H", 0.5, 1.0]));
+        assert!(e.possible_tuples().contains(&tuple!["fair", "H", 0.5, 1.0]));
     }
 
     #[test]

@@ -1,0 +1,1036 @@
+//! The physical operator pipeline: executing a [`LogicalPlan`] over a
+//! U-relational database.
+//!
+//! [`PhysicalPlan::lower`] turns each logical node into a concrete
+//! [`PhysicalOperator`] implementation, resolving every accuracy annotation
+//! against the engine's [`EvalConfig`] — `conf` becomes exact model counting
+//! or the Karp–Luby FPRAS, `σ̂` becomes exact decisions, the adaptive
+//! Figure 3 algorithm, or a fixed iteration budget.  [`PhysicalPlan::execute`]
+//! then runs the nodes in topological order over value slots, moving each
+//! intermediate result to its last consumer instead of cloning.
+//!
+//! Operator → paper section map:
+//!
+//! | operator                                   | section             |
+//! |--------------------------------------------|---------------------|
+//! | [`ScanOp`], [`SelectOp`], [`ProjectOp`], [`ExtendOp`], [`RenameOp`], [`ProductOp`], [`NaturalJoinOp`], [`UnionOp`], [`DifferenceOp`] | §3 parsimonious translation |
+//! | [`RepairKeyOp`]                            | §2.2 / §3           |
+//! | [`PossOp`], [`CertOp`]                     | §2 (`cert` = the `conf = 1` test of Example 5.7) |
+//! | [`ConfOp`]                                 | §4 (exact / Prop. 4.2 FPRAS) |
+//! | [`ApproxSelectOp`]                         | §5 Figure 3, §6 error propagation (Lemma 6.4) |
+//!
+//! The confidence-bearing operators (`conf`, `cert`, `σ̂`) are *batched*:
+//! they collect the DNF lineages of all tuples via
+//! [`URelation::tuple_events`] and hand the whole batch to the
+//! [`ConfidenceEstimator`] layer, which estimates every event in parallel
+//! with a deterministic per-event sub-RNG.  Adaptive `σ̂` decisions are
+//! likewise run concurrently across candidate tuples, one seeded RNG per
+//! candidate, so results are identical for a fixed seed no matter how many
+//! threads run.
+
+use crate::error::{EngineError, Result};
+use crate::exec::{ApproxSelectMode, ConfidenceMode, EvalConfig, EvalStats, EvaluatedRelation};
+use crate::ops;
+use crate::predicate_compile::compile_predicate;
+use crate::space::CompiledSpace;
+use algebra::{Accuracy, ConfTerm, LogicalOp, LogicalPlan, Predicate, ProjItem};
+use approx::{approximate_predicate, ApproxPredicate, ApproximationParams};
+use confidence::{
+    chernoff, event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, DnfEvent,
+    ExactEstimator, FprasEstimator, FprasParams, IncrementalEstimator,
+};
+use pdb::{Schema, Tuple, Value};
+use rand::RngCore;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt;
+use urel::{Condition, UDatabase, URelation, Var};
+
+/// Mutable evaluation state threaded through the pipeline.
+pub struct ExecContext<'a> {
+    /// The engine configuration the plan was lowered with.
+    pub config: EvalConfig,
+    /// The database being queried; `repair-key` adds variables and the final
+    /// state is returned with the output.
+    pub database: UDatabase,
+    /// Accumulated statistics.
+    pub stats: EvalStats,
+    /// Counter for globally unique `repair-key` variable names.
+    pub var_counter: usize,
+    /// The caller's random source; operators draw *master seeds* from it and
+    /// derive per-event/per-candidate sub-RNGs, so parallel estimation stays
+    /// deterministic.
+    pub rng: &'a mut dyn RngCore,
+}
+
+/// One operator of a physical plan.
+pub trait PhysicalOperator: fmt::Debug {
+    /// Operator mnemonic for plan rendering.
+    fn name(&self) -> &'static str;
+
+    /// Executes the operator on its (already evaluated) inputs.
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation>;
+}
+
+/// A lowered, executable plan.
+pub struct PhysicalPlan {
+    nodes: Vec<PhysicalNode>,
+    consumer_counts: Vec<usize>,
+    root: usize,
+}
+
+/// One node of a [`PhysicalPlan`].
+pub struct PhysicalNode {
+    /// The operator implementation.
+    pub operator: Box<dyn PhysicalOperator + Send + Sync>,
+    /// Input slots (topologically earlier nodes).
+    pub inputs: Vec<usize>,
+    /// The subquery label inherited from the logical node.
+    pub label: String,
+}
+
+impl fmt::Debug for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PhysicalPlan (root = #{})", self.root)?;
+        for (id, node) in self.nodes.iter().enumerate() {
+            let inputs: Vec<String> = node.inputs.iter().map(|i| format!("#{i}")).collect();
+            writeln!(
+                f,
+                "  #{id} {}({})  ← {}",
+                node.operator.name(),
+                inputs.join(", "),
+                node.label
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl PhysicalPlan {
+    /// Lowers a logical plan, resolving accuracy annotations against the
+    /// engine configuration.
+    pub fn lower(plan: &LogicalPlan, config: EvalConfig) -> Result<PhysicalPlan> {
+        let mut nodes = Vec::with_capacity(plan.len());
+        for node in plan.nodes() {
+            let operator: Box<dyn PhysicalOperator + Send + Sync> = match &node.op {
+                LogicalOp::Scan { relation } => Box::new(ScanOp {
+                    relation: relation.clone(),
+                }),
+                LogicalOp::Select { predicate } => Box::new(SelectOp {
+                    predicate: predicate.clone(),
+                }),
+                LogicalOp::Project { items } => Box::new(ProjectOp {
+                    items: items.clone(),
+                }),
+                LogicalOp::Extend { items } => Box::new(ExtendOp {
+                    items: items.clone(),
+                }),
+                LogicalOp::Rename { from, to } => Box::new(RenameOp {
+                    from: from.clone(),
+                    to: to.clone(),
+                }),
+                LogicalOp::Product => Box::new(ProductOp),
+                LogicalOp::NaturalJoin => Box::new(NaturalJoinOp),
+                LogicalOp::Union => Box::new(UnionOp),
+                LogicalOp::Difference { checked } => Box::new(DifferenceOp { checked: *checked }),
+                LogicalOp::Poss => Box::new(PossOp),
+                LogicalOp::Cert => Box::new(CertOp),
+                LogicalOp::RepairKey { key, weight } => Box::new(RepairKeyOp {
+                    key: key.clone(),
+                    weight: weight.clone(),
+                }),
+                LogicalOp::Conf { prob_attr } => {
+                    let params = match node.accuracy {
+                        // An explicit `conf_{ε,δ}` always uses its own
+                        // parameters.
+                        Accuracy::Fpras { epsilon, delta } => Some(
+                            FprasParams::new(epsilon, delta).map_err(EngineError::Confidence)?,
+                        ),
+                        // A plain `conf` follows the engine configuration.
+                        _ => match config.confidence {
+                            ConfidenceMode::Exact => None,
+                            ConfidenceMode::Fpras { epsilon, delta } => Some(
+                                FprasParams::new(epsilon, delta)
+                                    .map_err(EngineError::Confidence)?,
+                            ),
+                        },
+                    };
+                    Box::new(ConfOp {
+                        prob_attr: prob_attr.clone(),
+                        params,
+                    })
+                }
+                LogicalOp::ApproxSelect { terms, predicate } => {
+                    let (epsilon0, delta) = match node.accuracy {
+                        Accuracy::ApproxSelect { epsilon0, delta } => (epsilon0, delta),
+                        other => {
+                            return Err(EngineError::Invariant(format!(
+                                "σ̂ plan node carries accuracy {other:?} instead of \
+                                 Accuracy::ApproxSelect"
+                            )))
+                        }
+                    };
+                    Box::new(ApproxSelectOp {
+                        terms: terms.clone(),
+                        predicate: predicate.clone(),
+                        epsilon0,
+                        delta,
+                        mode: config.approx_select,
+                    })
+                }
+            };
+            nodes.push(PhysicalNode {
+                operator,
+                inputs: node.inputs.clone(),
+                label: node.label.clone(),
+            });
+        }
+        Ok(PhysicalPlan {
+            nodes,
+            consumer_counts: plan.consumer_counts(),
+            root: plan.root(),
+        })
+    }
+
+    /// The nodes in execution order.
+    pub fn nodes(&self) -> &[PhysicalNode] {
+        &self.nodes
+    }
+
+    /// Executes the pipeline: every node runs once after its inputs, shared
+    /// results are cloned only while further consumers remain.
+    pub fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<EvaluatedRelation> {
+        let mut remaining = self.consumer_counts.clone();
+        let mut slots: Vec<Option<EvaluatedRelation>> =
+            (0..self.nodes.len()).map(|_| None).collect();
+        for (id, node) in self.nodes.iter().enumerate() {
+            let mut inputs = Vec::with_capacity(node.inputs.len());
+            for &i in &node.inputs {
+                remaining[i] -= 1;
+                let value = if remaining[i] == 0 {
+                    slots[i].take()
+                } else {
+                    slots[i].clone()
+                };
+                inputs.push(value.expect("topological order: input evaluated before use"));
+            }
+            slots[id] = Some(node.operator.execute(inputs, ctx)?);
+        }
+        Ok(slots[self.root]
+            .take()
+            .expect("the root slot holds the query result"))
+    }
+}
+
+fn unary_input(mut inputs: Vec<EvaluatedRelation>) -> EvaluatedRelation {
+    debug_assert_eq!(inputs.len(), 1);
+    inputs.pop().expect("unary operator receives one input")
+}
+
+fn binary_inputs(mut inputs: Vec<EvaluatedRelation>) -> (EvaluatedRelation, EvaluatedRelation) {
+    debug_assert_eq!(inputs.len(), 2);
+    let right = inputs.pop().expect("binary operator receives two inputs");
+    let left = inputs.pop().expect("binary operator receives two inputs");
+    (left, right)
+}
+
+// ---- error-bound propagation (Lemma 6.4(1)) --------------------------------
+
+fn propagate_unary(relation: URelation, input: &EvaluatedRelation) -> EvaluatedRelation {
+    // Selection/extension/renaming keep tuples in 1:1 correspondence with
+    // input tuples (modulo data-only transformation), so each output tuple
+    // inherits the error of the input tuples it came from.  For simplicity
+    // and soundness we look the error up by the shared data prefix when
+    // arities match, falling back to the sum of all input errors when they
+    // do not.
+    if input.errors.is_empty() {
+        return EvaluatedRelation {
+            relation,
+            complete: input.complete,
+            errors: BTreeMap::new(),
+        };
+    }
+    if relation.schema() == input.relation.schema() {
+        let errors = relation
+            .possible_tuples()
+            .iter()
+            .filter_map(|t| input.errors.get(t).map(|e| (t.clone(), *e)))
+            .filter(|(_, e)| *e > 0.0)
+            .collect();
+        return EvaluatedRelation {
+            relation,
+            complete: input.complete,
+            errors,
+        };
+    }
+    let total: f64 = input.errors.values().sum::<f64>().min(1.0);
+    let errors = relation
+        .possible_tuples()
+        .iter()
+        .map(|t| (t.clone(), total))
+        .collect();
+    EvaluatedRelation {
+        relation,
+        complete: input.complete,
+        errors,
+    }
+}
+
+fn propagate_unary_complete(relation: URelation, input: &EvaluatedRelation) -> EvaluatedRelation {
+    let mut out = propagate_unary(relation, input);
+    out.complete = true;
+    out
+}
+
+fn propagate_projection(
+    relation: URelation,
+    input: &EvaluatedRelation,
+    items: &[ProjItem],
+) -> Result<EvaluatedRelation> {
+    if input.errors.is_empty() {
+        return Ok(EvaluatedRelation {
+            relation,
+            complete: input.complete,
+            errors: BTreeMap::new(),
+        });
+    }
+    // Each output tuple's membership can change whenever any input tuple
+    // that projects onto it changes (Example 6.5): sum the errors of the
+    // contributing input tuples.
+    let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
+    for t in input.relation.possible_tuples().iter() {
+        let e = input.error_of(t);
+        if e == 0.0 {
+            continue;
+        }
+        let mut values = Vec::with_capacity(items.len());
+        for item in items {
+            values.push(item.expr.eval(input.relation.schema(), t)?);
+        }
+        let out_t = Tuple::new(values);
+        *errors.entry(out_t).or_insert(0.0) += e;
+    }
+    for e in errors.values_mut() {
+        *e = e.min(1.0);
+    }
+    Ok(EvaluatedRelation {
+        relation,
+        complete: input.complete,
+        errors,
+    })
+}
+
+fn propagate_binary(
+    relation: URelation,
+    left: &EvaluatedRelation,
+    right: &EvaluatedRelation,
+) -> EvaluatedRelation {
+    let complete = left.complete && right.complete;
+    if left.errors.is_empty() && right.errors.is_empty() {
+        return EvaluatedRelation {
+            relation,
+            complete,
+            errors: BTreeMap::new(),
+        };
+    }
+    // Conservative propagation: any output tuple of a binary operation
+    // depends on at most one tuple from each side plus, for unions, on a
+    // tuple of either side; we bound its error by the sum of the maximal
+    // per-side errors (capped at 1).  This over-approximates Lemma 6.4 but
+    // never under-reports.
+    let bound = (left.max_error() + right.max_error()).min(1.0);
+    let errors = relation
+        .possible_tuples()
+        .iter()
+        .map(|t| (t.clone(), bound))
+        .collect();
+    EvaluatedRelation {
+        relation,
+        complete,
+        errors,
+    }
+}
+
+// ---- per-world relational operators (§3) -----------------------------------
+
+/// Reads a base relation.
+#[derive(Clone, Debug)]
+pub struct ScanOp {
+    /// Relation name.
+    pub relation: String,
+}
+
+impl PhysicalOperator for ScanOp {
+    fn name(&self) -> &'static str {
+        "scan"
+    }
+
+    fn execute(
+        &self,
+        _inputs: Vec<EvaluatedRelation>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let rel = ctx.database.relation(&self.relation)?.clone();
+        let complete = ctx.database.is_complete(&self.relation);
+        Ok(EvaluatedRelation {
+            relation: rel,
+            complete,
+            errors: BTreeMap::new(),
+        })
+    }
+}
+
+/// Per-world selection `σ_φ`.
+#[derive(Clone, Debug)]
+pub struct SelectOp {
+    /// Selection predicate.
+    pub predicate: Predicate,
+}
+
+impl PhysicalOperator for SelectOp {
+    fn name(&self) -> &'static str {
+        "select"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        let relation = ops::select(&input.relation, &self.predicate)?;
+        Ok(propagate_unary(relation, &input))
+    }
+}
+
+/// Generalised projection `π`.
+#[derive(Clone, Debug)]
+pub struct ProjectOp {
+    /// Output items.
+    pub items: Vec<ProjItem>,
+}
+
+impl PhysicalOperator for ProjectOp {
+    fn name(&self) -> &'static str {
+        "project"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        let relation = ops::project(&input.relation, &self.items)?;
+        propagate_projection(relation, &input, &self.items)
+    }
+}
+
+/// Extension by computed attributes.
+#[derive(Clone, Debug)]
+pub struct ExtendOp {
+    /// Appended items.
+    pub items: Vec<ProjItem>,
+}
+
+impl PhysicalOperator for ExtendOp {
+    fn name(&self) -> &'static str {
+        "extend"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        let relation = ops::extend(&input.relation, &self.items)?;
+        Ok(propagate_unary(relation, &input))
+    }
+}
+
+/// Attribute renaming `ρ`.
+#[derive(Clone, Debug)]
+pub struct RenameOp {
+    /// Attribute to rename.
+    pub from: String,
+    /// New attribute name.
+    pub to: String,
+}
+
+impl PhysicalOperator for RenameOp {
+    fn name(&self) -> &'static str {
+        "rename"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        let relation = ops::rename(&input.relation, &self.from, &self.to)?;
+        Ok(propagate_unary(relation, &input))
+    }
+}
+
+/// Cartesian product `×`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProductOp;
+
+impl PhysicalOperator for ProductOp {
+    fn name(&self) -> &'static str {
+        "product"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let (left, right) = binary_inputs(inputs);
+        let relation = ops::product(&left.relation, &right.relation)?;
+        Ok(propagate_binary(relation, &left, &right))
+    }
+}
+
+/// Natural join `⋈`.
+#[derive(Clone, Copy, Debug)]
+pub struct NaturalJoinOp;
+
+impl PhysicalOperator for NaturalJoinOp {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let (left, right) = binary_inputs(inputs);
+        let relation = ops::natural_join(&left.relation, &right.relation)?;
+        Ok(propagate_binary(relation, &left, &right))
+    }
+}
+
+/// Union `∪`.
+#[derive(Clone, Copy, Debug)]
+pub struct UnionOp;
+
+impl PhysicalOperator for UnionOp {
+    fn name(&self) -> &'static str {
+        "union"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let (left, right) = binary_inputs(inputs);
+        let relation = ops::union(&left.relation, &right.relation)?;
+        Ok(propagate_binary(relation, &left, &right))
+    }
+}
+
+/// Difference; the unchecked `−` form verifies completeness at runtime
+/// (unrestricted difference over uncertain inputs is outside positive UA).
+#[derive(Clone, Copy, Debug)]
+pub struct DifferenceOp {
+    /// True for the `−c` form (Proposition 3.3).
+    pub checked: bool,
+}
+
+impl PhysicalOperator for DifferenceOp {
+    fn name(&self) -> &'static str {
+        if self.checked {
+            "diffc"
+        } else {
+            "diff"
+        }
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let (left, right) = binary_inputs(inputs);
+        if !self.checked
+            && (!left.relation.is_complete_representation()
+                || !right.relation.is_complete_representation())
+        {
+            return Err(EngineError::Unsupported(
+                "difference over uncertain relations is outside positive UA; use −c on complete inputs"
+                    .into(),
+            ));
+        }
+        let relation = ops::difference_complete(&left.relation, &right.relation)?;
+        Ok(propagate_binary(relation, &left, &right))
+    }
+}
+
+/// `poss`: the possible tuples, as a complete relation.
+#[derive(Clone, Copy, Debug)]
+pub struct PossOp;
+
+impl PhysicalOperator for PossOp {
+    fn name(&self) -> &'static str {
+        "poss"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        _ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        let relation = URelation::from_complete(&input.relation.possible_tuples());
+        Ok(propagate_unary_complete(relation, &input))
+    }
+}
+
+// ---- repair-key (§2.2 / §3) ------------------------------------------------
+
+/// `repair-key_{A⃗@B}`: uncertainty introduction on a complete input.
+#[derive(Clone, Debug)]
+pub struct RepairKeyOp {
+    /// Key attributes.
+    pub key: Vec<String>,
+    /// Weight attribute.
+    pub weight: String,
+}
+
+impl PhysicalOperator for RepairKeyOp {
+    fn name(&self) -> &'static str {
+        "repair-key"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        if !input.relation.is_complete_representation() {
+            return Err(EngineError::NotComplete(
+                "repair-key requires a complete input relation".into(),
+            ));
+        }
+        let complete = input.relation.possible_tuples();
+        let key_refs: Vec<&str> = self.key.iter().map(String::as_str).collect();
+        let groups = complete.group_by(&key_refs).map_err(EngineError::Pdb)?;
+
+        let mut out = URelation::empty(complete.schema().clone());
+        for (key_tuple, members) in groups {
+            // Validate and normalise the weights.
+            let mut weights = Vec::with_capacity(members.len());
+            let mut total = 0.0;
+            for t in &members {
+                let w = complete
+                    .numeric_value(t, &self.weight)
+                    .map_err(EngineError::Pdb)?;
+                if !w.is_finite() || w <= 0.0 {
+                    return Err(EngineError::Pdb(pdb::PdbError::InvalidWeight(format!(
+                        "weight {w} of tuple {t} is not a positive finite number"
+                    ))));
+                }
+                total += w;
+                weights.push(w);
+            }
+            if members.len() == 1 {
+                // A single candidate is chosen with probability 1; no random
+                // variable is needed.
+                out.insert(Condition::always(), members[0].clone())?;
+                continue;
+            }
+            // One fresh variable per key group (the Section 3 translation
+            // names it after the key values; we add a counter for global
+            // uniqueness across repeated repair-key applications).
+            ctx.var_counter += 1;
+            let var = Var::new(format!("rk{}:{}", ctx.var_counter, key_tuple));
+            let dist: Vec<(Value, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, w)| (Value::Int(i as i64), w / total))
+                .collect();
+            ctx.database.wtable_mut().add_variable(var.clone(), dist)?;
+            for (i, t) in members.iter().enumerate() {
+                let cond = Condition::new([(var.clone(), Value::Int(i as i64))])?;
+                out.insert(cond, t.clone())?;
+            }
+        }
+
+        let errors = if input.errors.is_empty() {
+            BTreeMap::new()
+        } else {
+            out.possible_tuples()
+                .iter()
+                .filter_map(|t| input.errors.get(t).map(|e| (t.clone(), *e)))
+                .collect()
+        };
+        Ok(EvaluatedRelation {
+            relation: out,
+            complete: false,
+            errors,
+        })
+    }
+}
+
+// ---- confidence computation (§4) -------------------------------------------
+
+/// `conf` / `conf_{ε,δ}`: batched confidence computation over all tuple
+/// lineages at once.
+#[derive(Clone, Debug)]
+pub struct ConfOp {
+    /// Name of the appended probability attribute.
+    pub prob_attr: String,
+    /// `None` for exact model counting, `Some` for the Karp–Luby FPRAS.
+    pub params: Option<FprasParams>,
+}
+
+impl PhysicalOperator for ConfOp {
+    fn name(&self) -> &'static str {
+        "conf"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        ctx.stats.conf_operators += 1;
+        let compiled = CompiledSpace::compile(ctx.database.wtable())?;
+        let schema = input
+            .relation
+            .schema()
+            .with_appended(&self.prob_attr)
+            .map_err(EngineError::Pdb)?;
+
+        // Batch: every tuple's DNF lineage in one pass, all estimated
+        // concurrently by the shared estimator layer.
+        let tuple_events = input.relation.tuple_events();
+        let events: Vec<DnfEvent> = tuple_events
+            .iter()
+            .map(|(_, conditions)| compiled.event(conditions))
+            .collect::<Result<_>>()?;
+        let estimator: Box<dyn ConfidenceEstimator> = match self.params {
+            None => Box::new(ExactEstimator),
+            Some(params) => Box::new(FprasEstimator::new(params)),
+        };
+        // Exact estimation consumes no randomness; leave the caller's RNG
+        // stream untouched in that case.
+        let master_seed = if self.params.is_some() {
+            ctx.rng.next_u64()
+        } else {
+            0
+        };
+        let estimates = estimator
+            .estimate_batch(&events, compiled.space(), master_seed)
+            .map_err(EngineError::Confidence)?;
+
+        let mut out = URelation::empty(schema);
+        let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
+        for ((t, _), estimate) in tuple_events.iter().zip(&estimates) {
+            // Stats keep the pre-pipeline semantics: exact mode counts model-
+            // counting calls, FPRAS mode counts samples (0 for trivial
+            // events, which are answered without sampling).
+            if self.params.is_none() {
+                ctx.stats.exact_confidence_calls += 1;
+            } else {
+                ctx.stats.karp_luby_samples += estimate.samples;
+            }
+            let out_t = t.with_appended(Value::float(estimate.estimate));
+            out.insert(Condition::always(), out_t.clone())?;
+            let e = input.error_of(t);
+            if e > 0.0 {
+                errors.insert(out_t, e);
+            }
+        }
+        Ok(EvaluatedRelation {
+            relation: out,
+            complete: true,
+            errors,
+        })
+    }
+}
+
+/// `cert`: the `conf = 1` test — exactly the singularity of Example 5.7 — so
+/// it is always answered by exact model counting (batched).
+#[derive(Clone, Copy, Debug)]
+pub struct CertOp;
+
+impl PhysicalOperator for CertOp {
+    fn name(&self) -> &'static str {
+        "cert"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        let compiled = CompiledSpace::compile(ctx.database.wtable())?;
+        let tuple_events = input.relation.tuple_events();
+        let events: Vec<DnfEvent> = tuple_events
+            .iter()
+            .map(|(_, conditions)| compiled.event(conditions))
+            .collect::<Result<_>>()?;
+        let estimates = ExactEstimator
+            .estimate_batch(&events, compiled.space(), 0)
+            .map_err(EngineError::Confidence)?;
+
+        let mut out = URelation::empty(input.relation.schema().clone());
+        let mut errors = BTreeMap::new();
+        for ((t, _), estimate) in tuple_events.iter().zip(&estimates) {
+            ctx.stats.exact_confidence_calls += 1;
+            if (estimate.estimate - 1.0).abs() < 1e-9 {
+                out.insert(Condition::always(), t.clone())?;
+                let e = input.error_of(t);
+                if e > 0.0 {
+                    errors.insert(t.clone(), e);
+                }
+            }
+        }
+        Ok(EvaluatedRelation {
+            relation: out,
+            complete: true,
+            errors,
+        })
+    }
+}
+
+// ---- approximate selection σ̂ (§5 Figure 3, §6) -----------------------------
+
+/// `σ̂_{φ(conf[A⃗₁], …, conf[A⃗_k])}` with its physical decision mode baked in
+/// at lowering time.
+#[derive(Clone, Debug)]
+pub struct ApproxSelectOp {
+    /// Confidence terms the predicate refers to.
+    pub terms: Vec<ConfTerm>,
+    /// Predicate over the term placeholders.
+    pub predicate: Predicate,
+    /// Smallest relative half-width refined to.
+    pub epsilon0: f64,
+    /// Per-operator error bound.
+    pub delta: f64,
+    /// The decision strategy chosen by the engine configuration.
+    pub mode: ApproxSelectMode,
+}
+
+impl PhysicalOperator for ApproxSelectOp {
+    fn name(&self) -> &'static str {
+        "approx-select"
+    }
+
+    fn execute(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let input = unary_input(inputs);
+        ctx.stats.approx_select_operators += 1;
+        algebra::check_conf_terms(&self.terms, input.relation.schema())?;
+        let compiled = CompiledSpace::compile(ctx.database.wtable())?;
+
+        // Projections π_{A⃗_i}(R), one per confidence term.
+        let mut projections = Vec::with_capacity(self.terms.len());
+        for term in &self.terms {
+            let items: Vec<ProjItem> = term.attrs.iter().map(ProjItem::attr).collect();
+            projections.push(ops::project(&input.relation, &items)?);
+        }
+
+        // The candidate output tuples: the natural join of the possible
+        // tuples of the projections (over the union of the term attributes).
+        let out_attrs: Vec<String> = {
+            let mut attrs = Vec::new();
+            for term in &self.terms {
+                for a in &term.attrs {
+                    if !attrs.contains(a) {
+                        attrs.push(a.clone());
+                    }
+                }
+            }
+            attrs
+        };
+        let out_schema = Schema::new(out_attrs.clone()).map_err(EngineError::Pdb)?;
+        let mut candidates =
+            URelation::from_complete(&pdb::Relation::new(Schema::empty(), [Tuple::empty()])?);
+        for proj in &projections {
+            candidates = ops::natural_join(
+                &candidates,
+                &URelation::from_complete(&proj.possible_tuples()),
+            )?;
+        }
+        // Reorder candidate columns to the declared output order.
+        let reorder: Vec<ProjItem> = out_attrs.iter().map(ProjItem::attr).collect();
+        let candidates = ops::project(&candidates, &reorder)?;
+
+        // Compile the predicate over the term placeholders.
+        let placeholders: Vec<String> = self.terms.iter().map(|t| t.name.clone()).collect();
+        let compiled_predicate = compile_predicate(&self.predicate, &placeholders)?;
+
+        // The input-error contribution: the confidence terms aggregate over
+        // the whole input relation, so every candidate depends on every
+        // input tuple (cf. Example 6.5).
+        let input_error: f64 = input.errors.values().sum::<f64>().min(1.0);
+
+        // The k events of every candidate, in candidate order.  The term
+        // attribute indices are hoisted out of the candidate loop.
+        let term_indices: Vec<Vec<usize>> = self
+            .terms
+            .iter()
+            .map(|term| {
+                candidates
+                    .schema()
+                    .indices_of(&term.attrs)
+                    .map_err(EngineError::Pdb)
+            })
+            .collect::<Result<_>>()?;
+        let candidate_tuples: Vec<Tuple> = candidates.possible_tuples().iter().cloned().collect();
+        ctx.stats.approx_select_decisions += candidate_tuples.len() as u64;
+        // The k events of candidate i occupy events[i*k .. (i+1)*k]: one flat
+        // vector shared by every decision mode, no per-candidate re-clone.
+        let mut events: Vec<DnfEvent> =
+            Vec::with_capacity(candidate_tuples.len() * self.terms.len());
+        for candidate in &candidate_tuples {
+            for (idx, proj) in term_indices.iter().zip(&projections) {
+                let key = candidate.project(idx);
+                events.push(compiled.event(&proj.conditions_for(&key))?);
+            }
+        }
+
+        // Decide every candidate: (keep, decision error bound).
+        let decisions = self.decide_candidates(
+            candidate_tuples.len(),
+            &events,
+            &compiled,
+            &compiled_predicate,
+            ctx,
+        )?;
+        debug_assert_eq!(decisions.len(), candidate_tuples.len());
+
+        let mut out = URelation::empty(out_schema);
+        let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
+        for (candidate, (keep, decision_error)) in candidate_tuples.iter().zip(decisions) {
+            let total_error = (decision_error + input_error).min(1.0);
+            if keep {
+                out.insert(Condition::always(), candidate.clone())?;
+                if total_error > 0.0 {
+                    errors.insert(candidate.clone(), total_error);
+                }
+            } else if total_error > 0.0 {
+                // Dropped tuples may also be wrongly dropped; their error is
+                // recorded so that downstream negation-free operators (and
+                // the adaptive driver) can still reason about them.  They
+                // are keyed by the candidate tuple even though it is absent.
+                errors.insert(candidate.clone(), total_error);
+            }
+        }
+
+        Ok(EvaluatedRelation {
+            relation: out,
+            complete: false,
+            errors,
+        })
+    }
+}
+
+impl ApproxSelectOp {
+    /// Decides all `num_candidates` candidates under the operator's mode;
+    /// candidate `i`'s `k` events are `events[i*k .. (i+1)*k]` (`k` may be 0:
+    /// a term-less predicate is decided once per candidate on no values).
+    /// Monte Carlo modes run candidates/events concurrently with per-index
+    /// sub-RNGs derived from one master seed, so the outcome is
+    /// deterministic per seed.
+    fn decide_candidates(
+        &self,
+        num_candidates: usize,
+        events: &[DnfEvent],
+        compiled: &CompiledSpace,
+        predicate: &ApproxPredicate,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<Vec<(bool, f64)>> {
+        let k = self.terms.len();
+        debug_assert_eq!(events.len(), num_candidates * k);
+        match self.mode {
+            ApproxSelectMode::Exact => {
+                let estimates = ExactEstimator
+                    .estimate_batch(events, compiled.space(), 0)
+                    .map_err(EngineError::Confidence)?;
+                ctx.stats.exact_confidence_calls += estimates.len() as u64;
+                (0..num_candidates)
+                    .map(|i| {
+                        let chunk = &estimates[i * k..(i + 1) * k];
+                        let values: Vec<f64> = chunk.iter().map(|e| e.estimate).collect();
+                        Ok((predicate.eval(&values)?, 0.0))
+                    })
+                    .collect()
+            }
+            ApproxSelectMode::FixedIterations(l) => {
+                let master_seed = ctx.rng.next_u64();
+                let estimates = BatchedIncrementalEstimator::new(l)
+                    .estimate_batch(events, compiled.space(), master_seed)
+                    .map_err(EngineError::Confidence)?;
+                for estimate in &estimates {
+                    ctx.stats.karp_luby_samples += estimate.samples;
+                }
+                (0..num_candidates)
+                    .map(|i| {
+                        let chunk = &estimates[i * k..(i + 1) * k];
+                        let values: Vec<f64> = chunk.iter().map(|e| e.estimate).collect();
+                        let keep = predicate.eval(&values)?;
+                        let eps_psi = predicate.epsilon_homogeneous(&values)?;
+                        let eps = eps_psi.max(self.epsilon0).min(0.999_999);
+                        let mut bound = 0.0;
+                        for estimate in chunk {
+                            bound += if estimate.exact {
+                                0.0
+                            } else {
+                                chernoff::delta_prime(eps, l)?
+                            };
+                        }
+                        Ok((keep, bound.min(0.5)))
+                    })
+                    .collect()
+            }
+            ApproxSelectMode::Adaptive => {
+                let params = ApproximationParams::new(self.epsilon0, self.delta)?;
+                let master_seed = ctx.rng.next_u64();
+                // One Figure 3 run per candidate, all candidates in
+                // parallel, each on its own seeded RNG.
+                let outcomes: Vec<approx::Decision> = (0..num_candidates)
+                    .into_par_iter()
+                    .map(|i| {
+                        let mut rng = ChaCha8Rng::seed_from_u64(event_seed(master_seed, i));
+                        let mut estimators: Vec<IncrementalEstimator> = events[i * k..(i + 1) * k]
+                            .iter()
+                            .map(|event| {
+                                IncrementalEstimator::new(event.clone(), compiled.space().clone())
+                                    .map_err(EngineError::Confidence)
+                            })
+                            .collect::<Result<_>>()?;
+                        approximate_predicate(predicate, &mut estimators, params, &mut rng)
+                            .map_err(EngineError::Approx)
+                    })
+                    .collect::<Result<_>>()?;
+                for decision in &outcomes {
+                    ctx.stats.karp_luby_samples += decision.samples;
+                }
+                Ok(outcomes
+                    .into_iter()
+                    .map(|d| (d.value, d.error_bound))
+                    .collect())
+            }
+        }
+    }
+}

@@ -63,10 +63,7 @@ fn atom_from_difference(
     placeholders: &[String],
 ) -> Result<ApproxPredicate> {
     // Try the linear form first: Σ a_i·x_i + c ≥ 0  ⇔  Σ a_i·x_i ≥ −c.
-    if let (Some(mut l), Some(r)) = (
-        linearize(lhs, placeholders),
-        linearize(rhs, placeholders),
-    ) {
+    if let (Some(mut l), Some(r)) = (linearize(lhs, placeholders), linearize(rhs, placeholders)) {
         for (a, b) in l.coeffs.iter_mut().zip(&r.coeffs) {
             *a -= b;
         }
@@ -121,7 +118,11 @@ fn linearize(expr: &Expr, placeholders: &[String]) -> Option<LinearForm> {
         Expr::Add(a, b) | Expr::Sub(a, b) => {
             let fa = linearize(a, placeholders)?;
             let fb = linearize(b, placeholders)?;
-            let sign = if matches!(expr, Expr::Add(_, _)) { 1.0 } else { -1.0 };
+            let sign = if matches!(expr, Expr::Add(_, _)) {
+                1.0
+            } else {
+                -1.0
+            };
             Some(LinearForm {
                 coeffs: fa
                     .coeffs
@@ -284,5 +285,4 @@ mod tests {
         let p = parse_predicate("P1 >= 'abc'").unwrap();
         assert!(compile_predicate(&p, &placeholders(&["P1"])).is_err());
     }
-
 }

@@ -58,8 +58,7 @@ impl Provenance {
 
     /// True if the provenance mentions the given tuple of the given relation.
     pub fn depends_on(&self, relation: &str, tuple: &Tuple) -> bool {
-        self.entries
-            .contains(&(relation.to_owned(), tuple.clone()))
+        self.entries.contains(&(relation.to_owned(), tuple.clone()))
     }
 
     /// The error bound of Lemma 6.4(1): the sum of the supplied per-input
@@ -127,7 +126,10 @@ impl AnnotatedRelation {
 /// the paper is defined for the relational core, and approximate selections
 /// extend it with the rule `(t, σ̂(Q)) ≺ (t, Q)` which the evaluator handles
 /// via its aggregated error bounds.
-pub fn annotate(query: &Query, base: &dyn Fn(&str) -> Option<AnnotatedRelation>) -> Result<AnnotatedRelation> {
+pub fn annotate(
+    query: &Query,
+    base: &dyn Fn(&str) -> Option<AnnotatedRelation>,
+) -> Result<AnnotatedRelation> {
     use crate::error::EngineError;
     match query {
         Query::Table(name) => base(name).ok_or_else(|| {
@@ -194,8 +196,8 @@ fn select(input: &AnnotatedRelation, predicate: &Predicate) -> Result<AnnotatedR
 }
 
 fn project(input: &AnnotatedRelation, items: &[ProjItem]) -> Result<AnnotatedRelation> {
-    let schema =
-        Schema::new(items.iter().map(|i| i.name.clone())).map_err(crate::error::EngineError::Pdb)?;
+    let schema = Schema::new(items.iter().map(|i| i.name.clone()))
+        .map_err(crate::error::EngineError::Pdb)?;
     let mut out = AnnotatedRelation {
         schema,
         tuples: Vec::new(),

@@ -325,12 +325,8 @@ mod tests {
         db.repair_key("Coins", &[], "Count", "PickedCoin").unwrap();
         assert_eq!(db.num_worlds(), 2);
         assert!(!db.is_complete("PickedCoin"));
-        let p_fair = db
-            .confidence("PickedCoin", &tuple!["fair", 2])
-            .unwrap();
-        let p_2h = db
-            .confidence("PickedCoin", &tuple!["2headed", 1])
-            .unwrap();
+        let p_fair = db.confidence("PickedCoin", &tuple!["fair", 2]).unwrap();
+        let p_2h = db.confidence("PickedCoin", &tuple!["2headed", 1]).unwrap();
         assert!((p_fair - 2.0 / 3.0).abs() < 1e-12);
         assert!((p_2h - 1.0 / 3.0).abs() < 1e-12);
     }
@@ -363,8 +359,7 @@ mod tests {
         let mut db = coin_db();
         db.repair_key("Coins", &[], "Count", "R").unwrap();
         db.map_worlds("FairOnly", false, |w| {
-            Ok(w.relation("R")?
-                .select(|t| t[0] == Value::str("fair")))
+            Ok(w.relation("R")?.select(|t| t[0] == Value::str("fair")))
         })
         .unwrap();
         let p = db.confidence("FairOnly", &tuple!["fair", 2]).unwrap();

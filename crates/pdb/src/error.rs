@@ -71,7 +71,9 @@ mod tests {
         assert!(PdbError::UnknownRelation("R".into())
             .to_string()
             .contains("`R`"));
-        assert!(PdbError::NotComplete("S".into()).to_string().contains("complete"));
+        assert!(PdbError::NotComplete("S".into())
+            .to_string()
+            .contains("complete"));
     }
 
     #[test]

@@ -82,10 +82,7 @@ impl Relation {
 
     /// Selection where the predicate may fail (for example on a type error in
     /// an arithmetic condition); the first error aborts the operation.
-    pub fn try_select(
-        &self,
-        mut pred: impl FnMut(&Tuple) -> Result<bool>,
-    ) -> Result<Relation> {
+    pub fn try_select(&self, mut pred: impl FnMut(&Tuple) -> Result<bool>) -> Result<Relation> {
         let mut out = Relation::empty(self.schema.clone());
         for t in &self.tuples {
             if pred(t)? {
@@ -232,8 +229,9 @@ impl Relation {
             .schema
             .index_of(attr)
             .ok_or_else(|| PdbError::UnknownAttribute(attr.to_owned()))?;
-        t[i].as_f64()
-            .ok_or_else(|| PdbError::InvalidWeight(format!("attribute `{attr}` of {t} is not numeric")))
+        t[i].as_f64().ok_or_else(|| {
+            PdbError::InvalidWeight(format!("attribute `{attr}` of {t} is not numeric"))
+        })
     }
 
     fn check_union_compatible(&self, other: &Relation) -> Result<()> {

@@ -38,7 +38,7 @@ pub fn repairs(rel: &Relation, key_attrs: &[&str], weight_attr: &str) -> Result<
         let mut total = 0.0;
         for t in members {
             let w = rel.numeric_value(t, weight_attr)?;
-            if !(w > 0.0) || !w.is_finite() {
+            if !w.is_finite() || w <= 0.0 {
                 return Err(PdbError::InvalidWeight(format!(
                     "weight {w} of tuple {t} is not a positive finite number"
                 )));

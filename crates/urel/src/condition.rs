@@ -208,11 +208,7 @@ mod tests {
         .unwrap();
         w.add_variable(v("t"), [(Value::str("H"), 0.5), (Value::str("T"), 0.5)])
             .unwrap();
-        let c = Condition::new([
-            (v("c"), Value::str("fair")),
-            (v("t"), Value::str("H")),
-        ])
-        .unwrap();
+        let c = Condition::new([(v("c"), Value::str("fair")), (v("t"), Value::str("H"))]).unwrap();
         assert!((c.weight(&w).unwrap() - 1.0 / 3.0).abs() < 1e-12);
         assert!((Condition::always().weight(&w).unwrap() - 1.0).abs() < 1e-12);
         // Unknown value errors.
@@ -224,11 +220,7 @@ mod tests {
 
     #[test]
     fn satisfied_by_total_assignments() {
-        let total = Condition::new([
-            (v("x"), Value::Int(1)),
-            (v("y"), Value::Int(2)),
-        ])
-        .unwrap();
+        let total = Condition::new([(v("x"), Value::Int(1)), (v("y"), Value::Int(2))]).unwrap();
         let f = Condition::new([(v("x"), Value::Int(1))]).unwrap();
         let g = Condition::new([(v("x"), Value::Int(2))]).unwrap();
         let h = Condition::new([(v("z"), Value::Int(0))]).unwrap();

@@ -45,10 +45,8 @@ pub fn decompose(rel: &URelation, key: &[&str]) -> Result<Vec<Fragment>> {
         let frag_schema = Schema::new(frag_schema_names).map_err(UrelError::from)?;
         let mut frag = URelation::empty(frag_schema);
         for row in rel.iter() {
-            let mut values: Vec<pdb::Value> = key_idx
-                .iter()
-                .map(|&i| row.tuple[i].clone())
-                .collect();
+            let mut values: Vec<pdb::Value> =
+                key_idx.iter().map(|&i| row.tuple[i].clone()).collect();
             values.push(row.tuple[attr_idx].clone());
             frag.insert(row.condition.clone(), Tuple::new(values))?;
         }
@@ -65,9 +63,9 @@ pub fn decompose(rel: &URelation, key: &[&str]) -> Result<Vec<Fragment>> {
 /// conditions conflict do not join, exactly as in the parsimonious product
 /// translation.
 pub fn recompose(fragments: &[Fragment], key: &[&str]) -> Result<URelation> {
-    let first = fragments.first().ok_or_else(|| {
-        UrelError::Invariant("cannot recompose an empty fragment list".into())
-    })?;
+    let first = fragments
+        .first()
+        .ok_or_else(|| UrelError::Invariant("cannot recompose an empty fragment list".into()))?;
 
     // Output schema: key attributes then each fragment's payload attribute.
     let mut names: Vec<String> = key.iter().map(|s| s.to_string()).collect();
@@ -136,7 +134,10 @@ mod tests {
         assert_eq!(frags[0].attribute, "Temp");
         assert_eq!(frags[1].attribute, "Hum");
         assert_eq!(frags[0].relation.len(), 3);
-        assert_eq!(frags[0].relation.schema().attrs(), &["SensorId".to_string(), "Temp".to_string()]);
+        assert_eq!(
+            frags[0].relation.schema().attrs(),
+            &["SensorId".to_string(), "Temp".to_string()]
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl fmt::Display for UrelError {
         match self {
             UrelError::UnknownVariable(v) => write!(f, "unknown random variable `{v}`"),
             UrelError::UnknownDomainValue { var, value } => {
-                write!(f, "value `{value}` is not in the domain of variable `{var}`")
+                write!(
+                    f,
+                    "value `{value}` is not in the domain of variable `{var}`"
+                )
             }
             UrelError::InvalidDistribution { var, reason } => {
                 write!(f, "invalid distribution for variable `{var}`: {reason}")

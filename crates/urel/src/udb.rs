@@ -123,7 +123,11 @@ impl UDatabase {
 impl fmt::Display for UDatabase {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, rel) in &self.relations {
-            let marker = if self.is_complete(name) { " (complete)" } else { "" };
+            let marker = if self.is_complete(name) {
+                " (complete)"
+            } else {
+                ""
+            };
             writeln!(f, "U_{name}{marker}:\n{rel}")?;
         }
         write!(f, "{}", self.wtable)
@@ -136,12 +140,10 @@ mod tests {
     use pdb::{relation, schema, tuple, Value};
 
     fn figure1a() -> UDatabase {
-        let mut db = UDatabase::from_complete_relations([
-            (
-                "Coins",
-                relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
-            ),
-        ]);
+        let mut db = UDatabase::from_complete_relations([(
+            "Coins",
+            relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+        )]);
         db.add_variable(
             Var::new("c"),
             [
@@ -172,7 +174,10 @@ mod tests {
         assert!(db.is_complete("Coins"));
         assert!(!db.is_complete("R"));
         assert_eq!(db.num_possible_worlds(), 2);
-        assert_eq!(db.relation_names(), vec!["Coins".to_string(), "R".to_string()]);
+        assert_eq!(
+            db.relation_names(),
+            vec!["Coins".to_string(), "R".to_string()]
+        );
         let ev = db.event_for("R", &tuple!["fair"]).unwrap();
         assert_eq!(ev.len(), 1);
         let w = ev[0].weight(db.wtable()).unwrap();

@@ -103,6 +103,24 @@ impl URelation {
             .collect()
     }
 
+    /// Batch form of [`conditions_for`](URelation::conditions_for): every
+    /// distinct data tuple paired with its DNF, in canonical tuple order (the
+    /// same order as [`possible_tuples`](URelation::possible_tuples)).
+    ///
+    /// One pass over the rows instead of one pass per tuple, which is what
+    /// the engine's batched confidence operators consume.
+    pub fn tuple_events(&self) -> Vec<(Tuple, Vec<Condition>)> {
+        let mut events: std::collections::BTreeMap<Tuple, Vec<Condition>> =
+            std::collections::BTreeMap::new();
+        for row in &self.rows {
+            events
+                .entry(row.tuple.clone())
+                .or_default()
+                .push(row.condition.clone());
+        }
+        events.into_iter().collect()
+    }
+
     /// True if the U-relation is purely complete (all conditions empty).
     pub fn is_complete_representation(&self) -> bool {
         self.rows.iter().all(|r| r.condition.is_empty())
@@ -194,11 +212,28 @@ mod tests {
         let u = ur_coin();
         let f = u.conditions_for(&tuple!["fair"]);
         assert_eq!(f.len(), 1);
-        assert_eq!(
-            f[0].get(&Var::new("c")),
-            Some(&Value::str("fair"))
-        );
+        assert_eq!(f[0].get(&Var::new("c")), Some(&Value::str("fair")));
         assert!(u.conditions_for(&tuple!["3sided"]).is_empty());
+    }
+
+    #[test]
+    fn tuple_events_match_per_tuple_conditions() {
+        let mut u = ur_coin();
+        // A second row for `fair` under a different condition: its DNF has
+        // two terms.
+        u.insert(
+            Condition::new([(Var::new("t1"), Value::str("H"))]).unwrap(),
+            tuple!["fair"],
+        )
+        .unwrap();
+        let batch = u.tuple_events();
+        let poss = u.possible_tuples();
+        assert_eq!(batch.len(), poss.len());
+        for ((t, conditions), expected) in batch.iter().zip(poss.iter()) {
+            assert_eq!(t, expected, "batch order must match possible_tuples");
+            assert_eq!(conditions, &u.conditions_for(t));
+        }
+        assert!(batch.iter().any(|(_, c)| c.len() == 2));
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl WTable {
         }
         let mut total = 0.0;
         for (i, (value, p)) in dist.iter().enumerate() {
-            if !(*p > 0.0) || !p.is_finite() {
+            if !p.is_finite() || *p <= 0.0 {
                 return Err(UrelError::InvalidDistribution {
                     var: var.name().to_owned(),
                     reason: format!("Pr[{var} = {value}] = {p} is not in (0, 1]"),
@@ -83,10 +83,7 @@ impl WTable {
                 reason: format!("Boolean probability {p} must be strictly between 0 and 1"),
             });
         }
-        self.add_variable(
-            var,
-            [(Value::Bool(true), p), (Value::Bool(false), 1.0 - p)],
-        )
+        self.add_variable(var, [(Value::Bool(true), p), (Value::Bool(false), 1.0 - p)])
     }
 
     /// Number of declared variables.
@@ -147,10 +144,7 @@ impl WTable {
     /// (the number of possible worlds before coalescing), as a `u128` to
     /// avoid overflow on large tables.
     pub fn num_total_assignments(&self) -> u128 {
-        self.vars
-            .values()
-            .map(|d| d.len() as u128)
-            .product()
+        self.vars.values().map(|d| d.len() as u128).product()
     }
 
     /// Merges another W-table into this one; shared variables must carry the
@@ -238,7 +232,9 @@ mod tests {
             .is_err());
         assert!(w.add_variable(Var::new("x"), []).is_err());
         // valid, then redeclared
-        assert!(w.add_variable(Var::new("x"), [(Value::Int(1), 1.0)]).is_ok());
+        assert!(w
+            .add_variable(Var::new("x"), [(Value::Int(1), 1.0)])
+            .is_ok());
         assert!(w
             .add_variable(Var::new("x"), [(Value::Int(1), 1.0)])
             .is_err());
@@ -248,9 +244,7 @@ mod tests {
     fn bool_variable_helper() {
         let mut w = WTable::new();
         w.add_bool_variable(Var::new("t1"), 0.3).unwrap();
-        let p = w
-            .probability(&Var::new("t1"), &Value::Bool(false))
-            .unwrap();
+        let p = w.probability(&Var::new("t1"), &Value::Bool(false)).unwrap();
         assert!((p - 0.7).abs() < 1e-12);
         assert!(w.add_bool_variable(Var::new("t2"), 0.0).is_err());
         assert!(w.add_bool_variable(Var::new("t2"), 1.0).is_err());

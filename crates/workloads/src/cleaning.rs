@@ -78,14 +78,12 @@ impl CleaningWorkload {
     /// (`σ̂_{conf[City] ≥ threshold}(π_{City}(clean))` as an approximate
     /// selection).
     pub fn confident_city_query(threshold: f64, epsilon0: f64, delta: f64) -> Query {
-        Self::cleaned_query()
-            .project(&["City"])
-            .approx_select(
-                vec![ConfTerm::new("P1", ["City"])],
-                Predicate::ge(Expr::attr("P1"), Expr::konst(threshold)),
-                epsilon0,
-                delta,
-            )
+        Self::cleaned_query().project(&["City"]).approx_select(
+            vec![ConfTerm::new("P1", ["City"])],
+            Predicate::ge(Expr::attr("P1"), Expr::konst(threshold)),
+            epsilon0,
+            delta,
+        )
     }
 
     /// The Boolean query φ of the Theorem 4.4 example: "some cleaned record

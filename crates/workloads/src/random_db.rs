@@ -165,10 +165,7 @@ mod tests {
         };
         let db = gen.database();
         for var in db.wtable().variables() {
-            let p = db
-                .wtable()
-                .probability(&var, &Value::Bool(true))
-                .unwrap();
+            let p = db.wtable().probability(&var, &Value::Bool(true)).unwrap();
             assert!((p - 0.25).abs() < 1e-12);
         }
     }

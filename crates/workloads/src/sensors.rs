@@ -4,8 +4,8 @@
 use algebra::{ConfTerm, Expr, Predicate, Query};
 use pdb::{Relation, Schema, Tuple, Value};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 use urel::UDatabase;
 
 /// Parameters of the sensor workload generator.

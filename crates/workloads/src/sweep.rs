@@ -11,10 +11,7 @@ pub struct GridPoint {
 impl GridPoint {
     /// Looks up a parameter by name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.values
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
     /// A compact `name=value` rendering for labels.
@@ -41,8 +38,7 @@ impl ParameterGrid {
 
     /// Adds an axis with the given values.
     pub fn axis(mut self, name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
-        self.axes
-            .push((name.into(), values.into_iter().collect()));
+        self.axes.push((name.into(), values.into_iter().collect()));
         self
     }
 

@@ -5,8 +5,8 @@
 //! Run with `cargo run --example approximate_predicates`.
 
 use approx::{
-    approximate_predicate, expected_saving_factor, naive_decide, ApproximationParams,
-    ApproxPredicate, LinearIneq, Orthotope,
+    approximate_predicate, expected_saving_factor, naive_decide, ApproxPredicate,
+    ApproximationParams, LinearIneq, Orthotope,
 };
 use confidence::{Assignment, DnfEvent, IncrementalEstimator, ProbabilitySpace};
 use rand::SeedableRng;
@@ -81,11 +81,10 @@ fn main() {
     );
 
     // ---- A singularity (Example 5.7) ---------------------------------------
-    let singular = approx::is_possibly_singular(
-        &ApproxPredicate::threshold(1, 0, 1.0),
-        &[1.0],
-        0.01,
-    )
-    .expect("singularity check");
-    println!("\nExample 5.7: the tuple-certainty test conf >= 1 at p = 1 is a singularity: {singular}");
+    let singular =
+        approx::is_possibly_singular(&ApproxPredicate::threshold(1, 0, 1.0), &[1.0], 0.01)
+            .expect("singularity check");
+    println!(
+        "\nExample 5.7: the tuple-certainty test conf >= 1 at p = 1 is a singularity: {singular}"
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
     // Step 1: R := π_CoinType(repair-key_∅@Count(Coins))  — Figure 1(a).
     let r = coins::query_r();
     let out_r = engine.evaluate(&udb, &r, &mut rng).expect("R evaluates");
-    println!("U_R (Figure 1(a)) — rows are (condition | tuple):\n{}", out_r.result.relation);
+    println!(
+        "U_R (Figure 1(a)) — rows are (condition | tuple):\n{}",
+        out_r.result.relation
+    );
     println!("{}", out_r.database.wtable());
 
     // Step 2: S, the toss outcomes, and T, the coin type in the worlds where
@@ -60,5 +63,7 @@ fn main() {
         println!("  {tuple}");
     }
 
-    println!("\npaper's Figure/Example values: prior fair = 2/3; posterior fair = 1/3, 2headed = 2/3.");
+    println!(
+        "\npaper's Figure/Example values: prior fair = 2/3; posterior fair = 1/3, 2headed = 2/3."
+    );
 }

@@ -42,7 +42,9 @@ fn main() {
     // ("some name straddles two cities") is existential.
     let read_probability = |query| -> f64 {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let out = engine.evaluate(&db, &query, &mut rng).expect("egd subquery");
+        let out = engine
+            .evaluate(&db, &query, &mut rng)
+            .expect("egd subquery");
         let probability = out
             .result
             .relation

@@ -123,24 +123,32 @@ fn cleaning_confidence_threshold_results_are_consistent() {
     let engine = UEngine::new(EvalConfig::exact());
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let all = engine
-        .evaluate(&db, &CleaningWorkload::confident_city_query(1e-9, 0.05, 0.05), &mut rng)
+        .evaluate(
+            &db,
+            &CleaningWorkload::confident_city_query(1e-9, 0.05, 0.05),
+            &mut rng,
+        )
         .expect("low threshold");
     let none = engine
-        .evaluate(&db, &CleaningWorkload::confident_city_query(1.0 + 1e-9, 0.05, 0.05), &mut rng)
+        .evaluate(
+            &db,
+            &CleaningWorkload::confident_city_query(1.0 + 1e-9, 0.05, 0.05),
+            &mut rng,
+        )
         .expect("high threshold");
-    assert!(all.result.relation.len() >= 1);
+    assert!(!all.result.relation.is_empty());
     assert!(none.result.relation.is_empty());
     // Monotonicity: raising the threshold never adds cities.
     let mid = engine
-        .evaluate(&db, &CleaningWorkload::confident_city_query(0.6, 0.05, 0.05), &mut rng)
+        .evaluate(
+            &db,
+            &CleaningWorkload::confident_city_query(0.6, 0.05, 0.05),
+            &mut rng,
+        )
         .expect("mid threshold");
     assert!(mid.result.relation.len() <= all.result.relation.len());
     for row in mid.result.relation.iter() {
-        assert!(all
-            .result
-            .relation
-            .possible_tuples()
-            .contains(&row.tuple));
+        assert!(all.result.relation.possible_tuples().contains(&row.tuple));
     }
 }
 
@@ -159,7 +167,9 @@ fn fpras_confidence_mode_composes_with_adaptive_selection() {
         },
     });
     let mut rng = ChaCha8Rng::seed_from_u64(4);
-    let out = engine.evaluate(&db, &query, &mut rng).expect("composed evaluation");
+    let out = engine
+        .evaluate(&db, &query, &mut rng)
+        .expect("composed evaluation");
     // Result is a subset of all sensors and carries bounded error.
     assert!(out.result.relation.len() <= workload.num_sensors);
     assert!(out.result.max_error() <= 0.5);

@@ -22,7 +22,9 @@ fn example_2_2_posterior_exact_on_both_engines() {
 
     let engine = UEngine::new(EvalConfig::exact());
     let mut rng = ChaCha8Rng::seed_from_u64(1);
-    let out = engine.evaluate(&udb, &query, &mut rng).expect("succinct engine");
+    let out = engine
+        .evaluate(&udb, &query, &mut rng)
+        .expect("succinct engine");
     assert!((posterior_of(&out.result.relation, "fair") - 1.0 / 3.0).abs() < 1e-9);
     assert!((posterior_of(&out.result.relation, "2headed") - 2.0 / 3.0).abs() < 1e-9);
 
@@ -68,7 +70,9 @@ fn example_2_2_fpras_is_close_to_exact() {
         ..EvalConfig::default()
     });
     let mut rng = ChaCha8Rng::seed_from_u64(7);
-    let out = engine.evaluate(&udb, &query, &mut rng).expect("fpras engine");
+    let out = engine
+        .evaluate(&udb, &query, &mut rng)
+        .expect("fpras engine");
     let fair = posterior_of(&out.result.relation, "fair");
     let two_headed = posterior_of(&out.result.relation, "2headed");
     // Both numerator and denominator carry up to 5 % relative error, so allow
@@ -97,7 +101,9 @@ fn example_6_1_approximate_selection_keeps_the_right_coin() {
     // The adaptive decision agrees (margins are far from the threshold).
     let adaptive = UEngine::new(EvalConfig::default());
     let mut rng = ChaCha8Rng::seed_from_u64(3);
-    let out = adaptive.evaluate(&udb, &query, &mut rng).expect("adaptive σ̂");
+    let out = adaptive
+        .evaluate(&udb, &query, &mut rng)
+        .expect("adaptive σ̂");
     assert_eq!(out.result.relation.possible_tuples(), exact_tuples);
     assert!(out.result.max_error() <= 0.05 + 1e-9);
 }

@@ -12,7 +12,9 @@ use workloads::CleaningWorkload;
 fn single_probability(db: &urel::UDatabase, query: algebra::Query) -> f64 {
     let engine = UEngine::new(EvalConfig::exact());
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let out = engine.evaluate(db, &query, &mut rng).expect("query evaluates");
+    let out = engine
+        .evaluate(db, &query, &mut rng)
+        .expect("query evaluates");
     let probability = out
         .result
         .relation
@@ -59,8 +61,7 @@ fn theorem_4_4_rewriting_matches_direct_computation() {
         let db = workload.database();
         for city in 0..workload.num_cities {
             let p_phi = single_probability(&db, CleaningWorkload::egd_phi_query(city));
-            let p_violation =
-                single_probability(&db, CleaningWorkload::egd_violation_query(city));
+            let p_violation = single_probability(&db, CleaningWorkload::egd_violation_query(city));
             let rewritten = (p_phi - p_violation).max(0.0);
             let direct = direct_probability(&workload, &format!("city{city}"));
             assert!(

@@ -15,9 +15,8 @@ use workloads::coins;
 /// Evaluates `query` on both engines over the same complete input relations
 /// and asserts the exact confidence of every possible result tuple matches.
 fn assert_engines_agree(relations: &[(String, Relation)], query: &Query) {
-    let udb = UDatabase::from_complete_relations(
-        relations.iter().map(|(n, r)| (n.clone(), r.clone())),
-    );
+    let udb =
+        UDatabase::from_complete_relations(relations.iter().map(|(n, r)| (n.clone(), r.clone())));
     let pdb = ProbabilisticDatabase::from_complete_relations(
         relations.iter().map(|(n, r)| (n.clone(), r.clone())),
     )
@@ -25,7 +24,9 @@ fn assert_engines_agree(relations: &[(String, Relation)], query: &Query) {
 
     let engine = UEngine::new(EvalConfig::exact());
     let mut rng = ChaCha8Rng::seed_from_u64(0);
-    let succinct = engine.evaluate(&udb, query, &mut rng).expect("succinct engine");
+    let succinct = engine
+        .evaluate(&udb, query, &mut rng)
+        .expect("succinct engine");
     let reference = evaluate_naive(&pdb, query).expect("reference engine");
 
     // Same possible tuples, with a numeric tolerance because computed
@@ -40,7 +41,10 @@ fn assert_engines_agree(relations: &[(String, Relation)], query: &Query) {
     );
     for t in succinct_poss.iter() {
         let matched = reference_poss.iter().any(|u| tuples_close(t, u));
-        assert!(matched, "tuple {t} missing from the reference result for {query}");
+        assert!(
+            matched,
+            "tuple {t} missing from the reference result for {query}"
+        );
     }
 
     // Same per-tuple confidence (computed exactly on both sides).
@@ -69,10 +73,12 @@ fn tuples_close(a: &Tuple, b: &Tuple) -> bool {
     if a.arity() != b.arity() {
         return false;
     }
-    a.values().zip(b.values()).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
-        (Some(p), Some(q)) => (p - q).abs() < 1e-9,
-        _ => x == y,
-    })
+    a.values()
+        .zip(b.values())
+        .all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+            (Some(p), Some(q)) => (p - q).abs() < 1e-9,
+            _ => x == y,
+        })
 }
 
 #[test]
@@ -129,7 +135,9 @@ fn arb_query() -> impl Strategy<Value = Query> {
                 .clone()
                 .project(&["A"])
                 .natural_join(base.project(&["A", "B"])),
-            _ => base.project(&["B"]).union(Query::table("R").project(&["A"])),
+            _ => base
+                .project(&["B"])
+                .union(Query::table("R").project(&["A"])),
         };
         if with_conf {
             shaped.conf("P")

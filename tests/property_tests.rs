@@ -39,7 +39,10 @@ fn arb_udatabase() -> impl Strategy<Value = UDatabase> {
 fn arb_event() -> impl Strategy<Value = (DnfEvent, ProbabilitySpace)> {
     (
         proptest::collection::vec(5u32..95, 2..10),
-        proptest::collection::vec(proptest::collection::vec((0usize..10, 0usize..2), 1..4), 1..6),
+        proptest::collection::vec(
+            proptest::collection::vec((0usize..10, 0usize..2), 1..4),
+            1..6,
+        ),
     )
         .prop_map(|(probs, raw_terms)| {
             let mut space = ProbabilitySpace::new();
@@ -49,10 +52,8 @@ fn arb_event() -> impl Strategy<Value = (DnfEvent, ProbabilitySpace)> {
             let num_vars = probs.len();
             let mut terms = Vec::new();
             for pairs in raw_terms {
-                let pairs: Vec<(usize, usize)> = pairs
-                    .into_iter()
-                    .map(|(v, a)| (v % num_vars, a))
-                    .collect();
+                let pairs: Vec<(usize, usize)> =
+                    pairs.into_iter().map(|(v, a)| (v % num_vars, a)).collect();
                 if let Ok(a) = Assignment::new(pairs) {
                     terms.push(a);
                 }

@@ -1,0 +1,583 @@
+//! Offline-compatible subset of the `proptest` API.
+//!
+//! This workspace builds without registry access, so the slice of proptest
+//! the test suites use is vendored here: the [`Strategy`] trait with
+//! `prop_map`, range/tuple/`Just`/`any`/`prop_oneof!` strategies,
+//! `collection::vec`, and the `proptest!` / `prop_assert*` / `prop_assume!`
+//! macros.  Cases are generated from a deterministic per-test seed; failing
+//! inputs are reported but NOT shrunk (upstream proptest shrinks — keep
+//! generated inputs small so raw counterexamples stay readable).
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic case generation and test-case outcomes.
+
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// The RNG driving strategy sampling.
+    #[derive(Clone, Debug)]
+    pub struct TestRng(ChaCha8Rng);
+
+    impl TestRng {
+        /// Creates a generator for one test case.
+        pub fn from_seed_u64(seed: u64) -> Self {
+            TestRng(ChaCha8Rng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The input was rejected by `prop_assume!`; it does not count as a
+        /// failure.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+        /// An input rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// The outcome of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (the fields the workspace uses, all public so
+    /// functional-update syntax works as with upstream proptest).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the property to pass.
+        pub cases: u32,
+        /// Cap on `prop_assume!` rejections across the whole run.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// A stable per-test seed derived from the test's module path and name.
+    pub fn initial_seed(module: &str, name: &str) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        module.hash(&mut hasher);
+        name.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A way of generating values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Erases the strategy type (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The `prop_map` adapter.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among several strategies of the same value type.
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union; panics on an empty arm list.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy!((A / 0)(A / 0, B / 1)(A / 0, B / 1, C / 2)(
+        A / 0,
+        B / 1,
+        C / 2,
+        D / 3
+    )(A / 0, B / 1, C / 2, D / 3, E / 4)(
+        A / 0, B / 1, C / 2, D / 3, E / 4, F / 5
+    ));
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Generates one value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy behind `any::<T>()`.
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive-exclusive length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// A strategy generating vectors with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy for `BTreeMap`s; duplicate generated keys collapse, so maps
+    /// may come out smaller than the requested size (as with upstream).
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len)
+                .map(|_| (self.key.new_value(rng), self.value.new_value(rng)))
+                .collect()
+        }
+    }
+
+    /// A strategy generating `BTreeMap`s with entry counts in `size`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the test suites import with `use proptest::prelude::*`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines seeded property tests (see crate docs; no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:pat_param in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let __strategies = ( $( $strat, )* );
+            let mut __seed =
+                $crate::test_runner::initial_seed(module_path!(), stringify!($name));
+            let mut __accepted: u32 = 0;
+            let mut __rejected: u32 = 0;
+            while __accepted < __config.cases {
+                let mut __rng = $crate::test_runner::TestRng::from_seed_u64(__seed);
+                let __case_seed = __seed;
+                __seed = __seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let ( $($arg,)* ) =
+                    $crate::strategy::Strategy::new_value(&__strategies, &mut __rng);
+                let __result: $crate::test_runner::TestCaseResult =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    Ok(()) => __accepted += 1,
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                        __rejected += 1;
+                        if __rejected > __config.max_global_rejects {
+                            panic!(
+                                "proptest {}: too many prop_assume! rejections ({})",
+                                stringify!($name),
+                                __rejected
+                            );
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest {} failed at case {} (seed {}): {}",
+                            stringify!($name),
+                            __accepted,
+                            __case_seed,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", left, right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 0usize..10, (a, b) in (0i64..5, 5u32..95)) {
+            prop_assert!(x < 10);
+            prop_assert!((0..5).contains(&a));
+            prop_assert!((5..95).contains(&b));
+        }
+
+        #[test]
+        fn maps_vectors_and_oneof(
+            v in crate::collection::vec((0usize..4, 0usize..2), 1..6),
+            tag in prop_oneof![Just("lo"), Just("hi")],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(tag == "lo" || tag == "hi");
+            if flag {
+                prop_assume!(v.len() > 1);
+            }
+            let doubled = crate::collection::vec(0usize..3, 4);
+            let mut rng = crate::test_runner::TestRng::from_seed_u64(1);
+            prop_assert_eq!(crate::strategy::Strategy::new_value(&doubled, &mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn case_generation_is_deterministic_per_name() {
+        let seed = crate::test_runner::initial_seed(module_path!(), "some_property");
+        assert_eq!(
+            seed,
+            crate::test_runner::initial_seed(module_path!(), "some_property")
+        );
+        let mut a = crate::test_runner::TestRng::from_seed_u64(seed);
+        let mut b = crate::test_runner::TestRng::from_seed_u64(seed);
+        let strat = (0usize..100, 0i64..100);
+        for _ in 0..50 {
+            assert_eq!(
+                crate::strategy::Strategy::new_value(&strat, &mut a),
+                crate::strategy::Strategy::new_value(&strat, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline-compatible `ChaCha8Rng` (vendored; no registry access in this
+//! environment).
+//!
+//! Implements the real ChaCha stream cipher with 8 rounds as a deterministic
+//! RNG behind the same type name and trait surface as the `rand_chacha`
+//! crate.  The in-repo consumers rely on determinism under a fixed seed and
+//! on statistical quality, not on bit-compatibility with upstream streams.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A ChaCha stream with 8 rounds, used as a seedable deterministic RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + constants + counter/nonce words.
+    state: [u32; 16],
+    /// The current 16-word output block.
+    block: [u32; 16],
+    /// Next word to serve from `block`.
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // One double round: 4 column rounds + 4 diagonal rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (&w, &s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(s);
+        }
+        // 64-bit block counter in words 12/13.
+        let counter = (u64::from(self.state[13]) << 32 | u64::from(self.state[12])).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+
+    /// The word position within the current stream (diagnostics only).
+    pub fn get_word_pos(&self) -> u128 {
+        let counter = u64::from(self.state[13]) << 32 | u64::from(self.state[12]);
+        u128::from(counter) * 16 + self.index as u128
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..8 {
+            let mut b = [0u8; 4];
+            b.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+            state[4 + i] = u32::from_le_bytes(b);
+        }
+        // Counter and nonce start at zero.
+        let mut rng = ChaCha8Rng {
+            state,
+            block: [0u32; 16],
+            index: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        hi << 32 | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniformity_smoke_test() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut buckets = [0usize; 8];
+        for _ in 0..80_000 {
+            buckets[rng.gen_range(0..8usize)] += 1;
+        }
+        for &b in &buckets {
+            assert!((9_000..11_000).contains(&b), "bucket = {b}");
+        }
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..7 {
+            rng.next_u32();
+        }
+        let mut fork = rng.clone();
+        assert_eq!(rng.get_word_pos(), fork.get_word_pos());
+        for _ in 0..40 {
+            assert_eq!(rng.next_u64(), fork.next_u64());
+        }
+    }
+}

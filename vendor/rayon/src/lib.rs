@@ -1,0 +1,229 @@
+//! Offline-compatible subset of the `rayon` parallel-iterator API.
+//!
+//! This workspace builds without registry access, so the slice of rayon it
+//! needs — `into_par_iter()` / `par_iter()` followed by `map` and ordered
+//! `collect` — is vendored here on top of `std::thread::scope`.  Work is
+//! split into one contiguous chunk per worker thread; output order is always
+//! the input order, and closures run exactly once per item, so results are
+//! identical to the sequential path (rayon's own contract for `map`).
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The traits needed to call `par_iter`/`into_par_iter`/`map`/`collect`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of scoped threads, preserving order.
+fn par_apply<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_size = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("rayon-compat worker panicked"));
+        }
+        out
+    })
+}
+
+/// A parallel iterator: a staged computation that yields an ordered `Vec` of
+/// items when driven.
+pub trait ParallelIterator: Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Runs the staged computation and returns the items in order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the items, in input order, into any `FromIterator` target
+    /// (including `Result<Vec<_>, E>`, mirroring rayon).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (rayon's entry-point trait).
+pub trait IntoParallelIterator {
+    /// The item type produced.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` on by-reference collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type produced (a reference).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: ?Sized + 'a, T: Sync + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator<Item = &'a T>,
+{
+    type Item = &'a T;
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Base parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        VecParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = VecParIter<&'a T>;
+    fn into_par_iter(self) -> VecParIter<&'a T> {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// The `map` adapter: applies its closure across worker threads when driven.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, O, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    type Item = O;
+    fn drive(self) -> Vec<O> {
+        par_apply(self.base.drive(), self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = xs.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, xs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let xs = vec![1u64, 2, 3, 4, 5];
+        let sum: Vec<u64> = xs.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(sum, vec![2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_on_err() {
+        let xs: Vec<usize> = (0..100).collect();
+        let ok: Result<Vec<usize>, String> = xs
+            .clone()
+            .into_par_iter()
+            .map(Ok::<usize, String>)
+            .collect();
+        assert_eq!(ok.unwrap().len(), 100);
+        let err: Result<Vec<usize>, String> = xs
+            .into_par_iter()
+            .map(|x| {
+                if x == 50 {
+                    Err("boom".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn range_par_iter() {
+        let squares: Vec<usize> = (0..16usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[15], 225);
+    }
+}
