@@ -26,11 +26,13 @@
 //! same logical plan; they choose how each annotated node is computed.
 
 use crate::error::{AlgebraError, Result};
+use crate::parser::parse_query;
 use crate::predicate::Predicate;
 use crate::query::{ConfTerm, ProjItem, Query};
 use crate::validate::{output_schema, Catalog};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Index of a node inside a [`LogicalPlan`] (also its topological position:
 /// every node's inputs have strictly smaller ids).
@@ -282,6 +284,109 @@ impl fmt::Display for LogicalPlan {
             )?;
         }
         Ok(())
+    }
+}
+
+/// Upper bound on cached plan entries (normalized keys plus raw-text
+/// aliases); reaching it clears the cache, so unbounded query-text variety
+/// cannot grow a long-running server forever.
+const PLAN_CACHE_CAP: usize = 4096;
+
+/// A serving-grade cache of validated logical plans, keyed by *normalized*
+/// query text.
+///
+/// Normalization is the canonical `Display` form of the parsed query (the
+/// parser round-trips it), so `conf( project[A]( R ) )` and
+/// `conf(project[A](R))` share one entry.  The raw request text is also
+/// remembered as an alias, which makes the steady-state lookup for a repeated
+/// query a single hash probe — no re-parse, no re-validation, no re-lowering.
+///
+/// Plans are handed out as [`Arc`]s so callers (e.g. the engine's serving
+/// layer) can hold them across evaluations without cloning node vectors.
+#[derive(Clone, Debug, Default)]
+pub struct PlanCache {
+    /// Normalized text (and raw-text aliases) → shared plan.
+    plans: HashMap<String, (Arc<str>, Arc<LogicalPlan>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Returns the `(normalized key, plan)` for `text`, lowering and
+    /// validating against `catalog` on a miss.
+    ///
+    /// Validation runs only on misses, so the catalog must describe the same
+    /// database across calls; callers serving multiple databases should keep
+    /// one cache per catalog.
+    pub fn get_or_lower(
+        &mut self,
+        text: &str,
+        catalog: &Catalog,
+    ) -> Result<(Arc<str>, Arc<LogicalPlan>)> {
+        if let Some((key, plan)) = self.plans.get(text) {
+            self.hits += 1;
+            return Ok((key.clone(), plan.clone()));
+        }
+        // Bound the map before inserting anything new: machine-generated
+        // spellings (whitespace, drifting literals) must not grow a serving
+        // process forever.  Dropping everything is fine — steady-state
+        // entries are re-lowered on the next request.
+        if self.plans.len() >= PLAN_CACHE_CAP {
+            self.plans.clear();
+        }
+        let query = parse_query(text)?;
+        let normalized = query.to_string();
+        if let Some((key, plan)) = self.plans.get(&normalized) {
+            // Same query under different spelling: alias the raw text.
+            let entry = (key.clone(), plan.clone());
+            self.plans.insert(text.to_owned(), entry.clone());
+            self.hits += 1;
+            return Ok(entry);
+        }
+        self.misses += 1;
+        let plan = Arc::new(LogicalPlan::lower_validated(&query, catalog)?);
+        let key: Arc<str> = Arc::from(normalized.as_str());
+        let entry = (key.clone(), plan.clone());
+        self.plans.insert(normalized, entry.clone());
+        if text != key.as_ref() {
+            self.plans.insert(text.to_owned(), entry);
+        }
+        Ok((key, plan))
+    }
+
+    /// Number of distinct cached plans (aliases for alternative spellings do
+    /// not count).
+    pub fn len(&self) -> usize {
+        let mut distinct: Vec<*const LogicalPlan> =
+            self.plans.values().map(|(_, p)| Arc::as_ptr(p)).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        distinct.len()
+    }
+
+    /// True if no plan has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of lookups that had to lower a fresh plan.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Drops every cached plan (e.g. after the catalog changed).
+    pub fn clear(&mut self) {
+        self.plans.clear();
     }
 }
 
@@ -539,6 +644,39 @@ mod tests {
         for name in ["scan", "repair-key", "project", "conf"] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn plan_cache_normalizes_and_counts() {
+        let mut catalog = Catalog::new();
+        catalog.add("R", pdb::Schema::new(["A", "W"]).unwrap(), true);
+        let mut cache = PlanCache::new();
+        assert!(cache.is_empty());
+        let (k1, p1) = cache
+            .get_or_lower("conf(project[A](repairkey[ @ W](R)))", &catalog)
+            .unwrap();
+        assert_eq!(cache.misses(), 1);
+        // Exact repeat: pure hash hit.
+        let (k2, p2) = cache
+            .get_or_lower("conf(project[A](repairkey[ @ W](R)))", &catalog)
+            .unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(k1, k2);
+        // Different spelling of the same query: normalization aliases it.
+        let spaced = "conf( project[A]( repairkey[ @ W]( R ) ) )";
+        let (_, p3) = cache.get_or_lower(spaced, &catalog).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.len(), 1);
+        // A different query is a separate entry.
+        cache.get_or_lower("poss(R)", &catalog).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Invalid queries are not cached.
+        assert!(cache.get_or_lower("project[Missing](R)", &catalog).is_err());
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

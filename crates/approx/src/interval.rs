@@ -160,6 +160,14 @@ impl Orthotope {
         Ok(Orthotope { intervals })
     }
 
+    /// Builds an orthotope from explicit per-dimension intervals (e.g. exact
+    /// lower/upper confidence bounds rather than a symmetric neighbourhood).
+    pub fn from_intervals(intervals: impl IntoIterator<Item = Interval>) -> Orthotope {
+        Orthotope {
+            intervals: intervals.into_iter().collect(),
+        }
+    }
+
     /// Dimension of the orthotope.
     pub fn dimension(&self) -> usize {
         self.intervals.len()

@@ -69,6 +69,7 @@ fn bench_adaptive_query(c: &mut Criterion) {
         let engine = UEngine::new(EvalConfig {
             approx_select: ApproxSelectMode::FixedIterations(4096),
             confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
         });
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         b.iter(|| engine.evaluate(&db, &query, &mut rng).unwrap());

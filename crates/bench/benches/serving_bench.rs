@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the serving layer and the sharded executor.
+//!
+//! Two groups:
+//!
+//! * `serving_repeated` — the same query answered over and over:
+//!   `cold_path` re-parses, re-validates, re-lowers and re-executes per
+//!   request (the pre-serving call pattern), `warm_cache` answers from a
+//!   prepared [`ServingEngine`] snapshot, paying estimation only.
+//! * `sharded_join` — the large random-DB join workload executed with
+//!   1/2/4/8 shards; chunked execution probes one shared key index per
+//!   chunk and merges set-semantics results, so outputs are bit-identical
+//!   while wall-clock drops.
+
+use algebra::LogicalPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{catalog_of, EvalConfig, ServingEngine, UEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use workloads::TupleIndependentDb;
+
+const EXACT_CONF_QUERY: &str = "conf(project[A](T))";
+const FPRAS_CONF_QUERY: &str = "aconf[0.2, 0.1](project[A](T))";
+
+fn serving_db() -> urel::UDatabase {
+    TupleIndependentDb {
+        num_tuples: 400,
+        domain_size: 8,
+        tuple_probability: None,
+        seed: 11,
+    }
+    .database()
+}
+
+fn bench_repeated_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_repeated");
+    group.sample_size(20);
+    let db = serving_db();
+    let catalog = catalog_of(&db).unwrap();
+
+    for (label, text) in [
+        ("exact_conf", EXACT_CONF_QUERY),
+        ("fpras_conf", FPRAS_CONF_QUERY),
+    ] {
+        group.bench_function(BenchmarkId::new("cold_path", label), |b| {
+            let engine = UEngine::new(EvalConfig::default());
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            b.iter(|| {
+                // The pre-serving request cost: parse, validate, lower,
+                // execute — every time.
+                let query = algebra::parse_query(text).unwrap();
+                let plan = LogicalPlan::lower_validated(&query, &catalog).unwrap();
+                engine.evaluate_plan(&db, &plan, &mut rng).unwrap()
+            });
+        });
+        group.bench_function(BenchmarkId::new("warm_cache", label), |b| {
+            let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            serving.evaluate(text, &mut rng).unwrap(); // prepare
+            b.iter(|| serving.evaluate(text, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sharded_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_join");
+    group.sample_size(10);
+    let db = TupleIndependentDb {
+        num_tuples: 600,
+        domain_size: 40,
+        tuple_probability: Some(0.4),
+        seed: 5,
+    }
+    .database();
+    let query =
+        algebra::parse_query("join(project[A, B](T), rename[B -> C](project[A, B](T)))").unwrap();
+    let catalog = catalog_of(&db).unwrap();
+    let plan = LogicalPlan::lower_validated(&query, &catalog).unwrap();
+
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            let engine = UEngine::new(EvalConfig::default().with_shards(shards));
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            b.iter(|| engine.evaluate_plan(&db, &plan, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repeated_queries, bench_sharded_join);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+//! Serving-performance measurement: emits `BENCH_serving.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serving              # full sizes, writes BENCH_serving.json
+//! cargo run --release -p bench --bin serving -- --smoke   # CI smoke: small sizes, prints only
+//! cargo run --release -p bench --bin serving -- --out p   # custom output path
+//! ```
+//!
+//! Two experiments, mirroring the `serving_bench` criterion groups:
+//!
+//! 1. **Repeated-query throughput** — median per-request wall time of the
+//!    cold path (parse + validate + lower + execute, per request) vs the
+//!    warm serving cache (prepared snapshot, estimation only).
+//! 2. **Sharded execution** — the large random-DB join workload at
+//!    1/2/4/8 shards, single-batch vs chunked execution.
+
+use algebra::LogicalPlan;
+use engine::{catalog_of, EvalConfig, ServingEngine, UEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use workloads::TupleIndependentDb;
+
+/// Median wall-clock of `runs` invocations, in microseconds.
+fn median_micros(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct RepeatedQueryResult {
+    label: &'static str,
+    query: &'static str,
+    cold_us: f64,
+    warm_us: f64,
+}
+
+fn repeated_query_experiment(num_tuples: usize, runs: usize) -> Vec<RepeatedQueryResult> {
+    let db = TupleIndependentDb {
+        num_tuples,
+        domain_size: 8,
+        tuple_probability: None,
+        seed: 11,
+    }
+    .database();
+    let catalog = catalog_of(&db).expect("catalog");
+
+    let queries: [(&'static str, &'static str); 2] = [
+        ("exact_conf", "conf(project[A](T))"),
+        ("fpras_conf", "aconf[0.2, 0.1](project[A](T))"),
+    ];
+    let mut results = Vec::new();
+    for (label, text) in queries {
+        let engine = UEngine::new(EvalConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cold_us = median_micros(runs, || {
+            let query = algebra::parse_query(text).expect("query parses");
+            let plan = LogicalPlan::lower_validated(&query, &catalog).expect("plan lowers");
+            engine
+                .evaluate_plan(&db, &plan, &mut rng)
+                .expect("evaluates");
+        });
+
+        let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        serving.evaluate(text, &mut rng).expect("prepare");
+        let warm_us = median_micros(runs, || {
+            serving.evaluate(text, &mut rng).expect("warm evaluation");
+        });
+
+        results.push(RepeatedQueryResult {
+            label,
+            query: text,
+            cold_us,
+            warm_us,
+        });
+    }
+    results
+}
+
+struct ShardResult {
+    shards: usize,
+    wall_us: f64,
+}
+
+fn sharding_experiment(num_tuples: usize, runs: usize) -> Vec<ShardResult> {
+    let db = TupleIndependentDb {
+        num_tuples,
+        domain_size: 150,
+        tuple_probability: Some(0.4),
+        seed: 5,
+    }
+    .database();
+    let query = algebra::parse_query("join(project[A, B](T), rename[B -> C](project[A, B](T)))")
+        .expect("join query parses");
+    let catalog = catalog_of(&db).expect("catalog");
+    let plan = LogicalPlan::lower_validated(&query, &catalog).expect("plan lowers");
+
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|shards| {
+            let engine = UEngine::new(EvalConfig::default().with_shards(shards));
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            let wall_us = median_micros(runs, || {
+                engine
+                    .evaluate_plan(&db, &plan, &mut rng)
+                    .expect("evaluates");
+            });
+            ShardResult { shards, wall_us }
+        })
+        .collect()
+}
+
+fn render_json(smoke: bool, repeated: &[RepeatedQueryResult], shards: &[ShardResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p bench --bin serving\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"host_threads\": {},", rayon::current_num_threads());
+    let _ = writeln!(out, "  \"repeated_query\": [");
+    for (i, r) in repeated.iter().enumerate() {
+        let comma = if i + 1 < repeated.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"label\": \"{}\", \"query\": \"{}\", \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"speedup\": {:.2}}}{comma}",
+            r.label,
+            r.query,
+            r.cold_us,
+            r.warm_us,
+            r.cold_us / r.warm_us.max(1e-9)
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let single = shards
+        .iter()
+        .find(|s| s.shards == 1)
+        .map(|s| s.wall_us)
+        .unwrap_or(f64::NAN);
+    let four = shards
+        .iter()
+        .find(|s| s.shards == 4)
+        .map(|s| s.wall_us)
+        .unwrap_or(f64::NAN);
+    let _ = writeln!(out, "  \"sharded_join\": {{");
+    let _ = writeln!(
+        out,
+        "    \"workload\": \"random-db self-join on A (tuple-independent T, domain 150)\","
+    );
+    let _ = writeln!(out, "    \"results\": [");
+    for (i, s) in shards.iter().enumerate() {
+        let comma = if i + 1 < shards.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "      {{\"shards\": {}, \"wall_us\": {:.1}}}{comma}",
+            s.shards, s.wall_us
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(
+        out,
+        "    \"speedup_4_shards_vs_single_batch\": {:.2}",
+        single / four.max(1e-9)
+    );
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (serving_tuples, join_tuples, runs) = if smoke { (80, 200, 5) } else { (800, 1500, 11) };
+    let repeated = repeated_query_experiment(serving_tuples, runs);
+    let shards = sharding_experiment(join_tuples, runs);
+    let json = render_json(smoke, &repeated, &shards);
+    print!("{json}");
+
+    for r in &repeated {
+        eprintln!(
+            "repeated {}: cold {:.0} us, warm {:.0} us ({:.1}x)",
+            r.label,
+            r.cold_us,
+            r.warm_us,
+            r.cold_us / r.warm_us.max(1e-9)
+        );
+    }
+    if let (Some(single), Some(four)) = (
+        shards.iter().find(|s| s.shards == 1),
+        shards.iter().find(|s| s.shards == 4),
+    ) {
+        eprintln!(
+            "sharded join: 1 shard {:.0} us, 4 shards {:.0} us ({:.1}x)",
+            single.wall_us,
+            four.wall_us,
+            single.wall_us / four.wall_us.max(1e-9)
+        );
+    }
+
+    if !smoke {
+        let path = out_path.unwrap_or_else(|| "BENCH_serving.json".to_string());
+        std::fs::write(&path, &json).expect("write BENCH_serving.json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -566,6 +566,7 @@ pub fn e12_proposition_6_6() -> Report {
         let engine = UEngine::new(EvalConfig {
             approx_select: ApproxSelectMode::FixedIterations(l),
             confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
         });
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let out = engine.evaluate(&db, &query, &mut rng).expect("approximate");
@@ -636,6 +637,7 @@ pub fn e13_theorem_6_7() -> Report {
     let engine = UEngine::new(EvalConfig {
         approx_select: ApproxSelectMode::FixedIterations(out.l0),
         confidence: ConfidenceMode::Exact,
+        ..EvalConfig::default()
     });
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let start = Instant::now();

@@ -1,0 +1,144 @@
+//! Cheap deterministic confidence bounds for DNF events.
+//!
+//! Both bounds are exact consequences of elementary probability and cost one
+//! pass over the terms (each term's probability is the product of its literal
+//! marginals, since variables are independent):
+//!
+//! * **lower**: `P(⋁ tᵢ) ≥ max_i P(tᵢ)` — the event contains every term;
+//! * **upper**: `P(⋁ tᵢ) ≤ min(1, Σ_i P(tᵢ))` — the union bound.
+//!
+//! The engine's σ̂ operators use the resulting `[lower, upper]` box to decide
+//! candidates whose predicate is constant over the box *before any sampling*
+//! (the adaptive driver's candidate pruning): a decision made from these
+//! bounds is exact, so it carries error 0 and by construction agrees with
+//! what exact confidence computation would decide.
+
+use crate::error::Result;
+use crate::event::{DnfEvent, ProbabilitySpace};
+
+/// Exact lower/upper bounds on an event's probability.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EventBounds {
+    /// `max_i P(tᵢ)` (0 for the impossible event).
+    pub lower: f64,
+    /// `min(1, Σ_i P(tᵢ))` (1 for certain events).
+    pub upper: f64,
+}
+
+impl EventBounds {
+    /// True if the bounds pin the probability exactly (within `1e-12`).
+    pub fn is_tight(&self) -> bool {
+        (self.upper - self.lower).abs() < 1e-12
+    }
+
+    /// Width of the enclosure.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Computes the marginal-product / union bounds for one event.
+pub fn event_bounds(event: &DnfEvent, space: &ProbabilitySpace) -> Result<EventBounds> {
+    if event.is_never() {
+        return Ok(EventBounds {
+            lower: 0.0,
+            upper: 0.0,
+        });
+    }
+    if event.is_certain() {
+        return Ok(EventBounds {
+            lower: 1.0,
+            upper: 1.0,
+        });
+    }
+    let mut sum = 0.0f64;
+    let mut max = 0.0f64;
+    for term in event.terms() {
+        let w = term.weight(space)?;
+        sum += w;
+        max = max.max(w);
+    }
+    let upper = sum.min(1.0);
+    // Floating-point noise in the sum must never invert the enclosure.
+    Ok(EventBounds {
+        lower: max.min(upper),
+        upper,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Assignment;
+    use crate::exact;
+
+    fn space3() -> (ProbabilitySpace, Vec<usize>) {
+        let mut s = ProbabilitySpace::new();
+        let vars = vec![
+            s.add_bool_variable(0.4).unwrap(),
+            s.add_bool_variable(0.3).unwrap(),
+            s.add_bool_variable(0.2).unwrap(),
+        ];
+        (s, vars)
+    }
+
+    #[test]
+    fn bounds_enclose_the_exact_probability() {
+        let (s, v) = space3();
+        let events = [
+            DnfEvent::new([Assignment::new([(v[0], 0)]).unwrap()]),
+            DnfEvent::new([
+                Assignment::new([(v[0], 0)]).unwrap(),
+                Assignment::new([(v[1], 0), (v[2], 0)]).unwrap(),
+            ]),
+            DnfEvent::new([
+                Assignment::new([(v[0], 0)]).unwrap(),
+                Assignment::new([(v[0], 1)]).unwrap(),
+            ]),
+        ];
+        for event in &events {
+            let p = exact::probability(event, &s).unwrap();
+            let b = event_bounds(event, &s).unwrap();
+            assert!(
+                b.lower <= p + 1e-12 && p <= b.upper + 1e-12,
+                "exact {p} outside [{}, {}]",
+                b.lower,
+                b.upper
+            );
+            assert!(b.width() >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn single_term_bounds_are_tight() {
+        let (s, v) = space3();
+        let event = DnfEvent::new([Assignment::new([(v[1], 0), (v[2], 1)]).unwrap()]);
+        let b = event_bounds(&event, &s).unwrap();
+        assert!(b.is_tight());
+        let p = exact::probability(&event, &s).unwrap();
+        assert!((b.lower - p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_events_are_pinned() {
+        let (s, _) = space3();
+        let never = event_bounds(&DnfEvent::never(), &s).unwrap();
+        assert_eq!((never.lower, never.upper), (0.0, 0.0));
+        let certain = event_bounds(&DnfEvent::new([Assignment::always()]), &s).unwrap();
+        assert_eq!((certain.lower, certain.upper), (1.0, 1.0));
+    }
+
+    #[test]
+    fn union_bound_caps_at_one() {
+        let (s, v) = space3();
+        // Complementary terms on the same variable: probability is 1.
+        let event = DnfEvent::new([
+            Assignment::new([(v[0], 0)]).unwrap(),
+            Assignment::new([(v[0], 1)]).unwrap(),
+            Assignment::new([(v[1], 0)]).unwrap(),
+        ]);
+        let b = event_bounds(&event, &s).unwrap();
+        assert_eq!(b.upper, 1.0);
+        assert!(b.lower <= 1.0);
+    }
+}

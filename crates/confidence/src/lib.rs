@@ -16,6 +16,9 @@
 //! * [`approximate_confidence`] — the (ε, δ)-FPRAS of Proposition 4.2.
 //! * [`IncrementalEstimator`] — anytime estimation, the building block of the
 //!   Figure 3 algorithm in the `approx` crate.
+//! * [`bounds`](crate::bounds) — exact marginal-product / union bounds per
+//!   event, the sampling-free candidate-pruning primitive of the engine's σ̂
+//!   operators.
 //! * [`estimator`] — the unified [`ConfidenceEstimator`] layer: exact, FPRAS
 //!   and fixed-batch incremental estimation behind one trait that evaluates
 //!   *batches* of events in parallel (rayon), deterministically under a
@@ -40,6 +43,7 @@
 #![forbid(unsafe_code)]
 
 mod adaptive;
+pub mod bounds;
 pub mod chernoff;
 mod error;
 pub mod estimator;
@@ -49,6 +53,7 @@ mod fpras;
 mod karp_luby;
 
 pub use adaptive::IncrementalEstimator;
+pub use bounds::{event_bounds, EventBounds};
 pub use error::{ConfidenceError, Result};
 pub use estimator::{
     event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, EventEstimate, ExactEstimator,

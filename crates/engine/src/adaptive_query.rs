@@ -83,6 +83,7 @@ pub fn evaluate_adaptive<R: Rng + ?Sized>(
         let engine = UEngine::new(EvalConfig {
             approx_select: ApproxSelectMode::FixedIterations(l),
             confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
         });
         let output = engine.evaluate_plan(database, &plan, rng)?;
         let max_error = output.result.max_error();

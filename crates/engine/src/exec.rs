@@ -17,6 +17,7 @@
 
 use crate::error::Result;
 use crate::physical::{ExecContext, PhysicalPlan};
+use crate::space::SpaceCache;
 use algebra::{LogicalPlan, Query};
 use pdb::Tuple;
 use rand::{Rng, RngCore};
@@ -61,6 +62,24 @@ pub struct EvalConfig {
     pub approx_select: ApproxSelectMode,
     /// Strategy for `conf` operators.
     pub confidence: ConfidenceMode,
+    /// Number of chunks large operator inputs are split into by the sharded
+    /// executor (≤ 1 keeps every operator single-batch).  Results are
+    /// bit-identical for any value; this is purely a performance knob.
+    pub shards: usize,
+    /// Let Monte Carlo `σ̂` modes decide candidates whose exact confidence
+    /// bounds already determine the predicate, skipping their sampling
+    /// entirely.  Pruned decisions are exact (error 0) and the remaining
+    /// candidates keep their per-candidate sub-RNGs, so disabling this only
+    /// spends more samples — it cannot change an unpruned decision.
+    pub prune_approx_select: bool,
+}
+
+/// Default shard count: one chunk per worker thread, capped (chunking has
+/// per-chunk overhead and the join index is shared anyway), but never below
+/// 2 — the chunked join's shared key index wins even single-threaded, so the
+/// default configuration should get it.
+fn default_shards() -> usize {
+    rayon::current_num_threads().clamp(2, 8)
 }
 
 impl Default for EvalConfig {
@@ -68,6 +87,8 @@ impl Default for EvalConfig {
         EvalConfig {
             approx_select: ApproxSelectMode::Adaptive,
             confidence: ConfidenceMode::Exact,
+            shards: default_shards(),
+            prune_approx_select: true,
         }
     }
 }
@@ -78,7 +99,20 @@ impl EvalConfig {
         EvalConfig {
             approx_select: ApproxSelectMode::Exact,
             confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
         }
+    }
+
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Enables or disables σ̂ candidate pruning.
+    pub fn with_pruning(mut self, prune: bool) -> Self {
+        self.prune_approx_select = prune;
+        self
     }
 }
 
@@ -95,6 +129,9 @@ pub struct EvalStats {
     pub approx_select_operators: u64,
     /// Number of candidate tuples decided by `σ̂` operators.
     pub approx_select_decisions: u64,
+    /// Number of σ̂ candidates decided by exact confidence bounds before any
+    /// sampling (a subset of `approx_select_decisions`).
+    pub approx_select_pruned: u64,
 }
 
 /// One evaluated (sub)query result.
@@ -145,11 +182,6 @@ impl UEngine {
         UEngine { config }
     }
 
-    /// The engine's configuration.
-    pub fn config(&self) -> &EvalConfig {
-        &self.config
-    }
-
     /// Evaluates a UA query: lowers it into a validated logical plan (the
     /// database supplies the catalog), then executes the physical pipeline.
     pub fn evaluate<R: Rng + ?Sized>(
@@ -172,6 +204,30 @@ impl UEngine {
         plan: &LogicalPlan,
         rng: &mut R,
     ) -> Result<EvalOutput> {
+        self.run_plan(database, plan, rng, false)
+    }
+
+    /// Evaluates a plan on the single-threaded, single-batch reference
+    /// schedule ([`PhysicalPlan::execute_sequential`]).  The sharded
+    /// executor used by [`evaluate_plan`](UEngine::evaluate_plan) is
+    /// property-tested to produce bit-identical results; this entry point is
+    /// the differential baseline.
+    pub fn evaluate_plan_sequential<R: Rng + ?Sized>(
+        &self,
+        database: &UDatabase,
+        plan: &LogicalPlan,
+        rng: &mut R,
+    ) -> Result<EvalOutput> {
+        self.run_plan(database, plan, rng, true)
+    }
+
+    fn run_plan<R: Rng + ?Sized>(
+        &self,
+        database: &UDatabase,
+        plan: &LogicalPlan,
+        rng: &mut R,
+        sequential: bool,
+    ) -> Result<EvalOutput> {
         let physical = PhysicalPlan::lower(plan, self.config)?;
         // `&mut R` implements `RngCore` and is `Sized`, so it coerces to the
         // trait object the operator pipeline consumes.
@@ -183,8 +239,13 @@ impl UEngine {
             stats: EvalStats::default(),
             var_counter: 0,
             rng: dyn_rng,
+            spaces: SpaceCache::new(),
         };
-        let result = physical.execute(&mut ctx)?;
+        let result = if sequential {
+            physical.execute_sequential(&mut ctx)?
+        } else {
+            physical.execute(&mut ctx)?
+        };
         Ok(EvalOutput {
             result,
             database: ctx.database,

@@ -49,6 +49,7 @@ pub mod ops;
 pub mod physical;
 mod predicate_compile;
 pub mod provenance;
+pub mod serving;
 mod space;
 
 pub use adaptive_query::{active_domain_size, catalog_of, evaluate_adaptive, AdaptiveOutput};
@@ -58,6 +59,7 @@ pub use exec::{
     ApproxSelectMode, ConfidenceMode, EvalConfig, EvalOutput, EvalStats, EvaluatedRelation, UEngine,
 };
 pub use naive_engine::{evaluate_naive, evaluate_naive_plan, NaiveOutput};
-pub use physical::{ExecContext, PhysicalOperator, PhysicalPlan};
+pub use physical::{ExecContext, ExecSnapshot, OpClass, PhysicalOperator, PhysicalPlan, PureCtx};
 pub use predicate_compile::compile_predicate;
-pub use space::CompiledSpace;
+pub use serving::{ServingEngine, ServingStats};
+pub use space::{CompiledSpace, RelationEvents, SpaceCache};

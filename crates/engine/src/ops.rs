@@ -8,6 +8,17 @@ use algebra::{Predicate, ProjItem};
 use pdb::{Schema, Tuple, Value};
 use urel::URelation;
 
+/// Merges per-chunk operator outputs; set semantics make the merged relation
+/// identical to the single-batch result, whatever the chunking.
+pub(crate) fn merge_chunks(outs: Vec<URelation>) -> URelation {
+    let mut it = outs.into_iter();
+    let mut merged = it.next().expect("partition yields at least one chunk");
+    for o in it {
+        merged.absorb(o);
+    }
+    merged
+}
+
 /// `σ_φ`: keeps rows whose data tuple satisfies the predicate.
 pub fn select(rel: &URelation, predicate: &Predicate) -> Result<URelation> {
     predicate.check(rel.schema())?;
@@ -121,6 +132,79 @@ pub fn natural_join(left: &URelation, right: &URelation) -> Result<URelation> {
         }
     }
     Ok(out)
+}
+
+/// Chunked `⋈`: identical output to [`natural_join`], organised for sharded
+/// execution — the right side is indexed by join key *once*, the left side is
+/// split into `shards` partitions, and each partition probes the shared
+/// index (concurrently, when worker threads are available).  Because rows
+/// live in sets, merging the per-chunk outputs reproduces the single-batch
+/// result bit for bit; the index also turns the per-row cost from a full
+/// right-side scan into a key lookup, so the chunked join wins even
+/// single-threaded.
+pub fn natural_join_sharded(
+    left: &URelation,
+    right: &URelation,
+    shards: usize,
+) -> Result<URelation> {
+    use rayon::prelude::*;
+    use std::collections::HashMap;
+
+    let shared: Vec<String> = left
+        .schema()
+        .attrs()
+        .iter()
+        .filter(|a| right.schema().contains(a))
+        .cloned()
+        .collect();
+    let left_idx = left
+        .schema()
+        .indices_of(&shared)
+        .map_err(EngineError::Pdb)?;
+    let right_idx = right
+        .schema()
+        .indices_of(&shared)
+        .map_err(EngineError::Pdb)?;
+    let right_rest: Vec<String> = right.schema().minus(&shared);
+    let right_rest_idx = right
+        .schema()
+        .indices_of(&right_rest)
+        .map_err(EngineError::Pdb)?;
+
+    let mut names: Vec<String> = left.schema().attrs().to_vec();
+    names.extend(right_rest.iter().cloned());
+    let out_schema = Schema::new(names).map_err(EngineError::Pdb)?;
+
+    // One shared key index over the right side; probed read-only by every
+    // chunk.  The projected rest-tuples are precomputed alongside.
+    let mut index: HashMap<Tuple, Vec<(&urel::Condition, Tuple)>> = HashMap::new();
+    for r in right.iter() {
+        index
+            .entry(r.tuple.project(&right_idx))
+            .or_default()
+            .push((&r.condition, r.tuple.project(&right_rest_idx)));
+    }
+
+    let chunks = left.partition(shards.max(1));
+    let outs: Vec<URelation> = chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut out = URelation::empty(out_schema.clone());
+            for l in chunk.iter() {
+                let Some(matches) = index.get(&l.tuple.project(&left_idx)) else {
+                    continue;
+                };
+                for &(r_cond, ref r_rest) in matches {
+                    let Some(cond) = l.condition.merge(r_cond) else {
+                        continue;
+                    };
+                    out.insert(cond, l.tuple.concat(r_rest))?;
+                }
+            }
+            Ok(out)
+        })
+        .collect::<Result<_>>()?;
+    Ok(merge_chunks(outs))
 }
 
 /// `∪`: union of the row sets (schemas must have equal arity; the left
@@ -270,6 +354,33 @@ mod tests {
         for row in j.iter() {
             assert_eq!(row.condition.len(), 1);
         }
+    }
+
+    #[test]
+    fn sharded_join_matches_reference_for_every_chunk_count() {
+        // A larger uncertain relation joined with a complete lookup table.
+        let mut readings = URelation::empty(schema!["Sensor", "Temp"]);
+        for i in 0..50 {
+            readings
+                .insert(cond("v", &format!("a{i}")), tuple![i % 7, 10 + (i % 13)])
+                .unwrap();
+        }
+        let lookup = URelation::from_complete(&relation![schema!["Sensor", "Zone"];
+            [0, "north"], [1, "north"], [2, "south"], [3, "south"], [4, "east"], [5, "east"]]);
+        let reference = natural_join(&readings, &lookup).unwrap();
+        for shards in [1usize, 2, 3, 4, 8, 64] {
+            let sharded = natural_join_sharded(&readings, &lookup, shards).unwrap();
+            assert_eq!(sharded, reference, "shards = {shards}");
+        }
+        // Self-join with conflicting conditions drops rows identically.
+        let reference = natural_join(&ur(), &ur()).unwrap();
+        assert_eq!(natural_join_sharded(&ur(), &ur(), 4).unwrap(), reference);
+        // Empty sides.
+        let empty = URelation::empty(schema!["Sensor", "Temp"]);
+        assert_eq!(
+            natural_join_sharded(&empty, &lookup, 4).unwrap(),
+            natural_join(&empty, &lookup).unwrap()
+        );
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! against the engine's [`EvalConfig`] — `conf` becomes exact model counting
 //! or the Karp–Luby FPRAS, `σ̂` becomes exact decisions, the adaptive
 //! Figure 3 algorithm, or a fixed iteration budget.  [`PhysicalPlan::execute`]
-//! then runs the nodes in topological order over value slots, moving each
-//! intermediate result to its last consumer instead of cloning.
+//! then schedules the nodes over value slots, moving each intermediate
+//! result to its last consumer instead of cloning.
 //!
 //! Operator → paper section map:
 //!
@@ -20,23 +20,50 @@
 //! | [`ApproxSelectOp`]                         | §5 Figure 3, §6 error propagation (Lemma 6.4) |
 //!
 //! The confidence-bearing operators (`conf`, `cert`, `σ̂`) are *batched*:
-//! they collect the DNF lineages of all tuples via
-//! [`URelation::tuple_events`] and hand the whole batch to the
+//! they collect the DNF lineages of all tuples via the memoised
+//! [`CompiledSpace::relation_events`] batch and hand it to the
 //! [`ConfidenceEstimator`] layer, which estimates every event in parallel
 //! with a deterministic per-event sub-RNG.  Adaptive `σ̂` decisions are
 //! likewise run concurrently across candidate tuples, one seeded RNG per
 //! candidate, so results are identical for a fixed seed no matter how many
 //! threads run.
+//!
+//! Execution itself is a **sharded slot executor**:
+//!
+//! * every *pure* operator (the per-world relational algebra, which touches
+//!   neither the RNG nor the database) runs as soon as its inputs are ready,
+//!   and all ready pure operators of a wave run concurrently — independent
+//!   DAG branches overlap;
+//! * large inputs are split into partitioned chunks
+//!   ([`URelation::partition`]) and the per-chunk results merged — a
+//!   set-semantics merge, so chunked output is identical to single-batch
+//!   output; the chunked join additionally probes one shared key index
+//!   instead of rescanning the right side per row;
+//! * *stateful* operators (repair-key, the confidence operators) execute
+//!   sequentially in node-id order, which keeps every RNG draw and variable
+//!   name identical to the sequential reference schedule — results are
+//!   bit-identical for a fixed seed regardless of shard count or thread
+//!   count ([`PhysicalPlan::execute_sequential`] is the property-tested
+//!   reference).
+//!
+//! [`PhysicalPlan::execute_capturing`] additionally snapshots the slot state
+//! at the *sampling frontier* — just before the first operator that consumes
+//! randomness — and [`PhysicalPlan::resume`] restarts from such a snapshot,
+//! which is how the serving layer makes the steady-state cost of a repeated
+//! query estimation-only.
 
 use crate::error::{EngineError, Result};
 use crate::exec::{ApproxSelectMode, ConfidenceMode, EvalConfig, EvalStats, EvaluatedRelation};
 use crate::ops;
 use crate::predicate_compile::compile_predicate;
-use crate::space::CompiledSpace;
+use crate::space::{CompiledSpace, SpaceCache};
 use algebra::{Accuracy, ConfTerm, LogicalOp, LogicalPlan, Predicate, ProjItem};
-use approx::{approximate_predicate, ApproxPredicate, ApproximationParams};
+use approx::{
+    approximate_predicate, evaluate_over_box, ApproxPredicate, ApproximationParams, BoxVerdict,
+    Interval, Orthotope,
+};
 use confidence::{
-    chernoff, event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, DnfEvent,
+    chernoff, event_bounds, event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, DnfEvent,
     ExactEstimator, FprasEstimator, FprasParams, IncrementalEstimator,
 };
 use pdb::{Schema, Tuple, Value};
@@ -47,6 +74,9 @@ use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
 use urel::{Condition, UDatabase, URelation, Var};
+
+/// Minimum number of input rows before an operator is worth chunking.
+const SHARD_MIN_ROWS: usize = 128;
 
 /// Mutable evaluation state threaded through the pipeline.
 pub struct ExecContext<'a> {
@@ -63,6 +93,36 @@ pub struct ExecContext<'a> {
     /// derive per-event/per-candidate sub-RNGs, so parallel estimation stays
     /// deterministic.
     pub rng: &'a mut dyn RngCore,
+    /// Memoised W-table compilation (and, inside each compiled space, the
+    /// per-relation lineage batches) shared by every confidence-bearing
+    /// operator of this evaluation.
+    pub spaces: SpaceCache,
+}
+
+/// Read-only state available to pure operators, which the slot executor may
+/// run concurrently.
+pub struct PureCtx<'a> {
+    /// The database (base relations; pure operators never mutate it).
+    pub database: &'a UDatabase,
+    /// Number of chunks large inputs are split into (≤ 1 disables chunking).
+    pub shards: usize,
+}
+
+/// How a physical operator interacts with shared evaluation state; drives
+/// the slot executor's schedule and the serving layer's snapshot point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpClass {
+    /// Reads only its inputs and base relations: safe to run concurrently
+    /// with other pure operators.
+    Pure,
+    /// Mutates the evaluation context (introduces variables, accumulates
+    /// statistics) but consumes no randomness: deterministic, executed in
+    /// node-id order.
+    Stateful,
+    /// Stateful *and* draws master seeds from the context RNG (Monte Carlo
+    /// estimation): everything at or above the first such node must re-run
+    /// per evaluation.
+    Sampling,
 }
 
 /// One operator of a physical plan.
@@ -70,12 +130,37 @@ pub trait PhysicalOperator: fmt::Debug {
     /// Operator mnemonic for plan rendering.
     fn name(&self) -> &'static str;
 
+    /// The operator's scheduling class.
+    fn class(&self) -> OpClass;
+
+    /// Executes a pure operator on its (already evaluated) inputs; pure
+    /// operators implement this and inherit [`execute`]
+    /// (`PhysicalOperator::execute`), which delegates here.
+    fn execute_pure(
+        &self,
+        inputs: Vec<EvaluatedRelation>,
+        pctx: &PureCtx<'_>,
+    ) -> Result<EvaluatedRelation> {
+        let _ = (inputs, pctx);
+        Err(EngineError::Invariant(format!(
+            "operator {} is {:?} and must override execute",
+            self.name(),
+            self.class()
+        )))
+    }
+
     /// Executes the operator on its (already evaluated) inputs.
     fn execute(
         &self,
         inputs: Vec<EvaluatedRelation>,
         ctx: &mut ExecContext<'_>,
-    ) -> Result<EvaluatedRelation>;
+    ) -> Result<EvaluatedRelation> {
+        let pctx = PureCtx {
+            database: &ctx.database,
+            shards: ctx.config.shards,
+        };
+        self.execute_pure(inputs, &pctx)
+    }
 }
 
 /// A lowered, executable plan.
@@ -83,6 +168,72 @@ pub struct PhysicalPlan {
     nodes: Vec<PhysicalNode>,
     consumer_counts: Vec<usize>,
     root: usize,
+    /// Fingerprint of (node labels, operator shapes, lowering config); ties
+    /// an [`ExecSnapshot`] to the plan that produced it.
+    signature: u64,
+}
+
+/// The mutable slot state of one plan execution: which nodes have run, their
+/// results, and how many consumers each result still has.
+#[derive(Clone)]
+struct SlotState {
+    slots: Vec<Option<EvaluatedRelation>>,
+    remaining: Vec<usize>,
+    done: Vec<bool>,
+}
+
+impl SlotState {
+    fn fresh(plan: &PhysicalPlan) -> SlotState {
+        SlotState {
+            slots: (0..plan.nodes.len()).map(|_| None).collect(),
+            remaining: plan.consumer_counts.clone(),
+            done: vec![false; plan.nodes.len()],
+        }
+    }
+}
+
+/// A resumable snapshot of a partially executed plan, captured at the
+/// sampling frontier by [`PhysicalPlan::execute_capturing`].
+///
+/// Everything below the frontier is deterministic for a fixed database, so
+/// the serving layer evaluates a prepared query by cloning this snapshot and
+/// running only the sampling suffix — parse, validation, lowering, the
+/// relational prefix, lineage extraction and W-table compilation are all
+/// skipped, leaving estimation as the steady-state cost.
+#[derive(Clone)]
+pub struct ExecSnapshot {
+    state: SlotState,
+    /// Signature of the plan the snapshot was captured on; resuming on any
+    /// other plan is rejected.
+    plan_signature: u64,
+    /// Database state at the frontier (includes prefix repair-key variables).
+    database: UDatabase,
+    var_counter: usize,
+    stats: EvalStats,
+    spaces: SpaceCache,
+}
+
+impl ExecSnapshot {
+    /// True if the snapshot covers the whole plan (no sampling operator:
+    /// resuming just returns the cached result).
+    pub fn is_complete(&self) -> bool {
+        self.state.done.iter().all(|&d| d)
+    }
+
+    /// The database state at the snapshot point.
+    pub fn database(&self) -> &UDatabase {
+        &self.database
+    }
+}
+
+impl fmt::Debug for ExecSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let done = self.state.done.iter().filter(|&&d| d).count();
+        f.debug_struct("ExecSnapshot")
+            .field("nodes_done", &done)
+            .field("nodes_total", &self.state.done.len())
+            .finish()
+    }
 }
 
 /// One node of a [`PhysicalPlan`].
@@ -191,10 +342,22 @@ impl PhysicalPlan {
                 label: node.label.clone(),
             });
         }
+        let signature = {
+            use std::hash::{Hash, Hasher};
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            format!("{config:?}").hash(&mut hasher);
+            for node in plan.nodes() {
+                node.label.hash(&mut hasher);
+                node.inputs.hash(&mut hasher);
+            }
+            plan.root().hash(&mut hasher);
+            hasher.finish()
+        };
         Ok(PhysicalPlan {
             nodes,
             consumer_counts: plan.consumer_counts(),
             root: plan.root(),
+            signature,
         })
     }
 
@@ -203,34 +366,223 @@ impl PhysicalPlan {
         &self.nodes
     }
 
-    /// Executes the pipeline: every node runs once after its inputs, shared
-    /// results are cloned only while further consumers remain.
+    /// Node id of the *sampling frontier*: the smallest id of an operator
+    /// that consumes randomness (`len()` if the plan is fully deterministic).
+    pub fn sampling_frontier(&self) -> usize {
+        self.nodes
+            .iter()
+            .position(|n| n.operator.class() == OpClass::Sampling)
+            .unwrap_or(self.nodes.len())
+    }
+
+    /// Executes the pipeline with the sharded slot executor; results are
+    /// bit-identical to [`execute_sequential`](PhysicalPlan::execute_sequential)
+    /// for a fixed seed.
     pub fn execute(&self, ctx: &mut ExecContext<'_>) -> Result<EvaluatedRelation> {
-        let mut remaining = self.consumer_counts.clone();
-        let mut slots: Vec<Option<EvaluatedRelation>> =
-            (0..self.nodes.len()).map(|_| None).collect();
-        for (id, node) in self.nodes.iter().enumerate() {
-            let mut inputs = Vec::with_capacity(node.inputs.len());
-            for &i in &node.inputs {
-                remaining[i] -= 1;
-                let value = if remaining[i] == 0 {
-                    slots[i].take()
-                } else {
-                    slots[i].clone()
-                };
-                inputs.push(value.expect("topological order: input evaluated before use"));
-            }
-            slots[id] = Some(node.operator.execute(inputs, ctx)?);
+        self.run(ctx, SlotState::fresh(self), false)
+            .map(|(result, _)| result)
+    }
+
+    /// Executes the pipeline and captures a resumable [`ExecSnapshot`] at the
+    /// sampling frontier (the whole plan, if it is deterministic).
+    pub fn execute_capturing(
+        &self,
+        ctx: &mut ExecContext<'_>,
+    ) -> Result<(EvaluatedRelation, ExecSnapshot)> {
+        let (result, snapshot) = self.run(ctx, SlotState::fresh(self), true)?;
+        Ok((
+            result,
+            snapshot.expect("capturing execution always produces a snapshot"),
+        ))
+    }
+
+    /// Resumes execution from a snapshot captured on this plan: restores the
+    /// slot, database and statistics state of the deterministic prefix and
+    /// runs only the remaining (sampling) suffix.
+    pub fn resume(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        snapshot: &ExecSnapshot,
+    ) -> Result<EvaluatedRelation> {
+        if snapshot.plan_signature != self.signature {
+            return Err(EngineError::Invariant(
+                "snapshot resumed on a plan other than the one that captured it \
+                 (different query, or different lowering configuration)"
+                    .into(),
+            ));
         }
-        Ok(slots[self.root]
+        ctx.database = snapshot.database.clone();
+        ctx.var_counter = snapshot.var_counter;
+        ctx.stats = snapshot.stats;
+        ctx.spaces = snapshot.spaces.fork();
+        self.run(ctx, snapshot.state.clone(), false)
+            .map(|(result, _)| result)
+    }
+
+    /// The single-threaded, single-batch reference schedule: every node runs
+    /// in id order on one unchunked batch.  The sharded executor is
+    /// property-tested to produce bit-identical results; this stays as the
+    /// differential baseline (and as documentation of the semantics).
+    pub fn execute_sequential(&self, ctx: &mut ExecContext<'_>) -> Result<EvaluatedRelation> {
+        let outer_shards = ctx.config.shards;
+        ctx.config.shards = 1;
+        let result = (|| {
+            let mut state = SlotState::fresh(self);
+            for id in 0..self.nodes.len() {
+                let inputs = self.gather_inputs(id, &mut state);
+                state.slots[id] = Some(self.nodes[id].operator.execute(inputs, ctx)?);
+                state.done[id] = true;
+            }
+            Ok(state.slots[self.root]
+                .take()
+                .expect("the root slot holds the query result"))
+        })();
+        ctx.config.shards = outer_shards;
+        result
+    }
+
+    /// Collects (moves or clones) a node's inputs out of the slots.
+    fn gather_inputs(&self, id: usize, state: &mut SlotState) -> Vec<EvaluatedRelation> {
+        let node = &self.nodes[id];
+        let mut inputs = Vec::with_capacity(node.inputs.len());
+        for &i in &node.inputs {
+            state.remaining[i] -= 1;
+            let value = if state.remaining[i] == 0 {
+                state.slots[i].take()
+            } else {
+                state.slots[i].clone()
+            };
+            inputs.push(value.expect("topological order: input evaluated before use"));
+        }
+        inputs
+    }
+
+    /// Runs every currently ready pure node (concurrently when there are
+    /// several); returns whether any node ran.
+    fn run_pure_wave(&self, state: &mut SlotState, pctx: &PureCtx<'_>) -> Result<bool> {
+        let ready: Vec<usize> = (0..self.nodes.len())
+            .filter(|&id| {
+                !state.done[id]
+                    && self.nodes[id].operator.class() == OpClass::Pure
+                    && self.nodes[id].inputs.iter().all(|&i| state.done[i])
+            })
+            .collect();
+        if ready.is_empty() {
+            return Ok(false);
+        }
+        let work: Vec<(usize, Vec<EvaluatedRelation>)> = ready
+            .into_iter()
+            .map(|id| (id, self.gather_inputs(id, state)))
+            .collect();
+        let results: Vec<(usize, EvaluatedRelation)> = if work.len() == 1 {
+            let (id, inputs) = work.into_iter().next().expect("one ready node");
+            vec![(id, self.nodes[id].operator.execute_pure(inputs, pctx)?)]
+        } else {
+            work.into_par_iter()
+                .map(|(id, inputs)| {
+                    self.nodes[id]
+                        .operator
+                        .execute_pure(inputs, pctx)
+                        .map(|r| (id, r))
+                })
+                .collect::<Result<_>>()?
+        };
+        for (id, result) in results {
+            state.slots[id] = Some(result);
+            state.done[id] = true;
+        }
+        Ok(true)
+    }
+
+    /// The slot executor: pure waves to a fixpoint, then the next stateful
+    /// node in id order, until every node has run.  When `capture` is set,
+    /// the slot/context state is snapshotted at the sampling frontier.
+    fn run(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        mut state: SlotState,
+        capture: bool,
+    ) -> Result<(EvaluatedRelation, Option<ExecSnapshot>)> {
+        let mut snapshot = None;
+        loop {
+            loop {
+                let pctx = PureCtx {
+                    database: &ctx.database,
+                    shards: ctx.config.shards,
+                };
+                if !self.run_pure_wave(&mut state, &pctx)? {
+                    break;
+                }
+            }
+            // The smallest-id unexecuted stateful node is always ready once
+            // pure nodes are at a fixpoint: any unexecuted input chain would
+            // bottom out at a smaller-id unexecuted stateful node.
+            let Some(id) = (0..self.nodes.len())
+                .find(|&id| !state.done[id] && self.nodes[id].operator.class() != OpClass::Pure)
+            else {
+                break;
+            };
+            debug_assert!(
+                self.nodes[id].inputs.iter().all(|&i| state.done[i]),
+                "stateful node #{id} scheduled before its inputs"
+            );
+            if capture && snapshot.is_none() && self.nodes[id].operator.class() == OpClass::Sampling
+            {
+                snapshot = Some(self.capture_snapshot(&state, ctx));
+            }
+            let inputs = self.gather_inputs(id, &mut state);
+            state.slots[id] = Some(self.nodes[id].operator.execute(inputs, ctx)?);
+            state.done[id] = true;
+        }
+        debug_assert!(state.done.iter().all(|&d| d), "executor left nodes unrun");
+        if capture && snapshot.is_none() {
+            // Fully deterministic plan: the snapshot holds the final state,
+            // including the root result.
+            snapshot = Some(self.capture_snapshot(&state, ctx));
+        }
+        let result = state.slots[self.root]
             .take()
-            .expect("the root slot holds the query result"))
+            .expect("the root slot holds the query result");
+        Ok((result, snapshot))
+    }
+
+    fn capture_snapshot(&self, state: &SlotState, ctx: &ExecContext<'_>) -> ExecSnapshot {
+        ExecSnapshot {
+            state: state.clone(),
+            plan_signature: self.signature,
+            database: ctx.database.clone(),
+            var_counter: ctx.var_counter,
+            stats: ctx.stats,
+            spaces: ctx.spaces.fork(),
+        }
     }
 }
 
 fn unary_input(mut inputs: Vec<EvaluatedRelation>) -> EvaluatedRelation {
     debug_assert_eq!(inputs.len(), 1);
     inputs.pop().expect("unary operator receives one input")
+}
+
+// ---- sharded (chunked) execution of row-local operators --------------------
+
+/// True if chunking `len` input rows into `shards` partitions is worthwhile
+/// for a data-parallel operator (it only pays off with worker threads).
+fn shard_parallel(len: usize, shards: usize) -> bool {
+    shards > 1 && len >= SHARD_MIN_ROWS && rayon::current_num_threads() > 1
+}
+
+/// Applies a row-local unary operator per chunk, concurrently, and merges
+/// (set semantics: identical to the single-batch result).
+fn sharded_unary<F>(input: &URelation, shards: usize, f: F) -> Result<URelation>
+where
+    F: Fn(&URelation) -> Result<URelation> + Sync,
+{
+    if !shard_parallel(input.len(), shards) {
+        return f(input);
+    }
+    let chunks = input.partition(shards);
+    let outs: Vec<URelation> = chunks.par_iter().map(&f).collect::<Result<_>>()?;
+    Ok(ops::merge_chunks(outs))
 }
 
 fn binary_inputs(mut inputs: Vec<EvaluatedRelation>) -> (EvaluatedRelation, EvaluatedRelation) {
@@ -371,13 +723,17 @@ impl PhysicalOperator for ScanOp {
         "scan"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         _inputs: Vec<EvaluatedRelation>,
-        ctx: &mut ExecContext<'_>,
+        pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
-        let rel = ctx.database.relation(&self.relation)?.clone();
-        let complete = ctx.database.is_complete(&self.relation);
+        let rel = pctx.database.relation(&self.relation)?.clone();
+        let complete = pctx.database.is_complete(&self.relation);
         Ok(EvaluatedRelation {
             relation: rel,
             complete,
@@ -398,13 +754,19 @@ impl PhysicalOperator for SelectOp {
         "select"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let relation = ops::select(&input.relation, &self.predicate)?;
+        let relation = sharded_unary(&input.relation, pctx.shards, |chunk| {
+            ops::select(chunk, &self.predicate)
+        })?;
         Ok(propagate_unary(relation, &input))
     }
 }
@@ -421,13 +783,19 @@ impl PhysicalOperator for ProjectOp {
         "project"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let relation = ops::project(&input.relation, &self.items)?;
+        let relation = sharded_unary(&input.relation, pctx.shards, |chunk| {
+            ops::project(chunk, &self.items)
+        })?;
         propagate_projection(relation, &input, &self.items)
     }
 }
@@ -444,13 +812,19 @@ impl PhysicalOperator for ExtendOp {
         "extend"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let relation = ops::extend(&input.relation, &self.items)?;
+        let relation = sharded_unary(&input.relation, pctx.shards, |chunk| {
+            ops::extend(chunk, &self.items)
+        })?;
         Ok(propagate_unary(relation, &input))
     }
 }
@@ -469,10 +843,14 @@ impl PhysicalOperator for RenameOp {
         "rename"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        _pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
         let relation = ops::rename(&input.relation, &self.from, &self.to)?;
@@ -489,13 +867,19 @@ impl PhysicalOperator for ProductOp {
         "product"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let (left, right) = binary_inputs(inputs);
-        let relation = ops::product(&left.relation, &right.relation)?;
+        let relation = sharded_unary(&left.relation, pctx.shards, |chunk| {
+            ops::product(chunk, &right.relation)
+        })?;
         Ok(propagate_binary(relation, &left, &right))
     }
 }
@@ -509,13 +893,24 @@ impl PhysicalOperator for NaturalJoinOp {
         "join"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let (left, right) = binary_inputs(inputs);
-        let relation = ops::natural_join(&left.relation, &right.relation)?;
+        // The sharded join pays off even single-threaded: it probes one
+        // shared key index per chunk instead of rescanning the right side
+        // for every left row.
+        let relation = if pctx.shards > 1 && left.relation.len() >= SHARD_MIN_ROWS {
+            ops::natural_join_sharded(&left.relation, &right.relation, pctx.shards)?
+        } else {
+            ops::natural_join(&left.relation, &right.relation)?
+        };
         Ok(propagate_binary(relation, &left, &right))
     }
 }
@@ -529,10 +924,14 @@ impl PhysicalOperator for UnionOp {
         "union"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        _pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let (left, right) = binary_inputs(inputs);
         let relation = ops::union(&left.relation, &right.relation)?;
@@ -557,10 +956,14 @@ impl PhysicalOperator for DifferenceOp {
         }
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        _pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let (left, right) = binary_inputs(inputs);
         if !self.checked
@@ -586,10 +989,14 @@ impl PhysicalOperator for PossOp {
         "poss"
     }
 
-    fn execute(
+    fn class(&self) -> OpClass {
+        OpClass::Pure
+    }
+
+    fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
-        _ctx: &mut ExecContext<'_>,
+        _pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
         let relation = URelation::from_complete(&input.relation.possible_tuples());
@@ -611,6 +1018,13 @@ pub struct RepairKeyOp {
 impl PhysicalOperator for RepairKeyOp {
     fn name(&self) -> &'static str {
         "repair-key"
+    }
+
+    fn class(&self) -> OpClass {
+        // Introduces variables (names drawn from the shared counter) but
+        // consumes no randomness: deterministic, so it may sit below the
+        // serving layer's snapshot point.
+        OpClass::Stateful
     }
 
     fn execute(
@@ -701,6 +1115,15 @@ impl PhysicalOperator for ConfOp {
         "conf"
     }
 
+    fn class(&self) -> OpClass {
+        match self.params {
+            // Exact model counting is deterministic.
+            None => OpClass::Stateful,
+            // The FPRAS draws a master seed per execution.
+            Some(_) => OpClass::Sampling,
+        }
+    }
+
     fn execute(
         &self,
         inputs: Vec<EvaluatedRelation>,
@@ -708,20 +1131,16 @@ impl PhysicalOperator for ConfOp {
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
         ctx.stats.conf_operators += 1;
-        let compiled = CompiledSpace::compile(ctx.database.wtable())?;
+        let compiled = ctx.spaces.compiled(ctx.database.wtable())?;
         let schema = input
             .relation
             .schema()
             .with_appended(&self.prob_attr)
             .map_err(EngineError::Pdb)?;
 
-        // Batch: every tuple's DNF lineage in one pass, all estimated
-        // concurrently by the shared estimator layer.
-        let tuple_events = input.relation.tuple_events();
-        let events: Vec<DnfEvent> = tuple_events
-            .iter()
-            .map(|(_, conditions)| compiled.event(conditions))
-            .collect::<Result<_>>()?;
+        // Batch: every tuple's DNF lineage in one memoised pass, all
+        // estimated concurrently by the shared estimator layer.
+        let lineage = compiled.relation_events(&input.relation)?;
         let estimator: Box<dyn ConfidenceEstimator> = match self.params {
             None => Box::new(ExactEstimator),
             Some(params) => Box::new(FprasEstimator::new(params)),
@@ -734,12 +1153,12 @@ impl PhysicalOperator for ConfOp {
             0
         };
         let estimates = estimator
-            .estimate_batch(&events, compiled.space(), master_seed)
+            .estimate_batch(lineage.events(), compiled.space(), master_seed)
             .map_err(EngineError::Confidence)?;
 
         let mut out = URelation::empty(schema);
         let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
-        for ((t, _), estimate) in tuple_events.iter().zip(&estimates) {
+        for (t, estimate) in lineage.tuples().iter().zip(&estimates) {
             // Stats keep the pre-pipeline semantics: exact mode counts model-
             // counting calls, FPRAS mode counts samples (0 for trivial
             // events, which are answered without sampling).
@@ -773,25 +1192,25 @@ impl PhysicalOperator for CertOp {
         "cert"
     }
 
+    fn class(&self) -> OpClass {
+        OpClass::Stateful
+    }
+
     fn execute(
         &self,
         inputs: Vec<EvaluatedRelation>,
         ctx: &mut ExecContext<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let compiled = CompiledSpace::compile(ctx.database.wtable())?;
-        let tuple_events = input.relation.tuple_events();
-        let events: Vec<DnfEvent> = tuple_events
-            .iter()
-            .map(|(_, conditions)| compiled.event(conditions))
-            .collect::<Result<_>>()?;
+        let compiled = ctx.spaces.compiled(ctx.database.wtable())?;
+        let lineage = compiled.relation_events(&input.relation)?;
         let estimates = ExactEstimator
-            .estimate_batch(&events, compiled.space(), 0)
+            .estimate_batch(lineage.events(), compiled.space(), 0)
             .map_err(EngineError::Confidence)?;
 
         let mut out = URelation::empty(input.relation.schema().clone());
         let mut errors = BTreeMap::new();
-        for ((t, _), estimate) in tuple_events.iter().zip(&estimates) {
+        for (t, estimate) in lineage.tuples().iter().zip(&estimates) {
             ctx.stats.exact_confidence_calls += 1;
             if (estimate.estimate - 1.0).abs() < 1e-9 {
                 out.insert(Condition::always(), t.clone())?;
@@ -832,6 +1251,14 @@ impl PhysicalOperator for ApproxSelectOp {
         "approx-select"
     }
 
+    fn class(&self) -> OpClass {
+        match self.mode {
+            // Exact decisions consume no randomness.
+            ApproxSelectMode::Exact => OpClass::Stateful,
+            ApproxSelectMode::Adaptive | ApproxSelectMode::FixedIterations(_) => OpClass::Sampling,
+        }
+    }
+
     fn execute(
         &self,
         inputs: Vec<EvaluatedRelation>,
@@ -840,7 +1267,7 @@ impl PhysicalOperator for ApproxSelectOp {
         let input = unary_input(inputs);
         ctx.stats.approx_select_operators += 1;
         algebra::check_conf_terms(&self.terms, input.relation.schema())?;
-        let compiled = CompiledSpace::compile(ctx.database.wtable())?;
+        let compiled = ctx.spaces.compiled(ctx.database.wtable())?;
 
         // Projections π_{A⃗_i}(R), one per confidence term.
         let mut projections = Vec::with_capacity(self.terms.len());
@@ -900,12 +1327,23 @@ impl PhysicalOperator for ApproxSelectOp {
         ctx.stats.approx_select_decisions += candidate_tuples.len() as u64;
         // The k events of candidate i occupy events[i*k .. (i+1)*k]: one flat
         // vector shared by every decision mode, no per-candidate re-clone.
+        // Each projection's lineage batch is extracted once (memoised in the
+        // compiled space) and candidates look their events up by key.
+        let lineages = projections
+            .iter()
+            .map(|proj| compiled.relation_events(proj))
+            .collect::<Result<Vec<_>>>()?;
         let mut events: Vec<DnfEvent> =
             Vec::with_capacity(candidate_tuples.len() * self.terms.len());
         for candidate in &candidate_tuples {
-            for (idx, proj) in term_indices.iter().zip(&projections) {
+            for (idx, lineage) in term_indices.iter().zip(&lineages) {
                 let key = candidate.project(idx);
-                events.push(compiled.event(&proj.conditions_for(&key))?);
+                events.push(
+                    lineage
+                        .event_of(&key)
+                        .cloned()
+                        .unwrap_or_else(DnfEvent::never),
+                );
             }
         }
 
@@ -946,12 +1384,51 @@ impl PhysicalOperator for ApproxSelectOp {
 }
 
 impl ApproxSelectOp {
+    /// Sampling-free candidate decisions from the exact confidence bounds of
+    /// [`confidence::bounds`] (max-term lower bound, union upper bound): a
+    /// candidate whose predicate is constant over its `k`-dimensional bounds
+    /// box is decided with error 0 before any estimator runs.  `None` marks
+    /// the ambiguous band that falls through to Monte Carlo estimation.
+    fn prune_candidates(
+        &self,
+        num_candidates: usize,
+        events: &[DnfEvent],
+        compiled: &CompiledSpace,
+        predicate: &ApproxPredicate,
+    ) -> Result<Vec<Option<bool>>> {
+        let k = self.terms.len();
+        let bounds = events
+            .iter()
+            .map(|e| event_bounds(e, compiled.space()))
+            .collect::<confidence::Result<Vec<_>>>()
+            .map_err(EngineError::Confidence)?;
+        (0..num_candidates)
+            .map(|i| {
+                let boxed = Orthotope::from_intervals(
+                    bounds[i * k..(i + 1) * k]
+                        .iter()
+                        .map(|b| Interval::new(b.lower, b.upper)),
+                );
+                Ok(
+                    match evaluate_over_box(predicate, &boxed).map_err(EngineError::Approx)? {
+                        BoxVerdict::AlwaysTrue => Some(true),
+                        BoxVerdict::AlwaysFalse => Some(false),
+                        BoxVerdict::Unknown => None,
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Decides all `num_candidates` candidates under the operator's mode;
     /// candidate `i`'s `k` events are `events[i*k .. (i+1)*k]` (`k` may be 0:
     /// a term-less predicate is decided once per candidate on no values).
-    /// Monte Carlo modes run candidates/events concurrently with per-index
-    /// sub-RNGs derived from one master seed, so the outcome is
-    /// deterministic per seed.
+    /// Monte Carlo modes first prune candidates whose exact confidence
+    /// bounds already decide the predicate (when the engine enables it),
+    /// then run candidates/events concurrently with per-index sub-RNGs
+    /// derived from one master seed.  Every unpruned candidate keeps the
+    /// sub-RNG of its original index, so the outcome is deterministic per
+    /// seed *and* unchanged for the candidates pruning leaves alone.
     fn decide_candidates(
         &self,
         num_candidates: usize,
@@ -962,6 +1439,15 @@ impl ApproxSelectOp {
     ) -> Result<Vec<(bool, f64)>> {
         let k = self.terms.len();
         debug_assert_eq!(events.len(), num_candidates * k);
+        // Exact mode is the reference semantics and stays unpruned; the
+        // Monte Carlo modes skip clear candidates entirely.
+        let pruned: Vec<Option<bool>> =
+            if ctx.config.prune_approx_select && self.mode != ApproxSelectMode::Exact {
+                self.prune_candidates(num_candidates, events, compiled, predicate)?
+            } else {
+                vec![None; num_candidates]
+            };
+        ctx.stats.approx_select_pruned += pruned.iter().filter(|p| p.is_some()).count() as u64;
         match self.mode {
             ApproxSelectMode::Exact => {
                 let estimates = ExactEstimator
@@ -978,21 +1464,46 @@ impl ApproxSelectOp {
             }
             ApproxSelectMode::FixedIterations(l) => {
                 let master_seed = ctx.rng.next_u64();
-                let estimates = BatchedIncrementalEstimator::new(l)
-                    .estimate_batch(events, compiled.space(), master_seed)
-                    .map_err(EngineError::Confidence)?;
-                for estimate in &estimates {
+                let estimator = BatchedIncrementalEstimator::new(l);
+                // Estimate only the events of unpruned candidates, each with
+                // the sub-RNG seed of its original flat index.
+                let needed: Vec<usize> = (0..num_candidates)
+                    .filter(|&i| pruned[i].is_none())
+                    .flat_map(|i| i * k..(i + 1) * k)
+                    .collect();
+                let estimated: Vec<(usize, confidence::EventEstimate)> = needed
+                    .into_par_iter()
+                    .map(|idx| {
+                        estimator
+                            .estimate_event(
+                                &events[idx],
+                                compiled.space(),
+                                event_seed(master_seed, idx),
+                            )
+                            .map(|e| (idx, e))
+                            .map_err(EngineError::Confidence)
+                    })
+                    .collect::<Result<_>>()?;
+                let mut estimates: Vec<Option<confidence::EventEstimate>> =
+                    vec![None; events.len()];
+                for (idx, estimate) in estimated {
                     ctx.stats.karp_luby_samples += estimate.samples;
+                    estimates[idx] = Some(estimate);
                 }
                 (0..num_candidates)
                     .map(|i| {
-                        let chunk = &estimates[i * k..(i + 1) * k];
+                        if let Some(keep) = pruned[i] {
+                            return Ok((keep, 0.0));
+                        }
+                        let chunk: Vec<confidence::EventEstimate> = (i * k..(i + 1) * k)
+                            .map(|idx| estimates[idx].expect("unpruned event estimated"))
+                            .collect();
                         let values: Vec<f64> = chunk.iter().map(|e| e.estimate).collect();
                         let keep = predicate.eval(&values)?;
                         let eps_psi = predicate.epsilon_homogeneous(&values)?;
                         let eps = eps_psi.max(self.epsilon0).min(0.999_999);
                         let mut bound = 0.0;
-                        for estimate in chunk {
+                        for estimate in &chunk {
                             bound += if estimate.exact {
                                 0.0
                             } else {
@@ -1006,11 +1517,14 @@ impl ApproxSelectOp {
             ApproxSelectMode::Adaptive => {
                 let params = ApproximationParams::new(self.epsilon0, self.delta)?;
                 let master_seed = ctx.rng.next_u64();
-                // One Figure 3 run per candidate, all candidates in
+                // One Figure 3 run per unpruned candidate, all candidates in
                 // parallel, each on its own seeded RNG.
-                let outcomes: Vec<approx::Decision> = (0..num_candidates)
+                let outcomes: Vec<(bool, f64, u64)> = (0..num_candidates)
                     .into_par_iter()
                     .map(|i| {
+                        if let Some(keep) = pruned[i] {
+                            return Ok((keep, 0.0, 0));
+                        }
                         let mut rng = ChaCha8Rng::seed_from_u64(event_seed(master_seed, i));
                         let mut estimators: Vec<IncrementalEstimator> = events[i * k..(i + 1) * k]
                             .iter()
@@ -1019,18 +1533,182 @@ impl ApproxSelectOp {
                                     .map_err(EngineError::Confidence)
                             })
                             .collect::<Result<_>>()?;
-                        approximate_predicate(predicate, &mut estimators, params, &mut rng)
-                            .map_err(EngineError::Approx)
+                        let decision =
+                            approximate_predicate(predicate, &mut estimators, params, &mut rng)
+                                .map_err(EngineError::Approx)?;
+                        Ok((decision.value, decision.error_bound, decision.samples))
                     })
                     .collect::<Result<_>>()?;
-                for decision in &outcomes {
-                    ctx.stats.karp_luby_samples += decision.samples;
+                for &(_, _, samples) in &outcomes {
+                    ctx.stats.karp_luby_samples += samples;
                 }
                 Ok(outcomes
                     .into_iter()
-                    .map(|d| (d.value, d.error_bound))
+                    .map(|(value, error, _)| (value, error))
                     .collect())
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::UEngine;
+    use workloads::{SensorWorkload, TupleIndependentDb};
+
+    fn lowered(text: &str, db: &UDatabase, config: EvalConfig) -> PhysicalPlan {
+        let query = algebra::parse_query(text).unwrap();
+        let catalog = crate::adaptive_query::catalog_of(db).unwrap();
+        let plan = LogicalPlan::lower_validated(&query, &catalog).unwrap();
+        PhysicalPlan::lower(&plan, config).unwrap()
+    }
+
+    fn ctx_for<'a>(
+        db: &UDatabase,
+        config: EvalConfig,
+        rng: &'a mut dyn RngCore,
+    ) -> ExecContext<'a> {
+        ExecContext {
+            config,
+            database: db.clone(),
+            stats: EvalStats::default(),
+            var_counter: 0,
+            rng,
+            spaces: SpaceCache::new(),
+        }
+    }
+
+    #[test]
+    fn operator_classes_and_sampling_frontier() {
+        let db = TupleIndependentDb::default().database();
+        // Deterministic plan: exact conf → frontier past the end.
+        let exact = lowered("conf(project[A](T))", &db, EvalConfig::exact());
+        assert_eq!(exact.sampling_frontier(), exact.nodes().len());
+        for node in exact.nodes() {
+            assert_ne!(node.operator.class(), OpClass::Sampling);
+        }
+        // FPRAS conf samples: the frontier sits at the conf node (the last).
+        let fpras = lowered("aconf[0.3, 0.2](project[A](T))", &db, EvalConfig::exact());
+        assert_eq!(fpras.sampling_frontier(), fpras.nodes().len() - 1);
+        assert_eq!(
+            fpras.nodes().last().unwrap().operator.class(),
+            OpClass::Sampling
+        );
+        // Scans and projections are pure.
+        assert_eq!(fpras.nodes()[0].operator.class(), OpClass::Pure);
+    }
+
+    #[test]
+    fn capture_and_resume_reproduce_direct_execution() {
+        let workload = SensorWorkload {
+            num_sensors: 6,
+            readings_per_sensor: 3,
+            high_probability: 0.45,
+            seed: 21,
+        };
+        let db = workload.database();
+        let config = EvalConfig::default();
+        let plan = lowered(
+            &SensorWorkload::alarm_query(0.7, 0.05, 0.05).to_string(),
+            &db,
+            config,
+        );
+
+        // Cold run with capture.
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        let (cold, snapshot) = plan.execute_capturing(&mut ctx).unwrap();
+        assert!(!snapshot.is_complete(), "σ̂ keeps the suffix live");
+        assert!(snapshot.database().wtable().num_variables() > 0);
+        assert!(format!("{snapshot:?}").contains("nodes_done"));
+
+        // Resume with a fresh RNG state S equals direct execution with S.
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(41);
+        let mut warm_ctx = ctx_for(&db, config, &mut warm_rng);
+        let warm = plan.resume(&mut warm_ctx, &snapshot).unwrap();
+
+        let mut direct_rng = ChaCha8Rng::seed_from_u64(41);
+        let mut direct_ctx = ctx_for(&db, config, &mut direct_rng);
+        let direct = plan.execute(&mut direct_ctx).unwrap();
+        assert_eq!(warm.relation, direct.relation);
+        assert_eq!(warm.errors, direct.errors);
+        assert_eq!(warm_ctx.stats, direct_ctx.stats);
+        assert_eq!(warm_ctx.database, direct_ctx.database);
+        // RNG streams advanced identically.
+        assert_eq!(warm_rng.next_u64(), direct_rng.next_u64());
+
+        // Cold and direct agree too (seeds differ only after the frontier,
+        // and 40 vs 41 were both fresh at the σ̂ draw — so compare shape).
+        assert_eq!(cold.relation.schema(), direct.relation.schema());
+
+        // A snapshot from another plan is rejected.
+        let other = lowered("poss(T)", &TupleIndependentDb::default().database(), config);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        assert!(other.resume(&mut ctx, &snapshot).is_err());
+
+        // …including one with the *same* node count but a different query,
+        // and the same query lowered under a different configuration.
+        let same_shape = lowered(
+            &SensorWorkload::alarm_query(0.9, 0.05, 0.05).to_string(),
+            &db,
+            config,
+        );
+        assert_eq!(same_shape.nodes().len(), plan.nodes().len());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        assert!(same_shape.resume(&mut ctx, &snapshot).is_err());
+        let other_config = lowered(
+            &SensorWorkload::alarm_query(0.7, 0.05, 0.05).to_string(),
+            &db,
+            config.with_pruning(!config.prune_approx_select),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        assert!(other_config.resume(&mut ctx, &snapshot).is_err());
+    }
+
+    #[test]
+    fn deterministic_snapshot_serves_the_root_result() {
+        let db = TupleIndependentDb::default().database();
+        let config = EvalConfig::exact();
+        let plan = lowered("conf(project[A](T))", &db, config);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        let (cold, snapshot) = plan.execute_capturing(&mut ctx).unwrap();
+        assert!(snapshot.is_complete());
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        let warm = plan.resume(&mut ctx, &snapshot).unwrap();
+        assert_eq!(cold.relation, warm.relation);
+    }
+
+    #[test]
+    fn wave_executor_matches_sequential_on_branchy_plans() {
+        let db = TupleIndependentDb {
+            num_tuples: 150,
+            domain_size: 5,
+            tuple_probability: None,
+            seed: 8,
+        }
+        .database();
+        // Two independent branches joined: the wave executor overlaps them.
+        let text = "join(project[A, B](select[A >= 1](T)), rename[B -> C](project[A, B](T)))";
+        for shards in [1usize, 3, 8] {
+            let config = EvalConfig::exact().with_shards(shards);
+            let engine = UEngine::new(config);
+            let query = algebra::parse_query(text).unwrap();
+            let catalog = crate::adaptive_query::catalog_of(&db).unwrap();
+            let plan = LogicalPlan::lower_validated(&query, &catalog).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let wave = engine.evaluate_plan(&db, &plan, &mut rng).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let sequential = engine
+                .evaluate_plan_sequential(&db, &plan, &mut rng)
+                .unwrap();
+            assert_eq!(wave.result.relation, sequential.result.relation);
+            assert_eq!(wave.stats, sequential.stats);
         }
     }
 }

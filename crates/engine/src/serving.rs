@@ -1,0 +1,290 @@
+//! The serving layer: repeated-query evaluation at steady-state estimation
+//! cost.
+//!
+//! A [`ServingEngine`] binds a [`UEngine`] configuration to one database and
+//! serves query *text*.  Three caches stack up:
+//!
+//! 1. a [`PlanCache`] keyed by normalized query text — a repeated query is
+//!    never re-parsed, re-validated or re-lowered;
+//! 2. a prepared [`PhysicalPlan`] per plan — lowering against the engine
+//!    configuration happens once;
+//! 3. an [`ExecSnapshot`] per prepared query — the deterministic prefix of
+//!    the pipeline (relational operators, repair-key, exact confidence,
+//!    lineage extraction, W-table compilation) executes once, and every
+//!    further evaluation resumes at the *sampling frontier*, so its cost is
+//!    Monte Carlo estimation only.  Fully deterministic queries resume past
+//!    the root: warm evaluations just clone the cached result.
+//!
+//! Warm results are bit-identical to what a cold evaluation with the same
+//! RNG state would produce: the snapshot restores slots, database, variable
+//! counter and statistics exactly as the sequential schedule would have left
+//! them at the frontier, and sampling operators derive all randomness from
+//! the caller's RNG as usual.
+//!
+//! ```
+//! use engine::{EvalConfig, ServingEngine};
+//! use pdb::{relation, schema};
+//! use rand::SeedableRng;
+//! use urel::UDatabase;
+//!
+//! let db = UDatabase::from_complete_relations([
+//!     ("Coins", relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]]),
+//! ]);
+//! let mut serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
+//! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+//! let q = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+//! let cold = serving.evaluate(q, &mut rng).unwrap();
+//! let warm = serving.evaluate(q, &mut rng).unwrap();   // served from the snapshot
+//! assert_eq!(cold.result.relation, warm.result.relation);
+//! assert_eq!(serving.stats().warm_evaluations, 1);
+//! ```
+
+use crate::adaptive_query::catalog_of;
+use crate::error::Result;
+use crate::exec::{EvalConfig, EvalOutput, EvalStats};
+use crate::physical::{ExecContext, ExecSnapshot, PhysicalPlan};
+use crate::space::SpaceCache;
+use algebra::{Catalog, PlanCache};
+use rand::{Rng, RngCore};
+use std::collections::HashMap;
+use std::sync::Arc;
+use urel::UDatabase;
+
+/// Upper bound on prepared queries a server retains; each one holds a
+/// prefix snapshot (slots + database clone), so the set must stay bounded.
+const PREPARED_CAP: usize = 1024;
+
+/// Counters describing how the serving caches are performing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServingStats {
+    /// Evaluations that parsed/lowered/executed from scratch (and captured a
+    /// snapshot).
+    pub cold_evaluations: u64,
+    /// Evaluations resumed from a prepared snapshot.
+    pub warm_evaluations: u64,
+    /// Plan-cache hits (lookups answered without parsing + lowering).
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses.
+    pub plan_cache_misses: u64,
+}
+
+/// One prepared query: its lowered physical plan plus, after the first
+/// evaluation, the resumable snapshot of the deterministic prefix.
+struct PreparedQuery {
+    physical: Arc<PhysicalPlan>,
+    snapshot: Option<ExecSnapshot>,
+}
+
+/// A query server over one database: repeated queries cost estimation only.
+pub struct ServingEngine {
+    config: EvalConfig,
+    database: UDatabase,
+    catalog: Catalog,
+    plans: PlanCache,
+    prepared: HashMap<Arc<str>, PreparedQuery>,
+    cold_evaluations: u64,
+    warm_evaluations: u64,
+}
+
+impl ServingEngine {
+    /// Creates a server for `database` with the given engine configuration.
+    pub fn new(config: EvalConfig, database: UDatabase) -> Result<ServingEngine> {
+        let catalog = catalog_of(&database)?;
+        Ok(ServingEngine {
+            config,
+            database,
+            catalog,
+            plans: PlanCache::new(),
+            prepared: HashMap::new(),
+            cold_evaluations: 0,
+            warm_evaluations: 0,
+        })
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// The database being served.
+    pub fn database(&self) -> &UDatabase {
+        &self.database
+    }
+
+    /// Replaces the database and invalidates every cache (plans validate
+    /// against the catalog; snapshots embed database state).
+    pub fn set_database(&mut self, database: UDatabase) -> Result<()> {
+        self.catalog = catalog_of(&database)?;
+        self.database = database;
+        self.plans.clear();
+        self.prepared.clear();
+        Ok(())
+    }
+
+    /// Evaluates a UA query given as text.  The first evaluation of a query
+    /// runs cold and prepares it; repeated evaluations resume at the
+    /// sampling frontier.
+    pub fn evaluate<R: Rng + ?Sized>(&mut self, text: &str, rng: &mut R) -> Result<EvalOutput> {
+        let (key, plan) = self.plans.get_or_lower(text, &self.catalog)?;
+        if !self.prepared.contains_key(&key) {
+            // Snapshots embed database state; bound how many a long-running
+            // server retains (evicted queries simply re-prepare).
+            if self.prepared.len() >= PREPARED_CAP {
+                self.prepared.clear();
+            }
+            let physical = Arc::new(PhysicalPlan::lower(&plan, self.config)?);
+            self.prepared.insert(
+                key.clone(),
+                PreparedQuery {
+                    physical,
+                    snapshot: None,
+                },
+            );
+        }
+        let entry = self
+            .prepared
+            .get_mut(&key)
+            .expect("prepared entry inserted above");
+
+        let mut rng_ref: &mut R = rng;
+        let dyn_rng: &mut dyn RngCore = &mut rng_ref;
+        let mut ctx = ExecContext {
+            config: self.config,
+            // Warm evaluations restore the snapshot's database; seeding the
+            // context with an empty one avoids a wasted full clone.
+            database: if entry.snapshot.is_some() {
+                UDatabase::new()
+            } else {
+                self.database.clone()
+            },
+            stats: EvalStats::default(),
+            var_counter: 0,
+            rng: dyn_rng,
+            spaces: SpaceCache::new(),
+        };
+        let result = match &entry.snapshot {
+            Some(snapshot) => {
+                self.warm_evaluations += 1;
+                entry.physical.resume(&mut ctx, snapshot)?
+            }
+            None => {
+                self.cold_evaluations += 1;
+                let (result, snapshot) = entry.physical.execute_capturing(&mut ctx)?;
+                entry.snapshot = Some(snapshot);
+                result
+            }
+        };
+        Ok(EvalOutput {
+            result,
+            database: ctx.database,
+            stats: ctx.stats,
+        })
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> ServingStats {
+        ServingStats {
+            cold_evaluations: self.cold_evaluations,
+            warm_evaluations: self.warm_evaluations,
+            plan_cache_hits: self.plans.hits(),
+            plan_cache_misses: self.plans.misses(),
+        }
+    }
+
+    /// Number of prepared queries.
+    pub fn prepared_queries(&self) -> usize {
+        self.prepared.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::UEngine;
+    use pdb::{relation, schema};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn coin_db() -> UDatabase {
+        UDatabase::from_complete_relations([(
+            "Coins",
+            relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+        )])
+    }
+
+    #[test]
+    fn warm_evaluations_match_cold_and_engine_results() {
+        let db = coin_db();
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let cold = serving.evaluate(text, &mut rng).unwrap();
+        let warm = serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(cold.result.relation, warm.result.relation);
+        assert_eq!(cold.result.errors, warm.result.errors);
+        assert_eq!(cold.stats, warm.stats);
+        assert_eq!(cold.database, warm.database);
+
+        // Agrees with the plain engine on a fresh RNG with the same seed
+        // (the query is deterministic, so RNG state is irrelevant).
+        let engine = UEngine::new(EvalConfig::exact());
+        let query = algebra::parse_query(text).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let direct = engine.evaluate(&db, &query, &mut rng).unwrap();
+        assert_eq!(direct.result.relation, warm.result.relation);
+
+        let stats = serving.stats();
+        assert_eq!(stats.cold_evaluations, 1);
+        assert_eq!(stats.warm_evaluations, 1);
+        assert_eq!(stats.plan_cache_misses, 1);
+        assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(serving.prepared_queries(), 1);
+    }
+
+    #[test]
+    fn alternative_spellings_share_one_prepared_query() {
+        let mut serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        serving.evaluate("poss(Coins)", &mut rng).unwrap();
+        serving.evaluate("poss( Coins )", &mut rng).unwrap();
+        assert_eq!(serving.prepared_queries(), 1);
+        assert_eq!(serving.stats().warm_evaluations, 1);
+    }
+
+    #[test]
+    fn sampling_queries_resume_at_the_frontier_deterministically() {
+        let db = coin_db();
+        let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+        // Warm evaluation with RNG state S must equal a cold evaluation of
+        // the plain engine with the same RNG state S.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let _cold = serving.evaluate(text, &mut rng).unwrap();
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(1234);
+        let warm = serving.evaluate(text, &mut warm_rng).unwrap();
+
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(text).unwrap();
+        let mut direct_rng = ChaCha8Rng::seed_from_u64(1234);
+        let direct = engine.evaluate(&db, &query, &mut direct_rng).unwrap();
+        assert_eq!(warm.result.relation, direct.result.relation);
+        assert_eq!(warm.stats, direct.stats);
+    }
+
+    #[test]
+    fn set_database_invalidates_caches() {
+        let mut serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        serving.evaluate("poss(Coins)", &mut rng).unwrap();
+        let other = UDatabase::from_complete_relations([(
+            "Coins",
+            relation![schema!["CoinType", "Count"]; ["weighted", 5]],
+        )]);
+        serving.set_database(other).unwrap();
+        assert_eq!(serving.prepared_queries(), 0);
+        let out = serving.evaluate("poss(Coins)", &mut rng).unwrap();
+        assert_eq!(out.result.relation.len(), 1);
+        // Unknown relations fail validation against the new catalog.
+        assert!(serving.evaluate("poss(Nope)", &mut rng).is_err());
+    }
+}

@@ -1,19 +1,120 @@
 //! Bridging the named random variables of a U-relational database to the
-//! index-based probability space the `confidence` crate estimates over.
+//! index-based probability space the `confidence` crate estimates over,
+//! with two serving-grade caches layered on top:
+//!
+//! * a **lineage/event cache inside [`CompiledSpace`]**: the batch of DNF
+//!   events of a whole relation ([`RelationEvents`]) is extracted once and
+//!   memoised by relation content, so repeated evaluations of a cached plan
+//!   pay for estimation only — never for re-walking rows or re-translating
+//!   conditions;
+//! * a **[`SpaceCache`]** memoising compilation of W-table states, so the
+//!   confidence-bearing operators of one pipeline (and warm re-executions of
+//!   a prepared query) share one compiled space instead of recompiling per
+//!   operator.
 
 use crate::error::{EngineError, Result};
 use confidence::{Assignment, DnfEvent, ProbabilitySpace, VarId};
-use pdb::Value;
-use std::collections::HashMap;
-use urel::{Condition, Var, WTable};
+use pdb::{Tuple, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use urel::{Condition, URelation, Var, WTable};
+
+/// Upper bound on distinct relations memoised per compiled space; reaching
+/// it clears the cache (steady-state serving re-fills the handful of hot
+/// entries immediately).
+const LINEAGE_CACHE_CAP: usize = 1024;
 
 /// A compiled view of a W-table: the probability space plus the name/value →
-/// index mappings needed to translate conditions into assignments.
-#[derive(Clone, Debug)]
+/// index mappings needed to translate conditions into assignments, plus a
+/// content-addressed cache of per-relation lineage batches.
 pub struct CompiledSpace {
     space: ProbabilitySpace,
     var_ids: HashMap<Var, VarId>,
     alt_ids: HashMap<(Var, Value), usize>,
+    /// Relation content digest → extracted event batch.  Content-addressed,
+    /// so the cache stays correct no matter who shares this compiled space;
+    /// keying by digest instead of a relation clone keeps the cache from
+    /// retaining copies of large relations.
+    lineage: Mutex<HashMap<RelationDigest, Arc<RelationEvents>>>,
+}
+
+/// A 128-bit-plus-length content fingerprint of a relation: two
+/// independently seeded 64-bit hashes over all rows plus the row count.  A
+/// collision would require two distinct relations agreeing on both hashes
+/// *and* their size — vanishingly unlikely, and the probes never store the
+/// relation itself.
+type RelationDigest = (u64, u64, usize);
+
+fn relation_digest(relation: &URelation) -> RelationDigest {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h1 = DefaultHasher::new();
+    relation.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    0xA5A5_5A5A_F00D_CAFE_u64.hash(&mut h2);
+    relation.hash(&mut h2);
+    (h1.finish(), h2.finish(), relation.len())
+}
+
+impl fmt::Debug for CompiledSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSpace")
+            .field("space", &self.space)
+            .field("cached_relations", &self.lineage_len())
+            .finish()
+    }
+}
+
+impl Clone for CompiledSpace {
+    fn clone(&self) -> Self {
+        CompiledSpace {
+            space: self.space.clone(),
+            var_ids: self.var_ids.clone(),
+            alt_ids: self.alt_ids.clone(),
+            // The clone starts with an empty cache; entries are cheap to
+            // rebuild and keeping them shared would need another Arc layer.
+            lineage: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// The lineage batch of one relation: every distinct data tuple paired with
+/// its translated DNF event, in canonical tuple order.
+#[derive(Clone, Debug)]
+pub struct RelationEvents {
+    tuples: Vec<Tuple>,
+    events: Vec<DnfEvent>,
+    index: BTreeMap<Tuple, usize>,
+}
+
+impl RelationEvents {
+    /// The distinct tuples, in the order of
+    /// [`URelation::possible_tuples`].
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The events, parallel to [`tuples`](RelationEvents::tuples).
+    pub fn events(&self) -> &[DnfEvent] {
+        &self.events
+    }
+
+    /// The event of one tuple (`None` if the tuple is not in the relation;
+    /// its event is then the impossible event).
+    pub fn event_of(&self, t: &Tuple) -> Option<&DnfEvent> {
+        self.index.get(t).map(|&i| &self.events[i])
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation had no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
 }
 
 impl CompiledSpace {
@@ -34,12 +135,55 @@ impl CompiledSpace {
             space,
             var_ids,
             alt_ids,
+            lineage: Mutex::new(HashMap::new()),
         })
     }
 
     /// The index-based probability space.
     pub fn space(&self) -> &ProbabilitySpace {
         &self.space
+    }
+
+    /// The whole lineage batch of a relation — [`URelation::tuple_events`]
+    /// plus condition translation — memoised by relation content, so a warm
+    /// re-execution of a cached plan never re-extracts or re-translates.
+    pub fn relation_events(&self, relation: &URelation) -> Result<Arc<RelationEvents>> {
+        let digest = relation_digest(relation);
+        if let Some(hit) = self
+            .lineage
+            .lock()
+            .expect("lineage cache lock")
+            .get(&digest)
+        {
+            return Ok(hit.clone());
+        }
+        let batch = relation.tuple_events();
+        let mut tuples = Vec::with_capacity(batch.len());
+        let mut events = Vec::with_capacity(batch.len());
+        let mut index = BTreeMap::new();
+        for (i, (t, conditions)) in batch.into_iter().enumerate() {
+            events.push(self.event(&conditions)?);
+            index.insert(t.clone(), i);
+            tuples.push(t);
+        }
+        let entry = Arc::new(RelationEvents {
+            tuples,
+            events,
+            index,
+        });
+        let mut guard = self.lineage.lock().expect("lineage cache lock");
+        // A shared space can outlive many evaluations (serving); bound the
+        // cache so varying post-sampling relations cannot grow it forever.
+        if guard.len() >= LINEAGE_CACHE_CAP {
+            guard.clear();
+        }
+        guard.insert(digest, entry.clone());
+        Ok(entry)
+    }
+
+    /// Number of relations whose lineage batch is currently cached.
+    pub fn lineage_len(&self) -> usize {
+        self.lineage.lock().expect("lineage cache lock").len()
     }
 
     /// Translates a condition (partial function over named variables) into an
@@ -72,6 +216,65 @@ impl CompiledSpace {
             terms.push(self.assignment(c)?);
         }
         Ok(DnfEvent::new(terms))
+    }
+}
+
+/// A cache of compiled W-table states, shared by every confidence-bearing
+/// operator of one evaluation (and, through the serving layer's prepared
+/// snapshots, by warm re-executions of the same query).
+///
+/// States are keyed by the variable count.  The W-table of one evaluation
+/// lineage only ever *grows* (repair-key introduces variables, nothing
+/// removes them) and executes deterministically, so within one evaluation —
+/// or across evaluations that fork from the same snapshot via
+/// [`SpaceCache::fork`] — equal counts imply equal tables.  The cache must
+/// not be shared across unrelated databases; the engine creates one per
+/// evaluation and the serving layer one per prepared query.
+#[derive(Clone, Debug, Default)]
+pub struct SpaceCache {
+    inner: Arc<Mutex<HashMap<usize, Arc<CompiledSpace>>>>,
+}
+
+impl SpaceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        SpaceCache::default()
+    }
+
+    /// The compiled space for the W-table's current state, compiling at most
+    /// once per state.
+    pub fn compiled(&self, wtable: &WTable) -> Result<Arc<CompiledSpace>> {
+        let key = wtable.num_variables();
+        if let Some(hit) = self.inner.lock().expect("space cache lock").get(&key) {
+            return Ok(hit.clone());
+        }
+        let compiled = Arc::new(CompiledSpace::compile(wtable)?);
+        self.inner
+            .lock()
+            .expect("space cache lock")
+            .insert(key, compiled.clone());
+        Ok(compiled)
+    }
+
+    /// A detached copy: shares the already-compiled spaces (and their
+    /// content-addressed lineage caches, which are safe to share) but gets
+    /// its own map, so states compiled after the fork never leak between
+    /// evaluation branches whose W-tables diverge at equal counts.
+    pub fn fork(&self) -> SpaceCache {
+        let snapshot = self.inner.lock().expect("space cache lock").clone();
+        SpaceCache {
+            inner: Arc::new(Mutex::new(snapshot)),
+        }
+    }
+
+    /// Number of cached W-table states.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("space cache lock").len()
+    }
+
+    /// True if nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -136,6 +339,71 @@ mod tests {
         let event = cs.event(&[both_heads_fair, two_headed]).unwrap();
         let p = exact::probability(&event, cs.space()).unwrap();
         assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relation_events_are_memoised_by_content() {
+        use pdb::{schema, tuple};
+        let w = coin_wtable();
+        let cs = CompiledSpace::compile(&w).unwrap();
+        let mut rel = URelation::empty(schema!["CoinType"]);
+        rel.insert(
+            Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+            tuple!["fair"],
+        )
+        .unwrap();
+        rel.insert(
+            Condition::new([(Var::new("t1"), Value::str("H"))]).unwrap(),
+            tuple!["fair"],
+        )
+        .unwrap();
+        rel.insert(
+            Condition::new([(Var::new("c"), Value::str("2headed"))]).unwrap(),
+            tuple!["2headed"],
+        )
+        .unwrap();
+
+        let a = cs.relation_events(&rel).unwrap();
+        assert_eq!(cs.lineage_len(), 1);
+        // A content-equal clone hits the cache.
+        let b = cs.relation_events(&rel.clone()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cs.lineage_len(), 1);
+
+        // The batch matches the per-tuple extraction.
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        for (t, conditions) in rel.tuple_events() {
+            let expected = cs.event(&conditions).unwrap();
+            assert_eq!(a.event_of(&t), Some(&expected));
+        }
+        assert_eq!(a.tuples().len(), a.events().len());
+        assert!(a.event_of(&tuple!["3sided"]).is_none());
+
+        // Clones of the space start with an empty cache but equal mappings.
+        let cloned = cs.clone();
+        assert_eq!(cloned.lineage_len(), 0);
+        assert_eq!(cloned.space().num_variables(), cs.space().num_variables());
+    }
+
+    #[test]
+    fn space_cache_compiles_once_per_state_and_forks_detached() {
+        let mut w = coin_wtable();
+        let cache = SpaceCache::new();
+        assert!(cache.is_empty());
+        let a = cache.compiled(&w).unwrap();
+        let b = cache.compiled(&w).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+
+        let fork = cache.fork();
+        // The fork shares already-compiled states…
+        assert!(Arc::ptr_eq(&a, &fork.compiled(&w).unwrap()));
+        // …but states compiled after the fork stay private.
+        w.add_bool_variable(Var::new("extra"), 0.5).unwrap();
+        fork.compiled(&w).unwrap();
+        assert_eq!(fork.len(), 2);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -121,6 +121,52 @@ impl URelation {
         events.into_iter().collect()
     }
 
+    /// Splits the relation into at most `chunks` partitions of near-equal
+    /// size, preserving the canonical row order across the concatenation of
+    /// the chunks.  Partitions are never empty; fewer than `chunks` are
+    /// returned when the relation has fewer rows.  This is the unit of work
+    /// of the engine's sharded operator execution: running a row-local
+    /// operator per chunk and merging with [`absorb`](URelation::absorb)
+    /// yields exactly the single-batch result, because rows live in a set.
+    pub fn partition(&self, chunks: usize) -> Vec<URelation> {
+        let n = self.rows.len();
+        let chunks = chunks.max(1).min(n.max(1));
+        let chunk_size = n.div_ceil(chunks);
+        let mut out = Vec::with_capacity(chunks);
+        let mut rows = self.rows.iter().cloned();
+        loop {
+            let chunk: BTreeSet<URow> = rows.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            out.push(URelation {
+                schema: self.schema.clone(),
+                rows: chunk,
+            });
+        }
+        if out.is_empty() {
+            out.push(URelation::empty(self.schema.clone()));
+        }
+        out
+    }
+
+    /// Merges another relation's rows into this one (set union; duplicate
+    /// rows collapse).  The schemas must have equal arity — chunked operator
+    /// execution always merges outputs of the same operator, which share a
+    /// schema by construction.
+    pub fn absorb(&mut self, other: URelation) {
+        debug_assert_eq!(
+            self.schema.arity(),
+            other.schema.arity(),
+            "absorb merges chunks of one operator output"
+        );
+        if self.rows.is_empty() {
+            self.rows = other.rows;
+        } else {
+            self.rows.extend(other.rows);
+        }
+    }
+
     /// True if the U-relation is purely complete (all conditions empty).
     pub fn is_complete_representation(&self) -> bool {
         self.rows.iter().all(|r| r.condition.is_empty())
@@ -234,6 +280,30 @@ mod tests {
             assert_eq!(conditions, &u.conditions_for(t));
         }
         assert!(batch.iter().any(|(_, c)| c.len() == 2));
+    }
+
+    #[test]
+    fn partition_round_trips_through_absorb() {
+        let mut u = URelation::empty(schema!["A"]);
+        for i in 0..17 {
+            u.insert(Condition::always(), tuple![i]).unwrap();
+        }
+        for chunks in [1usize, 2, 3, 4, 16, 17, 40] {
+            let parts = u.partition(chunks);
+            assert!(parts.len() <= chunks);
+            assert!(parts.iter().all(|p| !p.is_empty()));
+            assert_eq!(parts.iter().map(URelation::len).sum::<usize>(), u.len());
+            let mut merged = URelation::empty(u.schema().clone());
+            for p in parts {
+                merged.absorb(p);
+            }
+            assert_eq!(merged, u);
+        }
+        // Empty relation: one empty chunk, so operators still see the schema.
+        let empty = URelation::empty(schema!["A"]);
+        let parts = empty.partition(4);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
     }
 
     #[test]

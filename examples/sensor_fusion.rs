@@ -48,6 +48,7 @@ fn main() {
     let adaptive_engine = UEngine::new(EvalConfig {
         approx_select: ApproxSelectMode::Adaptive,
         confidence: ConfidenceMode::Exact,
+        ..EvalConfig::default()
     });
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let adaptive = adaptive_engine

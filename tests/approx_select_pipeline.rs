@@ -54,6 +54,7 @@ fn adaptive_alarms_match_exact_alarms_on_clear_margins() {
     let adaptive = UEngine::new(EvalConfig {
         approx_select: ApproxSelectMode::Adaptive,
         confidence: ConfidenceMode::Exact,
+        ..EvalConfig::default()
     });
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let adaptive_out = adaptive.evaluate(&db, &query, &mut rng).expect("adaptive");
@@ -63,8 +64,37 @@ fn adaptive_alarms_match_exact_alarms_on_clear_margins() {
         adaptive_out.result.relation.possible_tuples()
     );
     assert!(adaptive_out.result.max_error() <= 0.05 + 1e-9);
-    assert!(adaptive_out.stats.karp_luby_samples > 0);
+    // Clear margins let the exact-bounds pruning settle candidates without
+    // sampling; whatever the bounds cannot decide is sampled.  Together they
+    // cover every candidate.
+    assert!(adaptive_out.stats.approx_select_pruned > 0);
+    assert!(
+        adaptive_out.stats.karp_luby_samples > 0
+            || adaptive_out.stats.approx_select_pruned
+                == adaptive_out.stats.approx_select_decisions
+    );
     assert_eq!(adaptive_out.stats.approx_select_operators, 1);
+
+    // With pruning disabled every candidate is sampled, and the keep/drop
+    // decisions still match (the regression guarantee of the pruning layer).
+    let unpruned_engine = UEngine::new(
+        EvalConfig {
+            approx_select: ApproxSelectMode::Adaptive,
+            confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
+        }
+        .with_pruning(false),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let unpruned = unpruned_engine
+        .evaluate(&db, &query, &mut rng)
+        .expect("unpruned adaptive");
+    assert!(unpruned.stats.karp_luby_samples > 0);
+    assert_eq!(unpruned.stats.approx_select_pruned, 0);
+    assert_eq!(
+        unpruned.result.relation.possible_tuples(),
+        adaptive_out.result.relation.possible_tuples()
+    );
 
     // Ground truth from the generator agrees with the exact engine.
     let expected: Vec<Tuple> = workload
@@ -165,6 +195,7 @@ fn fpras_confidence_mode_composes_with_adaptive_selection() {
             epsilon: 0.1,
             delta: 0.05,
         },
+        ..EvalConfig::default()
     });
     let mut rng = ChaCha8Rng::seed_from_u64(4);
     let out = engine

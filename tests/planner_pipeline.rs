@@ -236,6 +236,7 @@ fn term_less_approx_select_decides_every_candidate() {
         let engine = UEngine::new(EvalConfig {
             approx_select: mode,
             confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
         });
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let out = engine.evaluate(&udb, &query, &mut rng).unwrap();

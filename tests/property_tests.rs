@@ -1,9 +1,12 @@
 //! Cross-crate property tests: representation round trips, agreement of the
-//! exact confidence methods, Karp–Luby accuracy, ε-orthotope homogeneity and
-//! parser round trips on randomly generated inputs.
+//! exact confidence methods, Karp–Luby accuracy, ε-orthotope homogeneity,
+//! parser round trips, and equality of the sharded/parallel executor with
+//! the sequential single-batch reference schedule on randomly generated
+//! inputs.
 
 use approx::{LinearIneq, Orthotope};
 use confidence::{exact, Assignment, DnfEvent, FprasParams, ProbabilitySpace};
+use engine::{EvalConfig, UEngine};
 use pdb::Value;
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -12,27 +15,36 @@ use urel::{decode_default, encode, Condition, UDatabase, URelation, Var};
 
 // ---- random generators -----------------------------------------------------
 
+/// Builds a tuple-independent database `T(Id, A)` from `(percent, a)` pairs.
+fn tuple_independent_db(tuples: Vec<(u32, i64)>) -> UDatabase {
+    let mut db = UDatabase::new();
+    let schema = pdb::Schema::new(["Id", "A"]).unwrap();
+    let mut rel = URelation::empty(schema);
+    for (i, (percent, a)) in tuples.into_iter().enumerate() {
+        let var = Var::new(format!("t{i}"));
+        db.wtable_mut()
+            .add_bool_variable(var.clone(), percent as f64 / 100.0)
+            .unwrap();
+        rel.insert(
+            Condition::new([(var, Value::Bool(true))]).unwrap(),
+            pdb::Tuple::new(vec![Value::Int(i as i64), Value::Int(a)]),
+        )
+        .unwrap();
+    }
+    db.set_relation("T", rel, false);
+    db
+}
+
 /// A random small tuple-independent U-relational database (≤ 8 Boolean
 /// variables so decoding stays cheap).
 fn arb_udatabase() -> impl Strategy<Value = UDatabase> {
-    proptest::collection::vec((1u32..99, 0i64..6), 1..8).prop_map(|tuples| {
-        let mut db = UDatabase::new();
-        let schema = pdb::Schema::new(["Id", "A"]).unwrap();
-        let mut rel = URelation::empty(schema);
-        for (i, (percent, a)) in tuples.into_iter().enumerate() {
-            let var = Var::new(format!("t{i}"));
-            db.wtable_mut()
-                .add_bool_variable(var.clone(), percent as f64 / 100.0)
-                .unwrap();
-            rel.insert(
-                Condition::new([(var, Value::Bool(true))]).unwrap(),
-                pdb::Tuple::new(vec![Value::Int(i as i64), Value::Int(a)]),
-            )
-            .unwrap();
-        }
-        db.set_relation("T", rel, false);
-        db
-    })
+    proptest::collection::vec((1u32..99, 0i64..6), 1..8).prop_map(tuple_independent_db)
+}
+
+/// A random tuple-independent database large enough to exercise the sharded
+/// operator paths (chunking starts at 128 input rows).
+fn arb_large_udatabase() -> impl Strategy<Value = UDatabase> {
+    proptest::collection::vec((1u32..99, 0i64..6), 1..180).prop_map(tuple_independent_db)
 }
 
 /// A random DNF event over ≤ 10 Boolean variables with ≤ 6 terms.
@@ -156,6 +168,47 @@ proptest! {
             (estimate - exact_p).abs() <= 0.375 * exact_p,
             "estimate {estimate} too far from {exact_p}"
         );
+    }
+
+    /// The sharded/parallel slot executor is bit-identical to the sequential
+    /// single-batch reference schedule on random tuple-independent databases,
+    /// for a fixed seed — across pure relational plans, exact and FPRAS
+    /// confidence computation, and adaptive σ̂ (with candidate pruning on its
+    /// default setting).
+    #[test]
+    fn sharded_executor_equals_sequential(db in arb_large_udatabase(), seed in 0u64..500) {
+        use algebra::{ConfTerm, Expr, Predicate, Query};
+        let queries = vec![
+            algebra::parse_query("conf(project[A](T))").unwrap(),
+            algebra::parse_query("aconf[0.5, 0.3](project[A](T))").unwrap(),
+            algebra::parse_query("join(T, select[A >= 2](T))").unwrap(),
+            Query::table("T").approx_select(
+                vec![ConfTerm::new("P1", ["A"])],
+                Predicate::ge(Expr::attr("P1"), Expr::konst(0.357)),
+                0.1,
+                0.1,
+            ),
+        ];
+        let catalog = engine::catalog_of(&db).unwrap();
+        for query in &queries {
+            let plan = algebra::LogicalPlan::lower_validated(query, &catalog).unwrap();
+
+            let sharded = UEngine::new(EvalConfig::default().with_shards(6));
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let a = sharded.evaluate_plan(&db, &plan, &mut rng).unwrap();
+
+            let sequential = UEngine::new(EvalConfig::default().with_shards(1));
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let b = sequential
+                .evaluate_plan_sequential(&db, &plan, &mut rng)
+                .unwrap();
+
+            prop_assert_eq!(&a.result.relation, &b.result.relation, "relation for {}", query);
+            prop_assert_eq!(&a.result.errors, &b.result.errors, "errors for {}", query);
+            prop_assert_eq!(a.result.complete, b.result.complete);
+            prop_assert_eq!(a.stats, b.stats, "stats for {}", query);
+            prop_assert_eq!(&a.database, &b.database, "database for {}", query);
+        }
     }
 
     /// The textual query syntax round-trips through Display → parse for

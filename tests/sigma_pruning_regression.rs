@@ -1,0 +1,125 @@
+//! Regression suite for σ̂ candidate pruning: evaluating the coins, sensors
+//! and cleaning workloads with pruning enabled must produce exactly the
+//! keep/drop decisions of the unpruned Monte Carlo driver, across seeds and
+//! decision modes.
+//!
+//! This holds by construction — pruned candidates are decided from *exact*
+//! confidence bounds (so they agree with ground truth), and unpruned
+//! candidates keep the per-candidate sub-RNG of their original index (so
+//! their sampled decisions are unchanged) — and this suite pins the
+//! construction down against regressions.
+
+use engine::{ApproxSelectMode, ConfidenceMode, EvalConfig, EvalStats, UEngine};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urel::UDatabase;
+use workloads::{coins, CleaningWorkload, SensorWorkload};
+
+/// The σ̂ workload suites: a name, a database, and a query with at least one
+/// approximate selection.
+fn suites() -> Vec<(&'static str, UDatabase, algebra::Query)> {
+    let sensors = SensorWorkload {
+        num_sensors: 8,
+        readings_per_sensor: 4,
+        high_probability: 0.45,
+        seed: 29,
+    };
+    let cleaning = CleaningWorkload {
+        num_records: 6,
+        alternatives_per_record: 2,
+        num_cities: 3,
+        seed: 13,
+    };
+    vec![
+        (
+            "coins",
+            coins::coin_udatabase(),
+            coins::query_posterior_filter(2, 0.4),
+        ),
+        (
+            "sensors",
+            sensors.database(),
+            SensorWorkload::alarm_query(0.7, 0.05, 0.05),
+        ),
+        (
+            "cleaning",
+            cleaning.database(),
+            CleaningWorkload::confident_city_query(0.6, 0.05, 0.05),
+        ),
+    ]
+}
+
+fn run(
+    db: &UDatabase,
+    query: &algebra::Query,
+    mode: ApproxSelectMode,
+    prune: bool,
+    seed: u64,
+) -> (pdb::Relation, EvalStats) {
+    let engine = UEngine::new(
+        EvalConfig {
+            approx_select: mode,
+            confidence: ConfidenceMode::Exact,
+            ..EvalConfig::default()
+        }
+        .with_pruning(prune),
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let out = engine.evaluate(db, query, &mut rng).expect("σ̂ evaluation");
+    (out.result.relation.possible_tuples(), out.stats)
+}
+
+#[test]
+fn pruning_never_changes_keep_drop_decisions() {
+    let mut pruned_total = 0u64;
+    for (name, db, query) in suites() {
+        for mode in [
+            ApproxSelectMode::Adaptive,
+            ApproxSelectMode::FixedIterations(64),
+        ] {
+            for seed in 0..8u64 {
+                let (with_pruning, stats_on) = run(&db, &query, mode, true, seed);
+                let (without_pruning, stats_off) = run(&db, &query, mode, false, seed);
+                assert_eq!(
+                    with_pruning, without_pruning,
+                    "pruning changed the {name} result under {mode:?} (seed {seed})"
+                );
+                assert_eq!(
+                    stats_off.approx_select_pruned, 0,
+                    "disabled pruning must not prune"
+                );
+                assert_eq!(
+                    stats_on.approx_select_decisions, stats_off.approx_select_decisions,
+                    "candidate sets must agree for {name}"
+                );
+                assert!(
+                    stats_on.karp_luby_samples <= stats_off.karp_luby_samples,
+                    "pruning must never cost extra samples ({name}, {mode:?}, seed {seed})"
+                );
+                pruned_total += stats_on.approx_select_pruned;
+            }
+        }
+    }
+    assert!(
+        pruned_total > 0,
+        "the suites must actually exercise the pruning path"
+    );
+}
+
+#[test]
+fn pruning_agrees_with_the_exact_reference() {
+    // Pruned decisions come from exact bounds, so the pruned adaptive result
+    // must also match the fully exact engine on these clear-margin suites.
+    for (name, db, query) in suites() {
+        let exact = UEngine::new(EvalConfig::exact());
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let truth = exact
+            .evaluate(&db, &query, &mut rng)
+            .expect("exact evaluation")
+            .result
+            .relation
+            .possible_tuples();
+        let (pruned, _) = run(&db, &query, ApproxSelectMode::Adaptive, true, 17);
+        assert_eq!(pruned, truth, "{name} diverged from the exact reference");
+    }
+}
