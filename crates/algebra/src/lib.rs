@@ -39,7 +39,9 @@ pub mod validate;
 pub use error::{AlgebraError, Result};
 pub use expr::Expr;
 pub use parser::{parse_expr, parse_predicate, parse_query};
-pub use plan::{Accuracy, LogicalOp, LogicalPlan, NodeId, PlanCache, PlanNode};
+pub use plan::{
+    subplan_digest, Accuracy, LogicalOp, LogicalPlan, NodeId, PlanCache, PlanNode, SubplanDigest,
+};
 pub use predicate::{CmpOp, Predicate};
 pub use query::{ConfTerm, ProjItem, Query, DEFAULT_DELTA, DEFAULT_EPSILON0};
 pub use validate::{

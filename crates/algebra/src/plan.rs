@@ -30,13 +30,34 @@ use crate::parser::parse_query;
 use crate::predicate::Predicate;
 use crate::query::{ConfTerm, ProjItem, Query};
 use crate::validate::{output_schema, Catalog};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 
 /// Index of a node inside a [`LogicalPlan`] (also its topological position:
 /// every node's inputs have strictly smaller ids).
 pub type NodeId = usize;
+
+/// A 128-bit content fingerprint of a sub-plan: two independently seeded
+/// 64-bit hashes over its canonical textual form.  A collision would require
+/// two distinct sub-plans agreeing on both hashes — vanishingly unlikely —
+/// which lets caches address sub-plan results by digest without retaining
+/// the text.
+pub type SubplanDigest = (u64, u64);
+
+/// The [`SubplanDigest`] of a sub-plan given in canonical textual form (the
+/// `Display` form of the subquery, which [`LogicalPlan`] stores as each
+/// node's label).
+pub fn subplan_digest(canonical_text: &str) -> SubplanDigest {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h1 = DefaultHasher::new();
+    canonical_text.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    0x5bd1_e995_9e37_79b9_u64.hash(&mut h2);
+    canonical_text.hash(&mut h2);
+    (h1.finish(), h2.finish())
+}
 
 /// The accuracy a plan node demands from its physical implementation.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -243,6 +264,45 @@ impl LogicalPlan {
                 _ => None,
             })
             .collect()
+    }
+
+    /// For every node, the content digest of the sub-plan rooted there.
+    ///
+    /// The digest is computed from the node's label — the canonical textual
+    /// form of the subquery, which is also the common-subexpression key — so
+    /// two structurally equal sub-plans have equal digests *across plans*,
+    /// and (up to hash collision, see [`SubplanDigest`]) only those do.
+    /// The serving layer uses these digests as the content addresses of its
+    /// cross-query snapshot pool: a sub-plan result computed for one
+    /// prepared query is found by every other prepared query that contains
+    /// the same sub-plan.
+    pub fn subplan_digests(&self) -> Vec<SubplanDigest> {
+        self.nodes
+            .iter()
+            .map(|n| subplan_digest(&n.label))
+            .collect()
+    }
+
+    /// For every node, the set of base relations the sub-plan rooted there
+    /// scans (its *relation footprint*).
+    ///
+    /// A sub-plan's result can only change when one of the relations in its
+    /// footprint changes, so footprints are the unit of catalog-aware cache
+    /// invalidation: an update to relation `R` invalidates exactly the
+    /// cached sub-plan results whose footprint contains `R`.
+    pub fn subplan_footprints(&self) -> Vec<BTreeSet<String>> {
+        let mut footprints: Vec<BTreeSet<String>> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let mut fp = BTreeSet::new();
+            if let LogicalOp::Scan { relation } = &node.op {
+                fp.insert(relation.clone());
+            }
+            for &input in &node.inputs {
+                fp.extend(footprints[input].iter().cloned());
+            }
+            footprints.push(fp);
+        }
+        footprints
     }
 
     /// For every node, the number of plan nodes consuming it (the root
@@ -625,6 +685,49 @@ mod tests {
             LogicalPlan::lower(&q),
             Err(AlgebraError::Invariant(_))
         ));
+    }
+
+    #[test]
+    fn subplan_digests_are_content_addressed_across_plans() {
+        // The same sub-query appearing in two different plans gets the same
+        // digest; distinct sub-queries get distinct digests.
+        let a = LogicalPlan::lower(&parse_query("conf(project[A](repairkey[ @ W](R)))").unwrap())
+            .unwrap();
+        let b = LogicalPlan::lower(&parse_query("poss(project[A](repairkey[ @ W](R)))").unwrap())
+            .unwrap();
+        let da = a.subplan_digests();
+        let db = b.subplan_digests();
+        assert_eq!(da.len(), a.len());
+        // scan, repair-key and project agree between the plans…
+        assert_eq!(da[0], db[0]);
+        assert_eq!(da[1], db[1]);
+        assert_eq!(da[2], db[2]);
+        // …while the differing roots do not.
+        assert_ne!(da[3], db[3]);
+        // Digests are unique within a plan (labels are the CSE keys).
+        let mut sorted = da.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), da.len());
+    }
+
+    #[test]
+    fn subplan_footprints_collect_scans() {
+        let plan = LogicalPlan::lower(
+            &parse_query("conf(join(project[A](R), project[A](join(S, R))))").unwrap(),
+        )
+        .unwrap();
+        let footprints = plan.subplan_footprints();
+        // The root sees every scanned relation.
+        let root_fp = &footprints[plan.root()];
+        assert!(root_fp.contains("R") && root_fp.contains("S"));
+        assert_eq!(root_fp.len(), 2);
+        // Scan nodes see exactly themselves.
+        for (id, node) in plan.nodes().iter().enumerate() {
+            if let LogicalOp::Scan { relation } = &node.op {
+                assert_eq!(footprints[id].iter().collect::<Vec<_>>(), vec![relation]);
+            }
+        }
     }
 
     #[test]

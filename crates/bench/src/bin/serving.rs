@@ -6,20 +6,31 @@
 //! cargo run --release -p bench --bin serving -- --out p   # custom output path
 //! ```
 //!
-//! Two experiments, mirroring the `serving_bench` criterion groups:
+//! Three experiments, mirroring and extending the `serving_bench` criterion
+//! groups:
 //!
 //! 1. **Repeated-query throughput** — median per-request wall time of the
 //!    cold path (parse + validate + lower + execute, per request) vs the
 //!    warm serving cache (prepared snapshot, estimation only).
 //! 2. **Sharded execution** — the large random-DB join workload at
 //!    1/2/4/8 shards, single-batch vs chunked execution.
+//! 3. **Mixed workload** — overlapping prepared queries sharing one
+//!    deterministic prefix vs the same number of independent queries (the
+//!    cross-query snapshot pool executes a shared prefix once), plus
+//!    interleaved `update_relations` calls showing catalog-aware
+//!    invalidation: a content update to a pure join side keeps every pooled
+//!    prefix warm (only the intersecting sub-plans recompute), while an
+//!    update to a repair-key input drops exactly the entries whose stateful
+//!    spine it feeds.
 
 use algebra::LogicalPlan;
 use engine::{catalog_of, EvalConfig, ServingEngine, UEngine};
+use pdb::{Schema, Tuple, Value};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fmt::Write as _;
 use std::time::Instant;
+use urel::{UDatabase, URelation};
 use workloads::TupleIndependentDb;
 
 /// Median wall-clock of `runs` invocations, in microseconds.
@@ -118,7 +129,179 @@ fn sharding_experiment(num_tuples: usize, runs: usize) -> Vec<ShardResult> {
         .collect()
 }
 
-fn render_json(smoke: bool, repeated: &[RepeatedQueryResult], shards: &[ShardResult]) -> String {
+/// Results of the mixed-workload experiment (overlapping prepared queries +
+/// interleaved relation updates).
+struct MixedWorkloadResult {
+    queries_per_family: usize,
+    /// Total wall time of the *first* evaluation of every overlapping query
+    /// (they share one deterministic prefix through the snapshot pool).
+    overlapping_first_total_us: f64,
+    /// Ditto for the independent family (each query runs its own prefix).
+    independent_first_total_us: f64,
+    overlapping_cold: u64,
+    overlapping_shared_hits: u64,
+    independent_cold: u64,
+    /// Pooled prefix entries backing the overlapping family (1 = shared).
+    overlapping_pooled_prefixes: usize,
+    /// Median warm latency of a query not scanning the updated relation,
+    /// before and after the pure-side update (should be unchanged).
+    non_touching_warm_before_us: f64,
+    non_touching_warm_after_us: f64,
+    /// Median warm latency of the join query after its pure side updated
+    /// (recomputes the dropped sub-plans, still warm-path).
+    touching_warm_after_us: f64,
+    /// Counters of the pure-side update: entries must survive, only
+    /// intersecting sub-plans drop.
+    pure_update_entries_dropped: u64,
+    pure_update_subplans_dropped: u64,
+    /// Counters of the spine update (repair-key input): the shared entry
+    /// must drop, forcing exactly the R-queries cold again.
+    spine_update_entries_dropped: u64,
+    cold_after_spine_update: u64,
+}
+
+/// `R(K, W)` content: `rows` rows over `keys` distinct keys, weights 1..=5.
+fn weighted_rows(rows: usize, keys: usize, salt: u64) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["K", "W"]).expect("schema"));
+    for i in 0..rows {
+        let k = (i % keys) as i64;
+        let w = ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 5 + 1) as i64;
+        let _ = rel.insert(Tuple::new(vec![Value::Int(k), Value::Int(w)]));
+    }
+    URelation::from_complete(&rel)
+}
+
+/// `S(K, B)` content: one label row per key.
+fn label_rows(keys: usize, salt: i64) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["K", "B"]).expect("schema"));
+    for k in 0..keys {
+        let _ = rel.insert(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::Int((k as i64 + salt) % 7),
+        ]));
+    }
+    URelation::from_complete(&rel)
+}
+
+fn mixed_workload_experiment(rows: usize, runs: usize) -> MixedWorkloadResult {
+    const FAMILY: usize = 6;
+    let keys = (rows / 3).max(2);
+    let mut db = UDatabase::new();
+    db.set_relation("R", weighted_rows(rows, keys, 1), true);
+    db.set_relation("S", label_rows(keys, 3), true);
+    db.set_relation("L", label_rows(keys, 5), true);
+    for i in 0..FAMILY {
+        db.set_relation(
+            format!("D{i}"),
+            weighted_rows(rows, keys, 10 + i as u64),
+            true,
+        );
+    }
+
+    // Overlapping family: one shared deterministic prefix (repair-key on R
+    // joined with S — the expensive part), six different sampling suffixes.
+    let shape = |relation: &str, side: &str, i: usize| {
+        format!(
+            "aconf[{:.2}, 0.2](project[B](join(repairkey[K @ W]({relation}), {side})))",
+            0.30 + 0.02 * i as f64
+        )
+    };
+    let overlapping: Vec<String> = (0..FAMILY).map(|i| shape("R", "S", i)).collect();
+    // Independent family: the same query shape, each over its own repair-key
+    // relation (disjoint stateful spines — nothing shared).
+    let independent: Vec<String> = (0..FAMILY)
+        .map(|i| shape(&format!("D{i}"), "L", i))
+        .collect();
+
+    let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+    let mut rng = ChaCha8Rng::seed_from_u64(19);
+
+    let start = Instant::now();
+    for q in &overlapping {
+        serving
+            .evaluate(q, &mut rng)
+            .expect("overlapping evaluation");
+    }
+    let overlapping_first_total_us = start.elapsed().as_secs_f64() * 1e6;
+    let after_overlap = serving.stats();
+    let overlapping_pooled_prefixes = serving.pooled_prefixes();
+
+    let start = Instant::now();
+    for q in &independent {
+        serving
+            .evaluate(q, &mut rng)
+            .expect("independent evaluation");
+    }
+    let independent_first_total_us = start.elapsed().as_secs_f64() * 1e6;
+    let after_indep = serving.stats();
+
+    // Warm latency of a query that does not touch the upcoming update.
+    let non_touching_warm_before_us = median_micros(runs, || {
+        serving
+            .evaluate(&independent[0], &mut rng)
+            .expect("warm evaluation");
+    });
+
+    // Content update of the pure join side `S`: the shared entry survives
+    // (its repair-key spine reads only R), only the S-scanning sub-plans
+    // drop, and queries over D0..D5 / L are untouched.
+    let before = serving.stats();
+    serving
+        .update_relations([("S", label_rows(keys, 4))])
+        .expect("update S");
+    let after = serving.stats();
+    let pure_update_entries_dropped = after.snapshots_invalidated - before.snapshots_invalidated;
+    let pure_update_subplans_dropped = after.subplans_invalidated - before.subplans_invalidated;
+    let non_touching_warm_after_us = median_micros(runs, || {
+        serving
+            .evaluate(&independent[0], &mut rng)
+            .expect("warm evaluation");
+    });
+    // The touching query recomputes the dropped join once, then is fully
+    // warm again; the median over `runs` evaluations reflects mostly the
+    // re-warmed steady state.
+    let touching_warm_after_us = median_micros(runs, || {
+        serving
+            .evaluate(&overlapping[0], &mut rng)
+            .expect("touching warm evaluation");
+    });
+
+    // Spine update: new content for `R` feeds the shared repair-key, so the
+    // pooled entry must drop and the R-family re-runs cold.
+    let before = serving.stats();
+    serving
+        .update_relations([("R", weighted_rows(rows, keys, 2))])
+        .expect("update R");
+    let cold_before = serving.stats().cold_evaluations;
+    serving
+        .evaluate(&overlapping[0], &mut rng)
+        .expect("re-cold evaluation");
+    let after = serving.stats();
+
+    MixedWorkloadResult {
+        queries_per_family: FAMILY,
+        overlapping_first_total_us,
+        independent_first_total_us,
+        overlapping_cold: after_overlap.cold_evaluations,
+        overlapping_shared_hits: after_overlap.shared_prefix_hits,
+        independent_cold: after_indep.cold_evaluations - after_overlap.cold_evaluations,
+        overlapping_pooled_prefixes,
+        non_touching_warm_before_us,
+        non_touching_warm_after_us,
+        touching_warm_after_us,
+        pure_update_entries_dropped,
+        pure_update_subplans_dropped,
+        spine_update_entries_dropped: after.snapshots_invalidated - before.snapshots_invalidated,
+        cold_after_spine_update: after.cold_evaluations - cold_before,
+    }
+}
+
+fn render_json(
+    smoke: bool,
+    repeated: &[RepeatedQueryResult],
+    shards: &[ShardResult],
+    mixed: &MixedWorkloadResult,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(
@@ -171,6 +354,53 @@ fn render_json(smoke: bool, repeated: &[RepeatedQueryResult], shards: &[ShardRes
         "    \"speedup_4_shards_vs_single_batch\": {:.2}",
         single / four.max(1e-9)
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"mixed_workload\": {{");
+    let _ = writeln!(
+        out,
+        "    \"workload\": \"{} aconf variants sharing one repair-key + join prefix on R x S \
+         vs {} identical-shape queries over disjoint relations Di x L, with interleaved \
+         relation updates (pure join side S, then repair-key input R)\",",
+        mixed.queries_per_family, mixed.queries_per_family
+    );
+    let _ = writeln!(
+        out,
+        "    \"overlapping\": {{\"queries\": {}, \"first_eval_total_us\": {:.1}, \
+         \"cold_evaluations\": {}, \"shared_prefix_hits\": {}, \"pooled_prefixes\": {}}},",
+        mixed.queries_per_family,
+        mixed.overlapping_first_total_us,
+        mixed.overlapping_cold,
+        mixed.overlapping_shared_hits,
+        mixed.overlapping_pooled_prefixes
+    );
+    let _ = writeln!(
+        out,
+        "    \"independent\": {{\"queries\": {}, \"first_eval_total_us\": {:.1}, \
+         \"cold_evaluations\": {}}},",
+        mixed.queries_per_family, mixed.independent_first_total_us, mixed.independent_cold
+    );
+    let _ = writeln!(
+        out,
+        "    \"sharing_speedup_first_eval\": {:.2},",
+        mixed.independent_first_total_us / mixed.overlapping_first_total_us.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"pure_side_update\": {{\"updated\": \"S\", \"entries_dropped\": {}, \
+         \"subplans_dropped\": {}, \"non_touching_warm_before_us\": {:.1}, \
+         \"non_touching_warm_after_us\": {:.1}, \"touching_warm_after_us\": {:.1}}},",
+        mixed.pure_update_entries_dropped,
+        mixed.pure_update_subplans_dropped,
+        mixed.non_touching_warm_before_us,
+        mixed.non_touching_warm_after_us,
+        mixed.touching_warm_after_us
+    );
+    let _ = writeln!(
+        out,
+        "    \"spine_update\": {{\"updated\": \"R\", \"entries_dropped\": {}, \
+         \"cold_evaluations_after\": {}}}",
+        mixed.spine_update_entries_dropped, mixed.cold_after_spine_update
+    );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -184,10 +414,15 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned());
 
-    let (serving_tuples, join_tuples, runs) = if smoke { (80, 200, 5) } else { (800, 1500, 11) };
+    let (serving_tuples, join_tuples, mixed_rows, runs) = if smoke {
+        (80, 200, 60, 5)
+    } else {
+        (800, 1500, 600, 11)
+    };
     let repeated = repeated_query_experiment(serving_tuples, runs);
     let shards = sharding_experiment(join_tuples, runs);
-    let json = render_json(smoke, &repeated, &shards);
+    let mixed = mixed_workload_experiment(mixed_rows, runs);
+    let json = render_json(smoke, &repeated, &shards, &mixed);
     print!("{json}");
 
     for r in &repeated {
@@ -210,6 +445,28 @@ fn main() {
             single.wall_us / four.wall_us.max(1e-9)
         );
     }
+
+    eprintln!(
+        "mixed workload: overlapping first-evals {:.0} us total ({} cold, {} shared) vs \
+         independent {:.0} us total ({} cold) — {:.1}x",
+        mixed.overlapping_first_total_us,
+        mixed.overlapping_cold,
+        mixed.overlapping_shared_hits,
+        mixed.independent_first_total_us,
+        mixed.independent_cold,
+        mixed.independent_first_total_us / mixed.overlapping_first_total_us.max(1e-9)
+    );
+    eprintln!(
+        "updates: S-update dropped {} entries / {} sub-plans (non-touching warm {:.0} -> {:.0} us, \
+         touching {:.0} us); R-update dropped {} entries ({} re-cold)",
+        mixed.pure_update_entries_dropped,
+        mixed.pure_update_subplans_dropped,
+        mixed.non_touching_warm_before_us,
+        mixed.non_touching_warm_after_us,
+        mixed.touching_warm_after_us,
+        mixed.spine_update_entries_dropped,
+        mixed.cold_after_spine_update
+    );
 
     if !smoke {
         let path = out_path.unwrap_or_else(|| "BENCH_serving.json".to_string());

@@ -656,7 +656,7 @@ pub fn e13_theorem_6_7() -> Report {
 }
 
 /// E14: Theorem 4.4 — conditional probabilities with an egd constraint in
-/// positive UA[conf].
+/// positive UA\[conf\].
 pub fn e14_theorem_4_4() -> Report {
     let mut report = Report::new(
         "E14",

@@ -6,8 +6,8 @@
 //! Koch, PODS 2008).  The problem is #P-complete (Theorem 3.4), so this crate
 //! offers both exact methods and the Karp–Luby FPRAS:
 //!
-//! * [`event`](crate::event) — the event model: [`ProbabilitySpace`],
-//!   [`Assignment`] (partial functions `Var → Dom`) and [`DnfEvent`].
+//! * the event model — [`ProbabilitySpace`], [`Assignment`] (partial
+//!   functions `Var → Dom`) and [`DnfEvent`].
 //! * [`exact`] — world enumeration, inclusion–exclusion and Shannon
 //!   expansion with memoisation/independence factorisation.
 //! * [`KarpLubyEstimator`] — the unbiased estimator of Definition 4.1.
@@ -16,7 +16,7 @@
 //! * [`approximate_confidence`] — the (ε, δ)-FPRAS of Proposition 4.2.
 //! * [`IncrementalEstimator`] — anytime estimation, the building block of the
 //!   Figure 3 algorithm in the `approx` crate.
-//! * [`bounds`](crate::bounds) — exact marginal-product / union bounds per
+//! * [`bounds`] — exact marginal-product / union bounds per
 //!   event, the sampling-free candidate-pruning primitive of the engine's σ̂
 //!   operators.
 //! * [`estimator`] — the unified [`ConfidenceEstimator`] layer: exact, FPRAS

@@ -134,8 +134,8 @@ pub trait PhysicalOperator: fmt::Debug {
     fn class(&self) -> OpClass;
 
     /// Executes a pure operator on its (already evaluated) inputs; pure
-    /// operators implement this and inherit [`execute`]
-    /// (`PhysicalOperator::execute`), which delegates here.
+    /// operators implement this and inherit
+    /// [`execute`](PhysicalOperator::execute), which delegates here.
     fn execute_pure(
         &self,
         inputs: Vec<EvaluatedRelation>,
@@ -223,6 +223,40 @@ impl ExecSnapshot {
     /// The database state at the snapshot point.
     pub fn database(&self) -> &UDatabase {
         &self.database
+    }
+
+    /// Which nodes had executed when the snapshot was captured.
+    pub fn done_flags(&self) -> &[bool] {
+        &self.state.done
+    }
+
+    /// The retained slot values of the snapshot.  Capturing runs keep the
+    /// result of *every* prefix node alive (a phantom consumer per node), so
+    /// this iterates over the full deterministic prefix — including interior
+    /// results like a join under a projection — which is what the serving
+    /// layer's cross-query snapshot pool stores, content-addressed by
+    /// sub-plan digest.
+    pub fn live_slots(&self) -> impl Iterator<Item = (usize, &EvaluatedRelation)> {
+        self.state
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|value| (id, value)))
+    }
+
+    /// The repair-key variable counter at the snapshot point.
+    pub fn var_counter(&self) -> usize {
+        self.var_counter
+    }
+
+    /// The statistics accumulated by the snapshotted prefix.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    /// The memoised W-table compilations of the snapshotted prefix.
+    pub fn spaces(&self) -> &SpaceCache {
+        &self.spaces
     }
 }
 
@@ -366,6 +400,11 @@ impl PhysicalPlan {
         &self.nodes
     }
 
+    /// The root (output) node id.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
     /// Node id of the *sampling frontier*: the smallest id of an operator
     /// that consumes randomness (`len()` if the plan is fully deterministic).
     pub fn sampling_frontier(&self) -> usize {
@@ -373,6 +412,135 @@ impl PhysicalPlan {
             .iter()
             .position(|n| n.operator.class() == OpClass::Sampling)
             .unwrap_or(self.nodes.len())
+    }
+
+    /// For every node, whether it belongs to the *deterministic prefix*: the
+    /// set of nodes that have executed when
+    /// [`execute_capturing`](PhysicalPlan::execute_capturing) reaches the
+    /// sampling frontier and captures its snapshot.
+    ///
+    /// The set is a pure function of the plan: sampling nodes never belong;
+    /// other stateful nodes belong iff their id precedes the frontier (they
+    /// execute in id order); pure nodes belong iff all their inputs do (the
+    /// executor runs pure waves to a fixpoint before touching the frontier).
+    /// In particular every scan belongs — a plan's whole relation footprint
+    /// is always part of its prefix.
+    pub fn prefix_done_flags(&self) -> Vec<bool> {
+        let frontier = self.sampling_frontier();
+        let mut done = vec![false; self.nodes.len()];
+        for id in 0..self.nodes.len() {
+            done[id] = match self.nodes[id].operator.class() {
+                OpClass::Sampling => false,
+                OpClass::Stateful => id < frontier,
+                OpClass::Pure => self.nodes[id].inputs.iter().all(|&i| done[i]),
+            };
+        }
+        done
+    }
+
+    /// The ids of the stateful (non-pure, non-sampling) nodes of the
+    /// deterministic prefix, in execution (id) order.
+    ///
+    /// This sequence determines every context effect of the prefix — the
+    /// repair-key variables added to the database (and hence the variable
+    /// counter), the statistics, and the compiled probability spaces — so
+    /// two plans whose stateful prefix sequences have equal sub-plan content
+    /// can share one captured prefix snapshot bit for bit.
+    pub fn stateful_prefix(&self) -> Vec<usize> {
+        let done = self.prefix_done_flags();
+        (0..self.nodes.len())
+            .filter(|&id| done[id] && self.nodes[id].operator.class() != OpClass::Pure)
+            .collect()
+    }
+
+    /// Rebuilds a resumable [`ExecSnapshot`] of this plan's deterministic
+    /// prefix from content-addressed parts (the serving layer's cross-query
+    /// snapshot pool stores them per sub-plan rather than per query).
+    ///
+    /// `done` marks the nodes to restore as already executed.  It must keep
+    /// every stateful prefix node done (the supplied context effects —
+    /// database, variable counter, statistics — are those of the full
+    /// stateful prefix) but may mark *pure* prefix nodes undone, in which
+    /// case resuming recomputes them from the restored database: this is how
+    /// the serving layer re-warms exactly the sub-plans an update
+    /// invalidated.  `slots[i]` must be `Some` for every done node `i` whose
+    /// result an undone node (or the root of a complete prefix) still
+    /// consumes; pending-consumer counts are recomputed from the plan
+    /// structure, so the resulting snapshot is exactly what
+    /// [`execute_capturing`](PhysicalPlan::execute_capturing) would have
+    /// captured given the same prefix effects.
+    pub fn assemble_snapshot(
+        &self,
+        done: Vec<bool>,
+        slots: Vec<Option<EvaluatedRelation>>,
+        database: UDatabase,
+        var_counter: usize,
+        stats: EvalStats,
+        spaces: SpaceCache,
+    ) -> Result<ExecSnapshot> {
+        if slots.len() != self.nodes.len() || done.len() != self.nodes.len() {
+            return Err(EngineError::Invariant(format!(
+                "snapshot assembly got {} slots / {} done flags for a plan of {} nodes",
+                slots.len(),
+                done.len(),
+                self.nodes.len()
+            )));
+        }
+        let prefix = self.prefix_done_flags();
+        for id in 0..self.nodes.len() {
+            let class = self.nodes[id].operator.class();
+            if done[id] && !prefix[id] {
+                return Err(EngineError::Invariant(format!(
+                    "snapshot assembly marks node #{id} done outside the deterministic prefix"
+                )));
+            }
+            if class != OpClass::Pure && done[id] != prefix[id] {
+                return Err(EngineError::Invariant(format!(
+                    "snapshot assembly must keep the stateful prefix intact, \
+                     but node #{id} ({}) deviates",
+                    self.nodes[id].operator.name()
+                )));
+            }
+        }
+        let mut remaining = vec![0usize; self.nodes.len()];
+        // A done node's pending-consumer count is the number of its consumer
+        // occurrences in the suffix (plus one for the root: the query output
+        // is taken only at the end of the run); an undone node's consumers
+        // are all undone, so the same sum yields its full consumer count.
+        for (id, node) in self.nodes.iter().enumerate() {
+            if done[id] {
+                continue;
+            }
+            for &input in &node.inputs {
+                remaining[input] += 1;
+            }
+        }
+        remaining[self.root] += 1;
+        for id in 0..self.nodes.len() {
+            let needed = done[id] && remaining[id] > 0;
+            if needed && slots[id].is_none() {
+                return Err(EngineError::Invariant(format!(
+                    "snapshot assembly is missing the live result of prefix node #{id} ({})",
+                    self.nodes[id].operator.name()
+                )));
+            }
+        }
+        Ok(ExecSnapshot {
+            state: SlotState {
+                slots: slots
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, slot)| if done[id] { slot } else { None })
+                    .collect(),
+                remaining,
+                done,
+            },
+            plan_signature: self.signature,
+            database,
+            var_counter,
+            stats,
+            spaces,
+        })
     }
 
     /// Executes the pipeline with the sharded slot executor; results are
@@ -404,6 +572,48 @@ impl PhysicalPlan {
         ctx: &mut ExecContext<'_>,
         snapshot: &ExecSnapshot,
     ) -> Result<EvaluatedRelation> {
+        self.resume_owned(ctx, snapshot.clone())
+    }
+
+    /// [`resume`](PhysicalPlan::resume) taking the snapshot by value: the
+    /// restored database and slot state are moved into the execution
+    /// context instead of cloned.  The serving layer assembles a fresh
+    /// throwaway snapshot per warm request, so this saves a full database +
+    /// slot copy on its hot path.
+    pub fn resume_owned(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        snapshot: ExecSnapshot,
+    ) -> Result<EvaluatedRelation> {
+        let state = self.restore(ctx, snapshot)?;
+        self.run(ctx, state, false).map(|(result, _)| result)
+    }
+
+    /// Like [`resume_owned`](PhysicalPlan::resume_owned), but re-captures a
+    /// snapshot at the sampling frontier.  Used by the serving layer when a
+    /// snapshot was assembled with *demoted* pure nodes (their pooled
+    /// results were invalidated by an update, or never computed by the
+    /// query that pooled the prefix): the demoted nodes recompute during
+    /// the resume, and the re-captured snapshot carries their fresh results
+    /// back to the pool.
+    pub fn resume_capturing(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        snapshot: ExecSnapshot,
+    ) -> Result<(EvaluatedRelation, ExecSnapshot)> {
+        let state = self.restore(ctx, snapshot)?;
+        let (result, recaptured) = self.run(ctx, state, true)?;
+        Ok((
+            result,
+            recaptured.expect("capturing execution always produces a snapshot"),
+        ))
+    }
+
+    /// Moves a snapshot's context effects into `ctx` and returns its slot
+    /// state for the run.  The space cache is still forked: a snapshot
+    /// obtained by `clone` shares its cache map with the original, and
+    /// states compiled during this resume must not leak back.
+    fn restore(&self, ctx: &mut ExecContext<'_>, snapshot: ExecSnapshot) -> Result<SlotState> {
         if snapshot.plan_signature != self.signature {
             return Err(EngineError::Invariant(
                 "snapshot resumed on a plan other than the one that captured it \
@@ -411,12 +621,11 @@ impl PhysicalPlan {
                     .into(),
             ));
         }
-        ctx.database = snapshot.database.clone();
+        ctx.database = snapshot.database;
         ctx.var_counter = snapshot.var_counter;
         ctx.stats = snapshot.stats;
         ctx.spaces = snapshot.spaces.fork();
-        self.run(ctx, snapshot.state.clone(), false)
-            .map(|(result, _)| result)
+        Ok(snapshot.state)
     }
 
     /// The single-threaded, single-batch reference schedule: every node runs
@@ -504,6 +713,24 @@ impl PhysicalPlan {
         capture: bool,
     ) -> Result<(EvaluatedRelation, Option<ExecSnapshot>)> {
         let mut snapshot = None;
+        // A phantom consumer per not-yet-done prefix node keeps every
+        // deterministic intermediate result alive until the snapshot is
+        // taken: the serving layer's cross-query pool stores them all, so a
+        // later query sharing only an *interior* sub-plan (a hot join under
+        // a different projection) can still resume it.  `capture_snapshot`
+        // subtracts the phantoms again, so resuming sees the true
+        // pending-consumer counts.  (Resume-with-capture starts from a
+        // partially done state: already-done nodes carry true counts and
+        // must not be touched.)
+        let mut phantom = vec![false; self.nodes.len()];
+        if capture {
+            for (i, in_prefix) in self.prefix_done_flags().into_iter().enumerate() {
+                if in_prefix && !state.done[i] {
+                    state.remaining[i] += 1;
+                    phantom[i] = true;
+                }
+            }
+        }
         loop {
             loop {
                 let pctx = PureCtx {
@@ -528,7 +755,7 @@ impl PhysicalPlan {
             );
             if capture && snapshot.is_none() && self.nodes[id].operator.class() == OpClass::Sampling
             {
-                snapshot = Some(self.capture_snapshot(&state, ctx));
+                snapshot = Some(self.capture_snapshot(&state, ctx, &phantom));
             }
             let inputs = self.gather_inputs(id, &mut state);
             state.slots[id] = Some(self.nodes[id].operator.execute(inputs, ctx)?);
@@ -538,7 +765,7 @@ impl PhysicalPlan {
         if capture && snapshot.is_none() {
             // Fully deterministic plan: the snapshot holds the final state,
             // including the root result.
-            snapshot = Some(self.capture_snapshot(&state, ctx));
+            snapshot = Some(self.capture_snapshot(&state, ctx, &phantom));
         }
         let result = state.slots[self.root]
             .take()
@@ -546,9 +773,25 @@ impl PhysicalPlan {
         Ok((result, snapshot))
     }
 
-    fn capture_snapshot(&self, state: &SlotState, ctx: &ExecContext<'_>) -> ExecSnapshot {
+    fn capture_snapshot(
+        &self,
+        state: &SlotState,
+        ctx: &ExecContext<'_>,
+        phantom: &[bool],
+    ) -> ExecSnapshot {
+        // Undo the phantom consumers the capturing run added, so resuming
+        // sees the true pending-consumer counts.  Slots whose counts drop to
+        // zero keep their values — they are what the serving pool shares
+        // across queries; resumes simply never consume them.
+        let mut state = state.clone();
+        for (i, &is_phantom) in phantom.iter().enumerate() {
+            if is_phantom {
+                debug_assert!(state.done[i], "phantom node #{i} unrun at capture");
+                state.remaining[i] -= 1;
+            }
+        }
         ExecSnapshot {
-            state: state.clone(),
+            state,
             plan_signature: self.signature,
             database: ctx.database.clone(),
             var_counter: ctx.var_counter,
@@ -1667,6 +1910,117 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let mut ctx = ctx_for(&db, config, &mut rng);
         assert!(other_config.resume(&mut ctx, &snapshot).is_err());
+    }
+
+    #[test]
+    fn assembled_snapshots_match_captured_ones() {
+        let workload = SensorWorkload {
+            num_sensors: 5,
+            readings_per_sensor: 3,
+            high_probability: 0.4,
+            seed: 13,
+        };
+        let db = workload.database();
+        let config = EvalConfig::default();
+        let plan = lowered(
+            &SensorWorkload::alarm_query(0.6, 0.05, 0.05).to_string(),
+            &db,
+            config,
+        );
+
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        let (_, captured) = plan.execute_capturing(&mut ctx).unwrap();
+
+        // The statically computed prefix equals the captured done set, and
+        // every scan belongs to it.
+        assert_eq!(plan.prefix_done_flags(), captured.done_flags());
+        let done = plan.prefix_done_flags();
+        for (id, node) in plan.nodes().iter().enumerate() {
+            if node.operator.name() == "scan" {
+                assert!(done[id], "scan #{id} outside the prefix");
+            }
+        }
+        // The stateful prefix lists the non-pure done nodes in id order.
+        let stateful = plan.stateful_prefix();
+        assert!(stateful.windows(2).all(|w| w[0] < w[1]));
+        for &id in &stateful {
+            assert!(done[id]);
+            assert_ne!(plan.nodes()[id].operator.class(), OpClass::Pure);
+        }
+
+        // Disassemble into content-addressed parts and reassemble: resuming
+        // the rebuilt snapshot is bit-identical to resuming the original.
+        let mut slots: Vec<Option<EvaluatedRelation>> = vec![None; plan.nodes().len()];
+        for (id, value) in captured.live_slots() {
+            slots[id] = Some(value.clone());
+        }
+        let rebuilt = plan
+            .assemble_snapshot(
+                plan.prefix_done_flags(),
+                slots,
+                captured.database().clone(),
+                captured.var_counter(),
+                captured.stats(),
+                captured.spaces().fork(),
+            )
+            .unwrap();
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(23);
+        let mut ctx_a = ctx_for(&db, config, &mut rng_a);
+        let from_captured = plan.resume(&mut ctx_a, &captured).unwrap();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(23);
+        let mut ctx_b = ctx_for(&db, config, &mut rng_b);
+        let from_rebuilt = plan.resume(&mut ctx_b, &rebuilt).unwrap();
+        assert_eq!(from_captured.relation, from_rebuilt.relation);
+        assert_eq!(from_captured.errors, from_rebuilt.errors);
+        assert_eq!(ctx_a.stats, ctx_b.stats);
+        assert_eq!(ctx_a.database, ctx_b.database);
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+
+        // Missing live slots are rejected, as are wrongly sized vectors and
+        // done sets that deviate from the stateful prefix.
+        assert!(plan
+            .assemble_snapshot(
+                plan.prefix_done_flags(),
+                vec![None; plan.nodes().len()],
+                captured.database().clone(),
+                captured.var_counter(),
+                captured.stats(),
+                captured.spaces().fork(),
+            )
+            .is_err());
+        assert!(plan
+            .assemble_snapshot(
+                plan.prefix_done_flags(),
+                Vec::new(),
+                captured.database().clone(),
+                captured.var_counter(),
+                captured.stats(),
+                captured.spaces().fork(),
+            )
+            .is_err());
+        let mut bad_done = plan.prefix_done_flags();
+        for (id, node) in plan.nodes().iter().enumerate() {
+            if bad_done[id] && node.operator.class() != OpClass::Pure {
+                bad_done[id] = false;
+                break;
+            }
+        }
+        let mut slots: Vec<Option<EvaluatedRelation>> = vec![None; plan.nodes().len()];
+        for (id, value) in captured.live_slots() {
+            slots[id] = Some(value.clone());
+        }
+        assert!(plan
+            .assemble_snapshot(
+                bad_done,
+                slots,
+                captured.database().clone(),
+                captured.var_counter(),
+                captured.stats(),
+                captured.spaces().fork(),
+            )
+            .is_err());
     }
 
     #[test]

@@ -1,25 +1,47 @@
-//! The serving layer: repeated-query evaluation at steady-state estimation
-//! cost.
+//! The serving layer: workload-level query evaluation at steady-state
+//! estimation cost.
 //!
-//! A [`ServingEngine`] binds a [`UEngine`] configuration to one database and
-//! serves query *text*.  Three caches stack up:
+//! A [`ServingEngine`] binds a [`UEngine`](crate::UEngine) configuration to
+//! one database and serves query *text*.  Four caches stack up:
 //!
 //! 1. a [`PlanCache`] keyed by normalized query text — a repeated query is
 //!    never re-parsed, re-validated or re-lowered;
 //! 2. a prepared [`PhysicalPlan`] per plan — lowering against the engine
-//!    configuration happens once;
-//! 3. an [`ExecSnapshot`] per prepared query — the deterministic prefix of
-//!    the pipeline (relational operators, repair-key, exact confidence,
-//!    lineage extraction, W-table compilation) executes once, and every
-//!    further evaluation resumes at the *sampling frontier*, so its cost is
-//!    Monte Carlo estimation only.  Fully deterministic queries resume past
-//!    the root: warm evaluations just clone the cached result.
+//!    configuration happens once, together with the query's *prefix
+//!    profile* (sub-plan digests, relation footprints, the deterministic
+//!    prefix and its stateful spine);
+//! 3. a cross-query **snapshot pool**: the deterministic prefix of every
+//!    prepared query (relational operators, repair-key, exact confidence,
+//!    lineage extraction, W-table compilation) is executed once and its
+//!    results stored *per sub-plan*, content-addressed by
+//!    [`SubplanDigest`] — so a hot join shared by
+//!    many prepared queries is executed once and resumed by all of them,
+//!    and the first evaluation of a new query whose prefix another query
+//!    already warmed never runs cold;
+//! 4. inside each pooled prefix, the memoised [`SpaceCache`] /
+//!    lineage-batch caches of the `space` module, shared by every resume.
+//!
+//! Snapshot identity is "sub-plan × relation footprint", not "query":
+//! pool entries are keyed by the *stateful spine* of the prefix (the ordered
+//! repair-key / exact-confidence nodes, which determine every context
+//! effect — introduced variables, statistics, compiled spaces), and each
+//! stored sub-plan result records the set of base relations it scans.
+//! [`ServingEngine::update_relations`] exploits both: a content update to
+//! relation `R` invalidates only the pooled sub-plan results whose footprint
+//! contains `R` (and whole entries only when `R` feeds their stateful
+//! spine), patches the surviving prefixes' database copies, and leaves every
+//! other prepared query at warm-path cost.  [`ServingEngine::set_database`]
+//! remains the full-swap path that drops everything (required for schema
+//! changes).
 //!
 //! Warm results are bit-identical to what a cold evaluation with the same
 //! RNG state would produce: the snapshot restores slots, database, variable
 //! counter and statistics exactly as the sequential schedule would have left
-//! them at the frontier, and sampling operators derive all randomness from
-//! the caller's RNG as usual.
+//! them at the sampling frontier, and sampling operators derive all
+//! randomness from the caller's RNG as usual.  Sub-plan sharing preserves
+//! this because entries are only shared between prefixes with identical
+//! stateful spines — the per-index sub-RNG discipline of the estimation
+//! layer is never disturbed by where the prefix values came from.
 //!
 //! ```
 //! use engine::{EvalConfig, ServingEngine};
@@ -34,56 +56,344 @@
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
 //! let q = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
 //! let cold = serving.evaluate(q, &mut rng).unwrap();
-//! let warm = serving.evaluate(q, &mut rng).unwrap();   // served from the snapshot
+//! let warm = serving.evaluate(q, &mut rng).unwrap();   // served from the pool
 //! assert_eq!(cold.result.relation, warm.result.relation);
 //! assert_eq!(serving.stats().warm_evaluations, 1);
 //! ```
 
 use crate::adaptive_query::catalog_of;
 use crate::error::Result;
-use crate::exec::{EvalConfig, EvalOutput, EvalStats};
-use crate::physical::{ExecContext, ExecSnapshot, PhysicalPlan};
+use crate::exec::{EvalConfig, EvalOutput, EvalStats, EvaluatedRelation};
+use crate::physical::{ExecContext, ExecSnapshot, OpClass, PhysicalPlan};
 use crate::space::SpaceCache;
-use algebra::{Catalog, PlanCache};
+use algebra::{Catalog, LogicalPlan, PlanCache, SubplanDigest};
 use rand::{Rng, RngCore};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
-use urel::UDatabase;
+use urel::{UDatabase, URelation};
 
-/// Upper bound on prepared queries a server retains; each one holds a
-/// prefix snapshot (slots + database clone), so the set must stay bounded.
+/// Upper bound on prepared queries a server retains (each holds a lowered
+/// physical plan and a prefix profile; prefix state lives in the pool).
 const PREPARED_CAP: usize = 1024;
+
+/// Upper bound on pooled prefix entries; each holds a database clone plus
+/// the live sub-plan results of one stateful spine.  Reaching it clears the
+/// pool — steady-state serving re-warms the hot entries on the next
+/// requests.
+const POOL_CAP: usize = 256;
 
 /// Counters describing how the serving caches are performing.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServingStats {
-    /// Evaluations that parsed/lowered/executed from scratch (and captured a
-    /// snapshot).
+    /// Evaluations that executed the deterministic prefix from scratch (and
+    /// populated the snapshot pool).
     pub cold_evaluations: u64,
-    /// Evaluations resumed from a prepared snapshot.
+    /// Evaluations resumed from the snapshot pool (estimation-only cost,
+    /// plus recomputation of any sub-plans an update invalidated).
     pub warm_evaluations: u64,
     /// Plan-cache hits (lookups answered without parsing + lowering).
     pub plan_cache_hits: u64,
     /// Plan-cache misses.
     pub plan_cache_misses: u64,
+    /// First evaluations of a query served warm because another prepared
+    /// query had already pooled the shared prefix (a subset of
+    /// `warm_evaluations`).
+    pub shared_prefix_hits: u64,
+    /// Pool entries dropped by [`ServingEngine::update_relations`] because a
+    /// changed relation fed their stateful spine.
+    pub snapshots_invalidated: u64,
+    /// Individual pooled sub-plan results dropped by
+    /// [`ServingEngine::update_relations`] footprint intersection (inside
+    /// surviving entries).
+    pub subplans_invalidated: u64,
+    /// Pure sub-plans recomputed during warm resumes because their pooled
+    /// result was missing (invalidated by an update, or never produced by
+    /// the query that pooled the prefix).  Each recomputed result is
+    /// absorbed back into the pool, so a given sub-plan is recomputed at
+    /// most once per invalidation.
+    pub subplans_recomputed: u64,
+    /// Relations whose content actually changed across all
+    /// [`ServingEngine::update_relations`] calls (no-op replacements are
+    /// detected by content digest and skipped).
+    pub relation_updates: u64,
 }
 
-/// One prepared query: its lowered physical plan plus, after the first
-/// evaluation, the resumable snapshot of the deterministic prefix.
+/// Everything the pool needs to know about one prepared query's
+/// deterministic prefix, computed once at preparation time.
+struct PrefixProfile {
+    /// Pool key: hash of the lowering configuration plus the ordered
+    /// sub-plan digests of the stateful spine.  Equal keys imply equal
+    /// context effects (database variables, counter, statistics, compiled
+    /// spaces) for prefixes executed over the same database.
+    fingerprint: (u64, u64),
+    /// Per-node content digests ([`LogicalPlan::subplan_digests`]).
+    digests: Vec<SubplanDigest>,
+    /// Per-node relation footprints ([`LogicalPlan::subplan_footprints`]).
+    footprints: Vec<Arc<BTreeSet<String>>>,
+    /// The deterministic prefix ([`PhysicalPlan::prefix_done_flags`]).
+    done: Vec<bool>,
+    /// Operator classes, parallel to the nodes.
+    classes: Vec<OpClass>,
+    /// Union footprint of the stateful spine: an update touching it makes
+    /// the pooled effects stale, so the whole entry must go.
+    stateful_footprint: BTreeSet<String>,
+}
+
+impl PrefixProfile {
+    fn new(plan: &LogicalPlan, physical: &PhysicalPlan, config: &EvalConfig) -> PrefixProfile {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let digests = plan.subplan_digests();
+        let footprints: Vec<Arc<BTreeSet<String>>> = plan
+            .subplan_footprints()
+            .into_iter()
+            .map(Arc::new)
+            .collect();
+        let done = physical.prefix_done_flags();
+        let classes: Vec<OpClass> = physical
+            .nodes()
+            .iter()
+            .map(|n| n.operator.class())
+            .collect();
+        let spine = physical.stateful_prefix();
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        0x9E37_79B9_7F4A_7C15_u64.hash(&mut h2);
+        format!("{config:?}").hash(&mut h1);
+        format!("{config:?}").hash(&mut h2);
+        let mut stateful_footprint = BTreeSet::new();
+        for &id in &spine {
+            digests[id].hash(&mut h1);
+            digests[id].hash(&mut h2);
+            stateful_footprint.extend(footprints[id].iter().cloned());
+        }
+        PrefixProfile {
+            fingerprint: (h1.finish(), h2.finish()),
+            digests,
+            footprints,
+            done,
+            classes,
+            stateful_footprint,
+        }
+    }
+}
+
+/// One prepared query: its lowered physical plan, the logical plan it came
+/// from, its prefix profile, and how often it has been evaluated.
 struct PreparedQuery {
     physical: Arc<PhysicalPlan>,
-    snapshot: Option<ExecSnapshot>,
+    profile: Arc<PrefixProfile>,
+    evaluations: u64,
 }
 
-/// A query server over one database: repeated queries cost estimation only.
+/// One pooled sub-plan result: the evaluated relation plus the base
+/// relations its sub-plan scans (the invalidation unit).
+struct PooledSlot {
+    value: EvaluatedRelation,
+    footprint: Arc<BTreeSet<String>>,
+}
+
+/// A pool lookup that succeeded: the snapshot to resume, how many pure
+/// sub-plans had to be demoted for recomputation, and whether the entry was
+/// created by a *different* query (genuine cross-query sharing).
+struct ResolvedPrefix {
+    snapshot: ExecSnapshot,
+    demoted: u64,
+    shared: bool,
+}
+
+/// The shared prefix of every prepared query with one stateful spine: the
+/// context effects of executing that spine, plus the content-addressed live
+/// results of the prefix sub-plans (of *all* queries that share the spine).
+struct PoolEntry {
+    /// Normalized key of the query whose cold execution created the entry;
+    /// used to tell genuine cross-query sharing apart from a query finding
+    /// its own pooled prefix again (e.g. after prepared-cache eviction).
+    creator: Arc<str>,
+    database: UDatabase,
+    var_counter: usize,
+    stats: EvalStats,
+    spaces: SpaceCache,
+    slots: HashMap<SubplanDigest, PooledSlot>,
+    stateful_footprint: BTreeSet<String>,
+}
+
+/// The cross-query snapshot pool.
+#[derive(Default)]
+struct SnapshotPool {
+    entries: HashMap<(u64, u64), PoolEntry>,
+}
+
+fn intersects(a: &BTreeSet<String>, b: &BTreeSet<String>) -> bool {
+    if a.len() > b.len() {
+        return intersects(b, a);
+    }
+    a.iter().any(|x| b.contains(x))
+}
+
+impl SnapshotPool {
+    /// Attempts to rebuild a resumable snapshot for `profile` from the pool.
+    ///
+    /// Pure prefix nodes whose pooled result is missing (never computed for
+    /// this entry, or dropped by an update) are demoted to *undone* and will
+    /// be recomputed from the entry's (patched) database during the resume —
+    /// their inputs become needed in turn, to a fixpoint.  A missing
+    /// *stateful* result cannot be recomputed without re-running the spine,
+    /// so it turns the lookup into a miss.
+    fn resolve(
+        &self,
+        profile: &PrefixProfile,
+        physical: &PhysicalPlan,
+        requester: &Arc<str>,
+    ) -> Result<Option<ResolvedPrefix>> {
+        let Some(entry) = self.entries.get(&profile.fingerprint) else {
+            return Ok(None);
+        };
+        let n = profile.digests.len();
+        let available: Vec<bool> = (0..n)
+            .map(|i| entry.slots.contains_key(&profile.digests[i]))
+            .collect();
+        let mut done = profile.done.clone();
+        let mut demoted = 0u64;
+        loop {
+            let needed = needed_flags(physical, &done);
+            let Some(missing) = (0..n).find(|&i| done[i] && needed[i] && !available[i]) else {
+                break;
+            };
+            if profile.classes[missing] != OpClass::Pure {
+                return Ok(None);
+            }
+            done[missing] = false;
+            demoted += 1;
+        }
+        let needed = needed_flags(physical, &done);
+        let mut slots: Vec<Option<EvaluatedRelation>> = (0..n).map(|_| None).collect();
+        for i in 0..n {
+            if done[i] && needed[i] {
+                let slot = entry
+                    .slots
+                    .get(&profile.digests[i])
+                    .expect("fixpoint demoted every missing needed slot");
+                slots[i] = Some(slot.value.clone());
+            }
+        }
+        let snapshot = physical.assemble_snapshot(
+            done,
+            slots,
+            entry.database.clone(),
+            entry.var_counter,
+            entry.stats,
+            entry.spaces.fork(),
+        )?;
+        Ok(Some(ResolvedPrefix {
+            snapshot,
+            demoted,
+            shared: entry.creator.as_ref() != requester.as_ref(),
+        }))
+    }
+
+    /// Stores the live sub-plan results of a freshly captured prefix
+    /// snapshot, creating the spine's entry if this is the first query to
+    /// execute it.  Results already present are kept (they are equal by
+    /// construction: same spine, same database).
+    fn absorb(&mut self, profile: &PrefixProfile, snapshot: &ExecSnapshot, creator: &Arc<str>) {
+        if self.entries.len() >= POOL_CAP && !self.entries.contains_key(&profile.fingerprint) {
+            self.entries.clear();
+        }
+        let entry = self
+            .entries
+            .entry(profile.fingerprint)
+            .or_insert_with(|| PoolEntry {
+                creator: creator.clone(),
+                database: snapshot.database().clone(),
+                var_counter: snapshot.var_counter(),
+                stats: snapshot.stats(),
+                spaces: snapshot.spaces().fork(),
+                slots: HashMap::new(),
+                stateful_footprint: profile.stateful_footprint.clone(),
+            });
+        for (id, value) in snapshot.live_slots() {
+            entry
+                .slots
+                .entry(profile.digests[id])
+                .or_insert_with(|| PooledSlot {
+                    value: value.clone(),
+                    footprint: profile.footprints[id].clone(),
+                });
+        }
+    }
+
+    /// Applies a relation-content update: drops entries whose stateful spine
+    /// scanned a changed relation, drops intersecting sub-plan results
+    /// inside surviving entries, and patches the survivors' database copies
+    /// so resumed suffixes (and recomputed pure sub-plans) see the new
+    /// content.  Returns `(entries_dropped, slots_dropped)`.
+    fn invalidate(
+        &mut self,
+        changed: &BTreeSet<String>,
+        updates: &[(String, URelation)],
+    ) -> (u64, u64) {
+        let mut entries_dropped = 0;
+        let mut slots_dropped = 0;
+        self.entries.retain(|_, entry| {
+            if intersects(&entry.stateful_footprint, changed) {
+                entries_dropped += 1;
+                return false;
+            }
+            entry.slots.retain(|_, slot| {
+                let keep = !intersects(&slot.footprint, changed);
+                if !keep {
+                    slots_dropped += 1;
+                }
+                keep
+            });
+            for (name, rel) in updates {
+                let complete = entry.database.is_complete(name);
+                entry
+                    .database
+                    .set_relation(name.clone(), rel.clone(), complete);
+            }
+            true
+        });
+        (entries_dropped, slots_dropped)
+    }
+}
+
+/// For every node: whether some undone node consumes it (or it is the done
+/// root, whose value the end of the run still takes).
+fn needed_flags(physical: &PhysicalPlan, done: &[bool]) -> Vec<bool> {
+    let mut needed = vec![false; done.len()];
+    for (id, node) in physical.nodes().iter().enumerate() {
+        if done[id] {
+            continue;
+        }
+        for &input in &node.inputs {
+            needed[input] = true;
+        }
+    }
+    if done[physical.root()] {
+        needed[physical.root()] = true;
+    }
+    needed
+}
+
+/// A query server over one database: repeated queries cost estimation only,
+/// prefixes are shared across queries, and relation updates invalidate only
+/// what they touch.
 pub struct ServingEngine {
     config: EvalConfig,
     database: UDatabase,
     catalog: Catalog,
     plans: PlanCache,
     prepared: HashMap<Arc<str>, PreparedQuery>,
+    pool: SnapshotPool,
     cold_evaluations: u64,
     warm_evaluations: u64,
+    shared_prefix_hits: u64,
+    snapshots_invalidated: u64,
+    subplans_invalidated: u64,
+    subplans_recomputed: u64,
+    relation_updates: u64,
 }
 
 impl ServingEngine {
@@ -96,8 +406,14 @@ impl ServingEngine {
             catalog,
             plans: PlanCache::new(),
             prepared: HashMap::new(),
+            pool: SnapshotPool::default(),
             cold_evaluations: 0,
             warm_evaluations: 0,
+            shared_prefix_hits: 0,
+            snapshots_invalidated: 0,
+            subplans_invalidated: 0,
+            subplans_recomputed: 0,
+            relation_updates: 0,
         })
     }
 
@@ -111,69 +427,163 @@ impl ServingEngine {
         &self.database
     }
 
-    /// Replaces the database and invalidates every cache (plans validate
-    /// against the catalog; snapshots embed database state).
+    /// Replaces the whole database and drops every cache: plans (they
+    /// validate against the catalog, which may change schemas), prepared
+    /// queries and the snapshot pool.  This is the schema-evolution path;
+    /// content-only changes should use
+    /// [`update_relations`](ServingEngine::update_relations), which keeps
+    /// warm caches warm.
     pub fn set_database(&mut self, database: UDatabase) -> Result<()> {
         self.catalog = catalog_of(&database)?;
         self.database = database;
         self.plans.clear();
         self.prepared.clear();
+        self.pool.entries.clear();
+        Ok(())
+    }
+
+    /// Applies content updates to named base relations, invalidating only
+    /// the cached state they touch.
+    ///
+    /// Every update must keep the relation's catalog identity: same schema,
+    /// and a relation declared complete stays complete (schema evolution
+    /// goes through [`set_database`](ServingEngine::set_database)).  All
+    /// updates are validated before any is applied.  Replacements whose
+    /// content digest equals the stored relation are no-ops and invalidate
+    /// nothing.
+    ///
+    /// Invalidation is footprint-based: a pooled prefix entry dies only if a
+    /// changed relation feeds its stateful spine (its repair-key variables
+    /// or exact-confidence statistics would be stale); otherwise the entry
+    /// survives, the sub-plan results that scanned a changed relation are
+    /// dropped, and the entry's database copy is patched.  Prepared queries
+    /// not scanning any changed relation keep their full warm path; queries
+    /// whose pure sub-plans were dropped re-warm exactly those sub-plans on
+    /// their next evaluation.  Warm answers after an update are
+    /// bit-identical to a cold evaluation over the updated database at the
+    /// same RNG state.
+    pub fn update_relations(
+        &mut self,
+        updates: impl IntoIterator<Item = (impl Into<String>, URelation)>,
+    ) -> Result<()> {
+        // Validate everything before changing anything (atomicity).  A name
+        // given several times collapses to its last replacement, and only
+        // the *final* content per name is digest-compared against the
+        // stored relation to detect no-ops.
+        let mut finals: BTreeMap<String, URelation> = BTreeMap::new();
+        for (name, rel) in updates {
+            let name = name.into();
+            self.database.check_replacement(&name, &rel)?;
+            finals.insert(name, rel);
+        }
+        let changed: Vec<(String, URelation)> = finals
+            .into_iter()
+            .filter(|(name, rel)| {
+                self.database
+                    .relation(name)
+                    .map(|old| old.content_digest() != rel.content_digest())
+                    .unwrap_or(true)
+            })
+            .collect();
+        if changed.is_empty() {
+            return Ok(());
+        }
+        let changed_names: BTreeSet<String> =
+            changed.iter().map(|(name, _)| name.clone()).collect();
+        for (name, rel) in &changed {
+            self.database
+                .replace_relation(name, rel.clone())
+                .expect("update validated above");
+        }
+        let (entries_dropped, slots_dropped) = self.pool.invalidate(&changed_names, &changed);
+        self.relation_updates += changed.len() as u64;
+        self.snapshots_invalidated += entries_dropped;
+        self.subplans_invalidated += slots_dropped;
         Ok(())
     }
 
     /// Evaluates a UA query given as text.  The first evaluation of a query
-    /// runs cold and prepares it; repeated evaluations resume at the
-    /// sampling frontier.
+    /// resumes from the cross-query snapshot pool when another prepared
+    /// query already executed the same deterministic prefix; otherwise it
+    /// runs cold and populates the pool.  Repeated evaluations resume at
+    /// the sampling frontier.
     pub fn evaluate<R: Rng + ?Sized>(&mut self, text: &str, rng: &mut R) -> Result<EvalOutput> {
         let (key, plan) = self.plans.get_or_lower(text, &self.catalog)?;
         if !self.prepared.contains_key(&key) {
-            // Snapshots embed database state; bound how many a long-running
-            // server retains (evicted queries simply re-prepare).
+            // Prepared queries are bounded; evicted ones re-prepare and
+            // find their prefix still pooled.
             if self.prepared.len() >= PREPARED_CAP {
                 self.prepared.clear();
             }
             let physical = Arc::new(PhysicalPlan::lower(&plan, self.config)?);
+            let profile = Arc::new(PrefixProfile::new(&plan, &physical, &self.config));
             self.prepared.insert(
                 key.clone(),
                 PreparedQuery {
                     physical,
-                    snapshot: None,
+                    profile,
+                    evaluations: 0,
                 },
             );
         }
-        let entry = self
-            .prepared
-            .get_mut(&key)
-            .expect("prepared entry inserted above");
+        let (physical, profile, first_evaluation) = {
+            let prepared = self
+                .prepared
+                .get_mut(&key)
+                .expect("prepared entry inserted above");
+            let first = prepared.evaluations == 0;
+            prepared.evaluations += 1;
+            (prepared.physical.clone(), prepared.profile.clone(), first)
+        };
 
         let mut rng_ref: &mut R = rng;
         let dyn_rng: &mut dyn RngCore = &mut rng_ref;
+        if let Some(resolved) = self.pool.resolve(&profile, &physical, &key)? {
+            self.warm_evaluations += 1;
+            if first_evaluation && resolved.shared {
+                self.shared_prefix_hits += 1;
+            }
+            self.subplans_recomputed += resolved.demoted;
+            let mut ctx = ExecContext {
+                config: self.config,
+                // The snapshot restores its own database; seeding the
+                // context with an empty one avoids a wasted full clone.
+                database: UDatabase::new(),
+                stats: EvalStats::default(),
+                var_counter: 0,
+                rng: dyn_rng,
+                spaces: SpaceCache::new(),
+            };
+            let result = if resolved.demoted > 0 {
+                // Some pure sub-plans recompute during this resume; capture
+                // at the frontier again and pool their fresh results, so
+                // the next request (of any query sharing them) finds the
+                // prefix fully warm.
+                let (result, recaptured) =
+                    physical.resume_capturing(&mut ctx, resolved.snapshot)?;
+                self.pool.absorb(&profile, &recaptured, &key);
+                result
+            } else {
+                physical.resume_owned(&mut ctx, resolved.snapshot)?
+            };
+            return Ok(EvalOutput {
+                result,
+                database: ctx.database,
+                stats: ctx.stats,
+            });
+        }
+
+        self.cold_evaluations += 1;
         let mut ctx = ExecContext {
             config: self.config,
-            // Warm evaluations restore the snapshot's database; seeding the
-            // context with an empty one avoids a wasted full clone.
-            database: if entry.snapshot.is_some() {
-                UDatabase::new()
-            } else {
-                self.database.clone()
-            },
+            database: self.database.clone(),
             stats: EvalStats::default(),
             var_counter: 0,
             rng: dyn_rng,
             spaces: SpaceCache::new(),
         };
-        let result = match &entry.snapshot {
-            Some(snapshot) => {
-                self.warm_evaluations += 1;
-                entry.physical.resume(&mut ctx, snapshot)?
-            }
-            None => {
-                self.cold_evaluations += 1;
-                let (result, snapshot) = entry.physical.execute_capturing(&mut ctx)?;
-                entry.snapshot = Some(snapshot);
-                result
-            }
-        };
+        let (result, snapshot) = physical.execute_capturing(&mut ctx)?;
+        self.pool.absorb(&profile, &snapshot, &key);
         Ok(EvalOutput {
             result,
             database: ctx.database,
@@ -188,12 +598,30 @@ impl ServingEngine {
             warm_evaluations: self.warm_evaluations,
             plan_cache_hits: self.plans.hits(),
             plan_cache_misses: self.plans.misses(),
+            shared_prefix_hits: self.shared_prefix_hits,
+            snapshots_invalidated: self.snapshots_invalidated,
+            subplans_invalidated: self.subplans_invalidated,
+            subplans_recomputed: self.subplans_recomputed,
+            relation_updates: self.relation_updates,
         }
     }
 
     /// Number of prepared queries.
     pub fn prepared_queries(&self) -> usize {
         self.prepared.len()
+    }
+
+    /// Number of pooled prefix entries (distinct stateful spines).  Smaller
+    /// than [`prepared_queries`](ServingEngine::prepared_queries) when
+    /// prepared queries share prefixes.
+    pub fn pooled_prefixes(&self) -> usize {
+        self.pool.entries.len()
+    }
+
+    /// Total number of sub-plan results currently pooled across all
+    /// entries.
+    pub fn pooled_subplans(&self) -> usize {
+        self.pool.entries.values().map(|e| e.slots.len()).sum()
     }
 }
 
@@ -238,7 +666,9 @@ mod tests {
         assert_eq!(stats.warm_evaluations, 1);
         assert_eq!(stats.plan_cache_misses, 1);
         assert_eq!(stats.plan_cache_hits, 1);
+        assert_eq!(stats.shared_prefix_hits, 0);
         assert_eq!(serving.prepared_queries(), 1);
+        assert_eq!(serving.pooled_prefixes(), 1);
     }
 
     #[test]
@@ -282,9 +712,217 @@ mod tests {
         )]);
         serving.set_database(other).unwrap();
         assert_eq!(serving.prepared_queries(), 0);
+        assert_eq!(serving.pooled_prefixes(), 0);
         let out = serving.evaluate("poss(Coins)", &mut rng).unwrap();
         assert_eq!(out.result.relation.len(), 1);
         // Unknown relations fail validation against the new catalog.
         assert!(serving.evaluate("poss(Nope)", &mut rng).is_err());
+    }
+
+    #[test]
+    fn overlapping_queries_share_one_pooled_prefix() {
+        // Two queries over the same deterministic prefix (repair-key +
+        // projection), differing only in their sampling suffix: the second
+        // query's *first* evaluation must resume the pooled prefix.
+        let db = coin_db();
+        let q1 = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let q2 = "aconf[0.2, 0.05](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        serving.evaluate(q1, &mut rng).unwrap();
+        let mut rng2 = ChaCha8Rng::seed_from_u64(77);
+        let shared = serving.evaluate(q2, &mut rng2).unwrap();
+
+        let stats = serving.stats();
+        assert_eq!(stats.cold_evaluations, 1, "q2 never ran its prefix");
+        assert_eq!(stats.warm_evaluations, 1);
+        assert_eq!(stats.shared_prefix_hits, 1);
+        assert_eq!(serving.prepared_queries(), 2);
+        assert_eq!(serving.pooled_prefixes(), 1, "one spine, two queries");
+
+        // The shared resume is bit-identical to a cold evaluation of q2.
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(q2).unwrap();
+        let mut direct_rng = ChaCha8Rng::seed_from_u64(77);
+        let direct = engine.evaluate(&db, &query, &mut direct_rng).unwrap();
+        assert_eq!(shared.result.relation, direct.result.relation);
+        assert_eq!(shared.stats, direct.stats);
+        assert_eq!(shared.database, direct.database);
+    }
+
+    fn two_relation_db() -> UDatabase {
+        UDatabase::from_complete_relations([
+            (
+                "Coins",
+                relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
+            ),
+            (
+                "Labels",
+                relation![schema!["CoinType", "Label"]; ["fair", "ok"], ["2headed", "trick"]],
+            ),
+            ("Other", relation![schema!["X"]; [1], [2]]),
+        ])
+    }
+
+    #[test]
+    fn update_relations_invalidates_only_intersecting_state() {
+        let db = two_relation_db();
+        let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
+        let independent = "aconf[0.3, 0.1](project[X](Other))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        serving.evaluate(touching, &mut rng).unwrap();
+        serving.evaluate(independent, &mut rng).unwrap();
+        assert_eq!(serving.stats().cold_evaluations, 2);
+
+        // Update `Labels`: it feeds only pure sub-plans of `touching` (the
+        // repair-key spine reads `Coins`), so the entry survives, only the
+        // Labels-scanning sub-plans are dropped, and `independent` (whose
+        // spine is empty and footprint disjoint) keeps its pooled state.
+        let new_labels = URelation::from_complete(
+            &relation![schema!["CoinType", "Label"]; ["fair", "good"], ["2headed", "evil"]],
+        );
+        serving.update_relations([("Labels", new_labels)]).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.relation_updates, 1);
+        assert_eq!(stats.snapshots_invalidated, 0, "no spine scans Labels");
+        assert!(stats.subplans_invalidated > 0);
+
+        // Both queries still evaluate warm (the touching one re-warms its
+        // dropped pure sub-plans during the resume), and the touching
+        // query's answer matches a cold engine over the updated database.
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(42);
+        let warm = serving.evaluate(touching, &mut warm_rng).unwrap();
+        serving.evaluate(independent, &mut warm_rng).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.cold_evaluations, 2, "no evaluation re-ran cold");
+        assert_eq!(stats.warm_evaluations, 2);
+
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(touching).unwrap();
+        let mut direct_rng = ChaCha8Rng::seed_from_u64(42);
+        let direct = engine
+            .evaluate(serving.database(), &query, &mut direct_rng)
+            .unwrap();
+        assert_eq!(warm.result.relation, direct.result.relation);
+        assert_eq!(warm.stats, direct.stats);
+        assert_eq!(warm.database, direct.database);
+
+        // The re-warm recomputed the dropped sub-plans once and pooled the
+        // fresh results: a further warm evaluation recomputes nothing.
+        let recomputed = serving.stats().subplans_recomputed;
+        assert!(recomputed > 0, "the touching resume re-warmed sub-plans");
+        serving.evaluate(touching, &mut warm_rng).unwrap();
+        assert_eq!(serving.stats().subplans_recomputed, recomputed);
+    }
+
+    #[test]
+    fn update_to_a_spine_relation_drops_the_entry() {
+        let db = two_relation_db();
+        let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(serving.pooled_prefixes(), 1);
+
+        // `Coins` feeds the repair-key spine: the entry must go.
+        let new_coins = URelation::from_complete(
+            &relation![schema!["CoinType", "Count"]; ["fair", 1], ["2headed", 3]],
+        );
+        serving.update_relations([("Coins", new_coins)]).unwrap();
+        assert_eq!(serving.stats().snapshots_invalidated, 1);
+        assert_eq!(serving.pooled_prefixes(), 0);
+
+        // The next evaluation runs cold over the new content and matches
+        // the plain engine.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(11);
+        let re_cold = serving.evaluate(text, &mut rng_a).unwrap();
+        assert_eq!(serving.stats().cold_evaluations, 2);
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(text).unwrap();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(11);
+        let direct = engine
+            .evaluate(serving.database(), &query, &mut rng_b)
+            .unwrap();
+        assert_eq!(re_cold.result.relation, direct.result.relation);
+    }
+
+    #[test]
+    fn no_op_updates_invalidate_nothing() {
+        let db = coin_db();
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        serving.evaluate(text, &mut rng).unwrap();
+        let same = db.relation("Coins").unwrap().clone();
+        serving.update_relations([("Coins", same)]).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.relation_updates, 0);
+        assert_eq!(stats.snapshots_invalidated, 0);
+        assert_eq!(serving.pooled_prefixes(), 1);
+        serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(serving.stats().warm_evaluations, 1);
+    }
+
+    #[test]
+    fn update_validation_is_atomic() {
+        let db = two_relation_db();
+        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let good =
+            URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["weighted", 4]]);
+        let bad_schema = URelation::from_complete(&relation![schema!["A"]; [1]]);
+        // The second update is invalid: nothing may be applied.
+        assert!(serving
+            .update_relations([("Coins", good), ("Labels", bad_schema)])
+            .is_err());
+        assert_eq!(
+            serving.database().relation("Coins").unwrap(),
+            db.relation("Coins").unwrap()
+        );
+        // Unknown relations are rejected up front too.
+        let any = URelation::from_complete(&relation![schema!["A"]; [1]]);
+        assert!(serving.update_relations([("Nope", any)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_names_in_one_batch_are_last_wins() {
+        let db = coin_db();
+        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let replacement =
+            URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["weighted", 4]]);
+        let original = db.relation("Coins").unwrap().clone();
+        // Replace, then restore in the same batch: the net effect is a
+        // no-op — the final content equals the stored one, so nothing is
+        // applied or invalidated.
+        serving
+            .update_relations([("Coins", replacement.clone()), ("Coins", original.clone())])
+            .unwrap();
+        assert_eq!(serving.database().relation("Coins").unwrap(), &original);
+        assert_eq!(serving.stats().relation_updates, 0);
+        // The other order really updates, once.
+        serving
+            .update_relations([("Coins", original), ("Coins", replacement.clone())])
+            .unwrap();
+        assert_eq!(serving.database().relation("Coins").unwrap(), &replacement);
+        assert_eq!(serving.stats().relation_updates, 1);
+    }
+
+    #[test]
+    fn shared_prefix_hits_require_a_different_creator() {
+        // A query resuming the prefix *it* pooled (here: after the prepared
+        // map was rebuilt via set-style eviction we simulate by a fresh
+        // evaluation cycle) is warm but not a cross-query sharing event.
+        let mut serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+        let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        serving.evaluate(q, &mut rng).unwrap();
+        // Simulate prepared-cache eviction: the pool survives, the prepared
+        // entry is rebuilt, and the first evaluation of the re-prepared
+        // query is warm — but not counted as shared.
+        serving.prepared.clear();
+        serving.evaluate(q, &mut rng).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.warm_evaluations, 1);
+        assert_eq!(stats.shared_prefix_hits, 0);
     }
 }

@@ -51,3 +51,24 @@ pub use schema::Schema;
 pub use tuple::Tuple;
 pub use value::{Value, F64};
 pub use world::World;
+
+/// A 128-bit-plus-length content fingerprint of any hashable value: two
+/// independently seeded 64-bit hashes plus an explicit size.  A collision
+/// would require two distinct values agreeing on both hashes *and* the
+/// size — vanishingly unlikely — so caches and serving layers use the
+/// triple as a content identity without retaining the value itself.  This
+/// is the shared primitive behind [`Relation::content_digest`] and
+/// `urel::URelation::content_digest`.
+pub fn content_fingerprint<T: std::hash::Hash + ?Sized>(
+    value: &T,
+    len: usize,
+) -> (u64, u64, usize) {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h1 = DefaultHasher::new();
+    value.hash(&mut h1);
+    let mut h2 = DefaultHasher::new();
+    0xC3A5_C85C_97CB_3127_u64.hash(&mut h2);
+    value.hash(&mut h2);
+    (h1.finish(), h2.finish(), len)
+}

@@ -51,6 +51,15 @@ impl Relation {
         self.tuples.is_empty()
     }
 
+    /// A 128-bit-plus-length content fingerprint
+    /// ([`content_fingerprint`](crate::content_fingerprint) over schema and
+    /// tuples).  The relational identity used by caches and serving layers:
+    /// equal digests mean content-equal relations up to hash collision, so
+    /// a replacement with an unchanged digest is a no-op update.
+    pub fn content_digest(&self) -> (u64, u64, usize) {
+        crate::content_fingerprint(self, self.tuples.len())
+    }
+
     /// Inserts a tuple, checking its arity; returns whether it was new.
     pub fn insert(&mut self, t: Tuple) -> Result<bool> {
         if t.arity() != self.schema.arity() {
@@ -288,6 +297,17 @@ mod tests {
     fn faces() -> Relation {
         relation![schema!["CoinType", "Face", "FProb"];
             ["fair", "H", 0.5], ["fair", "T", 0.5], ["2headed", "H", 1.0]]
+    }
+
+    #[test]
+    fn content_digests_identify_content() {
+        assert_eq!(coins().content_digest(), coins().content_digest());
+        assert_ne!(coins().content_digest(), faces().content_digest());
+        // The length component alone separates truncations.
+        let mut shorter = coins();
+        let t = tuple!["2headed", 1];
+        shorter = shorter.select(|row| row != &t);
+        assert_ne!(coins().content_digest(), shorter.content_digest());
     }
 
     #[test]

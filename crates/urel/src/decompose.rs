@@ -1,7 +1,7 @@
 //! Vertical decomposition of U-relations (attribute-level uncertainty).
 //!
 //! Section 3 notes that "attribute-level uncertainty can be realized
-//! succinctly by vertical decompositioning without additional cost" [1].
+//! succinctly by vertical decompositioning without additional cost" \[1\].
 //! This module provides that facility: a U-relation over schema
 //! `(K⃗, A₁, …, A_m)` can be split into `m` component U-relations
 //! `(K⃗, A_i)`, each carrying only the conditions relevant to its attribute,

@@ -26,6 +26,17 @@ pub enum UrelError {
     InconsistentCondition(String),
     /// A relation name was referenced that does not exist.
     UnknownRelation(String),
+    /// A content replacement tried to change a relation's schema.
+    SchemaMismatch {
+        /// The relation being replaced.
+        relation: String,
+        /// The schema on record.
+        expected: String,
+        /// The schema of the replacement.
+        actual: String,
+    },
+    /// An operation required a complete representation.
+    NotComplete(String),
     /// Error propagated from the possible-worlds layer.
     Pdb(pdb::PdbError),
     /// The decoded world set would be too large to materialise.
@@ -56,6 +67,16 @@ impl fmt::Display for UrelError {
                 write!(f, "condition assigns two values to variable `{v}`")
             }
             UrelError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            UrelError::SchemaMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replacement for relation `{relation}` changes its schema from {expected} \
+                 to {actual}; schema evolution requires a full database swap"
+            ),
+            UrelError::NotComplete(m) => write!(f, "completeness violation: {m}"),
             UrelError::Pdb(e) => write!(f, "{e}"),
             UrelError::TooManyWorlds { worlds, limit } => write!(
                 f,

@@ -63,6 +63,45 @@ impl UDatabase {
         self.complete.insert(name, complete);
     }
 
+    /// Validates that `rel` may replace the *content* of relation `name`
+    /// without changing the database's catalog: the relation must exist, the
+    /// schema must be unchanged (schema evolution is a full-swap operation,
+    /// not an update), a relation marked complete must stay representable as
+    /// complete, and every condition must mention only declared variables
+    /// and domain values.
+    ///
+    /// This is the read-only half of
+    /// [`replace_relation`](UDatabase::replace_relation); callers applying
+    /// several updates atomically check them all before applying any.
+    pub fn check_replacement(&self, name: &str, rel: &URelation) -> Result<()> {
+        let old = self.relation(name)?;
+        if rel.schema() != old.schema() {
+            return Err(UrelError::SchemaMismatch {
+                relation: name.to_owned(),
+                expected: old.schema().to_string(),
+                actual: rel.schema().to_string(),
+            });
+        }
+        if self.is_complete(name) && !rel.is_complete_representation() {
+            return Err(UrelError::NotComplete(format!(
+                "relation {name} is declared complete; its replacement must have \
+                 empty conditions (use set_relation to change the declaration)"
+            )));
+        }
+        rel.check_against(&self.wtable)
+    }
+
+    /// Replaces the content of relation `name` in place, keeping its
+    /// catalog identity (schema and completeness declaration) fixed — the
+    /// update primitive of serving layers, which invalidate caches by
+    /// relation name and therefore need the catalog to survive updates.
+    /// Validates via [`check_replacement`](UDatabase::check_replacement).
+    pub fn replace_relation(&mut self, name: &str, rel: URelation) -> Result<()> {
+        self.check_replacement(name, &rel)?;
+        self.relations.insert(name.to_owned(), rel);
+        Ok(())
+    }
+
     /// Looks up a relation.
     pub fn relation(&self, name: &str) -> Result<&URelation> {
         self.relations
@@ -182,6 +221,80 @@ mod tests {
         assert_eq!(ev.len(), 1);
         let w = ev[0].weight(db.wtable()).unwrap();
         assert!((w - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replace_relation_keeps_the_catalog_fixed() {
+        let mut db = figure1a();
+        // Content update of a complete relation: same schema, complete rows.
+        let new_coins = URelation::from_complete(
+            &relation![schema!["CoinType", "Count"]; ["weighted", 3], ["fair", 1]],
+        );
+        let before = db.relation("Coins").unwrap().content_digest();
+        db.replace_relation("Coins", new_coins.clone()).unwrap();
+        assert!(db.is_complete("Coins"));
+        assert_ne!(db.relation("Coins").unwrap().content_digest(), before);
+        assert_eq!(
+            db.relation("Coins").unwrap().content_digest(),
+            new_coins.content_digest()
+        );
+
+        // Content update of an uncertain relation referencing declared
+        // variables.
+        let mut new_r = URelation::empty(schema!["CoinType"]);
+        new_r
+            .insert(
+                Condition::new([(Var::new("c"), Value::str("2headed"))]).unwrap(),
+                tuple!["2headed"],
+            )
+            .unwrap();
+        db.replace_relation("R", new_r).unwrap();
+        assert!(!db.is_complete("R"));
+        db.validate().unwrap();
+
+        // Unknown relation.
+        let any = URelation::from_complete(&relation![schema!["A"]; [1]]);
+        assert!(matches!(
+            db.replace_relation("Nope", any.clone()),
+            Err(UrelError::UnknownRelation(_))
+        ));
+        // Schema change rejected.
+        assert!(matches!(
+            db.replace_relation("Coins", any),
+            Err(UrelError::SchemaMismatch { .. })
+        ));
+        // A complete relation must stay complete.
+        let mut uncertain = URelation::empty(schema!["CoinType", "Count"]);
+        uncertain
+            .insert(
+                Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+                tuple!["fair", 1],
+            )
+            .unwrap();
+        assert!(matches!(
+            db.replace_relation("Coins", uncertain),
+            Err(UrelError::NotComplete(_))
+        ));
+        // Undeclared variables are rejected.
+        let mut ghost = URelation::empty(schema!["CoinType"]);
+        ghost
+            .insert(
+                Condition::new([(Var::new("ghost"), Value::Int(0))]).unwrap(),
+                tuple!["?"],
+            )
+            .unwrap();
+        assert!(db.replace_relation("R", ghost).is_err());
+    }
+
+    #[test]
+    fn content_digests_identify_content() {
+        let db = figure1a();
+        let coins = db.relation("Coins").unwrap();
+        assert_eq!(coins.content_digest(), coins.clone().content_digest());
+        assert_ne!(
+            coins.content_digest(),
+            db.relation("R").unwrap().content_digest()
+        );
     }
 
     #[test]

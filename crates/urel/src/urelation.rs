@@ -172,6 +172,17 @@ impl URelation {
         self.rows.iter().all(|r| r.condition.is_empty())
     }
 
+    /// A 128-bit-plus-length content fingerprint of the relation
+    /// ([`pdb::content_fingerprint`] over schema and rows).  Two relations
+    /// with equal digests are content-equal up to hash collision (which
+    /// would require agreement on both hashes *and* the size).  Serving
+    /// layers use the digest as the relation's *identity* across updates: a
+    /// replacement whose digest matches the stored one is a no-op and need
+    /// not invalidate anything.
+    pub fn content_digest(&self) -> (u64, u64, usize) {
+        pdb::content_fingerprint(self, self.rows.len())
+    }
+
     /// The set of random variables mentioned anywhere in the relation.
     pub fn mentioned_variables(&self) -> BTreeSet<crate::Var> {
         self.rows

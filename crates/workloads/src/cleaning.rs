@@ -97,7 +97,7 @@ impl CleaningWorkload {
 
     /// The query computing `Pr[φ ∧ ¬ψ]` where ψ is the egd "no two cleaned
     /// records of the same name live in different cities" (¬ψ is
-    /// existential, so this stays in positive UA[conf]); Theorem 4.4 then
+    /// existential, so this stays in positive UA\[conf\]); Theorem 4.4 then
     /// gives `Pr[φ ∧ ψ] = Pr[φ] − Pr[φ ∧ ¬ψ]`.
     pub fn egd_violation_query(city_index: usize) -> Query {
         let clean = Self::cleaned_query().to_string();

@@ -1,0 +1,127 @@
+//! Workload-level serving under updates: prepare a set of overlapping
+//! queries, serve them warm from the cross-query snapshot pool, apply a
+//! small content update, and watch the catalog-aware invalidation keep
+//! everything that did not touch the changed relation at warm-path cost.
+//!
+//! Run with `cargo run --example serving_updates`.
+
+use engine::{EvalConfig, ServingEngine};
+use pdb::{Schema, Tuple, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use urel::{UDatabase, URelation};
+
+/// `Readings(Sensor, W)`: per-sensor reading candidates with weights (the
+/// repair-key input that introduces uncertainty).
+fn readings(rows: &[(i64, i64)]) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["Sensor", "W"]).expect("schema"));
+    for &(sensor, w) in rows {
+        let _ = rel.insert(Tuple::new(vec![Value::Int(sensor), Value::Int(w)]));
+    }
+    URelation::from_complete(&rel)
+}
+
+/// `Rooms(Sensor, Room)`: a deterministic dimension table (a pure join
+/// side — no uncertainty flows through it).
+fn rooms(rows: &[(i64, &str)]) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["Sensor", "Room"]).expect("schema"));
+    for &(sensor, room) in rows {
+        let _ = rel.insert(Tuple::new(vec![Value::Int(sensor), Value::str(room)]));
+    }
+    URelation::from_complete(&rel)
+}
+
+fn main() {
+    let mut db = UDatabase::new();
+    db.set_relation(
+        "Readings",
+        readings(&[(0, 3), (0, 1), (1, 2), (1, 2), (2, 1), (2, 4)]),
+        true,
+    );
+    db.set_relation(
+        "Rooms",
+        rooms(&[(0, "lab"), (1, "lab"), (2, "office")]),
+        true,
+    );
+
+    // One server, several prepared queries sharing the same deterministic
+    // prefix: repair-key over Readings joined with Rooms.  Only the
+    // sampling suffix (the aconf accuracy) differs.
+    let queries = [
+        "aconf[0.30, 0.2](project[Room](join(repairkey[Sensor @ W](Readings), Rooms)))",
+        "aconf[0.20, 0.1](project[Room](join(repairkey[Sensor @ W](Readings), Rooms)))",
+        "aconf[0.10, 0.05](project[Room](join(repairkey[Sensor @ W](Readings), Rooms)))",
+    ];
+    let mut serving = ServingEngine::new(EvalConfig::default(), db).expect("serving engine builds");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+
+    // 1. Prepare: the first query runs cold and pools the prefix; the other
+    //    two resume it — their *first* evaluation is already warm.
+    println!("— prepare —");
+    for q in &queries {
+        let out = serving.evaluate(q, &mut rng).expect("evaluation succeeds");
+        println!("  {} rows for {q}", out.result.relation.len());
+    }
+    let s = serving.stats();
+    println!(
+        "  cold: {}, warm: {}, shared-prefix hits: {}, pooled prefixes: {}\n",
+        s.cold_evaluations,
+        s.warm_evaluations,
+        s.shared_prefix_hits,
+        serving.pooled_prefixes()
+    );
+
+    // 2. Steady state: every further request resumes at the sampling
+    //    frontier (estimation-only cost).
+    println!("— warm resume —");
+    serving
+        .evaluate(queries[0], &mut rng)
+        .expect("warm evaluation");
+    println!(
+        "  warm evaluations so far: {}\n",
+        serving.stats().warm_evaluations
+    );
+
+    // 3. Small update: sensor 2 moves to the hallway.  `Rooms` feeds only
+    //    pure sub-plans (the repair-key spine reads `Readings`), so the
+    //    pooled prefix entry survives — just the Rooms-scanning sub-plans
+    //    are dropped and the prefix database is patched.
+    println!("— update Rooms (pure join side) —");
+    serving
+        .update_relations([("Rooms", rooms(&[(0, "lab"), (1, "lab"), (2, "hallway")]))])
+        .expect("content update applies");
+    let s = serving.stats();
+    println!(
+        "  entries dropped: {}, sub-plans dropped: {}",
+        s.snapshots_invalidated, s.subplans_invalidated
+    );
+
+    // 4. Selective re-warm: the next evaluation is still warm — it
+    //    recomputes exactly the dropped join/projection over the new Rooms
+    //    content, pools the fresh results, and keeps the repair-key
+    //    variables untouched.  Further requests recompute nothing.
+    println!("— selective re-warm —");
+    let out = serving
+        .evaluate(queries[0], &mut rng)
+        .expect("re-warmed evaluation");
+    for row in out.result.relation.iter() {
+        println!("  {}", row.tuple);
+    }
+    let s = serving.stats();
+    println!(
+        "  cold: {}, warm: {}, sub-plans recomputed: {}",
+        s.cold_evaluations, s.warm_evaluations, s.subplans_recomputed
+    );
+    serving
+        .evaluate(queries[0], &mut rng)
+        .expect("fully warm again");
+    assert_eq!(
+        serving.stats().subplans_recomputed,
+        s.subplans_recomputed,
+        "second evaluation after the re-warm recomputes nothing"
+    );
+    println!(
+        "  …and the next request recomputes nothing (warm: {})",
+        serving.stats().warm_evaluations
+    );
+}

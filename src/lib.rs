@@ -13,3 +13,10 @@ pub use engine;
 pub use pdb;
 pub use urel;
 pub use workloads;
+
+/// The README, compiled as doctests: every ```rust block in it (the
+/// quickstart and the serving walkthrough) must build and run against the
+/// current API.
+#[doc = include_str!("../README.md")]
+#[allow(dead_code)]
+struct ReadmeDoctests;

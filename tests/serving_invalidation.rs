@@ -1,0 +1,157 @@
+//! Serving-layer invalidation correctness: after *any* sequence of
+//! `update_relations` calls, a warm-path evaluation must be bit-identical
+//! (result relation, error bounds, statistics, final database state) to what
+//! a cold `ServingEngine` over the updated database produces from the same
+//! RNG state — no matter whether the update killed pooled entries, dropped
+//! individual sub-plan results, or touched nothing the queries scan.
+
+use algebra::{ConfTerm, Expr, Predicate, Query};
+use engine::{EvalConfig, ServingEngine};
+use pdb::{Schema, Tuple, Value};
+use proptest::prelude::*;
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use urel::{UDatabase, URelation};
+
+/// Builds the complete relation `R(K, W)` (repair-key input: key + weight).
+fn relation_r(rows: &[(i64, i64)]) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["K", "W"]).unwrap());
+    for &(k, w) in rows {
+        rel.insert(Tuple::new(vec![Value::Int(k), Value::Int(w)]))
+            .unwrap();
+    }
+    URelation::from_complete(&rel)
+}
+
+/// Builds the complete relation `S(K, B)` (a pure join side).
+fn relation_s(rows: &[(i64, i64)]) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["K", "B"]).unwrap());
+    for &(k, b) in rows {
+        rel.insert(Tuple::new(vec![Value::Int(k), Value::Int(b)]))
+            .unwrap();
+    }
+    URelation::from_complete(&rel)
+}
+
+fn database(r: &[(i64, i64)], s: &[(i64, i64)]) -> UDatabase {
+    let mut db = UDatabase::new();
+    db.set_relation("R", relation_r(r), true);
+    db.set_relation("S", relation_s(s), true);
+    db
+}
+
+/// The mixed workload: deterministic, sampling, shared-prefix and σ̂
+/// queries over `R` and `S`.
+fn workload_queries() -> Vec<String> {
+    let sigma = Query::table("R")
+        .repair_key(&["K"], "W")
+        .approx_select(
+            vec![ConfTerm::new("P1", ["K"])],
+            Predicate::ge(Expr::attr("P1"), Expr::konst(0.4)),
+            0.2,
+            0.2,
+        )
+        .to_string();
+    vec![
+        "conf(project[K](repairkey[K @ W](R)))".to_string(),
+        "aconf[0.4, 0.2](project[K](repairkey[K @ W](R)))".to_string(),
+        "aconf[0.3, 0.15](project[B](join(repairkey[K @ W](R), S)))".to_string(),
+        "poss(join(R, S))".to_string(),
+        sigma,
+    ]
+}
+
+/// One arbitrary content update: `false` replaces `R`, `true` replaces `S`.
+fn arb_update() -> impl Strategy<Value = (bool, Vec<(i64, i64)>)> {
+    (
+        any::<bool>(),
+        proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+    )
+}
+
+proptest! {
+    /// After every update, every query's warm answer equals a cold serving
+    /// engine's answer over the updated database, bit for bit.
+    #[test]
+    fn warm_path_is_bit_identical_to_cold_after_updates(
+        r0 in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+        s0 in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+        updates in proptest::collection::vec(arb_update(), 1..4),
+        seed in 0u64..1000,
+    ) {
+        let config = EvalConfig::default();
+        let db = database(&r0, &s0);
+        let queries = workload_queries();
+        let mut serving = ServingEngine::new(config, db).unwrap();
+
+        // Warm every query once.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for q in &queries {
+            serving.evaluate(q, &mut rng).unwrap();
+        }
+
+        for (round, (which, rows)) in updates.iter().enumerate() {
+            let (name, rel) = if *which {
+                ("S", relation_s(rows))
+            } else {
+                ("R", relation_r(rows))
+            };
+            serving.update_relations([(name, rel)]).unwrap();
+
+            for (qi, q) in queries.iter().enumerate() {
+                let case_seed = seed
+                    .wrapping_mul(31)
+                    .wrapping_add((round * queries.len() + qi) as u64);
+                let mut warm_rng = ChaCha8Rng::seed_from_u64(case_seed);
+                let warm = serving.evaluate(q, &mut warm_rng).unwrap();
+
+                let mut cold_serving =
+                    ServingEngine::new(config, serving.database().clone()).unwrap();
+                let mut cold_rng = ChaCha8Rng::seed_from_u64(case_seed);
+                let cold = cold_serving.evaluate(q, &mut cold_rng).unwrap();
+
+                prop_assert_eq!(
+                    &warm.result.relation, &cold.result.relation,
+                    "relation diverged for `{}` after update #{}", q, round
+                );
+                prop_assert_eq!(
+                    &warm.result.errors, &cold.result.errors,
+                    "errors diverged for `{}` after update #{}", q, round
+                );
+                prop_assert_eq!(warm.result.complete, cold.result.complete);
+                prop_assert_eq!(
+                    warm.stats, cold.stats,
+                    "stats diverged for `{}` after update #{}", q, round
+                );
+                prop_assert_eq!(
+                    &warm.database, &cold.database,
+                    "database diverged for `{}` after update #{}", q, round
+                );
+                // The RNG streams advanced identically too.
+                prop_assert_eq!(warm_rng.next_u64(), cold_rng.next_u64());
+            }
+        }
+    }
+
+    /// Updates that do not intersect a query's footprint keep its warm path:
+    /// the pooled entry survives and no evaluation runs cold again.
+    #[test]
+    fn disjoint_updates_keep_queries_warm(
+        s_rows in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+    ) {
+        let config = EvalConfig::default();
+        let db = database(&[(0, 2), (1, 3)], &[(0, 1)]);
+        let mut serving = ServingEngine::new(config, db).unwrap();
+        let q = "aconf[0.4, 0.2](project[K](repairkey[K @ W](R)))";
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        serving.evaluate(q, &mut rng).unwrap();
+
+        serving.update_relations([("S", relation_s(&s_rows))]).unwrap();
+        serving.evaluate(q, &mut rng).unwrap();
+        let stats = serving.stats();
+        prop_assert_eq!(stats.cold_evaluations, 1);
+        prop_assert_eq!(stats.warm_evaluations, 1);
+        prop_assert_eq!(stats.snapshots_invalidated, 0);
+        prop_assert_eq!(stats.subplans_invalidated, 0);
+    }
+}

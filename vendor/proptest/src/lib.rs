@@ -1,7 +1,8 @@
 //! Offline-compatible subset of the `proptest` API.
 //!
 //! This workspace builds without registry access, so the slice of proptest
-//! the test suites use is vendored here: the [`Strategy`] trait with
+//! the test suites use is vendored here: the [`Strategy`](strategy::Strategy)
+//! trait with
 //! `prop_map`, range/tuple/`Just`/`any`/`prop_oneof!` strategies,
 //! `collection::vec`, and the `proptest!` / `prop_assert*` / `prop_assume!`
 //! macros.  Cases are generated from a deterministic per-test seed; failing
