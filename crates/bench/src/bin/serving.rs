@@ -22,6 +22,12 @@
 //!    prefix warm (only the intersecting sub-plans recompute), while an
 //!    update to a repair-key input drops exactly the entries whose stateful
 //!    spine it feeds.
+//! 4. **Delta updates** — the same single-row change to a pure join side
+//!    applied as a `RelationDelta` (`apply_deltas`: pooled sub-plan results
+//!    patched in place by the incremental operator rules) vs as a full
+//!    replacement (`update_relations`: intersecting sub-plans demoted and
+//!    recomputed on the next resume) — the re-warm cost of the delta path
+//!    is proportional to the delta, not to the sub-plans it touches.
 
 use algebra::LogicalPlan;
 use engine::{catalog_of, EvalConfig, ServingEngine, UEngine};
@@ -296,11 +302,102 @@ fn mixed_workload_experiment(rows: usize, runs: usize) -> MixedWorkloadResult {
     }
 }
 
+/// Results of the delta-update experiment: the same single-row change to a
+/// pure join side, shipped as a delta (patch in place) vs as a full
+/// replacement (demote and recompute).
+struct DeltaUpdateResult {
+    rows: usize,
+    /// Median wall time of one `apply_deltas` call (single-row delta).
+    delta_update_us: f64,
+    /// Median warm evaluation right after a patched delta (nothing to
+    /// recompute — pure resume cost).
+    patched_warm_us: f64,
+    /// Median wall time of one `update_relations` call (full replacement
+    /// carrying the same single-row change).
+    replace_update_us: f64,
+    /// Median warm evaluation right after a full replacement (recomputes
+    /// the demoted sub-plans during the resume).
+    demoted_warm_us: f64,
+    /// Counters after the delta runs: every intersecting slot was patched,
+    /// none demoted, no entry dropped.
+    subplans_patched: u64,
+    subplans_demoted: u64,
+    /// Counter after the replacement runs: the slots were dropped instead.
+    subplans_invalidated: u64,
+}
+
+fn delta_update_experiment(rows: usize, runs: usize) -> DeltaUpdateResult {
+    let keys = (rows / 3).max(2);
+    let mut db = UDatabase::new();
+    db.set_relation("R", weighted_rows(rows, keys, 1), true);
+    db.set_relation("S", label_rows(keys, 3), true);
+    let query = "aconf[0.30, 0.2](project[B](join(repairkey[K @ W](R), S)))";
+
+    // Strategy A: single-row deltas, patched in place.  Each round toggles
+    // one fresh S row so every call is a real content change.
+    let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    serving.evaluate(query, &mut rng).expect("prepare");
+    let mut delta_update_us = Vec::with_capacity(runs);
+    let mut patched_warm_us = Vec::with_capacity(runs);
+    for round in 0..runs {
+        let old = serving.database().relation("S").expect("S").clone();
+        let mut new = old.clone();
+        let row = pdb::Tuple::new(vec![Value::Int(0), Value::Int(1000 + round as i64)]);
+        new.insert(urel::Condition::always(), row).expect("insert");
+        let delta = old.diff(&new).expect("diff");
+        let start = Instant::now();
+        serving.apply_deltas([("S", delta)]).expect("delta");
+        delta_update_us.push(start.elapsed().as_secs_f64() * 1e6);
+        let start = Instant::now();
+        serving.evaluate(query, &mut rng).expect("patched warm");
+        patched_warm_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let delta_stats = serving.stats();
+
+    // Strategy B: the same single-row change as a full replacement — the
+    // scan, join and projection sub-plans demote and recompute on resume.
+    let mut serving = ServingEngine::new(EvalConfig::default(), db).expect("server");
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    serving.evaluate(query, &mut rng).expect("prepare");
+    let mut replace_update_us = Vec::with_capacity(runs);
+    let mut demoted_warm_us = Vec::with_capacity(runs);
+    for round in 0..runs {
+        let old = serving.database().relation("S").expect("S").clone();
+        let mut new = old.clone();
+        let row = pdb::Tuple::new(vec![Value::Int(0), Value::Int(1000 + round as i64)]);
+        new.insert(urel::Condition::always(), row).expect("insert");
+        let start = Instant::now();
+        serving.update_relations([("S", new)]).expect("replace");
+        replace_update_us.push(start.elapsed().as_secs_f64() * 1e6);
+        let start = Instant::now();
+        serving.evaluate(query, &mut rng).expect("demoted warm");
+        demoted_warm_us.push(start.elapsed().as_secs_f64() * 1e6);
+    }
+    let replace_stats = serving.stats();
+
+    let median = |mut samples: Vec<f64>| -> f64 {
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    DeltaUpdateResult {
+        rows,
+        delta_update_us: median(delta_update_us),
+        patched_warm_us: median(patched_warm_us),
+        replace_update_us: median(replace_update_us),
+        demoted_warm_us: median(demoted_warm_us),
+        subplans_patched: delta_stats.subplans_patched,
+        subplans_demoted: delta_stats.subplans_demoted,
+        subplans_invalidated: replace_stats.subplans_invalidated,
+    }
+}
+
 fn render_json(
     smoke: bool,
     repeated: &[RepeatedQueryResult],
     shards: &[ShardResult],
     mixed: &MixedWorkloadResult,
+    delta: &DeltaUpdateResult,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -401,6 +498,37 @@ fn render_json(
          \"cold_evaluations_after\": {}}}",
         mixed.spine_update_entries_dropped, mixed.cold_after_spine_update
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"delta_update\": {{");
+    let _ = writeln!(
+        out,
+        "    \"workload\": \"single-row change to the pure join side S of \
+         aconf(project(join(repairkey(R), S))) over {} R-rows, shipped as a RelationDelta \
+         (apply_deltas patches the scan/join/projection slots in place) vs as a full \
+         replacement (update_relations demotes them for recomputation on the next resume)\",",
+        delta.rows
+    );
+    let _ = writeln!(
+        out,
+        "    \"patched\": {{\"update_us\": {:.1}, \"warm_after_us\": {:.1}, \
+         \"subplans_patched\": {}, \"subplans_demoted\": {}}},",
+        delta.delta_update_us,
+        delta.patched_warm_us,
+        delta.subplans_patched,
+        delta.subplans_demoted
+    );
+    let _ = writeln!(
+        out,
+        "    \"demoted\": {{\"update_us\": {:.1}, \"warm_after_us\": {:.1}, \
+         \"subplans_invalidated\": {}}},",
+        delta.replace_update_us, delta.demoted_warm_us, delta.subplans_invalidated
+    );
+    let _ = writeln!(
+        out,
+        "    \"rewarm_speedup_update_plus_eval\": {:.2}",
+        (delta.replace_update_us + delta.demoted_warm_us)
+            / (delta.delta_update_us + delta.patched_warm_us).max(1e-9)
+    );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -422,7 +550,8 @@ fn main() {
     let repeated = repeated_query_experiment(serving_tuples, runs);
     let shards = sharding_experiment(join_tuples, runs);
     let mixed = mixed_workload_experiment(mixed_rows, runs);
-    let json = render_json(smoke, &repeated, &shards, &mixed);
+    let delta = delta_update_experiment(mixed_rows, runs);
+    let json = render_json(smoke, &repeated, &shards, &mixed, &delta);
     print!("{json}");
 
     for r in &repeated {
@@ -466,6 +595,18 @@ fn main() {
         mixed.touching_warm_after_us,
         mixed.spine_update_entries_dropped,
         mixed.cold_after_spine_update
+    );
+    eprintln!(
+        "delta update: patched {:.0}+{:.0} us (update+warm, {} slots patched) vs \
+         demoted {:.0}+{:.0} us ({} slots dropped) — {:.1}x",
+        delta.delta_update_us,
+        delta.patched_warm_us,
+        delta.subplans_patched,
+        delta.replace_update_us,
+        delta.demoted_warm_us,
+        delta.subplans_invalidated,
+        (delta.replace_update_us + delta.demoted_warm_us)
+            / (delta.delta_update_us + delta.patched_warm_us).max(1e-9)
     );
 
     if !smoke {

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 mod adaptive_query;
+pub mod delta;
 mod error;
 pub mod error_bound;
 mod exec;
@@ -53,6 +54,7 @@ pub mod serving;
 mod space;
 
 pub use adaptive_query::{active_domain_size, catalog_of, evaluate_adaptive, AdaptiveOutput};
+pub use delta::DeltaInput;
 pub use error::{EngineError, Result};
 pub use error_bound::{proposition_6_6_bound, theorem_6_7_iterations, QueryShape};
 pub use exec::{

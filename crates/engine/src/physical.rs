@@ -52,6 +52,7 @@
 //! which is how the serving layer makes the steady-state cost of a repeated
 //! query estimation-only.
 
+use crate::delta::{self, DeltaInput};
 use crate::error::{EngineError, Result};
 use crate::exec::{ApproxSelectMode, ConfidenceMode, EvalConfig, EvalStats, EvaluatedRelation};
 use crate::ops;
@@ -160,6 +161,22 @@ pub trait PhysicalOperator: fmt::Debug {
             shards: ctx.config.shards,
         };
         self.execute_pure(inputs, &pctx)
+    }
+
+    /// Incrementally re-evaluates a *pure* operator from its old output and
+    /// per-input row deltas, producing the same relation a fresh
+    /// [`execute_pure`](PhysicalOperator::execute_pure) over the new inputs
+    /// would (bit for bit — the rules of [`crate::delta`]).  Returns
+    /// `Ok(None)` when the operator has no incremental rule (stateful and
+    /// sampling operators, cartesian products, difference), in which case
+    /// the caller falls back to recomputation.
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        let _ = (old_output, inputs);
+        Ok(None)
     }
 }
 
@@ -633,21 +650,19 @@ impl PhysicalPlan {
     /// property-tested to produce bit-identical results; this stays as the
     /// differential baseline (and as documentation of the semantics).
     pub fn execute_sequential(&self, ctx: &mut ExecContext<'_>) -> Result<EvaluatedRelation> {
-        let outer_shards = ctx.config.shards;
-        ctx.config.shards = 1;
-        let result = (|| {
-            let mut state = SlotState::fresh(self);
-            for id in 0..self.nodes.len() {
-                let inputs = self.gather_inputs(id, &mut state);
-                state.slots[id] = Some(self.nodes[id].operator.execute(inputs, ctx)?);
-                state.done[id] = true;
-            }
-            Ok(state.slots[self.root]
-                .take()
-                .expect("the root slot holds the query result"))
-        })();
-        ctx.config.shards = outer_shards;
-        result
+        // The single-batch override is restored by the guard's destructor on
+        // *every* exit path — a `?` return from a failing operator must not
+        // leak `shards = 1` into the caller's subsequent evaluations.
+        let mut ctx = ShardWidthOverride::new(ctx, 1);
+        let mut state = SlotState::fresh(self);
+        for id in 0..self.nodes.len() {
+            let inputs = self.gather_inputs(id, &mut state);
+            state.slots[id] = Some(self.nodes[id].operator.execute(inputs, &mut ctx)?);
+            state.done[id] = true;
+        }
+        Ok(state.slots[self.root]
+            .take()
+            .expect("the root slot holds the query result"))
     }
 
     /// Collects (moves or clones) a node's inputs out of the slots.
@@ -798,6 +813,43 @@ impl PhysicalPlan {
             stats: ctx.stats,
             spaces: ctx.spaces.fork(),
         }
+    }
+}
+
+/// A drop guard that overrides the execution context's shard width and
+/// restores the previous value when it goes out of scope, whether the
+/// enclosing computation returns normally or bails with `?`.  Derefs to the
+/// wrapped [`ExecContext`] so operator calls pass through unchanged.
+struct ShardWidthOverride<'g, 'a> {
+    ctx: &'g mut ExecContext<'a>,
+    saved: usize,
+}
+
+impl<'g, 'a> ShardWidthOverride<'g, 'a> {
+    fn new(ctx: &'g mut ExecContext<'a>, shards: usize) -> Self {
+        let saved = ctx.config.shards;
+        ctx.config.shards = shards;
+        ShardWidthOverride { ctx, saved }
+    }
+}
+
+impl Drop for ShardWidthOverride<'_, '_> {
+    fn drop(&mut self) {
+        self.ctx.config.shards = self.saved;
+    }
+}
+
+impl<'a> std::ops::Deref for ShardWidthOverride<'_, 'a> {
+    type Target = ExecContext<'a>;
+
+    fn deref(&self) -> &Self::Target {
+        self.ctx
+    }
+}
+
+impl std::ops::DerefMut for ShardWidthOverride<'_, '_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.ctx
     }
 }
 
@@ -1012,6 +1064,14 @@ impl PhysicalOperator for SelectOp {
         })?;
         Ok(propagate_unary(relation, &input))
     }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::select_delta(old_output, &inputs[0], &self.predicate).map(Some)
+    }
 }
 
 /// Generalised projection `π`.
@@ -1040,6 +1100,14 @@ impl PhysicalOperator for ProjectOp {
             ops::project(chunk, &self.items)
         })?;
         propagate_projection(relation, &input, &self.items)
+    }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::project_delta(old_output, &inputs[0], &self.items).map(Some)
     }
 }
 
@@ -1070,6 +1138,14 @@ impl PhysicalOperator for ExtendOp {
         })?;
         Ok(propagate_unary(relation, &input))
     }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::extend_delta(old_output, &inputs[0], &self.items).map(Some)
+    }
 }
 
 /// Attribute renaming `ρ`.
@@ -1098,6 +1174,14 @@ impl PhysicalOperator for RenameOp {
         let input = unary_input(inputs);
         let relation = ops::rename(&input.relation, &self.from, &self.to)?;
         Ok(propagate_unary(relation, &input))
+    }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::rename_delta(old_output, &inputs[0]).map(Some)
     }
 }
 
@@ -1156,6 +1240,14 @@ impl PhysicalOperator for NaturalJoinOp {
         };
         Ok(propagate_binary(relation, &left, &right))
     }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::natural_join_delta(old_output, &inputs[0], &inputs[1])
+    }
 }
 
 /// Union `∪`.
@@ -1179,6 +1271,14 @@ impl PhysicalOperator for UnionOp {
         let (left, right) = binary_inputs(inputs);
         let relation = ops::union(&left.relation, &right.relation)?;
         Ok(propagate_binary(relation, &left, &right))
+    }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::union_delta(old_output, &inputs[0], &inputs[1]).map(Some)
     }
 }
 
@@ -1244,6 +1344,14 @@ impl PhysicalOperator for PossOp {
         let input = unary_input(inputs);
         let relation = URelation::from_complete(&input.relation.possible_tuples());
         Ok(propagate_unary_complete(relation, &input))
+    }
+
+    fn execute_delta(
+        &self,
+        old_output: &URelation,
+        inputs: &[DeltaInput<'_>],
+    ) -> Result<Option<URelation>> {
+        delta::poss_delta(old_output, &inputs[0]).map(Some)
     }
 }
 
@@ -2036,6 +2144,34 @@ mod tests {
         let mut ctx = ctx_for(&db, config, &mut rng);
         let warm = plan.resume(&mut ctx, &snapshot).unwrap();
         assert_eq!(cold.relation, warm.relation);
+    }
+
+    #[test]
+    fn sequential_execution_restores_shard_width_on_error() {
+        // repair-key over an uncertain input fails at execution time; the
+        // sequential schedule's single-batch override must be rolled back on
+        // that error path instead of leaking `shards = 1` into subsequent
+        // evaluations on the same context.
+        let mut db = UDatabase::new();
+        db.add_variable(Var::new("c"), [(Value::Int(0), 0.5), (Value::Int(1), 0.5)])
+            .unwrap();
+        let mut r = URelation::empty(pdb::schema!["A", "W"]);
+        r.insert(
+            Condition::new([(Var::new("c"), Value::Int(0))]).unwrap(),
+            pdb::tuple![1, 1],
+        )
+        .unwrap();
+        db.set_relation("R", r, false);
+        let config = EvalConfig::exact().with_shards(6);
+        let plan = lowered("repairkey[A @ W](R)", &db, config);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ctx = ctx_for(&db, config, &mut rng);
+        assert!(plan.execute_sequential(&mut ctx).is_err());
+        assert_eq!(ctx.config.shards, 6, "override leaked past the error");
+        // The context stays usable at its configured width.
+        let poss = lowered("poss(R)", &db, config);
+        assert!(poss.execute_sequential(&mut ctx).is_ok());
+        assert_eq!(ctx.config.shards, 6);
     }
 
     #[test]

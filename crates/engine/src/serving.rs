@@ -30,9 +30,16 @@
 //! relation `R` invalidates only the pooled sub-plan results whose footprint
 //! contains `R` (and whole entries only when `R` feeds their stateful
 //! spine), patches the surviving prefixes' database copies, and leaves every
-//! other prepared query at warm-path cost.  [`ServingEngine::set_database`]
-//! remains the full-swap path that drops everything (required for schema
-//! changes).
+//! other prepared query at warm-path cost.
+//! [`ServingEngine::apply_deltas`] narrows invalidation further, to *row*
+//! granularity: a [`urel::RelationDelta`] (insert/delete row sets against a
+//! digest-pinned base) patches the footprint-intersecting pooled sub-plan
+//! results **in place** through the incremental operator rules of
+//! [`crate::delta`], so the re-warm cost is proportional to the delta
+//! rather than to the sub-plans it touches; slots the rules cannot cover
+//! (and deltas large relative to their base) fall back to the
+//! demote-and-recompute path.  [`ServingEngine::set_database`] remains the
+//! full-swap path that drops everything (required for schema changes).
 //!
 //! Warm results are bit-identical to what a cold evaluation with the same
 //! RNG state would produce: the snapshot restores slots, database, variable
@@ -62,15 +69,16 @@
 //! ```
 
 use crate::adaptive_query::catalog_of;
+use crate::delta::DeltaInput;
 use crate::error::Result;
 use crate::exec::{EvalConfig, EvalOutput, EvalStats, EvaluatedRelation};
-use crate::physical::{ExecContext, ExecSnapshot, OpClass, PhysicalPlan};
+use crate::physical::{ExecContext, ExecSnapshot, OpClass, PhysicalNode, PhysicalPlan};
 use crate::space::SpaceCache;
 use algebra::{Catalog, LogicalPlan, PlanCache, SubplanDigest};
 use rand::{Rng, RngCore};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
-use urel::{UDatabase, URelation};
+use urel::{RelationDelta, UDatabase, URelation, URow};
 
 /// Upper bound on prepared queries a server retains (each holds a lowered
 /// physical plan and a prefix profile; prefix state lives in the pool).
@@ -113,9 +121,21 @@ pub struct ServingStats {
     /// most once per invalidation.
     pub subplans_recomputed: u64,
     /// Relations whose content actually changed across all
-    /// [`ServingEngine::update_relations`] calls (no-op replacements are
+    /// [`ServingEngine::update_relations`] and
+    /// [`ServingEngine::apply_deltas`] calls (no-op replacements are
     /// detected by content digest and skipped).
     pub relation_updates: u64,
+    /// Pooled sub-plan results *patched in place* by
+    /// [`ServingEngine::apply_deltas`] through the incremental operator
+    /// rules of [`crate::delta`] — their entries stayed warm without any
+    /// recomputation.
+    pub subplans_patched: u64,
+    /// Pooled sub-plan results [`ServingEngine::apply_deltas`] had to demote
+    /// (drop for recomputation on the next warm resume) because no
+    /// incremental rule applied: the delta was large relative to its base,
+    /// the operator has no rule (product, difference), or a result the
+    /// patch needed was already missing.
+    pub subplans_demoted: u64,
 }
 
 /// Everything the pool needs to know about one prepared query's
@@ -191,6 +211,25 @@ struct PreparedQuery {
 struct PooledSlot {
     value: EvaluatedRelation,
     footprint: Arc<BTreeSet<String>>,
+}
+
+/// One relation-content change as the snapshot pool consumes it: the final
+/// new content, plus the net row delta when it is small enough to patch
+/// pooled results in place (`None` forces demote-and-recompute for every
+/// intersecting slot, exactly like [`ServingEngine::update_relations`]).
+struct DeltaUpdate {
+    name: String,
+    new: URelation,
+    patch: Option<RelationDelta>,
+}
+
+/// Whether patching pooled sub-plan results in place is worthwhile for a
+/// net delta of `magnitude` row edits against a base of `base_rows`: tiny
+/// deltas always are, and beyond that the bookkeeping of the incremental
+/// rules should stay well below a recompute of the base.  Past the bound
+/// the engine falls back to demote-and-recompute.
+fn patch_worthwhile(magnitude: usize, base_rows: usize) -> bool {
+    magnitude <= 8 || magnitude * 2 <= base_rows
 }
 
 /// A pool lookup that succeeded: the snapshot to resume, how many pure
@@ -357,6 +396,208 @@ impl SnapshotPool {
         });
         (entries_dropped, slots_dropped)
     }
+
+    /// The delta counterpart of [`invalidate`](SnapshotPool::invalidate):
+    /// entries whose stateful spine scans a changed relation still drop
+    /// (their context effects are stale), but inside surviving entries the
+    /// footprint-intersecting sub-plan results are *patched in place* by the
+    /// incremental operator rules of [`crate::delta`] wherever one applies,
+    /// and only demoted (dropped, recomputed lazily on the next warm
+    /// resume) where none does.  Returns
+    /// `(entries_dropped, slots_patched, slots_demoted)`.
+    fn patch(
+        &mut self,
+        changed: &BTreeSet<String>,
+        updates: &[DeltaUpdate],
+        plans: &[(Arc<PhysicalPlan>, Arc<PrefixProfile>)],
+    ) -> (u64, u64, u64) {
+        let mut entries_dropped = 0;
+        let mut slots_patched = 0;
+        let mut slots_demoted = 0;
+        self.entries.retain(|fingerprint, entry| {
+            if intersects(&entry.stateful_footprint, changed) {
+                entries_dropped += 1;
+                return false;
+            }
+            // Patch the entry's database copy first: demoted sub-plans
+            // recompute from it, and resumed suffixes scan it.
+            for u in updates {
+                let complete = entry.database.is_complete(&u.name);
+                entry
+                    .database
+                    .set_relation(u.name.clone(), u.new.clone(), complete);
+            }
+            let (patched, demoted) = patch_entry_slots(entry, fingerprint, changed, updates, plans);
+            slots_patched += patched;
+            slots_demoted += demoted;
+            true
+        });
+        (entries_dropped, slots_patched, slots_demoted)
+    }
+}
+
+/// The result of delta maintenance for one pooled sub-plan.
+enum SlotOutcome {
+    /// The slot's relation was rewritten in place; the stored row sets are
+    /// the edit of the *output* (inserted, deleted), which consumers take
+    /// as their input delta.
+    Patched(BTreeSet<URow>, BTreeSet<URow>),
+    /// No incremental rule applied; the slot was dropped and the next warm
+    /// resume recomputes it (and, transitively, anything consuming it).
+    Demoted,
+}
+
+/// The canonical row edit turning `old` into `new`: one merge walk over the
+/// two sorted row sets, with no content hashing — the hot inner step of
+/// delta propagation, run once per patched sub-plan.
+fn row_diff(old: &URelation, new: &URelation) -> (BTreeSet<URow>, BTreeSet<URow>) {
+    let mut inserted = BTreeSet::new();
+    let mut deleted = BTreeSet::new();
+    let mut old_rows = old.iter().peekable();
+    let mut new_rows = new.iter().peekable();
+    loop {
+        match (old_rows.peek(), new_rows.peek()) {
+            (Some(o), Some(n)) => match o.cmp(n) {
+                std::cmp::Ordering::Less => {
+                    deleted.insert((*o).clone());
+                    old_rows.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    inserted.insert((*n).clone());
+                    new_rows.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    old_rows.next();
+                    new_rows.next();
+                }
+            },
+            (Some(_), None) => {
+                deleted.extend(old_rows.cloned());
+                break;
+            }
+            (None, Some(_)) => {
+                inserted.extend(new_rows.cloned());
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    (inserted, deleted)
+}
+
+/// Patches (or demotes) every footprint-intersecting sub-plan result of one
+/// surviving pool entry, driving the incremental rules along the prepared
+/// plans that share the entry's stateful spine.  Nodes are visited in
+/// topological order, so each node's input deltas are resolved before the
+/// node itself; sub-plans shared by several prepared queries are
+/// content-addressed and therefore processed once.
+fn patch_entry_slots(
+    entry: &mut PoolEntry,
+    fingerprint: &(u64, u64),
+    changed: &BTreeSet<String>,
+    updates: &[DeltaUpdate],
+    plans: &[(Arc<PhysicalPlan>, Arc<PrefixProfile>)],
+) -> (u64, u64) {
+    let mut outcomes: HashMap<SubplanDigest, SlotOutcome> = HashMap::new();
+    let mut patched = 0u64;
+    let mut demoted = 0u64;
+    let no_rows: BTreeSet<URow> = BTreeSet::new();
+    for (physical, profile) in plans {
+        if profile.fingerprint != *fingerprint {
+            continue;
+        }
+        for (id, node) in physical.nodes().iter().enumerate() {
+            if !profile.done[id] || !intersects(&profile.footprints[id], changed) {
+                continue;
+            }
+            let digest = profile.digests[id];
+            if outcomes.contains_key(&digest) {
+                continue;
+            }
+            match try_patch_slot(entry, node, id, profile, updates, &outcomes, &no_rows) {
+                Some((new, inserted, deleted)) => {
+                    entry
+                        .slots
+                        .get_mut(&digest)
+                        .expect("try_patch_slot read this slot")
+                        .value
+                        .relation = new;
+                    patched += 1;
+                    outcomes.insert(digest, SlotOutcome::Patched(inserted, deleted));
+                }
+                None => {
+                    if entry.slots.remove(&digest).is_some() {
+                        demoted += 1;
+                    }
+                    outcomes.insert(digest, SlotOutcome::Demoted);
+                }
+            }
+        }
+    }
+    // Intersecting slots no prepared plan covers (their query was evicted
+    // from the prepared map) cannot be patched: demote them, exactly as
+    // `update_relations` would.
+    entry.slots.retain(|digest, slot| {
+        let keep = outcomes.contains_key(digest) || !intersects(&slot.footprint, changed);
+        if !keep {
+            demoted += 1;
+        }
+        keep
+    });
+    (patched, demoted)
+}
+
+/// Attempts to patch one sub-plan result in place, returning the new
+/// relation and its output row edit (inserted, deleted), or `None` when the
+/// slot must be demoted instead.  Every `None` is safe by construction:
+/// demotion falls back to the recompute-on-resume path whose correctness
+/// the pool already guarantees.
+fn try_patch_slot(
+    entry: &PoolEntry,
+    node: &PhysicalNode,
+    id: usize,
+    profile: &PrefixProfile,
+    updates: &[DeltaUpdate],
+    outcomes: &HashMap<SubplanDigest, SlotOutcome>,
+    no_rows: &BTreeSet<URow>,
+) -> Option<(URelation, BTreeSet<URow>, BTreeSet<URow>)> {
+    let slot = entry.slots.get(&profile.digests[id])?;
+    if node.operator.class() != OpClass::Pure || !slot.value.errors.is_empty() {
+        // Stateful nodes never reach here (their entry dropped), and pure
+        // prefix results carry no error bounds; both checks are defensive.
+        return None;
+    }
+    if node.inputs.is_empty() {
+        // A scan of a changed relation: the relation's net delta *is* the
+        // output delta.  `apply_to` digest-checks the stored value, so a
+        // slot that somehow drifted out of sync demotes instead of
+        // corrupting downstream patches.
+        let name = profile.footprints[id].iter().next()?;
+        let update = updates.iter().find(|u| &u.name == name)?;
+        let patch = update.patch.as_ref()?;
+        let new = patch.apply_to(&slot.value.relation).ok()?;
+        return Some((new, patch.inserted().clone(), patch.deleted().clone()));
+    }
+    let mut inputs: Vec<DeltaInput<'_>> = Vec::with_capacity(node.inputs.len());
+    for &i in &node.inputs {
+        let value = &entry.slots.get(&profile.digests[i])?.value.relation;
+        let (inserted, deleted) = match outcomes.get(&profile.digests[i]) {
+            // Never visited: the input's footprint misses the change, so its
+            // value is current and its delta empty.
+            None => (no_rows, no_rows),
+            Some(SlotOutcome::Patched(inserted, deleted)) => (inserted, deleted),
+            Some(SlotOutcome::Demoted) => return None,
+        };
+        inputs.push(DeltaInput {
+            new: value,
+            inserted,
+            deleted,
+        });
+    }
+    let old = &slot.value.relation;
+    let new = node.operator.execute_delta(old, &inputs).ok()??;
+    let (inserted, deleted) = row_diff(old, &new);
+    Some((new, inserted, deleted))
 }
 
 /// For every node: whether some undone node consumes it (or it is the done
@@ -394,6 +635,8 @@ pub struct ServingEngine {
     subplans_invalidated: u64,
     subplans_recomputed: u64,
     relation_updates: u64,
+    subplans_patched: u64,
+    subplans_demoted: u64,
 }
 
 impl ServingEngine {
@@ -414,6 +657,8 @@ impl ServingEngine {
             subplans_invalidated: 0,
             subplans_recomputed: 0,
             relation_updates: 0,
+            subplans_patched: 0,
+            subplans_demoted: 0,
         })
     }
 
@@ -447,10 +692,15 @@ impl ServingEngine {
     ///
     /// Every update must keep the relation's catalog identity: same schema,
     /// and a relation declared complete stays complete (schema evolution
-    /// goes through [`set_database`](ServingEngine::set_database)).  All
-    /// updates are validated before any is applied.  Replacements whose
-    /// content digest equals the stored relation are no-ops and invalidate
-    /// nothing.
+    /// goes through [`set_database`](ServingEngine::set_database)).
+    ///
+    /// Batch semantics are **last-wins, validated atomically over the net
+    /// content**: a name given several times collapses to its final
+    /// replacement *before* validation, so a transient-invalid intermediate
+    /// that the same batch overwrites cannot reject the update — only the
+    /// content the batch would actually leave behind is checked, and either
+    /// every update applies or none does.  Final contents whose digest
+    /// equals the stored relation are no-ops and invalidate nothing.
     ///
     /// Invalidation is footprint-based: a pooled prefix entry dies only if a
     /// changed relation feeds its stateful spine (its repair-key variables
@@ -462,19 +712,25 @@ impl ServingEngine {
     /// their next evaluation.  Warm answers after an update are
     /// bit-identical to a cold evaluation over the updated database at the
     /// same RNG state.
+    ///
+    /// This is the blunt full-replacement path: dropped sub-plan results are
+    /// recomputed from scratch on the next resume regardless of how little
+    /// actually changed.  When the change is small,
+    /// [`apply_deltas`](ServingEngine::apply_deltas) re-warms at cost
+    /// proportional to the delta instead.
     pub fn update_relations(
         &mut self,
         updates: impl IntoIterator<Item = (impl Into<String>, URelation)>,
     ) -> Result<()> {
-        // Validate everything before changing anything (atomicity).  A name
-        // given several times collapses to its last replacement, and only
-        // the *final* content per name is digest-compared against the
-        // stored relation to detect no-ops.
+        // Collapse the batch to its net content first (last replacement per
+        // name wins), then validate only that net content — atomically,
+        // before anything is applied.
         let mut finals: BTreeMap<String, URelation> = BTreeMap::new();
         for (name, rel) in updates {
-            let name = name.into();
-            self.database.check_replacement(&name, &rel)?;
-            finals.insert(name, rel);
+            finals.insert(name.into(), rel);
+        }
+        for (name, rel) in &finals {
+            self.database.check_replacement(name, rel)?;
         }
         let changed: Vec<(String, URelation)> = finals
             .into_iter()
@@ -502,6 +758,117 @@ impl ServingEngine {
         Ok(())
     }
 
+    /// Applies incremental row deltas to named base relations, re-warming
+    /// pooled state at cost proportional to the delta.
+    ///
+    /// Validation mirrors [`update_relations`](ServingEngine::update_relations):
+    /// the whole batch is checked before anything is applied (each delta's
+    /// base digest must match the content it lands on — deltas to one name
+    /// chain in batch order — and the patched relation must keep its catalog
+    /// identity), and net no-ops invalidate nothing.
+    ///
+    /// Invalidation then runs at *row* granularity instead of sub-plan
+    /// granularity: entries whose stateful spine scans a changed relation
+    /// still drop (their repair-key variables or statistics would be stale),
+    /// but in surviving entries every footprint-intersecting pure sub-plan
+    /// result is patched in place by the incremental operator rules of
+    /// [`crate::delta`] — selections, projections, unions and renames map
+    /// the row edits pointwise, joins re-derive only the affected join keys
+    /// — producing bit-for-bit the relation a recompute would.  Sub-plans
+    /// with no incremental rule (products, difference), deltas large
+    /// relative to their base relation
+    /// (they would cost more to patch than to recompute), and slots whose
+    /// required neighbours are missing fall back to the
+    /// demote-and-recompute path of `update_relations`.
+    /// [`ServingStats::subplans_patched`] / [`ServingStats::subplans_demoted`]
+    /// record which path each slot took.
+    ///
+    /// Warm answers after a delta are bit-identical to a cold evaluation
+    /// over the patched database at the same RNG state, exactly as for full
+    /// replacements.
+    pub fn apply_deltas(
+        &mut self,
+        deltas: impl IntoIterator<Item = (impl Into<String>, RelationDelta)>,
+    ) -> Result<()> {
+        // Validate the whole batch before applying any of it.  Deltas to
+        // one name chain: each must apply against the content the previous
+        // one produced (digest-checked), and the final content must pass
+        // the same catalog checks as a full replacement.
+        let mut finals: BTreeMap<String, (URelation, Vec<RelationDelta>)> = BTreeMap::new();
+        for (name, delta) in deltas {
+            let name = name.into();
+            match finals.get_mut(&name) {
+                Some((current, chain)) => {
+                    let new = delta.apply_to(current)?;
+                    self.database.check_replacement(&name, &new)?;
+                    *current = new;
+                    chain.push(delta);
+                }
+                None => {
+                    let new = self.database.check_delta(&name, &delta)?;
+                    finals.insert(name, (new, vec![delta]));
+                }
+            }
+        }
+        let changed: Vec<(String, URelation, Vec<RelationDelta>)> = finals
+            .into_iter()
+            // Net no-ops drop out.  Direct equality, not digests: a chain
+            // that reverts itself compares equal after one short walk, and
+            // a real change usually diverges within a few rows.
+            .filter(|(name, (rel, _))| {
+                self.database
+                    .relation(name)
+                    .map(|old| old != rel)
+                    .unwrap_or(true)
+            })
+            .map(|(name, (rel, chain))| (name, rel, chain))
+            .collect();
+        if changed.is_empty() {
+            return Ok(());
+        }
+        let changed_names: BTreeSet<String> =
+            changed.iter().map(|(name, _, _)| name.clone()).collect();
+        // The net row delta per relation, kept only while patching beats
+        // recomputing.  A single delta per name already *is* the net edit
+        // (it was digest-validated against the stored content); only chains
+        // re-derive it by diffing.
+        let updates: Vec<DeltaUpdate> = changed
+            .iter()
+            .map(|(name, new, chain)| {
+                let old = self.database.relation(name).expect("validated above");
+                let patch = match chain.as_slice() {
+                    [only] => Some(only.clone()),
+                    _ => old.diff(new).ok(),
+                }
+                .filter(|d| patch_worthwhile(d.magnitude(), old.len()));
+                DeltaUpdate {
+                    name: name.clone(),
+                    new: new.clone(),
+                    patch,
+                }
+            })
+            .collect();
+        let changed_count = changed.len() as u64;
+        for (name, rel, _) in changed {
+            // The batch was fully validated above; apply without re-running
+            // the catalog checks (moving the relation in, not cloning it),
+            // preserving the completeness declaration.
+            let complete = self.database.is_complete(&name);
+            self.database.set_relation(name, rel, complete);
+        }
+        let plans: Vec<(Arc<PhysicalPlan>, Arc<PrefixProfile>)> = self
+            .prepared
+            .values()
+            .map(|p| (p.physical.clone(), p.profile.clone()))
+            .collect();
+        let (entries_dropped, patched, demoted) = self.pool.patch(&changed_names, &updates, &plans);
+        self.relation_updates += changed_count;
+        self.snapshots_invalidated += entries_dropped;
+        self.subplans_patched += patched;
+        self.subplans_demoted += demoted;
+        Ok(())
+    }
+
     /// Evaluates a UA query given as text.  The first evaluation of a query
     /// resumes from the cross-query snapshot pool when another prepared
     /// query already executed the same deterministic prefix; otherwise it
@@ -514,6 +881,7 @@ impl ServingEngine {
             // find their prefix still pooled.
             if self.prepared.len() >= PREPARED_CAP {
                 self.prepared.clear();
+                self.plans.unpin_all();
             }
             let physical = Arc::new(PhysicalPlan::lower(&plan, self.config)?);
             let profile = Arc::new(PrefixProfile::new(&plan, &physical, &self.config));
@@ -525,6 +893,10 @@ impl ServingEngine {
                     evaluations: 0,
                 },
             );
+            // Pin the prepared query's plan: plan-cache pressure from
+            // one-off spellings must never evict a plan whose prepared
+            // state is live.
+            self.plans.pin(&key);
         }
         let (physical, profile, first_evaluation) = {
             let prepared = self
@@ -603,6 +975,8 @@ impl ServingEngine {
             subplans_invalidated: self.subplans_invalidated,
             subplans_recomputed: self.subplans_recomputed,
             relation_updates: self.relation_updates,
+            subplans_patched: self.subplans_patched,
+            subplans_demoted: self.subplans_demoted,
         }
     }
 
@@ -882,6 +1256,198 @@ mod tests {
         // Unknown relations are rejected up front too.
         let any = URelation::from_complete(&relation![schema!["A"]; [1]]);
         assert!(serving.update_relations([("Nope", any)]).is_err());
+    }
+
+    #[test]
+    fn apply_deltas_patches_pure_subplans_in_place() {
+        let db = two_relation_db();
+        let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        serving.evaluate(touching, &mut rng).unwrap();
+
+        // A single-row delta to the pure join side: the Labels scan, the
+        // join and the projection above it are patched in place — nothing
+        // is demoted, so the next resume recomputes nothing.
+        let old = serving.database().relation("Labels").unwrap().clone();
+        let mut new = old.clone();
+        new.insert(urel::Condition::always(), pdb::tuple!["2headed", "sneaky"])
+            .unwrap();
+        let delta = old.diff(&new).unwrap();
+        serving.apply_deltas([("Labels", delta)]).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.relation_updates, 1);
+        assert_eq!(stats.snapshots_invalidated, 0, "no spine scans Labels");
+        assert_eq!(stats.subplans_patched, 3, "scan + join + project");
+        assert_eq!(stats.subplans_demoted, 0);
+        assert_eq!(stats.subplans_invalidated, 0);
+
+        // The patched warm path is bit-identical to a cold engine over the
+        // patched database, with zero sub-plan recomputation.
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(99);
+        let warm = serving.evaluate(touching, &mut warm_rng).unwrap();
+        assert_eq!(serving.stats().subplans_recomputed, 0);
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(touching).unwrap();
+        let mut direct_rng = ChaCha8Rng::seed_from_u64(99);
+        let direct = engine
+            .evaluate(serving.database(), &query, &mut direct_rng)
+            .unwrap();
+        assert_eq!(warm.result.relation, direct.result.relation);
+        assert_eq!(warm.stats, direct.stats);
+        assert_eq!(warm.database, direct.database);
+    }
+
+    #[test]
+    fn delta_to_a_spine_relation_still_drops_the_entry() {
+        let db = two_relation_db();
+        let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        serving.evaluate(text, &mut rng).unwrap();
+
+        // `Coins` feeds the repair-key spine: however small the delta, the
+        // pooled context effects are stale and the entry must go.
+        let old = serving.database().relation("Coins").unwrap().clone();
+        let mut new = old.clone();
+        new.insert(urel::Condition::always(), pdb::tuple!["weighted", 5])
+            .unwrap();
+        let delta = old.diff(&new).unwrap();
+        serving.apply_deltas([("Coins", delta)]).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.snapshots_invalidated, 1);
+        assert_eq!(stats.subplans_patched, 0);
+        assert_eq!(serving.pooled_prefixes(), 0);
+
+        let mut rng_a = ChaCha8Rng::seed_from_u64(22);
+        let re_cold = serving.evaluate(text, &mut rng_a).unwrap();
+        assert_eq!(serving.stats().cold_evaluations, 2);
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(text).unwrap();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(22);
+        let direct = engine
+            .evaluate(serving.database(), &query, &mut rng_b)
+            .unwrap();
+        assert_eq!(re_cold.result.relation, direct.result.relation);
+    }
+
+    #[test]
+    fn large_deltas_fall_back_to_demote_and_recompute() {
+        // A join side big enough that rewriting most of it crosses the
+        // patch-worthiness bound: the intersecting slots demote instead,
+        // and the next warm resume recomputes them (update_relations
+        // behaviour, same bit-identical answers).
+        let mut labels = pdb::Relation::empty(pdb::Schema::new(["CoinType", "Label"]).unwrap());
+        for i in 0..40 {
+            labels
+                .insert(pdb::Tuple::new(vec![
+                    pdb::Value::str(if i % 2 == 0 { "fair" } else { "2headed" }),
+                    pdb::Value::Int(i),
+                ]))
+                .unwrap();
+        }
+        let mut db = two_relation_db();
+        db.set_relation("Labels", URelation::from_complete(&labels), true);
+        let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        serving.evaluate(touching, &mut rng).unwrap();
+
+        let old = serving.database().relation("Labels").unwrap().clone();
+        let mut replacement =
+            pdb::Relation::empty(pdb::Schema::new(["CoinType", "Label"]).unwrap());
+        for i in 0..40 {
+            replacement
+                .insert(pdb::Tuple::new(vec![
+                    pdb::Value::str("fair"),
+                    pdb::Value::Int(1000 + i),
+                ]))
+                .unwrap();
+        }
+        let new = URelation::from_complete(&replacement);
+        let delta = old.diff(&new).unwrap();
+        assert!(
+            delta.magnitude() > 8,
+            "this test wants an unpatchable delta"
+        );
+        serving.apply_deltas([("Labels", delta)]).unwrap();
+        let stats = serving.stats();
+        assert_eq!(stats.snapshots_invalidated, 0);
+        assert_eq!(stats.subplans_patched, 0);
+        assert!(stats.subplans_demoted > 0);
+
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(32);
+        let warm = serving.evaluate(touching, &mut warm_rng).unwrap();
+        assert!(serving.stats().subplans_recomputed > 0);
+        let engine = UEngine::new(EvalConfig::default());
+        let query = algebra::parse_query(touching).unwrap();
+        let mut direct_rng = ChaCha8Rng::seed_from_u64(32);
+        let direct = engine
+            .evaluate(serving.database(), &query, &mut direct_rng)
+            .unwrap();
+        assert_eq!(warm.result.relation, direct.result.relation);
+        assert_eq!(warm.stats, direct.stats);
+    }
+
+    #[test]
+    fn delta_batches_chain_and_validate_atomically() {
+        let db = two_relation_db();
+        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let original = db.relation("Labels").unwrap().clone();
+        let mut step1 = original.clone();
+        step1
+            .insert(urel::Condition::always(), pdb::tuple!["fair", "extra"])
+            .unwrap();
+        let mut step2 = step1.clone();
+        step2
+            .insert(urel::Condition::always(), pdb::tuple!["2headed", "more"])
+            .unwrap();
+        // Two deltas to one name chain within a batch: the second applies
+        // against the first's output.
+        let d1 = original.diff(&step1).unwrap();
+        let d2 = step1.diff(&step2).unwrap();
+        serving
+            .apply_deltas([("Labels", d1.clone()), ("Labels", d2.clone())])
+            .unwrap();
+        assert_eq!(serving.database().relation("Labels").unwrap(), &step2);
+
+        // A delta chained out of order is stale (digest mismatch) and the
+        // whole batch — including the valid first element — is rejected.
+        let before = serving.database().relation("Labels").unwrap().clone();
+        let fresh = before.diff(&original).unwrap();
+        assert!(serving
+            .apply_deltas([("Labels", fresh), ("Labels", d2)])
+            .is_err());
+        assert_eq!(serving.database().relation("Labels").unwrap(), &before);
+
+        // A net no-op batch (apply and revert) invalidates nothing.
+        let updates_before = serving.stats().relation_updates;
+        let forward = before.diff(&original).unwrap();
+        let backward = original.diff(&before).unwrap();
+        serving
+            .apply_deltas([("Labels", forward), ("Labels", backward)])
+            .unwrap();
+        assert_eq!(serving.stats().relation_updates, updates_before);
+    }
+
+    #[test]
+    fn transient_invalid_intermediates_are_overwritten_by_the_batch() {
+        // Batch semantics are last-wins *before* validation: an invalid
+        // intermediate that the same batch overwrites must not reject the
+        // atomic update.
+        let db = coin_db();
+        let mut serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
+        let bad_schema = URelation::from_complete(&relation![schema!["A"]; [1]]);
+        let good =
+            URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["weighted", 4]]);
+        serving
+            .update_relations([("Coins", bad_schema.clone()), ("Coins", good.clone())])
+            .unwrap();
+        assert_eq!(serving.database().relation("Coins").unwrap(), &good);
+        // The invalid content as the *final* word still rejects.
+        assert!(serving
+            .update_relations([("Coins", good), ("Coins", bad_schema)])
+            .is_err());
     }
 
     #[test]

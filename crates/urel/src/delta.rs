@@ -1,0 +1,238 @@
+//! Relation deltas: insert/delete row sets against a known base content.
+//!
+//! A [`RelationDelta`] describes a content update to one [`URelation`] as
+//! the exact set of rows it inserts and deletes, pinned to the base
+//! relation's [`content_digest`](URelation::content_digest).  The digest
+//! makes deltas *safe to ship*: applying a delta to any relation other than
+//! the one it was derived against is rejected instead of silently producing
+//! a wrong result — the property serving layers rely on when they patch
+//! cached intermediate results in place rather than recomputing them.
+
+use crate::error::{Result, UrelError};
+use crate::urelation::{URelation, URow};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A content delta for one U-relation: the rows inserted and deleted
+/// relative to a base relation identified by its content digest.
+///
+/// Invariants (enforced by every constructor): inserted and deleted row sets
+/// are disjoint, every row matches the base schema's arity, deleted rows are
+/// present in the base, and inserted rows are absent from it.  Under set
+/// semantics this makes a delta *canonical* — `base − deleted + inserted`
+/// is the unique relation the delta describes, and
+/// [`magnitude`](RelationDelta::magnitude) is the true edit distance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDelta {
+    /// Content digest of the base relation the delta applies against.
+    base: (u64, u64, usize),
+    inserted: BTreeSet<URow>,
+    deleted: BTreeSet<URow>,
+}
+
+impl RelationDelta {
+    /// Builds a delta against `base` from explicit row sets, validating the
+    /// canonical-form invariants: rows must match the base arity, deleted
+    /// rows must exist in the base, and inserted rows must not.
+    pub fn new(
+        base: &URelation,
+        inserted: impl IntoIterator<Item = URow>,
+        deleted: impl IntoIterator<Item = URow>,
+    ) -> Result<RelationDelta> {
+        let inserted: BTreeSet<URow> = inserted.into_iter().collect();
+        let deleted: BTreeSet<URow> = deleted.into_iter().collect();
+        for row in inserted.iter().chain(deleted.iter()) {
+            if row.tuple.arity() != base.schema().arity() {
+                return Err(pdb::PdbError::ArityMismatch {
+                    expected: base.schema().arity(),
+                    actual: row.tuple.arity(),
+                }
+                .into());
+            }
+        }
+        if let Some(row) = inserted.iter().find(|r| base.contains_row(r)) {
+            return Err(UrelError::DeltaMismatch(format!(
+                "inserted row `{} | {}` is already present in the base relation",
+                row.condition, row.tuple
+            )));
+        }
+        if let Some(row) = deleted.iter().find(|r| !base.contains_row(r)) {
+            return Err(UrelError::DeltaMismatch(format!(
+                "deleted row `{} | {}` is not present in the base relation",
+                row.condition, row.tuple
+            )));
+        }
+        Ok(RelationDelta {
+            base: base.content_digest(),
+            inserted,
+            deleted,
+        })
+    }
+
+    /// The content digest of the base relation the delta was derived
+    /// against; [`apply_to`](RelationDelta::apply_to) refuses any other base.
+    pub fn base_digest(&self) -> (u64, u64, usize) {
+        self.base
+    }
+
+    /// The rows the delta inserts.
+    pub fn inserted(&self) -> &BTreeSet<URow> {
+        &self.inserted
+    }
+
+    /// The rows the delta deletes.
+    pub fn deleted(&self) -> &BTreeSet<URow> {
+        &self.deleted
+    }
+
+    /// Number of row edits (inserted + deleted): the delta's size, which
+    /// serving layers compare against the base size to decide between
+    /// patching caches in place and recomputing.
+    pub fn magnitude(&self) -> usize {
+        self.inserted.len() + self.deleted.len()
+    }
+
+    /// True if the delta changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserted.is_empty() && self.deleted.is_empty()
+    }
+
+    /// The set of random variables mentioned by inserted rows (the only rows
+    /// that can introduce conditions a catalog check has not seen yet).
+    pub fn mentioned_variables(&self) -> BTreeSet<crate::Var> {
+        self.inserted
+            .iter()
+            .flat_map(|r| r.condition.variables().cloned())
+            .collect()
+    }
+
+    /// Applies the delta to `base`, producing the updated relation.
+    ///
+    /// Rejects a base whose content digest differs from the one the delta
+    /// was built against — a stale or misrouted delta must fail loudly, not
+    /// corrupt the target (this is what lets serving layers patch pooled
+    /// intermediate results without re-deriving them from scratch).
+    pub fn apply_to(&self, base: &URelation) -> Result<URelation> {
+        if base.content_digest() != self.base {
+            return Err(UrelError::DeltaMismatch(format!(
+                "delta was derived against content {:?} but the base relation has content {:?}",
+                self.base,
+                base.content_digest()
+            )));
+        }
+        // The canonical-form invariants were validated against this exact
+        // content (digest equality), so the edit applies cleanly.
+        Ok(base.with_rows_edited(&self.inserted, &self.deleted))
+    }
+}
+
+impl fmt::Display for RelationDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Δ(+{} −{} rows against {:?})",
+            self.inserted.len(),
+            self.deleted.len(),
+            self.base
+        )?;
+        for row in &self.inserted {
+            writeln!(f, "  + {} | {}", row.condition, row.tuple)?;
+        }
+        for row in &self.deleted {
+            writeln!(f, "  - {} | {}", row.condition, row.tuple)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Condition;
+    use pdb::{relation, schema, tuple};
+
+    fn base() -> URelation {
+        URelation::from_complete(&relation![schema!["A"]; [1], [2], [3]])
+    }
+
+    fn row(v: i64) -> URow {
+        URow {
+            condition: Condition::always(),
+            tuple: tuple![v],
+        }
+    }
+
+    #[test]
+    fn diff_round_trips_through_apply() {
+        let old = base();
+        let new = URelation::from_complete(&relation![schema!["A"]; [2], [3], [4], [5]]);
+        let delta = old.diff(&new).unwrap();
+        assert_eq!(delta.magnitude(), 3); // -1, +4, +5
+        assert_eq!(delta.inserted().len(), 2);
+        assert_eq!(delta.deleted().len(), 1);
+        assert_eq!(delta.base_digest(), old.content_digest());
+        assert_eq!(delta.apply_to(&old).unwrap(), new);
+        assert!(format!("{delta}").contains("+2"));
+    }
+
+    #[test]
+    fn empty_diff_is_empty() {
+        let old = base();
+        let delta = old.diff(&old.clone()).unwrap();
+        assert!(delta.is_empty());
+        assert_eq!(delta.magnitude(), 0);
+        assert_eq!(delta.apply_to(&old).unwrap(), old);
+    }
+
+    #[test]
+    fn diff_requires_equal_schemas() {
+        let old = base();
+        let other = URelation::from_complete(&relation![schema!["B", "C"]; [1, 2]]);
+        assert!(old.diff(&other).is_err());
+    }
+
+    #[test]
+    fn apply_rejects_a_stale_base() {
+        let old = base();
+        let new = URelation::from_complete(&relation![schema!["A"]; [1]]);
+        let delta = old.diff(&new).unwrap();
+        // Applying against anything but the exact base content fails.
+        assert!(matches!(
+            delta.apply_to(&new),
+            Err(UrelError::DeltaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn new_validates_canonical_form() {
+        let b = base();
+        // Arity mismatch.
+        let bad = URow {
+            condition: Condition::always(),
+            tuple: tuple![1, 2],
+        };
+        assert!(RelationDelta::new(&b, [bad], []).is_err());
+        // Inserting a row already present.
+        assert!(RelationDelta::new(&b, [row(1)], []).is_err());
+        // Deleting a row that is absent.
+        assert!(RelationDelta::new(&b, [], [row(9)]).is_err());
+        // A valid edit.
+        let delta = RelationDelta::new(&b, [row(9)], [row(1)]).unwrap();
+        let patched = delta.apply_to(&b).unwrap();
+        assert!(patched.contains_row(&row(9)));
+        assert!(!patched.contains_row(&row(1)));
+        assert_eq!(patched.len(), 3);
+    }
+
+    #[test]
+    fn mentioned_variables_cover_inserted_conditions() {
+        let mut new = base();
+        new.insert(
+            Condition::new([(crate::Var::new("v"), pdb::Value::Int(0))]).unwrap(),
+            tuple![7],
+        )
+        .unwrap();
+        let delta = base().diff(&new).unwrap();
+        assert!(delta.mentioned_variables().contains(&crate::Var::new("v")));
+    }
+}

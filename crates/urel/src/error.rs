@@ -37,6 +37,9 @@ pub enum UrelError {
     },
     /// An operation required a complete representation.
     NotComplete(String),
+    /// A relation delta did not match the base relation it was applied to
+    /// (stale digest, or rows violating the delta's canonical form).
+    DeltaMismatch(String),
     /// Error propagated from the possible-worlds layer.
     Pdb(pdb::PdbError),
     /// The decoded world set would be too large to materialise.
@@ -77,6 +80,7 @@ impl fmt::Display for UrelError {
                  to {actual}; schema evolution requires a full database swap"
             ),
             UrelError::NotComplete(m) => write!(f, "completeness violation: {m}"),
+            UrelError::DeltaMismatch(m) => write!(f, "delta mismatch: {m}"),
             UrelError::Pdb(e) => write!(f, "{e}"),
             UrelError::TooManyWorlds { worlds, limit } => write!(
                 f,

@@ -40,6 +40,7 @@
 mod condition;
 pub mod convert;
 pub mod decompose;
+mod delta;
 mod error;
 mod udb;
 mod urelation;
@@ -50,6 +51,7 @@ pub use condition::Condition;
 pub use convert::{
     decode, decode_default, encode, total_assignments, DEFAULT_DECODE_LIMIT, WORLD_VAR,
 };
+pub use delta::RelationDelta;
 pub use error::{Result, UrelError};
 pub use udb::UDatabase;
 pub use urelation::{URelation, URow};

@@ -102,6 +102,50 @@ impl UDatabase {
         Ok(())
     }
 
+    /// Validates that `delta` may patch relation `name` and returns the
+    /// patched content without applying it: the relation must exist, the
+    /// delta's base digest must match the stored content (a stale delta is
+    /// rejected loudly), and the patched relation must pass the same catalog
+    /// checks as a full replacement — completeness preserved, conditions
+    /// only over declared variables.
+    ///
+    /// This is the read-only half of
+    /// [`apply_delta`](UDatabase::apply_delta); callers applying several
+    /// deltas atomically check them all before applying any.
+    ///
+    /// Unlike [`check_replacement`](UDatabase::check_replacement), the
+    /// catalog checks run over the *delta*, not the patched relation: a
+    /// delta cannot change the schema (row arities are validated at
+    /// construction against the base), deletions cannot break a
+    /// completeness declaration, and only inserted rows can introduce
+    /// unchecked conditions — so validation cost is proportional to the
+    /// delta.
+    pub fn check_delta(&self, name: &str, delta: &crate::RelationDelta) -> Result<URelation> {
+        let old = self.relation(name)?;
+        if self.is_complete(name) && delta.inserted().iter().any(|r| !r.condition.is_empty()) {
+            return Err(UrelError::NotComplete(format!(
+                "relation {name} is declared complete; delta-inserted rows must have \
+                 empty conditions (use set_relation to change the declaration)"
+            )));
+        }
+        for row in delta.inserted() {
+            row.condition.check_against(&self.wtable)?;
+        }
+        delta.apply_to(old)
+    }
+
+    /// Patches the content of relation `name` by a
+    /// [`RelationDelta`](crate::RelationDelta), keeping the catalog identity
+    /// fixed — the incremental form of
+    /// [`replace_relation`](UDatabase::replace_relation), validated by
+    /// [`check_delta`](UDatabase::check_delta) and applied atomically
+    /// (nothing changes on error).
+    pub fn apply_delta(&mut self, name: &str, delta: &crate::RelationDelta) -> Result<()> {
+        let new = self.check_delta(name, delta)?;
+        self.relations.insert(name.to_owned(), new);
+        Ok(())
+    }
+
     /// Looks up a relation.
     pub fn relation(&self, name: &str) -> Result<&URelation> {
         self.relations
@@ -284,6 +328,64 @@ mod tests {
             )
             .unwrap();
         assert!(db.replace_relation("R", ghost).is_err());
+    }
+
+    #[test]
+    fn apply_delta_patches_content_with_catalog_validation() {
+        let mut db = figure1a();
+        let old = db.relation("Coins").unwrap().clone();
+        let new_coins = URelation::from_complete(
+            &relation![schema!["CoinType", "Count"]; ["fair", 2], ["weighted", 3]],
+        );
+        let delta = old.diff(&new_coins).unwrap();
+        // Check-only leaves the database untouched.
+        assert_eq!(db.check_delta("Coins", &delta).unwrap(), new_coins);
+        assert_eq!(db.relation("Coins").unwrap(), &old);
+        db.apply_delta("Coins", &delta).unwrap();
+        assert_eq!(db.relation("Coins").unwrap(), &new_coins);
+        assert!(db.is_complete("Coins"));
+
+        // The same delta is now stale: its base digest no longer matches.
+        assert!(matches!(
+            db.apply_delta("Coins", &delta),
+            Err(UrelError::DeltaMismatch(_))
+        ));
+        assert_eq!(
+            db.relation("Coins").unwrap(),
+            &new_coins,
+            "atomic: unchanged on error"
+        );
+
+        // Unknown relation.
+        assert!(db.apply_delta("Nope", &delta).is_err());
+
+        // A delta breaking a complete relation's declaration is rejected.
+        let base = db.relation("Coins").unwrap().clone();
+        let mut uncertain = base.clone();
+        uncertain
+            .insert(
+                Condition::new([(Var::new("c"), Value::str("fair"))]).unwrap(),
+                tuple!["trick", 1],
+            )
+            .unwrap();
+        let bad = base.diff(&uncertain).unwrap();
+        assert!(matches!(
+            db.apply_delta("Coins", &bad),
+            Err(UrelError::NotComplete(_))
+        ));
+
+        // A delta inserting rows over undeclared variables is rejected.
+        let base = db.relation("R").unwrap().clone();
+        let mut ghost = base.clone();
+        ghost
+            .insert(
+                Condition::new([(Var::new("ghost"), Value::Int(0))]).unwrap(),
+                tuple!["?"],
+            )
+            .unwrap();
+        let bad = base.diff(&ghost).unwrap();
+        assert!(db.apply_delta("R", &bad).is_err());
+        assert_eq!(db.relation("R").unwrap(), &base);
     }
 
     #[test]

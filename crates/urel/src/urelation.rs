@@ -82,6 +82,54 @@ impl URelation {
         self.rows.iter()
     }
 
+    /// True if the exact row (condition *and* tuple) is present.
+    pub fn contains_row(&self, row: &URow) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// Removes the exact row, returning whether it was present.  Together
+    /// with [`insert`](URelation::insert) this is the edit primitive of
+    /// delta maintenance: incremental operators patch a previous output by
+    /// removing and inserting individual rows.
+    pub fn remove_row(&mut self, row: &URow) -> bool {
+        self.rows.remove(row)
+    }
+
+    /// The relation with `deleted` rows removed and `inserted` rows added
+    /// (set semantics; membership was validated by the caller).
+    pub(crate) fn with_rows_edited(
+        &self,
+        inserted: &BTreeSet<URow>,
+        deleted: &BTreeSet<URow>,
+    ) -> URelation {
+        let mut rows = self.rows.clone();
+        for row in deleted {
+            rows.remove(row);
+        }
+        rows.extend(inserted.iter().cloned());
+        URelation {
+            schema: self.schema.clone(),
+            rows,
+        }
+    }
+
+    /// Derives the [`RelationDelta`](crate::RelationDelta) that turns `self`
+    /// into `new`: one merge walk over both canonical row orders, yielding
+    /// the exact inserted/deleted row sets.  The schemas must be equal (a
+    /// content delta never changes the catalog).
+    pub fn diff(&self, new: &URelation) -> Result<crate::RelationDelta> {
+        if self.schema != new.schema {
+            return Err(crate::UrelError::SchemaMismatch {
+                relation: "<diff>".to_owned(),
+                expected: self.schema.to_string(),
+                actual: new.schema.to_string(),
+            });
+        }
+        let deleted = self.rows.difference(&new.rows).cloned();
+        let inserted = new.rows.difference(&self.rows).cloned();
+        crate::RelationDelta::new(self, inserted, deleted)
+    }
+
     /// `poss(R)`: the distinct data tuples appearing in any row.
     pub fn possible_tuples(&self) -> Relation {
         let mut rel = Relation::empty(self.schema.clone());

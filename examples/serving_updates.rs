@@ -1,7 +1,10 @@
 //! Workload-level serving under updates: prepare a set of overlapping
 //! queries, serve them warm from the cross-query snapshot pool, apply a
 //! small content update, and watch the catalog-aware invalidation keep
-//! everything that did not touch the changed relation at warm-path cost.
+//! everything that did not touch the changed relation at warm-path cost —
+//! then ship the same kind of change as a [`urel::RelationDelta`] and watch
+//! `apply_deltas` patch the pooled sub-plan results in place, so the next
+//! request recomputes nothing at all.
 //!
 //! Run with `cargo run --example serving_updates`.
 
@@ -121,7 +124,50 @@ fn main() {
         "second evaluation after the re-warm recomputes nothing"
     );
     println!(
-        "  …and the next request recomputes nothing (warm: {})",
+        "  …and the next request recomputes nothing (warm: {})\n",
+        serving.stats().warm_evaluations
+    );
+
+    // 5. Delta update: sensor 1 moves to the office.  Shipping the change
+    //    as a row delta lets the pool *patch* the Rooms scan, the join and
+    //    the projection in place (incremental operator rules) instead of
+    //    demoting them — the re-warm cost is proportional to the one-row
+    //    delta, and the next evaluation recomputes nothing.
+    println!("— delta update (one row of Rooms) —");
+    let old = serving
+        .database()
+        .relation("Rooms")
+        .expect("Rooms exists")
+        .clone();
+    let new = rooms(&[(0, "lab"), (1, "office"), (2, "hallway")]);
+    let delta = old.diff(&new).expect("same schema");
+    println!(
+        "  shipping Δ(+{} −{} rows)",
+        delta.inserted().len(),
+        delta.deleted().len()
+    );
+    serving
+        .apply_deltas([("Rooms", delta)])
+        .expect("delta applies");
+    let s = serving.stats();
+    println!(
+        "  sub-plans patched in place: {}, demoted: {}, entries dropped: {}",
+        s.subplans_patched, s.subplans_demoted, s.snapshots_invalidated
+    );
+    let out = serving
+        .evaluate(queries[0], &mut rng)
+        .expect("patched warm evaluation");
+    for row in out.result.relation.iter() {
+        println!("  {}", row.tuple);
+    }
+    assert_eq!(
+        serving.stats().subplans_recomputed,
+        s.subplans_recomputed,
+        "a patched prefix resumes without recomputing anything"
+    );
+    println!(
+        "  cold: {}, warm: {} — the patched prefix resumed with zero recomputation",
+        serving.stats().cold_evaluations,
         serving.stats().warm_evaluations
     );
 }

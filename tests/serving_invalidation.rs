@@ -69,6 +69,19 @@ fn arb_update() -> impl Strategy<Value = (bool, Vec<(i64, i64)>)> {
     )
 }
 
+/// One arbitrary workload operation for the delta-path property: a full
+/// replacement via `update_relations` (kind 0), the same target content
+/// shipped as a diff-derived delta via `apply_deltas` (kind 1), or a
+/// single-row delta edit (kind 2 — always below the patch-worthiness bound,
+/// so it exercises the in-place patch path).
+fn arb_op() -> impl Strategy<Value = (u8, bool, Vec<(i64, i64)>)> {
+    (
+        0u8..3,
+        any::<bool>(),
+        proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+    )
+}
+
 proptest! {
     /// After every update, every query's warm answer equals a cold serving
     /// engine's answer over the updated database, bit for bit.
@@ -129,6 +142,118 @@ proptest! {
                 );
                 // The RNG streams advanced identically too.
                 prop_assert_eq!(warm_rng.next_u64(), cold_rng.next_u64());
+            }
+        }
+    }
+
+    /// The delta path composes with full replacements: after *any*
+    /// interleaving of `apply_deltas` (patched or demoted slots alike),
+    /// `update_relations` and warm evaluations, every query's warm answer
+    /// equals a cold serving engine over the final database bit for bit —
+    /// patched slots are never silently stale.  `ServingStats` is
+    /// cross-checked: a patched slot is patched (not recomputed), so
+    /// `subplans_recomputed` may only grow in rounds where something was
+    /// demoted, dropped or re-run cold.
+    #[test]
+    fn delta_interleavings_stay_bit_identical(
+        r0 in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+        s0 in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+        ops in proptest::collection::vec(arb_op(), 1..4),
+        seed in 0u64..1000,
+    ) {
+        let config = EvalConfig::default();
+        let db = database(&r0, &s0);
+        let queries = workload_queries();
+        let mut serving = ServingEngine::new(config, db).unwrap();
+
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for q in &queries {
+            serving.evaluate(q, &mut rng).unwrap();
+        }
+
+        for (round, (kind, which, rows)) in ops.iter().enumerate() {
+            let (name, target) = if *which {
+                ("S", relation_s(rows))
+            } else {
+                ("R", relation_r(rows))
+            };
+            let before = serving.stats();
+            match kind {
+                0 => serving.update_relations([(name, target)]).unwrap(),
+                1 => {
+                    // The same replacement shipped as a diff-derived delta.
+                    let old = serving.database().relation(name).unwrap().clone();
+                    let delta = old.diff(&target).unwrap();
+                    serving.apply_deltas([(name, delta)]).unwrap();
+                }
+                _ => {
+                    // A single-row edit: insert the first generated row if
+                    // absent, else delete it — guaranteed patch-worthy.
+                    let old = serving.database().relation(name).unwrap().clone();
+                    let mut new = old.clone();
+                    let rel = if *which {
+                        relation_s(&rows[..1])
+                    } else {
+                        relation_r(&rows[..1])
+                    };
+                    let row = rel.iter().next().unwrap().clone();
+                    if old.contains_row(&row) {
+                        new.remove_row(&row);
+                    } else {
+                        new.insert(row.condition, row.tuple).unwrap();
+                    }
+                    let delta = old.diff(&new).unwrap();
+                    prop_assert!(delta.magnitude() <= 1);
+                    serving.apply_deltas([(name, delta)]).unwrap();
+                }
+            }
+            let after_update = serving.stats();
+
+            for (qi, q) in queries.iter().enumerate() {
+                let case_seed = seed
+                    .wrapping_mul(131)
+                    .wrapping_add((round * queries.len() + qi) as u64);
+                let mut warm_rng = ChaCha8Rng::seed_from_u64(case_seed);
+                let warm = serving.evaluate(q, &mut warm_rng).unwrap();
+
+                let mut cold_serving =
+                    ServingEngine::new(config, serving.database().clone()).unwrap();
+                let mut cold_rng = ChaCha8Rng::seed_from_u64(case_seed);
+                let cold = cold_serving.evaluate(q, &mut cold_rng).unwrap();
+
+                prop_assert_eq!(
+                    &warm.result.relation, &cold.result.relation,
+                    "relation diverged for `{}` after op #{}", q, round
+                );
+                prop_assert_eq!(&warm.result.errors, &cold.result.errors);
+                prop_assert_eq!(warm.result.complete, cold.result.complete);
+                prop_assert_eq!(
+                    warm.stats, cold.stats,
+                    "stats diverged for `{}` after op #{}", q, round
+                );
+                prop_assert_eq!(
+                    &warm.database, &cold.database,
+                    "database diverged for `{}` after op #{}", q, round
+                );
+                prop_assert_eq!(warm_rng.next_u64(), cold_rng.next_u64());
+            }
+
+            // Stats cross-check: if the op only patched (nothing demoted,
+            // dropped or spine-invalidated), the round's warm evaluations
+            // must resume without recomputing a single sub-plan — a patched
+            // slot that were stale could only stay bit-identical by being
+            // recomputed, so this pins down that the patch itself is live.
+            let after_evals = serving.stats();
+            prop_assert_eq!(after_evals.subplans_patched, after_update.subplans_patched);
+            let nothing_demoted = after_update.subplans_demoted == before.subplans_demoted
+                && after_update.subplans_invalidated == before.subplans_invalidated
+                && after_update.snapshots_invalidated == before.snapshots_invalidated;
+            if nothing_demoted {
+                prop_assert_eq!(
+                    after_evals.subplans_recomputed, before.subplans_recomputed,
+                    "round {} patched in place but still recomputed", round
+                );
+                prop_assert_eq!(after_evals.cold_evaluations, before.cold_evaluations);
             }
         }
     }
