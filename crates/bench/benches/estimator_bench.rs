@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the Monte Carlo estimation kernels: the
+//! scalar per-world Karp–Luby reference vs the bit-parallel
+//! 64-worlds-per-word kernel over compiled lineage programs.
+//!
+//! ```text
+//! cargo bench -p bench --bench estimator_bench            # full sizes
+//! cargo bench -p bench --bench estimator_bench -- --smoke # CI smoke sizes
+//! ```
+//!
+//! Both kernels draw the same number of samples per event; the benchmark
+//! sweeps the event width `|F|` (terms = variables, the shape `aconf` sees
+//! after a projection over a tuple-independent relation).
+
+use confidence::{
+    Assignment, BitKarpLuby, DnfEvent, KarpLubyEstimator, LineagePrograms, ProbabilitySpace,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// An event of `terms` single-literal terms over fresh Boolean variables
+/// with varied probabilities — the lineage shape of a projected
+/// tuple-independent relation.
+fn projected_lineage(terms: usize) -> (DnfEvent, ProbabilitySpace) {
+    let mut space = ProbabilitySpace::new();
+    let mut assignments = Vec::with_capacity(terms);
+    for i in 0..terms {
+        let p = 0.15 + 0.7 * ((i * 37 % 100) as f64 / 100.0);
+        let v = space.add_bool_variable(p).expect("valid probability");
+        assignments.push(Assignment::new([(v, 0)]).expect("assignment"));
+    }
+    (DnfEvent::new(assignments), space)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estimator_kernel");
+    group.sample_size(10);
+    let (widths, samples): (&[usize], usize) = if smoke() {
+        (&[16, 64], 4_000)
+    } else {
+        (&[16, 64, 256], 40_000)
+    };
+
+    for &terms in widths {
+        let (event, space) = projected_lineage(terms);
+
+        group.bench_with_input(BenchmarkId::new("scalar", terms), &terms, |b, _| {
+            let estimator =
+                KarpLubyEstimator::new(event.clone(), space.clone()).expect("scalar estimator");
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            b.iter(|| estimator.estimate(samples, &mut rng).expect("estimate"));
+        });
+
+        group.bench_with_input(BenchmarkId::new("bit_parallel", terms), &terms, |b, _| {
+            let programs =
+                Arc::new(LineagePrograms::compile(vec![event.clone()], &space).expect("compile"));
+            let mut kernel = BitKarpLuby::new(programs, 0).expect("kernel");
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+            b.iter(|| kernel.estimate(samples, &mut rng).expect("estimate"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -28,9 +28,14 @@
 //!    replacement (`update_relations`: intersecting sub-plans demoted and
 //!    recomputed on the next resume) — the re-warm cost of the delta path
 //!    is proportional to the delta, not to the sub-plans it touches.
+//! 5. **Estimator kernels** — Karp–Luby samples/second of the scalar
+//!    reference estimator vs the bit-parallel 64-worlds-per-word kernel on
+//!    the `fpras_conf` workload's own lineage programs, plus the resulting
+//!    cold/warm `aconf` request latencies from experiment 1.
 
 use algebra::LogicalPlan;
-use engine::{catalog_of, EvalConfig, ServingEngine, UEngine};
+use confidence::{BitKarpLuby, KarpLubyEstimator};
+use engine::{catalog_of, CompiledSpace, EvalConfig, ServingEngine, UEngine};
 use pdb::{Schema, Tuple, Value};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -392,12 +397,74 @@ fn delta_update_experiment(rows: usize, runs: usize) -> DeltaUpdateResult {
     }
 }
 
+/// Results of the estimator-kernel experiment: scalar vs bit-parallel
+/// Karp–Luby throughput on the `fpras_conf` workload's own lineages.
+struct EstimatorResult {
+    events: usize,
+    /// Samples drawn per event (the Chernoff budget of `aconf[0.2, 0.1]`).
+    samples_per_event: usize,
+    scalar_samples_per_sec: f64,
+    bitparallel_samples_per_sec: f64,
+}
+
+fn estimator_experiment(num_tuples: usize) -> EstimatorResult {
+    let db = TupleIndependentDb {
+        num_tuples,
+        domain_size: 8,
+        tuple_probability: None,
+        seed: 11,
+    }
+    .database();
+    // The exact batch the `fpras_conf` query estimates over: the lineage of
+    // project[A](T), extracted and compiled by the engine's own cache.
+    let space = CompiledSpace::compile(db.wtable()).expect("compiled space");
+    let relation = db.relation("T").expect("relation T");
+    let projected =
+        engine::ops::project(relation, &[algebra::ProjItem::attr("A")]).expect("projection");
+    let lineage = space.relation_events(&projected).expect("lineage batch");
+    let programs = lineage.programs();
+    let params = confidence::FprasParams::new(0.2, 0.1).expect("params");
+
+    let mut scalar_samples = 0usize;
+    let start = Instant::now();
+    for event in lineage.events() {
+        let m = params.samples_for(event.num_terms()).expect("budget");
+        let estimator =
+            KarpLubyEstimator::new(event.clone(), space.space().clone()).expect("scalar estimator");
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let _ = estimator.estimate(m, &mut rng).expect("scalar estimate");
+        scalar_samples += m;
+    }
+    let scalar_secs = start.elapsed().as_secs_f64();
+
+    let mut bit_samples = 0usize;
+    let start = Instant::now();
+    for index in 0..programs.len() {
+        let m = params
+            .samples_for(programs.num_terms(index))
+            .expect("budget");
+        let mut kernel = BitKarpLuby::new(programs.clone(), index).expect("bit kernel");
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+        let _ = kernel.estimate(m, &mut rng).expect("bit estimate");
+        bit_samples += m;
+    }
+    let bit_secs = start.elapsed().as_secs_f64();
+
+    EstimatorResult {
+        events: programs.len(),
+        samples_per_event: bit_samples / programs.len().max(1),
+        scalar_samples_per_sec: scalar_samples as f64 / scalar_secs.max(1e-9),
+        bitparallel_samples_per_sec: bit_samples as f64 / bit_secs.max(1e-9),
+    }
+}
+
 fn render_json(
     smoke: bool,
     repeated: &[RepeatedQueryResult],
     shards: &[ShardResult],
     mixed: &MixedWorkloadResult,
     delta: &DeltaUpdateResult,
+    estimator: &EstimatorResult,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -406,7 +473,12 @@ fn render_json(
         "  \"generated_by\": \"cargo run --release -p bench --bin serving\","
     );
     let _ = writeln!(out, "  \"smoke\": {smoke},");
-    let _ = writeln!(out, "  \"host_threads\": {},", rayon::current_num_threads());
+    // The machine's real thread budget, straight from the OS (the rayon
+    // shim's view can be narrower than the hardware).
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let _ = writeln!(out, "  \"host_threads\": {host_threads},");
     let _ = writeln!(out, "  \"repeated_query\": [");
     for (i, r) in repeated.iter().enumerate() {
         let comma = if i + 1 < repeated.len() { "," } else { "" };
@@ -529,6 +601,41 @@ fn render_json(
         (delta.replace_update_us + delta.demoted_warm_us)
             / (delta.delta_update_us + delta.patched_warm_us).max(1e-9)
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"estimator\": {{");
+    let _ = writeln!(
+        out,
+        "    \"workload\": \"Karp-Luby sampling over the fpras_conf lineage batch \
+         ({} events, {} samples each): the scalar per-world reference estimator vs the \
+         bit-parallel 64-worlds-per-word kernel over compiled lineage programs\",",
+        estimator.events, estimator.samples_per_event
+    );
+    let _ = writeln!(
+        out,
+        "    \"scalar_samples_per_sec\": {:.0},",
+        estimator.scalar_samples_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"bitparallel_samples_per_sec\": {:.0},",
+        estimator.bitparallel_samples_per_sec
+    );
+    let _ = writeln!(
+        out,
+        "    \"kernel_speedup\": {:.2},",
+        estimator.bitparallel_samples_per_sec / estimator.scalar_samples_per_sec.max(1e-9)
+    );
+    let aconf = repeated.iter().find(|r| r.label == "fpras_conf");
+    let _ = writeln!(
+        out,
+        "    \"aconf_cold_us\": {:.1},",
+        aconf.map_or(f64::NAN, |r| r.cold_us)
+    );
+    let _ = writeln!(
+        out,
+        "    \"aconf_warm_us\": {:.1}",
+        aconf.map_or(f64::NAN, |r| r.warm_us)
+    );
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -551,7 +658,8 @@ fn main() {
     let shards = sharding_experiment(join_tuples, runs);
     let mixed = mixed_workload_experiment(mixed_rows, runs);
     let delta = delta_update_experiment(mixed_rows, runs);
-    let json = render_json(smoke, &repeated, &shards, &mixed, &delta);
+    let estimator = estimator_experiment(serving_tuples);
+    let json = render_json(smoke, &repeated, &shards, &mixed, &delta, &estimator);
     print!("{json}");
 
     for r in &repeated {
@@ -607,6 +715,16 @@ fn main() {
         delta.subplans_invalidated,
         (delta.replace_update_us + delta.demoted_warm_us)
             / (delta.delta_update_us + delta.patched_warm_us).max(1e-9)
+    );
+
+    eprintln!(
+        "estimator kernels: scalar {:.2} M samples/s vs bit-parallel {:.2} M samples/s \
+         ({:.1}x) over {} events x {} samples",
+        estimator.scalar_samples_per_sec / 1e6,
+        estimator.bitparallel_samples_per_sec / 1e6,
+        estimator.bitparallel_samples_per_sec / estimator.scalar_samples_per_sec.max(1e-9),
+        estimator.events,
+        estimator.samples_per_event
     );
 
     if !smoke {

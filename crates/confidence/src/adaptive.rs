@@ -1,4 +1,4 @@
-//! Incremental (anytime) Karp–Luby estimation.
+//! Incremental (anytime) Karp–Luby estimation, bit-parallel.
 //!
 //! The predicate-approximation algorithm of Figure 3 interleaves estimation
 //! and decision making: in each outer-loop iteration it draws `|F_i|` further
@@ -7,17 +7,28 @@
 //! provides exactly that interface: an estimator whose sample count can grow
 //! batch by batch while keeping the running estimate and its Chernoff error
 //! bound available at all times.
+//!
+//! Since the bit-parallel rewrite the samples come from the
+//! [`crate::bitworld`] kernel, which decides 64 worlds per pass over the
+//! event's compiled program.  Because the adaptive driver asks for batches of
+//! `|F_i|` samples — often far fewer than 64 — the estimator banks the unused
+//! lanes of the last drawn block and serves later batches from the bank
+//! first, so even fine-grained sampling schedules pay the blockwise price.
+//! (Banked lanes are i.i.d. draws that no stopping decision has looked at,
+//! so consuming them later leaves the estimator's distribution unchanged.)
 
+use crate::bitworld::BitKarpLuby;
 use crate::chernoff::{delta_prime, error_bound};
+use crate::compile::LineagePrograms;
 use crate::error::Result;
 use crate::event::{DnfEvent, ProbabilitySpace};
-use crate::karp_luby::KarpLubyEstimator;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A Karp–Luby estimator that accumulates samples across calls.
 #[derive(Clone, Debug)]
 pub struct IncrementalEstimator {
-    estimator: Option<KarpLubyEstimator>,
+    kernel: Option<BitKarpLuby>,
     /// Exact value for trivial events (empty → 0, certain → 1).
     trivial: Option<f64>,
     /// Number of terms `|F_i|` (1 for trivial events so iteration counts stay
@@ -29,34 +40,42 @@ pub struct IncrementalEstimator {
     samples: u64,
     /// Number of completed batches (outer-loop iterations `l`).
     batches: u64,
+    /// Success bits of drawn-but-unconsumed lanes of the last block.
+    banked_bits: u64,
+    /// Number of banked lanes.
+    banked_len: u32,
 }
 
 impl IncrementalEstimator {
-    /// Prepares an incremental estimator for an event.
+    /// Prepares an incremental estimator for an event, compiling it into a
+    /// single-program batch.
     ///
     /// Trivial events (no terms, or a term that is always true) are handled
     /// exactly; they never consume samples and their error bound is 0.
     pub fn new(event: DnfEvent, space: ProbabilitySpace) -> Result<Self> {
-        let trivial = if event.is_never() {
-            Some(0.0)
-        } else if event.is_certain() {
-            Some(1.0)
-        } else {
-            None
-        };
-        let num_terms = event.num_terms().max(1);
-        let estimator = if trivial.is_none() {
-            Some(KarpLubyEstimator::new(event, space)?)
+        let programs = Arc::new(LineagePrograms::compile(vec![event], &space)?);
+        IncrementalEstimator::from_compiled(&programs, 0)
+    }
+
+    /// Prepares an incremental estimator over an already compiled program —
+    /// the warm path: no event walking, no compilation, no space clone.
+    pub fn from_compiled(programs: &Arc<LineagePrograms>, index: usize) -> Result<Self> {
+        let trivial = programs.trivial(index);
+        let num_terms = programs.num_terms(index).max(1);
+        let kernel = if trivial.is_none() {
+            Some(BitKarpLuby::new(programs.clone(), index)?)
         } else {
             None
         };
         Ok(IncrementalEstimator {
-            estimator,
+            kernel,
             trivial,
             num_terms,
             successes: 0,
             samples: 0,
             batches: 0,
+            banked_bits: 0,
+            banked_len: 0,
         })
     }
 
@@ -87,16 +106,37 @@ impl IncrementalEstimator {
         self.batches += 1;
     }
 
-    /// Draws `n` further samples.
+    /// Draws `n` further samples (bank first, then whole 64-lane blocks).
     pub fn add_samples<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) {
-        let Some(estimator) = &self.estimator else {
+        let Some(kernel) = &mut self.kernel else {
             return;
         };
-        let mut x = 0u64;
-        for _ in 0..n {
-            x += u64::from(estimator.sample(rng));
+        let mut remaining = n as u64;
+        // Serve from the bank of already-drawn lanes.
+        if self.banked_len > 0 && remaining > 0 {
+            let take = (self.banked_len as u64).min(remaining) as u32;
+            let mask = if take >= 64 { !0 } else { (1u64 << take) - 1 };
+            self.successes += u64::from((self.banked_bits & mask).count_ones());
+            self.banked_bits = if take >= 64 {
+                0
+            } else {
+                self.banked_bits >> take
+            };
+            self.banked_len -= take;
+            remaining -= u64::from(take);
         }
-        self.successes += x;
+        while remaining >= 64 {
+            self.successes += u64::from(kernel.sample_block(rng, 64));
+            remaining -= 64;
+        }
+        if remaining > 0 {
+            // Draw one more block, consume `remaining` lanes, bank the rest.
+            let bits = kernel.sample_block_bits(rng);
+            let mask = (1u64 << remaining) - 1;
+            self.successes += u64::from((bits & mask).count_ones());
+            self.banked_bits = bits >> remaining;
+            self.banked_len = 64 - remaining as u32;
+        }
         self.samples += n as u64;
     }
 
@@ -109,8 +149,8 @@ impl IncrementalEstimator {
         if self.samples == 0 {
             return 0.0;
         }
-        let estimator = self.estimator.as_ref().expect("non-trivial estimator");
-        self.successes as f64 * estimator.total_weight() / self.samples as f64
+        let kernel = self.kernel.as_ref().expect("non-trivial estimator");
+        self.successes as f64 * kernel.total_weight() / self.samples as f64
     }
 
     /// The Chernoff bound `δ_i(ε) = 2·e^{−m·ε²/(3·|F_i|)}` on the probability
@@ -201,6 +241,44 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(77);
         est.add_samples(30_000, &mut rng);
         assert!((est.estimate() - exact_p).abs() < 0.02);
+    }
+
+    #[test]
+    fn banked_lanes_match_fresh_blocks_statistically() {
+        // Drawing 30k samples in odd-sized dribbles (exercising the lane
+        // bank on every call) must converge exactly like one bulk call.
+        let (f, s) = setup();
+        let exact_p = exact::probability(&f, &s).unwrap();
+        let mut est = IncrementalEstimator::new(f, s).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let mut drawn = 0usize;
+        for i in 0.. {
+            let n = 1 + (i * 7) % 13;
+            est.add_samples(n, &mut rng);
+            drawn += n;
+            if drawn >= 30_000 {
+                break;
+            }
+        }
+        assert_eq!(est.samples(), drawn as u64);
+        assert!((est.estimate() - exact_p).abs() < 0.02);
+    }
+
+    #[test]
+    fn from_compiled_reuses_a_shared_batch() {
+        let (f, s) = setup();
+        let other = DnfEvent::new([Assignment::new([(1, 1)]).unwrap()]);
+        let programs = Arc::new(LineagePrograms::compile(vec![f.clone(), other], &s).unwrap());
+        let mut a = IncrementalEstimator::from_compiled(&programs, 0).unwrap();
+        let mut b = IncrementalEstimator::new(f, s).unwrap();
+        let mut r1 = ChaCha8Rng::seed_from_u64(9);
+        let mut r2 = ChaCha8Rng::seed_from_u64(9);
+        a.add_samples(5_000, &mut r1);
+        b.add_samples(5_000, &mut r2);
+        // Same event, same seed: the shared-batch estimator and the
+        // self-compiled one walk identical programs.
+        assert_eq!(a.estimate(), b.estimate());
+        assert_eq!(a.num_terms(), b.num_terms());
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! Bit-parallel Monte Carlo: evaluating compiled lineage programs over 64
+//! sampled worlds at a time.
+//!
+//! A sampled world assigns one alternative to every variable an event
+//! mentions.  Packing 64 worlds into the bits of a `u64` turns the per-world
+//! question "does this literal hold?" into a single word — and the whole DNF
+//! into a linear pass of `AND`/`OR`/`ANDNOT` words over the instruction
+//! buffer of a [`LineagePrograms`] batch.  One pass decides 64 Karp–Luby
+//! samples.
+//!
+//! Two sampling primitives drive the kernel:
+//!
+//! * [`bernoulli_block`] draws 64 independent `Bernoulli(p)` bits using the
+//!   classic bit-by-bit comparison of a uniform against the binary expansion
+//!   of `p`: lanes stay "undecided" while their uniform's bits agree with
+//!   `p`'s, so the expected cost is ~7 words of randomness for all 64 lanes
+//!   instead of 64 draws;
+//! * multi-valued variables fall back to one `u64` draw per lane compared
+//!   against the program's cumulative fixed-point thresholds.
+//!
+//! [`BitKarpLuby`] runs the estimator of Definition 4.1 blockwise: per block
+//! it (1) picks a term per lane with probability `p_f/M`, (2) samples a base
+//! world block and overrides the variables each lane's chosen term
+//! constrains, and (3) scans the instruction buffer once, accumulating a
+//! "first satisfied term" mask — a lane succeeds iff its chosen term is the
+//! lowest-index satisfied term, exactly the scalar estimator's semantics.
+//! Scalar and bit-parallel runs consume randomness differently (seeds
+//! re-map), but both are deterministic per seed and estimate the same
+//! quantity; the differential property suite pins their statistical
+//! agreement.
+
+use crate::compile::{LineagePrograms, SLOT_NONE};
+use crate::error::{ConfidenceError, Result};
+use rand::{Rng, RngCore};
+use std::sync::Arc;
+
+/// Draws 64 independent `Bernoulli(p)` lanes, `p` given as a 64-bit
+/// fixed-point fraction (`p = p_bits / 2^64`).
+///
+/// Compares a lazily generated uniform per lane against the binary expansion
+/// of `p`, most significant bit first: a lane decides as soon as its uniform
+/// bit differs from `p`'s bit, and all 64 lanes share each drawn word.
+pub fn bernoulli_block<R: RngCore + ?Sized>(rng: &mut R, p_bits: u64) -> u64 {
+    let mut undecided = !0u64;
+    let mut result = 0u64;
+    for k in (0..64).rev() {
+        if p_bits & (u64::MAX >> (63 - k)) == 0 {
+            // No bit of p remains: undecided lanes can only be ≥ p.
+            break;
+        }
+        let r = rng.next_u64();
+        if (p_bits >> k) & 1 != 0 {
+            // p's bit is 1: lanes whose uniform bit is 0 are below p.
+            result |= undecided & !r;
+            undecided &= r;
+        } else {
+            // p's bit is 0: lanes whose uniform bit is 1 are above p.
+            undecided &= !r;
+        }
+        if undecided == 0 {
+            break;
+        }
+    }
+    // Lanes still undecided matched every bit of p, so their uniform equals
+    // p's expansion and is not below it: they resolve to false.
+    result
+}
+
+/// The Karp–Luby estimator over a compiled program, 64 worlds per block.
+///
+/// Sampling allocates nothing per block.  The world/forced masks (one `u64`
+/// per arena slot) live in a thread-local scratchpad shared by every kernel
+/// on the thread — each block pass writes every cell it later reads, so the
+/// scratch never needs clearing and constructing a kernel costs only the
+/// per-event `O(|F|)` bookkeeping, not `O(arena)`, even when a batched
+/// estimator builds one kernel per event of a large relation.
+#[derive(Clone, Debug)]
+pub struct BitKarpLuby {
+    programs: Arc<LineagePrograms>,
+    event: usize,
+    /// Per lane: the chosen term's position within the event.
+    chosen_term: [u32; 64],
+    /// Per event term position: lanes that chose it **in the current
+    /// block**.  Invariant between blocks: non-zero entries are exactly the
+    /// positions in `chosen_term`, which the next block zeroes first —
+    /// a stale lane bit surviving in an unchosen position would be counted
+    /// as a spurious success.
+    chosen_mask: Vec<u64>,
+}
+
+/// The thread-local block scratchpad: world and forced masks indexed by
+/// arena slot / local variable.  Contents are deliberately left dirty
+/// between uses; every pass writes the cells of the event it works on
+/// before reading them.
+#[derive(Default)]
+struct BlockScratch {
+    /// Per arena slot: the 64-world truth mask of the slot's literal.
+    slot_masks: Vec<u64>,
+    /// Per arena slot: lanes whose chosen term forces this literal true.
+    forced_slot: Vec<u64>,
+    /// Per local variable: lanes whose chosen term constrains it.
+    forced_var: Vec<u64>,
+}
+
+impl BlockScratch {
+    fn reserve(&mut self, slots: usize, vars: usize) {
+        if self.slot_masks.len() < slots {
+            self.slot_masks.resize(slots, 0);
+            self.forced_slot.resize(slots, 0);
+        }
+        if self.forced_var.len() < vars {
+            self.forced_var.resize(vars, 0);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<BlockScratch> =
+        std::cell::RefCell::new(BlockScratch::default());
+}
+
+impl BitKarpLuby {
+    /// Prepares a kernel for event `event` of a compiled batch; fails on an
+    /// event with no terms (probability 0, nothing to sample — the same
+    /// contract as the scalar [`crate::KarpLubyEstimator`]).
+    pub fn new(programs: Arc<LineagePrograms>, event: usize) -> Result<Self> {
+        let program = *programs.program(event);
+        if program.term_len == 0 {
+            return Err(ConfidenceError::EmptyEvent);
+        }
+        Ok(BitKarpLuby {
+            chosen_term: [0; 64],
+            chosen_mask: vec![0; program.term_len as usize],
+            programs,
+            event,
+        })
+    }
+
+    /// The total term weight `M`.
+    pub fn total_weight(&self) -> f64 {
+        self.programs.total_weight(self.event)
+    }
+
+    /// The number of terms `|F|`.
+    pub fn num_terms(&self) -> usize {
+        self.programs.num_terms(self.event)
+    }
+
+    /// Draws one block of 64 Karp–Luby samples and returns the success mask
+    /// (bit `j` set iff sample `j` counted 1).
+    pub fn sample_block_bits<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        let p = self.programs.program(self.event);
+        let arena = &*self.programs;
+        let term_range = p.term_start as usize..(p.term_start + p.term_len) as usize;
+        let event_terms = &arena.event_terms[term_range.clone()];
+        let cum = &arena.event_cum[term_range];
+        let event_vars =
+            &arena.event_vars[p.var_start as usize..(p.var_start + p.var_len) as usize];
+        let total = p.total_weight;
+
+        SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            scratch.reserve(arena.num_slots(), arena.num_vars());
+
+            // Reset the forced masks of the variables (and their slots) this
+            // event touches — the only scratch cells the pass will read —
+            // and the chosen-term positions of the *previous* block: those
+            // are exactly the non-zero entries of `chosen_mask`, and a stale
+            // lane bit left in a position not chosen again this block would
+            // be counted as a spurious success in step 3.
+            for &v in event_vars {
+                scratch.forced_var[v as usize] = 0;
+                let plan = arena.vars[v as usize];
+                for cell in plan.alt_start..plan.alt_start + plan.alt_len {
+                    let slot = arena.alt_slots[cell as usize];
+                    if slot != SLOT_NONE {
+                        scratch.forced_slot[slot as usize] = 0;
+                    }
+                }
+            }
+            for lane in 0..64 {
+                self.chosen_mask[self.chosen_term[lane] as usize] = 0;
+            }
+
+            // Step 1: per lane, choose a term with probability p_f / M and
+            // mark the literals it forces.  `cum` is non-decreasing, so the
+            // first index with `target < cum[i]` is found by binary search.
+            for lane in 0..64u32 {
+                let target = rng.gen_range(0.0..total);
+                // Floating-point edge: clamp to the last term.
+                let t = (cum.partition_point(|&w| w <= target) as u32).min(p.term_len - 1);
+                self.chosen_term[lane as usize] = t;
+            }
+            for lane in 0..64u32 {
+                let t = self.chosen_term[lane as usize];
+                let bit = 1u64 << lane;
+                self.chosen_mask[t as usize] |= bit;
+                let (start, len) = arena.terms[event_terms[t as usize] as usize];
+                for &slot in &arena.term_lits[start as usize..(start + len) as usize] {
+                    scratch.forced_slot[slot as usize] |= bit;
+                    scratch.forced_var[arena.slot_var[slot as usize] as usize] |= bit;
+                }
+            }
+
+            // Step 2: sample a base world block for every mentioned variable
+            // and override the lanes whose chosen term constrains it.
+            for &v in event_vars {
+                let plan = arena.vars[v as usize];
+                let forced = scratch.forced_var[v as usize];
+                let cells = plan.alt_start as usize..(plan.alt_start + plan.alt_len) as usize;
+                if plan.alt_len == 2 {
+                    // Boolean fast path: one Bernoulli block decides both
+                    // alternatives.
+                    let heads = bernoulli_block(rng, arena.alt_thresholds[cells.start]);
+                    let s0 = arena.alt_slots[cells.start];
+                    let s1 = arena.alt_slots[cells.start + 1];
+                    if s0 != SLOT_NONE {
+                        scratch.slot_masks[s0 as usize] =
+                            (heads & !forced) | scratch.forced_slot[s0 as usize];
+                    }
+                    if s1 != SLOT_NONE {
+                        scratch.slot_masks[s1 as usize] =
+                            (!heads & !forced) | scratch.forced_slot[s1 as usize];
+                    }
+                } else {
+                    for cell in cells.clone() {
+                        let slot = arena.alt_slots[cell];
+                        if slot != SLOT_NONE {
+                            scratch.slot_masks[slot as usize] = 0;
+                        }
+                    }
+                    let thresholds = &arena.alt_thresholds[cells.clone()];
+                    for lane in 0..64u32 {
+                        let r = rng.next_u64();
+                        let alt = thresholds
+                            .iter()
+                            .position(|&t| r < t)
+                            .unwrap_or(thresholds.len() - 1);
+                        let slot = arena.alt_slots[cells.start + alt];
+                        if slot != SLOT_NONE {
+                            scratch.slot_masks[slot as usize] |= 1u64 << lane;
+                        }
+                    }
+                    for cell in cells {
+                        let slot = arena.alt_slots[cell];
+                        if slot != SLOT_NONE {
+                            scratch.slot_masks[slot as usize] = (scratch.slot_masks[slot as usize]
+                                & !forced)
+                                | scratch.forced_slot[slot as usize];
+                        }
+                    }
+                }
+            }
+
+            // Step 3: one pass over the instruction buffer.  `already`
+            // collects lanes some earlier term satisfied; a lane succeeds
+            // iff the first term it satisfies is the one it chose.
+            let mut already = 0u64;
+            let mut success = 0u64;
+            for (position, &term_id) in event_terms.iter().enumerate() {
+                let mut sat = !already;
+                let (start, len) = arena.terms[term_id as usize];
+                for &slot in &arena.term_lits[start as usize..(start + len) as usize] {
+                    sat &= scratch.slot_masks[slot as usize];
+                    if sat == 0 {
+                        break;
+                    }
+                }
+                if sat != 0 {
+                    success |= sat & self.chosen_mask[position];
+                    already |= sat;
+                    if already == !0 {
+                        break;
+                    }
+                }
+            }
+            success
+        })
+    }
+
+    /// Draws one block and counts the successes among its first `lanes`
+    /// samples (`lanes ≤ 64`; partial blocks keep sample counts exact).
+    pub fn sample_block<R: Rng + ?Sized>(&mut self, rng: &mut R, lanes: u32) -> u32 {
+        debug_assert!((1..=64).contains(&lanes));
+        let bits = self.sample_block_bits(rng);
+        let mask = if lanes >= 64 {
+            !0u64
+        } else {
+            (1u64 << lanes) - 1
+        };
+        (bits & mask).count_ones()
+    }
+
+    /// Draws exactly `m` samples blockwise and returns `p̂ = X · M / m`.
+    pub fn estimate<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Result<f64> {
+        if m == 0 {
+            return Err(ConfidenceError::InvalidParameter(
+                "the Karp-Luby estimate needs at least one sample".into(),
+            ));
+        }
+        let mut successes = 0u64;
+        let mut remaining = m;
+        while remaining >= 64 {
+            successes += u64::from(self.sample_block(rng, 64));
+            remaining -= 64;
+        }
+        if remaining > 0 {
+            successes += u64::from(self.sample_block(rng, remaining as u32));
+        }
+        Ok(successes as f64 * self.total_weight() / m as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Assignment, DnfEvent, ProbabilitySpace};
+    use crate::exact;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn compile_one(event: DnfEvent, space: &ProbabilitySpace) -> Arc<LineagePrograms> {
+        Arc::new(LineagePrograms::compile(vec![event], space).unwrap())
+    }
+
+    #[test]
+    fn bernoulli_block_matches_its_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for &p in &[0.05f64, 0.3, 0.5, 0.9] {
+            let p_bits = (p * 1.8446744073709552e19) as u64;
+            let mut ones = 0u64;
+            let blocks = 4000;
+            for _ in 0..blocks {
+                ones += u64::from(bernoulli_block(&mut rng, p_bits).count_ones());
+            }
+            let freq = ones as f64 / (blocks as f64 * 64.0);
+            assert!(
+                (freq - p).abs() < 0.01,
+                "frequency {freq} too far from p = {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn bernoulli_block_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(bernoulli_block(&mut rng, 0), 0);
+        // p_bits = MAX is (2^64 - 1)/2^64: all but a measure-2^-64 sliver.
+        let all = bernoulli_block(&mut rng, u64::MAX);
+        assert_eq!(all.count_ones(), 64);
+    }
+
+    #[test]
+    fn rejects_the_impossible_event_and_zero_samples() {
+        let mut s = ProbabilitySpace::new();
+        s.add_bool_variable(0.5).unwrap();
+        let programs = compile_one(DnfEvent::never(), &s);
+        assert!(matches!(
+            BitKarpLuby::new(programs, 0),
+            Err(ConfidenceError::EmptyEvent)
+        ));
+        let s2 = {
+            let mut s2 = ProbabilitySpace::new();
+            s2.add_bool_variable(0.5).unwrap();
+            s2
+        };
+        let programs = compile_one(DnfEvent::new([Assignment::new([(0, 0)]).unwrap()]), &s2);
+        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert!(kernel.estimate(0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn estimates_converge_on_the_coin_event() {
+        // Example 2.2: fair coin with two heads, or the double-headed coin.
+        let mut s = ProbabilitySpace::new();
+        let c = s.add_variable(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap();
+        let t1 = s.add_variable(vec![0.5, 0.5]).unwrap();
+        let t2 = s.add_variable(vec![0.5, 0.5]).unwrap();
+        let event = DnfEvent::new([
+            Assignment::new([(c, 0), (t1, 0), (t2, 0)]).unwrap(),
+            Assignment::new([(c, 1)]).unwrap(),
+        ]);
+        let exact_p = exact::probability(&event, &s).unwrap();
+        let programs = compile_one(event, &s);
+        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
+        assert_eq!(kernel.num_terms(), 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let p_hat = kernel.estimate(40_000, &mut rng).unwrap();
+        assert!(
+            (p_hat - exact_p).abs() < 0.02,
+            "estimate {p_hat} too far from exact {exact_p}"
+        );
+    }
+
+    #[test]
+    fn overlapping_terms_are_not_overcounted() {
+        // The Karp-Luby coverage trick is exactly what the minimal-term scan
+        // implements; naive averaging would give 1.0 here instead of 0.75.
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool_variable(0.5).unwrap();
+        let y = s.add_bool_variable(0.5).unwrap();
+        let event = DnfEvent::new([
+            Assignment::new([(x, 0)]).unwrap(),
+            Assignment::new([(y, 0)]).unwrap(),
+        ]);
+        let programs = compile_one(event, &s);
+        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let p_hat = kernel.estimate(60_000, &mut rng).unwrap();
+        assert!((p_hat - 0.75).abs() < 0.015, "estimate {p_hat} vs 0.75");
+    }
+
+    #[test]
+    fn multivalued_variables_sample_correctly() {
+        let mut s = ProbabilitySpace::new();
+        let v = s.add_variable(vec![0.2, 0.3, 0.5]).unwrap();
+        let w = s.add_variable(vec![0.25, 0.25, 0.25, 0.25]).unwrap();
+        let event = DnfEvent::new([
+            Assignment::new([(v, 1)]).unwrap(),
+            Assignment::new([(v, 2), (w, 3)]).unwrap(),
+        ]);
+        let exact_p = exact::probability(&event, &s).unwrap();
+        let programs = compile_one(event, &s);
+        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let p_hat = kernel.estimate(60_000, &mut rng).unwrap();
+        assert!(
+            (p_hat - exact_p).abs() < 0.015,
+            "estimate {p_hat} vs exact {exact_p}"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_seed_sensitive() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool_variable(0.4).unwrap();
+        let y = s.add_bool_variable(0.6).unwrap();
+        let event = DnfEvent::new([
+            Assignment::new([(x, 0)]).unwrap(),
+            Assignment::new([(y, 1)]).unwrap(),
+        ]);
+        let programs = compile_one(event, &s);
+        let mut a = BitKarpLuby::new(programs.clone(), 0).unwrap();
+        let mut b = BitKarpLuby::new(programs, 0).unwrap();
+        let mut r1 = ChaCha8Rng::seed_from_u64(11);
+        let mut r2 = ChaCha8Rng::seed_from_u64(11);
+        let mut r3 = ChaCha8Rng::seed_from_u64(12);
+        let ea = a.estimate(1000, &mut r1).unwrap();
+        let eb = b.estimate(1000, &mut r2).unwrap();
+        assert_eq!(ea, eb, "one seed must give bit-identical estimates");
+        let ec = a.estimate(1000, &mut r3).unwrap();
+        assert_ne!(ea, ec, "different seeds must diverge");
+    }
+
+    #[test]
+    fn partial_blocks_count_exactly_the_requested_lanes() {
+        let mut s = ProbabilitySpace::new();
+        s.add_bool_variable(0.999).unwrap();
+        // Single near-certain term: nearly every lane succeeds, so a partial
+        // block's count is bounded by the lane budget.
+        let event = DnfEvent::new([Assignment::new([(0, 0)]).unwrap()]);
+        let programs = compile_one(event, &s);
+        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for lanes in [1u32, 7, 33, 64] {
+            let x = kernel.sample_block(&mut rng, lanes);
+            assert!(x <= lanes);
+        }
+    }
+}

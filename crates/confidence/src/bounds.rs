@@ -1,11 +1,19 @@
 //! Cheap deterministic confidence bounds for DNF events.
 //!
-//! Both bounds are exact consequences of elementary probability and cost one
-//! pass over the terms (each term's probability is the product of its literal
-//! marginals, since variables are independent):
+//! All bounds are exact consequences of elementary probability (each term's
+//! probability is the product of its literal marginals, since variables are
+//! independent).  Two tiers are available:
 //!
-//! * **lower**: `P(⋁ tᵢ) ≥ max_i P(tᵢ)` — the event contains every term;
-//! * **upper**: `P(⋁ tᵢ) ≤ min(1, Σ_i P(tᵢ))` — the union bound.
+//! * **first order** ([`event_bounds_first_order`], one pass over the terms):
+//!   `max_i P(tᵢ) ≤ P(⋁ tᵢ) ≤ min(1, Σ_i P(tᵢ))` — the containment and
+//!   union bounds;
+//! * **one round of inclusion–exclusion** ([`event_bounds`], a pairwise pass
+//!   over up to [`DEFAULT_PAIRWISE_TERM_LIMIT`] simplified terms):
+//!   the degree-two Bonferroni lower bound `S₁ − S₂ ≤ P` and the
+//!   Hunter–Worsley upper bound `P ≤ S₁ − max_T Σ_{(i,j) ∈ T} P(tᵢ ∧ tⱼ)`,
+//!   where `T` ranges over spanning trees of the term-intersection graph and
+//!   the maximum-weight tree is found greedily (Prim).  Both refine the
+//!   first-order box, never widen it.
 //!
 //! The engine's σ̂ operators use the resulting `[lower, upper]` box to decide
 //! candidates whose predicate is constant over the box *before any sampling*
@@ -16,12 +24,18 @@
 use crate::error::Result;
 use crate::event::{DnfEvent, ProbabilitySpace};
 
+/// Largest number of (simplified) terms for which [`event_bounds`] runs the
+/// pairwise inclusion–exclusion round; above it the quadratic pass would
+/// dominate the sampling it is meant to save, so the first-order bounds are
+/// returned unchanged.
+pub const DEFAULT_PAIRWISE_TERM_LIMIT: usize = 48;
+
 /// Exact lower/upper bounds on an event's probability.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct EventBounds {
-    /// `max_i P(tᵢ)` (0 for the impossible event).
+    /// A lower bound on `P(⋁ tᵢ)` (0 for the impossible event).
     pub lower: f64,
-    /// `min(1, Σ_i P(tᵢ))` (1 for certain events).
+    /// An upper bound on `P(⋁ tᵢ)` (1 for certain events).
     pub upper: f64,
 }
 
@@ -37,8 +51,8 @@ impl EventBounds {
     }
 }
 
-/// Computes the marginal-product / union bounds for one event.
-pub fn event_bounds(event: &DnfEvent, space: &ProbabilitySpace) -> Result<EventBounds> {
+/// Computes the first-order (max-term / union) bounds for one event.
+pub fn event_bounds_first_order(event: &DnfEvent, space: &ProbabilitySpace) -> Result<EventBounds> {
     if event.is_never() {
         return Ok(EventBounds {
             lower: 0.0,
@@ -66,6 +80,90 @@ pub fn event_bounds(event: &DnfEvent, space: &ProbabilitySpace) -> Result<EventB
     })
 }
 
+/// Computes bounds with one round of inclusion–exclusion on top of the
+/// first-order box, spending at most `pairwise_limit²` term merges.
+pub fn event_bounds_with_limit(
+    event: &DnfEvent,
+    space: &ProbabilitySpace,
+    pairwise_limit: usize,
+) -> Result<EventBounds> {
+    let first = event_bounds_first_order(event, space)?;
+    if first.is_tight() {
+        return Ok(first);
+    }
+    // Subsumed/duplicate terms only loosen S₁ and S₂; bounding the
+    // simplified event bounds the original (they denote the same set of
+    // worlds).
+    let simplified = event.simplified();
+    let n = simplified.num_terms();
+    if n < 2 || n > pairwise_limit {
+        return Ok(first);
+    }
+    let terms = simplified.terms();
+    let weights: Vec<f64> = terms
+        .iter()
+        .map(|t| t.weight(space))
+        .collect::<Result<_>>()?;
+    let s1: f64 = weights.iter().sum();
+
+    // Pairwise intersection weights `P(tᵢ ∧ tⱼ)` (0 when inconsistent).
+    let mut pair = vec![0.0f64; n * n];
+    let mut s2 = 0.0f64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let w = match terms[i].merge(&terms[j]) {
+                Some(merged) => merged.weight(space)?,
+                None => 0.0,
+            };
+            pair[i * n + j] = w;
+            pair[j * n + i] = w;
+            s2 += w;
+        }
+    }
+
+    // Degree-two Bonferroni lower bound.
+    let bonferroni_lower = s1 - s2;
+
+    // Hunter–Worsley: subtracting any spanning tree of pairwise
+    // intersections from S₁ stays an upper bound; Prim finds the
+    // maximum-weight tree.
+    let mut in_tree = vec![false; n];
+    let mut best = vec![0.0f64; n];
+    in_tree[0] = true;
+    best[1..n].copy_from_slice(&pair[1..n]);
+    let mut tree_weight = 0.0f64;
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pick_w = -1.0f64;
+        for (j, &w) in best.iter().enumerate() {
+            if !in_tree[j] && w > pick_w {
+                pick = j;
+                pick_w = w;
+            }
+        }
+        in_tree[pick] = true;
+        tree_weight += pick_w;
+        for j in 0..n {
+            if !in_tree[j] {
+                best[j] = best[j].max(pair[pick * n + j]);
+            }
+        }
+    }
+    let hunter_upper = s1 - tree_weight;
+
+    // Intersect with the first-order box; floating-point noise must never
+    // invert the enclosure.
+    let upper = first.upper.min(hunter_upper).max(0.0);
+    let lower = first.lower.max(bonferroni_lower).min(upper);
+    Ok(EventBounds { lower, upper })
+}
+
+/// Computes the default bounds: one inclusion–exclusion round up to
+/// [`DEFAULT_PAIRWISE_TERM_LIMIT`] terms, first-order beyond.
+pub fn event_bounds(event: &DnfEvent, space: &ProbabilitySpace) -> Result<EventBounds> {
+    event_bounds_with_limit(event, space, DEFAULT_PAIRWISE_TERM_LIMIT)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,10 +180,9 @@ mod tests {
         (s, vars)
     }
 
-    #[test]
-    fn bounds_enclose_the_exact_probability() {
+    fn example_events() -> (ProbabilitySpace, Vec<DnfEvent>) {
         let (s, v) = space3();
-        let events = [
+        let events = vec![
             DnfEvent::new([Assignment::new([(v[0], 0)]).unwrap()]),
             DnfEvent::new([
                 Assignment::new([(v[0], 0)]).unwrap(),
@@ -95,18 +192,68 @@ mod tests {
                 Assignment::new([(v[0], 0)]).unwrap(),
                 Assignment::new([(v[0], 1)]).unwrap(),
             ]),
+            DnfEvent::new([
+                Assignment::new([(v[0], 0)]).unwrap(),
+                Assignment::new([(v[1], 0)]).unwrap(),
+                Assignment::new([(v[2], 0)]).unwrap(),
+            ]),
         ];
+        (s, events)
+    }
+
+    #[test]
+    fn bounds_enclose_the_exact_probability() {
+        let (s, events) = example_events();
         for event in &events {
             let p = exact::probability(event, &s).unwrap();
-            let b = event_bounds(event, &s).unwrap();
-            assert!(
-                b.lower <= p + 1e-12 && p <= b.upper + 1e-12,
-                "exact {p} outside [{}, {}]",
-                b.lower,
-                b.upper
-            );
-            assert!(b.width() >= -1e-12);
+            for b in [
+                event_bounds_first_order(event, &s).unwrap(),
+                event_bounds(event, &s).unwrap(),
+            ] {
+                assert!(
+                    b.lower <= p + 1e-12 && p <= b.upper + 1e-12,
+                    "exact {p} outside [{}, {}]",
+                    b.lower,
+                    b.upper
+                );
+                assert!(b.width() >= -1e-12);
+            }
         }
+    }
+
+    #[test]
+    fn pairwise_round_never_widens_and_sometimes_shrinks() {
+        let (s, events) = example_events();
+        let mut shrunk = 0usize;
+        for event in &events {
+            let first = event_bounds_first_order(event, &s).unwrap();
+            let refined = event_bounds(event, &s).unwrap();
+            assert!(refined.lower >= first.lower - 1e-12);
+            assert!(refined.upper <= first.upper + 1e-12);
+            if refined.width() < first.width() - 1e-12 {
+                shrunk += 1;
+            }
+        }
+        assert!(shrunk > 0, "the Bonferroni round must shrink some band");
+    }
+
+    #[test]
+    fn independent_overlapping_terms_get_a_tight_pairwise_box() {
+        // x ∨ y over independent Booleans: S₁ − S₂ and the Hunter bound both
+        // hit the exact inclusion–exclusion value.
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool_variable(0.5).unwrap();
+        let y = s.add_bool_variable(0.5).unwrap();
+        let event = DnfEvent::new([
+            Assignment::new([(x, 0)]).unwrap(),
+            Assignment::new([(y, 0)]).unwrap(),
+        ]);
+        let b = event_bounds(&event, &s).unwrap();
+        assert!(b.is_tight(), "[{}, {}] should be tight", b.lower, b.upper);
+        assert!((b.lower - 0.75).abs() < 1e-12);
+        // The first-order box is strictly wider (0.5 ≤ p ≤ 1.0).
+        let first = event_bounds_first_order(&event, &s).unwrap();
+        assert!(first.width() > 0.2);
     }
 
     #[test]
@@ -138,7 +285,33 @@ mod tests {
             Assignment::new([(v[1], 0)]).unwrap(),
         ]);
         let b = event_bounds(&event, &s).unwrap();
-        assert_eq!(b.upper, 1.0);
-        assert!(b.lower <= 1.0);
+        assert!(b.upper <= 1.0);
+        assert!(b.lower <= b.upper);
+        let p = exact::probability(&event, &s).unwrap();
+        assert!(b.lower <= p + 1e-12 && p <= b.upper + 1e-12);
+    }
+
+    #[test]
+    fn limit_disables_the_pairwise_round() {
+        let (s, events) = example_events();
+        for event in &events {
+            let first = event_bounds_first_order(event, &s).unwrap();
+            let capped = event_bounds_with_limit(event, &s, 1).unwrap();
+            assert_eq!(first, capped);
+        }
+    }
+
+    #[test]
+    fn many_term_events_fall_back_to_first_order_quickly() {
+        let mut s = ProbabilitySpace::new();
+        let mut terms = Vec::new();
+        for _ in 0..DEFAULT_PAIRWISE_TERM_LIMIT + 10 {
+            let v = s.add_bool_variable(0.01).unwrap();
+            terms.push(Assignment::new([(v, 0)]).unwrap());
+        }
+        let event = DnfEvent::new(terms);
+        let first = event_bounds_first_order(&event, &s).unwrap();
+        let refined = event_bounds(&event, &s).unwrap();
+        assert_eq!(first, refined);
     }
 }

@@ -1,0 +1,423 @@
+//! Compiled lineage programs: the DNF events of a whole batch flattened into
+//! one shared instruction arena, ready for bit-parallel evaluation.
+//!
+//! The boxed [`DnfEvent`] representation is convenient for algebraic
+//! manipulation (Shannon expansion, simplification, bounds) but terrible for
+//! Monte Carlo estimation: every Karp–Luby sample re-walks `Assignment`
+//! trees, re-allocates a total assignment, and re-runs binary searches per
+//! literal.  [`LineagePrograms::compile`] removes all of that *once per
+//! batch*:
+//!
+//! * every distinct literal `X_v = a` of the batch becomes a **slot** — a
+//!   single `u64` cell of the evaluation scratchpad whose bit `j` answers
+//!   "does sampled world `j` satisfy this literal?" (64 worlds per word);
+//! * every distinct term becomes an **AND-chain instruction**: a `(start,
+//!   len)` range into the flat [`term_lits`] slot buffer.  Terms shared by
+//!   several events of the batch (common sub-events, e.g. lineages that
+//!   overlap after a projection) are compiled once and referenced by id;
+//! * every event becomes a **program**: its term ids in original DNF order
+//!   (the Karp–Luby estimator depends on the order) plus the cumulative term
+//!   weights, the total weight `M`, and the sampling plan of the variables it
+//!   mentions — per-variable cumulative fixed-point thresholds, so drawing an
+//!   alternative is one `u64` comparison chain with no floating point.
+//!
+//! Evaluating a program over a block of 64 sampled worlds is then a linear
+//! scan of the instruction buffer — one `AND` per literal, one `OR` per term
+//! — with no allocation and no pointer chasing; [`crate::bitworld`] provides
+//! the sampling kernels.  The batch also memoises **exact** probabilities
+//! ([`LineagePrograms::exact_probabilities`]): the Shannon-expansion triggers
+//! of the exact estimator run at most once per compiled batch, so a served
+//! (warm) request pays lookup only.
+//!
+//! [`term_lits`]: LineagePrograms::num_distinct_terms
+
+use crate::error::{ConfidenceError, Result};
+use crate::event::{DnfEvent, ProbabilitySpace, VarId};
+use crate::exact;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Marker for "this alternative is mentioned by no literal of the batch" in
+/// the per-alternative slot table.
+pub(crate) const SLOT_NONE: u32 = u32::MAX;
+
+/// The sampling plan of one variable used by the batch.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct VarPlan {
+    /// Range `alt_start .. alt_start + alt_len` into
+    /// [`LineagePrograms::alt_thresholds`] / [`LineagePrograms::alt_slots`].
+    pub alt_start: u32,
+    /// Number of alternatives of the variable.
+    pub alt_len: u32,
+}
+
+/// One compiled event: a view descriptor into the shared arena.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EventProgram {
+    /// Range into `event_terms` / `event_cum` (terms in original DNF order).
+    pub term_start: u32,
+    /// Number of terms `|F|` (0 for the impossible event).
+    pub term_len: u32,
+    /// Range into `event_vars` (local ids of the variables mentioned).
+    pub var_start: u32,
+    /// Number of distinct variables mentioned.
+    pub var_len: u32,
+    /// Total term weight `M = Σ_f p_f`.
+    pub total_weight: f64,
+    /// `Some(p)` when the probability is known without sampling (no terms →
+    /// 0, an always-true term → 1).
+    pub trivial: Option<f64>,
+}
+
+/// A batch of DNF events compiled into flat programs over one shared arena.
+///
+/// The compiled form is immutable and self-contained: it retains the source
+/// events (for the exact estimator and for scalar reference runs) and a clone
+/// of the probability space, so a single `Arc<LineagePrograms>` is everything
+/// an estimator needs.  Construction cost is linear in the total literal
+/// count; per-sample cost afterwards is branch-free bit arithmetic.
+pub struct LineagePrograms {
+    /// The source events, parallel to the programs.
+    events: Vec<DnfEvent>,
+    /// The probability space the batch was compiled against.
+    space: ProbabilitySpace,
+
+    // ---- shared arena ------------------------------------------------------
+    /// Slot id → local variable id (for forced-assignment bookkeeping).
+    pub(crate) slot_var: Vec<u32>,
+    /// Local variable id → sampling plan.
+    pub(crate) vars: Vec<VarPlan>,
+    /// Per variable, per alternative: cumulative probability as a 64-bit
+    /// fixed-point threshold (`alt = first k with draw < threshold[k]`); the
+    /// last alternative's threshold is saturated to `u64::MAX`.
+    pub(crate) alt_thresholds: Vec<u64>,
+    /// Per variable, per alternative: the slot holding that literal's world
+    /// mask, or [`SLOT_NONE`] when no literal of the batch mentions it.
+    pub(crate) alt_slots: Vec<u32>,
+    /// Flat AND-chain instruction buffer: literal slots, term by term.
+    pub(crate) term_lits: Vec<u32>,
+    /// Distinct term id → `(start, len)` into `term_lits`.
+    pub(crate) terms: Vec<(u32, u32)>,
+    /// Flat per-event term-id lists (original DNF order).
+    pub(crate) event_terms: Vec<u32>,
+    /// Cumulative term weights, parallel to `event_terms`.
+    pub(crate) event_cum: Vec<f64>,
+    /// Flat per-event variable lists (local ids, ascending).
+    pub(crate) event_vars: Vec<u32>,
+    /// The per-event programs.
+    pub(crate) programs: Vec<EventProgram>,
+
+    /// Warm exact-confidence state: Shannon expansion runs at most once per
+    /// batch, after which exact requests are lookups.
+    exact_cache: OnceLock<std::result::Result<Vec<f64>, ConfidenceError>>,
+}
+
+impl std::fmt::Debug for LineagePrograms {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineagePrograms")
+            .field("events", &self.events.len())
+            .field("slots", &self.slot_var.len())
+            .field("vars", &self.vars.len())
+            .field("distinct_terms", &self.terms.len())
+            .field("exact_cached", &self.exact_cache.get().is_some())
+            .finish()
+    }
+}
+
+impl LineagePrograms {
+    /// Compiles a batch of events against a probability space.
+    ///
+    /// Fails if any event mentions a variable or alternative the space does
+    /// not declare (the same validation the scalar estimators perform, done
+    /// once here instead of per construction).
+    pub fn compile(events: Vec<DnfEvent>, space: &ProbabilitySpace) -> Result<Self> {
+        let mut var_local: HashMap<VarId, u32> = HashMap::new();
+        let mut vars: Vec<VarPlan> = Vec::new();
+        let mut var_global: Vec<VarId> = Vec::new();
+        let mut alt_thresholds: Vec<u64> = Vec::new();
+        let mut alt_slots: Vec<u32> = Vec::new();
+        let mut slot_var: Vec<u32> = Vec::new();
+        let mut terms: Vec<(u32, u32)> = Vec::new();
+        let mut term_weights: Vec<f64> = Vec::new();
+        let mut term_lits: Vec<u32> = Vec::new();
+        let mut term_ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut event_terms: Vec<u32> = Vec::new();
+        let mut event_cum: Vec<f64> = Vec::new();
+        let mut event_vars: Vec<u32> = Vec::new();
+        let mut programs: Vec<EventProgram> = Vec::with_capacity(events.len());
+
+        for event in &events {
+            let term_start = event_terms.len() as u32;
+            let var_start = event_vars.len() as u32;
+            let trivial = if event.is_never() {
+                Some(0.0)
+            } else if event.is_certain() {
+                Some(1.0)
+            } else {
+                None
+            };
+
+            let mut total_weight = 0.0f64;
+            let mut locals: Vec<u32> = Vec::new();
+            for term in event.terms() {
+                // Intern the variables and literals of the term.
+                let mut slots: Vec<u32> = Vec::with_capacity(term.len());
+                for (var, alt) in term.iter() {
+                    let local = match var_local.get(&var) {
+                        Some(&l) => l,
+                        None => {
+                            let dist = space.distribution(var)?;
+                            let l = vars.len() as u32;
+                            let alt_start = alt_thresholds.len() as u32;
+                            let mut acc = 0.0f64;
+                            for &p in dist {
+                                acc += p;
+                                // 64-bit fixed point; the final threshold is
+                                // saturated so every draw lands somewhere.
+                                let t = (acc * 1.8446744073709552e19).min(u64::MAX as f64);
+                                alt_thresholds.push(t as u64);
+                                alt_slots.push(SLOT_NONE);
+                            }
+                            *alt_thresholds.last_mut().expect("non-empty dist") = u64::MAX;
+                            vars.push(VarPlan {
+                                alt_start,
+                                alt_len: dist.len() as u32,
+                            });
+                            var_global.push(var);
+                            var_local.insert(var, l);
+                            l
+                        }
+                    };
+                    if alt >= vars[local as usize].alt_len as usize {
+                        return Err(ConfidenceError::UnknownAlternative { var, alt });
+                    }
+                    let cell = vars[local as usize].alt_start as usize + alt;
+                    if alt_slots[cell] == SLOT_NONE {
+                        alt_slots[cell] = slot_var.len() as u32;
+                        slot_var.push(local);
+                    }
+                    slots.push(alt_slots[cell]);
+                    if !locals.contains(&local) {
+                        locals.push(local);
+                    }
+                }
+                // Intern the term (AND-chain) itself; identical terms across
+                // the batch share one instruction range.
+                slots.sort_unstable();
+                let term_id = match term_ids.get(&slots) {
+                    Some(&id) => id,
+                    None => {
+                        let id = terms.len() as u32;
+                        let start = term_lits.len() as u32;
+                        term_lits.extend_from_slice(&slots);
+                        terms.push((start, slots.len() as u32));
+                        term_weights.push(term.weight(space)?);
+                        term_ids.insert(slots, id);
+                        id
+                    }
+                };
+                total_weight += term_weights[term_id as usize];
+                event_terms.push(term_id);
+                event_cum.push(total_weight);
+            }
+            locals.sort_unstable();
+            event_vars.extend_from_slice(&locals);
+
+            programs.push(EventProgram {
+                term_start,
+                term_len: event.num_terms() as u32,
+                var_start,
+                var_len: locals.len() as u32,
+                total_weight,
+                trivial,
+            });
+        }
+
+        Ok(LineagePrograms {
+            events,
+            space: space.clone(),
+            slot_var,
+            vars,
+            alt_thresholds,
+            alt_slots,
+            term_lits,
+            terms,
+            event_terms,
+            event_cum,
+            event_vars,
+            programs,
+            exact_cache: OnceLock::new(),
+        })
+    }
+
+    /// Number of compiled events.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// True if the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// The source events, parallel to the programs.
+    pub fn events(&self) -> &[DnfEvent] {
+        &self.events
+    }
+
+    /// The probability space the batch was compiled against.
+    pub fn space(&self) -> &ProbabilitySpace {
+        &self.space
+    }
+
+    /// Number of literal slots in the shared arena.
+    pub fn num_slots(&self) -> usize {
+        self.slot_var.len()
+    }
+
+    /// Number of distinct variables the batch mentions.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of distinct terms (shared AND-chains) in the arena; at most —
+    /// and for batches with overlapping lineages, well below — the sum of
+    /// the events' term counts.
+    pub fn num_distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The number of terms `|F|` of event `index`.
+    pub fn num_terms(&self, index: usize) -> usize {
+        self.programs[index].term_len as usize
+    }
+
+    /// `Some(p)` when event `index` needs no sampling (impossible or
+    /// certain).
+    pub fn trivial(&self, index: usize) -> Option<f64> {
+        self.programs[index].trivial
+    }
+
+    /// The total term weight `M` of event `index`.
+    pub fn total_weight(&self, index: usize) -> f64 {
+        self.programs[index].total_weight
+    }
+
+    pub(crate) fn program(&self, index: usize) -> &EventProgram {
+        &self.programs[index]
+    }
+
+    /// The exact probabilities of all events of the batch, computed by
+    /// Shannon expansion **once** and memoised: the warm estimator state of a
+    /// served exact-confidence request is this slice.
+    pub fn exact_probabilities(&self) -> Result<&[f64]> {
+        let cached = self.exact_cache.get_or_init(|| {
+            use rayon::prelude::*;
+            self.events
+                .par_iter()
+                .map(|event| exact::probability(event, &self.space))
+                .collect::<Result<Vec<f64>>>()
+        });
+        match cached {
+            Ok(probs) => Ok(probs),
+            Err(e) => Err(e.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Assignment;
+
+    fn space() -> ProbabilitySpace {
+        let mut s = ProbabilitySpace::new();
+        s.add_variable(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap(); // 0
+        s.add_bool_variable(0.5).unwrap(); // 1
+        s.add_variable(vec![0.25, 0.25, 0.5]).unwrap(); // 2
+        s
+    }
+
+    fn a(pairs: &[(usize, usize)]) -> Assignment {
+        Assignment::new(pairs.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn shared_terms_are_compiled_once() {
+        let s = space();
+        let shared = a(&[(0, 0), (1, 0)]);
+        let events = vec![
+            DnfEvent::new([shared.clone(), a(&[(2, 1)])]),
+            DnfEvent::new([a(&[(2, 2)]), shared.clone()]),
+            DnfEvent::new([shared]),
+        ];
+        let programs = LineagePrograms::compile(events, &s).unwrap();
+        assert_eq!(programs.len(), 3);
+        // 4 distinct literals, 3 distinct terms across 5 term occurrences.
+        assert_eq!(programs.num_slots(), 4);
+        assert_eq!(programs.num_distinct_terms(), 3);
+        assert_eq!(programs.num_terms(0), 2);
+        assert_eq!(programs.num_terms(2), 1);
+        assert_eq!(programs.num_vars(), 3);
+        assert!(format!("{programs:?}").contains("distinct_terms"));
+    }
+
+    #[test]
+    fn weights_and_trivial_flags_match_the_events() {
+        let s = space();
+        let events = vec![
+            DnfEvent::never(),
+            DnfEvent::new([Assignment::always()]),
+            DnfEvent::new([a(&[(0, 0)]), a(&[(1, 1)])]),
+        ];
+        let programs = LineagePrograms::compile(events.clone(), &s).unwrap();
+        assert_eq!(programs.trivial(0), Some(0.0));
+        assert_eq!(programs.trivial(1), Some(1.0));
+        assert_eq!(programs.trivial(2), None);
+        let m = events[2].total_term_weight(&s).unwrap();
+        assert!((programs.total_weight(2) - m).abs() < 1e-12);
+        assert_eq!(programs.events(), events.as_slice());
+        assert!(!programs.is_empty());
+    }
+
+    #[test]
+    fn thresholds_are_cumulative_and_saturated() {
+        let s = space();
+        let events = vec![DnfEvent::new([a(&[(2, 0)])])];
+        let programs = LineagePrograms::compile(events, &s).unwrap();
+        let plan = programs.vars[0];
+        assert_eq!(plan.alt_len, 3);
+        let t: Vec<u64> = programs.alt_thresholds
+            [plan.alt_start as usize..(plan.alt_start + plan.alt_len) as usize]
+            .to_vec();
+        assert!(t[0] < t[1] && t[1] < t[2]);
+        assert_eq!(t[2], u64::MAX);
+        assert!((t[0] as f64 / u64::MAX as f64 - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_probabilities_are_memoised() {
+        let s = space();
+        let events = vec![
+            DnfEvent::new([a(&[(0, 0)]), a(&[(0, 1)])]),
+            DnfEvent::new([a(&[(1, 0), (2, 0)])]),
+        ];
+        let programs = LineagePrograms::compile(events.clone(), &s).unwrap();
+        let first = programs.exact_probabilities().unwrap();
+        assert!((first[0] - 1.0).abs() < 1e-12);
+        let expected = exact::probability(&events[1], &s).unwrap();
+        assert!((first[1] - expected).abs() < 1e-12);
+        // Second call returns the same memoised slice.
+        let again = programs.exact_probabilities().unwrap();
+        assert_eq!(first.as_ptr(), again.as_ptr());
+    }
+
+    #[test]
+    fn unknown_variables_and_alternatives_fail_compilation() {
+        let s = space();
+        let unknown_var = DnfEvent::new([a(&[(9, 0)])]);
+        assert!(LineagePrograms::compile(vec![unknown_var], &s).is_err());
+        let unknown_alt = DnfEvent::new([a(&[(1, 5)])]);
+        assert!(LineagePrograms::compile(vec![unknown_alt], &s).is_err());
+    }
+}

@@ -38,6 +38,8 @@
 //! ```
 
 use crate::adaptive::IncrementalEstimator;
+use crate::bitworld::BitKarpLuby;
+use crate::compile::LineagePrograms;
 use crate::error::Result;
 use crate::event::{DnfEvent, ProbabilitySpace};
 use crate::exact;
@@ -45,6 +47,7 @@ use crate::fpras::{approximate_confidence, FprasParams};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
+use std::sync::Arc;
 
 /// The estimate produced for one event of a batch.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,6 +106,39 @@ pub trait ConfidenceEstimator: Send + Sync {
             .map(|i| self.estimate_event(&events[i], space, event_seed(master_seed, i)))
             .collect()
     }
+
+    /// Estimates event `index` of an already compiled batch; all randomness
+    /// is derived from `seed`.
+    ///
+    /// Monte Carlo implementations override this with the bit-parallel
+    /// [`crate::bitworld`] kernel (64 worlds per word, no per-sample
+    /// allocation); the default falls back to the scalar
+    /// [`estimate_event`](ConfidenceEstimator::estimate_event) on the
+    /// retained source event.  Compiled and scalar runs draw randomness
+    /// differently — seeds re-map — but each is deterministic per seed, and
+    /// their estimates agree statistically (property-tested).
+    fn estimate_compiled(
+        &self,
+        programs: &Arc<LineagePrograms>,
+        index: usize,
+        seed: u64,
+    ) -> Result<EventEstimate> {
+        self.estimate_event(&programs.events()[index], programs.space(), seed)
+    }
+
+    /// Estimates a whole compiled batch, deterministically in `master_seed`;
+    /// the batched analogue of
+    /// [`estimate_compiled`](ConfidenceEstimator::estimate_compiled).
+    fn estimate_compiled_batch(
+        &self,
+        programs: &Arc<LineagePrograms>,
+        master_seed: u64,
+    ) -> Result<Vec<EventEstimate>> {
+        (0..programs.len())
+            .into_par_iter()
+            .map(|i| self.estimate_compiled(programs, i, event_seed(master_seed, i)))
+            .collect()
+    }
 }
 
 /// Exact model counting (Shannon expansion with memoisation); ignores seeds.
@@ -122,6 +158,21 @@ impl ConfidenceEstimator for ExactEstimator {
     ) -> Result<EventEstimate> {
         Ok(EventEstimate {
             estimate: exact::probability(event, space)?,
+            samples: 0,
+            exact: true,
+        })
+    }
+
+    fn estimate_compiled(
+        &self,
+        programs: &Arc<LineagePrograms>,
+        index: usize,
+        _seed: u64,
+    ) -> Result<EventEstimate> {
+        // Shannon expansion runs at most once per batch; a warm request is a
+        // lookup into the memoised probabilities.
+        Ok(EventEstimate {
+            estimate: programs.exact_probabilities()?[index],
             samples: 0,
             exact: true,
         })
@@ -167,6 +218,32 @@ impl ConfidenceEstimator for FprasEstimator {
             exact: outcome.samples == 0,
         })
     }
+
+    fn estimate_compiled(
+        &self,
+        programs: &Arc<LineagePrograms>,
+        index: usize,
+        seed: u64,
+    ) -> Result<EventEstimate> {
+        if let Some(p) = programs.trivial(index) {
+            return Ok(EventEstimate {
+                estimate: p,
+                samples: 0,
+                exact: true,
+            });
+        }
+        let m = self.params.samples_for(programs.num_terms(index))?;
+        let mut kernel = BitKarpLuby::new(programs.clone(), index)?;
+        // The bit-parallel path is RNG-bound, so it derives its per-event
+        // sub-RNG as a xoshiro256** small RNG (simulation-grade, several
+        // times the throughput of ChaCha) from the same per-event seed.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        Ok(EventEstimate {
+            estimate: kernel.estimate(m, &mut rng)?,
+            samples: m as u64,
+            exact: false,
+        })
+    }
 }
 
 /// A fixed number of anytime Karp–Luby batches per event (the paper's
@@ -201,7 +278,25 @@ impl ConfidenceEstimator for BatchedIncrementalEstimator {
         seed: u64,
     ) -> Result<EventEstimate> {
         let mut estimator = IncrementalEstimator::new(event.clone(), space.clone())?;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        self.drive(&mut estimator, seed)
+    }
+
+    fn estimate_compiled(
+        &self,
+        programs: &Arc<LineagePrograms>,
+        index: usize,
+        seed: u64,
+    ) -> Result<EventEstimate> {
+        let mut estimator = IncrementalEstimator::from_compiled(programs, index)?;
+        self.drive(&mut estimator, seed)
+    }
+}
+
+impl BatchedIncrementalEstimator {
+    fn drive(&self, estimator: &mut IncrementalEstimator, seed: u64) -> Result<EventEstimate> {
+        // Like the FPRAS compiled path: a per-event xoshiro sub-RNG feeds
+        // the bit-parallel kernel underneath the incremental estimator.
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         for _ in 0..self.batches {
             estimator.add_batch(&mut rng);
         }

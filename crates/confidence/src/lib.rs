@@ -16,13 +16,23 @@
 //! * [`approximate_confidence`] — the (ε, δ)-FPRAS of Proposition 4.2.
 //! * [`IncrementalEstimator`] — anytime estimation, the building block of the
 //!   Figure 3 algorithm in the `approx` crate.
-//! * [`bounds`] — exact marginal-product / union bounds per
-//!   event, the sampling-free candidate-pruning primitive of the engine's σ̂
-//!   operators.
+//! * [`bounds`] — exact marginal-product / union bounds per event, refined
+//!   by one round of inclusion–exclusion (degree-two Bonferroni lower bound,
+//!   Hunter–Worsley spanning-tree upper bound): the sampling-free
+//!   candidate-pruning primitive of the engine's σ̂ operators.
+//! * [`compile`] — [`LineagePrograms`]: a batch of events flattened into
+//!   shared flat instruction buffers over one arena (deduplicated literal
+//!   slots and AND-chain terms, fixed-point sampling thresholds, memoised
+//!   exact probabilities) — compiled once, evaluated allocation-free.
+//! * [`bitworld`] — bit-parallel Monte Carlo over compiled programs:
+//!   [`BitKarpLuby`] decides **64 sampled worlds per word** (one AND/OR per
+//!   instruction), with [`bitworld::bernoulli_block`] drawing 64 Bernoulli
+//!   lanes from ~7 words of randomness.
 //! * [`estimator`] — the unified [`ConfidenceEstimator`] layer: exact, FPRAS
 //!   and fixed-batch incremental estimation behind one trait that evaluates
 //!   *batches* of events in parallel (rayon), deterministically under a
-//!   fixed seed via per-event sub-RNGs.
+//!   fixed seed via per-event sub-RNGs; the `estimate_compiled*` methods run
+//!   the bit-parallel kernels over a [`LineagePrograms`] batch.
 //!
 //! ```
 //! use confidence::{Assignment, DnfEvent, ProbabilitySpace, exact};
@@ -43,8 +53,10 @@
 #![forbid(unsafe_code)]
 
 mod adaptive;
+pub mod bitworld;
 pub mod bounds;
 pub mod chernoff;
+pub mod compile;
 mod error;
 pub mod estimator;
 mod event;
@@ -53,7 +65,12 @@ mod fpras;
 mod karp_luby;
 
 pub use adaptive::IncrementalEstimator;
-pub use bounds::{event_bounds, EventBounds};
+pub use bitworld::BitKarpLuby;
+pub use bounds::{
+    event_bounds, event_bounds_first_order, event_bounds_with_limit, EventBounds,
+    DEFAULT_PAIRWISE_TERM_LIMIT,
+};
+pub use compile::LineagePrograms;
 pub use error::{ConfidenceError, Result};
 pub use estimator::{
     event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, EventEstimate, ExactEstimator,

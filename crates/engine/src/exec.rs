@@ -72,6 +72,13 @@ pub struct EvalConfig {
     /// candidates keep their per-candidate sub-RNGs, so disabling this only
     /// spends more samples — it cannot change an unpruned decision.
     pub prune_approx_select: bool,
+    /// Largest number of (simplified) terms for which the pruning bounds run
+    /// their pairwise inclusion–exclusion round (degree-two Bonferroni lower
+    /// bound, Hunter–Worsley upper bound); `0` restricts pruning to the
+    /// linear first-order bounds.  Like pruning itself this is decision-
+    /// neutral: refined bounds are exact, so a larger limit can only decide
+    /// *more* candidates without sampling.
+    pub pairwise_bound_limit: usize,
 }
 
 /// Default shard count: one chunk per worker thread, capped (chunking has
@@ -89,6 +96,7 @@ impl Default for EvalConfig {
             confidence: ConfidenceMode::Exact,
             shards: default_shards(),
             prune_approx_select: true,
+            pairwise_bound_limit: confidence::DEFAULT_PAIRWISE_TERM_LIMIT,
         }
     }
 }
@@ -112,6 +120,13 @@ impl EvalConfig {
     /// Enables or disables σ̂ candidate pruning.
     pub fn with_pruning(mut self, prune: bool) -> Self {
         self.prune_approx_select = prune;
+        self
+    }
+
+    /// Sets the term limit of the pairwise (Bonferroni / Hunter–Worsley)
+    /// bound refinement; `0` keeps pruning on first-order bounds only.
+    pub fn with_pairwise_bound_limit(mut self, limit: usize) -> Self {
+        self.pairwise_bound_limit = limit;
         self
     }
 }

@@ -64,13 +64,13 @@ use approx::{
     Interval, Orthotope,
 };
 use confidence::{
-    chernoff, event_bounds, event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, DnfEvent,
-    ExactEstimator, FprasEstimator, FprasParams, IncrementalEstimator,
+    chernoff, event_bounds_with_limit, event_seed, BatchedIncrementalEstimator,
+    ConfidenceEstimator, DnfEvent, ExactEstimator, FprasEstimator, FprasParams,
+    IncrementalEstimator,
 };
 use pdb::{Schema, Tuple, Value};
 use rand::RngCore;
 use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -811,7 +811,14 @@ impl PhysicalPlan {
             database: ctx.database.clone(),
             var_counter: ctx.var_counter,
             stats: ctx.stats,
-            spaces: ctx.spaces.fork(),
+            // The snapshot *shares* the capturing run's cache map (no fork):
+            // the sampling suffix still to run after this capture compiles
+            // the post-frontier W-table state and extracts/compiles the
+            // lineage programs it estimates over, and those must land in the
+            // retained snapshot so warm resumes pay sampling only.  Resuming
+            // forks (see `restore`), so per-request compilations never leak
+            // back into the snapshot.
+            spaces: ctx.spaces.clone(),
         }
     }
 }
@@ -1489,8 +1496,11 @@ impl PhysicalOperator for ConfOp {
             .with_appended(&self.prob_attr)
             .map_err(EngineError::Pdb)?;
 
-        // Batch: every tuple's DNF lineage in one memoised pass, all
-        // estimated concurrently by the shared estimator layer.
+        // Batch: every tuple's DNF lineage in one memoised pass, compiled
+        // once into flat programs and estimated by the bit-parallel
+        // estimator layer (64 sampled worlds per word).  On a warm serving
+        // resume both the lineage and its compiled programs come from the
+        // retained snapshot caches, so the request pays sampling only.
         let lineage = compiled.relation_events(&input.relation)?;
         let estimator: Box<dyn ConfidenceEstimator> = match self.params {
             None => Box::new(ExactEstimator),
@@ -1504,7 +1514,7 @@ impl PhysicalOperator for ConfOp {
             0
         };
         let estimates = estimator
-            .estimate_batch(lineage.events(), compiled.space(), master_seed)
+            .estimate_compiled_batch(lineage.programs(), master_seed)
             .map_err(EngineError::Confidence)?;
 
         let mut out = URelation::empty(schema);
@@ -1555,8 +1565,10 @@ impl PhysicalOperator for CertOp {
         let input = unary_input(inputs);
         let compiled = ctx.spaces.compiled(ctx.database.wtable())?;
         let lineage = compiled.relation_events(&input.relation)?;
+        // The compiled path memoises the Shannon-expansion results inside
+        // the cached batch: repeated `cert` requests are lookups.
         let estimates = ExactEstimator
-            .estimate_batch(lineage.events(), compiled.space(), 0)
+            .estimate_compiled_batch(lineage.programs(), 0)
             .map_err(EngineError::Confidence)?;
 
         let mut out = URelation::empty(input.relation.schema().clone());
@@ -1678,23 +1690,36 @@ impl PhysicalOperator for ApproxSelectOp {
         ctx.stats.approx_select_decisions += candidate_tuples.len() as u64;
         // The k events of candidate i occupy events[i*k .. (i+1)*k]: one flat
         // vector shared by every decision mode, no per-candidate re-clone.
-        // Each projection's lineage batch is extracted once (memoised in the
-        // compiled space) and candidates look their events up by key.
+        // Each projection's lineage batch is extracted and compiled once
+        // (memoised in the compiled space); candidates look their events —
+        // and their compiled-program handles, which the Monte Carlo modes
+        // sample through — up by key.  Candidates absent from a projection
+        // share one impossible-event program.
         let lineages = projections
             .iter()
             .map(|proj| compiled.relation_events(proj))
             .collect::<Result<Vec<_>>>()?;
+        let never = std::sync::Arc::new(
+            confidence::LineagePrograms::compile(vec![DnfEvent::never()], compiled.space())
+                .map_err(EngineError::Confidence)?,
+        );
         let mut events: Vec<DnfEvent> =
+            Vec::with_capacity(candidate_tuples.len() * self.terms.len());
+        let mut handles: Vec<CompiledEventHandle> =
             Vec::with_capacity(candidate_tuples.len() * self.terms.len());
         for candidate in &candidate_tuples {
             for (idx, lineage) in term_indices.iter().zip(&lineages) {
                 let key = candidate.project(idx);
-                events.push(
-                    lineage
-                        .event_of(&key)
-                        .cloned()
-                        .unwrap_or_else(DnfEvent::never),
-                );
+                match lineage.index_of(&key) {
+                    Some(i) => {
+                        events.push(lineage.events()[i].clone());
+                        handles.push((lineage.programs().clone(), i));
+                    }
+                    None => {
+                        events.push(DnfEvent::never());
+                        handles.push((never.clone(), 0));
+                    }
+                }
             }
         }
 
@@ -1702,6 +1727,7 @@ impl PhysicalOperator for ApproxSelectOp {
         let decisions = self.decide_candidates(
             candidate_tuples.len(),
             &events,
+            &handles,
             &compiled,
             &compiled_predicate,
             ctx,
@@ -1734,23 +1760,30 @@ impl PhysicalOperator for ApproxSelectOp {
     }
 }
 
+/// A compiled event of a lineage batch: the shared program arena plus the
+/// event's index within it.
+type CompiledEventHandle = (std::sync::Arc<confidence::LineagePrograms>, usize);
+
 impl ApproxSelectOp {
     /// Sampling-free candidate decisions from the exact confidence bounds of
-    /// [`confidence::bounds`] (max-term lower bound, union upper bound): a
-    /// candidate whose predicate is constant over its `k`-dimensional bounds
-    /// box is decided with error 0 before any estimator runs.  `None` marks
-    /// the ambiguous band that falls through to Monte Carlo estimation.
+    /// [`confidence::bounds`] (max-term lower / union upper, refined by one
+    /// round of inclusion–exclusion — degree-two Bonferroni lower bound and
+    /// Hunter–Worsley spanning-tree upper bound): a candidate whose
+    /// predicate is constant over its `k`-dimensional bounds box is decided
+    /// with error 0 before any estimator runs.  `None` marks the ambiguous
+    /// band that falls through to Monte Carlo estimation.
     fn prune_candidates(
         &self,
         num_candidates: usize,
         events: &[DnfEvent],
         compiled: &CompiledSpace,
         predicate: &ApproxPredicate,
+        pairwise_limit: usize,
     ) -> Result<Vec<Option<bool>>> {
         let k = self.terms.len();
         let bounds = events
             .iter()
-            .map(|e| event_bounds(e, compiled.space()))
+            .map(|e| event_bounds_with_limit(e, compiled.space(), pairwise_limit))
             .collect::<confidence::Result<Vec<_>>>()
             .map_err(EngineError::Confidence)?;
         (0..num_candidates)
@@ -1784,17 +1817,25 @@ impl ApproxSelectOp {
         &self,
         num_candidates: usize,
         events: &[DnfEvent],
+        handles: &[CompiledEventHandle],
         compiled: &CompiledSpace,
         predicate: &ApproxPredicate,
         ctx: &mut ExecContext<'_>,
     ) -> Result<Vec<(bool, f64)>> {
         let k = self.terms.len();
         debug_assert_eq!(events.len(), num_candidates * k);
+        debug_assert_eq!(handles.len(), events.len());
         // Exact mode is the reference semantics and stays unpruned; the
         // Monte Carlo modes skip clear candidates entirely.
         let pruned: Vec<Option<bool>> =
             if ctx.config.prune_approx_select && self.mode != ApproxSelectMode::Exact {
-                self.prune_candidates(num_candidates, events, compiled, predicate)?
+                self.prune_candidates(
+                    num_candidates,
+                    events,
+                    compiled,
+                    predicate,
+                    ctx.config.pairwise_bound_limit,
+                )?
             } else {
                 vec![None; num_candidates]
             };
@@ -1825,12 +1866,9 @@ impl ApproxSelectOp {
                 let estimated: Vec<(usize, confidence::EventEstimate)> = needed
                     .into_par_iter()
                     .map(|idx| {
+                        let (programs, event) = &handles[idx];
                         estimator
-                            .estimate_event(
-                                &events[idx],
-                                compiled.space(),
-                                event_seed(master_seed, idx),
-                            )
+                            .estimate_compiled(programs, *event, event_seed(master_seed, idx))
                             .map(|e| (idx, e))
                             .map_err(EngineError::Confidence)
                     })
@@ -1876,11 +1914,14 @@ impl ApproxSelectOp {
                         if let Some(keep) = pruned[i] {
                             return Ok((keep, 0.0, 0));
                         }
-                        let mut rng = ChaCha8Rng::seed_from_u64(event_seed(master_seed, i));
-                        let mut estimators: Vec<IncrementalEstimator> = events[i * k..(i + 1) * k]
+                        // Per-candidate xoshiro sub-RNG: the Figure 3 loop
+                        // below is bit-parallel-sampling-bound.
+                        let mut rng =
+                            rand::rngs::SmallRng::seed_from_u64(event_seed(master_seed, i));
+                        let mut estimators: Vec<IncrementalEstimator> = handles[i * k..(i + 1) * k]
                             .iter()
-                            .map(|event| {
-                                IncrementalEstimator::new(event.clone(), compiled.space().clone())
+                            .map(|(programs, event)| {
+                                IncrementalEstimator::from_compiled(programs, *event)
                                     .map_err(EngineError::Confidence)
                             })
                             .collect::<Result<_>>()?;
@@ -1906,6 +1947,7 @@ impl ApproxSelectOp {
 mod tests {
     use super::*;
     use crate::exec::UEngine;
+    use rand_chacha::ChaCha8Rng;
     use workloads::{SensorWorkload, TupleIndependentDb};
 
     fn lowered(text: &str, db: &UDatabase, config: EvalConfig) -> PhysicalPlan {

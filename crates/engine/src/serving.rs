@@ -19,7 +19,13 @@
 //!    and the first evaluation of a new query whose prefix another query
 //!    already warmed never runs cold;
 //! 4. inside each pooled prefix, the memoised [`SpaceCache`] /
-//!    lineage-batch caches of the `space` module, shared by every resume.
+//!    lineage-batch caches of the `space` module, shared by every resume —
+//!    including the **compiled lineage programs**
+//!    ([`confidence::LineagePrograms`]) the bit-parallel Monte Carlo
+//!    estimators sample through and the exact probabilities the exact
+//!    estimator memoises inside them, so a warm `aconf` request pays
+//!    sampling only (and a warm `conf`/`cert` request pays lookups only):
+//!    event trees are never re-walked or re-compiled per request.
 //!
 //! Snapshot identity is "sub-plan × relation footprint", not "query":
 //! pool entries are keyed by the *stateful spine* of the prefix (the ordered
@@ -1043,6 +1049,42 @@ mod tests {
         assert_eq!(stats.shared_prefix_hits, 0);
         assert_eq!(serving.prepared_queries(), 1);
         assert_eq!(serving.pooled_prefixes(), 1);
+    }
+
+    #[test]
+    fn warm_aconf_requests_reuse_compiled_estimator_state() {
+        // The pooled prefix retains the SpaceCache, whose compiled spaces
+        // hold the extracted-and-compiled lineage programs: every warm
+        // resume of a sampling query must hit that cache (sampling only) —
+        // never re-extract events or re-compile programs.
+        let db = coin_db();
+        let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        serving.evaluate(text, &mut rng).unwrap();
+
+        let entry = serving.pool.entries.values().next().expect("pooled prefix");
+        let space = entry
+            .spaces
+            .compiled(entry.database.wtable())
+            .expect("compiled space");
+        let len_before = space.lineage_len();
+        let hits_before = space.lineage_hits();
+        assert!(len_before > 0, "the cold run must populate the cache");
+
+        for _ in 0..3 {
+            serving.evaluate(text, &mut rng).unwrap();
+        }
+        assert_eq!(
+            space.lineage_len(),
+            len_before,
+            "warm requests must not extract or compile new batches"
+        );
+        assert_eq!(
+            space.lineage_hits(),
+            hits_before + 3,
+            "every warm request must be served from the compiled cache"
+        );
     }
 
     #[test]

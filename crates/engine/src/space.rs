@@ -3,17 +3,20 @@
 //! with two serving-grade caches layered on top:
 //!
 //! * a **lineage/event cache inside [`CompiledSpace`]**: the batch of DNF
-//!   events of a whole relation ([`RelationEvents`]) is extracted once and
-//!   memoised by relation content, so repeated evaluations of a cached plan
-//!   pay for estimation only — never for re-walking rows or re-translating
-//!   conditions;
+//!   events of a whole relation ([`RelationEvents`]) is extracted once,
+//!   **compiled into flat bit-parallel lineage programs**
+//!   ([`confidence::LineagePrograms`]) and memoised by relation content, so
+//!   repeated evaluations of a cached plan pay for estimation only — never
+//!   for re-walking rows, re-translating conditions, or re-compiling event
+//!   trees (the programs, and the exact probabilities the exact estimator
+//!   memoises inside them, are the serving layer's warm estimator state);
 //! * a **[`SpaceCache`]** memoising compilation of W-table states, so the
 //!   confidence-bearing operators of one pipeline (and warm re-executions of
 //!   a prepared query) share one compiled space instead of recompiling per
 //!   operator.
 
 use crate::error::{EngineError, Result};
-use confidence::{Assignment, DnfEvent, ProbabilitySpace, VarId};
+use confidence::{Assignment, DnfEvent, LineagePrograms, ProbabilitySpace, VarId};
 use pdb::{Tuple, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -37,6 +40,9 @@ pub struct CompiledSpace {
     /// keying by digest instead of a relation clone keeps the cache from
     /// retaining copies of large relations.
     lineage: Mutex<HashMap<RelationDigest, Arc<RelationEvents>>>,
+    /// Number of lineage-cache hits: warm requests that reused an already
+    /// extracted-and-compiled batch (so they paid estimation only).
+    lineage_hits: std::sync::atomic::AtomicU64,
 }
 
 /// A 128-bit-plus-length content fingerprint of a relation: two
@@ -75,16 +81,18 @@ impl Clone for CompiledSpace {
             // The clone starts with an empty cache; entries are cheap to
             // rebuild and keeping them shared would need another Arc layer.
             lineage: Mutex::new(HashMap::new()),
+            lineage_hits: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }
 
 /// The lineage batch of one relation: every distinct data tuple paired with
-/// its translated DNF event, in canonical tuple order.
+/// its translated DNF event — already compiled into flat bit-parallel
+/// programs — in canonical tuple order.
 #[derive(Clone, Debug)]
 pub struct RelationEvents {
     tuples: Vec<Tuple>,
-    events: Vec<DnfEvent>,
+    programs: Arc<LineagePrograms>,
     index: BTreeMap<Tuple, usize>,
 }
 
@@ -97,13 +105,26 @@ impl RelationEvents {
 
     /// The events, parallel to [`tuples`](RelationEvents::tuples).
     pub fn events(&self) -> &[DnfEvent] {
-        &self.events
+        self.programs.events()
+    }
+
+    /// The compiled lineage programs of the batch — the input of the
+    /// bit-parallel `estimate_compiled*` estimator paths, cached alongside
+    /// the events so a warm request never recompiles.
+    pub fn programs(&self) -> &Arc<LineagePrograms> {
+        &self.programs
+    }
+
+    /// The batch index of one tuple (`None` if the tuple is not in the
+    /// relation; its event is then the impossible event).
+    pub fn index_of(&self, t: &Tuple) -> Option<usize> {
+        self.index.get(t).copied()
     }
 
     /// The event of one tuple (`None` if the tuple is not in the relation;
     /// its event is then the impossible event).
     pub fn event_of(&self, t: &Tuple) -> Option<&DnfEvent> {
-        self.index.get(t).map(|&i| &self.events[i])
+        self.index_of(t).map(|i| &self.programs.events()[i])
     }
 
     /// Number of distinct tuples.
@@ -136,6 +157,7 @@ impl CompiledSpace {
             var_ids,
             alt_ids,
             lineage: Mutex::new(HashMap::new()),
+            lineage_hits: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -145,8 +167,9 @@ impl CompiledSpace {
     }
 
     /// The whole lineage batch of a relation — [`URelation::tuple_events`]
-    /// plus condition translation — memoised by relation content, so a warm
-    /// re-execution of a cached plan never re-extracts or re-translates.
+    /// plus condition translation plus compilation into bit-parallel lineage
+    /// programs — memoised by relation content, so a warm re-execution of a
+    /// cached plan never re-extracts, re-translates, or re-compiles.
     pub fn relation_events(&self, relation: &URelation) -> Result<Arc<RelationEvents>> {
         let digest = relation_digest(relation);
         if let Some(hit) = self
@@ -155,6 +178,8 @@ impl CompiledSpace {
             .expect("lineage cache lock")
             .get(&digest)
         {
+            self.lineage_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(hit.clone());
         }
         let batch = relation.tuple_events();
@@ -166,9 +191,12 @@ impl CompiledSpace {
             index.insert(t.clone(), i);
             tuples.push(t);
         }
+        let programs = Arc::new(
+            LineagePrograms::compile(events, &self.space).map_err(EngineError::Confidence)?,
+        );
         let entry = Arc::new(RelationEvents {
             tuples,
-            events,
+            programs,
             index,
         });
         let mut guard = self.lineage.lock().expect("lineage cache lock");
@@ -184,6 +212,14 @@ impl CompiledSpace {
     /// Number of relations whose lineage batch is currently cached.
     pub fn lineage_len(&self) -> usize {
         self.lineage.lock().expect("lineage cache lock").len()
+    }
+
+    /// Number of lineage-cache hits so far: requests served from an already
+    /// extracted-and-compiled batch.  A warm serving resume of a confidence
+    /// query must hit here — paying sampling only — rather than re-extract
+    /// or re-compile.
+    pub fn lineage_hits(&self) -> u64 {
+        self.lineage_hits.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Translates a condition (partial function over named variables) into an
@@ -365,10 +401,15 @@ mod tests {
 
         let a = cs.relation_events(&rel).unwrap();
         assert_eq!(cs.lineage_len(), 1);
-        // A content-equal clone hits the cache.
+        assert_eq!(cs.lineage_hits(), 0);
+        // A content-equal clone hits the cache — including the compiled
+        // programs, which are built exactly once per content digest.
         let b = cs.relation_events(&rel.clone()).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(a.programs(), b.programs()));
+        assert_eq!(a.programs().len(), a.len());
         assert_eq!(cs.lineage_len(), 1);
+        assert_eq!(cs.lineage_hits(), 1);
 
         // The batch matches the per-tuple extraction.
         assert_eq!(a.len(), 2);

@@ -106,6 +106,55 @@ fn pruning_never_changes_keep_drop_decisions() {
     );
 }
 
+/// The Bonferroni / Hunter–Worsley refinement must shrink the σ̂ ambiguity
+/// band on the suites: with the pairwise round enabled (the default), at
+/// least as many candidates are decided before sampling as with first-order
+/// bounds alone — strictly more somewhere across the suites — at no change
+/// in any keep/drop decision and never at extra sampling cost.
+#[test]
+fn bonferroni_bounds_shrink_the_pruning_band_on_the_workload_suites() {
+    let run_with_limit = |db: &UDatabase, query: &algebra::Query, limit: usize, seed: u64| {
+        let engine = UEngine::new(
+            EvalConfig {
+                approx_select: ApproxSelectMode::Adaptive,
+                confidence: ConfidenceMode::Exact,
+                ..EvalConfig::default()
+            }
+            .with_pairwise_bound_limit(limit),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = engine.evaluate(db, query, &mut rng).expect("σ̂ evaluation");
+        (out.result.relation.possible_tuples(), out.stats)
+    };
+
+    let mut extra_pruned_total = 0u64;
+    for (name, db, query) in suites() {
+        for seed in 0..4u64 {
+            let (first_order, stats_first) = run_with_limit(&db, &query, 0, seed);
+            let (refined, stats_refined) =
+                run_with_limit(&db, &query, confidence::DEFAULT_PAIRWISE_TERM_LIMIT, seed);
+            assert_eq!(
+                refined, first_order,
+                "{name}: bound refinement changed a keep/drop decision (seed {seed})"
+            );
+            assert!(
+                stats_refined.approx_select_pruned >= stats_first.approx_select_pruned,
+                "{name}: the pairwise round pruned fewer candidates (seed {seed})"
+            );
+            assert!(
+                stats_refined.karp_luby_samples <= stats_first.karp_luby_samples,
+                "{name}: the pairwise round cost extra samples (seed {seed})"
+            );
+            extra_pruned_total +=
+                stats_refined.approx_select_pruned - stats_first.approx_select_pruned;
+        }
+    }
+    assert!(
+        extra_pruned_total > 0,
+        "the inclusion–exclusion round must decide extra candidates somewhere"
+    );
+}
+
 #[test]
 fn pruning_agrees_with_the_exact_reference() {
     // Pruned decisions come from exact bounds, so the pruned adaptive result
