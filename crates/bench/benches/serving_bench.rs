@@ -53,7 +53,7 @@ fn bench_repeated_queries(c: &mut Criterion) {
             });
         });
         group.bench_function(BenchmarkId::new("warm_cache", label), |b| {
-            let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+            let serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             serving.evaluate(text, &mut rng).unwrap(); // prepare
             b.iter(|| serving.evaluate(text, &mut rng).unwrap());

@@ -1,0 +1,557 @@
+//! Closed-loop capacity measurement for the concurrent serving front door:
+//! emits `BENCH_capacity.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin capacity              # full sizes, writes BENCH_capacity.json
+//! cargo run --release -p bench --bin capacity -- --smoke   # CI smoke: small sizes, prints only
+//! cargo run --release -p bench --bin capacity -- --out p   # custom output path
+//! ```
+//!
+//! Workloads are declarative: a [`WorkloadSpec`] names a query-shape mix
+//! (with weights), a session count and an update cadence.  For each spec the
+//! harness measures three phases against one shared [`ServingEngine`]:
+//!
+//! 1. **Single-session baseline** — one closed-loop session issuing requests
+//!    back-to-back; its throughput anchors every later comparison.
+//! 2. **Concurrent closed loop** — `sessions` closed-loop sessions over the
+//!    same engine (plus the updater thread, if the spec has one); the
+//!    speedup over phase 1 is the concurrency payoff at this host's core
+//!    count, recorded honestly — on a single-core host it is ≈ 1×.
+//! 3. **RPS ramp** — open-loop arrivals paced across the sessions at a
+//!    target rate that steps up per iteration; each iteration records
+//!    offered vs achieved RPS and p50/p99 latency measured from the
+//!    *scheduled* arrival time (so queueing delay is not hidden by
+//!    coordinated omission).  The ramp stops at the first saturated
+//!    iteration (achieved < 90% of offered); the last unsaturated
+//!    iteration's achieved RPS is the reported capacity.
+
+use engine::{EvalConfig, ServingEngine};
+use pdb::{Schema, Tuple, Value};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use urel::{UDatabase, URelation};
+
+/// One query shape of a workload mix.
+struct QueryShape {
+    label: &'static str,
+    weight: usize,
+    text: &'static str,
+}
+
+/// A declarative workload description: what the sessions ask, how many of
+/// them there are, and how often the database changes underneath them.
+struct WorkloadSpec {
+    name: &'static str,
+    description: &'static str,
+    /// `R` row count (keys scale with it); the knob for per-request cost.
+    rows: usize,
+    /// Concurrent closed-loop sessions in phases 2 and 3.
+    sessions: usize,
+    /// Query mix, drawn round-robin by weight.
+    mix: Vec<QueryShape>,
+    /// Single-row delta updates to the pure join side `S` every interval
+    /// (none = read-only workload).
+    update_interval: Option<Duration>,
+}
+
+fn join_conf() -> &'static str {
+    "conf(project[B](join(repairkey[K @ W](R), S)))"
+}
+
+fn join_aconf() -> &'static str {
+    "aconf[0.30, 0.2](project[B](join(repairkey[K @ W](R), S)))"
+}
+
+fn point_conf() -> &'static str {
+    "conf(project[K](repairkey[K @ W](R)))"
+}
+
+fn workloads(smoke: bool) -> Vec<WorkloadSpec> {
+    let rows = if smoke { 45 } else { 180 };
+    vec![
+        WorkloadSpec {
+            name: "warm_reads",
+            description: "read-only mix of one exact and one FPRAS confidence \
+                          query sharing a repair-key + join prefix",
+            rows,
+            sessions: 4,
+            mix: vec![
+                QueryShape {
+                    label: "exact_join_conf",
+                    weight: 3,
+                    text: join_conf(),
+                },
+                QueryShape {
+                    label: "fpras_join_aconf",
+                    weight: 1,
+                    text: join_aconf(),
+                },
+            ],
+            update_interval: None,
+        },
+        WorkloadSpec {
+            name: "reads_with_updates",
+            description: "the warm_reads mix with a single-row delta to the \
+                          pure join side S every 25 ms (patched in place, \
+                          queries stay warm)",
+            rows,
+            sessions: 4,
+            mix: vec![
+                QueryShape {
+                    label: "exact_join_conf",
+                    weight: 3,
+                    text: join_conf(),
+                },
+                QueryShape {
+                    label: "fpras_join_aconf",
+                    weight: 1,
+                    text: join_aconf(),
+                },
+            ],
+            update_interval: Some(Duration::from_millis(25)),
+        },
+        WorkloadSpec {
+            name: "oversubscribed",
+            description: "8 sessions (more than the admission gate's default \
+                          in-flight budget on small hosts) over a three-shape \
+                          mix including a cheap point query",
+            rows,
+            sessions: 8,
+            mix: vec![
+                QueryShape {
+                    label: "exact_join_conf",
+                    weight: 2,
+                    text: join_conf(),
+                },
+                QueryShape {
+                    label: "fpras_join_aconf",
+                    weight: 1,
+                    text: join_aconf(),
+                },
+                QueryShape {
+                    label: "point_conf",
+                    weight: 3,
+                    text: point_conf(),
+                },
+            ],
+            update_interval: None,
+        },
+    ]
+}
+
+/// `R(K, W)` content: `rows` rows over `keys` distinct keys, weights 1..=5.
+fn weighted_rows(rows: usize, keys: usize, salt: u64) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["K", "W"]).expect("schema"));
+    for i in 0..rows {
+        let k = (i % keys) as i64;
+        let w = ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 5 + 1) as i64;
+        let _ = rel.insert(Tuple::new(vec![Value::Int(k), Value::Int(w)]));
+    }
+    URelation::from_complete(&rel)
+}
+
+/// `S(K, B)` content: one label row per key.
+fn label_rows(keys: usize, salt: i64) -> URelation {
+    let mut rel = pdb::Relation::empty(Schema::new(["K", "B"]).expect("schema"));
+    for k in 0..keys {
+        let _ = rel.insert(Tuple::new(vec![
+            Value::Int(k as i64),
+            Value::Int((k as i64 + salt) % 7),
+        ]));
+    }
+    URelation::from_complete(&rel)
+}
+
+fn database(rows: usize) -> UDatabase {
+    let keys = (rows / 3).max(2);
+    let mut db = UDatabase::new();
+    db.set_relation("R", weighted_rows(rows, keys, 1), true);
+    db.set_relation("S", label_rows(keys, 3), true);
+    db
+}
+
+/// The request schedule of a mix: shape indices repeated by weight, so a
+/// round-robin walk reproduces the weights without randomness.
+fn schedule_of(mix: &[QueryShape]) -> Vec<usize> {
+    let mut schedule = Vec::new();
+    for (i, shape) in mix.iter().enumerate() {
+        schedule.extend(std::iter::repeat_n(i, shape.weight));
+    }
+    schedule
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Merged measurements of one load phase.
+struct PhaseResult {
+    requests: u64,
+    rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    updates: u64,
+}
+
+/// Runs the updater loop until `stop` is set: alternates a single-row
+/// insert/remove delta on `S` so the database content keeps changing while
+/// its size stays bounded.
+fn updater_loop(engine: &ServingEngine, interval: Duration, stop: &AtomicBool) -> u64 {
+    let mut updates = 0u64;
+    let mut flip = false;
+    let base = engine.database().relation("S").expect("S exists").clone();
+    let mut base_plus = base.clone();
+    base_plus
+        .insert(
+            urel::Condition::always(),
+            Tuple::new(vec![Value::Int(0), Value::Int(9999)]),
+        )
+        .expect("insert delta row");
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(interval);
+        let old = engine.database().relation("S").expect("S exists").clone();
+        let new = if flip { &base } else { &base_plus };
+        flip = !flip;
+        let delta = old.diff(new).expect("diff");
+        engine.apply_deltas([("S", delta)]).expect("apply delta");
+        updates += 1;
+    }
+    updates
+}
+
+/// Closed loop: `sessions` threads issue requests back-to-back for
+/// `duration`; throughput is whatever the engine sustains.
+fn closed_loop(
+    engine: &ServingEngine,
+    mix: &[QueryShape],
+    sessions: usize,
+    duration: Duration,
+    update_interval: Option<Duration>,
+    seed: u64,
+) -> PhaseResult {
+    let schedule = schedule_of(mix);
+    let stop = AtomicBool::new(false);
+    let updates = AtomicU64::new(0);
+    let start = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        if let Some(interval) = update_interval {
+            let stop = &stop;
+            let updates = &updates;
+            scope.spawn(move || {
+                updates.store(updater_loop(engine, interval, stop), Ordering::Relaxed);
+            });
+        }
+        let workers: Vec<_> = (0..sessions)
+            .map(|s| {
+                let stop = &stop;
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s as u64));
+                    let mut latencies = Vec::new();
+                    let mut k = s;
+                    while !stop.load(Ordering::Relaxed) {
+                        let text = mix[schedule[k % schedule.len()]].text;
+                        let begin = Instant::now();
+                        session.evaluate(text, &mut rng).expect("closed-loop eval");
+                        latencies.push(begin.elapsed().as_secs_f64() * 1e6);
+                        k += 1;
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("session thread"))
+            .collect()
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    let mut merged: Vec<f64> = latencies.into_iter().flatten().collect();
+    merged.sort_by(f64::total_cmp);
+    PhaseResult {
+        requests: merged.len() as u64,
+        rps: merged.len() as f64 / elapsed.max(1e-9),
+        p50_us: percentile(&merged, 0.50),
+        p99_us: percentile(&merged, 0.99),
+        updates: updates.load(Ordering::Relaxed),
+    }
+}
+
+/// One iteration of the open-loop ramp.
+struct RampIteration {
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    saturated: bool,
+}
+
+/// Open loop at `target_rps`: arrivals are paced on a fixed global grid
+/// striped across the sessions; a session that falls behind keeps issuing
+/// without sleeping, and each latency is measured from the request's
+/// *scheduled* time, so saturation shows up as queueing delay rather than
+/// silently stretched arrival gaps.
+fn open_loop(
+    engine: &ServingEngine,
+    mix: &[QueryShape],
+    sessions: usize,
+    target_rps: f64,
+    duration: Duration,
+    update_interval: Option<Duration>,
+    seed: u64,
+) -> RampIteration {
+    let schedule = schedule_of(mix);
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+        if let Some(interval) = update_interval {
+            let stop = &stop;
+            scope.spawn(move || {
+                updater_loop(engine, interval, stop);
+            });
+        }
+        let workers: Vec<_> = (0..sessions)
+            .map(|s| {
+                let schedule = &schedule;
+                scope.spawn(move || {
+                    let mut session = engine.session();
+                    let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s as u64));
+                    let mut latencies = Vec::new();
+                    let mut k = 0usize;
+                    loop {
+                        let due_secs = (s as f64 + (k * sessions) as f64) / target_rps;
+                        if due_secs >= duration.as_secs_f64() {
+                            break;
+                        }
+                        let due = t0 + Duration::from_secs_f64(due_secs);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let text = mix[schedule[(s + k) % schedule.len()]].text;
+                        session.evaluate(text, &mut rng).expect("open-loop eval");
+                        latencies.push(due.elapsed().as_secs_f64() * 1e6);
+                        k += 1;
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        let collected = workers
+            .into_iter()
+            .map(|w| w.join().expect("session thread"))
+            .collect();
+        stop.store(true, Ordering::Relaxed);
+        collected
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut merged: Vec<f64> = latencies.into_iter().flatten().collect();
+    merged.sort_by(f64::total_cmp);
+    let achieved_rps = merged.len() as f64 / elapsed.max(1e-9);
+    RampIteration {
+        offered_rps: target_rps,
+        achieved_rps,
+        p50_us: percentile(&merged, 0.50),
+        p99_us: percentile(&merged, 0.99),
+        saturated: achieved_rps < 0.9 * target_rps,
+    }
+}
+
+/// All measurements of one workload spec.
+struct WorkloadResult {
+    spec: WorkloadSpec,
+    single: PhaseResult,
+    concurrent: PhaseResult,
+    ramp: Vec<RampIteration>,
+    capacity_rps: f64,
+}
+
+fn run_workload(spec: WorkloadSpec, phase: Duration, ramp_step: Duration) -> WorkloadResult {
+    let engine =
+        ServingEngine::new(EvalConfig::default(), database(spec.rows)).expect("serving engine");
+    // Warm every shape once so the phases measure the serving steady state,
+    // not first-evaluation compilation.
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    for shape in &spec.mix {
+        engine.evaluate(shape.text, &mut rng).expect("warmup");
+    }
+
+    let single = closed_loop(&engine, &spec.mix, 1, phase, None, 100);
+    let concurrent = closed_loop(
+        &engine,
+        &spec.mix,
+        spec.sessions,
+        phase,
+        spec.update_interval,
+        200,
+    );
+
+    // Ramp from well under the measured closed-loop capacity to past it.
+    let mut ramp = Vec::new();
+    let mut capacity_rps = 0.0f64;
+    for factor in [0.4, 0.7, 1.0, 1.3, 1.7, 2.2] {
+        let target = (concurrent.rps * factor).max(1.0);
+        let iteration = open_loop(
+            &engine,
+            &spec.mix,
+            spec.sessions,
+            target,
+            ramp_step,
+            spec.update_interval,
+            300,
+        );
+        let saturated = iteration.saturated;
+        if !saturated {
+            capacity_rps = capacity_rps.max(iteration.achieved_rps);
+        }
+        ramp.push(iteration);
+        if saturated {
+            break;
+        }
+    }
+
+    WorkloadResult {
+        spec,
+        single,
+        concurrent,
+        ramp,
+        capacity_rps,
+    }
+}
+
+fn render_json(smoke: bool, results: &[WorkloadResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(
+        out,
+        "  \"generated_by\": \"cargo run --release -p bench --bin capacity\","
+    );
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let host_threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let _ = writeln!(out, "  \"host_threads\": {host_threads},");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"concurrent_speedup_vs_single is bounded by host_threads: \
+         sessions share the machine's cores, so a single-core host pins it near 1.0 \
+         regardless of how many sessions run\","
+    );
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.spec.name);
+        let _ = writeln!(out, "      \"description\": \"{}\",", r.spec.description);
+        let _ = writeln!(out, "      \"rows\": {},", r.spec.rows);
+        let _ = writeln!(out, "      \"sessions\": {},", r.spec.sessions);
+        let _ = writeln!(
+            out,
+            "      \"update_interval_ms\": {},",
+            r.spec
+                .update_interval
+                .map_or("null".to_string(), |d| format!("{}", d.as_millis()))
+        );
+        let _ = writeln!(out, "      \"mix\": [");
+        for (j, shape) in r.spec.mix.iter().enumerate() {
+            let comma = if j + 1 < r.spec.mix.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"label\": \"{}\", \"weight\": {}, \"query\": \"{}\"}}{comma}",
+                shape.label, shape.weight, shape.text
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(
+            out,
+            "      \"single_session\": {{\"requests\": {}, \"rps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}}},",
+            r.single.requests, r.single.rps, r.single.p50_us, r.single.p99_us
+        );
+        let _ = writeln!(
+            out,
+            "      \"concurrent\": {{\"requests\": {}, \"rps\": {:.1}, \
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"updates_applied\": {}}},",
+            r.concurrent.requests,
+            r.concurrent.rps,
+            r.concurrent.p50_us,
+            r.concurrent.p99_us,
+            r.concurrent.updates
+        );
+        let _ = writeln!(
+            out,
+            "      \"concurrent_speedup_vs_single\": {:.2},",
+            r.concurrent.rps / r.single.rps.max(1e-9)
+        );
+        let _ = writeln!(out, "      \"ramp\": [");
+        for (j, it) in r.ramp.iter().enumerate() {
+            let comma = if j + 1 < r.ramp.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "        {{\"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"saturated\": {}}}{comma}",
+                it.offered_rps, it.achieved_rps, it.p50_us, it.p99_us, it.saturated
+            );
+        }
+        let _ = writeln!(out, "      ],");
+        let _ = writeln!(out, "      \"capacity_rps\": {:.1}", r.capacity_rps);
+        let _ = writeln!(out, "    }}{comma}");
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (phase, ramp_step) = if smoke {
+        (Duration::from_millis(250), Duration::from_millis(200))
+    } else {
+        (Duration::from_millis(1500), Duration::from_millis(1000))
+    };
+
+    let results: Vec<WorkloadResult> = workloads(smoke)
+        .into_iter()
+        .map(|spec| run_workload(spec, phase, ramp_step))
+        .collect();
+
+    let json = render_json(smoke, &results);
+    print!("{json}");
+
+    for r in &results {
+        eprintln!(
+            "{}: single {:.0} rps, {} sessions {:.0} rps ({:.2}x), capacity {:.0} rps, \
+             p99 {:.0} -> {:.0} us, {} updates",
+            r.spec.name,
+            r.single.rps,
+            r.spec.sessions,
+            r.concurrent.rps,
+            r.concurrent.rps / r.single.rps.max(1e-9),
+            r.capacity_rps,
+            r.concurrent.p50_us,
+            r.concurrent.p99_us,
+            r.concurrent.updates
+        );
+    }
+
+    if !smoke {
+        let path = out_path.unwrap_or_else(|| "BENCH_capacity.json".to_string());
+        std::fs::write(&path, &json).expect("write BENCH_capacity.json");
+        eprintln!("wrote {path}");
+    }
+}

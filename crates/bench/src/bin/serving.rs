@@ -90,7 +90,7 @@ fn repeated_query_experiment(num_tuples: usize, runs: usize) -> Vec<RepeatedQuer
                 .expect("evaluates");
         });
 
-        let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+        let serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         serving.evaluate(text, &mut rng).expect("prepare");
         let warm_us = median_micros(runs, || {
@@ -224,7 +224,7 @@ fn mixed_workload_experiment(rows: usize, runs: usize) -> MixedWorkloadResult {
         .map(|i| shape(&format!("D{i}"), "L", i))
         .collect();
 
-    let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+    let serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
     let mut rng = ChaCha8Rng::seed_from_u64(19);
 
     let start = Instant::now();
@@ -340,7 +340,7 @@ fn delta_update_experiment(rows: usize, runs: usize) -> DeltaUpdateResult {
 
     // Strategy A: single-row deltas, patched in place.  Each round toggles
     // one fresh S row so every call is a real content change.
-    let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+    let serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
     let mut rng = ChaCha8Rng::seed_from_u64(23);
     serving.evaluate(query, &mut rng).expect("prepare");
     let mut delta_update_us = Vec::with_capacity(runs);
@@ -362,7 +362,7 @@ fn delta_update_experiment(rows: usize, runs: usize) -> DeltaUpdateResult {
 
     // Strategy B: the same single-row change as a full replacement — the
     // scan, join and projection sub-plans demote and recompute on resume.
-    let mut serving = ServingEngine::new(EvalConfig::default(), db).expect("server");
+    let serving = ServingEngine::new(EvalConfig::default(), db).expect("server");
     let mut rng = ChaCha8Rng::seed_from_u64(23);
     serving.evaluate(query, &mut rng).expect("prepare");
     let mut replace_update_us = Vec::with_capacity(runs);

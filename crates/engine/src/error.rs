@@ -28,6 +28,12 @@ pub enum EngineError {
         /// The best (smallest) output error bound achieved.
         achieved: f64,
     },
+    /// A request's deadline passed before the engine finished (or started)
+    /// executing it — while queued at admission, or between pipeline stages.
+    DeadlineExceeded {
+        /// Where in the serving pipeline the deadline was detected.
+        stage: &'static str,
+    },
     /// Generic invariant violation.
     Invariant(String),
 }
@@ -48,6 +54,9 @@ impl fmt::Display for EngineError {
                 f,
                 "adaptive evaluation did not reach the error target {delta} (achieved {achieved})"
             ),
+            EngineError::DeadlineExceeded { stage } => {
+                write!(f, "request deadline exceeded ({stage})")
+            }
             EngineError::Invariant(m) => write!(f, "invariant violation: {m}"),
         }
     }

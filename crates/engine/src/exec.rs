@@ -81,12 +81,18 @@ pub struct EvalConfig {
     pub pairwise_bound_limit: usize,
 }
 
-/// Default shard count: one chunk per worker thread, capped (chunking has
+/// Default shard count: one chunk per hardware thread, capped (chunking has
 /// per-chunk overhead and the join index is shared anyway), but never below
 /// 2 — the chunked join's shared key index wins even single-threaded, so the
-/// default configuration should get it.
+/// default configuration should get it.  Derived from the machine's available
+/// parallelism directly (not the pool's worker count) so configuration
+/// defaults do not depend on pool initialization order; `with_shards` /
+/// explicit field writes always win.
 fn default_shards() -> usize {
-    rayon::current_num_threads().clamp(2, 8)
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .clamp(2, 8)
 }
 
 impl Default for EvalConfig {
@@ -266,5 +272,29 @@ impl UEngine {
             database: ctx.database,
             stats: ctx.stats,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shards_track_available_parallelism() {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(EvalConfig::default().shards, hw.clamp(2, 8));
+    }
+
+    #[test]
+    fn explicit_shard_overrides_beat_the_default() {
+        assert_eq!(EvalConfig::default().with_shards(1).shards, 1);
+        assert_eq!(EvalConfig::default().with_shards(17).shards, 17);
+        let direct = EvalConfig {
+            shards: 3,
+            ..EvalConfig::default()
+        };
+        assert_eq!(direct.shards, 3);
     }
 }

@@ -63,5 +63,7 @@ pub use exec::{
 pub use naive_engine::{evaluate_naive, evaluate_naive_plan, NaiveOutput};
 pub use physical::{ExecContext, ExecSnapshot, OpClass, PhysicalOperator, PhysicalPlan, PureCtx};
 pub use predicate_compile::compile_predicate;
-pub use serving::{ServingEngine, ServingStats};
+pub use serving::{
+    DatabaseGuard, Request, ServingEngine, ServingLimits, ServingSession, ServingStats,
+};
 pub use space::{CompiledSpace, RelationEvents, SpaceCache};

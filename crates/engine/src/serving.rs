@@ -56,6 +56,35 @@
 //! stateful spines — the per-index sub-RNG discipline of the estimation
 //! layer is never disturbed by where the prefix values came from.
 //!
+//! # Concurrency
+//!
+//! Every serving method takes `&self`: any number of sessions — see
+//! [`ServingEngine::session`] — evaluate concurrently over one shared
+//! engine.  The plan cache, the prepared map and the snapshot pool are
+//! **read-mostly**: lookups clone `Arc`-held entries under short read locks,
+//! all heavy work (parsing, lowering, prefix assembly, execution, estimation)
+//! runs with *no* engine lock held, and every mutation path —
+//! [`update_relations`](ServingEngine::update_relations) /
+//! [`apply_deltas`](ServingEngine::apply_deltas) invalidation, pool absorbs
+//! — rewrites shared entries **copy-on-write** (`Arc::make_mut`), so an
+//! in-flight reader keeps the immutable entry it resolved.
+//!
+//! Admission control bounds how many requests execute at once
+//! ([`ServingLimits::max_in_flight`]), and a separate, tighter gate bounds
+//! *cold* prepares ([`ServingLimits::max_cold_in_flight`]).  A cold request
+//! acquires its cold permit **before** the admission permit, so a burst of
+//! never-seen queries queues behind the cold gate without occupying
+//! admission slots — warm traffic keeps flowing.  Per-request ε/δ and
+//! deadline budgets ride on [`Request`]; a deadline is checked while queued
+//! and again before execution, failing fast with
+//! [`EngineError::DeadlineExceeded`].
+//!
+//! Determinism survives concurrency because warm ≡ cold: a request's answer
+//! depends only on its text, the database content, and its own RNG state —
+//! never on which warm state other sessions happened to leave in the pool.
+//! Races over pool contents can change *cost* (a resolve may miss state a
+//! concurrent request is still absorbing), not *answers*.
+//!
 //! ```
 //! use engine::{EvalConfig, ServingEngine};
 //! use pdb::{relation, schema};
@@ -65,7 +94,7 @@
 //! let db = UDatabase::from_complete_relations([
 //!     ("Coins", relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]]),
 //! ]);
-//! let mut serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
+//! let serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
 //! let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
 //! let q = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
 //! let cold = serving.evaluate(q, &mut rng).unwrap();
@@ -76,14 +105,16 @@
 
 use crate::adaptive_query::catalog_of;
 use crate::delta::DeltaInput;
-use crate::error::Result;
-use crate::exec::{EvalConfig, EvalOutput, EvalStats, EvaluatedRelation};
+use crate::error::{EngineError, Result};
+use crate::exec::{ConfidenceMode, EvalConfig, EvalOutput, EvalStats, EvaluatedRelation};
 use crate::physical::{ExecContext, ExecSnapshot, OpClass, PhysicalNode, PhysicalPlan};
 use crate::space::SpaceCache;
 use algebra::{Catalog, LogicalPlan, PlanCache, SubplanDigest};
 use rand::{Rng, RngCore};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 use urel::{RelationDelta, UDatabase, URelation, URow};
 
 /// Upper bound on prepared queries a server retains (each holds a lowered
@@ -205,17 +236,21 @@ impl PrefixProfile {
 }
 
 /// One prepared query: its lowered physical plan, the logical plan it came
-/// from, its prefix profile, and how often it has been evaluated.
+/// from, its prefix profile, and how often it has been evaluated.  Prepared
+/// entries are `Arc`-shared across sessions; the evaluation counter is the
+/// only mutable part.
 struct PreparedQuery {
     physical: Arc<PhysicalPlan>,
     profile: Arc<PrefixProfile>,
-    evaluations: u64,
+    evaluations: AtomicU64,
 }
 
 /// One pooled sub-plan result: the evaluated relation plus the base
-/// relations its sub-plan scans (the invalidation unit).
+/// relations its sub-plan scans (the invalidation unit).  The value is
+/// `Arc`-held so copy-on-write clones of a pool entry stay shallow.
+#[derive(Clone)]
 struct PooledSlot {
-    value: EvaluatedRelation,
+    value: Arc<EvaluatedRelation>,
     footprint: Arc<BTreeSet<String>>,
 }
 
@@ -263,10 +298,30 @@ struct PoolEntry {
     stateful_footprint: BTreeSet<String>,
 }
 
-/// The cross-query snapshot pool.
+impl Clone for PoolEntry {
+    /// The copy-on-write clone `Arc::make_mut` runs when a mutation hits an
+    /// entry a concurrent reader still holds.  Slot values are `Arc`-shared
+    /// (shallow); the space cache is *forked* — compiled spaces stay shared,
+    /// but states compiled after the split never leak between the copies.
+    fn clone(&self) -> PoolEntry {
+        PoolEntry {
+            creator: self.creator.clone(),
+            database: self.database.clone(),
+            var_counter: self.var_counter,
+            stats: self.stats,
+            spaces: self.spaces.fork(),
+            slots: self.slots.clone(),
+            stateful_footprint: self.stateful_footprint.clone(),
+        }
+    }
+}
+
+/// The cross-query snapshot pool.  Entries are `Arc`-held: readers resolve
+/// against an entry clone taken under a short read lock, mutators rewrite
+/// entries copy-on-write.
 #[derive(Default)]
 struct SnapshotPool {
-    entries: HashMap<(u64, u64), PoolEntry>,
+    entries: HashMap<(u64, u64), Arc<PoolEntry>>,
 }
 
 fn intersects(a: &BTreeSet<String>, b: &BTreeSet<String>) -> bool {
@@ -277,66 +332,74 @@ fn intersects(a: &BTreeSet<String>, b: &BTreeSet<String>) -> bool {
 }
 
 impl SnapshotPool {
-    /// Attempts to rebuild a resumable snapshot for `profile` from the pool.
-    ///
-    /// Pure prefix nodes whose pooled result is missing (never computed for
-    /// this entry, or dropped by an update) are demoted to *undone* and will
-    /// be recomputed from the entry's (patched) database during the resume —
-    /// their inputs become needed in turn, to a fixpoint.  A missing
-    /// *stateful* result cannot be recomputed without re-running the spine,
-    /// so it turns the lookup into a miss.
-    fn resolve(
-        &self,
-        profile: &PrefixProfile,
-        physical: &PhysicalPlan,
-        requester: &Arc<str>,
-    ) -> Result<Option<ResolvedPrefix>> {
-        let Some(entry) = self.entries.get(&profile.fingerprint) else {
-            return Ok(None);
-        };
-        let n = profile.digests.len();
-        let available: Vec<bool> = (0..n)
-            .map(|i| entry.slots.contains_key(&profile.digests[i]))
-            .collect();
-        let mut done = profile.done.clone();
-        let mut demoted = 0u64;
-        loop {
-            let needed = needed_flags(physical, &done);
-            let Some(missing) = (0..n).find(|&i| done[i] && needed[i] && !available[i]) else {
-                break;
-            };
-            if profile.classes[missing] != OpClass::Pure {
-                return Ok(None);
-            }
-            done[missing] = false;
-            demoted += 1;
-        }
-        let needed = needed_flags(physical, &done);
-        let mut slots: Vec<Option<EvaluatedRelation>> = (0..n).map(|_| None).collect();
-        for i in 0..n {
-            if done[i] && needed[i] {
-                let slot = entry
-                    .slots
-                    .get(&profile.digests[i])
-                    .expect("fixpoint demoted every missing needed slot");
-                slots[i] = Some(slot.value.clone());
-            }
-        }
-        let snapshot = physical.assemble_snapshot(
-            done,
-            slots,
-            entry.database.clone(),
-            entry.var_counter,
-            entry.stats,
-            entry.spaces.fork(),
-        )?;
-        Ok(Some(ResolvedPrefix {
-            snapshot,
-            demoted,
-            shared: entry.creator.as_ref() != requester.as_ref(),
-        }))
+    /// The `Arc`-held entry for a prefix fingerprint, if pooled.  Callers
+    /// clone the `Arc` under the pool's read lock and resolve against it
+    /// with [`resolve_prefix`] *after* dropping the lock — snapshot assembly
+    /// (a database clone plus slot clones) never blocks the pool.
+    fn entry(&self, fingerprint: &(u64, u64)) -> Option<Arc<PoolEntry>> {
+        self.entries.get(fingerprint).cloned()
     }
+}
 
+/// Attempts to rebuild a resumable snapshot for `profile` from one pool
+/// entry.
+///
+/// Pure prefix nodes whose pooled result is missing (never computed for
+/// this entry, or dropped by an update) are demoted to *undone* and will
+/// be recomputed from the entry's (patched) database during the resume —
+/// their inputs become needed in turn, to a fixpoint.  A missing
+/// *stateful* result cannot be recomputed without re-running the spine,
+/// so it turns the lookup into a miss.
+fn resolve_prefix(
+    entry: &PoolEntry,
+    profile: &PrefixProfile,
+    physical: &PhysicalPlan,
+    requester: &Arc<str>,
+) -> Result<Option<ResolvedPrefix>> {
+    let n = profile.digests.len();
+    let available: Vec<bool> = (0..n)
+        .map(|i| entry.slots.contains_key(&profile.digests[i]))
+        .collect();
+    let mut done = profile.done.clone();
+    let mut demoted = 0u64;
+    loop {
+        let needed = needed_flags(physical, &done);
+        let Some(missing) = (0..n).find(|&i| done[i] && needed[i] && !available[i]) else {
+            break;
+        };
+        if profile.classes[missing] != OpClass::Pure {
+            return Ok(None);
+        }
+        done[missing] = false;
+        demoted += 1;
+    }
+    let needed = needed_flags(physical, &done);
+    let mut slots: Vec<Option<EvaluatedRelation>> = (0..n).map(|_| None).collect();
+    for i in 0..n {
+        if done[i] && needed[i] {
+            let slot = entry
+                .slots
+                .get(&profile.digests[i])
+                .expect("fixpoint demoted every missing needed slot");
+            slots[i] = Some(slot.value.as_ref().clone());
+        }
+    }
+    let snapshot = physical.assemble_snapshot(
+        done,
+        slots,
+        entry.database.clone(),
+        entry.var_counter,
+        entry.stats,
+        entry.spaces.fork(),
+    )?;
+    Ok(Some(ResolvedPrefix {
+        snapshot,
+        demoted,
+        shared: entry.creator.as_ref() != requester.as_ref(),
+    }))
+}
+
+impl SnapshotPool {
     /// Stores the live sub-plan results of a freshly captured prefix
     /// snapshot, creating the spine's entry if this is the first query to
     /// execute it.  Results already present are kept (they are equal by
@@ -345,10 +408,8 @@ impl SnapshotPool {
         if self.entries.len() >= POOL_CAP && !self.entries.contains_key(&profile.fingerprint) {
             self.entries.clear();
         }
-        let entry = self
-            .entries
-            .entry(profile.fingerprint)
-            .or_insert_with(|| PoolEntry {
+        let entry = self.entries.entry(profile.fingerprint).or_insert_with(|| {
+            Arc::new(PoolEntry {
                 creator: creator.clone(),
                 database: snapshot.database().clone(),
                 var_counter: snapshot.var_counter(),
@@ -356,13 +417,18 @@ impl SnapshotPool {
                 spaces: snapshot.spaces().fork(),
                 slots: HashMap::new(),
                 stateful_footprint: profile.stateful_footprint.clone(),
-            });
+            })
+        });
+        // Copy-on-write: a fresh entry is mutated in place (`make_mut` is a
+        // no-op on a unique Arc); an entry a concurrent reader holds is
+        // cloned shallowly first, leaving the reader's view intact.
+        let entry = Arc::make_mut(entry);
         for (id, value) in snapshot.live_slots() {
             entry
                 .slots
                 .entry(profile.digests[id])
                 .or_insert_with(|| PooledSlot {
-                    value: value.clone(),
+                    value: Arc::new(value.clone()),
                     footprint: profile.footprints[id].clone(),
                 });
         }
@@ -385,6 +451,7 @@ impl SnapshotPool {
                 entries_dropped += 1;
                 return false;
             }
+            let entry = Arc::make_mut(entry);
             entry.slots.retain(|_, slot| {
                 let keep = !intersects(&slot.footprint, changed);
                 if !keep {
@@ -425,6 +492,7 @@ impl SnapshotPool {
                 entries_dropped += 1;
                 return false;
             }
+            let entry = Arc::make_mut(entry);
             // Patch the entry's database copy first: demoted sub-plans
             // recompute from it, and resumed suffixes scan it.
             for u in updates {
@@ -522,12 +590,11 @@ fn patch_entry_slots(
             }
             match try_patch_slot(entry, node, id, profile, updates, &outcomes, &no_rows) {
                 Some((new, inserted, deleted)) => {
-                    entry
+                    let slot = entry
                         .slots
                         .get_mut(&digest)
-                        .expect("try_patch_slot read this slot")
-                        .value
-                        .relation = new;
+                        .expect("try_patch_slot read this slot");
+                    Arc::make_mut(&mut slot.value).relation = new;
                     patched += 1;
                     outcomes.insert(digest, SlotOutcome::Patched(inserted, deleted));
                 }
@@ -624,47 +691,237 @@ fn needed_flags(physical: &PhysicalPlan, done: &[bool]) -> Vec<bool> {
     needed
 }
 
-/// A query server over one database: repeated queries cost estimation only,
-/// prefixes are shared across queries, and relation updates invalidate only
-/// what they touch.
-pub struct ServingEngine {
-    config: EvalConfig,
+/// Admission limits of a [`ServingEngine`]: how many requests may execute
+/// concurrently, and how many of those may be cold prepares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingLimits {
+    /// Requests admitted to execute at once across all sessions.  Further
+    /// requests queue (deadline-aware) until a slot frees.
+    pub max_in_flight: usize,
+    /// Upper bound on concurrently executing *cold* requests (first
+    /// evaluation of a prefix nobody pooled: full prefix execution plus a
+    /// database clone).  Cold requests take a cold permit **before** an
+    /// admission slot, so a cold burst queues behind this gate without
+    /// starving warm traffic of admission slots.  Clamped to
+    /// `max_in_flight`.
+    pub max_cold_in_flight: usize,
+}
+
+impl Default for ServingLimits {
+    /// Twice the hardware parallelism of admitted requests (estimation-bound
+    /// warm requests overlap well), half of them allowed to be cold.
+    fn default() -> Self {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let max_in_flight = (hw * 2).clamp(4, 64);
+        ServingLimits {
+            max_in_flight,
+            max_cold_in_flight: (max_in_flight / 2).max(1),
+        }
+    }
+}
+
+/// One serving request: the query text plus optional per-request budgets.
+///
+/// `epsilon`/`delta` override the engine configuration's FPRAS accuracy
+/// defaults for this request only (the request is prepared and pooled under
+/// its effective configuration, so requests with different budgets never
+/// share incompatible state).  `deadline` bounds how long the request may
+/// wait for admission and is re-checked before execution starts.
+#[derive(Clone, Copy, Debug)]
+pub struct Request<'q> {
+    text: &'q str,
+    accuracy: Option<(f64, f64)>,
+    deadline: Option<Instant>,
+}
+
+impl<'q> Request<'q> {
+    /// A request for `text` with the engine's default budgets.
+    pub fn new(text: &'q str) -> Request<'q> {
+        Request {
+            text,
+            accuracy: None,
+            deadline: None,
+        }
+    }
+
+    /// Overrides the FPRAS accuracy budget (relative error ε, failure
+    /// probability δ) for this request's `conf`-style operators.
+    pub fn with_accuracy(mut self, epsilon: f64, delta: f64) -> Self {
+        self.accuracy = Some((epsilon, delta));
+        self
+    }
+
+    /// Sets a deadline: the request fails with
+    /// [`EngineError::DeadlineExceeded`] instead of executing once the
+    /// instant has passed.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The query text.
+    pub fn text(&self) -> &str {
+        self.text
+    }
+
+    /// The engine configuration this request is lowered against.
+    fn effective_config(&self, base: EvalConfig) -> EvalConfig {
+        match self.accuracy {
+            None => base,
+            Some((epsilon, delta)) => EvalConfig {
+                confidence: ConfidenceMode::Fpras { epsilon, delta },
+                ..base
+            },
+        }
+    }
+}
+
+/// A counting semaphore with deadline-aware acquisition (standing in for an
+/// async admission queue: requests block, fairly woken, until a permit
+/// frees).
+struct Gate {
+    permits: Mutex<usize>,
+    freed: Condvar,
+}
+
+/// A held [`Gate`] permit; released on drop.
+struct GatePermit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    fn new(capacity: usize) -> Gate {
+        Gate {
+            permits: Mutex::new(capacity.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a permit is free, or until `deadline` passes (failing
+    /// with [`EngineError::DeadlineExceeded`] tagged `stage`).
+    fn acquire(&self, deadline: Option<Instant>, stage: &'static str) -> Result<GatePermit<'_>> {
+        let mut permits = self.permits.lock().expect("gate lock");
+        loop {
+            if *permits > 0 {
+                *permits -= 1;
+                return Ok(GatePermit { gate: self });
+            }
+            permits = match deadline {
+                None => self.freed.wait(permits).expect("gate lock"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(EngineError::DeadlineExceeded { stage });
+                    }
+                    self.freed
+                        .wait_timeout(permits, deadline - now)
+                        .expect("gate lock")
+                        .0
+                }
+            };
+        }
+    }
+}
+
+impl Drop for GatePermit<'_> {
+    fn drop(&mut self) {
+        let mut permits = self.gate.permits.lock().expect("gate lock");
+        *permits += 1;
+        self.gate.freed.notify_one();
+    }
+}
+
+/// The database and its derived catalog — swapped together, read together.
+struct CatalogState {
     database: UDatabase,
     catalog: Catalog,
-    plans: PlanCache,
-    prepared: HashMap<Arc<str>, PreparedQuery>,
-    pool: SnapshotPool,
-    cold_evaluations: u64,
-    warm_evaluations: u64,
-    shared_prefix_hits: u64,
-    snapshots_invalidated: u64,
-    subplans_invalidated: u64,
-    subplans_recomputed: u64,
-    relation_updates: u64,
-    subplans_patched: u64,
-    subplans_demoted: u64,
+}
+
+/// Serving counters, updated lock-free by concurrent sessions.
+#[derive(Default)]
+struct Counters {
+    cold_evaluations: AtomicU64,
+    warm_evaluations: AtomicU64,
+    shared_prefix_hits: AtomicU64,
+    snapshots_invalidated: AtomicU64,
+    subplans_invalidated: AtomicU64,
+    subplans_recomputed: AtomicU64,
+    relation_updates: AtomicU64,
+    subplans_patched: AtomicU64,
+    subplans_demoted: AtomicU64,
+}
+
+/// A read guard over the served database (see [`ServingEngine::database`]).
+pub struct DatabaseGuard<'a>(std::sync::RwLockReadGuard<'a, CatalogState>);
+
+impl std::ops::Deref for DatabaseGuard<'_> {
+    type Target = UDatabase;
+    fn deref(&self) -> &UDatabase {
+        &self.0.database
+    }
+}
+
+/// Key of one prepared query: the normalized text key plus a digest of the
+/// effective lowering configuration (per-request accuracy overrides prepare
+/// separately; the pool fingerprint hashes the same configuration, so their
+/// pooled prefixes separate consistently).
+type PreparedKey = (Arc<str>, u64);
+
+fn config_digest(config: &EvalConfig) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    format!("{config:?}").hash(&mut h);
+    h.finish()
+}
+
+/// A query server over one database: repeated queries cost estimation only,
+/// prefixes are shared across queries, relation updates invalidate only
+/// what they touch, and any number of sessions evaluate concurrently over
+/// `&self` (see the module docs' concurrency section).
+pub struct ServingEngine {
+    config: EvalConfig,
+    limits: ServingLimits,
+    state: RwLock<CatalogState>,
+    plans: Mutex<PlanCache>,
+    prepared: RwLock<HashMap<PreparedKey, Arc<PreparedQuery>>>,
+    pool: RwLock<SnapshotPool>,
+    admission: Gate,
+    cold_admission: Gate,
+    counters: Counters,
 }
 
 impl ServingEngine {
-    /// Creates a server for `database` with the given engine configuration.
+    /// Creates a server for `database` with the given engine configuration
+    /// and default admission limits.
     pub fn new(config: EvalConfig, database: UDatabase) -> Result<ServingEngine> {
+        ServingEngine::with_limits(config, database, ServingLimits::default())
+    }
+
+    /// Creates a server with explicit admission limits.
+    pub fn with_limits(
+        config: EvalConfig,
+        database: UDatabase,
+        limits: ServingLimits,
+    ) -> Result<ServingEngine> {
         let catalog = catalog_of(&database)?;
+        let max_in_flight = limits.max_in_flight.max(1);
+        let limits = ServingLimits {
+            max_in_flight,
+            max_cold_in_flight: limits.max_cold_in_flight.clamp(1, max_in_flight),
+        };
         Ok(ServingEngine {
             config,
-            database,
-            catalog,
-            plans: PlanCache::new(),
-            prepared: HashMap::new(),
-            pool: SnapshotPool::default(),
-            cold_evaluations: 0,
-            warm_evaluations: 0,
-            shared_prefix_hits: 0,
-            snapshots_invalidated: 0,
-            subplans_invalidated: 0,
-            subplans_recomputed: 0,
-            relation_updates: 0,
-            subplans_patched: 0,
-            subplans_demoted: 0,
+            limits,
+            state: RwLock::new(CatalogState { database, catalog }),
+            plans: Mutex::new(PlanCache::new()),
+            prepared: RwLock::new(HashMap::new()),
+            pool: RwLock::new(SnapshotPool::default()),
+            admission: Gate::new(limits.max_in_flight),
+            cold_admission: Gate::new(limits.max_cold_in_flight),
+            counters: Counters::default(),
         })
     }
 
@@ -673,9 +930,25 @@ impl ServingEngine {
         &self.config
     }
 
-    /// The database being served.
-    pub fn database(&self) -> &UDatabase {
-        &self.database
+    /// The admission limits (normalized).
+    pub fn limits(&self) -> ServingLimits {
+        self.limits
+    }
+
+    /// A lightweight per-session handle over this engine; sessions evaluate
+    /// concurrently, each with its own RNG (held by the caller).
+    pub fn session(&self) -> ServingSession<'_> {
+        ServingSession {
+            engine: self,
+            evaluations: 0,
+        }
+    }
+
+    /// The database being served.  The returned guard holds a read lock:
+    /// drop it before calling methods of this engine from the same thread
+    /// while writers may be queued.
+    pub fn database(&self) -> DatabaseGuard<'_> {
+        DatabaseGuard(self.state.read().expect("serving state lock"))
     }
 
     /// Replaces the whole database and drops every cache: plans (they
@@ -684,12 +957,18 @@ impl ServingEngine {
     /// content-only changes should use
     /// [`update_relations`](ServingEngine::update_relations), which keeps
     /// warm caches warm.
-    pub fn set_database(&mut self, database: UDatabase) -> Result<()> {
-        self.catalog = catalog_of(&database)?;
-        self.database = database;
-        self.plans.clear();
-        self.prepared.clear();
-        self.pool.entries.clear();
+    pub fn set_database(&self, database: UDatabase) -> Result<()> {
+        let catalog = catalog_of(&database)?;
+        let mut state = self.state.write().expect("serving state lock");
+        state.database = database;
+        state.catalog = catalog;
+        self.plans.lock().expect("plan cache lock").clear();
+        self.prepared.write().expect("prepared map lock").clear();
+        self.pool
+            .write()
+            .expect("snapshot pool lock")
+            .entries
+            .clear();
         Ok(())
     }
 
@@ -725,9 +1004,13 @@ impl ServingEngine {
     /// [`apply_deltas`](ServingEngine::apply_deltas) re-warms at cost
     /// proportional to the delta instead.
     pub fn update_relations(
-        &mut self,
+        &self,
         updates: impl IntoIterator<Item = (impl Into<String>, URelation)>,
     ) -> Result<()> {
+        // The state write lock is held across validate + apply + pool
+        // invalidation, so concurrent sessions see either the whole batch
+        // or none of it.
+        let mut state = self.state.write().expect("serving state lock");
         // Collapse the batch to its net content first (last replacement per
         // name wins), then validate only that net content — atomically,
         // before anything is applied.
@@ -736,12 +1019,13 @@ impl ServingEngine {
             finals.insert(name.into(), rel);
         }
         for (name, rel) in &finals {
-            self.database.check_replacement(name, rel)?;
+            state.database.check_replacement(name, rel)?;
         }
         let changed: Vec<(String, URelation)> = finals
             .into_iter()
             .filter(|(name, rel)| {
-                self.database
+                state
+                    .database
                     .relation(name)
                     .map(|old| old.content_digest() != rel.content_digest())
                     .unwrap_or(true)
@@ -753,14 +1037,25 @@ impl ServingEngine {
         let changed_names: BTreeSet<String> =
             changed.iter().map(|(name, _)| name.clone()).collect();
         for (name, rel) in &changed {
-            self.database
+            state
+                .database
                 .replace_relation(name, rel.clone())
                 .expect("update validated above");
         }
-        let (entries_dropped, slots_dropped) = self.pool.invalidate(&changed_names, &changed);
-        self.relation_updates += changed.len() as u64;
-        self.snapshots_invalidated += entries_dropped;
-        self.subplans_invalidated += slots_dropped;
+        let (entries_dropped, slots_dropped) = self
+            .pool
+            .write()
+            .expect("snapshot pool lock")
+            .invalidate(&changed_names, &changed);
+        self.counters
+            .relation_updates
+            .fetch_add(changed.len() as u64, Ordering::Relaxed);
+        self.counters
+            .snapshots_invalidated
+            .fetch_add(entries_dropped, Ordering::Relaxed);
+        self.counters
+            .subplans_invalidated
+            .fetch_add(slots_dropped, Ordering::Relaxed);
         Ok(())
     }
 
@@ -793,9 +1088,12 @@ impl ServingEngine {
     /// over the patched database at the same RNG state, exactly as for full
     /// replacements.
     pub fn apply_deltas(
-        &mut self,
+        &self,
         deltas: impl IntoIterator<Item = (impl Into<String>, RelationDelta)>,
     ) -> Result<()> {
+        // Like `update_relations`, the state write lock spans validate +
+        // apply + pool maintenance.
+        let mut state = self.state.write().expect("serving state lock");
         // Validate the whole batch before applying any of it.  Deltas to
         // one name chain: each must apply against the content the previous
         // one produced (digest-checked), and the final content must pass
@@ -806,12 +1104,12 @@ impl ServingEngine {
             match finals.get_mut(&name) {
                 Some((current, chain)) => {
                     let new = delta.apply_to(current)?;
-                    self.database.check_replacement(&name, &new)?;
+                    state.database.check_replacement(&name, &new)?;
                     *current = new;
                     chain.push(delta);
                 }
                 None => {
-                    let new = self.database.check_delta(&name, &delta)?;
+                    let new = state.database.check_delta(&name, &delta)?;
                     finals.insert(name, (new, vec![delta]));
                 }
             }
@@ -822,7 +1120,8 @@ impl ServingEngine {
             // that reverts itself compares equal after one short walk, and
             // a real change usually diverges within a few rows.
             .filter(|(name, (rel, _))| {
-                self.database
+                state
+                    .database
                     .relation(name)
                     .map(|old| old != rel)
                     .unwrap_or(true)
@@ -841,7 +1140,7 @@ impl ServingEngine {
         let updates: Vec<DeltaUpdate> = changed
             .iter()
             .map(|(name, new, chain)| {
-                let old = self.database.relation(name).expect("validated above");
+                let old = state.database.relation(name).expect("validated above");
                 let patch = match chain.as_slice() {
                     [only] => Some(only.clone()),
                     _ => old.diff(new).ok(),
@@ -859,19 +1158,33 @@ impl ServingEngine {
             // The batch was fully validated above; apply without re-running
             // the catalog checks (moving the relation in, not cloning it),
             // preserving the completeness declaration.
-            let complete = self.database.is_complete(&name);
-            self.database.set_relation(name, rel, complete);
+            let complete = state.database.is_complete(&name);
+            state.database.set_relation(name, rel, complete);
         }
         let plans: Vec<(Arc<PhysicalPlan>, Arc<PrefixProfile>)> = self
             .prepared
+            .read()
+            .expect("prepared map lock")
             .values()
             .map(|p| (p.physical.clone(), p.profile.clone()))
             .collect();
-        let (entries_dropped, patched, demoted) = self.pool.patch(&changed_names, &updates, &plans);
-        self.relation_updates += changed_count;
-        self.snapshots_invalidated += entries_dropped;
-        self.subplans_patched += patched;
-        self.subplans_demoted += demoted;
+        let (entries_dropped, patched, demoted) = self
+            .pool
+            .write()
+            .expect("snapshot pool lock")
+            .patch(&changed_names, &updates, &plans);
+        self.counters
+            .relation_updates
+            .fetch_add(changed_count, Ordering::Relaxed);
+        self.counters
+            .snapshots_invalidated
+            .fetch_add(entries_dropped, Ordering::Relaxed);
+        self.counters
+            .subplans_patched
+            .fetch_add(patched, Ordering::Relaxed);
+        self.counters
+            .subplans_demoted
+            .fetch_add(demoted, Ordering::Relaxed);
         Ok(())
     }
 
@@ -880,88 +1193,127 @@ impl ServingEngine {
     /// query already executed the same deterministic prefix; otherwise it
     /// runs cold and populates the pool.  Repeated evaluations resume at
     /// the sampling frontier.
-    pub fn evaluate<R: Rng + ?Sized>(&mut self, text: &str, rng: &mut R) -> Result<EvalOutput> {
-        let (key, plan) = self.plans.get_or_lower(text, &self.catalog)?;
-        if !self.prepared.contains_key(&key) {
-            // Prepared queries are bounded; evicted ones re-prepare and
-            // find their prefix still pooled.
-            if self.prepared.len() >= PREPARED_CAP {
-                self.prepared.clear();
-                self.plans.unpin_all();
-            }
-            let physical = Arc::new(PhysicalPlan::lower(&plan, self.config)?);
-            let profile = Arc::new(PrefixProfile::new(&plan, &physical, &self.config));
-            self.prepared.insert(
-                key.clone(),
-                PreparedQuery {
-                    physical,
-                    profile,
-                    evaluations: 0,
-                },
-            );
-            // Pin the prepared query's plan: plan-cache pressure from
-            // one-off spellings must never evict a plan whose prepared
-            // state is live.
-            self.plans.pin(&key);
-        }
-        let (physical, profile, first_evaluation) = {
-            let prepared = self
-                .prepared
-                .get_mut(&key)
-                .expect("prepared entry inserted above");
-            let first = prepared.evaluations == 0;
-            prepared.evaluations += 1;
-            (prepared.physical.clone(), prepared.profile.clone(), first)
+    pub fn evaluate<R: Rng + ?Sized>(&self, text: &str, rng: &mut R) -> Result<EvalOutput> {
+        self.evaluate_request(&Request::new(text), rng)
+    }
+
+    /// Evaluates a [`Request`] (query text plus optional per-request ε/δ and
+    /// deadline budgets).
+    pub fn evaluate_request<R: Rng + ?Sized>(
+        &self,
+        request: &Request<'_>,
+        rng: &mut R,
+    ) -> Result<EvalOutput> {
+        let deadline = request.deadline;
+        let config = request.effective_config(self.config);
+        let (key, prepared) = self.prepare(request.text, config)?;
+        let first_evaluation = prepared.evaluations.fetch_add(1, Ordering::Relaxed) == 0;
+        let physical = prepared.physical.clone();
+        let profile = prepared.profile.clone();
+
+        // Fair admission.  Classify warm/cold by peeking the pool (presence
+        // of the prefix entry); a cold request waits on the cold gate
+        // *before* taking an admission slot, so a cold burst cannot occupy
+        // the slots warm traffic needs.  The classification is best-effort
+        // — authoritative resolution happens after admission.
+        let looks_warm = self
+            .pool
+            .read()
+            .expect("snapshot pool lock")
+            .entry(&profile.fingerprint)
+            .is_some();
+        let _cold_permit = if looks_warm {
+            None
+        } else {
+            Some(self.cold_admission.acquire(deadline, "cold admission")?)
         };
+        let _permit = self.admission.acquire(deadline, "admission")?;
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(EngineError::DeadlineExceeded {
+                    stage: "pre-execution",
+                });
+            }
+        }
 
         let mut rng_ref: &mut R = rng;
         let dyn_rng: &mut dyn RngCore = &mut rng_ref;
-        if let Some(resolved) = self.pool.resolve(&profile, &physical, &key)? {
-            self.warm_evaluations += 1;
-            if first_evaluation && resolved.shared {
-                self.shared_prefix_hits += 1;
+        // Resolve against an Arc clone of the entry: the pool lock is held
+        // only for the lookup, never across snapshot assembly or execution.
+        let entry = self
+            .pool
+            .read()
+            .expect("snapshot pool lock")
+            .entry(&profile.fingerprint);
+        if let Some(entry) = entry {
+            if let Some(resolved) = resolve_prefix(&entry, &profile, &physical, &key)? {
+                self.counters
+                    .warm_evaluations
+                    .fetch_add(1, Ordering::Relaxed);
+                if first_evaluation && resolved.shared {
+                    self.counters
+                        .shared_prefix_hits
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                self.counters
+                    .subplans_recomputed
+                    .fetch_add(resolved.demoted, Ordering::Relaxed);
+                let mut ctx = ExecContext {
+                    config,
+                    // The snapshot restores its own database; seeding the
+                    // context with an empty one avoids a wasted full clone.
+                    database: UDatabase::new(),
+                    stats: EvalStats::default(),
+                    var_counter: 0,
+                    rng: dyn_rng,
+                    spaces: SpaceCache::new(),
+                };
+                let result = if resolved.demoted > 0 {
+                    // Some pure sub-plans recompute during this resume;
+                    // capture at the frontier again and pool their fresh
+                    // results, so the next request (of any query sharing
+                    // them) finds the prefix fully warm.
+                    let (result, recaptured) =
+                        physical.resume_capturing(&mut ctx, resolved.snapshot)?;
+                    self.pool.write().expect("snapshot pool lock").absorb(
+                        &profile,
+                        &recaptured,
+                        &key,
+                    );
+                    result
+                } else {
+                    physical.resume_owned(&mut ctx, resolved.snapshot)?
+                };
+                return Ok(EvalOutput {
+                    result,
+                    database: ctx.database,
+                    stats: ctx.stats,
+                });
             }
-            self.subplans_recomputed += resolved.demoted;
-            let mut ctx = ExecContext {
-                config: self.config,
-                // The snapshot restores its own database; seeding the
-                // context with an empty one avoids a wasted full clone.
-                database: UDatabase::new(),
-                stats: EvalStats::default(),
-                var_counter: 0,
-                rng: dyn_rng,
-                spaces: SpaceCache::new(),
-            };
-            let result = if resolved.demoted > 0 {
-                // Some pure sub-plans recompute during this resume; capture
-                // at the frontier again and pool their fresh results, so
-                // the next request (of any query sharing them) finds the
-                // prefix fully warm.
-                let (result, recaptured) =
-                    physical.resume_capturing(&mut ctx, resolved.snapshot)?;
-                self.pool.absorb(&profile, &recaptured, &key);
-                result
-            } else {
-                physical.resume_owned(&mut ctx, resolved.snapshot)?
-            };
-            return Ok(EvalOutput {
-                result,
-                database: ctx.database,
-                stats: ctx.stats,
-            });
         }
 
-        self.cold_evaluations += 1;
+        self.counters
+            .cold_evaluations
+            .fetch_add(1, Ordering::Relaxed);
+        let database = self
+            .state
+            .read()
+            .expect("serving state lock")
+            .database
+            .clone();
         let mut ctx = ExecContext {
-            config: self.config,
-            database: self.database.clone(),
+            config,
+            database,
             stats: EvalStats::default(),
             var_counter: 0,
             rng: dyn_rng,
             spaces: SpaceCache::new(),
         };
         let (result, snapshot) = physical.execute_capturing(&mut ctx)?;
-        self.pool.absorb(&profile, &snapshot, &key);
+        self.pool
+            .write()
+            .expect("snapshot pool lock")
+            .absorb(&profile, &snapshot, &key);
         Ok(EvalOutput {
             result,
             database: ctx.database,
@@ -969,39 +1321,145 @@ impl ServingEngine {
         })
     }
 
-    /// Cache counters.
+    /// Plan-cache lookup plus prepared-entry lookup/creation for one request
+    /// under its effective configuration.  Lowering runs outside every lock;
+    /// when two sessions race to prepare the same query, the first insert
+    /// wins and the loser's work is discarded.
+    fn prepare(&self, text: &str, config: EvalConfig) -> Result<(Arc<str>, Arc<PreparedQuery>)> {
+        let catalog = self
+            .state
+            .read()
+            .expect("serving state lock")
+            .catalog
+            .clone();
+        let (key, plan) = self
+            .plans
+            .lock()
+            .expect("plan cache lock")
+            .get_or_lower(text, &catalog)?;
+        let pkey: PreparedKey = (key.clone(), config_digest(&config));
+        if let Some(hit) = self
+            .prepared
+            .read()
+            .expect("prepared map lock")
+            .get(&pkey)
+            .cloned()
+        {
+            return Ok((key, hit));
+        }
+        let physical = Arc::new(PhysicalPlan::lower(&plan, config)?);
+        let profile = Arc::new(PrefixProfile::new(&plan, &physical, &config));
+        let fresh = Arc::new(PreparedQuery {
+            physical,
+            profile,
+            evaluations: AtomicU64::new(0),
+        });
+        let (entry, evicted) = {
+            let mut map = self.prepared.write().expect("prepared map lock");
+            // Prepared queries are bounded; evicted ones re-prepare and
+            // find their prefix still pooled.
+            let evicted = map.len() >= PREPARED_CAP && !map.contains_key(&pkey);
+            if evicted {
+                map.clear();
+            }
+            (map.entry(pkey).or_insert_with(|| fresh).clone(), evicted)
+        };
+        {
+            let mut plans = self.plans.lock().expect("plan cache lock");
+            if evicted {
+                plans.unpin_all();
+            }
+            // Pin the prepared query's plan: plan-cache pressure from
+            // one-off spellings must never evict a plan whose prepared
+            // state is live.
+            plans.pin(&key);
+        }
+        Ok((key, entry))
+    }
+
+    /// Cache counters (a consistent-enough snapshot: counters are updated
+    /// lock-free by concurrent sessions).
     pub fn stats(&self) -> ServingStats {
+        let (plan_cache_hits, plan_cache_misses) = {
+            let plans = self.plans.lock().expect("plan cache lock");
+            (plans.hits(), plans.misses())
+        };
         ServingStats {
-            cold_evaluations: self.cold_evaluations,
-            warm_evaluations: self.warm_evaluations,
-            plan_cache_hits: self.plans.hits(),
-            plan_cache_misses: self.plans.misses(),
-            shared_prefix_hits: self.shared_prefix_hits,
-            snapshots_invalidated: self.snapshots_invalidated,
-            subplans_invalidated: self.subplans_invalidated,
-            subplans_recomputed: self.subplans_recomputed,
-            relation_updates: self.relation_updates,
-            subplans_patched: self.subplans_patched,
-            subplans_demoted: self.subplans_demoted,
+            cold_evaluations: self.counters.cold_evaluations.load(Ordering::Relaxed),
+            warm_evaluations: self.counters.warm_evaluations.load(Ordering::Relaxed),
+            plan_cache_hits,
+            plan_cache_misses,
+            shared_prefix_hits: self.counters.shared_prefix_hits.load(Ordering::Relaxed),
+            snapshots_invalidated: self.counters.snapshots_invalidated.load(Ordering::Relaxed),
+            subplans_invalidated: self.counters.subplans_invalidated.load(Ordering::Relaxed),
+            subplans_recomputed: self.counters.subplans_recomputed.load(Ordering::Relaxed),
+            relation_updates: self.counters.relation_updates.load(Ordering::Relaxed),
+            subplans_patched: self.counters.subplans_patched.load(Ordering::Relaxed),
+            subplans_demoted: self.counters.subplans_demoted.load(Ordering::Relaxed),
         }
     }
 
     /// Number of prepared queries.
     pub fn prepared_queries(&self) -> usize {
-        self.prepared.len()
+        self.prepared.read().expect("prepared map lock").len()
     }
 
     /// Number of pooled prefix entries (distinct stateful spines).  Smaller
     /// than [`prepared_queries`](ServingEngine::prepared_queries) when
     /// prepared queries share prefixes.
     pub fn pooled_prefixes(&self) -> usize {
-        self.pool.entries.len()
+        self.pool.read().expect("snapshot pool lock").entries.len()
     }
 
     /// Total number of sub-plan results currently pooled across all
     /// entries.
     pub fn pooled_subplans(&self) -> usize {
-        self.pool.entries.values().map(|e| e.slots.len()).sum()
+        self.pool
+            .read()
+            .expect("snapshot pool lock")
+            .entries
+            .values()
+            .map(|e| e.slots.len())
+            .sum()
+    }
+}
+
+/// A per-session handle over a shared [`ServingEngine`].
+///
+/// Sessions are cheap (`engine.session()`), hold no engine state beyond the
+/// borrow, and may run on their own threads: all sharing and synchronization
+/// lives in the engine.  Each session keeps a local evaluation count; the
+/// caller owns the session's RNG, preserving the engine's determinism
+/// contract (a session's answers depend on its own RNG stream only).
+pub struct ServingSession<'a> {
+    engine: &'a ServingEngine,
+    evaluations: u64,
+}
+
+impl<'a> ServingSession<'a> {
+    /// The shared engine this session serves from.
+    pub fn engine(&self) -> &'a ServingEngine {
+        self.engine
+    }
+
+    /// Number of evaluations this session has issued.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Evaluates a query with the engine's default budgets.
+    pub fn evaluate<R: Rng + ?Sized>(&mut self, text: &str, rng: &mut R) -> Result<EvalOutput> {
+        self.evaluate_request(&Request::new(text), rng)
+    }
+
+    /// Evaluates a [`Request`] with per-request budgets.
+    pub fn evaluate_request<R: Rng + ?Sized>(
+        &mut self,
+        request: &Request<'_>,
+        rng: &mut R,
+    ) -> Result<EvalOutput> {
+        self.evaluations += 1;
+        self.engine.evaluate_request(request, rng)
     }
 }
 
@@ -1024,7 +1482,7 @@ mod tests {
     fn warm_evaluations_match_cold_and_engine_results() {
         let db = coin_db();
         let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(9);
         let cold = serving.evaluate(text, &mut rng).unwrap();
         let warm = serving.evaluate(text, &mut rng).unwrap();
@@ -1059,11 +1517,18 @@ mod tests {
         // never re-extract events or re-compile programs.
         let db = coin_db();
         let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         serving.evaluate(text, &mut rng).unwrap();
 
-        let entry = serving.pool.entries.values().next().expect("pooled prefix");
+        let entry = {
+            let pool = serving.pool.read().unwrap();
+            pool.entries
+                .values()
+                .next()
+                .cloned()
+                .expect("pooled prefix")
+        };
         let space = entry
             .spaces
             .compiled(entry.database.wtable())
@@ -1089,7 +1554,7 @@ mod tests {
 
     #[test]
     fn alternative_spellings_share_one_prepared_query() {
-        let mut serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         serving.evaluate("poss(Coins)", &mut rng).unwrap();
         serving.evaluate("poss( Coins )", &mut rng).unwrap();
@@ -1101,7 +1566,7 @@ mod tests {
     fn sampling_queries_resume_at_the_frontier_deterministically() {
         let db = coin_db();
         let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
         // Warm evaluation with RNG state S must equal a cold evaluation of
         // the plain engine with the same RNG state S.
         let mut rng = ChaCha8Rng::seed_from_u64(7);
@@ -1119,7 +1584,7 @@ mod tests {
 
     #[test]
     fn set_database_invalidates_caches() {
-        let mut serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         serving.evaluate("poss(Coins)", &mut rng).unwrap();
         let other = UDatabase::from_complete_relations([(
@@ -1143,7 +1608,7 @@ mod tests {
         let db = coin_db();
         let q1 = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
         let q2 = "aconf[0.2, 0.05](project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         serving.evaluate(q1, &mut rng).unwrap();
         let mut rng2 = ChaCha8Rng::seed_from_u64(77);
@@ -1185,7 +1650,7 @@ mod tests {
         let db = two_relation_db();
         let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
         let independent = "aconf[0.3, 0.1](project[X](Other))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         serving.evaluate(touching, &mut rng).unwrap();
         serving.evaluate(independent, &mut rng).unwrap();
@@ -1218,7 +1683,7 @@ mod tests {
         let query = algebra::parse_query(touching).unwrap();
         let mut direct_rng = ChaCha8Rng::seed_from_u64(42);
         let direct = engine
-            .evaluate(serving.database(), &query, &mut direct_rng)
+            .evaluate(&serving.database(), &query, &mut direct_rng)
             .unwrap();
         assert_eq!(warm.result.relation, direct.result.relation);
         assert_eq!(warm.stats, direct.stats);
@@ -1236,7 +1701,7 @@ mod tests {
     fn update_to_a_spine_relation_drops_the_entry() {
         let db = two_relation_db();
         let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         serving.evaluate(text, &mut rng).unwrap();
         assert_eq!(serving.pooled_prefixes(), 1);
@@ -1258,7 +1723,7 @@ mod tests {
         let query = algebra::parse_query(text).unwrap();
         let mut rng_b = ChaCha8Rng::seed_from_u64(11);
         let direct = engine
-            .evaluate(serving.database(), &query, &mut rng_b)
+            .evaluate(&serving.database(), &query, &mut rng_b)
             .unwrap();
         assert_eq!(re_cold.result.relation, direct.result.relation);
     }
@@ -1267,7 +1732,7 @@ mod tests {
     fn no_op_updates_invalidate_nothing() {
         let db = coin_db();
         let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         serving.evaluate(text, &mut rng).unwrap();
         let same = db.relation("Coins").unwrap().clone();
@@ -1283,7 +1748,7 @@ mod tests {
     #[test]
     fn update_validation_is_atomic() {
         let db = two_relation_db();
-        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
         let good =
             URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["weighted", 4]]);
         let bad_schema = URelation::from_complete(&relation![schema!["A"]; [1]]);
@@ -1304,7 +1769,7 @@ mod tests {
     fn apply_deltas_patches_pure_subplans_in_place() {
         let db = two_relation_db();
         let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         serving.evaluate(touching, &mut rng).unwrap();
 
@@ -1333,7 +1798,7 @@ mod tests {
         let query = algebra::parse_query(touching).unwrap();
         let mut direct_rng = ChaCha8Rng::seed_from_u64(99);
         let direct = engine
-            .evaluate(serving.database(), &query, &mut direct_rng)
+            .evaluate(&serving.database(), &query, &mut direct_rng)
             .unwrap();
         assert_eq!(warm.result.relation, direct.result.relation);
         assert_eq!(warm.stats, direct.stats);
@@ -1344,7 +1809,7 @@ mod tests {
     fn delta_to_a_spine_relation_still_drops_the_entry() {
         let db = two_relation_db();
         let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(21);
         serving.evaluate(text, &mut rng).unwrap();
 
@@ -1368,7 +1833,7 @@ mod tests {
         let query = algebra::parse_query(text).unwrap();
         let mut rng_b = ChaCha8Rng::seed_from_u64(22);
         let direct = engine
-            .evaluate(serving.database(), &query, &mut rng_b)
+            .evaluate(&serving.database(), &query, &mut rng_b)
             .unwrap();
         assert_eq!(re_cold.result.relation, direct.result.relation);
     }
@@ -1391,7 +1856,7 @@ mod tests {
         let mut db = two_relation_db();
         db.set_relation("Labels", URelation::from_complete(&labels), true);
         let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
-        let mut serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), db).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         serving.evaluate(touching, &mut rng).unwrap();
 
@@ -1425,7 +1890,7 @@ mod tests {
         let query = algebra::parse_query(touching).unwrap();
         let mut direct_rng = ChaCha8Rng::seed_from_u64(32);
         let direct = engine
-            .evaluate(serving.database(), &query, &mut direct_rng)
+            .evaluate(&serving.database(), &query, &mut direct_rng)
             .unwrap();
         assert_eq!(warm.result.relation, direct.result.relation);
         assert_eq!(warm.stats, direct.stats);
@@ -1434,7 +1899,7 @@ mod tests {
     #[test]
     fn delta_batches_chain_and_validate_atomically() {
         let db = two_relation_db();
-        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
         let original = db.relation("Labels").unwrap().clone();
         let mut step1 = original.clone();
         step1
@@ -1478,7 +1943,7 @@ mod tests {
         // intermediate that the same batch overwrites must not reject the
         // atomic update.
         let db = coin_db();
-        let mut serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
         let bad_schema = URelation::from_complete(&relation![schema!["A"]; [1]]);
         let good =
             URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["weighted", 4]]);
@@ -1495,7 +1960,7 @@ mod tests {
     #[test]
     fn duplicate_names_in_one_batch_are_last_wins() {
         let db = coin_db();
-        let mut serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
         let replacement =
             URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["weighted", 4]]);
         let original = db.relation("Coins").unwrap().clone();
@@ -1516,18 +1981,196 @@ mod tests {
     }
 
     #[test]
+    fn the_engine_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServingEngine>();
+        assert_send_sync::<ServingSession<'_>>();
+    }
+
+    #[test]
+    fn concurrent_warm_hits_are_all_counted() {
+        // Satellite regression: ServingStats counters are atomics — N
+        // sessions hammering the warm path concurrently must lose no
+        // counts.
+        let db = coin_db();
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let serving = ServingEngine::new(EvalConfig::exact(), db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        serving.evaluate(text, &mut rng).unwrap();
+        let threads = 8;
+        let per_thread = 5;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let serving = &serving;
+                scope.spawn(move || {
+                    let mut session = serving.session();
+                    let mut rng = ChaCha8Rng::seed_from_u64(100 + t);
+                    for _ in 0..per_thread {
+                        session.evaluate(text, &mut rng).unwrap();
+                    }
+                    assert_eq!(session.evaluations(), per_thread);
+                });
+            }
+        });
+        let stats = serving.stats();
+        assert_eq!(stats.cold_evaluations, 1);
+        assert_eq!(stats.warm_evaluations, threads * per_thread);
+        assert_eq!(stats.plan_cache_hits, threads * per_thread);
+    }
+
+    #[test]
+    fn concurrent_sessions_match_the_sequential_schedule_per_seed() {
+        // Warm ≡ cold makes results a function of (text, database, own RNG)
+        // only: concurrent sessions must be bit-identical to the same
+        // per-session request streams run sequentially.
+        let db = two_relation_db();
+        let queries = [
+            "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))",
+            "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))",
+            "aconf[0.3, 0.1](project[X](Other))",
+        ];
+        let rounds = 4;
+        let concurrent = ServingEngine::new(EvalConfig::default(), db.clone()).unwrap();
+        let concurrent_results: Vec<Vec<URelation>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..queries.len())
+                .map(|s| {
+                    let concurrent = &concurrent;
+                    let text = queries[s];
+                    scope.spawn(move || {
+                        let mut session = concurrent.session();
+                        let mut rng = ChaCha8Rng::seed_from_u64(7 + s as u64);
+                        (0..rounds)
+                            .map(|_| session.evaluate(text, &mut rng).unwrap().result.relation)
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let sequential = ServingEngine::new(EvalConfig::default(), db).unwrap();
+        for (s, text) in queries.iter().enumerate() {
+            let mut rng = ChaCha8Rng::seed_from_u64(7 + s as u64);
+            for (round, concurrent_relation) in concurrent_results[s].iter().enumerate() {
+                let out = sequential.evaluate(text, &mut rng).unwrap();
+                assert_eq!(
+                    concurrent_relation, &out.result.relation,
+                    "session {s} round {round} diverged from the sequential schedule"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_admission_limits_still_serve_every_request() {
+        // max_in_flight = 1 serializes execution; max_cold_in_flight = 1
+        // serializes cold prepares of distinct queries.  Nothing may
+        // deadlock, and all requests complete with correct counts.
+        let serving = ServingEngine::with_limits(
+            EvalConfig::default(),
+            two_relation_db(),
+            ServingLimits {
+                max_in_flight: 1,
+                max_cold_in_flight: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(serving.limits().max_in_flight, 1);
+        let queries = [
+            "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))",
+            "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))",
+            "aconf[0.3, 0.1](project[X](Other))",
+            "poss(Other)",
+        ];
+        std::thread::scope(|scope| {
+            for (s, text) in queries.iter().enumerate() {
+                let serving = &serving;
+                scope.spawn(move || {
+                    let mut rng = ChaCha8Rng::seed_from_u64(s as u64);
+                    for _ in 0..3 {
+                        serving.evaluate(text, &mut rng).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = serving.stats();
+        assert_eq!(
+            stats.cold_evaluations + stats.warm_evaluations,
+            (queries.len() * 3) as u64
+        );
+    }
+
+    #[test]
+    fn expired_deadlines_reject_instead_of_executing() {
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let request = Request::new("poss(Coins)")
+            .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        match serving.evaluate_request(&request, &mut rng) {
+            Err(EngineError::DeadlineExceeded { .. }) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // No evaluation happened.
+        let stats = serving.stats();
+        assert_eq!(stats.cold_evaluations + stats.warm_evaluations, 0);
+        // A generous deadline executes normally.
+        let request = Request::new("poss(Coins)")
+            .with_deadline(Instant::now() + std::time::Duration::from_secs(60));
+        serving.evaluate_request(&request, &mut rng).unwrap();
+        assert_eq!(serving.stats().cold_evaluations, 1);
+    }
+
+    #[test]
+    fn per_request_accuracy_overrides_prepare_separately_and_deterministically() {
+        // The same text under an ε/δ override lowers against a distinct
+        // effective configuration: its own prepared entry and pool prefix,
+        // and answers bit-identical to an engine configured that way.
+        let db = coin_db();
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let serving = ServingEngine::new(EvalConfig::exact(), db.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(50);
+        serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(serving.prepared_queries(), 1);
+
+        let request = Request::new(text).with_accuracy(0.3, 0.1);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(51);
+        let budgeted = serving.evaluate_request(&request, &mut rng_a).unwrap();
+        assert_eq!(serving.prepared_queries(), 2, "override prepares its own");
+        assert_eq!(serving.pooled_prefixes(), 2, "and pools its own prefix");
+
+        let config = EvalConfig {
+            confidence: ConfidenceMode::Fpras {
+                epsilon: 0.3,
+                delta: 0.1,
+            },
+            ..EvalConfig::exact()
+        };
+        let engine = UEngine::new(config);
+        let query = algebra::parse_query(text).unwrap();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(51);
+        let direct = engine.evaluate(&db, &query, &mut rng_b).unwrap();
+        assert_eq!(budgeted.result.relation, direct.result.relation);
+        assert_eq!(budgeted.stats, direct.stats);
+
+        // And the override's warm path is as deterministic as the default's.
+        let mut rng_c = ChaCha8Rng::seed_from_u64(51);
+        let warm = serving.evaluate_request(&request, &mut rng_c).unwrap();
+        assert_eq!(warm.result.relation, direct.result.relation);
+    }
+
+    #[test]
     fn shared_prefix_hits_require_a_different_creator() {
         // A query resuming the prefix *it* pooled (here: after the prepared
         // map was rebuilt via set-style eviction we simulate by a fresh
         // evaluation cycle) is warm but not a cross-query sharing event.
-        let mut serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+        let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
         let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
         let mut rng = ChaCha8Rng::seed_from_u64(12);
         serving.evaluate(q, &mut rng).unwrap();
         // Simulate prepared-cache eviction: the pool survives, the prepared
         // entry is rebuilt, and the first evaluation of the re-prepared
         // query is warm — but not counted as shared.
-        serving.prepared.clear();
+        serving.prepared.write().unwrap().clear();
         serving.evaluate(q, &mut rng).unwrap();
         let stats = serving.stats();
         assert_eq!(stats.warm_evaluations, 1);

@@ -55,7 +55,7 @@ fn main() {
         "aconf[0.20, 0.1](project[Room](join(repairkey[Sensor @ W](Readings), Rooms)))",
         "aconf[0.10, 0.05](project[Room](join(repairkey[Sensor @ W](Readings), Rooms)))",
     ];
-    let mut serving = ServingEngine::new(EvalConfig::default(), db).expect("serving engine builds");
+    let serving = ServingEngine::new(EvalConfig::default(), db).expect("serving engine builds");
     let mut rng = ChaCha8Rng::seed_from_u64(7);
 
     // 1. Prepare: the first query runs cold and pools the prefix; the other

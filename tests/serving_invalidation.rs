@@ -95,7 +95,7 @@ proptest! {
         let config = EvalConfig::default();
         let db = database(&r0, &s0);
         let queries = workload_queries();
-        let mut serving = ServingEngine::new(config, db).unwrap();
+        let serving = ServingEngine::new(config, db).unwrap();
 
         // Warm every query once.
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -118,7 +118,7 @@ proptest! {
                 let mut warm_rng = ChaCha8Rng::seed_from_u64(case_seed);
                 let warm = serving.evaluate(q, &mut warm_rng).unwrap();
 
-                let mut cold_serving =
+                let cold_serving =
                     ServingEngine::new(config, serving.database().clone()).unwrap();
                 let mut cold_rng = ChaCha8Rng::seed_from_u64(case_seed);
                 let cold = cold_serving.evaluate(q, &mut cold_rng).unwrap();
@@ -164,7 +164,7 @@ proptest! {
         let config = EvalConfig::default();
         let db = database(&r0, &s0);
         let queries = workload_queries();
-        let mut serving = ServingEngine::new(config, db).unwrap();
+        let serving = ServingEngine::new(config, db).unwrap();
 
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         for q in &queries {
@@ -216,7 +216,7 @@ proptest! {
                 let mut warm_rng = ChaCha8Rng::seed_from_u64(case_seed);
                 let warm = serving.evaluate(q, &mut warm_rng).unwrap();
 
-                let mut cold_serving =
+                let cold_serving =
                     ServingEngine::new(config, serving.database().clone()).unwrap();
                 let mut cold_rng = ChaCha8Rng::seed_from_u64(case_seed);
                 let cold = cold_serving.evaluate(q, &mut cold_rng).unwrap();
@@ -258,6 +258,93 @@ proptest! {
         }
     }
 
+    /// N concurrent sessions over one shared engine — each with its own
+    /// seeded RNG and a schedule that interleaves warm and cold evaluations
+    /// (every round rotates each session onto a query another session may
+    /// or may not have pooled yet) — produce answer streams bit-identical
+    /// to the same per-session schedules run sequentially on a fresh
+    /// engine, and to cold single-query engines at the same RNG states.
+    /// This is the warm ≡ cold invariant extended to the concurrent path:
+    /// answers are a function of (text, database, own RNG) only, never of
+    /// the pool state other sessions left behind.
+    #[test]
+    fn concurrent_sessions_are_bit_identical_to_sequential_and_cold(
+        r0 in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+        s0 in proptest::collection::vec((0i64..4, 1i64..6), 1..8),
+        seed in 0u64..1000,
+    ) {
+        let config = EvalConfig::default();
+        let queries = workload_queries();
+        let sessions = queries.len();
+        let rounds = 3usize;
+        let session_seed = |s: usize| seed.wrapping_add(1 + 1000 * s as u64);
+
+        let shared = ServingEngine::new(config, database(&r0, &s0)).unwrap();
+        let concurrent: Vec<Vec<_>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..sessions)
+                .map(|s| {
+                    let shared = &shared;
+                    let queries = &queries;
+                    scope.spawn(move || {
+                        let mut session = shared.session();
+                        let mut rng = ChaCha8Rng::seed_from_u64(session_seed(s));
+                        (0..rounds)
+                            .map(|round| {
+                                let q = &queries[(s + round) % queries.len()];
+                                let out = session.evaluate(q, &mut rng).unwrap();
+                                // Tap the stream so RNG advancement is
+                                // compared too.
+                                (out, rng.next_u64())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let shared_stats = shared.stats();
+        prop_assert_eq!(
+            shared_stats.cold_evaluations + shared_stats.warm_evaluations,
+            (sessions * rounds) as u64,
+            "every concurrent request must be counted exactly once"
+        );
+
+        let sequential_engine = ServingEngine::new(config, database(&r0, &s0)).unwrap();
+        for s in 0..sessions {
+            let mut rng = ChaCha8Rng::seed_from_u64(session_seed(s));
+            for round in 0..rounds {
+                let q = &queries[(s + round) % queries.len()];
+                // Cold reference: a fresh engine at the same RNG state.
+                let mut cold_rng = rng.clone();
+                let cold_engine = ServingEngine::new(config, database(&r0, &s0)).unwrap();
+                let cold = cold_engine.evaluate(q, &mut cold_rng).unwrap();
+                let out = sequential_engine.evaluate(q, &mut rng).unwrap();
+                let (conc, conc_tap) = &concurrent[s][round];
+                prop_assert_eq!(
+                    &conc.result.relation, &out.result.relation,
+                    "session {} round {} (`{}`) diverged from sequential", s, round, q
+                );
+                prop_assert_eq!(&conc.result.errors, &out.result.errors);
+                prop_assert_eq!(conc.result.complete, out.result.complete);
+                prop_assert_eq!(
+                    conc.stats, out.stats,
+                    "session {} round {} (`{}`) stats diverged", s, round, q
+                );
+                prop_assert_eq!(&conc.database, &out.database);
+                prop_assert_eq!(
+                    &cold.result.relation, &out.result.relation,
+                    "session {} round {} (`{}`) diverged from cold", s, round, q
+                );
+                prop_assert_eq!(&cold.result.errors, &out.result.errors);
+                prop_assert_eq!(cold.stats, out.stats);
+                prop_assert_eq!(&cold.database, &out.database);
+                let tap = rng.next_u64();
+                prop_assert_eq!(*conc_tap, tap, "concurrent RNG stream diverged");
+                prop_assert_eq!(cold_rng.next_u64(), tap, "cold RNG stream diverged");
+            }
+        }
+    }
+
     /// Updates that do not intersect a query's footprint keep its warm path:
     /// the pooled entry survives and no evaluation runs cold again.
     #[test]
@@ -266,7 +353,7 @@ proptest! {
     ) {
         let config = EvalConfig::default();
         let db = database(&[(0, 2), (1, 3)], &[(0, 1)]);
-        let mut serving = ServingEngine::new(config, db).unwrap();
+        let serving = ServingEngine::new(config, db).unwrap();
         let q = "aconf[0.4, 0.2](project[K](repairkey[K @ W](R)))";
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         serving.evaluate(q, &mut rng).unwrap();

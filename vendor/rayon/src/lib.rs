@@ -1,29 +1,328 @@
-//! Offline-compatible subset of the `rayon` parallel-iterator API.
+//! Offline-compatible subset of the `rayon` parallel-iterator API, backed by
+//! a **persistent work-stealing thread pool**.
 //!
 //! This workspace builds without registry access, so the slice of rayon it
 //! needs — `into_par_iter()` / `par_iter()` followed by `map` and ordered
-//! `collect` — is vendored here on top of `std::thread::scope`.  Work is
-//! split into one contiguous chunk per worker thread; output order is always
-//! the input order, and closures run exactly once per item, so results are
-//! identical to the sequential path (rayon's own contract for `map`).
+//! `collect` — is vendored here.  Earlier versions spawned fresh
+//! `std::thread::scope` threads on every call with one fixed chunk per
+//! thread; serving-grade workloads run many small parallel batches per
+//! request, so work now goes through one lazily-initialized global
+//! [`ThreadPool`]:
+//!
+//! * **Persistent workers.** Worker threads are spawned once (on first
+//!   parallel call) and parked on a condition variable between batches — a
+//!   `par_map` costs an enqueue + wakeup, not thread creation/teardown.
+//! * **Per-worker deques with stealing.** Each worker owns a deque; batches
+//!   are distributed round-robin, a worker pops from its own deque first and
+//!   steals from the coldest end of its siblings' when empty, so one slow
+//!   chunk cannot serialize the rest of a batch.
+//! * **Submitter helping.** The thread that submits a batch executes queued
+//!   jobs itself while it waits, which keeps *nested* parallel calls (an
+//!   executor wave whose operators shard their own inputs) deadlock-free and
+//!   lets a single-worker pool still make progress.
+//! * **Small-input fast path.** Empty, single-item, and single-worker
+//!   workloads never touch the pool — they run inline on the caller.
+//! * **Panic isolation.** A panicking closure does not poison unrelated
+//!   workers: every job runs under `catch_unwind`, the *first* panic payload
+//!   of a batch is resumed on the submitting caller after the rest of the
+//!   batch has drained, and the workers keep serving later batches.
+//!
+//! Output order is always the input order and closures run exactly once per
+//! item, so results are identical to the sequential path (rayon's own
+//! contract for `map`).
+//!
+//! The worker count is `std::thread::available_parallelism`, overridable via
+//! the `RAYON_NUM_THREADS` environment variable (read once, when the global
+//! pool is first used) — the same knob real rayon honours.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 pub mod prelude {
     //! The traits needed to call `par_iter`/`into_par_iter`/`map`/`collect`.
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// The number of worker threads parallel operations will use.
-pub fn current_num_threads() -> usize {
+/// Chunks handed to the pool per worker: oversubscription lets stealing
+/// balance uneven per-item cost without paying per-item scheduling.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// A type-erased unit of work queued on the pool.
+///
+/// Jobs are `'static` only formally: [`ThreadPool::run_batch`] erases the
+/// caller's borrow lifetime and then blocks until every job of the batch has
+/// executed, so no job ever outlives what it borrows.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct PoolShared {
+    /// One deque per worker; batches are scattered round-robin and idle
+    /// workers steal from the back of their siblings' deques.
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    /// Wakeup channel: `generation` is bumped on every enqueue so a worker
+    /// that scanned empty deques never sleeps through a concurrent push.
+    signal: Mutex<WakeState>,
+    workers: Condvar,
+    /// Round-robin scatter cursor, so consecutive batches start on different
+    /// workers.
+    next_deque: AtomicUsize,
+}
+
+struct WakeState {
+    generation: u64,
+    shutdown: bool,
+}
+
+impl PoolShared {
+    /// Pops a job: own deque front first (cache-warm), then steal from the
+    /// back of the others.
+    fn find_job(&self, home: usize) -> Option<Job> {
+        if let Some(job) = self.deques[home].lock().expect("pool deque").pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (home + offset) % n;
+            if let Some(job) = self.deques[victim].lock().expect("pool deque").pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Enqueues a batch round-robin across the worker deques and wakes every
+    /// parked worker.
+    fn inject(&self, jobs: Vec<Job>) {
+        let n = self.deques.len();
+        let start = self.next_deque.fetch_add(1, Ordering::Relaxed);
+        for (i, job) in jobs.into_iter().enumerate() {
+            self.deques[(start + i) % n]
+                .lock()
+                .expect("pool deque")
+                .push_back(job);
+        }
+        let mut state = self.signal.lock().expect("pool signal");
+        state.generation = state.generation.wrapping_add(1);
+        self.workers.notify_all();
+    }
+}
+
+/// Completion state of one submitted batch.
+struct BatchState {
+    /// Jobs not yet finished (executed or panicked).
+    pending: AtomicUsize,
+    /// First panic payload raised by a job of this batch; resumed on the
+    /// submitting caller once the batch has drained.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Completion flag + condvar the submitter parks on when it runs out of
+    /// jobs to help with.
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+fn worker_loop(shared: Arc<PoolShared>, home: usize) {
+    loop {
+        let generation = {
+            let state = shared.signal.lock().expect("pool signal");
+            if state.shutdown {
+                return;
+            }
+            state.generation
+        };
+        if let Some(job) = shared.find_job(home) {
+            // The job's own `catch_unwind` wrapper (see `run_batch`) keeps a
+            // panic from unwinding into this loop, so one panicking task
+            // cannot take the worker — let alone its siblings — down.
+            job();
+            continue;
+        }
+        let mut state = shared.signal.lock().expect("pool signal");
+        while state.generation == generation && !state.shutdown {
+            state = shared.workers.wait(state).expect("pool signal");
+        }
+        if state.shutdown {
+            return;
+        }
+    }
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// The parallel-iterator entry points all run on the lazily-initialized
+/// [`global`](ThreadPool::global) pool; private pools exist so tests (and
+/// callers with special isolation needs) can pick an explicit worker count.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with `threads` workers (at least one).
+    pub fn new(threads: usize) -> ThreadPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(PoolShared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Mutex::new(WakeState {
+                generation: 0,
+                shutdown: false,
+            }),
+            workers: Condvar::new(),
+            next_deque: AtomicUsize::new(0),
+        });
+        let handles = (0..threads)
+            .map(|home| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("rayon-compat-{home}"))
+                    .spawn(move || worker_loop(shared, home))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            threads,
+        }
+    }
+
+    /// The process-wide pool every parallel iterator runs on.  Created on
+    /// first use with `RAYON_NUM_THREADS` workers if set (and parseable), the
+    /// machine's available parallelism otherwise.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(configured_num_threads()))
+    }
+
+    /// Number of worker threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task to completion on the pool, the calling thread helping
+    /// with queued work while it waits.  If one or more tasks panic, the
+    /// remaining tasks of the batch still run, the workers stay healthy, and
+    /// the *first* panic payload is resumed on this caller — the submitting
+    /// thread — once the batch has drained.
+    pub fn run_batch<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let batch = Arc::new(BatchState {
+            pending: AtomicUsize::new(tasks.len()),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        let jobs: Vec<Job> = tasks
+            .into_iter()
+            .map(|task| {
+                let batch = batch.clone();
+                let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    // Isolate the task: a panic is captured here, never
+                    // unwound through the executing worker.
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
+                        let mut slot = batch.panic.lock().expect("batch panic slot");
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                    if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        *batch.done.lock().expect("batch done flag") = true;
+                        batch.done_cv.notify_all();
+                    }
+                });
+                erase_job_lifetime(job)
+            })
+            .collect();
+        self.shared.inject(jobs);
+        // Help drain the queues while the batch is in flight.  Jobs of
+        // *other* batches are fair game too: that is what keeps nested
+        // parallel calls live when every worker is busy with the outer batch.
+        while batch.pending.load(Ordering::Acquire) > 0 {
+            match self
+                .shared
+                .find_job(self.shared.next_deque.load(Ordering::Relaxed) % self.threads)
+            {
+                Some(job) => job(),
+                None => {
+                    // Nothing queued anywhere: the remaining jobs of this
+                    // batch are running on workers; park until the last one
+                    // flips the flag.
+                    let mut done = batch.done.lock().expect("batch done flag");
+                    while !*done {
+                        done = batch.done_cv.wait(done).expect("batch done flag");
+                    }
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(batch.pending.load(Ordering::Acquire), 0);
+        let payload = batch.panic.lock().expect("batch panic slot").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.signal.lock().expect("pool signal");
+            state.shutdown = true;
+            self.shared.workers.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Widens a job's borrow lifetime to `'static` so it can sit in the
+/// persistent workers' deques.
+#[allow(unsafe_code)]
+fn erase_job_lifetime<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    // SAFETY: the only producer of scoped jobs is `ThreadPool::run_batch`,
+    // which does not return before `pending` reaches zero — i.e. before every
+    // job of its batch has been executed (and therefore dropped).  Jobs only
+    // leave the deques by being executed; nothing else drops or leaks them.
+    // So no job ever outlives the `'scope` borrows it captures, and the
+    // transmute merely widens the lifetime parameter of an otherwise
+    // identical fat pointer.
+    unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+            job,
+        )
+    }
+}
+
+/// Worker count the global pool is configured with: the `RAYON_NUM_THREADS`
+/// environment variable when set and parseable, available parallelism
+/// otherwise.
+fn configured_num_threads() -> usize {
+    if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
 }
 
-/// Applies `f` to every item on a pool of scoped threads, preserving order.
+/// The number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    ThreadPool::global().num_threads()
+}
+
+/// Applies `f` to every item on the global pool, preserving order.
 fn par_apply<T, O, F>(items: Vec<T>, f: F) -> Vec<O>
 where
     T: Send,
@@ -31,12 +330,14 @@ where
     F: Fn(T) -> O + Sync,
 {
     let n = items.len();
-    let threads = current_num_threads().min(n);
-    if threads <= 1 {
+    let pool = ThreadPool::global();
+    // Small-input fast path: nothing to overlap, or nobody to overlap with.
+    if n <= 1 || pool.num_threads() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk_size = n.div_ceil(threads);
-    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let chunk_count = (pool.num_threads() * CHUNKS_PER_WORKER).min(n);
+    let chunk_size = n.div_ceil(chunk_count);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(chunk_count);
     let mut items = items.into_iter();
     loop {
         let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
@@ -45,18 +346,27 @@ where
         }
         chunks.push(chunk);
     }
+    let results: Mutex<Vec<Option<Vec<O>>>> = Mutex::new((0..chunks.len()).map(|_| None).collect());
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<O>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for handle in handles {
-            out.extend(handle.join().expect("rayon-compat worker panicked"));
-        }
-        out
-    })
+    let results_ref = &results;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+        .into_iter()
+        .enumerate()
+        .map(|(index, chunk)| {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let out: Vec<O> = chunk.into_iter().map(f).collect();
+                results_ref.lock().expect("chunk results")[index] = Some(out);
+            });
+            task
+        })
+        .collect();
+    pool.run_batch(tasks);
+    let mut slots = results.into_inner().expect("chunk results");
+    let mut out = Vec::with_capacity(n);
+    for slot in slots.iter_mut() {
+        out.extend(slot.take().expect("batch completion implies every chunk"));
+    }
+    out
 }
 
 /// A parallel iterator: a staged computation that yields an ordered `Vec` of
@@ -163,7 +473,7 @@ impl IntoParallelIterator for std::ops::Range<usize> {
     }
 }
 
-/// The `map` adapter: applies its closure across worker threads when driven.
+/// The `map` adapter: applies its closure across the pool when driven.
 pub struct Map<I, F> {
     base: I,
     f: F,
@@ -184,6 +494,8 @@ where
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_preserves_order() {
@@ -225,5 +537,121 @@ mod tests {
     fn range_par_iter() {
         let squares: Vec<usize> = (0..16usize).into_par_iter().map(|i| i * i).collect();
         assert_eq!(squares[15], 225);
+    }
+
+    #[test]
+    fn private_pool_runs_batches_with_stealing_deques() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.num_threads(), 4);
+        // Uneven per-task cost: one deque gets the heavy task, idle workers
+        // must steal the rest for the batch to finish promptly; correctness
+        // is what we assert (completion + every task ran exactly once).
+        let counter = AtomicUsize::new(0);
+        for _round in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..32)
+                .map(|i| {
+                    let counter = &counter;
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        if i == 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                    task
+                })
+                .collect();
+            pool.run_batch(tasks);
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 320);
+    }
+
+    #[test]
+    fn nested_parallel_maps_complete() {
+        // An outer parallel map whose closures run inner parallel maps: the
+        // submitter-helping loop must keep this live even when every worker
+        // is occupied by the outer batch.
+        let outer: Vec<usize> = (0..8).collect();
+        let sums: Vec<usize> = outer
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<usize> = (0..50usize).into_par_iter().map(|j| i * j).collect();
+                inner.into_iter().sum()
+            })
+            .collect();
+        for (i, sum) in sums.iter().enumerate() {
+            assert_eq!(*sum, i * (49 * 50) / 2);
+        }
+    }
+
+    #[test]
+    fn panic_propagates_to_the_submitter_without_poisoning_workers() {
+        let pool = ThreadPool::new(4);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+                .map(|i| {
+                    let completed = &completed;
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        if i == 3 {
+                            panic!("task {i} exploded");
+                        }
+                        completed.fetch_add(1, Ordering::SeqCst);
+                    });
+                    task
+                })
+                .collect();
+            pool.run_batch(tasks);
+        }));
+        // The panic surfaced on the submitting caller…
+        let payload = result.expect_err("the batch panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            message.contains("exploded"),
+            "unexpected payload: {message}"
+        );
+        // …after the rest of the batch drained (no job was abandoned)…
+        assert_eq!(completed.load(Ordering::SeqCst), 15);
+        // …and the pool serves later batches as if nothing happened.
+        let after = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                let after = &after;
+                let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                    after.fetch_add(1, Ordering::SeqCst);
+                });
+                task
+            })
+            .collect();
+        pool.run_batch(tasks);
+        assert_eq!(after.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panicking_par_map_leaves_the_global_pool_usable() {
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..64usize)
+                .into_par_iter()
+                .map(|i| if i == 20 { panic!("boom") } else { i })
+                .collect();
+        });
+        // Single-worker global pools run the fast path (the panic unwinds
+        // directly); multi-worker pools propagate through the batch. Either
+        // way the caller sees the panic and the pool stays healthy.
+        assert!(result.is_err());
+        let sums: Vec<usize> = (0..64usize).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(sums.iter().sum::<usize>(), 64 * 65 / 2);
+    }
+
+    #[test]
+    fn single_item_batches_run_inline() {
+        let here = std::thread::current().id();
+        let ids: Vec<std::thread::ThreadId> = vec![0usize]
+            .into_par_iter()
+            .map(|_| std::thread::current().id())
+            .collect();
+        assert_eq!(ids, vec![here], "n == 1 must take the sequential path");
     }
 }
