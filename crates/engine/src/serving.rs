@@ -74,16 +74,31 @@
 //! *cold* prepares ([`ServingLimits::max_cold_in_flight`]).  A cold request
 //! acquires its cold permit **before** the admission permit, so a burst of
 //! never-seen queries queues behind the cold gate without occupying
-//! admission slots — warm traffic keeps flowing.  Per-request ε/δ and
-//! deadline budgets ride on [`Request`]; a deadline is checked while queued
-//! and again before execution, failing fast with
+//! admission slots — warm traffic keeps flowing.  A request admitted as
+//! warm whose pool entry vanishes before resolution (an invalidation just
+//! dropped a hot prefix) re-enters through the cold gate — releasing its
+//! admission slot first, to keep the cold-before-admission permit order —
+//! so even an invalidation stampede stays bounded by the cold gate.
+//! Per-request ε/δ and deadline budgets ride on [`Request`]; a deadline is
+//! checked while queued and again before execution, failing fast with
 //! [`EngineError::DeadlineExceeded`].
 //!
 //! Determinism survives concurrency because warm ≡ cold: a request's answer
 //! depends only on its text, the database content, and its own RNG state —
 //! never on which warm state other sessions happened to leave in the pool.
 //! Races over pool contents can change *cost* (a resolve may miss state a
-//! concurrent request is still absorbing), not *answers*.
+//! concurrent request is still absorbing), not *answers*.  Commits enforce
+//! this against in-flight evaluations with a database **epoch**: every
+//! content commit bumps it (under the state write lock, before invalidating
+//! the pool), every capturing evaluation records it when it reads its
+//! inputs, and an absorb whose recorded epoch is no longer current drops
+//! its snapshot instead of pooling it
+//! ([`ServingStats::stale_absorbs_dropped`]) — results computed from
+//! pre-commit content can never re-enter the pool behind the invalidation
+//! pass.  A second epoch guards the catalog: `prepare` re-checks it before
+//! installing a prepared query, so a plan lowered against a catalog that
+//! [`set_database`](ServingEngine::set_database) replaced mid-prepare is
+//! re-lowered rather than served.
 //!
 //! ```
 //! use engine::{EvalConfig, ServingEngine};
@@ -173,6 +188,13 @@ pub struct ServingStats {
     /// the operator has no rule (product, difference), or a result the
     /// patch needed was already missing.
     pub subplans_demoted: u64,
+    /// Captured snapshots dropped instead of pooled because a database
+    /// commit landed while the capturing evaluation was in flight — the
+    /// results were computed from a database version the pool's
+    /// invalidation pass has already moved past.  Pure cost, never a
+    /// correctness event: the evaluation's own answer is still served, and
+    /// the next request of that prefix re-warms from current content.
+    pub stale_absorbs_dropped: u64,
 }
 
 /// Everything the pool needs to know about one prepared query's
@@ -851,6 +873,7 @@ struct Counters {
     relation_updates: AtomicU64,
     subplans_patched: AtomicU64,
     subplans_demoted: AtomicU64,
+    stale_absorbs_dropped: AtomicU64,
 }
 
 /// A read guard over the served database (see [`ServingEngine::database`]).
@@ -885,6 +908,20 @@ pub struct ServingEngine {
     config: EvalConfig,
     limits: ServingLimits,
     state: RwLock<CatalogState>,
+    /// Monotonic database-content version.  Bumped under the state write
+    /// lock *before* the matching pool invalidation runs, and compared by
+    /// [`absorb_if_current`](ServingEngine::absorb_if_current) under the
+    /// pool write lock: a snapshot captured from an epoch the pool has
+    /// moved past is dropped instead of absorbed, so a commit landing
+    /// between a session's database clone and its pool insert can never
+    /// re-pool pre-update answers after invalidation already ran.
+    db_epoch: AtomicU64,
+    /// Monotonic catalog/schema version: bumped only by
+    /// [`set_database`](ServingEngine::set_database) (content-only updates
+    /// keep catalog identity).  [`prepare`](ServingEngine::prepare)
+    /// re-checks it under the prepared write lock so a plan lowered against
+    /// a replaced catalog is never installed.
+    catalog_epoch: AtomicU64,
     plans: Mutex<PlanCache>,
     prepared: RwLock<HashMap<PreparedKey, Arc<PreparedQuery>>>,
     pool: RwLock<SnapshotPool>,
@@ -916,6 +953,8 @@ impl ServingEngine {
             config,
             limits,
             state: RwLock::new(CatalogState { database, catalog }),
+            db_epoch: AtomicU64::new(0),
+            catalog_epoch: AtomicU64::new(0),
             plans: Mutex::new(PlanCache::new()),
             prepared: RwLock::new(HashMap::new()),
             pool: RwLock::new(SnapshotPool::default()),
@@ -960,6 +999,11 @@ impl ServingEngine {
     pub fn set_database(&self, database: UDatabase) -> Result<()> {
         let catalog = catalog_of(&database)?;
         let mut state = self.state.write().expect("serving state lock");
+        // Epochs first: once either bump is visible, every racing prepare
+        // retries and every racing absorb drops, so the cache clears below
+        // cannot be undone by in-flight sessions.
+        self.db_epoch.fetch_add(1, Ordering::Release);
+        self.catalog_epoch.fetch_add(1, Ordering::Release);
         state.database = database;
         state.catalog = catalog;
         self.plans.lock().expect("plan cache lock").clear();
@@ -1036,6 +1080,10 @@ impl ServingEngine {
         }
         let changed_names: BTreeSet<String> =
             changed.iter().map(|(name, _)| name.clone()).collect();
+        // Bump the content epoch before the pool invalidation below: a
+        // session that cloned the pre-update database can no longer absorb
+        // its snapshot once this commit is visible.
+        self.db_epoch.fetch_add(1, Ordering::Release);
         for (name, rel) in &changed {
             state
                 .database
@@ -1133,6 +1181,9 @@ impl ServingEngine {
         }
         let changed_names: BTreeSet<String> =
             changed.iter().map(|(name, _, _)| name.clone()).collect();
+        // Same ordering as `update_relations`: epoch before pool patching,
+        // so stale snapshots captured before this commit drop at absorb.
+        self.db_epoch.fetch_add(1, Ordering::Release);
         // The net row delta per relation, kept only while patching beats
         // recomputing.  A single delta per name already *is* the net edit
         // (it was digest-validated against the stored content); only chains
@@ -1222,12 +1273,12 @@ impl ServingEngine {
             .expect("snapshot pool lock")
             .entry(&profile.fingerprint)
             .is_some();
-        let _cold_permit = if looks_warm {
+        let mut _cold_permit = if looks_warm {
             None
         } else {
             Some(self.cold_admission.acquire(deadline, "cold admission")?)
         };
-        let _permit = self.admission.acquire(deadline, "admission")?;
+        let mut _permit = self.admission.acquire(deadline, "admission")?;
         if let Some(deadline) = deadline {
             if Instant::now() >= deadline {
                 return Err(EngineError::DeadlineExceeded {
@@ -1238,6 +1289,10 @@ impl ServingEngine {
 
         let mut rng_ref: &mut R = rng;
         let dyn_rng: &mut dyn RngCore = &mut rng_ref;
+        // The epoch is read *before* the entry lookup: the pool entry then
+        // reflects this epoch or a later one, so if the guarded absorb below
+        // sees the same epoch, no commit invalidated the pool in between.
+        let epoch = self.db_epoch.load(Ordering::Acquire);
         // Resolve against an Arc clone of the entry: the pool lock is held
         // only for the lookup, never across snapshot assembly or execution.
         let entry = self
@@ -1275,11 +1330,7 @@ impl ServingEngine {
                     // them) finds the prefix fully warm.
                     let (result, recaptured) =
                         physical.resume_capturing(&mut ctx, resolved.snapshot)?;
-                    self.pool.write().expect("snapshot pool lock").absorb(
-                        &profile,
-                        &recaptured,
-                        &key,
-                    );
+                    self.absorb_if_current(epoch, &profile, &recaptured, &key);
                     result
                 } else {
                     physical.resume_owned(&mut ctx, resolved.snapshot)?
@@ -1292,15 +1343,39 @@ impl ServingEngine {
             }
         }
 
+        // A warm-classified request lands here when the pool entry vanished
+        // (or resolved as a miss) between the admission peek and resolution
+        // — typically right after an invalidation dropped a hot prefix.  It
+        // is a cold request now: route it through the cold gate so the
+        // resulting stampede stays bounded by `max_cold_in_flight`.  The
+        // admission slot is released first — permits are ordered
+        // cold-before-admission everywhere, and waiting on the cold gate
+        // while holding an admission slot could deadlock the two gates
+        // against each other.
+        if _cold_permit.is_none() {
+            drop(_permit);
+            _cold_permit = Some(self.cold_admission.acquire(deadline, "cold admission")?);
+            _permit = self.admission.acquire(deadline, "admission")?;
+            if let Some(deadline) = deadline {
+                if Instant::now() >= deadline {
+                    return Err(EngineError::DeadlineExceeded {
+                        stage: "pre-execution",
+                    });
+                }
+            }
+        }
         self.counters
             .cold_evaluations
             .fetch_add(1, Ordering::Relaxed);
-        let database = self
-            .state
-            .read()
-            .expect("serving state lock")
-            .database
-            .clone();
+        // Clone the database and read the epoch under one state read lock:
+        // commits hold the write lock, so the pair is consistent.
+        let (database, epoch) = {
+            let state = self.state.read().expect("serving state lock");
+            (
+                state.database.clone(),
+                self.db_epoch.load(Ordering::Acquire),
+            )
+        };
         let mut ctx = ExecContext {
             config,
             database,
@@ -1310,10 +1385,7 @@ impl ServingEngine {
             spaces: SpaceCache::new(),
         };
         let (result, snapshot) = physical.execute_capturing(&mut ctx)?;
-        self.pool
-            .write()
-            .expect("snapshot pool lock")
-            .absorb(&profile, &snapshot, &key);
+        self.absorb_if_current(epoch, &profile, &snapshot, &key);
         Ok(EvalOutput {
             result,
             database: ctx.database,
@@ -1321,50 +1393,99 @@ impl ServingEngine {
         })
     }
 
+    /// Pools a captured snapshot unless the database has moved on since the
+    /// snapshot's inputs were read (at `epoch`).
+    ///
+    /// Commits bump [`db_epoch`](ServingEngine::db_epoch) under the state
+    /// write lock *before* taking the pool write lock to invalidate, so
+    /// checking the epoch under the pool write lock is exact: a matching
+    /// epoch means any in-flight commit has not yet started invalidating —
+    /// its pass will then run after this insert and maintain it like any
+    /// other entry.  A mismatch means invalidation may already have run,
+    /// and inserting would serve pre-commit answers to every later warm
+    /// hit; the snapshot is dropped instead (the module-doc invariant:
+    /// races change cost, never answers).
+    fn absorb_if_current(
+        &self,
+        epoch: u64,
+        profile: &PrefixProfile,
+        snapshot: &ExecSnapshot,
+        creator: &Arc<str>,
+    ) {
+        let mut pool = self.pool.write().expect("snapshot pool lock");
+        if self.db_epoch.load(Ordering::Acquire) == epoch {
+            pool.absorb(profile, snapshot, creator);
+        } else {
+            self.counters
+                .stale_absorbs_dropped
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Plan-cache lookup plus prepared-entry lookup/creation for one request
     /// under its effective configuration.  Lowering runs outside every lock;
     /// when two sessions race to prepare the same query, the first insert
     /// wins and the loser's work is discarded.
+    ///
+    /// A racing [`set_database`](ServingEngine::set_database) is detected by
+    /// the catalog epoch, re-checked under the prepared write lock before
+    /// the entry is installed: the epoch is bumped (under the state write
+    /// lock) before `set_database` clears any cache, so a passed check
+    /// proves the clears have not started — they will then run after this
+    /// insert and wipe it like any other entry — while a failed check means
+    /// the plan was lowered against a replaced catalog and must be redone.
+    /// The plan-cache pin happens under the same prepared write lock, so the
+    /// clear cannot slip between the insert and the pin and leave a live
+    /// prepared query whose plan is unpinned (or re-pin a key the cleared
+    /// cache no longer holds).
     fn prepare(&self, text: &str, config: EvalConfig) -> Result<(Arc<str>, Arc<PreparedQuery>)> {
-        let catalog = self
-            .state
-            .read()
-            .expect("serving state lock")
-            .catalog
-            .clone();
-        let (key, plan) = self
-            .plans
-            .lock()
-            .expect("plan cache lock")
-            .get_or_lower(text, &catalog)?;
-        let pkey: PreparedKey = (key.clone(), config_digest(&config));
-        if let Some(hit) = self
-            .prepared
-            .read()
-            .expect("prepared map lock")
-            .get(&pkey)
-            .cloned()
-        {
-            return Ok((key, hit));
-        }
-        let physical = Arc::new(PhysicalPlan::lower(&plan, config)?);
-        let profile = Arc::new(PrefixProfile::new(&plan, &physical, &config));
-        let fresh = Arc::new(PreparedQuery {
-            physical,
-            profile,
-            evaluations: AtomicU64::new(0),
-        });
-        let (entry, evicted) = {
+        loop {
+            let (catalog, epoch) = {
+                let state = self.state.read().expect("serving state lock");
+                (
+                    state.catalog.clone(),
+                    self.catalog_epoch.load(Ordering::Acquire),
+                )
+            };
+            let (key, plan) = self
+                .plans
+                .lock()
+                .expect("plan cache lock")
+                .get_or_lower(text, &catalog)?;
+            let pkey: PreparedKey = (key.clone(), config_digest(&config));
+            if let Some(hit) = self
+                .prepared
+                .read()
+                .expect("prepared map lock")
+                .get(&pkey)
+                .cloned()
+            {
+                return Ok((key, hit));
+            }
+            let physical = Arc::new(PhysicalPlan::lower(&plan, config)?);
+            let profile = Arc::new(PrefixProfile::new(&plan, &physical, &config));
+            let fresh = Arc::new(PreparedQuery {
+                physical,
+                profile,
+                evaluations: AtomicU64::new(0),
+            });
             let mut map = self.prepared.write().expect("prepared map lock");
+            if self.catalog_epoch.load(Ordering::Acquire) != epoch {
+                // The catalog this plan was lowered against was replaced
+                // mid-prepare; retry against the new one (the state read
+                // above blocks until the replacement finishes).
+                drop(map);
+                continue;
+            }
             // Prepared queries are bounded; evicted ones re-prepare and
             // find their prefix still pooled.
             let evicted = map.len() >= PREPARED_CAP && !map.contains_key(&pkey);
             if evicted {
                 map.clear();
             }
-            (map.entry(pkey).or_insert_with(|| fresh).clone(), evicted)
-        };
-        {
+            let entry = map.entry(pkey).or_insert_with(|| fresh).clone();
+            // The plans mutex nests inside the prepared write lock here and
+            // nowhere else; every other path takes the plans mutex alone.
             let mut plans = self.plans.lock().expect("plan cache lock");
             if evicted {
                 plans.unpin_all();
@@ -1373,8 +1494,10 @@ impl ServingEngine {
             // one-off spellings must never evict a plan whose prepared
             // state is live.
             plans.pin(&key);
+            drop(plans);
+            drop(map);
+            return Ok((key, entry));
         }
-        Ok((key, entry))
     }
 
     /// Cache counters (a consistent-enough snapshot: counters are updated
@@ -1396,6 +1519,7 @@ impl ServingEngine {
             relation_updates: self.counters.relation_updates.load(Ordering::Relaxed),
             subplans_patched: self.counters.subplans_patched.load(Ordering::Relaxed),
             subplans_demoted: self.counters.subplans_demoted.load(Ordering::Relaxed),
+            stale_absorbs_dropped: self.counters.stale_absorbs_dropped.load(Ordering::Relaxed),
         }
     }
 
@@ -1550,6 +1674,80 @@ mod tests {
             hits_before + 3,
             "every warm request must be served from the compiled cache"
         );
+    }
+
+    #[test]
+    fn absorb_racing_an_update_is_dropped_not_pooled() {
+        // The reviewed race, replayed deterministically: a cold session
+        // clones the database under the state read lock, executes, and only
+        // then absorbs into the pool.  If an update commits (and runs pool
+        // invalidation) in between, the absorb must drop the snapshot —
+        // pooling it would serve pre-update answers to every later warm hit.
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let text = "poss(Coins)";
+        let (key, prepared) = serving.prepare(text, EvalConfig::exact()).unwrap();
+
+        // Step 1 of the cold path: clone the database, record the epoch.
+        let (database, epoch) = {
+            let state = serving.state.read().unwrap();
+            (
+                state.database.clone(),
+                serving.db_epoch.load(Ordering::Acquire),
+            )
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut rng_ref: &mut ChaCha8Rng = &mut rng;
+        let dyn_rng: &mut dyn RngCore = &mut rng_ref;
+        let mut ctx = ExecContext {
+            config: EvalConfig::exact(),
+            database,
+            stats: EvalStats::default(),
+            var_counter: 0,
+            rng: dyn_rng,
+            spaces: SpaceCache::new(),
+        };
+        let (_, snapshot) = prepared.physical.execute_capturing(&mut ctx).unwrap();
+
+        // Step 2: a concurrent update commits and invalidates the pool
+        // before the session reaches its absorb.
+        let updated =
+            URelation::from_complete(&relation![schema!["CoinType", "Count"]; ["fair", 5]]);
+        serving
+            .update_relations([("Coins", updated.clone())])
+            .unwrap();
+
+        // Step 3: the late absorb must detect the epoch change and drop.
+        serving.absorb_if_current(epoch, &prepared.profile, &snapshot, &key);
+        assert_eq!(
+            serving.pooled_prefixes(),
+            0,
+            "a snapshot captured before the update must not re-enter the pool"
+        );
+        assert_eq!(serving.stats().stale_absorbs_dropped, 1);
+
+        // The next evaluation runs cold against the updated content and
+        // re-warms the pool; a warm repeat matches it bit for bit.
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cold = serving.evaluate(text, &mut rng).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let warm = serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(cold.result.relation, warm.result.relation);
+        assert_eq!(
+            cold.result.relation, updated,
+            "post-update evaluations must serve the updated content"
+        );
+        assert_eq!(serving.stats().stale_absorbs_dropped, 1);
+    }
+
+    #[test]
+    fn absorb_at_the_current_epoch_still_pools() {
+        // Counterpart to the race test: with no intervening commit the
+        // guarded absorb behaves exactly like the unguarded one did.
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        serving.evaluate("poss(Coins)", &mut rng).unwrap();
+        assert_eq!(serving.pooled_prefixes(), 1);
+        assert_eq!(serving.stats().stale_absorbs_dropped, 0);
     }
 
     #[test]

@@ -367,3 +367,63 @@ proptest! {
         prop_assert_eq!(stats.subplans_invalidated, 0);
     }
 }
+
+/// Commits racing in-flight evaluations must never leave stale state in the
+/// pool: evaluator sessions hammer the shared engine while an updater
+/// thread storms `update_relations` / `apply_deltas` commits at it.  Once
+/// the storm settles, every query served warm from whatever the pool
+/// retained must be bit-identical to a cold engine over the final content —
+/// which fails if a snapshot captured from a pre-commit database was ever
+/// absorbed after the commit's invalidation pass ran (the epoch-guard
+/// regression, reviewed on the concurrent front door).
+#[test]
+fn update_storm_under_concurrent_sessions_leaves_no_stale_pool_state() {
+    let config = EvalConfig::default();
+    let queries = workload_queries();
+    let r_final = [(0, 4), (1, 2), (2, 5)];
+    let s0 = [(0, 1), (1, 4), (2, 2)];
+    let shared = ServingEngine::new(config, database(&[(0, 2), (1, 3)], &s0)).unwrap();
+
+    std::thread::scope(|scope| {
+        for s in 0..4usize {
+            let shared = &shared;
+            let queries = &queries;
+            scope.spawn(move || {
+                let mut rng = ChaCha8Rng::seed_from_u64(90 + s as u64);
+                for round in 0..24usize {
+                    let q = &queries[(s + round) % queries.len()];
+                    // Answers during the storm reflect *some* committed
+                    // database version; only absence of panics/errors is
+                    // asserted here, staleness is checked after the join.
+                    shared.evaluate(q, &mut rng).unwrap();
+                }
+            });
+        }
+        scope.spawn(|| {
+            for round in 0..16usize {
+                let rows: Vec<(i64, i64)> =
+                    (0..3).map(|k| (k, 1 + ((round as i64 + k) % 5))).collect();
+                shared.update_relations([("R", relation_r(&rows))]).unwrap();
+            }
+            // The last commit pins the final content the checks below use.
+            shared
+                .update_relations([("R", relation_r(&r_final))])
+                .unwrap();
+        });
+    });
+
+    for (i, q) in queries.iter().enumerate() {
+        let cold_engine = ServingEngine::new(config, database(&r_final, &s0)).unwrap();
+        let mut cold_rng = ChaCha8Rng::seed_from_u64(7 + i as u64);
+        let cold = cold_engine.evaluate(q, &mut cold_rng).unwrap();
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(7 + i as u64);
+        let warm = shared.evaluate(q, &mut warm_rng).unwrap();
+        assert_eq!(
+            cold.result.relation, warm.result.relation,
+            "`{q}` served stale state after the update storm"
+        );
+        assert_eq!(cold.result.errors, warm.result.errors);
+        assert_eq!(cold.database, warm.database);
+        assert_eq!(cold_rng.next_u64(), warm_rng.next_u64());
+    }
+}

@@ -41,7 +41,33 @@ use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Locks a pool-internal mutex, aborting the process if it is poisoned.
+///
+/// Soundness of the `'scope` erasure in [`erase_job_lifetime`] requires
+/// that [`ThreadPool::run_batch`] never unwinds between `inject()` and
+/// batch drain — an unwind there would free the caller's borrows while
+/// scoped jobs still sit in worker deques (dangling when a worker later
+/// runs them).  The only way the in-flight window could unwind is a
+/// poisoned pool lock, and poisoning can only happen if pool-internal code
+/// itself panicked while holding one.  Aborting here makes the invariant
+/// structural: lock poisoning terminates the process instead of unwinding
+/// into the window.
+fn lock_or_abort<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(_) => std::process::abort(),
+    }
+}
+
+/// [`Condvar::wait`] with the same poisoning policy as [`lock_or_abort`].
+fn wait_or_abort<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(guard) => guard,
+        Err(_) => std::process::abort(),
+    }
+}
 
 pub mod prelude {
     //! The traits needed to call `par_iter`/`into_par_iter`/`map`/`collect`.
@@ -82,13 +108,13 @@ impl PoolShared {
     /// Pops a job: own deque front first (cache-warm), then steal from the
     /// back of the others.
     fn find_job(&self, home: usize) -> Option<Job> {
-        if let Some(job) = self.deques[home].lock().expect("pool deque").pop_front() {
+        if let Some(job) = lock_or_abort(&self.deques[home]).pop_front() {
             return Some(job);
         }
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (home + offset) % n;
-            if let Some(job) = self.deques[victim].lock().expect("pool deque").pop_back() {
+            if let Some(job) = lock_or_abort(&self.deques[victim]).pop_back() {
                 return Some(job);
             }
         }
@@ -101,12 +127,9 @@ impl PoolShared {
         let n = self.deques.len();
         let start = self.next_deque.fetch_add(1, Ordering::Relaxed);
         for (i, job) in jobs.into_iter().enumerate() {
-            self.deques[(start + i) % n]
-                .lock()
-                .expect("pool deque")
-                .push_back(job);
+            lock_or_abort(&self.deques[(start + i) % n]).push_back(job);
         }
-        let mut state = self.signal.lock().expect("pool signal");
+        let mut state = lock_or_abort(&self.signal);
         state.generation = state.generation.wrapping_add(1);
         self.workers.notify_all();
     }
@@ -128,7 +151,7 @@ struct BatchState {
 fn worker_loop(shared: Arc<PoolShared>, home: usize) {
     loop {
         let generation = {
-            let state = shared.signal.lock().expect("pool signal");
+            let state = lock_or_abort(&shared.signal);
             if state.shutdown {
                 return;
             }
@@ -141,9 +164,9 @@ fn worker_loop(shared: Arc<PoolShared>, home: usize) {
             job();
             continue;
         }
-        let mut state = shared.signal.lock().expect("pool signal");
+        let mut state = lock_or_abort(&shared.signal);
         while state.generation == generation && !state.shutdown {
-            state = shared.workers.wait(state).expect("pool signal");
+            state = wait_or_abort(&shared.workers, state);
         }
         if state.shutdown {
             return;
@@ -227,13 +250,13 @@ impl ThreadPool {
                     // Isolate the task: a panic is captured here, never
                     // unwound through the executing worker.
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        let mut slot = batch.panic.lock().expect("batch panic slot");
+                        let mut slot = lock_or_abort(&batch.panic);
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
                     }
                     if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        *batch.done.lock().expect("batch done flag") = true;
+                        *lock_or_abort(&batch.done) = true;
                         batch.done_cv.notify_all();
                     }
                 });
@@ -254,16 +277,16 @@ impl ThreadPool {
                     // Nothing queued anywhere: the remaining jobs of this
                     // batch are running on workers; park until the last one
                     // flips the flag.
-                    let mut done = batch.done.lock().expect("batch done flag");
+                    let mut done = lock_or_abort(&batch.done);
                     while !*done {
-                        done = batch.done_cv.wait(done).expect("batch done flag");
+                        done = wait_or_abort(&batch.done_cv, done);
                     }
                     break;
                 }
             }
         }
         debug_assert_eq!(batch.pending.load(Ordering::Acquire), 0);
-        let payload = batch.panic.lock().expect("batch panic slot").take();
+        let payload = lock_or_abort(&batch.panic).take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -273,7 +296,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.signal.lock().expect("pool signal");
+            let mut state = lock_or_abort(&self.shared.signal);
             state.shutdown = true;
             self.shared.workers.notify_all();
         }
@@ -291,6 +314,16 @@ fn erase_job_lifetime<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
     // which does not return before `pending` reaches zero — i.e. before every
     // job of its batch has been executed (and therefore dropped).  Jobs only
     // leave the deques by being executed; nothing else drops or leaks them.
+    //
+    // This holds on the unwind path too, structurally: `run_batch` must not
+    // unwind between `inject()` and batch drain (that would free the
+    // caller's borrows while scoped jobs still wait in worker deques).  Job
+    // panics are contained inside each job's `catch_unwind` wrapper and
+    // resumed only *after* the drain; every lock the in-flight window takes
+    // goes through `lock_or_abort`/`wait_or_abort`, which abort the process
+    // on poisoning instead of unwinding.  Any future code that can panic
+    // between `inject()` and the drain loop breaks this invariant.
+    //
     // So no job ever outlives the `'scope` borrows it captures, and the
     // transmute merely widens the lifetime parameter of an otherwise
     // identical fat pointer.
