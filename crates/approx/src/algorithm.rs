@@ -33,6 +33,12 @@ pub struct ApproximationParams {
     /// `δ′(ε₀, l)` below `delta`, which is the most any non-singular input
     /// can need.
     pub max_iterations: Option<usize>,
+    /// Cooperative deadline: the outer loop probes the clock once per
+    /// iteration and aborts with [`ApproxError::Interrupted`] when it has
+    /// passed.  `None` (the default) never interrupts.  Runs that complete
+    /// are bit-identical to deadline-free runs — the probe draws no
+    /// randomness.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl ApproximationParams {
@@ -52,12 +58,19 @@ impl ApproximationParams {
             epsilon0,
             delta,
             max_iterations: None,
+            deadline: None,
         })
     }
 
     /// Sets an explicit iteration cap.
     pub fn with_max_iterations(mut self, max_iterations: usize) -> Self {
         self.max_iterations = Some(max_iterations);
+        self
+    }
+
+    /// Sets the cooperative deadline (see [`Self::deadline`]).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
         self
     }
 
@@ -118,6 +131,11 @@ pub fn approximate_predicate<R: Rng + ?Sized>(
 
     let mut iterations = 0usize;
     let (value, epsilon, error_bound, converged_above_epsilon0) = loop {
+        if let Some(d) = params.deadline {
+            if std::time::Instant::now() >= d {
+                return Err(ApproxError::Interrupted);
+            }
+        }
         iterations += 1;
         for est in estimators.iter_mut() {
             est.add_batch(rng);
@@ -284,6 +302,20 @@ mod tests {
         assert!(!d.value);
         assert_eq!(d.iterations, 1);
         assert_eq!(d.error_bound, 0.0);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_before_sampling() {
+        let (mut est, _) = estimator(4, 0.3);
+        let phi = ApproxPredicate::threshold(1, 0, 0.5);
+        let params = ApproximationParams::new(0.05, 0.05)
+            .unwrap()
+            .with_deadline(Some(
+                std::time::Instant::now() - std::time::Duration::from_millis(1),
+            ));
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let err = approximate_predicate(&phi, std::slice::from_mut(&mut est), params, &mut rng);
+        assert_eq!(err, Err(ApproxError::Interrupted));
     }
 
     #[test]

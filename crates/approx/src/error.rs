@@ -26,6 +26,9 @@ pub enum ApproxError {
     DegenerateInequality(String),
     /// Error propagated from the estimator layer.
     Confidence(confidence::ConfidenceError),
+    /// The Figure 3 loop was cut short by its caller's deadline before the
+    /// stopping condition was met; no decision was produced.
+    Interrupted,
     /// The algorithm was asked to decide a predicate with a mismatched number
     /// of estimators.
     ArityMismatch {
@@ -51,6 +54,9 @@ impl fmt::Display for ApproxError {
             ApproxError::DivisionByZero => write!(f, "division by zero"),
             ApproxError::DegenerateInequality(m) => write!(f, "degenerate inequality: {m}"),
             ApproxError::Confidence(e) => write!(f, "{e}"),
+            ApproxError::Interrupted => {
+                write!(f, "predicate approximation interrupted by the caller's deadline")
+            }
             ApproxError::ArityMismatch { expected, actual } => write!(
                 f,
                 "predicate mentions {expected} values but {actual} estimators were supplied"

@@ -21,11 +21,14 @@
 //!    target rate that steps up per iteration; each iteration records
 //!    offered vs achieved RPS and p50/p99 latency measured from the
 //!    *scheduled* arrival time (so queueing delay is not hidden by
-//!    coordinated omission).  The ramp stops at the first saturated
-//!    iteration (achieved < 90% of offered); the last unsaturated
-//!    iteration's achieved RPS is the reported capacity.
+//!    coordinated omission).  Ramp requests carry a per-request deadline
+//!    and every resolution is classified (`ok` / `degraded` / `shed` /
+//!    `timeout` / `errors`) per iteration; only full answers count toward
+//!    achieved RPS.  The ramp stops at the first saturated iteration
+//!    (achieved < 90% of offered); the last unsaturated iteration's
+//!    achieved RPS is the reported capacity.
 
-use engine::{EvalConfig, ServingEngine};
+use engine::{EngineError, EvalConfig, Request, ServingAnswer, ServingEngine, ServingSession};
 use pdb::{Schema, Tuple, Value};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -191,6 +194,73 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
+/// Per-outcome request counts of one measurement window.  Every request
+/// resolves to exactly one bucket; only `ok` (full answers) counts toward
+/// throughput and latency percentiles.
+#[derive(Clone, Copy, Default)]
+struct Outcomes {
+    /// Full answers.
+    ok: u64,
+    /// Bounds-degraded answers (deadline expired mid-sampling, or the
+    /// admission queue was saturated past its queue deadline).
+    degraded: u64,
+    /// Shed by the admission gate (`Overloaded`) with retries exhausted.
+    shed: u64,
+    /// Request deadline exceeded (tagged with the stage that noticed).
+    timeout: u64,
+    /// Any other engine error.
+    errors: u64,
+}
+
+impl Outcomes {
+    fn absorb(&mut self, other: Outcomes) {
+        self.ok += other.ok;
+        self.degraded += other.degraded;
+        self.shed += other.shed;
+        self.timeout += other.timeout;
+        self.errors += other.errors;
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"ok\": {}, \"degraded\": {}, \"shed\": {}, \"timeout\": {}, \"errors\": {}}}",
+            self.ok, self.degraded, self.shed, self.timeout, self.errors
+        )
+    }
+}
+
+/// Issues one request and classifies its resolution; returns whether the
+/// answer was full (and should count toward throughput/latency).
+fn classify(
+    session: &mut ServingSession<'_>,
+    request: &Request,
+    rng: &mut ChaCha8Rng,
+    outcomes: &mut Outcomes,
+) -> bool {
+    match session.evaluate_degradable(request, rng) {
+        Ok(ServingAnswer::Full(_)) => {
+            outcomes.ok += 1;
+            true
+        }
+        Ok(ServingAnswer::Degraded(_)) => {
+            outcomes.degraded += 1;
+            false
+        }
+        Err(EngineError::Overloaded { .. }) => {
+            outcomes.shed += 1;
+            false
+        }
+        Err(EngineError::DeadlineExceeded { .. }) => {
+            outcomes.timeout += 1;
+            false
+        }
+        Err(_) => {
+            outcomes.errors += 1;
+            false
+        }
+    }
+}
+
 /// Merged measurements of one load phase.
 struct PhaseResult {
     requests: u64,
@@ -198,6 +268,7 @@ struct PhaseResult {
     p50_us: f64,
     p99_us: f64,
     updates: u64,
+    outcomes: Outcomes,
 }
 
 /// Runs the updater loop until `stop` is set: alternates a single-row
@@ -240,7 +311,7 @@ fn closed_loop(
     let stop = AtomicBool::new(false);
     let updates = AtomicU64::new(0);
     let start = Instant::now();
-    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let per_session: Vec<(Vec<f64>, Outcomes)> = std::thread::scope(|scope| {
         if let Some(interval) = update_interval {
             let stop = &stop;
             let updates = &updates;
@@ -256,15 +327,18 @@ fn closed_loop(
                     let mut session = engine.session();
                     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s as u64));
                     let mut latencies = Vec::new();
+                    let mut outcomes = Outcomes::default();
                     let mut k = s;
                     while !stop.load(Ordering::Relaxed) {
                         let text = mix[schedule[k % schedule.len()]].text;
+                        let request = Request::new(text);
                         let begin = Instant::now();
-                        session.evaluate(text, &mut rng).expect("closed-loop eval");
-                        latencies.push(begin.elapsed().as_secs_f64() * 1e6);
+                        if classify(&mut session, &request, &mut rng, &mut outcomes) {
+                            latencies.push(begin.elapsed().as_secs_f64() * 1e6);
+                        }
                         k += 1;
                     }
-                    latencies
+                    (latencies, outcomes)
                 })
             })
             .collect();
@@ -276,7 +350,12 @@ fn closed_loop(
             .collect()
     });
     let elapsed = start.elapsed().as_secs_f64();
-    let mut merged: Vec<f64> = latencies.into_iter().flatten().collect();
+    let mut outcomes = Outcomes::default();
+    let mut merged = Vec::new();
+    for (latencies, session_outcomes) in per_session {
+        merged.extend(latencies);
+        outcomes.absorb(session_outcomes);
+    }
     merged.sort_by(f64::total_cmp);
     PhaseResult {
         requests: merged.len() as u64,
@@ -284,6 +363,7 @@ fn closed_loop(
         p50_us: percentile(&merged, 0.50),
         p99_us: percentile(&merged, 0.99),
         updates: updates.load(Ordering::Relaxed),
+        outcomes,
     }
 }
 
@@ -294,7 +374,15 @@ struct RampIteration {
     p50_us: f64,
     p99_us: f64,
     saturated: bool,
+    outcomes: Outcomes,
 }
+
+/// Per-request deadline of open-loop arrivals, measured from the *scheduled*
+/// arrival time: a saturated iteration resolves its backlog as degraded
+/// answers, sheds and timeouts (all counted per iteration) instead of
+/// stretching the queue without bound.  Generous next to unsaturated p99s,
+/// so it never clips a healthy iteration.
+const RAMP_REQUEST_DEADLINE: Duration = Duration::from_millis(500);
 
 /// Open loop at `target_rps`: arrivals are paced on a fixed global grid
 /// striped across the sessions; a session that falls behind keeps issuing
@@ -313,7 +401,7 @@ fn open_loop(
     let schedule = schedule_of(mix);
     let stop = AtomicBool::new(false);
     let t0 = Instant::now();
-    let latencies: Vec<Vec<f64>> = std::thread::scope(|scope| {
+    let per_session: Vec<(Vec<f64>, Outcomes)> = std::thread::scope(|scope| {
         if let Some(interval) = update_interval {
             let stop = &stop;
             scope.spawn(move || {
@@ -327,6 +415,7 @@ fn open_loop(
                     let mut session = engine.session();
                     let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(s as u64));
                     let mut latencies = Vec::new();
+                    let mut outcomes = Outcomes::default();
                     let mut k = 0usize;
                     loop {
                         let due_secs = (s as f64 + (k * sessions) as f64) / target_rps;
@@ -338,11 +427,13 @@ fn open_loop(
                             std::thread::sleep(wait);
                         }
                         let text = mix[schedule[(s + k) % schedule.len()]].text;
-                        session.evaluate(text, &mut rng).expect("open-loop eval");
-                        latencies.push(due.elapsed().as_secs_f64() * 1e6);
+                        let request = Request::new(text).with_deadline(due + RAMP_REQUEST_DEADLINE);
+                        if classify(&mut session, &request, &mut rng, &mut outcomes) {
+                            latencies.push(due.elapsed().as_secs_f64() * 1e6);
+                        }
                         k += 1;
                     }
-                    latencies
+                    (latencies, outcomes)
                 })
             })
             .collect();
@@ -354,7 +445,12 @@ fn open_loop(
         collected
     });
     let elapsed = t0.elapsed().as_secs_f64();
-    let mut merged: Vec<f64> = latencies.into_iter().flatten().collect();
+    let mut outcomes = Outcomes::default();
+    let mut merged = Vec::new();
+    for (latencies, session_outcomes) in per_session {
+        merged.extend(latencies);
+        outcomes.absorb(session_outcomes);
+    }
     merged.sort_by(f64::total_cmp);
     let achieved_rps = merged.len() as f64 / elapsed.max(1e-9);
     RampIteration {
@@ -363,6 +459,7 @@ fn open_loop(
         p50_us: percentile(&merged, 0.50),
         p99_us: percentile(&merged, 0.99),
         saturated: achieved_rps < 0.9 * target_rps,
+        outcomes,
     }
 }
 
@@ -480,12 +577,14 @@ fn render_json(smoke: bool, results: &[WorkloadResult]) -> String {
         let _ = writeln!(
             out,
             "      \"concurrent\": {{\"requests\": {}, \"rps\": {:.1}, \
-             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"updates_applied\": {}}},",
+             \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"updates_applied\": {}, \
+             \"outcomes\": {}}},",
             r.concurrent.requests,
             r.concurrent.rps,
             r.concurrent.p50_us,
             r.concurrent.p99_us,
-            r.concurrent.updates
+            r.concurrent.updates,
+            r.concurrent.outcomes.json()
         );
         let _ = writeln!(
             out,
@@ -498,8 +597,14 @@ fn render_json(smoke: bool, results: &[WorkloadResult]) -> String {
             let _ = writeln!(
                 out,
                 "        {{\"offered_rps\": {:.1}, \"achieved_rps\": {:.1}, \
-                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"saturated\": {}}}{comma}",
-                it.offered_rps, it.achieved_rps, it.p50_us, it.p99_us, it.saturated
+                 \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"saturated\": {}, \
+                 \"outcomes\": {}}}{comma}",
+                it.offered_rps,
+                it.achieved_rps,
+                it.p50_us,
+                it.p99_us,
+                it.saturated,
+                it.outcomes.json()
             );
         }
         let _ = writeln!(out, "      ],");
@@ -534,9 +639,13 @@ fn main() {
     print!("{json}");
 
     for r in &results {
+        let mut ramp_outcomes = Outcomes::default();
+        for it in &r.ramp {
+            ramp_outcomes.absorb(it.outcomes);
+        }
         eprintln!(
             "{}: single {:.0} rps, {} sessions {:.0} rps ({:.2}x), capacity {:.0} rps, \
-             p99 {:.0} -> {:.0} us, {} updates",
+             p99 {:.0} -> {:.0} us, {} updates, ramp outcomes {}",
             r.spec.name,
             r.single.rps,
             r.spec.sessions,
@@ -545,7 +654,8 @@ fn main() {
             r.capacity_rps,
             r.concurrent.p50_us,
             r.concurrent.p99_us,
-            r.concurrent.updates
+            r.concurrent.updates,
+            ramp_outcomes.json()
         );
     }
 

@@ -293,6 +293,21 @@ impl BitKarpLuby {
 
     /// Draws exactly `m` samples blockwise and returns `p̂ = X · M / m`.
     pub fn estimate<R: Rng + ?Sized>(&mut self, m: usize, rng: &mut R) -> Result<f64> {
+        self.estimate_with_deadline(m, rng, None)
+    }
+
+    /// [`estimate`](Self::estimate) with a cooperative deadline: the clock
+    /// is probed every [`DEADLINE_CHECK_BLOCKS`] blocks (the check is ~ns
+    /// against a ~µs block) and an expired deadline aborts the run with
+    /// [`ConfidenceError::Interrupted`] instead of finishing the draw.  A
+    /// run that completes is bit-identical to the deadline-free path: the
+    /// probe consumes no randomness.
+    pub fn estimate_with_deadline<R: Rng + ?Sized>(
+        &mut self,
+        m: usize,
+        rng: &mut R,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<f64> {
         if m == 0 {
             return Err(ConfidenceError::InvalidParameter(
                 "the Karp-Luby estimate needs at least one sample".into(),
@@ -300,9 +315,16 @@ impl BitKarpLuby {
         }
         let mut successes = 0u64;
         let mut remaining = m;
+        let mut blocks = 0u32;
         while remaining >= 64 {
+            if let Some(d) = deadline {
+                if blocks.is_multiple_of(DEADLINE_CHECK_BLOCKS) && std::time::Instant::now() >= d {
+                    return Err(ConfidenceError::Interrupted);
+                }
+            }
             successes += u64::from(self.sample_block(rng, 64));
             remaining -= 64;
+            blocks += 1;
         }
         if remaining > 0 {
             successes += u64::from(self.sample_block(rng, remaining as u32));
@@ -310,6 +332,12 @@ impl BitKarpLuby {
         Ok(successes as f64 * self.total_weight() / m as f64)
     }
 }
+
+/// How many 64-lane blocks the budgeted estimator draws between deadline
+/// probes: small enough that `DeadlineExceeded { stage: "estimate" }` fires
+/// within microseconds of the deadline, large enough that the `Instant`
+/// read is amortized to noise.
+pub const DEADLINE_CHECK_BLOCKS: u32 = 8;
 
 #[cfg(test)]
 mod tests {

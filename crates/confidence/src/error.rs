@@ -27,6 +27,9 @@ pub enum ConfidenceError {
     },
     /// The event is empty in a context that requires at least one term.
     EmptyEvent,
+    /// A sampling run was cut short by its caller's deadline before it
+    /// drew all requested samples; no estimate was produced.
+    Interrupted,
 }
 
 impl fmt::Display for ConfidenceError {
@@ -42,6 +45,9 @@ impl fmt::Display for ConfidenceError {
                 write!(f, "{what} exceeds the limit of {limit}")
             }
             ConfidenceError::EmptyEvent => write!(f, "the event has no terms"),
+            ConfidenceError::Interrupted => {
+                write!(f, "sampling interrupted by the caller's deadline")
+            }
         }
     }
 }

@@ -183,13 +183,27 @@ impl ConfidenceEstimator for ExactEstimator {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FprasEstimator {
     params: FprasParams,
+    deadline: Option<std::time::Instant>,
 }
 
 impl FprasEstimator {
     /// Creates an estimator drawing the Chernoff-bound sample count for the
     /// given (ε, δ).
     pub fn new(params: FprasParams) -> Self {
-        FprasEstimator { params }
+        FprasEstimator {
+            params,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a cooperative deadline to the bit-parallel compiled path:
+    /// sampling loops probe the clock between blocks and abort with
+    /// [`crate::ConfidenceError::Interrupted`] once it passes (see
+    /// [`crate::bitworld::BitKarpLuby::estimate_with_deadline`]).  Runs
+    /// that complete are bit-identical to the deadline-free estimator.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The (ε, δ) parameters.
@@ -239,7 +253,7 @@ impl ConfidenceEstimator for FprasEstimator {
         // times the throughput of ChaCha) from the same per-event seed.
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         Ok(EventEstimate {
-            estimate: kernel.estimate(m, &mut rng)?,
+            estimate: kernel.estimate_with_deadline(m, &mut rng, self.deadline)?,
             samples: m as u64,
             exact: false,
         })
@@ -251,13 +265,26 @@ impl ConfidenceEstimator for FprasEstimator {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BatchedIncrementalEstimator {
     batches: usize,
+    deadline: Option<std::time::Instant>,
 }
 
 impl BatchedIncrementalEstimator {
     /// Creates an estimator drawing `batches` batches of `|F_i|` samples per
     /// event.
     pub fn new(batches: usize) -> Self {
-        BatchedIncrementalEstimator { batches }
+        BatchedIncrementalEstimator {
+            batches,
+            deadline: None,
+        }
+    }
+
+    /// Attaches a cooperative deadline: the clock is probed between batches
+    /// and an expired deadline aborts the drive with
+    /// [`crate::ConfidenceError::Interrupted`].  Runs that complete are
+    /// bit-identical to the deadline-free estimator.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The batch count `l`.
@@ -298,6 +325,11 @@ impl BatchedIncrementalEstimator {
         // the bit-parallel kernel underneath the incremental estimator.
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         for _ in 0..self.batches {
+            if let Some(d) = self.deadline {
+                if std::time::Instant::now() >= d {
+                    return Err(crate::ConfidenceError::Interrupted);
+                }
+            }
             estimator.add_batch(&mut rng);
         }
         Ok(EventEstimate {
@@ -413,6 +445,35 @@ mod tests {
             assert_eq!(out[1].estimate, 1.0);
             assert!(out.iter().all(|e| e.exact && e.samples == 0));
         }
+    }
+
+    #[test]
+    fn deadlines_interrupt_or_leave_runs_bit_identical() {
+        let (events, space) = batch_setup(6);
+        let programs = Arc::new(LineagePrograms::compile(events, &space).unwrap());
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let params = FprasParams::new(0.2, 0.1).unwrap();
+        // An already expired deadline interrupts before sampling finishes.
+        let err = FprasEstimator::new(params)
+            .with_deadline(Some(past))
+            .estimate_compiled_batch(&programs, 7)
+            .unwrap_err();
+        assert_eq!(err, crate::ConfidenceError::Interrupted);
+        let err = BatchedIncrementalEstimator::new(4)
+            .with_deadline(Some(past))
+            .estimate_compiled_batch(&programs, 7)
+            .unwrap_err();
+        assert_eq!(err, crate::ConfidenceError::Interrupted);
+        // A generous deadline changes nothing: the probe draws no randomness.
+        let future = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let free = FprasEstimator::new(params)
+            .estimate_compiled_batch(&programs, 7)
+            .unwrap();
+        let budgeted = FprasEstimator::new(params)
+            .with_deadline(Some(future))
+            .estimate_compiled_batch(&programs, 7)
+            .unwrap();
+        assert_eq!(free, budgeted);
     }
 
     #[test]

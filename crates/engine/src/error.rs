@@ -34,8 +34,46 @@ pub enum EngineError {
         /// Where in the serving pipeline the deadline was detected.
         stage: &'static str,
     },
+    /// A gate's queue deadline ([`crate::ServingLimits::max_queue_wait`])
+    /// elapsed before a permit freed up: the engine shed the request early
+    /// instead of burning its whole budget waiting in line.
+    Overloaded {
+        /// Which gate shed the request.
+        stage: &'static str,
+    },
+    /// An evaluation panicked; the panicking run's pooled state was
+    /// quarantined and the engine remains serviceable.
+    Panicked {
+        /// Where in the serving pipeline the panic was caught.
+        stage: &'static str,
+    },
+    /// A fault injected by an armed failpoint (`engine::faults`); only
+    /// produced by builds with the `failpoints` feature.
+    Injected {
+        /// The failpoint site that injected the fault.
+        site: &'static str,
+    },
     /// Generic invariant violation.
     Invariant(String),
+}
+
+impl EngineError {
+    /// Whether retrying the same request may succeed.
+    ///
+    /// Transient errors are environmental: injected faults, shed load,
+    /// quarantined panics, and sampling runs that missed their convergence
+    /// target (a fresh seed may converge).  Everything else — semantic
+    /// errors, invariant violations, and `DeadlineExceeded` (the budget is
+    /// spent; retrying cannot un-spend it) — is permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Injected { .. }
+                | EngineError::Overloaded { .. }
+                | EngineError::Panicked { .. }
+                | EngineError::DidNotConverge { .. }
+        )
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +94,15 @@ impl fmt::Display for EngineError {
             ),
             EngineError::DeadlineExceeded { stage } => {
                 write!(f, "request deadline exceeded ({stage})")
+            }
+            EngineError::Overloaded { stage } => {
+                write!(f, "engine overloaded: queue deadline exceeded ({stage})")
+            }
+            EngineError::Panicked { stage } => {
+                write!(f, "evaluation panicked ({stage}); pooled state quarantined")
+            }
+            EngineError::Injected { site } => {
+                write!(f, "fault injected at failpoint `{site}`")
             }
             EngineError::Invariant(m) => write!(f, "invariant violation: {m}"),
         }
@@ -115,5 +162,28 @@ mod tests {
         }
         .to_string()
         .contains("0.05"));
+    }
+
+    #[test]
+    fn transient_taxonomy() {
+        assert!(EngineError::Injected { site: "prepare" }.is_transient());
+        assert!(EngineError::Overloaded { stage: "admission" }.is_transient());
+        assert!(EngineError::Panicked { stage: "cold" }.is_transient());
+        assert!(EngineError::DidNotConverge {
+            delta: 0.05,
+            achieved: 0.2
+        }
+        .is_transient());
+        // The deadline is a spent budget: retrying cannot help.
+        assert!(!EngineError::DeadlineExceeded { stage: "estimate" }.is_transient());
+        assert!(!EngineError::Unsupported("x".into()).is_transient());
+        assert!(!EngineError::Invariant("x".into()).is_transient());
+        assert!(!EngineError::NotComplete("R".into()).is_transient());
+        let e = EngineError::Overloaded { stage: "admission" };
+        assert!(e.to_string().contains("overloaded"));
+        let e = EngineError::Panicked { stage: "cold" };
+        assert!(e.to_string().contains("quarantined"));
+        let e = EngineError::Injected { site: "absorb" };
+        assert!(e.to_string().contains("absorb"));
     }
 }

@@ -261,6 +261,7 @@ impl UEngine {
             var_counter: 0,
             rng: dyn_rng,
             spaces: SpaceCache::new(),
+            deadline: None,
         };
         let result = if sequential {
             physical.execute_sequential(&mut ctx)?

@@ -45,6 +45,7 @@ pub mod delta;
 mod error;
 pub mod error_bound;
 mod exec;
+pub mod faults;
 mod naive_engine;
 pub mod ops;
 pub mod physical;
@@ -64,6 +65,7 @@ pub use naive_engine::{evaluate_naive, evaluate_naive_plan, NaiveOutput};
 pub use physical::{ExecContext, ExecSnapshot, OpClass, PhysicalOperator, PhysicalPlan, PureCtx};
 pub use predicate_compile::compile_predicate;
 pub use serving::{
-    DatabaseGuard, Request, ServingEngine, ServingLimits, ServingSession, ServingStats,
+    DatabaseGuard, DegradedAnswer, DegradedReason, Request, RetryPolicy, ServingAnswer,
+    ServingEngine, ServingLimits, ServingSession, ServingStats,
 };
 pub use space::{CompiledSpace, RelationEvents, SpaceCache};

@@ -60,12 +60,12 @@ use crate::predicate_compile::compile_predicate;
 use crate::space::{CompiledSpace, SpaceCache};
 use algebra::{Accuracy, ConfTerm, LogicalOp, LogicalPlan, Predicate, ProjItem};
 use approx::{
-    approximate_predicate, evaluate_over_box, ApproxPredicate, ApproximationParams, BoxVerdict,
-    Interval, Orthotope,
+    approximate_predicate, evaluate_over_box, ApproxError, ApproxPredicate, ApproximationParams,
+    BoxVerdict, Interval, Orthotope,
 };
 use confidence::{
-    chernoff, event_bounds_with_limit, event_seed, BatchedIncrementalEstimator,
-    ConfidenceEstimator, DnfEvent, ExactEstimator, FprasEstimator, FprasParams,
+    chernoff, event_bounds_with_limit, event_seed, BatchedIncrementalEstimator, ConfidenceError,
+    ConfidenceEstimator, DnfEvent, EventBounds, ExactEstimator, FprasEstimator, FprasParams,
     IncrementalEstimator,
 };
 use pdb::{Schema, Tuple, Value};
@@ -98,6 +98,12 @@ pub struct ExecContext<'a> {
     /// per-relation lineage batches) shared by every confidence-bearing
     /// operator of this evaluation.
     pub spaces: SpaceCache,
+    /// Cooperative deadline threaded into the sampling loops: estimation
+    /// kernels probe the clock between sample blocks/batches and abort with
+    /// `DeadlineExceeded { stage: "estimate" }` once it passes.  `None`
+    /// never interrupts.  The probes draw no randomness, so runs that
+    /// complete are bit-identical to deadline-free runs.
+    pub deadline: Option<std::time::Instant>,
 }
 
 /// Read-only state available to pure operators, which the slot executor may
@@ -821,6 +827,87 @@ impl PhysicalPlan {
             spaces: ctx.spaces.clone(),
         }
     }
+
+    /// Whether the plan has the shape the serving layer can answer in
+    /// *degraded* mode: the root is an approximate (sampling) `conf`
+    /// operator and everything below it is the deterministic prefix.  For
+    /// such plans the σ̂ interval bounds over the root's input lineage are a
+    /// correct, sampling-free answer of last resort (see
+    /// [`execute_bounds`](PhysicalPlan::execute_bounds)).
+    pub fn bounds_root(&self) -> bool {
+        let prefix = self.prefix_done_flags();
+        let root = &self.nodes[self.root];
+        root.operator.name() == "conf"
+            && root.operator.class() == OpClass::Sampling
+            && root.inputs.len() == 1
+            && (0..self.nodes.len()).all(|id| id == self.root || prefix[id])
+    }
+
+    /// Degraded evaluation for [`bounds_root`](PhysicalPlan::bounds_root)
+    /// plans: runs the deterministic prefix only and answers the root
+    /// `conf` with the exact interval bounds of
+    /// [`confidence::event_bounds_with_limit`] (first-order ∩ Bonferroni
+    /// lower, Hunter–Worsley upper) over each output tuple's lineage,
+    /// widened by the tuple's accumulated input error.  Consumes no
+    /// randomness and draws no samples; the true confidence of every tuple
+    /// is guaranteed to lie within its returned bounds.
+    pub fn execute_bounds(
+        &self,
+        ctx: &mut ExecContext<'_>,
+        pairwise_limit: usize,
+    ) -> Result<Vec<(Tuple, EventBounds)>> {
+        if !self.bounds_root() {
+            return Err(EngineError::Unsupported(
+                "degraded bounds answers need a plan rooted at an approximate conf \
+                 over a deterministic prefix"
+                    .into(),
+            ));
+        }
+        let mut state = SlotState::fresh(self);
+        loop {
+            loop {
+                let pctx = PureCtx {
+                    database: &ctx.database,
+                    shards: ctx.config.shards,
+                };
+                if !self.run_pure_wave(&mut state, &pctx)? {
+                    break;
+                }
+            }
+            let Some(id) = (0..self.nodes.len()).find(|&id| {
+                id != self.root
+                    && !state.done[id]
+                    && self.nodes[id].operator.class() != OpClass::Pure
+            }) else {
+                break;
+            };
+            let inputs = self.gather_inputs(id, &mut state);
+            state.slots[id] = Some(self.nodes[id].operator.execute(inputs, ctx)?);
+            state.done[id] = true;
+        }
+        let input_id = self.nodes[self.root].inputs[0];
+        let input = state.slots[input_id]
+            .as_ref()
+            .expect("prefix executed: the root's input slot is live");
+        let compiled = ctx.spaces.compiled(ctx.database.wtable())?;
+        let lineage = compiled.relation_events(&input.relation)?;
+        let mut out = Vec::with_capacity(lineage.tuples().len());
+        for (tuple, event) in lineage.tuples().iter().zip(lineage.events()) {
+            let b = event_bounds_with_limit(event, compiled.space(), pairwise_limit)
+                .map_err(EngineError::Confidence)?;
+            // Upstream approximation error (σ̂ inputs) widens the interval so
+            // the containment guarantee survives approximate prefixes.
+            let e = input.error_of(tuple);
+            out.push((
+                tuple.clone(),
+                EventBounds {
+                    lower: (b.lower - e).max(0.0),
+                    upper: (b.upper + e).min(1.0),
+                },
+            ));
+        }
+        Ok(out)
+    }
 }
 
 /// A drop guard that overrides the execution context's shard width and
@@ -1504,8 +1591,14 @@ impl PhysicalOperator for ConfOp {
         let lineage = compiled.relation_events(&input.relation)?;
         let estimator: Box<dyn ConfidenceEstimator> = match self.params {
             None => Box::new(ExactEstimator),
-            Some(params) => Box::new(FprasEstimator::new(params)),
+            Some(params) => Box::new(FprasEstimator::new(params).with_deadline(ctx.deadline)),
         };
+        // The failpoint sits *before* the master-seed draw: a retried
+        // request that faulted here has consumed no caller randomness, so
+        // its successful attempt is still bit-identical to cold.
+        if self.params.is_some() {
+            crate::faults::fire("estimate", ctx.deadline)?;
+        }
         // Exact estimation consumes no randomness; leave the caller's RNG
         // stream untouched in that case.
         let master_seed = if self.params.is_some() {
@@ -1515,7 +1608,7 @@ impl PhysicalOperator for ConfOp {
         };
         let estimates = estimator
             .estimate_compiled_batch(lineage.programs(), master_seed)
-            .map_err(EngineError::Confidence)?;
+            .map_err(|e| deadline_interrupt(EngineError::Confidence(e)))?;
 
         let mut out = URelation::empty(schema);
         let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
@@ -1764,6 +1857,20 @@ impl PhysicalOperator for ApproxSelectOp {
 /// event's index within it.
 type CompiledEventHandle = (std::sync::Arc<confidence::LineagePrograms>, usize);
 
+/// Maps the estimator layers' cooperative-interrupt errors into the serving
+/// taxonomy: an interrupted sampling run *is* the request's deadline firing
+/// mid-estimate.
+fn deadline_interrupt(e: EngineError) -> EngineError {
+    match e {
+        EngineError::Confidence(ConfidenceError::Interrupted)
+        | EngineError::Approx(ApproxError::Interrupted)
+        | EngineError::Approx(ApproxError::Confidence(ConfidenceError::Interrupted)) => {
+            EngineError::DeadlineExceeded { stage: "estimate" }
+        }
+        e => e,
+    }
+}
+
 impl ApproxSelectOp {
     /// Sampling-free candidate decisions from the exact confidence bounds of
     /// [`confidence::bounds`] (max-term lower / union upper, refined by one
@@ -1855,8 +1962,10 @@ impl ApproxSelectOp {
                     .collect()
             }
             ApproxSelectMode::FixedIterations(l) => {
+                // Failpoint before the seed draw: see `ConfOp::execute`.
+                crate::faults::fire("estimate", ctx.deadline)?;
                 let master_seed = ctx.rng.next_u64();
-                let estimator = BatchedIncrementalEstimator::new(l);
+                let estimator = BatchedIncrementalEstimator::new(l).with_deadline(ctx.deadline);
                 // Estimate only the events of unpruned candidates, each with
                 // the sub-RNG seed of its original flat index.
                 let needed: Vec<usize> = (0..num_candidates)
@@ -1870,7 +1979,7 @@ impl ApproxSelectOp {
                         estimator
                             .estimate_compiled(programs, *event, event_seed(master_seed, idx))
                             .map(|e| (idx, e))
-                            .map_err(EngineError::Confidence)
+                            .map_err(|e| deadline_interrupt(EngineError::Confidence(e)))
                     })
                     .collect::<Result<_>>()?;
                 let mut estimates: Vec<Option<confidence::EventEstimate>> =
@@ -1904,7 +2013,10 @@ impl ApproxSelectOp {
                     .collect()
             }
             ApproxSelectMode::Adaptive => {
-                let params = ApproximationParams::new(self.epsilon0, self.delta)?;
+                let params = ApproximationParams::new(self.epsilon0, self.delta)?
+                    .with_deadline(ctx.deadline);
+                // Failpoint before the seed draw: see `ConfOp::execute`.
+                crate::faults::fire("estimate", ctx.deadline)?;
                 let master_seed = ctx.rng.next_u64();
                 // One Figure 3 run per unpruned candidate, all candidates in
                 // parallel, each on its own seeded RNG.
@@ -1927,7 +2039,7 @@ impl ApproxSelectOp {
                             .collect::<Result<_>>()?;
                         let decision =
                             approximate_predicate(predicate, &mut estimators, params, &mut rng)
-                                .map_err(EngineError::Approx)?;
+                                .map_err(|e| deadline_interrupt(EngineError::Approx(e)))?;
                         Ok((decision.value, decision.error_bound, decision.samples))
                     })
                     .collect::<Result<_>>()?;
@@ -1969,6 +2081,7 @@ mod tests {
             var_counter: 0,
             rng,
             spaces: SpaceCache::new(),
+            deadline: None,
         }
     }
 

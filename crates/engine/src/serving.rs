@@ -125,11 +125,14 @@ use crate::exec::{ConfidenceMode, EvalConfig, EvalOutput, EvalStats, EvaluatedRe
 use crate::physical::{ExecContext, ExecSnapshot, OpClass, PhysicalNode, PhysicalPlan};
 use crate::space::SpaceCache;
 use algebra::{Catalog, LogicalPlan, PlanCache, SubplanDigest};
-use rand::{Rng, RngCore};
+use confidence::EventBounds;
+use pdb::Tuple;
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use urel::{RelationDelta, UDatabase, URelation, URow};
 
 /// Upper bound on prepared queries a server retains (each holds a lowered
@@ -195,6 +198,19 @@ pub struct ServingStats {
     /// correctness event: the evaluation's own answer is still served, and
     /// the next request of that prefix re-warms from current content.
     pub stale_absorbs_dropped: u64,
+    /// Transient-error retries issued by [`ServingSession`] retry loops
+    /// (see [`RetryPolicy`]).
+    pub retries: u64,
+    /// Pool entries dropped because an evaluation using them panicked: the
+    /// panicking run's prefix entry is quarantined (removed) while the
+    /// engine stays serviceable; the next request of that prefix re-warms
+    /// it from scratch.
+    pub entries_quarantined: u64,
+    /// Requests answered in degraded mode — guaranteed `[lower, upper]`
+    /// confidence bounds instead of an (ε, δ) estimate — because their
+    /// deadline expired mid-sampling or the cold gate was saturated (see
+    /// [`ServingEngine::evaluate_degradable`]).
+    pub degraded_answers: u64,
 }
 
 /// Everything the pool needs to know about one prepared query's
@@ -656,6 +672,11 @@ fn try_patch_slot(
     outcomes: &HashMap<SubplanDigest, SlotOutcome>,
     no_rows: &BTreeSet<URow>,
 ) -> Option<(URelation, BTreeSet<URow>, BTreeSet<URow>)> {
+    // Failpoint: a dropped patch is a legal outcome of this function — the
+    // slot demotes and the next warm resume recomputes it.
+    if crate::faults::fire_cost_only("patch") {
+        return None;
+    }
     let slot = entry.slots.get(&profile.digests[id])?;
     if node.operator.class() != OpClass::Pure || !slot.value.errors.is_empty() {
         // Stateful nodes never reach here (their entry dropped), and pure
@@ -727,6 +748,14 @@ pub struct ServingLimits {
     /// starving warm traffic of admission slots.  Clamped to
     /// `max_in_flight`.
     pub max_cold_in_flight: usize,
+    /// Queue deadline, distinct from the request deadline: the longest a
+    /// request may wait at either gate before the engine sheds it with
+    /// [`EngineError::Overloaded`].  A saturated gate then fails fast —
+    /// after `max_queue_wait` — instead of burning the whole request budget
+    /// in line (and [`ServingEngine::evaluate_degradable`] turns the shed
+    /// into a bounds answer).  `None` (the default) waits up to the request
+    /// deadline as before.
+    pub max_queue_wait: Option<Duration>,
 }
 
 impl Default for ServingLimits {
@@ -740,6 +769,7 @@ impl Default for ServingLimits {
         ServingLimits {
             max_in_flight,
             max_cold_in_flight: (max_in_flight / 2).max(1),
+            max_queue_wait: None,
         }
     }
 }
@@ -800,15 +830,129 @@ impl<'q> Request<'q> {
     }
 }
 
+/// Why a request was answered with guaranteed bounds instead of an (ε, δ)
+/// estimate (see [`ServingEngine::evaluate_degradable`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradedReason {
+    /// The request's deadline expired while sampling was underway
+    /// ([`EngineError::DeadlineExceeded`] in the `estimate` stage).
+    DeadlineExpired,
+    /// An admission gate stayed saturated past the engine's
+    /// [`ServingLimits::max_queue_wait`] and the request was shed
+    /// ([`EngineError::Overloaded`]).
+    QueueSaturated,
+}
+
+/// A graceful bounds answer: per output tuple, an exact confidence interval
+/// `[lower, upper]` that is guaranteed to contain the tuple's true
+/// confidence.  Produced without drawing a single Monte Carlo sample — the
+/// deterministic prefix runs to completion and the root `conf` is answered
+/// by the interval bounds of [`confidence::event_bounds_with_limit`]
+/// (first-order ∩ Bonferroni lower, Hunter–Worsley upper), widened by any
+/// accumulated upstream approximation error.
+#[derive(Clone, Debug)]
+pub struct DegradedAnswer {
+    /// Output tuples with their guaranteed confidence intervals.
+    pub bounds: Vec<(Tuple, EventBounds)>,
+    /// Why the engine degraded instead of estimating.
+    pub reason: DegradedReason,
+}
+
+/// The outcome of a degradable evaluation: the full (ε, δ) answer when the
+/// request completed within its budgets, or guaranteed confidence bounds
+/// when it could not.
+#[derive(Debug)]
+pub enum ServingAnswer {
+    /// The request completed normally.
+    Full(EvalOutput),
+    /// The request was degraded to guaranteed bounds.
+    Degraded(DegradedAnswer),
+}
+
+/// Bounded exponential backoff with deterministic jitter, applied by
+/// [`ServingSession`] evaluation loops to errors classified transient by
+/// [`EngineError::is_transient`].
+///
+/// Backoff for attempt `n` is `base_backoff · 2ⁿ`, capped at `max_backoff`,
+/// scaled by a jitter factor in `[0.5, 1.0]` derived (splitmix64) from
+/// `jitter_seed`, the session's evaluation count and the attempt index —
+/// reproducible runs schedule reproducible retries, while concurrent
+/// sessions with different seeds desynchronize instead of thundering back
+/// in lockstep.  A retry never oversleeps a request deadline: when the
+/// backoff would land past it, the session gives up and returns the
+/// transient error instead.
+///
+/// Retries preserve the engine's determinism contract: admission, prepare
+/// and injected-fault failures happen *before* an evaluation draws from the
+/// caller's RNG, so a retried success consumes exactly the RNG stream a
+/// first-try success would have.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (`0` disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries, 1 ms base, 20 ms cap.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(20),
+            jitter_seed: 0x5eed_f417,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every error surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered backoff before retry number `attempt` (0-based), for a
+    /// session whose evaluation counter is `salt`.
+    fn backoff(&self, attempt: u32, salt: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.max_backoff);
+        let r = splitmix64(self.jitter_seed ^ salt.rotate_left(17) ^ u64::from(attempt));
+        // Top 53 bits → uniform in [0, 1), mapped to a factor in [0.5, 1.0].
+        let unit = (r >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(0.5 + unit * 0.5)
+    }
+}
+
+/// SplitMix64 step (Steele et al.), the jitter generator of
+/// [`RetryPolicy`]: one multiply-xorshift cascade per draw, no state.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 /// A counting semaphore with deadline-aware acquisition (standing in for an
 /// async admission queue: requests block, fairly woken, until a permit
 /// frees).
+#[derive(Debug)]
 struct Gate {
     permits: Mutex<usize>,
     freed: Condvar,
 }
 
 /// A held [`Gate`] permit; released on drop.
+#[derive(Debug)]
 struct GatePermit<'a> {
     gate: &'a Gate,
 }
@@ -822,23 +966,46 @@ impl Gate {
     }
 
     /// Blocks until a permit is free, or until `deadline` passes (failing
-    /// with [`EngineError::DeadlineExceeded`] tagged `stage`).
-    fn acquire(&self, deadline: Option<Instant>, stage: &'static str) -> Result<GatePermit<'_>> {
+    /// with [`EngineError::DeadlineExceeded`] tagged `stage`), or — when
+    /// `max_wait` is set — until the request has queued for `max_wait`
+    /// (failing with [`EngineError::Overloaded`]: the gate is saturated and
+    /// the engine sheds the request early instead of burning the rest of
+    /// its budget in line).
+    fn acquire(
+        &self,
+        deadline: Option<Instant>,
+        max_wait: Option<Duration>,
+        stage: &'static str,
+    ) -> Result<GatePermit<'_>> {
+        let queue_deadline = max_wait.map(|w| Instant::now() + w);
         let mut permits = self.permits.lock().expect("gate lock");
         loop {
             if *permits > 0 {
                 *permits -= 1;
                 return Ok(GatePermit { gate: self });
             }
-            permits = match deadline {
+            let now = Instant::now();
+            if let Some(deadline) = deadline {
+                if now >= deadline {
+                    return Err(EngineError::DeadlineExceeded { stage });
+                }
+            }
+            if let Some(queue_deadline) = queue_deadline {
+                if now >= queue_deadline {
+                    return Err(EngineError::Overloaded { stage });
+                }
+            }
+            let wake = match (deadline, queue_deadline) {
+                (None, None) => None,
+                (Some(d), None) => Some(d),
+                (None, Some(q)) => Some(q),
+                (Some(d), Some(q)) => Some(d.min(q)),
+            };
+            permits = match wake {
                 None => self.freed.wait(permits).expect("gate lock"),
-                Some(deadline) => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        return Err(EngineError::DeadlineExceeded { stage });
-                    }
+                Some(wake) => {
                     self.freed
-                        .wait_timeout(permits, deadline - now)
+                        .wait_timeout(permits, wake - now)
                         .expect("gate lock")
                         .0
                 }
@@ -874,6 +1041,9 @@ struct Counters {
     subplans_patched: AtomicU64,
     subplans_demoted: AtomicU64,
     stale_absorbs_dropped: AtomicU64,
+    retries: AtomicU64,
+    entries_quarantined: AtomicU64,
+    degraded_answers: AtomicU64,
 }
 
 /// A read guard over the served database (see [`ServingEngine::database`]).
@@ -948,6 +1118,7 @@ impl ServingEngine {
         let limits = ServingLimits {
             max_in_flight,
             max_cold_in_flight: limits.max_cold_in_flight.clamp(1, max_in_flight),
+            max_queue_wait: limits.max_queue_wait,
         };
         Ok(ServingEngine {
             config,
@@ -980,6 +1151,7 @@ impl ServingEngine {
         ServingSession {
             engine: self,
             evaluations: 0,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -1256,8 +1428,16 @@ impl ServingEngine {
         rng: &mut R,
     ) -> Result<EvalOutput> {
         let deadline = request.deadline;
+        // A request that arrives with its deadline already spent fails with
+        // a deterministic tag before any work (or queueing) happens.
+        if let Some(deadline) = deadline {
+            if Instant::now() >= deadline {
+                return Err(EngineError::DeadlineExceeded { stage: "prepare" });
+            }
+        }
         let config = request.effective_config(self.config);
         let (key, prepared) = self.prepare(request.text, config)?;
+        crate::faults::fire("admission", deadline)?;
         let first_evaluation = prepared.evaluations.fetch_add(1, Ordering::Relaxed) == 0;
         let physical = prepared.physical.clone();
         let profile = prepared.profile.clone();
@@ -1273,12 +1453,16 @@ impl ServingEngine {
             .expect("snapshot pool lock")
             .entry(&profile.fingerprint)
             .is_some();
+        let queue_wait = self.limits.max_queue_wait;
         let mut _cold_permit = if looks_warm {
             None
         } else {
-            Some(self.cold_admission.acquire(deadline, "cold admission")?)
+            Some(
+                self.cold_admission
+                    .acquire(deadline, queue_wait, "cold admission")?,
+            )
         };
-        let mut _permit = self.admission.acquire(deadline, "admission")?;
+        let mut _permit = self.admission.acquire(deadline, queue_wait, "admission")?;
         if let Some(deadline) = deadline {
             if Instant::now() >= deadline {
                 return Err(EngineError::DeadlineExceeded {
@@ -1322,18 +1506,32 @@ impl ServingEngine {
                     var_counter: 0,
                     rng: dyn_rng,
                     spaces: SpaceCache::new(),
+                    deadline,
                 };
-                let result = if resolved.demoted > 0 {
-                    // Some pure sub-plans recompute during this resume;
-                    // capture at the frontier again and pool their fresh
-                    // results, so the next request (of any query sharing
-                    // them) finds the prefix fully warm.
-                    let (result, recaptured) =
-                        physical.resume_capturing(&mut ctx, resolved.snapshot)?;
-                    self.absorb_if_current(epoch, &profile, &recaptured, &key);
-                    result
-                } else {
-                    physical.resume_owned(&mut ctx, resolved.snapshot)?
+                // Quarantine region: a panicking resume (an operator bug, or
+                // an injected fault) drops only this run's pool entry — the
+                // engine stays serviceable and the next request of this
+                // prefix re-warms it.
+                let run = catch_unwind(AssertUnwindSafe(|| {
+                    if resolved.demoted > 0 {
+                        // Some pure sub-plans recompute during this resume;
+                        // capture at the frontier again and pool their fresh
+                        // results, so the next request (of any query sharing
+                        // them) finds the prefix fully warm.
+                        let (result, recaptured) =
+                            physical.resume_capturing(&mut ctx, resolved.snapshot)?;
+                        self.absorb_if_current(epoch, &profile, &recaptured, &key);
+                        Ok(result)
+                    } else {
+                        physical.resume_owned(&mut ctx, resolved.snapshot)
+                    }
+                }));
+                let result = match run {
+                    Ok(result) => result?,
+                    Err(_) => {
+                        self.quarantine(&profile.fingerprint);
+                        return Err(EngineError::Panicked { stage: "warm-eval" });
+                    }
                 };
                 return Ok(EvalOutput {
                     result,
@@ -1354,8 +1552,12 @@ impl ServingEngine {
         // against each other.
         if _cold_permit.is_none() {
             drop(_permit);
-            _cold_permit = Some(self.cold_admission.acquire(deadline, "cold admission")?);
-            _permit = self.admission.acquire(deadline, "admission")?;
+            _cold_permit = Some(self.cold_admission.acquire(
+                deadline,
+                queue_wait,
+                "cold admission",
+            )?);
+            _permit = self.admission.acquire(deadline, queue_wait, "admission")?;
             if let Some(deadline) = deadline {
                 if Instant::now() >= deadline {
                     return Err(EngineError::DeadlineExceeded {
@@ -1383,14 +1585,119 @@ impl ServingEngine {
             var_counter: 0,
             rng: dyn_rng,
             spaces: SpaceCache::new(),
+            deadline,
         };
-        let (result, snapshot) = physical.execute_capturing(&mut ctx)?;
+        // Quarantine region (see the warm path above).  The failpoint fires
+        // *inside* it: an injected cold-eval panic must be caught here, and
+        // it runs before the execution draws any caller randomness, so a
+        // retried request still evaluates bit-identically to cold.
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            crate::faults::fire("cold-eval", deadline)?;
+            physical.execute_capturing(&mut ctx)
+        }));
+        let (result, snapshot) = match run {
+            Ok(output) => output?,
+            Err(_) => {
+                self.quarantine(&profile.fingerprint);
+                return Err(EngineError::Panicked { stage: "cold-eval" });
+            }
+        };
         self.absorb_if_current(epoch, &profile, &snapshot, &key);
         Ok(EvalOutput {
             result,
             database: ctx.database,
             stats: ctx.stats,
         })
+    }
+
+    /// Evaluates a [`Request`], degrading to a guaranteed-bounds answer when
+    /// the full evaluation cannot fit its budgets.
+    ///
+    /// The request first runs normally.  If it fails because its deadline
+    /// expired *mid-sampling* ([`EngineError::DeadlineExceeded`] in the
+    /// `estimate` stage) or because an admission gate was saturated past
+    /// [`ServingLimits::max_queue_wait`] ([`EngineError::Overloaded`]), and
+    /// the query is an approximate `conf` over a deterministic prefix
+    /// ([`PhysicalPlan::bounds_root`]), the engine answers with
+    /// [`DegradedAnswer`]: per output tuple, an exact interval
+    /// `[lower, upper]` guaranteed to contain the tuple's true confidence,
+    /// computed without drawing a single sample.  Every other error (and
+    /// every budget failure of a query with no bounds form) propagates
+    /// unchanged.
+    ///
+    /// The bounds path consumes no caller randomness, so a degraded answer
+    /// leaves the session's RNG stream exactly where a shed request would
+    /// have: determinism of later full answers is unaffected.
+    pub fn evaluate_degradable<R: Rng + ?Sized>(
+        &self,
+        request: &Request<'_>,
+        rng: &mut R,
+    ) -> Result<ServingAnswer> {
+        let err = match self.evaluate_request(request, rng) {
+            Ok(full) => return Ok(ServingAnswer::Full(full)),
+            Err(err) => err,
+        };
+        let reason = match &err {
+            EngineError::DeadlineExceeded { stage: "estimate" } => DegradedReason::DeadlineExpired,
+            EngineError::Overloaded { .. } => DegradedReason::QueueSaturated,
+            _ => return Err(err),
+        };
+        match self.bounds_answer(request, reason) {
+            Ok(answer) => {
+                self.counters
+                    .degraded_answers
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(ServingAnswer::Degraded(answer))
+            }
+            // The bounds form is unsupported (or itself failed): surface the
+            // original budget error, not the fallback's.
+            Err(_) => Err(err),
+        }
+    }
+
+    /// The guaranteed-bounds fallback of
+    /// [`evaluate_degradable`](ServingEngine::evaluate_degradable): runs the
+    /// deterministic prefix and answers the root `conf` from exact interval
+    /// bounds.  Deliberately bypasses the admission gates — it is the shed
+    /// path's fallback, so re-queueing it behind the very gate that shed the
+    /// request would defeat the point — and uses a fixed dummy RNG, which
+    /// [`PhysicalPlan::execute_bounds`] never draws from.
+    fn bounds_answer(
+        &self,
+        request: &Request<'_>,
+        reason: DegradedReason,
+    ) -> Result<DegradedAnswer> {
+        let config = request.effective_config(self.config);
+        let (_key, prepared) = self.prepare(request.text, config)?;
+        let physical = prepared.physical.clone();
+        let database = {
+            let state = self.state.read().expect("serving state lock");
+            state.database.clone()
+        };
+        let mut dummy = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut ctx = ExecContext {
+            config,
+            database,
+            stats: EvalStats::default(),
+            var_counter: 0,
+            rng: &mut dummy,
+            spaces: SpaceCache::new(),
+            deadline: None,
+        };
+        let bounds = physical.execute_bounds(&mut ctx, config.pairwise_bound_limit)?;
+        Ok(DegradedAnswer { bounds, reason })
+    }
+
+    /// Removes a prefix entry after a panic inside an evaluation that used
+    /// (or was about to populate) it, counting the removal.  The engine
+    /// stays serviceable: the next request of the prefix re-warms it.
+    fn quarantine(&self, fingerprint: &(u64, u64)) {
+        let mut pool = self.pool.write().expect("snapshot pool lock");
+        if pool.entries.remove(fingerprint).is_some() {
+            self.counters
+                .entries_quarantined
+                .fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Pools a captured snapshot unless the database has moved on since the
@@ -1412,6 +1719,14 @@ impl ServingEngine {
         snapshot: &ExecSnapshot,
         creator: &Arc<str>,
     ) {
+        // Failpoint: skipping an absorb is a legal opportunistic miss — the
+        // answer was already computed; only the pool stays cold.
+        if crate::faults::fire_cost_only("absorb") {
+            self.counters
+                .stale_absorbs_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut pool = self.pool.write().expect("snapshot pool lock");
         if self.db_epoch.load(Ordering::Acquire) == epoch {
             pool.absorb(profile, snapshot, creator);
@@ -1439,6 +1754,7 @@ impl ServingEngine {
     /// prepared query whose plan is unpinned (or re-pin a key the cleared
     /// cache no longer holds).
     fn prepare(&self, text: &str, config: EvalConfig) -> Result<(Arc<str>, Arc<PreparedQuery>)> {
+        crate::faults::fire("prepare", None)?;
         loop {
             let (catalog, epoch) = {
                 let state = self.state.read().expect("serving state lock");
@@ -1520,6 +1836,9 @@ impl ServingEngine {
             subplans_patched: self.counters.subplans_patched.load(Ordering::Relaxed),
             subplans_demoted: self.counters.subplans_demoted.load(Ordering::Relaxed),
             stale_absorbs_dropped: self.counters.stale_absorbs_dropped.load(Ordering::Relaxed),
+            retries: self.counters.retries.load(Ordering::Relaxed),
+            entries_quarantined: self.counters.entries_quarantined.load(Ordering::Relaxed),
+            degraded_answers: self.counters.degraded_answers.load(Ordering::Relaxed),
         }
     }
 
@@ -1558,6 +1877,7 @@ impl ServingEngine {
 pub struct ServingSession<'a> {
     engine: &'a ServingEngine,
     evaluations: u64,
+    retry: RetryPolicy,
 }
 
 impl<'a> ServingSession<'a> {
@@ -1571,19 +1891,83 @@ impl<'a> ServingSession<'a> {
         self.evaluations
     }
 
+    /// Replaces the session's [`RetryPolicy`] (the default retries transient
+    /// errors a few times with jittered backoff; [`RetryPolicy::none`]
+    /// surfaces every error immediately).
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// Evaluates a query with the engine's default budgets.
     pub fn evaluate<R: Rng + ?Sized>(&mut self, text: &str, rng: &mut R) -> Result<EvalOutput> {
         self.evaluate_request(&Request::new(text), rng)
     }
 
-    /// Evaluates a [`Request`] with per-request budgets.
+    /// Evaluates a [`Request`] with per-request budgets, retrying transient
+    /// failures ([`EngineError::is_transient`]) under the session's
+    /// [`RetryPolicy`].  A retry that would sleep past the request deadline
+    /// is not attempted — the transient error surfaces instead.
     pub fn evaluate_request<R: Rng + ?Sized>(
         &mut self,
         request: &Request<'_>,
         rng: &mut R,
     ) -> Result<EvalOutput> {
         self.evaluations += 1;
-        self.engine.evaluate_request(request, rng)
+        let salt = self.evaluations;
+        let mut attempt = 0u32;
+        loop {
+            match self.engine.evaluate_request(request, rng) {
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    match self.backoff_or_give_up(request, attempt, salt) {
+                        Some(()) => attempt += 1,
+                        None => return Err(e),
+                    }
+                }
+                verdict => return verdict,
+            }
+        }
+    }
+
+    /// The degradable counterpart of
+    /// [`evaluate_request`](ServingSession::evaluate_request): retries
+    /// transient failures, then falls back to guaranteed bounds via
+    /// [`ServingEngine::evaluate_degradable`] when budgets still cannot be
+    /// met.
+    pub fn evaluate_degradable<R: Rng + ?Sized>(
+        &mut self,
+        request: &Request<'_>,
+        rng: &mut R,
+    ) -> Result<ServingAnswer> {
+        self.evaluations += 1;
+        let salt = self.evaluations;
+        let mut attempt = 0u32;
+        loop {
+            match self.engine.evaluate_degradable(request, rng) {
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    match self.backoff_or_give_up(request, attempt, salt) {
+                        Some(()) => attempt += 1,
+                        None => return Err(e),
+                    }
+                }
+                verdict => return verdict,
+            }
+        }
+    }
+
+    /// Sleeps the jittered backoff before retry `attempt` and counts the
+    /// retry, or returns `None` when the sleep would overrun the request
+    /// deadline (the caller then surfaces the transient error).
+    fn backoff_or_give_up(&self, request: &Request<'_>, attempt: u32, salt: u64) -> Option<()> {
+        let backoff = self.retry.backoff(attempt, salt);
+        if let Some(deadline) = request.deadline {
+            if Instant::now() + backoff >= deadline {
+                return None;
+            }
+        }
+        std::thread::sleep(backoff);
+        self.engine.counters.retries.fetch_add(1, Ordering::Relaxed);
+        Some(())
     }
 }
 
@@ -1591,7 +1975,7 @@ impl<'a> ServingSession<'a> {
 mod tests {
     use super::*;
     use crate::exec::UEngine;
-    use pdb::{relation, schema};
+    use pdb::{relation, schema, tuple};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -1705,6 +2089,7 @@ mod tests {
             var_counter: 0,
             rng: dyn_rng,
             spaces: SpaceCache::new(),
+            deadline: None,
         };
         let (_, snapshot) = prepared.physical.execute_capturing(&mut ctx).unwrap();
 
@@ -2270,6 +2655,7 @@ mod tests {
             ServingLimits {
                 max_in_flight: 1,
                 max_cold_in_flight: 1,
+                max_queue_wait: None,
             },
         )
         .unwrap();
@@ -2373,5 +2759,334 @@ mod tests {
         let stats = serving.stats();
         assert_eq!(stats.warm_evaluations, 1);
         assert_eq!(stats.shared_prefix_hits, 0);
+    }
+
+    #[test]
+    fn retry_backoff_is_bounded_deterministic_and_jittered() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..8 {
+            for salt in 0..4 {
+                let a = policy.backoff(attempt, salt);
+                assert_eq!(a, policy.backoff(attempt, salt), "jitter must replay");
+                assert!(a <= policy.max_backoff);
+                let exp = policy
+                    .base_backoff
+                    .saturating_mul(1 << attempt.min(16))
+                    .min(policy.max_backoff);
+                assert!(a >= exp.mul_f64(0.5), "jitter floor is half the step");
+            }
+        }
+        // Different sessions (salts) desynchronize.
+        let spread: BTreeSet<Duration> = (0..16).map(|salt| policy.backoff(0, salt)).collect();
+        assert!(spread.len() > 1, "jitter must actually vary across salts");
+        assert_eq!(RetryPolicy::none().max_retries, 0);
+    }
+
+    #[test]
+    fn gates_tag_deadline_and_overload_errors_with_their_stage() {
+        // Table-driven over both gate stages: a drained gate fails a
+        // deadline wait with `DeadlineExceeded { stage }` and a queue-
+        // deadline wait with `Overloaded { stage }`, tagged verbatim.
+        for stage in ["cold admission", "admission"] {
+            let gate = Gate::new(1);
+            let _held = gate.acquire(None, None, stage).unwrap();
+            let soon = Some(Instant::now() + Duration::from_millis(5));
+            match gate.acquire(soon, None, stage) {
+                Err(EngineError::DeadlineExceeded { stage: tag }) => assert_eq!(tag, stage),
+                other => panic!("expected DeadlineExceeded({stage}), got {other:?}"),
+            }
+            match gate.acquire(None, Some(Duration::from_millis(5)), stage) {
+                Err(err @ EngineError::Overloaded { .. }) => {
+                    assert_eq!(err, EngineError::Overloaded { stage });
+                    assert!(err.is_transient(), "sheds must be retryable");
+                }
+                other => panic!("expected Overloaded({stage}), got {other:?}"),
+            }
+            // With both budgets pending, whichever expires first decides
+            // the classification: the request deadline outranks the queue.
+            let d = Some(Instant::now() + Duration::from_millis(5));
+            match gate.acquire(d, Some(Duration::from_secs(60)), stage) {
+                Err(EngineError::DeadlineExceeded { stage: tag }) => assert_eq!(tag, stage),
+                other => panic!("expected DeadlineExceeded({stage}), got {other:?}"),
+            };
+        }
+    }
+
+    #[test]
+    fn deadline_stage_tags_cover_the_request_lifecycle() {
+        let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        // Stage "prepare": the deadline was already spent on arrival.
+        {
+            let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let request = Request::new(q).with_deadline(Instant::now() - Duration::from_millis(1));
+            match serving.evaluate_request(&request, &mut rng) {
+                Err(EngineError::DeadlineExceeded { stage }) => assert_eq!(stage, "prepare"),
+                other => panic!("expected DeadlineExceeded(prepare), got {other:?}"),
+            }
+        }
+        // Stage "cold admission": the cold gate is held and the prefix is
+        // not pooled, so the request queues there until its deadline.
+        {
+            let serving = ServingEngine::with_limits(
+                EvalConfig::default(),
+                coin_db(),
+                ServingLimits {
+                    max_in_flight: 4,
+                    max_cold_in_flight: 1,
+                    max_queue_wait: None,
+                },
+            )
+            .unwrap();
+            let _cold = serving
+                .cold_admission
+                .acquire(None, None, "cold admission")
+                .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let request = Request::new(q).with_deadline(Instant::now() + Duration::from_millis(10));
+            match serving.evaluate_request(&request, &mut rng) {
+                Err(EngineError::DeadlineExceeded { stage }) => {
+                    assert_eq!(stage, "cold admission")
+                }
+                other => panic!("expected DeadlineExceeded(cold admission), got {other:?}"),
+            }
+        }
+        // Stage "admission": the prefix is pooled (warm classification
+        // skips the cold gate) and the admission gate is held.
+        {
+            let serving = ServingEngine::with_limits(
+                EvalConfig::default(),
+                coin_db(),
+                ServingLimits {
+                    max_in_flight: 1,
+                    max_cold_in_flight: 1,
+                    max_queue_wait: None,
+                },
+            )
+            .unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            serving.evaluate(q, &mut rng).unwrap();
+            let _held = serving.admission.acquire(None, None, "admission").unwrap();
+            let request = Request::new(q).with_deadline(Instant::now() + Duration::from_millis(10));
+            match serving.evaluate_request(&request, &mut rng) {
+                Err(EngineError::DeadlineExceeded { stage }) => assert_eq!(stage, "admission"),
+                other => panic!("expected DeadlineExceeded(admission), got {other:?}"),
+            }
+        }
+        // Stage "estimate" is covered (with the containment check) by
+        // `mid_sampling_deadlines_degrade_to_guaranteed_bounds`; stage
+        // "pre-execution" by `burned_admission_deadlines_tag_pre_execution`
+        // under the failpoints feature.
+    }
+
+    #[test]
+    fn mid_sampling_deadlines_degrade_to_guaranteed_bounds() {
+        // ε = 2e-4 needs tens of millions of Karp–Luby samples: a 15 ms
+        // deadline expires mid-sampling, at a bitworld block boundary.
+        let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+        let q = "aconf[0.0002, 0.01](project[CoinType](repairkey[ @ Count](Coins)))";
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let request = Request::new(q).with_deadline(Instant::now() + Duration::from_millis(15));
+        match serving.evaluate_request(&request, &mut rng) {
+            Err(EngineError::DeadlineExceeded { stage }) => assert_eq!(stage, "estimate"),
+            Ok(_) => panic!("sampling at ε=2e-4 must not finish within 15 ms"),
+            other => panic!("expected DeadlineExceeded(estimate), got {other:?}"),
+        }
+        // The degradable entry point turns the same failure into exact
+        // confidence bounds that bracket the true confidences (2/3, 1/3).
+        let request = Request::new(q).with_deadline(Instant::now() + Duration::from_millis(15));
+        let answer = serving.evaluate_degradable(&request, &mut rng).unwrap();
+        let ServingAnswer::Degraded(degraded) = answer else {
+            panic!("expected a degraded answer")
+        };
+        assert_eq!(degraded.reason, DegradedReason::DeadlineExpired);
+        assert_eq!(degraded.bounds.len(), 2);
+        for (t, b) in &degraded.bounds {
+            let p = if *t == tuple!["fair"] {
+                2.0 / 3.0
+            } else {
+                assert_eq!(*t, tuple!["2headed"]);
+                1.0 / 3.0
+            };
+            assert!((0.0..=1.0).contains(&b.lower) && (0.0..=1.0).contains(&b.upper));
+            assert!(
+                b.lower <= p && p <= b.upper,
+                "true confidence {p} outside degraded bounds [{}, {}]",
+                b.lower,
+                b.upper
+            );
+        }
+        assert_eq!(serving.stats().degraded_answers, 1);
+    }
+
+    #[test]
+    fn saturated_queues_shed_and_degrade_where_bounds_exist() {
+        let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let serving = ServingEngine::with_limits(
+            EvalConfig::default(),
+            coin_db(),
+            ServingLimits {
+                max_in_flight: 1,
+                max_cold_in_flight: 1,
+                max_queue_wait: Some(Duration::from_millis(10)),
+            },
+        )
+        .unwrap();
+        // Hold the only admission slot: requests now shed after the queue
+        // deadline instead of waiting forever.
+        let _held = serving.admission.acquire(None, None, "admission").unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let err = serving
+            .evaluate_request(&Request::new(q), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, EngineError::Overloaded { stage: "admission" });
+        // The degradable entry point converts the shed into bounds...
+        let answer = serving
+            .evaluate_degradable(&Request::new(q), &mut rng)
+            .unwrap();
+        match answer {
+            ServingAnswer::Degraded(d) => {
+                assert_eq!(d.reason, DegradedReason::QueueSaturated);
+                assert_eq!(d.bounds.len(), 2);
+            }
+            ServingAnswer::Full(_) => panic!("held gate cannot serve a full answer"),
+        }
+        // ... but a query with no bounds form keeps its Overloaded error.
+        let err = serving
+            .evaluate_degradable(&Request::new("poss(Coins)"), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::Overloaded { .. }));
+        drop(_held);
+        // Released gate: the degradable path serves full answers again.
+        match serving
+            .evaluate_degradable(&Request::new(q), &mut rng)
+            .unwrap()
+        {
+            ServingAnswer::Full(_) => {}
+            ServingAnswer::Degraded(_) => panic!("free engine must answer in full"),
+        }
+        assert_eq!(serving.stats().degraded_answers, 1);
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod failpoints {
+        use super::*;
+        use crate::faults::{self, FaultPlan, ERROR, PANIC};
+
+        #[test]
+        fn burned_admission_deadlines_tag_pre_execution() {
+            let _guard = faults::exclusive();
+            let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            faults::arm(
+                &FaultPlan::storm(7, 1_000_000)
+                    .at("admission")
+                    .with_kinds(faults::BURN),
+            );
+            let request = Request::new(q).with_deadline(Instant::now() + Duration::from_millis(5));
+            let out = serving.evaluate_request(&request, &mut rng);
+            faults::disarm();
+            match out {
+                Err(EngineError::DeadlineExceeded { stage }) => {
+                    assert_eq!(stage, "pre-execution")
+                }
+                other => panic!("expected DeadlineExceeded(pre-execution), got {other:?}"),
+            }
+        }
+
+        #[test]
+        fn injected_panics_quarantine_the_entry_and_the_engine_recovers() {
+            let _guard = faults::exclusive();
+            let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+            let mut rng = ChaCha8Rng::seed_from_u64(21);
+            let cold = serving.evaluate(q, &mut rng).unwrap();
+            assert_eq!(serving.pooled_prefixes(), 1);
+            // Panic at the next estimate probe: the warm resume unwinds
+            // into the quarantine region.
+            faults::arm(
+                &FaultPlan::storm(5, 1_000_000)
+                    .at("estimate")
+                    .with_kinds(PANIC),
+            );
+            let mut rng_warm = ChaCha8Rng::seed_from_u64(21);
+            let err = serving.evaluate(q, &mut rng_warm).unwrap_err();
+            faults::disarm();
+            assert_eq!(err, EngineError::Panicked { stage: "warm-eval" });
+            assert!(err.is_transient());
+            assert_eq!(serving.stats().entries_quarantined, 1);
+            assert_eq!(serving.pooled_prefixes(), 0, "quarantine drops the entry");
+            // The engine stays serviceable: the same seed re-warms the
+            // prefix and reproduces the cold answer bit-identically (the
+            // panic fired before any RNG draw).
+            let mut rng_retry = ChaCha8Rng::seed_from_u64(21);
+            let again = serving.evaluate(q, &mut rng_retry).unwrap();
+            assert_eq!(again.result.relation, cold.result.relation);
+            assert_eq!(serving.pooled_prefixes(), 1);
+        }
+
+        #[test]
+        fn sessions_retry_injected_faults_to_bit_identical_answers() {
+            let _guard = faults::exclusive();
+            let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+            // Fault-free ground truth.
+            let clean = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(33);
+            let truth = clean.evaluate(q, &mut rng).unwrap();
+            // Inject admission errors on roughly half the probe hits; the
+            // session's retry loop must absorb every one of them, and the
+            // answers must still match the fault-free run bit for bit
+            // (failed attempts consume no caller randomness).
+            let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            faults::arm(
+                &FaultPlan::storm(1, 500_000)
+                    .at("admission")
+                    .with_kinds(ERROR),
+            );
+            let mut session = serving.session().with_retry_policy(RetryPolicy {
+                max_retries: 16,
+                base_backoff: Duration::from_micros(50),
+                max_backoff: Duration::from_millis(1),
+                jitter_seed: 9,
+            });
+            let mut rng = ChaCha8Rng::seed_from_u64(33);
+            let first = session.evaluate(q, &mut rng).unwrap();
+            let warm = session.evaluate(q, &mut rng).unwrap();
+            let injected = faults::injected_count();
+            faults::disarm();
+            assert_eq!(first.result.relation, truth.result.relation);
+            assert_eq!(first.result.errors, truth.result.errors);
+            assert_eq!(warm.result.relation, first.result.relation);
+            assert!(injected >= 1, "a 50% storm over many probes must fire");
+            assert_eq!(serving.stats().retries, injected);
+        }
+
+        #[test]
+        fn dropped_absorbs_and_patches_only_change_cost() {
+            let _guard = faults::exclusive();
+            let serving = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            let q = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+            // Every absorb drops: the pool stays cold, but answers flow.
+            faults::arm(
+                &FaultPlan::storm(13, 1_000_000)
+                    .at("absorb")
+                    .with_kinds(ERROR),
+            );
+            let mut rng = ChaCha8Rng::seed_from_u64(41);
+            let a = serving.evaluate(q, &mut rng).unwrap();
+            let b = serving.evaluate(q, &mut rng).unwrap();
+            faults::disarm();
+            assert_eq!(serving.pooled_prefixes(), 0, "all absorbs were dropped");
+            assert_eq!(serving.stats().cold_evaluations, 2);
+            // Both requests ran cold, so they must agree with a fresh
+            // serving engine evaluating twice on the same seed.
+            let clean = ServingEngine::new(EvalConfig::default(), coin_db()).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(41);
+            let ca = clean.evaluate(q, &mut rng).unwrap();
+            let cb = clean.evaluate(q, &mut rng).unwrap();
+            assert_eq!(a.result.relation, ca.result.relation);
+            assert_eq!(b.result.relation, cb.result.relation);
+        }
     }
 }

@@ -74,6 +74,63 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
+/// Deterministic fault injection for the pool's steal path.
+///
+/// Only compiled under the `failpoints` feature; the default build carries no
+/// trace of it.  The injected fault is **latency only** — `find_job` sits
+/// inside the no-unwind window documented on [`lock_or_abort`], so a panic or
+/// error return here is structurally off the table.  Whether a given steal
+/// attempt is delayed is a pure function of the armed seed and a global hit
+/// counter, so a single-threaded replay injects the same delays.
+#[cfg(feature = "failpoints")]
+pub mod faults {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    static RATE_PPM: AtomicU64 = AtomicU64::new(0);
+    static LATENCY_US: AtomicU64 = AtomicU64::new(0);
+    static HITS: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms the pool-steal failpoint: each steal attempt independently sleeps
+    /// for `latency` with probability `rate_ppm` / 1e6, decided by
+    /// `splitmix64(seed ^ hit_index)`.
+    pub fn arm(seed: u64, rate_ppm: u64, latency: Duration) {
+        SEED.store(seed, Ordering::Relaxed);
+        RATE_PPM.store(rate_ppm.min(1_000_000), Ordering::Relaxed);
+        LATENCY_US.store(
+            latency.as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        HITS.store(0, Ordering::Relaxed);
+        ARMED.store(true, Ordering::Relaxed);
+    }
+
+    /// Disarms the failpoint; subsequent steal attempts run undisturbed.
+    pub fn disarm() {
+        ARMED.store(false, Ordering::Relaxed);
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    pub(crate) fn pool_steal_delay() {
+        if !ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let hit = HITS.fetch_add(1, Ordering::Relaxed);
+        let roll = splitmix64(SEED.load(Ordering::Relaxed) ^ hit) % 1_000_000;
+        if roll < RATE_PPM.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_micros(LATENCY_US.load(Ordering::Relaxed)));
+        }
+    }
+}
+
 /// Chunks handed to the pool per worker: oversubscription lets stealing
 /// balance uneven per-item cost without paying per-item scheduling.
 const CHUNKS_PER_WORKER: usize = 4;
@@ -108,6 +165,8 @@ impl PoolShared {
     /// Pops a job: own deque front first (cache-warm), then steal from the
     /// back of the others.
     fn find_job(&self, home: usize) -> Option<Job> {
+        #[cfg(feature = "failpoints")]
+        crate::faults::pool_steal_delay();
         if let Some(job) = lock_or_abort(&self.deques[home]).pop_front() {
             return Some(job);
         }
