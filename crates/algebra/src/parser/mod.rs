@@ -595,6 +595,30 @@ mod tests {
         }
     }
 
+    /// The display form of a parsed query must re-parse to the same display
+    /// (a closed normalization).  The serving layer keys its plan cache —
+    /// and the checkpoint store its persisted warm entries — by this
+    /// normalized text, so a display form the parser rejects would make a
+    /// query unpreparable from its own cache key.
+    #[test]
+    fn display_forms_re_parse_to_a_fixpoint() {
+        let texts = [
+            "poss(join(R, S))",
+            "conf(project[CoinType](repairkey[ @ Count](Coins)))",
+            "aconf[0.3, 0.15](project[B](join(repairkey[K @ W](R), S)))",
+            "aconf[0.1, 0.05, Prob](T)",
+            "aselect[P1 = conf(A); P1 >= 0.5; eps0 = 0.02; delta = 0.1](T)",
+            "diffc(poss(select[K = 1](A)), cert(extend[W * 2 as V](B)))",
+            "union(rename[B -> C](product(A, B)), diff(A, A))",
+        ];
+        for text in texts {
+            let normalized = parse_query(text).unwrap().to_string();
+            let reparsed = parse_query(&normalized)
+                .unwrap_or_else(|e| panic!("`{normalized}` does not re-parse: {e}"));
+            assert_eq!(reparsed.to_string(), normalized, "not a fixpoint: {text}");
+        }
+    }
+
     #[test]
     fn parses_set_operations_and_poss_cert() {
         assert_eq!(

@@ -437,7 +437,7 @@ impl fmt::Display for Query {
                 prob_attr,
                 epsilon,
                 delta,
-            } => write!(f, "aconf[{prob_attr}, {epsilon}, {delta}]({input})"),
+            } => write!(f, "aconf[{epsilon}, {delta}, {prob_attr}]({input})"),
             Query::RepairKey { input, key, weight } => {
                 write!(f, "repairkey[{} @ {weight}]({input})", key.join(", "))
             }

@@ -32,6 +32,10 @@
 //!    reference estimator vs the bit-parallel 64-worlds-per-word kernel on
 //!    the `fpras_conf` workload's own lineage programs, plus the resulting
 //!    cold/warm `aconf` request latencies from experiment 1.
+//! 6. **Storage tier** — join throughput fully resident vs under a spill
+//!    budget (chunk outputs routed through digest-verified temporary
+//!    segments), and checkpoint write / restore-then-warm-evaluate latency
+//!    vs a cold re-prepare of the same query on a fresh engine.
 
 use algebra::LogicalPlan;
 use confidence::{BitKarpLuby, KarpLubyEstimator};
@@ -397,6 +401,94 @@ fn delta_update_experiment(rows: usize, runs: usize) -> DeltaUpdateResult {
     }
 }
 
+/// Results of the storage-tier experiment: the spill path's overhead on a
+/// join that fits in memory anyway (the price of out-of-core safety), and
+/// the restart story — checkpoint write, restore + first warm evaluation,
+/// vs re-preparing the same query cold on a fresh engine.
+struct StorageResult {
+    rows: usize,
+    spill_budget_bytes: usize,
+    /// Median join evaluation, fully resident (budget 0).
+    resident_join_us: f64,
+    /// Median join evaluation with chunk outputs spilled through
+    /// digest-verified temporary segments.
+    spill_join_us: f64,
+    /// Median `checkpoint` call over the warmed serving engine.
+    checkpoint_write_us: f64,
+    /// Median restore-from-checkpoint *plus* first (warm) evaluation.
+    restore_warm_us: f64,
+    /// Median fresh-engine construction *plus* first (cold) evaluation.
+    cold_reprepare_us: f64,
+    /// Pool entries the restore re-seeded (sanity: the warm path is real).
+    restored_pooled_prefixes: usize,
+}
+
+fn storage_experiment(rows: usize, runs: usize) -> StorageResult {
+    let keys = (rows / 3).max(2);
+    let mut db = UDatabase::new();
+    db.set_relation("R", weighted_rows(rows, keys, 1), true);
+    db.set_relation("S", label_rows(keys, 3), true);
+    let catalog = catalog_of(&db).expect("catalog");
+    let join = algebra::parse_query("poss(project[B](join(R, S)))").expect("join parses");
+    let plan = LogicalPlan::lower_validated(&join, &catalog).expect("plan lowers");
+
+    let resident = UEngine::new(EvalConfig::default());
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let resident_join_us = median_micros(runs, || {
+        resident
+            .evaluate_plan(&db, &plan, &mut rng)
+            .expect("resident join");
+    });
+    // A budget small enough that the join's chunk outputs actually spill at
+    // these sizes, large enough to stay plausible as a real memory cap.
+    let spill_budget_bytes = 4 * 1024;
+    let spilling = UEngine::new(EvalConfig::default().with_spill_budget_bytes(spill_budget_bytes));
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let spill_join_us = median_micros(runs, || {
+        spilling
+            .evaluate_plan(&db, &plan, &mut rng)
+            .expect("spilled join");
+    });
+
+    // Restart story: warm one stateful query, checkpoint, then compare
+    // restore + warm evaluation against fresh-engine + cold evaluation.
+    let text = "aconf[0.30, 0.2](project[B](join(repairkey[K @ W](R), S)))";
+    let serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    serving
+        .evaluate(text, &mut rng)
+        .expect("warming evaluation");
+    let dir = std::env::temp_dir().join(format!("uadb-bench-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let checkpoint_write_us = median_micros(runs, || {
+        serving.checkpoint(&dir).expect("checkpoint");
+    });
+    let restored = ServingEngine::restore(EvalConfig::default(), &dir).expect("restore");
+    let restored_pooled_prefixes = restored.pooled_prefixes();
+    let restore_warm_us = median_micros(runs, || {
+        let engine = ServingEngine::restore(EvalConfig::default(), &dir).expect("restore");
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        engine.evaluate(text, &mut rng).expect("restored warm");
+    });
+    let cold_reprepare_us = median_micros(runs, || {
+        let engine = ServingEngine::new(EvalConfig::default(), db.clone()).expect("cold engine");
+        let mut rng = ChaCha8Rng::seed_from_u64(37);
+        engine.evaluate(text, &mut rng).expect("cold evaluation");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StorageResult {
+        rows,
+        spill_budget_bytes,
+        resident_join_us,
+        spill_join_us,
+        checkpoint_write_us,
+        restore_warm_us,
+        cold_reprepare_us,
+        restored_pooled_prefixes,
+    }
+}
+
 /// Results of the estimator-kernel experiment: scalar vs bit-parallel
 /// Karp–Luby throughput on the `fpras_conf` workload's own lineages.
 struct EstimatorResult {
@@ -464,6 +556,7 @@ fn render_json(
     shards: &[ShardResult],
     mixed: &MixedWorkloadResult,
     delta: &DeltaUpdateResult,
+    storage: &StorageResult,
     estimator: &EstimatorResult,
 ) -> String {
     let mut out = String::new();
@@ -602,6 +695,35 @@ fn render_json(
             / (delta.delta_update_us + delta.patched_warm_us).max(1e-9)
     );
     let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"storage\": {{");
+    let _ = writeln!(
+        out,
+        "    \"workload\": \"poss(project(join(R, S))) over {} R-rows resident vs under a \
+         {}-byte spill budget (chunk outputs through digest-verified temp segments), plus \
+         checkpoint/restore of a warmed aconf(join(repairkey(R), S)) server vs a cold \
+         re-prepare\",",
+        storage.rows, storage.spill_budget_bytes
+    );
+    let _ = writeln!(
+        out,
+        "    \"join\": {{\"resident_us\": {:.1}, \"spill_us\": {:.1}, \
+         \"spill_overhead\": {:.2}}},",
+        storage.resident_join_us,
+        storage.spill_join_us,
+        storage.spill_join_us / storage.resident_join_us.max(1e-9)
+    );
+    let _ = writeln!(
+        out,
+        "    \"checkpoint\": {{\"write_us\": {:.1}, \"restore_plus_warm_eval_us\": {:.1}, \
+         \"cold_engine_plus_eval_us\": {:.1}, \"restored_pooled_prefixes\": {}, \
+         \"restore_speedup_vs_cold\": {:.2}}}",
+        storage.checkpoint_write_us,
+        storage.restore_warm_us,
+        storage.cold_reprepare_us,
+        storage.restored_pooled_prefixes,
+        storage.cold_reprepare_us / storage.restore_warm_us.max(1e-9)
+    );
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"estimator\": {{");
     let _ = writeln!(
         out,
@@ -658,8 +780,11 @@ fn main() {
     let shards = sharding_experiment(join_tuples, runs);
     let mixed = mixed_workload_experiment(mixed_rows, runs);
     let delta = delta_update_experiment(mixed_rows, runs);
+    let storage = storage_experiment(mixed_rows, runs);
     let estimator = estimator_experiment(serving_tuples);
-    let json = render_json(smoke, &repeated, &shards, &mixed, &delta, &estimator);
+    let json = render_json(
+        smoke, &repeated, &shards, &mixed, &delta, &storage, &estimator,
+    );
     print!("{json}");
 
     for r in &repeated {
@@ -715,6 +840,20 @@ fn main() {
         delta.subplans_invalidated,
         (delta.replace_update_us + delta.demoted_warm_us)
             / (delta.delta_update_us + delta.patched_warm_us).max(1e-9)
+    );
+
+    eprintln!(
+        "storage: join resident {:.0} us vs spilled {:.0} us ({:.2}x overhead); \
+         checkpoint write {:.0} us, restore+warm {:.0} us vs cold re-prepare {:.0} us \
+         ({:.1}x, {} prefixes re-seeded)",
+        storage.resident_join_us,
+        storage.spill_join_us,
+        storage.spill_join_us / storage.resident_join_us.max(1e-9),
+        storage.checkpoint_write_us,
+        storage.restore_warm_us,
+        storage.cold_reprepare_us,
+        storage.cold_reprepare_us / storage.restore_warm_us.max(1e-9),
+        storage.restored_pooled_prefixes
     );
 
     eprintln!(

@@ -53,6 +53,12 @@ pub enum EngineError {
         /// The failpoint site that injected the fault.
         site: &'static str,
     },
+    /// A storage-layer segment failed verification — bad magic, version or
+    /// length mismatch, digest mismatch, or an undecodable payload.  The
+    /// bytes on disk cannot be trusted, so they are rejected rather than
+    /// served; a restore that hits this on a core segment falls back to a
+    /// cold start.
+    Storage(String),
     /// Generic invariant violation.
     Invariant(String),
 }
@@ -104,6 +110,7 @@ impl fmt::Display for EngineError {
             EngineError::Injected { site } => {
                 write!(f, "fault injected at failpoint `{site}`")
             }
+            EngineError::Storage(m) => write!(f, "storage corruption: {m}"),
             EngineError::Invariant(m) => write!(f, "invariant violation: {m}"),
         }
     }
@@ -179,6 +186,11 @@ mod tests {
         assert!(!EngineError::Unsupported("x".into()).is_transient());
         assert!(!EngineError::Invariant("x".into()).is_transient());
         assert!(!EngineError::NotComplete("R".into()).is_transient());
+        // Corrupt bytes do not heal on retry.
+        assert!(!EngineError::Storage("digest mismatch".into()).is_transient());
+        assert!(EngineError::Storage("digest mismatch".into())
+            .to_string()
+            .contains("storage corruption"));
         let e = EngineError::Overloaded { stage: "admission" };
         assert!(e.to_string().contains("overloaded"));
         let e = EngineError::Panicked { stage: "cold" };

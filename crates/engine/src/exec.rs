@@ -79,6 +79,15 @@ pub struct EvalConfig {
     /// neutral: refined bounds are exact, so a larger limit can only decide
     /// *more* candidates without sampling.
     pub pairwise_bound_limit: usize,
+    /// Approximate per-chunk memory budget (bytes) of the out-of-core spill
+    /// tier.  `0` (the default) keeps every operator chunk resident.  A
+    /// positive budget makes the pure-operator executor split inputs into
+    /// byte-budgeted chunks and write chunk *outputs* heavier than the
+    /// budget to digest-verified temporary segment files, merging them back
+    /// by streaming set-semantics decode — bounding resident output memory
+    /// at roughly one chunk.  Results are bit-identical for any value; this
+    /// is purely a memory/scale knob.
+    pub spill_budget_bytes: usize,
 }
 
 /// Default shard count: one chunk per hardware thread, capped (chunking has
@@ -103,6 +112,7 @@ impl Default for EvalConfig {
             shards: default_shards(),
             prune_approx_select: true,
             pairwise_bound_limit: confidence::DEFAULT_PAIRWISE_TERM_LIMIT,
+            spill_budget_bytes: 0,
         }
     }
 }
@@ -133,6 +143,12 @@ impl EvalConfig {
     /// bound refinement; `0` keeps pruning on first-order bounds only.
     pub fn with_pairwise_bound_limit(mut self, limit: usize) -> Self {
         self.pairwise_bound_limit = limit;
+        self
+    }
+
+    /// Sets the spill tier's per-chunk byte budget (`0` = fully resident).
+    pub fn with_spill_budget_bytes(mut self, bytes: usize) -> Self {
+        self.spill_budget_bytes = bytes;
         self
     }
 }
@@ -297,5 +313,16 @@ mod tests {
             ..EvalConfig::default()
         };
         assert_eq!(direct.shards, 3);
+    }
+
+    #[test]
+    fn spill_budget_defaults_to_resident() {
+        assert_eq!(EvalConfig::default().spill_budget_bytes, 0);
+        assert_eq!(
+            EvalConfig::exact()
+                .with_spill_budget_bytes(4096)
+                .spill_budget_bytes,
+            4096
+        );
     }
 }

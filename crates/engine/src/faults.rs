@@ -23,6 +23,7 @@
 //! | `estimate`  | top of `conf` sampling (before seed draw)  | error/latency/burn/panic |
 //! | `absorb`    | before a snapshot is absorbed into the pool| drop/latency  |
 //! | `patch`     | before a delta patch of a pool entry       | drop/latency  |
+//! | `storage`   | checkpoint segment writes                  | flip one byte |
 //! | pool-steal  | `rayon::faults` (vendored pool)            | latency only  |
 //!
 //! `absorb` and `patch` run under the pool write lock where an unwind or
@@ -32,6 +33,12 @@
 //! treats as legal cache misses.  Panics are only ever injected at
 //! `cold-eval` and `estimate`, which sit inside the serving path's
 //! quarantine (`catch_unwind`) region.
+//!
+//! `storage` is a *corruption* site: its probe ([`corrupt_bytes`]) flips
+//! one deterministic bit of a framed checkpoint segment just before it is
+//! written, exercising the storage layer's digest verification — a
+//! corrupted segment must be rejected on read (`EngineError::Storage`),
+//! never decoded into wrong answers.
 
 #[cfg(feature = "failpoints")]
 pub use imp::*;
@@ -65,6 +72,13 @@ pub fn fire_cost_only(_site: &'static str) -> bool {
     false
 }
 
+/// Corruption probe stub for builds without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn corrupt_bytes(_site: &'static str, _bytes: &mut [u8]) -> bool {
+    false
+}
+
 #[cfg(feature = "failpoints")]
 mod imp {
     use crate::error::{EngineError, Result};
@@ -87,6 +101,9 @@ mod imp {
     /// The cost-only failpoint sites (latency or drop-the-work, never
     /// error/panic — they run under the pool write lock).
     pub const COST_SITES: [&str; 2] = ["absorb", "patch"];
+    /// The corruption failpoint sites ([`corrupt_bytes`]): a fault flips one
+    /// bit of the bytes about to hit disk instead of erroring.
+    pub const CORRUPT_SITES: [&str; 1] = ["storage"];
     /// Sites inside the serving quarantine region where an injected panic
     /// is recoverable; `PANIC` rolls elsewhere downgrade to `ERROR`.
     const PANIC_SITES: [&str; 2] = ["cold-eval", "estimate"];
@@ -138,12 +155,13 @@ mod imp {
     static RATE_PPM: AtomicU32 = AtomicU32::new(0);
     static KINDS: AtomicU32 = AtomicU32::new(0);
     static LATENCY_US: AtomicU64 = AtomicU64::new(0);
-    /// Bitmask over `SITES` + `COST_SITES` of the sites the plan targets.
+    /// Bitmask over `SITES` + `COST_SITES` + `CORRUPT_SITES` of the sites
+    /// the plan targets.
     static SITE_MASK: AtomicU32 = AtomicU32::new(0);
     static INJECTED: AtomicU64 = AtomicU64::new(0);
 
-    fn hit_counters() -> &'static [AtomicU64; 6] {
-        static HITS: OnceLock<[AtomicU64; 6]> = OnceLock::new();
+    fn hit_counters() -> &'static [AtomicU64; 7] {
+        static HITS: OnceLock<[AtomicU64; 7]> = OnceLock::new();
         HITS.get_or_init(|| std::array::from_fn(|_| AtomicU64::new(0)))
     }
 
@@ -159,6 +177,7 @@ mod imp {
         SITES
             .iter()
             .chain(COST_SITES.iter())
+            .chain(CORRUPT_SITES.iter())
             .position(|s| *s == site)
             .unwrap_or_else(|| panic!("unknown failpoint site {site:?}"))
     }
@@ -270,6 +289,22 @@ mod imp {
         }
     }
 
+    /// The corruption probe for storage writes.  At an armed site a fault
+    /// flips one deterministic bit of `bytes` (the byte index and bit
+    /// position both derive from the roll) and returns `true`; otherwise
+    /// the bytes pass through untouched.  Callers write the possibly
+    /// mangled buffer to disk as-is — detection is the *reader's* job,
+    /// via digest verification.
+    pub fn corrupt_bytes(site: &'static str, bytes: &mut [u8]) -> bool {
+        if !ARMED.load(Ordering::Relaxed) || bytes.is_empty() {
+            return false;
+        }
+        let Some(r) = roll(site) else { return false };
+        let idx = ((r >> 24) as usize) % bytes.len();
+        bytes[idx] ^= 1 << ((r >> 16) & 7);
+        true
+    }
+
     /// The cost-only probe for sites that run under the pool write lock.
     /// Never errors or panics: a fault either sleeps for the plan latency
     /// (returning `false`) or returns `true`, asking the caller to drop
@@ -297,6 +332,9 @@ mod tests {
         const { assert!(!super::COMPILED) };
         assert_eq!(super::fire("anywhere", None), Ok(()));
         assert!(!super::fire_cost_only("anywhere"));
+        let mut bytes = [1u8, 2, 3];
+        assert!(!super::corrupt_bytes("anywhere", &mut bytes));
+        assert_eq!(bytes, [1, 2, 3]);
     }
 }
 
@@ -367,6 +405,52 @@ mod tests {
         assert!(fire("admission", None).is_ok());
         assert!(fire("estimate", None).is_err());
         assert!(!fire_cost_only("patch"));
+        disarm();
+    }
+
+    #[test]
+    fn corruption_probe_flips_exactly_one_deterministic_bit() {
+        let _guard = exclusive();
+        let plan = FaultPlan::storm(21, 1_000_000).at("storage");
+        let pristine: Vec<u8> = (0..64u8).collect();
+        let observe = |plan: &FaultPlan| {
+            arm(plan);
+            let mut bytes = pristine.clone();
+            let hit = corrupt_bytes("storage", &mut bytes);
+            disarm();
+            (hit, bytes)
+        };
+        let (hit_a, a) = observe(&plan);
+        let (hit_b, b) = observe(&plan);
+        assert!(hit_a, "full-rate corruption must fire on the first hit");
+        assert_eq!((hit_a, &a), (hit_b, &b), "same seed, same flipped bit");
+        let flipped: Vec<usize> = a
+            .iter()
+            .zip(&pristine)
+            .enumerate()
+            .filter(|(_, (x, y))| x != y)
+            .map(|(i, (x, y))| {
+                assert_eq!((*x ^ *y).count_ones(), 1, "exactly one bit per byte");
+                i
+            })
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte is touched");
+    }
+
+    #[test]
+    fn corruption_probe_respects_arming_and_site_filter() {
+        let _guard = exclusive();
+        disarm();
+        let mut bytes = vec![0xAAu8; 16];
+        assert!(!corrupt_bytes("storage", &mut bytes));
+        assert_eq!(bytes, vec![0xAAu8; 16]);
+        // A storm aimed elsewhere must not corrupt storage writes.
+        arm(&FaultPlan::storm(5, 1_000_000).at("prepare"));
+        assert!(!corrupt_bytes("storage", &mut bytes));
+        assert_eq!(bytes, vec![0xAAu8; 16]);
+        // Empty buffers are left alone even at full rate.
+        arm(&FaultPlan::storm(5, 1_000_000).at("storage"));
+        assert!(!corrupt_bytes("storage", &mut []));
         disarm();
     }
 

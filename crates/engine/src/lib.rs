@@ -53,6 +53,7 @@ mod predicate_compile;
 pub mod provenance;
 pub mod serving;
 mod space;
+mod storage;
 
 pub use adaptive_query::{active_domain_size, catalog_of, evaluate_adaptive, AdaptiveOutput};
 pub use delta::DeltaInput;

@@ -6,7 +6,7 @@
 use crate::error::{EngineError, Result};
 use algebra::{Predicate, ProjItem};
 use pdb::{Schema, Tuple, Value};
-use urel::URelation;
+use urel::{ColumnarChunk, URelation};
 
 /// Merges per-chunk operator outputs; set semantics make the merged relation
 /// identical to the single-batch result, whatever the chunking.
@@ -58,6 +58,78 @@ pub fn extend(rel: &URelation, items: &[ProjItem]) -> Result<URelation> {
             values.push(item.expr.eval(rel.schema(), &row.tuple)?);
         }
         out.insert(row.condition.clone(), Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// Columnar `σ_φ` over one chunk: identical output to [`select`] on the
+/// chunk's rows.  Conditions stay in the chunk's flattened arenas and the
+/// data tuple is gathered from the per-attribute arenas only for rows the
+/// predicate keeps — the common single-attribute predicate touches one
+/// contiguous column per probe.
+pub fn select_columnar(chunk: &ColumnarChunk, predicate: &Predicate) -> Result<URelation> {
+    predicate.check(chunk.schema())?;
+    let mut out = URelation::empty(chunk.schema().clone());
+    for i in 0..chunk.len() {
+        let tuple = chunk.tuple_at(i);
+        if predicate.eval(chunk.schema(), &tuple)? {
+            out.insert(chunk.condition_at(i), tuple)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Columnar generalised projection over one chunk: identical output to
+/// [`project`] on the chunk's rows.
+pub fn project_columnar(chunk: &ColumnarChunk, items: &[ProjItem]) -> Result<URelation> {
+    let out_schema = Schema::new(items.iter().map(|i| i.name.clone())).map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for i in 0..chunk.len() {
+        let tuple = chunk.tuple_at(i);
+        let mut values: Vec<Value> = Vec::with_capacity(items.len());
+        for item in items {
+            values.push(item.expr.eval(chunk.schema(), &tuple)?);
+        }
+        out.insert(chunk.condition_at(i), Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// Columnar extension over one chunk: identical output to [`extend`] on the
+/// chunk's rows.
+pub fn extend_columnar(chunk: &ColumnarChunk, items: &[ProjItem]) -> Result<URelation> {
+    let mut names: Vec<String> = chunk.schema().attrs().to_vec();
+    names.extend(items.iter().map(|i| i.name.clone()));
+    let out_schema = Schema::new(names).map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for i in 0..chunk.len() {
+        let tuple = chunk.tuple_at(i);
+        let mut values: Vec<Value> = tuple.clone().into_values();
+        for item in items {
+            values.push(item.expr.eval(chunk.schema(), &tuple)?);
+        }
+        out.insert(chunk.condition_at(i), Tuple::new(values))?;
+    }
+    Ok(out)
+}
+
+/// Columnar `×` of one left-side chunk against the whole right side:
+/// identical output to [`product`] restricted to the chunk's rows.
+pub fn product_columnar(chunk: &ColumnarChunk, right: &URelation) -> Result<URelation> {
+    let out_schema = chunk
+        .schema()
+        .concat(right.schema(), "rhs")
+        .map_err(EngineError::Pdb)?;
+    let mut out = URelation::empty(out_schema);
+    for i in 0..chunk.len() {
+        let lcond = chunk.condition_at(i);
+        let ltuple = chunk.tuple_at(i);
+        for r in right.iter() {
+            let Some(cond) = lcond.merge(&r.condition) else {
+                continue;
+            };
+            out.insert(cond, ltuple.concat(&r.tuple))?;
+        }
     }
     Ok(out)
 }
@@ -147,6 +219,24 @@ pub fn natural_join_sharded(
     right: &URelation,
     shards: usize,
 ) -> Result<URelation> {
+    natural_join_spilling(left, right, shards, 0)
+}
+
+/// The chunked join underneath [`natural_join_sharded`], with an optional
+/// spill budget.  The left side is split into byte-budgeted *columnar*
+/// chunks, so each probe projects its join key straight out of the chunk's
+/// contiguous per-attribute arenas and the full output row is materialised
+/// only on a key match.  With `spill_budget > 0` the chunk count also grows
+/// to keep each chunk's input near the budget, and per-chunk outputs heavier
+/// than the budget are written to digest-verified temporary segments and
+/// merged back by streaming decode (`engine::storage`) — bounding resident
+/// memory while producing the exact same relation.
+pub fn natural_join_spilling(
+    left: &URelation,
+    right: &URelation,
+    shards: usize,
+    spill_budget: usize,
+) -> Result<URelation> {
     use rayon::prelude::*;
     use std::collections::HashMap;
 
@@ -185,26 +275,46 @@ pub fn natural_join_sharded(
             .push((&r.condition, r.tuple.project(&right_rest_idx)));
     }
 
-    let chunks = left.partition(shards.max(1));
+    let chunks = left.partition_columnar(chunk_count(left, shards, spill_budget));
     let outs: Vec<URelation> = chunks
         .par_iter()
         .map(|chunk| {
             let mut out = URelation::empty(out_schema.clone());
-            for l in chunk.iter() {
-                let Some(matches) = index.get(&l.tuple.project(&left_idx)) else {
+            for i in 0..chunk.len() {
+                // Gather the key from the column arenas; rows without a
+                // match never materialise a tuple or condition at all.
+                let key: Tuple = left_idx
+                    .iter()
+                    .map(|&a| chunk.column(a)[i].clone())
+                    .collect();
+                let Some(matches) = index.get(&key) else {
                     continue;
                 };
+                let lcond = chunk.condition_at(i);
+                let ltuple = chunk.tuple_at(i);
                 for &(r_cond, ref r_rest) in matches {
-                    let Some(cond) = l.condition.merge(r_cond) else {
+                    let Some(cond) = lcond.merge(r_cond) else {
                         continue;
                     };
-                    out.insert(cond, l.tuple.concat(r_rest))?;
+                    out.insert(cond, ltuple.concat(r_rest))?;
                 }
             }
             Ok(out)
         })
         .collect::<Result<_>>()?;
-    Ok(merge_chunks(outs))
+    crate::storage::merge_spilling(outs, spill_budget)
+}
+
+/// How many chunks to split an operator input into: the sharding gate's
+/// count, raised so no chunk's *input* weighs much more than the spill
+/// budget (chunk outputs near the input's weight then spill individually).
+pub(crate) fn chunk_count(input: &URelation, shards: usize, spill_budget: usize) -> usize {
+    let by_budget = if spill_budget > 0 && !input.is_empty() {
+        input.approx_bytes().div_ceil(spill_budget)
+    } else {
+        1
+    };
+    shards.max(1).max(by_budget)
 }
 
 /// `∪`: union of the row sets (schemas must have equal arity; the left
@@ -381,6 +491,66 @@ mod tests {
             natural_join_sharded(&empty, &lookup, 4).unwrap(),
             natural_join(&empty, &lookup).unwrap()
         );
+    }
+
+    #[test]
+    fn columnar_kernels_match_row_kernels_bit_for_bit() {
+        let f = faces();
+        for chunks in [1usize, 2, 3] {
+            for chunk in f.partition_columnar(chunks) {
+                let rows = chunk.to_relation();
+                let pred = Predicate::cmp(Expr::attr("FProb"), CmpOp::Ge, Expr::konst(0.5));
+                assert_eq!(
+                    select_columnar(&chunk, &pred).unwrap(),
+                    select(&rows, &pred).unwrap()
+                );
+                let items = [
+                    ProjItem::attr("CoinType"),
+                    ProjItem::computed(Expr::attr("FProb") * Expr::konst(2.0), "Doubled"),
+                ];
+                assert_eq!(
+                    project_columnar(&chunk, &items).unwrap(),
+                    project(&rows, &items).unwrap()
+                );
+                assert_eq!(
+                    extend_columnar(&chunk, &items[1..]).unwrap(),
+                    extend(&rows, &items[1..]).unwrap()
+                );
+                assert_eq!(
+                    product_columnar(&chunk, &ur()).unwrap(),
+                    product(&rows, &ur()).unwrap()
+                );
+            }
+        }
+        // Error paths classify identically (bad attribute reference).
+        let chunk = ColumnarChunk::from_relation(&f);
+        assert!(select_columnar(&chunk, &Predicate::eq(Expr::attr("X"), Expr::konst(1))).is_err());
+    }
+
+    #[test]
+    fn spilling_join_matches_reference_under_tiny_budgets() {
+        let mut readings = URelation::empty(schema!["Sensor", "Temp"]);
+        for i in 0..60 {
+            readings
+                .insert(cond("v", &format!("a{i}")), tuple![i % 7, 10 + (i % 13)])
+                .unwrap();
+        }
+        let lookup = URelation::from_complete(&relation![schema!["Sensor", "Zone"];
+            [0, "north"], [1, "north"], [2, "south"], [3, "south"], [4, "east"], [5, "east"]]);
+        let reference = natural_join(&readings, &lookup).unwrap();
+        for budget in [64usize, 512, 1 << 20] {
+            for shards in [1usize, 4] {
+                assert_eq!(
+                    natural_join_spilling(&readings, &lookup, shards, budget).unwrap(),
+                    reference,
+                    "shards = {shards}, budget = {budget}"
+                );
+            }
+        }
+        // Budget-driven chunking kicks in even at one shard.
+        assert!(chunk_count(&readings, 1, 64) > 1);
+        assert_eq!(chunk_count(&readings, 4, 0), 4);
+        assert_eq!(chunk_count(&URelation::empty(schema!["A"]), 1, 64), 1);
     }
 
     #[test]

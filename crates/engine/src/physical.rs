@@ -74,7 +74,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
-use urel::{Condition, UDatabase, URelation, Var};
+use urel::{ColumnarChunk, Condition, UDatabase, URelation, Var};
 
 /// Minimum number of input rows before an operator is worth chunking.
 const SHARD_MIN_ROWS: usize = 128;
@@ -113,6 +113,11 @@ pub struct PureCtx<'a> {
     pub database: &'a UDatabase,
     /// Number of chunks large inputs are split into (≤ 1 disables chunking).
     pub shards: usize,
+    /// Spill tier budget ([`EvalConfig::spill_budget_bytes`]); `0` keeps
+    /// every chunk resident.  A positive budget raises the chunk count so no
+    /// chunk's input weighs much more than the budget, and chunk outputs
+    /// above it go through digest-verified temporary segments.
+    pub spill_budget: usize,
 }
 
 /// How a physical operator interacts with shared evaluation state; drives
@@ -165,6 +170,7 @@ pub trait PhysicalOperator: fmt::Debug {
         let pctx = PureCtx {
             database: &ctx.database,
             shards: ctx.config.shards,
+            spill_budget: ctx.config.spill_budget_bytes,
         };
         self.execute_pure(inputs, &pctx)
     }
@@ -757,6 +763,7 @@ impl PhysicalPlan {
                 let pctx = PureCtx {
                     database: &ctx.database,
                     shards: ctx.config.shards,
+                    spill_budget: ctx.config.spill_budget_bytes,
                 };
                 if !self.run_pure_wave(&mut state, &pctx)? {
                     break;
@@ -869,6 +876,7 @@ impl PhysicalPlan {
                 let pctx = PureCtx {
                     database: &ctx.database,
                     shards: ctx.config.shards,
+                    spill_budget: ctx.config.spill_budget_bytes,
                 };
                 if !self.run_pure_wave(&mut state, &pctx)? {
                     break;
@@ -960,18 +968,32 @@ fn shard_parallel(len: usize, shards: usize) -> bool {
     shards > 1 && len >= SHARD_MIN_ROWS && rayon::current_num_threads() > 1
 }
 
-/// Applies a row-local unary operator per chunk, concurrently, and merges
-/// (set semantics: identical to the single-batch result).
-fn sharded_unary<F>(input: &URelation, shards: usize, f: F) -> Result<URelation>
+/// Applies a row-local unary operator per *columnar* chunk, concurrently,
+/// and merges (set semantics: identical to the single-batch result).  The
+/// chunk count is the larger of the parallel shard gate and the spill
+/// budget's byte-derived count, so a positive budget engages chunking (and
+/// spilling of heavy chunk outputs) even below the parallel threshold.
+fn sharded_unary<F>(
+    input: &URelation,
+    shards: usize,
+    spill_budget: usize,
+    f: F,
+) -> Result<URelation>
 where
-    F: Fn(&URelation) -> Result<URelation> + Sync,
+    F: Fn(&ColumnarChunk) -> Result<URelation> + Sync,
 {
-    if !shard_parallel(input.len(), shards) {
-        return f(input);
+    let gate = if shard_parallel(input.len(), shards) {
+        shards
+    } else {
+        1
+    };
+    let count = ops::chunk_count(input, gate, spill_budget);
+    if count <= 1 {
+        return f(&ColumnarChunk::from_relation(input));
     }
-    let chunks = input.partition(shards);
+    let chunks = input.partition_columnar(count);
     let outs: Vec<URelation> = chunks.par_iter().map(&f).collect::<Result<_>>()?;
-    Ok(ops::merge_chunks(outs))
+    crate::storage::merge_spilling(outs, spill_budget)
 }
 
 fn binary_inputs(mut inputs: Vec<EvaluatedRelation>) -> (EvaluatedRelation, EvaluatedRelation) {
@@ -1153,8 +1175,8 @@ impl PhysicalOperator for SelectOp {
         pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let relation = sharded_unary(&input.relation, pctx.shards, |chunk| {
-            ops::select(chunk, &self.predicate)
+        let relation = sharded_unary(&input.relation, pctx.shards, pctx.spill_budget, |chunk| {
+            ops::select_columnar(chunk, &self.predicate)
         })?;
         Ok(propagate_unary(relation, &input))
     }
@@ -1190,8 +1212,8 @@ impl PhysicalOperator for ProjectOp {
         pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let relation = sharded_unary(&input.relation, pctx.shards, |chunk| {
-            ops::project(chunk, &self.items)
+        let relation = sharded_unary(&input.relation, pctx.shards, pctx.spill_budget, |chunk| {
+            ops::project_columnar(chunk, &self.items)
         })?;
         propagate_projection(relation, &input, &self.items)
     }
@@ -1227,8 +1249,8 @@ impl PhysicalOperator for ExtendOp {
         pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let input = unary_input(inputs);
-        let relation = sharded_unary(&input.relation, pctx.shards, |chunk| {
-            ops::extend(chunk, &self.items)
+        let relation = sharded_unary(&input.relation, pctx.shards, pctx.spill_budget, |chunk| {
+            ops::extend_columnar(chunk, &self.items)
         })?;
         Ok(propagate_unary(relation, &input))
     }
@@ -1298,8 +1320,8 @@ impl PhysicalOperator for ProductOp {
         pctx: &PureCtx<'_>,
     ) -> Result<EvaluatedRelation> {
         let (left, right) = binary_inputs(inputs);
-        let relation = sharded_unary(&left.relation, pctx.shards, |chunk| {
-            ops::product(chunk, &right.relation)
+        let relation = sharded_unary(&left.relation, pctx.shards, pctx.spill_budget, |chunk| {
+            ops::product_columnar(chunk, &right.relation)
         })?;
         Ok(propagate_binary(relation, &left, &right))
     }
@@ -1326,9 +1348,20 @@ impl PhysicalOperator for NaturalJoinOp {
         let (left, right) = binary_inputs(inputs);
         // The sharded join pays off even single-threaded: it probes one
         // shared key index per chunk instead of rescanning the right side
-        // for every left row.
-        let relation = if pctx.shards > 1 && left.relation.len() >= SHARD_MIN_ROWS {
-            ops::natural_join_sharded(&left.relation, &right.relation, pctx.shards)?
+        // for every left row.  A positive spill budget also routes through
+        // the chunked path so heavy probe outputs can spill.
+        let by_shards = if pctx.shards > 1 && left.relation.len() >= SHARD_MIN_ROWS {
+            pctx.shards
+        } else {
+            1
+        };
+        let relation = if by_shards > 1 || pctx.spill_budget > 0 {
+            ops::natural_join_spilling(
+                &left.relation,
+                &right.relation,
+                by_shards,
+                pctx.spill_budget,
+            )?
         } else {
             ops::natural_join(&left.relation, &right.relation)?
         };

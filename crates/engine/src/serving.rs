@@ -100,6 +100,23 @@
 //! [`set_database`](ServingEngine::set_database) replaced mid-prepare is
 //! re-lowered rather than served.
 //!
+//! # Checkpoints
+//!
+//! [`ServingEngine::checkpoint`] persists the served state as a directory of
+//! digest-verified segment files (see `engine::storage` for the framing):
+//! the W-table, the relation catalog, one segment per relation, and one
+//! *warm* segment per poolable deterministic-prefix snapshot, all recorded —
+//! length and digest pair — in a `MANIFEST` segment written last.
+//! [`ServingEngine::restore`] rebuilds a server from such a directory and
+//! re-seeds the snapshot pool from the warm segments, so the restarted
+//! process answers its first requests at warm cost without re-preparing.
+//! Restores verify everything before serving any of it: a missing, truncated
+//! or bit-flipped segment fails the whole restore with a classified
+//! [`EngineError::Storage`] — the caller falls back to a cold start — and a
+//! restored-warm evaluation is bit-identical to a cold evaluation over the
+//! same database at the same RNG state (warm segments that do not match the
+//! restoring configuration are skipped, never coerced).
+//!
 //! ```
 //! use engine::{EvalConfig, ServingEngine};
 //! use pdb::{relation, schema};
@@ -130,6 +147,7 @@ use pdb::Tuple;
 use rand::{Rng, RngCore, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
@@ -1865,6 +1883,230 @@ impl ServingEngine {
             .map(|e| e.slots.len())
             .sum()
     }
+
+    /// Writes a checkpoint of the served state into `dir` (created if
+    /// missing): the W-table, the relation catalog, one digest-framed
+    /// segment per relation, and one *warm* segment per poolable
+    /// deterministic-prefix snapshot, all recorded in a `MANIFEST` segment
+    /// written last — a crash mid-checkpoint leaves no complete manifest,
+    /// which [`restore`](ServingEngine::restore) rejects as a whole.
+    ///
+    /// The database and the pool are cloned under the same lock order every
+    /// commit uses (state before pool), so a checkpoint is a consistent cut:
+    /// it never pairs a post-commit database with pre-commit warm state.
+    /// Only pool entries created under the engine's own base configuration
+    /// are persisted (per-request accuracy overrides prepare — and pool —
+    /// separately; their entries are rebuilt on demand after a restore).
+    pub fn checkpoint(&self, dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| {
+            EngineError::Storage(format!("creating checkpoint dir {}: {e}", dir.display()))
+        })?;
+        let (database, mut entries) = {
+            let state = self.state.read().expect("serving state lock");
+            let pool = self.pool.read().expect("snapshot pool lock");
+            let entries: Vec<((u64, u64), Arc<PoolEntry>)> =
+                pool.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+            (state.database.clone(), entries)
+        };
+        entries.sort_by_key(|(k, _)| *k);
+        let mut manifest = Vec::new();
+
+        let mut wtable = Vec::new();
+        urel::segment::put_wtable(&mut wtable, database.wtable());
+        manifest.push(crate::storage::write_segment_file(
+            dir,
+            "wtable.seg",
+            &wtable,
+        )?);
+
+        let names = database.relation_names();
+        let mut catalog = Vec::new();
+        urel::segment::put_u32(&mut catalog, names.len() as u32);
+        for name in &names {
+            urel::segment::put_str(&mut catalog, name);
+            urel::segment::put_u8(&mut catalog, u8::from(database.is_complete(name)));
+        }
+        manifest.push(crate::storage::write_segment_file(
+            dir,
+            "catalog.seg",
+            &catalog,
+        )?);
+        for (i, name) in names.iter().enumerate() {
+            let mut payload = Vec::new();
+            urel::segment::put_relation(
+                &mut payload,
+                database.relation(name).expect("listed relation exists"),
+            );
+            let file = format!("rel-{i}.seg");
+            manifest.push(crate::storage::write_segment_file(dir, &file, &payload)?);
+        }
+
+        let base_digest = config_digest(&self.config);
+        let mut warm_index = 0usize;
+        for (fingerprint, entry) in entries {
+            // Re-prepare the entry's creator under the *base* configuration:
+            // a matching fingerprint proves the entry was pooled under it
+            // (override-config entries hash differently and are skipped).
+            let Ok((_, prepared)) = self.prepare(&entry.creator, self.config) else {
+                continue;
+            };
+            if prepared.profile.fingerprint != fingerprint {
+                continue;
+            }
+            let mut slots: Vec<((u64, u64), BTreeSet<String>, EvaluatedRelation)> = entry
+                .slots
+                .iter()
+                .map(|(digest, slot)| (*digest, (*slot.footprint).clone(), (*slot.value).clone()))
+                .collect();
+            slots.sort_by_key(|a| a.0);
+            let warm = crate::storage::WarmEntry {
+                creator: entry.creator.to_string(),
+                config_digest: base_digest,
+                var_counter: entry.var_counter as u64,
+                stats: entry.stats,
+                database: entry.database.clone(),
+                stateful_footprint: entry.stateful_footprint.clone(),
+                slots,
+            };
+            let mut payload = Vec::new();
+            crate::storage::put_warm(&mut payload, &warm);
+            let file = format!("warm-{warm_index}.seg");
+            warm_index += 1;
+            manifest.push(crate::storage::write_segment_file(dir, &file, &payload)?);
+        }
+        crate::storage::write_manifest(dir, &manifest)
+    }
+
+    /// Rebuilds a server from a checkpoint directory with default admission
+    /// limits (see
+    /// [`restore_with_limits`](ServingEngine::restore_with_limits)).
+    pub fn restore(config: EvalConfig, dir: impl AsRef<Path>) -> Result<ServingEngine> {
+        ServingEngine::restore_with_limits(config, dir, ServingLimits::default())
+    }
+
+    /// Rebuilds a server from a checkpoint directory written by
+    /// [`checkpoint`](ServingEngine::checkpoint), re-seeding the snapshot
+    /// pool from the warm segments so the first evaluations of the restored
+    /// queries run at warm cost — bit-identical to what the original process
+    /// would have answered at the same RNG state.
+    ///
+    /// Everything is verified before any of it is served: a missing,
+    /// truncated or bit-flipped manifest or segment — including warm
+    /// segments — fails the restore with [`EngineError::Storage`], and the
+    /// caller falls back to constructing a cold engine.  Warm segments whose
+    /// recorded configuration digest differs from `config` verify but are
+    /// skipped (their prefixes re-warm on demand); they are never coerced
+    /// into a pool they were not computed under.
+    pub fn restore_with_limits(
+        config: EvalConfig,
+        dir: impl AsRef<Path>,
+        limits: ServingLimits,
+    ) -> Result<ServingEngine> {
+        let dir = dir.as_ref();
+        let manifest = crate::storage::read_manifest(dir)?;
+        let missing = |name: &str| {
+            EngineError::Storage(format!(
+                "{}: manifest lists no {name} segment",
+                dir.display()
+            ))
+        };
+        let decode_err =
+            |name: &str, e: urel::UrelError| EngineError::Storage(format!("{name}: {e}"));
+        let row = |name: &str| -> Result<&crate::storage::ManifestEntry> {
+            manifest
+                .iter()
+                .find(|e| e.name == name)
+                .ok_or_else(|| missing(name))
+        };
+
+        let wtable_payload = crate::storage::read_verified(dir, row("wtable.seg")?)?;
+        let mut cur = urel::segment::SegmentCursor::new(&wtable_payload);
+        let wtable = cur.take_wtable().map_err(|e| decode_err("wtable.seg", e))?;
+        if !cur.is_exhausted() {
+            return Err(EngineError::Storage("wtable.seg: trailing bytes".into()));
+        }
+
+        let catalog_payload = crate::storage::read_verified(dir, row("catalog.seg")?)?;
+        let mut cur = urel::segment::SegmentCursor::new(&catalog_payload);
+        let decode_catalog = |cur: &mut urel::segment::SegmentCursor<'_>| {
+            let count = cur.take_u32()? as usize;
+            let mut names = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                let name = cur.take_str()?;
+                let complete = cur.take_u8()? != 0;
+                names.push((name, complete));
+            }
+            Ok::<_, urel::UrelError>(names)
+        };
+        let names = decode_catalog(&mut cur).map_err(|e| decode_err("catalog.seg", e))?;
+        if !cur.is_exhausted() {
+            return Err(EngineError::Storage("catalog.seg: trailing bytes".into()));
+        }
+
+        let mut database = UDatabase::new();
+        *database.wtable_mut() = wtable;
+        for (i, (name, complete)) in names.iter().enumerate() {
+            let file = format!("rel-{i}.seg");
+            let payload = crate::storage::read_verified(dir, row(&file)?)?;
+            let mut cur = urel::segment::SegmentCursor::new(&payload);
+            let rel = cur.take_relation().map_err(|e| decode_err(&file, e))?;
+            if !cur.is_exhausted() {
+                return Err(EngineError::Storage(format!("{file}: trailing bytes")));
+            }
+            database.set_relation(name.clone(), rel, *complete);
+        }
+        database
+            .validate()
+            .map_err(|e| EngineError::Storage(format!("restored database: {e}")))?;
+
+        let engine = ServingEngine::with_limits(config, database, limits)?;
+        let base_digest = config_digest(&config);
+        for entry in manifest.iter().filter(|e| e.name.starts_with("warm-")) {
+            let payload = crate::storage::read_verified(dir, entry)?;
+            let warm =
+                crate::storage::take_warm(&payload).map_err(|e| decode_err(&entry.name, e))?;
+            if warm.config_digest != base_digest {
+                continue;
+            }
+            // Re-prepare the creator against the restored catalog: the
+            // freshly computed profile supplies the pool fingerprint and the
+            // stateful footprint, so the pool key always matches what this
+            // process would compute — nothing keyed is trusted from disk.
+            let Ok((key, prepared)) = engine.prepare(&warm.creator, config) else {
+                continue;
+            };
+            let slots: HashMap<SubplanDigest, PooledSlot> = warm
+                .slots
+                .into_iter()
+                .map(|(digest, footprint, value)| {
+                    (
+                        digest,
+                        PooledSlot {
+                            value: Arc::new(value),
+                            footprint: Arc::new(footprint),
+                        },
+                    )
+                })
+                .collect();
+            let pooled = PoolEntry {
+                creator: key,
+                database: warm.database,
+                var_counter: warm.var_counter as usize,
+                stats: warm.stats,
+                spaces: SpaceCache::new(),
+                slots,
+                stateful_footprint: prepared.profile.stateful_footprint.clone(),
+            };
+            engine
+                .pool
+                .write()
+                .expect("snapshot pool lock")
+                .entries
+                .insert(prepared.profile.fingerprint, Arc::new(pooled));
+        }
+        Ok(engine)
+    }
 }
 
 /// A per-session handle over a shared [`ServingEngine`].
@@ -1984,6 +2226,124 @@ mod tests {
             "Coins",
             relation![schema!["CoinType", "Count"]; ["fair", 2], ["2headed", 1]],
         )])
+    }
+
+    fn checkpoint_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("uadb-serving-ckpt-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn restored_engines_serve_warm_and_match_cold_answers() {
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(serving.pooled_prefixes(), 1);
+
+        let dir = checkpoint_dir("warm");
+        serving.checkpoint(&dir).unwrap();
+        let restored = ServingEngine::restore(EvalConfig::exact(), &dir).unwrap();
+        // The warm segment re-seeded the pool before any evaluation ran.
+        assert_eq!(restored.pooled_prefixes(), 1);
+        assert!(restored.pooled_subplans() > 0);
+
+        let mut warm_rng = ChaCha8Rng::seed_from_u64(23);
+        let warm = restored.evaluate(text, &mut warm_rng).unwrap();
+        let cold_engine = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut cold_rng = ChaCha8Rng::seed_from_u64(23);
+        let cold = cold_engine.evaluate(text, &mut cold_rng).unwrap();
+        assert_eq!(warm.result.relation, cold.result.relation);
+        assert_eq!(warm.result.errors, cold.result.errors);
+        assert_eq!(warm.stats, cold.stats);
+        assert_eq!(warm.database, cold.database);
+        use rand::RngCore as _;
+        assert_eq!(
+            warm_rng.next_u64(),
+            cold_rng.next_u64(),
+            "identical RNG consumption"
+        );
+        // The restored engine's first evaluation was warm, not cold.
+        assert_eq!(restored.stats().warm_evaluations, 1);
+        assert_eq!(restored.stats().cold_evaluations, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_or_partial_checkpoints_are_rejected_not_served() {
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        serving.evaluate(text, &mut rng).unwrap();
+        let dir = checkpoint_dir("corrupt");
+        serving.checkpoint(&dir).unwrap();
+
+        // Flip one byte in every segment in turn: each flip must fail the
+        // whole restore with a classified storage error.
+        let mut names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        assert!(names.iter().any(|n| n.starts_with("warm-")));
+        for name in &names {
+            let path = dir.join(name);
+            let pristine = std::fs::read(&path).unwrap();
+            let mut bad = pristine.clone();
+            let mid = bad.len() / 2;
+            bad[mid] ^= 0x40;
+            std::fs::write(&path, &bad).unwrap();
+            match ServingEngine::restore(EvalConfig::exact(), &dir) {
+                Err(EngineError::Storage(_)) => {}
+                other => panic!("corrupted {name} not rejected: {:?}", other.is_ok()),
+            }
+            std::fs::write(&path, &pristine).unwrap();
+        }
+        // Pristine again: restore succeeds.
+        ServingEngine::restore(EvalConfig::exact(), &dir).unwrap();
+
+        // A truncated directory (a listed segment deleted) is rejected too.
+        std::fs::remove_file(dir.join("rel-0.seg")).unwrap();
+        assert!(matches!(
+            ServingEngine::restore(EvalConfig::exact(), &dir),
+            Err(EngineError::Storage(_))
+        ));
+        // And so is a directory with no manifest (crash mid-checkpoint).
+        std::fs::remove_file(dir.join(super::super::storage::MANIFEST)).unwrap();
+        assert!(matches!(
+            ServingEngine::restore(EvalConfig::exact(), &dir),
+            Err(EngineError::Storage(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restores_under_a_different_config_skip_warm_segments() {
+        let text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let serving = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        serving.evaluate(text, &mut rng).unwrap();
+        let dir = checkpoint_dir("config");
+        serving.checkpoint(&dir).unwrap();
+
+        // A different lowering configuration verifies the warm segment but
+        // skips it: the pool starts empty and the first evaluation is cold —
+        // and still correct.
+        let other = EvalConfig::exact()
+            .with_shards(1)
+            .with_spill_budget_bytes(96);
+        let restored = ServingEngine::restore(other, &dir).unwrap();
+        assert_eq!(restored.pooled_prefixes(), 0);
+        let mut rng_a = ChaCha8Rng::seed_from_u64(17);
+        let out = restored.evaluate(text, &mut rng_a).unwrap();
+        let reference = ServingEngine::new(EvalConfig::exact(), coin_db()).unwrap();
+        let mut rng_b = ChaCha8Rng::seed_from_u64(17);
+        let expect = reference.evaluate(text, &mut rng_b).unwrap();
+        assert_eq!(out.result.relation, expect.result.relation);
+        assert_eq!(restored.stats().cold_evaluations, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

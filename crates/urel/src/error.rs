@@ -49,6 +49,9 @@ pub enum UrelError {
         /// The configured limit.
         limit: u128,
     },
+    /// A serialized segment could not be decoded (truncated buffer, unknown
+    /// tag, malformed payload): the bytes cannot be trusted.
+    Corrupt(String),
     /// Generic invariant violation.
     Invariant(String),
 }
@@ -86,6 +89,7 @@ impl fmt::Display for UrelError {
                 f,
                 "decoding would materialise {worlds} worlds, above the limit of {limit}"
             ),
+            UrelError::Corrupt(m) => write!(f, "corrupt segment: {m}"),
             UrelError::Invariant(m) => write!(f, "invariant violation: {m}"),
         }
     }

@@ -37,16 +37,19 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod columnar;
 mod condition;
 pub mod convert;
 pub mod decompose;
 mod delta;
 mod error;
+pub mod segment;
 mod udb;
 mod urelation;
 mod variable;
 mod wtable;
 
+pub use columnar::ColumnarChunk;
 pub use condition::Condition;
 pub use convert::{
     decode, decode_default, encode, total_assignments, DEFAULT_DECODE_LIMIT, WORLD_VAR,

@@ -1,12 +1,23 @@
 //! U-relations: representation relations `U_R(D, A⃗)` pairing a condition
 //! with a data tuple.
 
+use crate::columnar::ColumnarChunk;
 use crate::condition::Condition;
 use crate::error::Result;
 use crate::wtable::WTable;
-use pdb::{Relation, Schema, Tuple};
+use pdb::{Relation, Schema, Tuple, Value};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// Rough in-memory footprint of one value: a fixed 16-byte inline cost plus
+/// any heap payload (string bytes).  Deliberately coarse — the spill tier
+/// needs a *stable, deterministic* size proxy, not an allocator census.
+fn value_bytes(v: &Value) -> usize {
+    match v {
+        Value::Str(s) => 16 + s.len(),
+        _ => 16,
+    }
+}
 
 /// One row `⟨f, t⟩` of a U-relation.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -15,6 +26,23 @@ pub struct URow {
     pub condition: Condition,
     /// The data tuple `t` (the `A⃗` columns).
     pub tuple: Tuple,
+}
+
+impl URow {
+    /// Deterministic approximate in-memory size of the row in bytes: a fixed
+    /// per-row overhead plus per-value costs for the condition pairs and the
+    /// data tuple.  This is the unit the byte-budget
+    /// [`partition`](URelation::partition) and the engine's spill tier plan
+    /// against, so wide (e.g. long-string) rows weigh more than narrow ones.
+    pub fn approx_bytes(&self) -> usize {
+        let cond: usize = self
+            .condition
+            .iter()
+            .map(|(var, value)| 32 + var.name().len() + value_bytes(value))
+            .sum();
+        let data: usize = self.tuple.values().map(value_bytes).sum();
+        48 + cond + data
+    }
 }
 
 /// A U-relation: a set of condition/tuple rows over a fixed data schema.
@@ -50,9 +78,22 @@ impl URelation {
         u
     }
 
+    /// Assembles a relation from rows already in canonical set form (crate
+    /// internal: columnar chunks rebuild row form through this).
+    pub(crate) fn from_rows(schema: Schema, rows: BTreeSet<URow>) -> Self {
+        URelation { schema, rows }
+    }
+
     /// The data schema `A⃗` (conditions are not part of the schema).
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// Deterministic approximate in-memory size of all rows in bytes (the
+    /// sum of [`URow::approx_bytes`]).  Partitioning and the engine's spill
+    /// tier use this as the relation's weight.
+    pub fn approx_bytes(&self) -> usize {
+        self.rows.iter().map(URow::approx_bytes).sum()
     }
 
     /// Number of rows.
@@ -170,32 +211,59 @@ impl URelation {
     }
 
     /// Splits the relation into at most `chunks` partitions of near-equal
-    /// size, preserving the canonical row order across the concatenation of
-    /// the chunks.  Partitions are never empty; fewer than `chunks` are
-    /// returned when the relation has fewer rows.  This is the unit of work
-    /// of the engine's sharded operator execution: running a row-local
-    /// operator per chunk and merging with [`absorb`](URelation::absorb)
-    /// yields exactly the single-batch result, because rows live in a set.
+    /// *byte* weight, preserving the canonical row order across the
+    /// concatenation of the chunks.  Partitions are never empty; fewer than
+    /// `chunks` are returned when the relation has fewer rows.  This is the
+    /// unit of work of the engine's sharded operator execution: running a
+    /// row-local operator per chunk and merging with
+    /// [`absorb`](URelation::absorb) yields exactly the single-batch result,
+    /// because rows live in a set.
+    ///
+    /// Sizing is by a per-chunk byte budget derived from
+    /// [`approx_bytes`](URelation::approx_bytes) — `⌈total_bytes/chunks⌉` —
+    /// rather than by row count, so a run of wide (long-string) rows cannot
+    /// concentrate most of the relation's bytes into one chunk and blow the
+    /// engine's spill budget.  Every chunk's weight is bounded by
+    /// `⌈total_bytes/chunks⌉ + max_row_bytes`.
     pub fn partition(&self, chunks: usize) -> Vec<URelation> {
         let n = self.rows.len();
-        let chunks = chunks.max(1).min(n.max(1));
-        let chunk_size = n.div_ceil(chunks);
+        let chunks = chunks.clamp(1, n.max(1));
+        let budget = self.approx_bytes().div_ceil(chunks).max(1);
         let mut out = Vec::with_capacity(chunks);
-        let mut rows = self.rows.iter().cloned();
-        loop {
-            let chunk: BTreeSet<URow> = rows.by_ref().take(chunk_size).collect();
-            if chunk.is_empty() {
-                break;
+        let mut current: BTreeSet<URow> = BTreeSet::new();
+        let mut current_bytes = 0usize;
+        for row in &self.rows {
+            current_bytes += row.approx_bytes();
+            current.insert(row.clone());
+            // Flushing at ≥ budget keeps every earlier chunk at least the
+            // average weight, which bounds whatever remains for the final
+            // chunk by that same average.
+            if current_bytes >= budget && out.len() + 1 < chunks {
+                out.push(URelation {
+                    schema: self.schema.clone(),
+                    rows: std::mem::take(&mut current),
+                });
+                current_bytes = 0;
             }
+        }
+        if !current.is_empty() || out.is_empty() {
             out.push(URelation {
                 schema: self.schema.clone(),
-                rows: chunk,
+                rows: current,
             });
         }
-        if out.is_empty() {
-            out.push(URelation::empty(self.schema.clone()));
-        }
         out
+    }
+
+    /// [`partition`](URelation::partition), transposed: the same byte-budget
+    /// chunks handed to the executor in columnar form, so per-chunk kernels
+    /// scan contiguous per-attribute arenas.  Concatenating
+    /// `chunk.to_relation()` over the result reproduces `self` exactly.
+    pub fn partition_columnar(&self, chunks: usize) -> Vec<ColumnarChunk> {
+        self.partition(chunks)
+            .iter()
+            .map(ColumnarChunk::from_relation)
+            .collect()
     }
 
     /// Merges another relation's rows into this one (set union; duplicate
@@ -363,6 +431,74 @@ mod tests {
         let parts = empty.partition(4);
         assert_eq!(parts.len(), 1);
         assert!(parts[0].is_empty());
+    }
+
+    #[test]
+    fn partition_chunks_respect_a_byte_budget_not_a_row_count() {
+        // 20 wide rows (~1 KiB of string payload each) that sort *first* in
+        // canonical order, followed by 80 narrow rows.  Row-count chunking
+        // would put every wide row into the first quarter; byte-budget
+        // chunking must spread the bytes evenly.
+        let mut u = URelation::empty(schema!["A"]);
+        for i in 0..20 {
+            u.insert(
+                Condition::always(),
+                tuple![format!("a{i:02}-{}", "w".repeat(1024))],
+            )
+            .unwrap();
+        }
+        for i in 0..80 {
+            u.insert(Condition::always(), tuple![format!("z{i:02}")])
+                .unwrap();
+        }
+        let chunks = 4;
+        let total = u.approx_bytes();
+        let max_row = u.iter().map(URow::approx_bytes).max().unwrap();
+        let budget = total.div_ceil(chunks);
+        let parts = u.partition(chunks);
+        assert_eq!(parts.len(), chunks);
+        for p in &parts {
+            assert!(
+                p.approx_bytes() <= budget + max_row,
+                "chunk weighs {} bytes, budget {} + max row {}",
+                p.approx_bytes(),
+                budget,
+                max_row
+            );
+        }
+        // The old row-count sizing gave the first chunk > half the bytes.
+        assert!(parts[0].approx_bytes() < total / 2);
+        // And the partition is still a faithful split.
+        assert_eq!(parts.iter().map(URelation::len).sum::<usize>(), u.len());
+        let mut merged = URelation::empty(u.schema().clone());
+        for p in parts {
+            merged.absorb(p);
+        }
+        assert_eq!(merged, u);
+    }
+
+    #[test]
+    fn partition_columnar_mirrors_partition() {
+        let mut u = URelation::empty(schema!["A", "B"]);
+        for i in 0..50i64 {
+            u.insert(
+                Condition::new([(Var::new("v"), Value::Int(i % 5))]).unwrap(),
+                tuple![i, format!("s{i}")],
+            )
+            .unwrap();
+        }
+        for chunks in [1usize, 3, 7] {
+            let rows = u.partition(chunks);
+            let cols = u.partition_columnar(chunks);
+            assert_eq!(rows.len(), cols.len());
+            let mut merged = URelation::empty(u.schema().clone());
+            for (r, c) in rows.iter().zip(&cols) {
+                assert_eq!(&c.to_relation(), r);
+                assert_eq!(c.content_digest(), r.content_digest());
+                merged.absorb(c.to_relation());
+            }
+            assert_eq!(merged, u);
+        }
     }
 
     #[test]
