@@ -82,8 +82,9 @@ pub fn corrupt_bytes(_site: &'static str, _bytes: &mut [u8]) -> bool {
 #[cfg(feature = "failpoints")]
 mod imp {
     use crate::error::{EngineError, Result};
+    use crate::sync::{LockRank, OrderedMutex, OrderedMutexGuard};
     use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::OnceLock;
     use std::time::{Duration, Instant};
 
     /// Fault kind bit: return `EngineError::Injected { site }`.
@@ -168,9 +169,16 @@ mod imp {
     /// Serializes arm/disarm across tests in one process: the registry is
     /// global, so storms from concurrent `#[test]` threads must not
     /// interleave.  Hold the guard for the duration of the storm.
-    pub fn exclusive() -> std::sync::MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    ///
+    /// Ranked at [`LockRank::TestExclusive`] — the lowest rank, since the
+    /// holder evaluates through every engine lock — and acquired with
+    /// poison *recovery* rather than the engine's abort-on-poison policy:
+    /// storm tests panic by design while holding it, and its `()` payload
+    /// has no state to corrupt.
+    pub fn exclusive() -> OrderedMutexGuard<'static, ()> {
+        static LOCK: OrderedMutex<()> =
+            OrderedMutex::new(LockRank::TestExclusive, "faults.exclusive", ());
+        LOCK.lock_recovering()
     }
 
     fn site_index(site: &'static str) -> usize {

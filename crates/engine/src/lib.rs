@@ -54,6 +54,7 @@ pub mod provenance;
 pub mod serving;
 mod space;
 mod storage;
+pub mod sync;
 
 pub use adaptive_query::{active_domain_size, catalog_of, evaluate_adaptive, AdaptiveOutput};
 pub use delta::DeltaInput;
@@ -70,3 +71,4 @@ pub use serving::{
     ServingEngine, ServingLimits, ServingSession, ServingStats,
 };
 pub use space::{CompiledSpace, RelationEvents, SpaceCache};
+pub use sync::{LockRank, OrderedMutex, OrderedRwLock};

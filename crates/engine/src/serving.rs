@@ -141,6 +141,7 @@ use crate::error::{EngineError, Result};
 use crate::exec::{ConfidenceMode, EvalConfig, EvalOutput, EvalStats, EvaluatedRelation};
 use crate::physical::{ExecContext, ExecSnapshot, OpClass, PhysicalNode, PhysicalPlan};
 use crate::space::SpaceCache;
+use crate::sync::{HeldRank, LockRank, OrderedCondvar, OrderedMutex, OrderedRwLock};
 use algebra::{Catalog, LogicalPlan, PlanCache, SubplanDigest};
 use confidence::EventBounds;
 use pdb::Tuple;
@@ -149,7 +150,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use urel::{RelationDelta, UDatabase, URelation, URow};
 
@@ -965,21 +966,35 @@ fn splitmix64(x: u64) -> u64 {
 /// frees).
 #[derive(Debug)]
 struct Gate {
-    permits: Mutex<usize>,
-    freed: Condvar,
+    permits: OrderedMutex<usize>,
+    freed: OrderedCondvar,
+    /// Rank a held permit occupies on the holder's rank stack
+    /// ([`LockRank::GateCold`] or [`LockRank::GateAdmission`]): both sit
+    /// below the internal counter and below every engine lock, which is
+    /// what machine-checks the cold-before-admission permit order.
+    permit_rank: LockRank,
+    permit_name: &'static str,
 }
 
 /// A held [`Gate`] permit; released on drop.
 #[derive(Debug)]
 struct GatePermit<'a> {
     gate: &'a Gate,
+    _token: HeldRank,
 }
 
 impl Gate {
-    fn new(capacity: usize) -> Gate {
+    fn new(
+        capacity: usize,
+        permit_rank: LockRank,
+        permit_name: &'static str,
+        counter_name: &'static str,
+    ) -> Gate {
         Gate {
-            permits: Mutex::new(capacity.max(1)),
-            freed: Condvar::new(),
+            permits: OrderedMutex::new(LockRank::GateInternal, counter_name, capacity.max(1)),
+            freed: OrderedCondvar::new(),
+            permit_rank,
+            permit_name,
         }
     }
 
@@ -996,11 +1011,18 @@ impl Gate {
         stage: &'static str,
     ) -> Result<GatePermit<'_>> {
         let queue_deadline = max_wait.map(|w| Instant::now() + w);
-        let mut permits = self.permits.lock().expect("gate lock");
+        let mut permits = self.permits.lock();
         loop {
             if *permits > 0 {
                 *permits -= 1;
-                return Ok(GatePermit { gate: self });
+                // The internal counter (GateInternal) outranks the permit
+                // token about to be issued, so the counter guard must die
+                // first — the held-rank stack only ever grows upward.
+                drop(permits);
+                return Ok(GatePermit {
+                    gate: self,
+                    _token: HeldRank::acquire(self.permit_rank, self.permit_name),
+                });
             }
             let now = Instant::now();
             if let Some(deadline) = deadline {
@@ -1020,13 +1042,8 @@ impl Gate {
                 (Some(d), Some(q)) => Some(d.min(q)),
             };
             permits = match wake {
-                None => self.freed.wait(permits).expect("gate lock"),
-                Some(wake) => {
-                    self.freed
-                        .wait_timeout(permits, wake - now)
-                        .expect("gate lock")
-                        .0
-                }
+                None => self.freed.wait(permits),
+                Some(wake) => self.freed.wait_timeout(permits, wake - now).0,
             };
         }
     }
@@ -1034,7 +1051,9 @@ impl Gate {
 
 impl Drop for GatePermit<'_> {
     fn drop(&mut self) {
-        let mut permits = self.gate.permits.lock().expect("gate lock");
+        // Fine rank-wise: the counter (GateInternal) outranks the permit
+        // token this drop still holds (`_token` dies after this body).
+        let mut permits = self.gate.permits.lock();
         *permits += 1;
         self.gate.freed.notify_one();
     }
@@ -1065,7 +1084,7 @@ struct Counters {
 }
 
 /// A read guard over the served database (see [`ServingEngine::database`]).
-pub struct DatabaseGuard<'a>(std::sync::RwLockReadGuard<'a, CatalogState>);
+pub struct DatabaseGuard<'a>(crate::sync::OrderedReadGuard<'a, CatalogState>);
 
 impl std::ops::Deref for DatabaseGuard<'_> {
     type Target = UDatabase;
@@ -1095,7 +1114,7 @@ fn config_digest(config: &EvalConfig) -> u64 {
 pub struct ServingEngine {
     config: EvalConfig,
     limits: ServingLimits,
-    state: RwLock<CatalogState>,
+    state: OrderedRwLock<CatalogState>,
     /// Monotonic database-content version.  Bumped under the state write
     /// lock *before* the matching pool invalidation runs, and compared by
     /// [`absorb_if_current`](ServingEngine::absorb_if_current) under the
@@ -1110,9 +1129,9 @@ pub struct ServingEngine {
     /// re-checks it under the prepared write lock so a plan lowered against
     /// a replaced catalog is never installed.
     catalog_epoch: AtomicU64,
-    plans: Mutex<PlanCache>,
-    prepared: RwLock<HashMap<PreparedKey, Arc<PreparedQuery>>>,
-    pool: RwLock<SnapshotPool>,
+    plans: OrderedMutex<PlanCache>,
+    prepared: OrderedRwLock<HashMap<PreparedKey, Arc<PreparedQuery>>>,
+    pool: OrderedRwLock<SnapshotPool>,
     admission: Gate,
     cold_admission: Gate,
     counters: Counters,
@@ -1141,14 +1160,28 @@ impl ServingEngine {
         Ok(ServingEngine {
             config,
             limits,
-            state: RwLock::new(CatalogState { database, catalog }),
+            state: OrderedRwLock::new(
+                LockRank::State,
+                "serving.state",
+                CatalogState { database, catalog },
+            ),
             db_epoch: AtomicU64::new(0),
             catalog_epoch: AtomicU64::new(0),
-            plans: Mutex::new(PlanCache::new()),
-            prepared: RwLock::new(HashMap::new()),
-            pool: RwLock::new(SnapshotPool::default()),
-            admission: Gate::new(limits.max_in_flight),
-            cold_admission: Gate::new(limits.max_cold_in_flight),
+            plans: OrderedMutex::new(LockRank::Plans, "serving.plans", PlanCache::new()),
+            prepared: OrderedRwLock::new(LockRank::Prepared, "serving.prepared", HashMap::new()),
+            pool: OrderedRwLock::new(LockRank::Pool, "serving.pool", SnapshotPool::default()),
+            admission: Gate::new(
+                limits.max_in_flight,
+                LockRank::GateAdmission,
+                "gate.admission.permit",
+                "gate.admission.counter",
+            ),
+            cold_admission: Gate::new(
+                limits.max_cold_in_flight,
+                LockRank::GateCold,
+                "gate.cold.permit",
+                "gate.cold.counter",
+            ),
             counters: Counters::default(),
         })
     }
@@ -1177,7 +1210,7 @@ impl ServingEngine {
     /// drop it before calling methods of this engine from the same thread
     /// while writers may be queued.
     pub fn database(&self) -> DatabaseGuard<'_> {
-        DatabaseGuard(self.state.read().expect("serving state lock"))
+        DatabaseGuard(self.state.read())
     }
 
     /// Replaces the whole database and drops every cache: plans (they
@@ -1188,7 +1221,7 @@ impl ServingEngine {
     /// warm caches warm.
     pub fn set_database(&self, database: UDatabase) -> Result<()> {
         let catalog = catalog_of(&database)?;
-        let mut state = self.state.write().expect("serving state lock");
+        let mut state = self.state.write();
         // Epochs first: once either bump is visible, every racing prepare
         // retries and every racing absorb drops, so the cache clears below
         // cannot be undone by in-flight sessions.
@@ -1196,13 +1229,9 @@ impl ServingEngine {
         self.catalog_epoch.fetch_add(1, Ordering::Release);
         state.database = database;
         state.catalog = catalog;
-        self.plans.lock().expect("plan cache lock").clear();
-        self.prepared.write().expect("prepared map lock").clear();
-        self.pool
-            .write()
-            .expect("snapshot pool lock")
-            .entries
-            .clear();
+        self.plans.lock().clear();
+        self.prepared.write().clear();
+        self.pool.write().entries.clear();
         Ok(())
     }
 
@@ -1244,7 +1273,7 @@ impl ServingEngine {
         // The state write lock is held across validate + apply + pool
         // invalidation, so concurrent sessions see either the whole batch
         // or none of it.
-        let mut state = self.state.write().expect("serving state lock");
+        let mut state = self.state.write();
         // Collapse the batch to its net content first (last replacement per
         // name wins), then validate only that net content — atomically,
         // before anything is applied.
@@ -1280,11 +1309,8 @@ impl ServingEngine {
                 .replace_relation(name, rel.clone())
                 .expect("update validated above");
         }
-        let (entries_dropped, slots_dropped) = self
-            .pool
-            .write()
-            .expect("snapshot pool lock")
-            .invalidate(&changed_names, &changed);
+        let (entries_dropped, slots_dropped) =
+            self.pool.write().invalidate(&changed_names, &changed);
         self.counters
             .relation_updates
             .fetch_add(changed.len() as u64, Ordering::Relaxed);
@@ -1331,7 +1357,7 @@ impl ServingEngine {
     ) -> Result<()> {
         // Like `update_relations`, the state write lock spans validate +
         // apply + pool maintenance.
-        let mut state = self.state.write().expect("serving state lock");
+        let mut state = self.state.write();
         // Validate the whole batch before applying any of it.  Deltas to
         // one name chain: each must apply against the content the previous
         // one produced (digest-checked), and the final content must pass
@@ -1405,15 +1431,11 @@ impl ServingEngine {
         let plans: Vec<(Arc<PhysicalPlan>, Arc<PrefixProfile>)> = self
             .prepared
             .read()
-            .expect("prepared map lock")
             .values()
             .map(|p| (p.physical.clone(), p.profile.clone()))
             .collect();
-        let (entries_dropped, patched, demoted) = self
-            .pool
-            .write()
-            .expect("snapshot pool lock")
-            .patch(&changed_names, &updates, &plans);
+        let (entries_dropped, patched, demoted) =
+            self.pool.write().patch(&changed_names, &updates, &plans);
         self.counters
             .relation_updates
             .fetch_add(changed_count, Ordering::Relaxed);
@@ -1465,12 +1487,7 @@ impl ServingEngine {
         // *before* taking an admission slot, so a cold burst cannot occupy
         // the slots warm traffic needs.  The classification is best-effort
         // — authoritative resolution happens after admission.
-        let looks_warm = self
-            .pool
-            .read()
-            .expect("snapshot pool lock")
-            .entry(&profile.fingerprint)
-            .is_some();
+        let looks_warm = self.pool.read().entry(&profile.fingerprint).is_some();
         let queue_wait = self.limits.max_queue_wait;
         let mut _cold_permit = if looks_warm {
             None
@@ -1497,11 +1514,7 @@ impl ServingEngine {
         let epoch = self.db_epoch.load(Ordering::Acquire);
         // Resolve against an Arc clone of the entry: the pool lock is held
         // only for the lookup, never across snapshot assembly or execution.
-        let entry = self
-            .pool
-            .read()
-            .expect("snapshot pool lock")
-            .entry(&profile.fingerprint);
+        let entry = self.pool.read().entry(&profile.fingerprint);
         if let Some(entry) = entry {
             if let Some(resolved) = resolve_prefix(&entry, &profile, &physical, &key)? {
                 self.counters
@@ -1590,7 +1603,7 @@ impl ServingEngine {
         // Clone the database and read the epoch under one state read lock:
         // commits hold the write lock, so the pair is consistent.
         let (database, epoch) = {
-            let state = self.state.read().expect("serving state lock");
+            let state = self.state.read();
             (
                 state.database.clone(),
                 self.db_epoch.load(Ordering::Acquire),
@@ -1689,7 +1702,7 @@ impl ServingEngine {
         let (_key, prepared) = self.prepare(request.text, config)?;
         let physical = prepared.physical.clone();
         let database = {
-            let state = self.state.read().expect("serving state lock");
+            let state = self.state.read();
             state.database.clone()
         };
         let mut dummy = rand_chacha::ChaCha8Rng::seed_from_u64(0);
@@ -1710,7 +1723,7 @@ impl ServingEngine {
     /// (or was about to populate) it, counting the removal.  The engine
     /// stays serviceable: the next request of the prefix re-warms it.
     fn quarantine(&self, fingerprint: &(u64, u64)) {
-        let mut pool = self.pool.write().expect("snapshot pool lock");
+        let mut pool = self.pool.write();
         if pool.entries.remove(fingerprint).is_some() {
             self.counters
                 .entries_quarantined
@@ -1745,7 +1758,7 @@ impl ServingEngine {
                 .fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut pool = self.pool.write().expect("snapshot pool lock");
+        let mut pool = self.pool.write();
         if self.db_epoch.load(Ordering::Acquire) == epoch {
             pool.absorb(profile, snapshot, creator);
         } else {
@@ -1775,25 +1788,15 @@ impl ServingEngine {
         crate::faults::fire("prepare", None)?;
         loop {
             let (catalog, epoch) = {
-                let state = self.state.read().expect("serving state lock");
+                let state = self.state.read();
                 (
                     state.catalog.clone(),
                     self.catalog_epoch.load(Ordering::Acquire),
                 )
             };
-            let (key, plan) = self
-                .plans
-                .lock()
-                .expect("plan cache lock")
-                .get_or_lower(text, &catalog)?;
+            let (key, plan) = self.plans.lock().get_or_lower(text, &catalog)?;
             let pkey: PreparedKey = (key.clone(), config_digest(&config));
-            if let Some(hit) = self
-                .prepared
-                .read()
-                .expect("prepared map lock")
-                .get(&pkey)
-                .cloned()
-            {
+            if let Some(hit) = self.prepared.read().get(&pkey).cloned() {
                 return Ok((key, hit));
             }
             let physical = Arc::new(PhysicalPlan::lower(&plan, config)?);
@@ -1803,7 +1806,7 @@ impl ServingEngine {
                 profile,
                 evaluations: AtomicU64::new(0),
             });
-            let mut map = self.prepared.write().expect("prepared map lock");
+            let mut map = self.prepared.write();
             if self.catalog_epoch.load(Ordering::Acquire) != epoch {
                 // The catalog this plan was lowered against was replaced
                 // mid-prepare; retry against the new one (the state read
@@ -1820,7 +1823,7 @@ impl ServingEngine {
             let entry = map.entry(pkey).or_insert_with(|| fresh).clone();
             // The plans mutex nests inside the prepared write lock here and
             // nowhere else; every other path takes the plans mutex alone.
-            let mut plans = self.plans.lock().expect("plan cache lock");
+            let mut plans = self.plans.lock();
             if evicted {
                 plans.unpin_all();
             }
@@ -1838,7 +1841,7 @@ impl ServingEngine {
     /// lock-free by concurrent sessions).
     pub fn stats(&self) -> ServingStats {
         let (plan_cache_hits, plan_cache_misses) = {
-            let plans = self.plans.lock().expect("plan cache lock");
+            let plans = self.plans.lock();
             (plans.hits(), plans.misses())
         };
         ServingStats {
@@ -1862,14 +1865,14 @@ impl ServingEngine {
 
     /// Number of prepared queries.
     pub fn prepared_queries(&self) -> usize {
-        self.prepared.read().expect("prepared map lock").len()
+        self.prepared.read().len()
     }
 
     /// Number of pooled prefix entries (distinct stateful spines).  Smaller
     /// than [`prepared_queries`](ServingEngine::prepared_queries) when
     /// prepared queries share prefixes.
     pub fn pooled_prefixes(&self) -> usize {
-        self.pool.read().expect("snapshot pool lock").entries.len()
+        self.pool.read().entries.len()
     }
 
     /// Total number of sub-plan results currently pooled across all
@@ -1877,7 +1880,6 @@ impl ServingEngine {
     pub fn pooled_subplans(&self) -> usize {
         self.pool
             .read()
-            .expect("snapshot pool lock")
             .entries
             .values()
             .map(|e| e.slots.len())
@@ -1903,8 +1905,8 @@ impl ServingEngine {
             EngineError::Storage(format!("creating checkpoint dir {}: {e}", dir.display()))
         })?;
         let (database, mut entries) = {
-            let state = self.state.read().expect("serving state lock");
-            let pool = self.pool.read().expect("snapshot pool lock");
+            let state = self.state.read();
+            let pool = self.pool.read();
             let entries: Vec<((u64, u64), Arc<PoolEntry>)> =
                 pool.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
             (state.database.clone(), entries)
@@ -2101,7 +2103,6 @@ impl ServingEngine {
             engine
                 .pool
                 .write()
-                .expect("snapshot pool lock")
                 .entries
                 .insert(prepared.profile.fingerprint, Arc::new(pooled));
         }
@@ -2390,7 +2391,7 @@ mod tests {
         serving.evaluate(text, &mut rng).unwrap();
 
         let entry = {
-            let pool = serving.pool.read().unwrap();
+            let pool = serving.pool.read();
             pool.entries
                 .values()
                 .next()
@@ -2433,7 +2434,7 @@ mod tests {
 
         // Step 1 of the cold path: clone the database, record the epoch.
         let (database, epoch) = {
-            let state = serving.state.read().unwrap();
+            let state = serving.state.read();
             (
                 state.database.clone(),
                 serving.db_epoch.load(Ordering::Acquire),
@@ -3114,7 +3115,7 @@ mod tests {
         // Simulate prepared-cache eviction: the pool survives, the prepared
         // entry is rebuilt, and the first evaluation of the re-prepared
         // query is warm — but not counted as shared.
-        serving.prepared.write().unwrap().clear();
+        serving.prepared.write().clear();
         serving.evaluate(q, &mut rng).unwrap();
         let stats = serving.stats();
         assert_eq!(stats.warm_evaluations, 1);
@@ -3148,7 +3149,7 @@ mod tests {
         // deadline wait with `DeadlineExceeded { stage }` and a queue-
         // deadline wait with `Overloaded { stage }`, tagged verbatim.
         for stage in ["cold admission", "admission"] {
-            let gate = Gate::new(1);
+            let gate = Gate::new(1, LockRank::GateCold, "test.permit", "test.counter");
             let _held = gate.acquire(None, None, stage).unwrap();
             let soon = Some(Instant::now() + Duration::from_millis(5));
             match gate.acquire(soon, None, stage) {
@@ -3292,31 +3293,44 @@ mod tests {
             },
         )
         .unwrap();
-        // Hold the only admission slot: requests now shed after the queue
-        // deadline instead of waiting forever.
-        let _held = serving.admission.acquire(None, None, "admission").unwrap();
+        // Hold the only admission slot — from a separate thread, as a real
+        // competing request would.  Holding it on this thread and then
+        // evaluating a cold request here would acquire the cold permit
+        // under the admission permit, which the rank discipline (rightly)
+        // rejects as the gate-to-gate deadlock order.
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
         let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let err = serving
-            .evaluate_request(&Request::new(q), &mut rng)
-            .unwrap_err();
-        assert_eq!(err, EngineError::Overloaded { stage: "admission" });
-        // The degradable entry point converts the shed into bounds...
-        let answer = serving
-            .evaluate_degradable(&Request::new(q), &mut rng)
-            .unwrap();
-        match answer {
-            ServingAnswer::Degraded(d) => {
-                assert_eq!(d.reason, DegradedReason::QueueSaturated);
-                assert_eq!(d.bounds.len(), 2);
+        let holder = &serving;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let _held = holder.admission.acquire(None, None, "admission").unwrap();
+                held_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            });
+            held_rx.recv().unwrap();
+            let err = serving
+                .evaluate_request(&Request::new(q), &mut rng)
+                .unwrap_err();
+            assert_eq!(err, EngineError::Overloaded { stage: "admission" });
+            // The degradable entry point converts the shed into bounds...
+            let answer = serving
+                .evaluate_degradable(&Request::new(q), &mut rng)
+                .unwrap();
+            match answer {
+                ServingAnswer::Degraded(d) => {
+                    assert_eq!(d.reason, DegradedReason::QueueSaturated);
+                    assert_eq!(d.bounds.len(), 2);
+                }
+                ServingAnswer::Full(_) => panic!("held gate cannot serve a full answer"),
             }
-            ServingAnswer::Full(_) => panic!("held gate cannot serve a full answer"),
-        }
-        // ... but a query with no bounds form keeps its Overloaded error.
-        let err = serving
-            .evaluate_degradable(&Request::new("poss(Coins)"), &mut rng)
-            .unwrap_err();
-        assert!(matches!(err, EngineError::Overloaded { .. }));
-        drop(_held);
+            // ... but a query with no bounds form keeps its Overloaded error.
+            let err = serving
+                .evaluate_degradable(&Request::new("poss(Coins)"), &mut rng)
+                .unwrap_err();
+            assert!(matches!(err, EngineError::Overloaded { .. }));
+            release_tx.send(()).unwrap();
+        });
         // Released gate: the degradable path serves full answers again.
         match serving
             .evaluate_degradable(&Request::new(q), &mut rng)

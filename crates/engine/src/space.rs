@@ -16,11 +16,12 @@
 //!   operator.
 
 use crate::error::{EngineError, Result};
+use crate::sync::{LockRank, OrderedMutex};
 use confidence::{Assignment, DnfEvent, LineagePrograms, ProbabilitySpace, VarId};
 use pdb::{Tuple, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use urel::{Condition, URelation, Var, WTable};
 
 /// Upper bound on distinct relations memoised per compiled space; reaching
@@ -39,7 +40,7 @@ pub struct CompiledSpace {
     /// so the cache stays correct no matter who shares this compiled space;
     /// keying by digest instead of a relation clone keeps the cache from
     /// retaining copies of large relations.
-    lineage: Mutex<HashMap<RelationDigest, Arc<RelationEvents>>>,
+    lineage: OrderedMutex<HashMap<RelationDigest, Arc<RelationEvents>>>,
     /// Number of lineage-cache hits: warm requests that reused an already
     /// extracted-and-compiled batch (so they paid estimation only).
     lineage_hits: std::sync::atomic::AtomicU64,
@@ -80,7 +81,7 @@ impl Clone for CompiledSpace {
             alt_ids: self.alt_ids.clone(),
             // The clone starts with an empty cache; entries are cheap to
             // rebuild and keeping them shared would need another Arc layer.
-            lineage: Mutex::new(HashMap::new()),
+            lineage: OrderedMutex::new(LockRank::LineageCache, "space.lineage", HashMap::new()),
             lineage_hits: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -156,7 +157,7 @@ impl CompiledSpace {
             space,
             var_ids,
             alt_ids,
-            lineage: Mutex::new(HashMap::new()),
+            lineage: OrderedMutex::new(LockRank::LineageCache, "space.lineage", HashMap::new()),
             lineage_hits: std::sync::atomic::AtomicU64::new(0),
         })
     }
@@ -172,12 +173,7 @@ impl CompiledSpace {
     /// cached plan never re-extracts, re-translates, or re-compiles.
     pub fn relation_events(&self, relation: &URelation) -> Result<Arc<RelationEvents>> {
         let digest = relation_digest(relation);
-        if let Some(hit) = self
-            .lineage
-            .lock()
-            .expect("lineage cache lock")
-            .get(&digest)
-        {
+        if let Some(hit) = self.lineage.lock().get(&digest) {
             self.lineage_hits
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             return Ok(hit.clone());
@@ -199,7 +195,7 @@ impl CompiledSpace {
             programs,
             index,
         });
-        let mut guard = self.lineage.lock().expect("lineage cache lock");
+        let mut guard = self.lineage.lock();
         // A shared space can outlive many evaluations (serving); bound the
         // cache so varying post-sampling relations cannot grow it forever.
         if guard.len() >= LINEAGE_CACHE_CAP {
@@ -211,7 +207,7 @@ impl CompiledSpace {
 
     /// Number of relations whose lineage batch is currently cached.
     pub fn lineage_len(&self) -> usize {
-        self.lineage.lock().expect("lineage cache lock").len()
+        self.lineage.lock().len()
     }
 
     /// Number of lineage-cache hits so far: requests served from an already
@@ -266,9 +262,21 @@ impl CompiledSpace {
 /// [`SpaceCache::fork`] — equal counts imply equal tables.  The cache must
 /// not be shared across unrelated databases; the engine creates one per
 /// evaluation and the serving layer one per prepared query.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SpaceCache {
-    inner: Arc<Mutex<HashMap<usize, Arc<CompiledSpace>>>>,
+    inner: Arc<OrderedMutex<HashMap<usize, Arc<CompiledSpace>>>>,
+}
+
+impl Default for SpaceCache {
+    fn default() -> Self {
+        SpaceCache {
+            inner: Arc::new(OrderedMutex::new(
+                LockRank::SpaceCache,
+                "space.cache",
+                HashMap::new(),
+            )),
+        }
+    }
 }
 
 impl SpaceCache {
@@ -281,14 +289,11 @@ impl SpaceCache {
     /// once per state.
     pub fn compiled(&self, wtable: &WTable) -> Result<Arc<CompiledSpace>> {
         let key = wtable.num_variables();
-        if let Some(hit) = self.inner.lock().expect("space cache lock").get(&key) {
+        if let Some(hit) = self.inner.lock().get(&key) {
             return Ok(hit.clone());
         }
         let compiled = Arc::new(CompiledSpace::compile(wtable)?);
-        self.inner
-            .lock()
-            .expect("space cache lock")
-            .insert(key, compiled.clone());
+        self.inner.lock().insert(key, compiled.clone());
         Ok(compiled)
     }
 
@@ -297,15 +302,19 @@ impl SpaceCache {
     /// its own map, so states compiled after the fork never leak between
     /// evaluation branches whose W-tables diverge at equal counts.
     pub fn fork(&self) -> SpaceCache {
-        let snapshot = self.inner.lock().expect("space cache lock").clone();
+        let snapshot = self.inner.lock().clone();
         SpaceCache {
-            inner: Arc::new(Mutex::new(snapshot)),
+            inner: Arc::new(OrderedMutex::new(
+                LockRank::SpaceCache,
+                "space.cache",
+                snapshot,
+            )),
         }
     }
 
     /// Number of cached W-table states.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("space cache lock").len()
+        self.inner.lock().len()
     }
 
     /// True if nothing has been compiled yet.

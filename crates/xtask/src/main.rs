@@ -1,0 +1,40 @@
+//! `cargo run -p xtask -- lint` — run the workspace lint (see the library
+//! docs for the rules).  Exits 0 on a clean tree, 1 with findings on
+//! stdout otherwise, 2 on usage or configuration errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.iter().map(String::as_str);
+    if args.next() != Some("lint") {
+        eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+        return ExitCode::from(2);
+    }
+    let root = match (args.next(), args.next()) {
+        (Some("--root"), Some(dir)) => PathBuf::from(dir),
+        (None, _) => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--root <dir>]");
+            return ExitCode::from(2);
+        }
+    };
+    match xtask::lint(&root) {
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("xtask lint: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,4 @@
+use std::sync::Mutex;
+pub fn make() -> Mutex<u32> {
+    Mutex::new(0)
+}

@@ -1,0 +1,8 @@
+pub fn fine() -> u8 {
+    // SAFETY: reading a freshly created value through its own reference.
+    unsafe { core::ptr::read(&7u8) }
+}
+
+pub fn bad() -> u8 {
+    unsafe { core::ptr::read(&7u8) }
+}

@@ -1,0 +1,10 @@
+// A Mutex named in a comment must not trip the raw-lock rule, and an
+// unsafe keyword here must not trip the SAFETY rule either.
+pub const DOC: &str = "Mutex::new, unsafe, and HashMap live in this string";
+pub const RAW: &str = r#"RwLock<"quoted"> and a Condvar"#;
+
+pub fn lifetimes<'scope>(x: &'scope str) -> &'scope str {
+    x
+}
+
+pub struct OrderedMutexLike;

@@ -1,0 +1,3 @@
+pub const SITES: [&str; 2] = ["alpha", "delta"];
+pub const COST_SITES: [&str; 1] = ["beta"];
+pub const CORRUPT_SITES: [&str; 0] = [];

@@ -1,0 +1,3 @@
+use std::collections::{HashMap, HashSet};
+pub type Lookup = HashMap<u32, u32>;
+pub type Members = HashSet<u32>;

@@ -1,0 +1,5 @@
+pub fn probes() {
+    crate::faults::fire("alpha", None);
+    crate::faults::fire_cost_only("beta");
+    crate::faults::fire("zeta", None);
+}

@@ -1,0 +1,4 @@
+#[test]
+fn storm_exercises_alpha_and_beta_only() {
+    let _sites = ["alpha", "beta"];
+}

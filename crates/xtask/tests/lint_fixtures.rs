@@ -1,0 +1,94 @@
+//! The lint's own acceptance tests: every rule must flag its fixture
+//! violation, every decoy must stay silent, and the real repository tree
+//! must lint clean (this test is what keeps it that way).
+
+use std::path::PathBuf;
+use xtask::{lint, RULE_ALLOWLIST, RULE_DETERMINISM, RULE_FAILPOINTS, RULE_RAW_LOCK, RULE_SAFETY};
+
+fn fixture_tree() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tree")
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn every_rule_flags_its_fixture_violation() {
+    let findings = lint(&fixture_tree()).expect("fixture tree is scannable");
+    let have: Vec<(&str, &str, usize, &str)> = findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.line, f.token.as_str()))
+        .collect();
+    let want = [
+        // Raw Mutex at import, signature, and construction.
+        (RULE_RAW_LOCK, "crates/engine/src/bad_lock.rs", 1, "Mutex"),
+        (RULE_RAW_LOCK, "crates/engine/src/bad_lock.rs", 2, "Mutex"),
+        (RULE_RAW_LOCK, "crates/engine/src/bad_lock.rs", 3, "Mutex"),
+        // The second unsafe block has no SAFETY comment.
+        (RULE_SAFETY, "crates/engine/src/bad_unsafe.rs", 7, "unsafe"),
+        // HashMap twice; HashSet is allowlisted.
+        (
+            RULE_DETERMINISM,
+            "crates/engine/src/physical.rs",
+            1,
+            "HashMap",
+        ),
+        (
+            RULE_DETERMINISM,
+            "crates/engine/src/physical.rs",
+            2,
+            "HashMap",
+        ),
+        // An unregistered probe literal...
+        (RULE_FAILPOINTS, "crates/engine/src/serving.rs", 4, "zeta"),
+        // ...and a registered site that is neither probed nor exercised.
+        (RULE_FAILPOINTS, "crates/engine/src/faults.rs", 1, "delta"),
+        (RULE_FAILPOINTS, "crates/engine/src/faults.rs", 1, "delta"),
+        // The decoy allowlist entry matches nothing.
+        (RULE_ALLOWLIST, "lint.allow", 3, "Mutex"),
+    ];
+    for expected in want {
+        assert!(
+            have.contains(&expected),
+            "missing expected finding {expected:?} in {have:#?}"
+        );
+    }
+    assert_eq!(
+        findings.len(),
+        want.len(),
+        "unexpected extra findings: {findings:#?}"
+    );
+}
+
+#[test]
+fn decoys_in_comments_strings_and_wrapper_names_stay_silent() {
+    let findings = lint(&fixture_tree()).expect("fixture tree is scannable");
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.path != "crates/engine/src/clean_tricky.rs"),
+        "clean_tricky.rs must produce no findings: {findings:#?}"
+    );
+    // The first unsafe block carries a SAFETY comment and must pass.
+    assert!(
+        !findings
+            .iter()
+            .any(|f| f.rule == RULE_SAFETY && f.line == 3),
+        "the SAFETY-annotated block must not be flagged"
+    );
+}
+
+#[test]
+fn the_repository_tree_lints_clean() {
+    let findings = lint(&repo_root()).expect("repository tree is scannable");
+    assert!(
+        findings.is_empty(),
+        "the workspace must lint clean; fix or allowlist:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

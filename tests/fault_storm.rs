@@ -72,6 +72,116 @@ fn true_confidences(t: &pdb::Tuple) -> (f64, f64) {
     }
 }
 
+/// Drives every registered failpoint site individually: arms a full-rate
+/// plan confined to one site and crosses it on the serving path, asserting
+/// the injection lands where the registry claims.  This test is also the
+/// anchor for the `xtask lint` failpoint cross-check — every site name in
+/// `engine::faults::{SITES, COST_SITES, CORRUPT_SITES}` must appear below
+/// as a string literal, and stale literals here fail the lint.
+#[test]
+fn every_registered_site_injects_where_it_claims() {
+    let _guard = faults::exclusive();
+    let config = EvalConfig::default();
+    let full = |site| {
+        FaultPlan::storm(1, 1_000_000)
+            .with_kinds(faults::ERROR)
+            .at(site)
+    };
+
+    // The four fallible sites surface as a classified `Injected` error
+    // naming the site that fired.
+    for (site, query) in [
+        ("admission", Q_EXACT),
+        ("prepare", Q_EXACT),
+        ("cold-eval", Q_EXACT),
+        ("estimate", Q_SAMPLE),
+    ] {
+        let serving = ServingEngine::new(config, db_with(coins_a())).unwrap();
+        faults::arm(&full(site));
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let err = serving.evaluate(query, &mut rng).unwrap_err();
+        faults::disarm();
+        assert_eq!(
+            err,
+            EngineError::Injected { site },
+            "site {site:?} must inject its own classified error"
+        );
+    }
+
+    // `absorb` is cost-only: a fault drops the pool absorb, which is a
+    // legal cache miss — the answer itself must still be exact.
+    {
+        let serving = ServingEngine::new(config, db_with(coins_a())).unwrap();
+        let oracle = ServingEngine::new(config, db_with(coins_a())).unwrap();
+        faults::arm(&full("absorb"));
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let out = serving.evaluate(Q_EXACT, &mut rng).unwrap();
+        let injected = faults::injected_count();
+        faults::disarm();
+        assert!(injected > 0, "the absorb probe must fire on a cold eval");
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let truth = oracle.evaluate(Q_EXACT, &mut rng).unwrap();
+        assert_eq!(out.result.relation, truth.result.relation);
+    }
+
+    // `patch` is cost-only too: a fault demotes the pool slot instead of
+    // patching it, and the next evaluation recomputes it from scratch.  A
+    // patch is only attempted for a pure sub-plan off the stateful spine,
+    // so the query joins a pure `Labels` scan against a Coins repair-key.
+    {
+        let labels = relation![schema!["CoinType", "Label"]; ["fair", "ok"], ["2headed", "trick"]];
+        let db = UDatabase::from_complete_relations([("Coins", coins_a()), ("Labels", labels)]);
+        let touching = "aconf[0.3, 0.1](project[Label](join(repairkey[ @ Count](Coins), Labels)))";
+        let serving = ServingEngine::new(config, db.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        serving.evaluate(touching, &mut rng).unwrap();
+        let old = serving.database().relation("Labels").unwrap().clone();
+        let mut new = old.clone();
+        new.insert(urel::Condition::always(), tuple!["2headed", "sneaky"])
+            .unwrap();
+        let delta = old.diff(&new).unwrap();
+        faults::arm(&full("patch"));
+        serving.apply_deltas([("Labels", delta)]).unwrap();
+        let injected = faults::injected_count();
+        faults::disarm();
+        assert!(
+            injected > 0,
+            "the patch probe must fire on a pure-slot delta"
+        );
+        let mut db_after = db;
+        db_after.set_relation("Labels".to_owned(), new, true);
+        let oracle = ServingEngine::new(config, db_after).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let warm = serving.evaluate(touching, &mut rng).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let truth = oracle.evaluate(touching, &mut rng).unwrap();
+        assert_eq!(warm.result.relation, truth.result.relation);
+    }
+
+    // `storage` corrupts checkpoint segments on the way to disk; the digest
+    // check must reject the checkpoint on restore rather than decode it.
+    {
+        let serving = ServingEngine::new(config, db_with(coins_a())).unwrap();
+        let dir = std::env::temp_dir().join(format!(
+            "uadb-fault-site-ckpt-{}-{:x}",
+            std::process::id(),
+            seed_of(0, 0)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        faults::arm(&full("storage"));
+        serving.checkpoint(&dir).unwrap();
+        let injected = faults::injected_count();
+        faults::disarm();
+        assert!(injected > 0, "the storage probe must corrupt a segment");
+        match ServingEngine::restore(config, &dir) {
+            Err(EngineError::Storage { .. }) => {}
+            Err(other) => panic!("expected a storage rejection, got {other:?}"),
+            Ok(_) => panic!("a corrupted checkpoint must not restore"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 #[test]
 fn fault_storm_keeps_answers_exact_degraded_or_classified() {
     let smoke = std::env::var("FAULT_STORM_SMOKE").is_ok();

@@ -37,37 +37,29 @@
 
 #![deny(unsafe_code)]
 
+pub mod lockcheck;
+
+use lockcheck::{
+    JobDeque, RankedCondvar, RankedMutex, RANK_POOL_BATCH, RANK_POOL_RESULTS, RANK_POOL_SIGNAL,
+    RANK_WORKER_DEQUE,
+};
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
 
-/// Locks a pool-internal mutex, aborting the process if it is poisoned.
-///
-/// Soundness of the `'scope` erasure in [`erase_job_lifetime`] requires
-/// that [`ThreadPool::run_batch`] never unwinds between `inject()` and
-/// batch drain — an unwind there would free the caller's borrows while
-/// scoped jobs still sit in worker deques (dangling when a worker later
-/// runs them).  The only way the in-flight window could unwind is a
-/// poisoned pool lock, and poisoning can only happen if pool-internal code
-/// itself panicked while holding one.  Aborting here makes the invariant
-/// structural: lock poisoning terminates the process instead of unwinding
-/// into the window.
-fn lock_or_abort<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    match mutex.lock() {
-        Ok(guard) => guard,
-        Err(_) => std::process::abort(),
-    }
-}
-
-/// [`Condvar::wait`] with the same poisoning policy as [`lock_or_abort`].
-fn wait_or_abort<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    match cv.wait(guard) {
-        Ok(guard) => guard,
-        Err(_) => std::process::abort(),
-    }
-}
+// Pool-internal locks go through the ranked wrappers in [`lockcheck`],
+// which abort the process on poisoning *and* on rank violations.
+// Soundness of the `'scope` erasure in [`erase_job_lifetime`] requires
+// that [`ThreadPool::run_batch`] never unwinds between `inject()` and
+// batch drain — an unwind there would free the caller's borrows while
+// scoped jobs still sit in worker deques (dangling when a worker later
+// runs them).  The only way the in-flight window could unwind is a
+// poisoned pool lock, and poisoning can only happen if pool-internal code
+// itself panicked while holding one.  Aborting makes the invariant
+// structural: lock poisoning terminates the process instead of unwinding
+// into the window.
 
 pub mod prelude {
     //! The traits needed to call `par_iter`/`into_par_iter`/`map`/`collect`.
@@ -78,7 +70,7 @@ pub mod prelude {
 ///
 /// Only compiled under the `failpoints` feature; the default build carries no
 /// trace of it.  The injected fault is **latency only** — `find_job` sits
-/// inside the no-unwind window documented on [`lock_or_abort`], so a panic or
+/// inside the no-unwind window documented in [`lockcheck`], so a panic or
 /// error return here is structurally off the table.  Whether a given steal
 /// attempt is delayed is a pure function of the armed seed and a global hit
 /// counter, so a single-threaded replay injects the same delays.
@@ -146,11 +138,11 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct PoolShared {
     /// One deque per worker; batches are scattered round-robin and idle
     /// workers steal from the back of their siblings' deques.
-    deques: Vec<Mutex<VecDeque<Job>>>,
+    deques: Vec<JobDeque<Job>>,
     /// Wakeup channel: `generation` is bumped on every enqueue so a worker
     /// that scanned empty deques never sleeps through a concurrent push.
-    signal: Mutex<WakeState>,
-    workers: Condvar,
+    signal: RankedMutex<WakeState>,
+    workers: RankedCondvar,
     /// Round-robin scatter cursor, so consecutive batches start on different
     /// workers.
     next_deque: AtomicUsize,
@@ -167,13 +159,13 @@ impl PoolShared {
     fn find_job(&self, home: usize) -> Option<Job> {
         #[cfg(feature = "failpoints")]
         crate::faults::pool_steal_delay();
-        if let Some(job) = lock_or_abort(&self.deques[home]).pop_front() {
+        if let Some(job) = self.deques[home].lock().pop_front() {
             return Some(job);
         }
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (home + offset) % n;
-            if let Some(job) = lock_or_abort(&self.deques[victim]).pop_back() {
+            if let Some(job) = self.deques[victim].lock().pop_back() {
                 return Some(job);
             }
         }
@@ -186,9 +178,9 @@ impl PoolShared {
         let n = self.deques.len();
         let start = self.next_deque.fetch_add(1, Ordering::Relaxed);
         for (i, job) in jobs.into_iter().enumerate() {
-            lock_or_abort(&self.deques[(start + i) % n]).push_back(job);
+            self.deques[(start + i) % n].lock().push_back(job);
         }
-        let mut state = lock_or_abort(&self.signal);
+        let mut state = self.signal.lock();
         state.generation = state.generation.wrapping_add(1);
         self.workers.notify_all();
     }
@@ -200,17 +192,17 @@ struct BatchState {
     pending: AtomicUsize,
     /// First panic payload raised by a job of this batch; resumed on the
     /// submitting caller once the batch has drained.
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panic: RankedMutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Completion flag + condvar the submitter parks on when it runs out of
     /// jobs to help with.
-    done: Mutex<bool>,
-    done_cv: Condvar,
+    done: RankedMutex<bool>,
+    done_cv: RankedCondvar,
 }
 
 fn worker_loop(shared: Arc<PoolShared>, home: usize) {
     loop {
         let generation = {
-            let state = lock_or_abort(&shared.signal);
+            let state = shared.signal.lock();
             if state.shutdown {
                 return;
             }
@@ -223,9 +215,9 @@ fn worker_loop(shared: Arc<PoolShared>, home: usize) {
             job();
             continue;
         }
-        let mut state = lock_or_abort(&shared.signal);
+        let mut state = shared.signal.lock();
         while state.generation == generation && !state.shutdown {
-            state = wait_or_abort(&shared.workers, state);
+            state = shared.workers.wait(state);
         }
         if state.shutdown {
             return;
@@ -249,12 +241,18 @@ impl ThreadPool {
     pub fn new(threads: usize) -> ThreadPool {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
-            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
-            signal: Mutex::new(WakeState {
-                generation: 0,
-                shutdown: false,
-            }),
-            workers: Condvar::new(),
+            deques: (0..threads)
+                .map(|_| RankedMutex::new(RANK_WORKER_DEQUE, "pool.worker_deque", VecDeque::new()))
+                .collect(),
+            signal: RankedMutex::new(
+                RANK_POOL_SIGNAL,
+                "pool.signal",
+                WakeState {
+                    generation: 0,
+                    shutdown: false,
+                },
+            ),
+            workers: RankedCondvar::new(),
             next_deque: AtomicUsize::new(0),
         });
         let handles = (0..threads)
@@ -297,9 +295,9 @@ impl ThreadPool {
         }
         let batch = Arc::new(BatchState {
             pending: AtomicUsize::new(tasks.len()),
-            panic: Mutex::new(None),
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
+            panic: RankedMutex::new(RANK_POOL_BATCH, "pool.batch.panic", None),
+            done: RankedMutex::new(RANK_POOL_BATCH, "pool.batch.done", false),
+            done_cv: RankedCondvar::new(),
         });
         let jobs: Vec<Job> = tasks
             .into_iter()
@@ -309,13 +307,16 @@ impl ThreadPool {
                     // Isolate the task: a panic is captured here, never
                     // unwound through the executing worker.
                     if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
-                        let mut slot = lock_or_abort(&batch.panic);
+                        // Scoped so the panic-slot guard dies before the
+                        // done flag is taken — both sit at the batch rank.
+                        let mut slot = batch.panic.lock();
                         if slot.is_none() {
                             *slot = Some(payload);
                         }
+                        drop(slot);
                     }
                     if batch.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-                        *lock_or_abort(&batch.done) = true;
+                        *batch.done.lock() = true;
                         batch.done_cv.notify_all();
                     }
                 });
@@ -336,16 +337,16 @@ impl ThreadPool {
                     // Nothing queued anywhere: the remaining jobs of this
                     // batch are running on workers; park until the last one
                     // flips the flag.
-                    let mut done = lock_or_abort(&batch.done);
+                    let mut done = batch.done.lock();
                     while !*done {
-                        done = wait_or_abort(&batch.done_cv, done);
+                        done = batch.done_cv.wait(done);
                     }
                     break;
                 }
             }
         }
         debug_assert_eq!(batch.pending.load(Ordering::Acquire), 0);
-        let payload = lock_or_abort(&batch.panic).take();
+        let payload = batch.panic.lock().take();
         if let Some(payload) = payload {
             resume_unwind(payload);
         }
@@ -355,7 +356,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut state = lock_or_abort(&self.shared.signal);
+            let mut state = self.shared.signal.lock();
             state.shutdown = true;
             self.shared.workers.notify_all();
         }
@@ -379,9 +380,10 @@ fn erase_job_lifetime<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
     // caller's borrows while scoped jobs still wait in worker deques).  Job
     // panics are contained inside each job's `catch_unwind` wrapper and
     // resumed only *after* the drain; every lock the in-flight window takes
-    // goes through `lock_or_abort`/`wait_or_abort`, which abort the process
-    // on poisoning instead of unwinding.  Any future code that can panic
-    // between `inject()` and the drain loop breaks this invariant.
+    // goes through the ranked wrappers in `lockcheck`, which abort the
+    // process on poisoning — and on lock-order violations — instead of
+    // unwinding.  Any future code that can panic between `inject()` and the
+    // drain loop breaks this invariant.
     //
     // So no job ever outlives the `'scope` borrows it captures, and the
     // transmute merely widens the lifetime parameter of an otherwise
@@ -438,7 +440,11 @@ where
         }
         chunks.push(chunk);
     }
-    let results: Mutex<Vec<Option<Vec<O>>>> = Mutex::new((0..chunks.len()).map(|_| None).collect());
+    let results: RankedMutex<Vec<Option<Vec<O>>>> = RankedMutex::new(
+        RANK_POOL_RESULTS,
+        "pool.par_apply.results",
+        (0..chunks.len()).map(|_| None).collect(),
+    );
     let f = &f;
     let results_ref = &results;
     let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
@@ -447,13 +453,13 @@ where
         .map(|(index, chunk)| {
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 let out: Vec<O> = chunk.into_iter().map(f).collect();
-                results_ref.lock().expect("chunk results")[index] = Some(out);
+                results_ref.lock()[index] = Some(out);
             });
             task
         })
         .collect();
     pool.run_batch(tasks);
-    let mut slots = results.into_inner().expect("chunk results");
+    let mut slots = results.into_inner();
     let mut out = Vec::with_capacity(n);
     for slot in slots.iter_mut() {
         out.extend(slot.take().expect("batch completion implies every chunk"));

@@ -1,0 +1,311 @@
+//! Ranked lock-ordering discipline shared by the whole workspace.
+//!
+//! Every lock in the engine and in this pool carries a static numeric
+//! *rank*; a thread may only acquire a lock whose rank is **strictly
+//! greater** than every rank it already holds.  Ranks totally order the
+//! lock graph, so any schedule that respects them is deadlock-free by
+//! construction — the classic leveled-lock argument.
+//!
+//! The checker lives here, at the bottom of the dependency graph, because
+//! the engine depends on this crate: one process-wide *thread-local stack
+//! of held ranks* must observe engine locks (ranks below 200) and
+//! pool-internal locks (ranks 200+) interleaved on the same thread.  The
+//! engine builds its typed [`LockRank`] wrappers (`engine::sync`) on top of
+//! the raw [`note_acquire`] / [`note_release`] hooks exported here; the
+//! pool's own wrappers (`RankedMutex`, `RankedCondvar`) are private to
+//! this crate.
+//!
+//! [`LockRank`]: https://docs.rs/ (see `engine::sync::LockRank`, the
+//! workspace's single source of truth for rank values)
+//!
+//! # When checking is compiled in
+//!
+//! Rank tracking costs a thread-local vector push/pop per lock operation,
+//! so it is compiled in only when [`CHECKED`] is true: debug builds always,
+//! release builds only under `--features lockcheck`.  Otherwise the hooks
+//! are empty `#[inline]` functions and the wrappers add nothing over
+//! `std::sync` — release serving binaries pay zero.
+//!
+//! # Violation and poison policy
+//!
+//! Pool-internal wrappers **abort the process** on both rank violations and
+//! lock poisoning.  Soundness of the `'scope` lifetime erasure behind
+//! `ThreadPool::run_batch` requires that nothing unwinds between batch
+//! injection and drain (an unwind there would free the caller's borrows
+//! while scoped jobs still sit in worker deques), so a panic is not an
+//! acceptable failure mode inside the pool.  Engine-side wrappers panic on
+//! rank violations instead — engine locks sit outside the no-unwind window
+//! and a panic is testable — but share the abort-on-poison policy.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// True when rank checking is compiled into this build (debug builds, and
+/// any build with `--features lockcheck`).  `engine::sync::CHECKED` pins
+/// its value per configuration with compile-time guard tests.
+pub const CHECKED: bool = cfg!(any(debug_assertions, feature = "lockcheck"));
+
+/// Rank of the per-worker job deques (transient: pop/push, never nested).
+pub const RANK_WORKER_DEQUE: u16 = 200;
+/// Rank of the wakeup channel (generation counter + shutdown flag) the
+/// workers park on between batches.
+pub const RANK_POOL_SIGNAL: u16 = 210;
+/// Rank of per-batch completion state (first panic payload, done flag).
+pub const RANK_POOL_BATCH: u16 = 220;
+/// Rank of the ordered result slots a `par_apply` batch writes into.
+pub const RANK_POOL_RESULTS: u16 = 230;
+
+#[cfg(any(debug_assertions, feature = "lockcheck"))]
+mod stack {
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks this thread currently holds, in acquisition order.  Guards
+        /// can die out of order, so release removes the *last matching*
+        /// entry rather than popping blindly.
+        static HELD: RefCell<Vec<(u16, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn acquire(rank: u16, name: &'static str, abort_on_violation: bool) {
+        // `try_with` so guards created or dropped during thread-local
+        // teardown degrade to unchecked instead of panicking in a Drop.
+        let conflict = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            match held.iter().copied().max_by_key(|&(rank, _)| rank) {
+                Some((held_rank, held_name)) if rank <= held_rank => Some((held_rank, held_name)),
+                _ => {
+                    held.push((rank, name));
+                    None
+                }
+            }
+        });
+        if let Ok(Some((held_rank, held_name))) = conflict {
+            let message = format!(
+                "lock rank violation: acquiring \"{name}\" (rank {rank}) while \"{held_name}\" \
+                 (rank {held_rank}) is held; locks must be acquired in strictly increasing \
+                 rank order (see engine::sync::LockRank)"
+            );
+            if abort_on_violation {
+                eprintln!("{message}");
+                std::process::abort();
+            }
+            panic!("{message}");
+        }
+    }
+
+    pub(super) fn release(rank: u16, name: &'static str) {
+        let _ = HELD.try_with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(position) = held.iter().rposition(|&entry| entry == (rank, name)) {
+                held.remove(position);
+            }
+        });
+    }
+
+    pub(super) fn held_count() -> usize {
+        HELD.try_with(|held| held.borrow().len()).unwrap_or(0)
+    }
+}
+
+/// Records that the current thread acquired a lock of `rank` named `name`.
+///
+/// If the thread already holds a rank `>= rank`, the acquisition is a
+/// discipline violation: the process aborts when `abort_on_violation` is
+/// set (pool internals — see the module docs), panics otherwise (engine
+/// locks), naming both lock sites.  No-op when [`CHECKED`] is false.
+#[inline]
+pub fn note_acquire(rank: u16, name: &'static str, abort_on_violation: bool) {
+    #[cfg(any(debug_assertions, feature = "lockcheck"))]
+    stack::acquire(rank, name, abort_on_violation);
+    #[cfg(not(any(debug_assertions, feature = "lockcheck")))]
+    let _ = (rank, name, abort_on_violation);
+}
+
+/// Records that the current thread released the lock of `rank` named
+/// `name` (the last matching acquisition).  No-op when [`CHECKED`] is
+/// false.
+#[inline]
+pub fn note_release(rank: u16, name: &'static str) {
+    #[cfg(any(debug_assertions, feature = "lockcheck"))]
+    stack::release(rank, name);
+    #[cfg(not(any(debug_assertions, feature = "lockcheck")))]
+    let _ = (rank, name);
+}
+
+/// Number of ranks the current thread holds (0 when checking is off).
+/// Exposed so engine tests can assert guards are balanced.
+#[inline]
+pub fn held_ranks() -> usize {
+    #[cfg(any(debug_assertions, feature = "lockcheck"))]
+    {
+        stack::held_count()
+    }
+    #[cfg(not(any(debug_assertions, feature = "lockcheck")))]
+    {
+        0
+    }
+}
+
+/// A pool-internal mutex with a static rank.
+///
+/// Lock acquisition aborts the process on rank violations *and* on
+/// poisoning — the pool's no-unwind window (see the module docs and the
+/// `SAFETY` rationale on `erase_job_lifetime`) rules out panicking here.
+pub(crate) struct RankedMutex<T> {
+    rank: u16,
+    name: &'static str,
+    inner: Mutex<T>,
+}
+
+impl<T> RankedMutex<T> {
+    pub(crate) const fn new(rank: u16, name: &'static str, value: T) -> RankedMutex<T> {
+        RankedMutex {
+            rank,
+            name,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Locks, aborting on rank violation or poisoning.
+    pub(crate) fn lock(&self) -> RankedMutexGuard<'_, T> {
+        note_acquire(self.rank, self.name, true);
+        match self.inner.lock() {
+            Ok(guard) => RankedMutexGuard {
+                rank: self.rank,
+                name: self.name,
+                guard: Some(guard),
+            },
+            Err(_) => std::process::abort(),
+        }
+    }
+
+    /// Consumes the mutex and returns its value, aborting if poisoned.
+    pub(crate) fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(_) => std::process::abort(),
+        }
+    }
+}
+
+/// Guard for a [`RankedMutex`]; releases the rank on drop.
+pub(crate) struct RankedMutexGuard<'a, T> {
+    rank: u16,
+    name: &'static str,
+    /// `None` only transiently inside [`RankedCondvar::wait`], where the
+    /// std guard is surrendered to the condvar while the rank stays held.
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for RankedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> std::ops::DerefMut for RankedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T> Drop for RankedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.guard.take().is_some() {
+            note_release(self.rank, self.name);
+        }
+    }
+}
+
+/// A condition variable paired with [`RankedMutex`]; waiting keeps the
+/// mutex's rank on the held stack (the waiter owns the lock again before
+/// `wait` returns, and a blocked thread acquires nothing in between).
+pub(crate) struct RankedCondvar {
+    inner: Condvar,
+}
+
+impl RankedCondvar {
+    pub(crate) const fn new() -> RankedCondvar {
+        RankedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Blocks until notified, aborting if the mutex is poisoned.
+    pub(crate) fn wait<'a, T>(
+        &self,
+        mut guard: RankedMutexGuard<'a, T>,
+    ) -> RankedMutexGuard<'a, T> {
+        let inner = guard.guard.take().expect("guard present outside wait");
+        match self.inner.wait(inner) {
+            Ok(reacquired) => {
+                guard.guard = Some(reacquired);
+                guard
+            }
+            Err(_) => std::process::abort(),
+        }
+    }
+
+    pub(crate) fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Convenience alias so pool code can name its deque type without spelling
+/// out the generic.
+pub(crate) type JobDeque<T> = RankedMutex<VecDeque<T>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checked_mirrors_build_configuration() {
+        assert_eq!(CHECKED, cfg!(any(debug_assertions, feature = "lockcheck")));
+    }
+
+    #[test]
+    fn pool_ranks_are_strictly_increasing() {
+        const {
+            assert!(RANK_WORKER_DEQUE < RANK_POOL_SIGNAL);
+            assert!(RANK_POOL_SIGNAL < RANK_POOL_BATCH);
+            assert!(RANK_POOL_BATCH < RANK_POOL_RESULTS);
+        }
+    }
+
+    #[test]
+    fn release_removes_the_last_matching_entry() {
+        if !CHECKED {
+            return;
+        }
+        assert_eq!(held_ranks(), 0);
+        note_acquire(10, "a", false);
+        note_acquire(20, "b", false);
+        // Guards may die out of order: releasing the lower rank first must
+        // leave the higher one held.
+        note_release(10, "a");
+        assert_eq!(held_ranks(), 1);
+        note_release(20, "b");
+        assert_eq!(held_ranks(), 0);
+        // Once the stack is empty, low ranks are acquirable again.
+        note_acquire(10, "a", false);
+        note_release(10, "a");
+        assert_eq!(held_ranks(), 0);
+    }
+
+    #[test]
+    fn same_thread_ranked_wrappers_balance_the_stack() {
+        let mutex = RankedMutex::new(RANK_POOL_BATCH, "test.batch", 7usize);
+        let before = held_ranks();
+        {
+            let mut guard = mutex.lock();
+            *guard += 1;
+            if CHECKED {
+                assert_eq!(held_ranks(), before + 1);
+            }
+        }
+        assert_eq!(held_ranks(), before);
+        assert_eq!(mutex.into_inner(), 8);
+    }
+}
