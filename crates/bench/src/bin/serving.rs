@@ -36,6 +36,17 @@
 //!    budget (chunk outputs routed through digest-verified temporary
 //!    segments), and checkpoint write / restore-then-warm-evaluate latency
 //!    vs a cold re-prepare of the same query on a fresh engine.
+//! 7. **Estimator backends** — kernel samples/second across the block
+//!    widths `W ∈ {1, 2, 4}` (64/128/256 lanes per instruction pass), and
+//!    d-DNNF compile + weighted-model-count wall time vs FPRAS sampling
+//!    wall time on single-literal unions of growing width, annotated with
+//!    which backend the cost model picks at the default node budget.
+//!
+//! The serving engine in experiment 1 runs the full estimation front door —
+//! exact d-DNNF backend at the default node budget plus cross-request
+//! shared sampling — while the cold path keeps the plain sampled
+//! configuration, so the warm/cold gap shows what the backend choice buys a
+//! real server.
 
 use algebra::LogicalPlan;
 use confidence::{BitKarpLuby, KarpLubyEstimator};
@@ -66,6 +77,11 @@ struct RepeatedQueryResult {
     query: &'static str,
     cold_us: f64,
     warm_us: f64,
+    /// Confidences the warm server answered by exact d-DNNF compilation
+    /// (0 when the cost model keeps sampling), across the measured runs.
+    warm_exact_answers: u64,
+    /// Tally-cache hits of the shared block scheduler across the runs.
+    warm_shared_hits: u64,
 }
 
 fn repeated_query_experiment(num_tuples: usize, runs: usize) -> Vec<RepeatedQueryResult> {
@@ -94,18 +110,28 @@ fn repeated_query_experiment(num_tuples: usize, runs: usize) -> Vec<RepeatedQuer
                 .expect("evaluates");
         });
 
-        let serving = ServingEngine::new(EvalConfig::default(), db.clone()).expect("server");
+        // The server runs the full estimation front door: the exact d-DNNF
+        // backend at the default node budget plus shared sampling.  The cold
+        // reference above keeps the plain sampled configuration.
+        let serving_config = EvalConfig::default()
+            .with_exact_backend(confidence::cost::DEFAULT_NODE_BUDGET)
+            .with_shared_sampling(true);
+        let serving = ServingEngine::new(serving_config, db.clone()).expect("server");
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         serving.evaluate(text, &mut rng).expect("prepare");
+        let before = serving.stats();
         let warm_us = median_micros(runs, || {
             serving.evaluate(text, &mut rng).expect("warm evaluation");
         });
+        let after = serving.stats();
 
         results.push(RepeatedQueryResult {
             label,
             query: text,
             cold_us,
             warm_us,
+            warm_exact_answers: after.exact_compiled_answers - before.exact_compiled_answers,
+            warm_shared_hits: after.shared_block_hits - before.shared_block_hits,
         });
     }
     results
@@ -550,6 +576,127 @@ fn estimator_experiment(num_tuples: usize) -> EstimatorResult {
     }
 }
 
+/// One rung of the width sweep: a single-literal union of `terms`
+/// independent Boolean variables, answered both ways.
+struct BackendWidthRow {
+    terms: usize,
+    /// The Chernoff sample budget of `aconf[0.2, 0.1]` at this width.
+    samples_budget: usize,
+    /// Median d-DNNF compile + weighted model count, microseconds.
+    dnnf_us: f64,
+    /// One full FPRAS sampling pass on the widest (4-word) kernel,
+    /// microseconds.
+    fpras_us: f64,
+    /// What `cost::choose_backend` picks at the default node budget.
+    chosen: &'static str,
+}
+
+/// Results of the estimator-backends experiment: kernel throughput per
+/// block width, and the compile-vs-sample tradeoff by lineage width.
+struct BackendsResult {
+    /// Events in the kernel-throughput batch (the `fpras_conf` lineage).
+    kernel_events: usize,
+    /// `(words, samples_per_sec)` for `W ∈ {1, 2, 4}`.
+    kernel: Vec<(usize, f64)>,
+    widths: Vec<BackendWidthRow>,
+}
+
+fn estimator_backends_experiment(num_tuples: usize, smoke: bool) -> BackendsResult {
+    use std::sync::Arc;
+
+    let db = TupleIndependentDb {
+        num_tuples,
+        domain_size: 8,
+        tuple_probability: None,
+        seed: 11,
+    }
+    .database();
+    let space = CompiledSpace::compile(db.wtable()).expect("compiled space");
+    let relation = db.relation("T").expect("relation T");
+    let projected =
+        engine::ops::project(relation, &[algebra::ProjItem::attr("A")]).expect("projection");
+    let lineage = space.relation_events(&projected).expect("lineage batch");
+    let programs = lineage.programs();
+    let params = confidence::FprasParams::new(0.2, 0.1).expect("params");
+
+    // Kernel throughput per block width on the serving workload's own
+    // lineage: same Chernoff budget, same seed, 64/128/256 lanes per pass.
+    let mut kernel = Vec::new();
+    for words in [1usize, 2, 4] {
+        let mut samples = 0usize;
+        let start = Instant::now();
+        for index in 0..programs.len() {
+            let m = params
+                .samples_for(programs.num_terms(index))
+                .expect("budget");
+            let mut k =
+                BitKarpLuby::new_with_width(programs.clone(), index, words).expect("kernel");
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+            let _ = k.estimate(m, &mut rng).expect("estimate");
+            samples += m;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        kernel.push((words, samples as f64 / secs.max(1e-9)));
+    }
+
+    // Compile-vs-sample by lineage width: single-literal unions of `w`
+    // independent p = 0.5 coins — the d-DNNF is a linear decision chain, so
+    // compile + WMC stays flat while the Chernoff sample bill grows with w.
+    let widths: &[usize] = if smoke {
+        &[4, 16, 64]
+    } else {
+        &[4, 16, 64, 256]
+    };
+    let rows = widths
+        .iter()
+        .map(|&w| {
+            let mut event_space = confidence::ProbabilitySpace::new();
+            let terms: Vec<confidence::Assignment> = (0..w)
+                .map(|_| {
+                    let v = event_space.add_bool_variable(0.5).expect("variable");
+                    confidence::Assignment::new([(v, 0)]).expect("literal")
+                })
+                .collect();
+            let event = confidence::DnfEvent::new(terms);
+            let programs = Arc::new(
+                confidence::LineagePrograms::compile(vec![event.clone()], &event_space)
+                    .expect("compile"),
+            );
+            let m = params.samples_for(w).expect("budget");
+            let budget = confidence::cost::DEFAULT_NODE_BUDGET;
+            let chosen =
+                match confidence::cost::choose_backend(programs.dnnf_estimate(0), m as u64, budget)
+                {
+                    confidence::Backend::Exact => "exact",
+                    confidence::Backend::Sample => "sample",
+                };
+            let dnnf_us = median_micros(9, || {
+                let _ = confidence::dnnf::probability(&event, &event_space, budget)
+                    .expect("d-DNNF probability");
+            });
+            let mut k = BitKarpLuby::new_with_width(programs.clone(), 0, 4).expect("kernel");
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(17);
+            let start = Instant::now();
+            let _ = k.estimate(m, &mut rng).expect("estimate");
+            let fpras_us = start.elapsed().as_secs_f64() * 1e6;
+            BackendWidthRow {
+                terms: w,
+                samples_budget: m,
+                dnnf_us,
+                fpras_us,
+                chosen,
+            }
+        })
+        .collect();
+
+    BackendsResult {
+        kernel_events: programs.len(),
+        kernel,
+        widths: rows,
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one positional slot per experiment section
 fn render_json(
     smoke: bool,
     repeated: &[RepeatedQueryResult],
@@ -558,6 +705,7 @@ fn render_json(
     delta: &DeltaUpdateResult,
     storage: &StorageResult,
     estimator: &EstimatorResult,
+    backends: &BackendsResult,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -577,12 +725,14 @@ fn render_json(
         let comma = if i + 1 < repeated.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"label\": \"{}\", \"query\": \"{}\", \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"speedup\": {:.2}}}{comma}",
+            "    {{\"label\": \"{}\", \"query\": \"{}\", \"cold_us\": {:.1}, \"warm_us\": {:.1}, \"speedup\": {:.2}, \"warm_exact_answers\": {}, \"warm_shared_hits\": {}}}{comma}",
             r.label,
             r.query,
             r.cold_us,
             r.warm_us,
-            r.cold_us / r.warm_us.max(1e-9)
+            r.cold_us / r.warm_us.max(1e-9),
+            r.warm_exact_answers,
+            r.warm_shared_hits
         );
     }
     let _ = writeln!(out, "  ],");
@@ -758,6 +908,48 @@ fn render_json(
         "    \"aconf_warm_us\": {:.1}",
         aconf.map_or(f64::NAN, |r| r.warm_us)
     );
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"estimator_backends\": {{");
+    let _ = writeln!(
+        out,
+        "    \"workload\": \"kernel throughput per block width over the fpras_conf lineage \
+         batch ({} events), and d-DNNF compile+WMC vs one full FPRAS sampling pass on \
+         single-literal unions of growing width (aconf[0.2, 0.1] Chernoff budgets, default \
+         node budget {})\",",
+        backends.kernel_events,
+        confidence::cost::DEFAULT_NODE_BUDGET
+    );
+    let _ = writeln!(out, "    \"kernel_samples_per_sec\": [");
+    for (i, (words, rate)) in backends.kernel.iter().enumerate() {
+        let comma = if i + 1 < backends.kernel.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "      {{\"words\": {}, \"lanes\": {}, \"samples_per_sec\": {:.0}}}{comma}",
+            words,
+            words * 64,
+            rate
+        );
+    }
+    let _ = writeln!(out, "    ],");
+    let _ = writeln!(out, "    \"compile_vs_sample\": [");
+    for (i, row) in backends.widths.iter().enumerate() {
+        let comma = if i + 1 < backends.widths.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "      {{\"terms\": {}, \"samples_budget\": {}, \"dnnf_us\": {:.1}, \
+             \"fpras_us\": {:.1}, \"cost_model_picks\": \"{}\"}}{comma}",
+            row.terms, row.samples_budget, row.dnnf_us, row.fpras_us, row.chosen
+        );
+    }
+    let _ = writeln!(out, "    ]");
     let _ = writeln!(out, "  }}");
     let _ = writeln!(out, "}}");
     out
@@ -782,8 +974,9 @@ fn main() {
     let delta = delta_update_experiment(mixed_rows, runs);
     let storage = storage_experiment(mixed_rows, runs);
     let estimator = estimator_experiment(serving_tuples);
+    let backends = estimator_backends_experiment(serving_tuples, smoke);
     let json = render_json(
-        smoke, &repeated, &shards, &mixed, &delta, &storage, &estimator,
+        smoke, &repeated, &shards, &mixed, &delta, &storage, &estimator, &backends,
     );
     print!("{json}");
 
@@ -865,6 +1058,22 @@ fn main() {
         estimator.events,
         estimator.samples_per_event
     );
+
+    for (words, rate) in &backends.kernel {
+        eprintln!(
+            "backend kernel: {} words ({} lanes) {:.2} M samples/s",
+            words,
+            words * 64,
+            rate / 1e6
+        );
+    }
+    for row in &backends.widths {
+        eprintln!(
+            "backend width {}: d-DNNF {:.0} us vs FPRAS {:.0} us ({} samples) — cost model \
+             picks {}",
+            row.terms, row.dnnf_us, row.fpras_us, row.samples_budget, row.chosen
+        );
+    }
 
     if !smoke {
         let path = out_path.unwrap_or_else(|| "BENCH_serving.json".to_string());

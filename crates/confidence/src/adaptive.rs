@@ -9,15 +9,22 @@
 //! bound available at all times.
 //!
 //! Since the bit-parallel rewrite the samples come from the
-//! [`crate::bitworld`] kernel, which decides 64 worlds per pass over the
-//! event's compiled program.  Because the adaptive driver asks for batches of
-//! `|F_i|` samples — often far fewer than 64 — the estimator banks the unused
-//! lanes of the last drawn block and serves later batches from the bank
-//! first, so even fine-grained sampling schedules pay the blockwise price.
-//! (Banked lanes are i.i.d. draws that no stopping decision has looked at,
-//! so consuming them later leaves the estimator's distribution unchanged.)
+//! [`crate::bitworld`] kernel, which decides `64·W` worlds per pass over the
+//! event's compiled program (`W ∈ {1, 2, 4}` words, chosen from the event's
+//! term count so wide events amortize the scan).  Because the adaptive
+//! driver asks for batches of `|F_i|` samples — often far fewer than a block
+//! — the estimator banks the unused lanes of the last drawn block and serves
+//! later batches from the bank first, so even fine-grained sampling
+//! schedules pay the blockwise price.  (Banked lanes are i.i.d. draws that
+//! no stopping decision has looked at, so consuming them later leaves the
+//! estimator's distribution unchanged.)
+//!
+//! Events whose probability is already known exactly — trivial events, and
+//! events the d-DNNF backend of [`crate::dnnf`] compiled within budget —
+//! short-circuit sampling entirely: their estimate is the exact value, their
+//! error bound is 0, and they consume no randomness.
 
-use crate::bitworld::BitKarpLuby;
+use crate::bitworld::{block_words_for_samples, BitKarpLuby, MAX_BLOCK_WORDS};
 use crate::chernoff::{delta_prime, error_bound};
 use crate::compile::LineagePrograms;
 use crate::error::Result;
@@ -29,7 +36,8 @@ use std::sync::Arc;
 #[derive(Clone, Debug)]
 pub struct IncrementalEstimator {
     kernel: Option<BitKarpLuby>,
-    /// Exact value for trivial events (empty → 0, certain → 1).
+    /// Exact value for trivial events (empty → 0, certain → 1) and for
+    /// events answered exactly by the d-DNNF backend.
     trivial: Option<f64>,
     /// Number of terms `|F_i|` (1 for trivial events so iteration counts stay
     /// meaningful).
@@ -40,9 +48,10 @@ pub struct IncrementalEstimator {
     samples: u64,
     /// Number of completed batches (outer-loop iterations `l`).
     batches: u64,
-    /// Success bits of drawn-but-unconsumed lanes of the last block.
-    banked_bits: u64,
-    /// Number of banked lanes.
+    /// Success bits of drawn-but-unconsumed lanes of the last block, packed
+    /// from word 0 upward.
+    banked_bits: [u64; MAX_BLOCK_WORDS],
+    /// Number of banked lanes (≤ `64·W`).
     banked_len: u32,
 }
 
@@ -59,11 +68,24 @@ impl IncrementalEstimator {
 
     /// Prepares an incremental estimator over an already compiled program —
     /// the warm path: no event walking, no compilation, no space clone.
+    /// The kernel width follows the event's batch size `|F_i|` (the adaptive
+    /// driver draws `|F_i|` samples per iteration).
     pub fn from_compiled(programs: &Arc<LineagePrograms>, index: usize) -> Result<Self> {
+        let words = block_words_for_samples(programs.num_terms(index));
+        IncrementalEstimator::from_compiled_with_width(programs, index, words)
+    }
+
+    /// [`from_compiled`](Self::from_compiled) with an explicit kernel width
+    /// (`1`, `2` or `4` words).
+    pub fn from_compiled_with_width(
+        programs: &Arc<LineagePrograms>,
+        index: usize,
+        words: usize,
+    ) -> Result<Self> {
         let trivial = programs.trivial(index);
         let num_terms = programs.num_terms(index).max(1);
         let kernel = if trivial.is_none() {
-            Some(BitKarpLuby::new(programs.clone(), index)?)
+            Some(BitKarpLuby::new_with_width(programs.clone(), index, words)?)
         } else {
             None
         };
@@ -74,12 +96,24 @@ impl IncrementalEstimator {
             successes: 0,
             samples: 0,
             batches: 0,
-            banked_bits: 0,
+            banked_bits: [0; MAX_BLOCK_WORDS],
             banked_len: 0,
         })
     }
 
-    /// True if the event's probability is known exactly (0 or 1).
+    /// Replaces the estimator with the exactly known probability `p` (the
+    /// d-DNNF backend's hand-off): sampling stops, the estimate is `p`, and
+    /// the error bound drops to 0.  Samples already drawn are discarded —
+    /// the exact value supersedes them.
+    pub fn resolve_exactly(&mut self, p: f64) {
+        self.trivial = Some(p);
+        self.kernel = None;
+        self.banked_bits = [0; MAX_BLOCK_WORDS];
+        self.banked_len = 0;
+    }
+
+    /// True if the event's probability is known exactly (trivial event, or
+    /// resolved by the exact backend).
     pub fn is_trivial(&self) -> bool {
         self.trivial.is_some()
     }
@@ -106,36 +140,71 @@ impl IncrementalEstimator {
         self.batches += 1;
     }
 
-    /// Draws `n` further samples (bank first, then whole 64-lane blocks).
+    /// Consumes up to `take` lanes from the bank, returning how many were
+    /// served; the bank shifts down as one `64·W`-bit integer.
+    fn take_from_bank(&mut self, take: u32) -> u32 {
+        let take = take.min(self.banked_len);
+        if take == 0 {
+            return 0;
+        }
+        let mut remaining = take;
+        for w in 0..MAX_BLOCK_WORDS {
+            if remaining == 0 {
+                break;
+            }
+            let in_word = remaining.min(64);
+            let mask = if in_word >= 64 {
+                !0u64
+            } else {
+                (1u64 << in_word) - 1
+            };
+            self.successes += u64::from((self.banked_bits[w] & mask).count_ones());
+            remaining -= in_word;
+        }
+        // Shift the whole bank right by `take` bits across words.
+        let word_shift = (take / 64) as usize;
+        let bit_shift = take % 64;
+        let mut shifted = [0u64; MAX_BLOCK_WORDS];
+        for (w, word) in shifted.iter_mut().enumerate() {
+            let src = w + word_shift;
+            if src < MAX_BLOCK_WORDS {
+                *word = self.banked_bits[src] >> bit_shift;
+                if bit_shift > 0 && src + 1 < MAX_BLOCK_WORDS {
+                    *word |= self.banked_bits[src + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        self.banked_bits = shifted;
+        self.banked_len -= take;
+        take
+    }
+
+    /// Draws `n` further samples (bank first, then whole blocks).
     pub fn add_samples<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) {
-        let Some(kernel) = &mut self.kernel else {
+        let Some(kernel) = &self.kernel else {
             return;
         };
+        let lanes = kernel.lanes() as u64;
         let mut remaining = n as u64;
         // Serve from the bank of already-drawn lanes.
         if self.banked_len > 0 && remaining > 0 {
             let take = (self.banked_len as u64).min(remaining) as u32;
-            let mask = if take >= 64 { !0 } else { (1u64 << take) - 1 };
-            self.successes += u64::from((self.banked_bits & mask).count_ones());
-            self.banked_bits = if take >= 64 {
-                0
-            } else {
-                self.banked_bits >> take
-            };
-            self.banked_len -= take;
-            remaining -= u64::from(take);
+            remaining -= u64::from(self.take_from_bank(take));
         }
-        while remaining >= 64 {
-            self.successes += u64::from(kernel.sample_block(rng, 64));
-            remaining -= 64;
+        let kernel = self.kernel.as_mut().expect("kernel checked above");
+        while remaining >= lanes {
+            self.successes += u64::from(kernel.sample_block(rng, lanes as u32));
+            remaining -= lanes;
         }
         if remaining > 0 {
             // Draw one more block, consume `remaining` lanes, bank the rest.
-            let bits = kernel.sample_block_bits(rng);
-            let mask = (1u64 << remaining) - 1;
-            self.successes += u64::from((bits & mask).count_ones());
-            self.banked_bits = bits >> remaining;
-            self.banked_len = 64 - remaining as u32;
+            let mut bits = [0u64; MAX_BLOCK_WORDS];
+            kernel.sample_block_words(rng, &mut bits);
+            let block_lanes = kernel.lanes();
+            self.banked_bits = bits;
+            self.banked_len = block_lanes;
+            let consumed = self.take_from_bank(remaining as u32);
+            debug_assert_eq!(u64::from(consumed), remaining);
         }
         self.samples += n as u64;
     }
@@ -211,6 +280,23 @@ mod tests {
     }
 
     #[test]
+    fn resolving_exactly_stops_sampling() {
+        let (f, s) = setup();
+        let exact_p = exact::probability(&f, &s).unwrap();
+        let mut est = IncrementalEstimator::new(f, s).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        est.add_batch(&mut rng);
+        assert!(!est.is_trivial());
+        est.resolve_exactly(exact_p);
+        assert!(est.is_trivial());
+        assert_eq!(est.estimate(), exact_p);
+        assert_eq!(est.error_bound(0.2).unwrap(), 0.0);
+        let samples = est.samples();
+        est.add_batch(&mut rng);
+        assert_eq!(est.samples(), samples, "no further sampling after resolve");
+    }
+
+    #[test]
     fn batches_accumulate_and_shrink_the_error_bound() {
         let (f, s) = setup();
         let mut est = IncrementalEstimator::new(f, s).unwrap();
@@ -246,17 +332,50 @@ mod tests {
     #[test]
     fn banked_lanes_match_fresh_blocks_statistically() {
         // Drawing 30k samples in odd-sized dribbles (exercising the lane
-        // bank on every call) must converge exactly like one bulk call.
+        // bank on every call) must converge exactly like one bulk call — at
+        // every supported kernel width.
         let (f, s) = setup();
         let exact_p = exact::probability(&f, &s).unwrap();
-        let mut est = IncrementalEstimator::new(f, s).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(123);
+        let programs = Arc::new(LineagePrograms::compile(vec![f], &s).unwrap());
+        for words in [1usize, 2, 4] {
+            let mut est =
+                IncrementalEstimator::from_compiled_with_width(&programs, 0, words).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(123);
+            let mut drawn = 0usize;
+            for i in 0.. {
+                let n = 1 + (i * 7) % 13;
+                est.add_samples(n, &mut rng);
+                drawn += n;
+                if drawn >= 30_000 {
+                    break;
+                }
+            }
+            assert_eq!(est.samples(), drawn as u64);
+            assert!(
+                (est.estimate() - exact_p).abs() < 0.02,
+                "width {words}: {} vs {exact_p}",
+                est.estimate()
+            );
+        }
+    }
+
+    #[test]
+    fn wide_banks_drain_across_word_boundaries() {
+        // Draws that straddle the 64-lane word edges of a 4-word bank: the
+        // multiword shift must neither drop nor double-count lanes.
+        let (f, s) = setup();
+        let exact_p = exact::probability(&f, &s).unwrap();
+        let programs = Arc::new(LineagePrograms::compile(vec![f], &s).unwrap());
+        let mut est = IncrementalEstimator::from_compiled_with_width(&programs, 0, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
         let mut drawn = 0usize;
-        for i in 0.. {
-            let n = 1 + (i * 7) % 13;
-            est.add_samples(n, &mut rng);
+        for n in [1usize, 63, 64, 65, 127, 129, 255, 200, 191, 65, 3]
+            .iter()
+            .cycle()
+        {
+            est.add_samples(*n, &mut rng);
             drawn += n;
-            if drawn >= 30_000 {
+            if drawn >= 40_000 {
                 break;
             }
         }

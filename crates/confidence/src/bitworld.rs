@@ -1,12 +1,17 @@
-//! Bit-parallel Monte Carlo: evaluating compiled lineage programs over 64
-//! sampled worlds at a time.
+//! Bit-parallel Monte Carlo: evaluating compiled lineage programs over up to
+//! 256 sampled worlds at a time.
 //!
 //! A sampled world assigns one alternative to every variable an event
 //! mentions.  Packing 64 worlds into the bits of a `u64` turns the per-world
 //! question "does this literal hold?" into a single word — and the whole DNF
 //! into a linear pass of `AND`/`OR`/`ANDNOT` words over the instruction
-//! buffer of a [`LineagePrograms`] batch.  One pass decides 64 Karp–Luby
-//! samples.
+//! buffer of a [`LineagePrograms`] batch.  A block is `W ∈ {1, 2, 4}` such
+//! words ([`MAX_BLOCK_WORDS`]); one pass decides `64·W` Karp–Luby samples,
+//! with every mask operation a short word loop the compiler unrolls.  The
+//! width is a per-kernel choice: estimators pick it from their ε/δ-implied
+//! sample budget via [`block_words_for_samples`], so tiny draws stay on the
+//! cheap one-word block while Chernoff-sized budgets amortize the scan over
+//! four words.
 //!
 //! Two sampling primitives drive the kernel:
 //!
@@ -14,7 +19,8 @@
 //!   classic bit-by-bit comparison of a uniform against the binary expansion
 //!   of `p`: lanes stay "undecided" while their uniform's bits agree with
 //!   `p`'s, so the expected cost is ~7 words of randomness for all 64 lanes
-//!   instead of 64 draws;
+//!   instead of 64 draws (wider blocks draw one Bernoulli word per block
+//!   word);
 //! * multi-valued variables fall back to one `u64` draw per lane compared
 //!   against the program's cumulative fixed-point thresholds.
 //!
@@ -24,15 +30,31 @@
 //! constrains, and (3) scans the instruction buffer once, accumulating a
 //! "first satisfied term" mask — a lane succeeds iff its chosen term is the
 //! lowest-index satisfied term, exactly the scalar estimator's semantics.
-//! Scalar and bit-parallel runs consume randomness differently (seeds
-//! re-map), but both are deterministic per seed and estimate the same
+//! Scalar runs and runs at different widths consume randomness differently
+//! (seeds re-map), but each is deterministic per seed and estimates the same
 //! quantity; the differential property suite pins their statistical
-//! agreement.
+//! agreement and the per-seed bit-determinism of every width.
 
 use crate::compile::{LineagePrograms, SLOT_NONE};
 use crate::error::{ConfidenceError, Result};
 use rand::{Rng, RngCore};
 use std::sync::Arc;
+
+/// The widest supported block, in 64-lane words (256 worlds per pass).
+pub const MAX_BLOCK_WORDS: usize = 4;
+
+/// Picks the block width (in words) for a run of `m` samples: the widest
+/// block the budget fills at least once, so small draws avoid paying a
+/// 4-word scan for lanes they would throw away.
+pub fn block_words_for_samples(m: usize) -> usize {
+    if m >= 4 * 64 {
+        4
+    } else if m >= 2 * 64 {
+        2
+    } else {
+        1
+    }
+}
 
 /// Draws 64 independent `Bernoulli(p)` lanes, `p` given as a 64-bit
 /// fixed-point fraction (`p = p_bits / 2^64`).
@@ -66,9 +88,9 @@ pub fn bernoulli_block<R: RngCore + ?Sized>(rng: &mut R, p_bits: u64) -> u64 {
     result
 }
 
-/// The Karp–Luby estimator over a compiled program, 64 worlds per block.
+/// The Karp–Luby estimator over a compiled program, `64·W` worlds per block.
 ///
-/// Sampling allocates nothing per block.  The world/forced masks (one `u64`
+/// Sampling allocates nothing per block.  The world/forced masks (`W` `u64`s
 /// per arena slot) live in a thread-local scratchpad shared by every kernel
 /// on the thread — each block pass writes every cell it later reads, so the
 /// scratch never needs clearing and constructing a kernel costs only the
@@ -78,27 +100,30 @@ pub fn bernoulli_block<R: RngCore + ?Sized>(rng: &mut R, p_bits: u64) -> u64 {
 pub struct BitKarpLuby {
     programs: Arc<LineagePrograms>,
     event: usize,
-    /// Per lane: the chosen term's position within the event.
-    chosen_term: [u32; 64],
-    /// Per event term position: lanes that chose it **in the current
-    /// block**.  Invariant between blocks: non-zero entries are exactly the
-    /// positions in `chosen_term`, which the next block zeroes first —
-    /// a stale lane bit surviving in an unchosen position would be counted
-    /// as a spurious success.
+    /// Block width in words (`W ∈ {1, 2, 4}`).
+    words: usize,
+    /// Per lane (`64·W` lanes): the chosen term's position within the event.
+    chosen_term: Vec<u32>,
+    /// Per event term position, per block word (`[pos·W + w]`): lanes that
+    /// chose it **in the current block**.  Invariant between blocks:
+    /// non-zero entries are exactly the positions in `chosen_term`, which
+    /// the next block zeroes first — a stale lane bit surviving in an
+    /// unchosen position would be counted as a spurious success.
     chosen_mask: Vec<u64>,
 }
 
 /// The thread-local block scratchpad: world and forced masks indexed by
-/// arena slot / local variable.  Contents are deliberately left dirty
-/// between uses; every pass writes the cells of the event it works on
-/// before reading them.
+/// arena slot / local variable, strided by the kernel's block width
+/// (`[slot·W + w]`).  Contents are deliberately left dirty between uses;
+/// every pass writes the cells of the event it works on before reading
+/// them, and a width change merely re-strides the same flat buffers.
 #[derive(Default)]
 struct BlockScratch {
-    /// Per arena slot: the 64-world truth mask of the slot's literal.
+    /// Per arena slot, per word: the 64-world truth mask of the literal.
     slot_masks: Vec<u64>,
-    /// Per arena slot: lanes whose chosen term forces this literal true.
+    /// Per arena slot, per word: lanes whose chosen term forces it true.
     forced_slot: Vec<u64>,
-    /// Per local variable: lanes whose chosen term constrains it.
+    /// Per local variable, per word: lanes whose chosen term constrains it.
     forced_var: Vec<u64>,
 }
 
@@ -120,17 +145,35 @@ thread_local! {
 }
 
 impl BitKarpLuby {
-    /// Prepares a kernel for event `event` of a compiled batch; fails on an
-    /// event with no terms (probability 0, nothing to sample — the same
-    /// contract as the scalar [`crate::KarpLubyEstimator`]).
+    /// Prepares a one-word (64-lane) kernel for event `event` of a compiled
+    /// batch; fails on an event with no terms (probability 0, nothing to
+    /// sample — the same contract as the scalar
+    /// [`crate::KarpLubyEstimator`]).
     pub fn new(programs: Arc<LineagePrograms>, event: usize) -> Result<Self> {
+        BitKarpLuby::new_with_width(programs, event, 1)
+    }
+
+    /// Prepares a kernel with an explicit block width of `words` `u64`s
+    /// (`1`, `2` or `4`); see [`block_words_for_samples`] for the
+    /// budget-driven choice.
+    pub fn new_with_width(
+        programs: Arc<LineagePrograms>,
+        event: usize,
+        words: usize,
+    ) -> Result<Self> {
+        if !matches!(words, 1 | 2 | 4) {
+            return Err(ConfidenceError::InvalidParameter(format!(
+                "block width {words} is not 1, 2 or 4 words"
+            )));
+        }
         let program = *programs.program(event);
         if program.term_len == 0 {
             return Err(ConfidenceError::EmptyEvent);
         }
         Ok(BitKarpLuby {
-            chosen_term: [0; 64],
-            chosen_mask: vec![0; program.term_len as usize],
+            chosen_term: vec![0; 64 * words],
+            chosen_mask: vec![0; program.term_len as usize * words],
+            words,
             programs,
             event,
         })
@@ -146,9 +189,25 @@ impl BitKarpLuby {
         self.programs.num_terms(self.event)
     }
 
-    /// Draws one block of 64 Karp–Luby samples and returns the success mask
-    /// (bit `j` set iff sample `j` counted 1).
-    pub fn sample_block_bits<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+    /// The block width in words.
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The number of samples one block decides (`64·W`).
+    pub fn lanes(&self) -> u32 {
+        64 * self.words as u32
+    }
+
+    /// Draws one block of `64·W` Karp–Luby samples into `out` (word `w`, bit
+    /// `j` set iff sample `64·w + j` counted 1); only the first
+    /// [`words`](Self::words) entries of `out` are written.
+    pub fn sample_block_words<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        out: &mut [u64; MAX_BLOCK_WORDS],
+    ) {
+        let width = self.words;
         let p = self.programs.program(self.event);
         let arena = &*self.programs;
         let term_range = p.term_start as usize..(p.term_start + p.term_len) as usize;
@@ -160,7 +219,7 @@ impl BitKarpLuby {
 
         SCRATCH.with(|scratch| {
             let scratch = &mut *scratch.borrow_mut();
-            scratch.reserve(arena.num_slots(), arena.num_vars());
+            scratch.reserve(arena.num_slots() * width, arena.num_vars() * width);
 
             // Reset the forced masks of the variables (and their slots) this
             // event touches — the only scratch cells the pass will read —
@@ -169,36 +228,43 @@ impl BitKarpLuby {
             // lane bit left in a position not chosen again this block would
             // be counted as a spurious success in step 3.
             for &v in event_vars {
-                scratch.forced_var[v as usize] = 0;
+                for w in 0..width {
+                    scratch.forced_var[v as usize * width + w] = 0;
+                }
                 let plan = arena.vars[v as usize];
                 for cell in plan.alt_start..plan.alt_start + plan.alt_len {
                     let slot = arena.alt_slots[cell as usize];
                     if slot != SLOT_NONE {
-                        scratch.forced_slot[slot as usize] = 0;
+                        for w in 0..width {
+                            scratch.forced_slot[slot as usize * width + w] = 0;
+                        }
                     }
                 }
             }
-            for lane in 0..64 {
-                self.chosen_mask[self.chosen_term[lane] as usize] = 0;
+            for lane in 0..64 * width {
+                let word = lane / 64;
+                self.chosen_mask[self.chosen_term[lane] as usize * width + word] = 0;
             }
 
             // Step 1: per lane, choose a term with probability p_f / M and
             // mark the literals it forces.  `cum` is non-decreasing, so the
             // first index with `target < cum[i]` is found by binary search.
-            for lane in 0..64u32 {
+            for lane in 0..64 * width {
                 let target = rng.gen_range(0.0..total);
                 // Floating-point edge: clamp to the last term.
                 let t = (cum.partition_point(|&w| w <= target) as u32).min(p.term_len - 1);
-                self.chosen_term[lane as usize] = t;
+                self.chosen_term[lane] = t;
             }
-            for lane in 0..64u32 {
-                let t = self.chosen_term[lane as usize];
-                let bit = 1u64 << lane;
-                self.chosen_mask[t as usize] |= bit;
+            for lane in 0..64 * width {
+                let t = self.chosen_term[lane];
+                let word = lane / 64;
+                let bit = 1u64 << (lane % 64);
+                self.chosen_mask[t as usize * width + word] |= bit;
                 let (start, len) = arena.terms[event_terms[t as usize] as usize];
                 for &slot in &arena.term_lits[start as usize..(start + len) as usize] {
-                    scratch.forced_slot[slot as usize] |= bit;
-                    scratch.forced_var[arena.slot_var[slot as usize] as usize] |= bit;
+                    scratch.forced_slot[slot as usize * width + word] |= bit;
+                    scratch.forced_var[arena.slot_var[slot as usize] as usize * width + word] |=
+                        bit;
                 }
             }
 
@@ -206,47 +272,57 @@ impl BitKarpLuby {
             // and override the lanes whose chosen term constrains it.
             for &v in event_vars {
                 let plan = arena.vars[v as usize];
-                let forced = scratch.forced_var[v as usize];
                 let cells = plan.alt_start as usize..(plan.alt_start + plan.alt_len) as usize;
                 if plan.alt_len == 2 {
-                    // Boolean fast path: one Bernoulli block decides both
-                    // alternatives.
-                    let heads = bernoulli_block(rng, arena.alt_thresholds[cells.start]);
+                    // Boolean fast path: one Bernoulli word per block word
+                    // decides both alternatives.
                     let s0 = arena.alt_slots[cells.start];
                     let s1 = arena.alt_slots[cells.start + 1];
-                    if s0 != SLOT_NONE {
-                        scratch.slot_masks[s0 as usize] =
-                            (heads & !forced) | scratch.forced_slot[s0 as usize];
-                    }
-                    if s1 != SLOT_NONE {
-                        scratch.slot_masks[s1 as usize] =
-                            (!heads & !forced) | scratch.forced_slot[s1 as usize];
+                    for w in 0..width {
+                        let heads = bernoulli_block(rng, arena.alt_thresholds[cells.start]);
+                        let forced = scratch.forced_var[v as usize * width + w];
+                        if s0 != SLOT_NONE {
+                            scratch.slot_masks[s0 as usize * width + w] =
+                                (heads & !forced) | scratch.forced_slot[s0 as usize * width + w];
+                        }
+                        if s1 != SLOT_NONE {
+                            scratch.slot_masks[s1 as usize * width + w] =
+                                (!heads & !forced) | scratch.forced_slot[s1 as usize * width + w];
+                        }
                     }
                 } else {
                     for cell in cells.clone() {
                         let slot = arena.alt_slots[cell];
                         if slot != SLOT_NONE {
-                            scratch.slot_masks[slot as usize] = 0;
+                            for w in 0..width {
+                                scratch.slot_masks[slot as usize * width + w] = 0;
+                            }
                         }
                     }
                     let thresholds = &arena.alt_thresholds[cells.clone()];
-                    for lane in 0..64u32 {
-                        let r = rng.next_u64();
-                        let alt = thresholds
-                            .iter()
-                            .position(|&t| r < t)
-                            .unwrap_or(thresholds.len() - 1);
-                        let slot = arena.alt_slots[cells.start + alt];
-                        if slot != SLOT_NONE {
-                            scratch.slot_masks[slot as usize] |= 1u64 << lane;
+                    for w in 0..width {
+                        for lane in 0..64u32 {
+                            let r = rng.next_u64();
+                            let alt = thresholds
+                                .iter()
+                                .position(|&t| r < t)
+                                .unwrap_or(thresholds.len() - 1);
+                            let slot = arena.alt_slots[cells.start + alt];
+                            if slot != SLOT_NONE {
+                                scratch.slot_masks[slot as usize * width + w] |= 1u64 << lane;
+                            }
                         }
                     }
                     for cell in cells {
                         let slot = arena.alt_slots[cell];
                         if slot != SLOT_NONE {
-                            scratch.slot_masks[slot as usize] = (scratch.slot_masks[slot as usize]
-                                & !forced)
-                                | scratch.forced_slot[slot as usize];
+                            for w in 0..width {
+                                let forced = scratch.forced_var[v as usize * width + w];
+                                let cell_ix = slot as usize * width + w;
+                                scratch.slot_masks[cell_ix] = (scratch.slot_masks[cell_ix]
+                                    & !forced)
+                                    | scratch.forced_slot[cell_ix];
+                            }
                         }
                     }
                 }
@@ -255,40 +331,74 @@ impl BitKarpLuby {
             // Step 3: one pass over the instruction buffer.  `already`
             // collects lanes some earlier term satisfied; a lane succeeds
             // iff the first term it satisfies is the one it chose.
-            let mut already = 0u64;
-            let mut success = 0u64;
+            let mut already = [0u64; MAX_BLOCK_WORDS];
+            let mut success = [0u64; MAX_BLOCK_WORDS];
+            let mut sat = [0u64; MAX_BLOCK_WORDS];
             for (position, &term_id) in event_terms.iter().enumerate() {
-                let mut sat = !already;
+                let mut any = 0u64;
+                for w in 0..width {
+                    sat[w] = !already[w];
+                    any |= sat[w];
+                }
                 let (start, len) = arena.terms[term_id as usize];
                 for &slot in &arena.term_lits[start as usize..(start + len) as usize] {
-                    sat &= scratch.slot_masks[slot as usize];
-                    if sat == 0 {
+                    any = 0;
+                    for (w, word) in sat.iter_mut().enumerate().take(width) {
+                        *word &= scratch.slot_masks[slot as usize * width + w];
+                        any |= *word;
+                    }
+                    if any == 0 {
                         break;
                     }
                 }
-                if sat != 0 {
-                    success |= sat & self.chosen_mask[position];
-                    already |= sat;
-                    if already == !0 {
+                if any != 0 {
+                    let mut undecided = 0u64;
+                    for w in 0..width {
+                        success[w] |= sat[w] & self.chosen_mask[position * width + w];
+                        already[w] |= sat[w];
+                        undecided |= !already[w];
+                    }
+                    if undecided == 0 {
                         break;
                     }
                 }
             }
-            success
-        })
+            out[..width].copy_from_slice(&success[..width]);
+        });
+    }
+
+    /// Draws one block of 64 Karp–Luby samples and returns the success mask
+    /// (bit `j` set iff sample `j` counted 1); the width-1 view of
+    /// [`sample_block_words`](Self::sample_block_words), valid only on
+    /// one-word kernels.
+    pub fn sample_block_bits<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
+        debug_assert_eq!(self.words, 1, "sample_block_bits needs a 1-word kernel");
+        let mut out = [0u64; MAX_BLOCK_WORDS];
+        self.sample_block_words(rng, &mut out);
+        out[0]
     }
 
     /// Draws one block and counts the successes among its first `lanes`
-    /// samples (`lanes ≤ 64`; partial blocks keep sample counts exact).
+    /// samples (`lanes ≤ 64·W`; partial blocks keep sample counts exact).
     pub fn sample_block<R: Rng + ?Sized>(&mut self, rng: &mut R, lanes: u32) -> u32 {
-        debug_assert!((1..=64).contains(&lanes));
-        let bits = self.sample_block_bits(rng);
-        let mask = if lanes >= 64 {
-            !0u64
-        } else {
-            (1u64 << lanes) - 1
-        };
-        (bits & mask).count_ones()
+        debug_assert!((1..=self.lanes()).contains(&lanes));
+        let mut out = [0u64; MAX_BLOCK_WORDS];
+        self.sample_block_words(rng, &mut out);
+        let mut count = 0u32;
+        let mut remaining = lanes;
+        for &word in out.iter().take(self.words) {
+            if remaining == 0 {
+                break;
+            }
+            let mask = if remaining >= 64 {
+                !0u64
+            } else {
+                (1u64 << remaining) - 1
+            };
+            count += (word & mask).count_ones();
+            remaining = remaining.saturating_sub(64);
+        }
+        count
     }
 
     /// Draws exactly `m` samples blockwise and returns `p̂ = X · M / m`.
@@ -313,17 +423,18 @@ impl BitKarpLuby {
                 "the Karp-Luby estimate needs at least one sample".into(),
             ));
         }
+        let lanes = self.lanes() as usize;
         let mut successes = 0u64;
         let mut remaining = m;
         let mut blocks = 0u32;
-        while remaining >= 64 {
+        while remaining >= lanes {
             if let Some(d) = deadline {
                 if blocks.is_multiple_of(DEADLINE_CHECK_BLOCKS) && std::time::Instant::now() >= d {
                     return Err(ConfidenceError::Interrupted);
                 }
             }
-            successes += u64::from(self.sample_block(rng, 64));
-            remaining -= 64;
+            successes += u64::from(self.sample_block(rng, lanes as u32));
+            remaining -= lanes;
             blocks += 1;
         }
         if remaining > 0 {
@@ -333,10 +444,10 @@ impl BitKarpLuby {
     }
 }
 
-/// How many 64-lane blocks the budgeted estimator draws between deadline
-/// probes: small enough that `DeadlineExceeded { stage: "estimate" }` fires
-/// within microseconds of the deadline, large enough that the `Instant`
-/// read is amortized to noise.
+/// How many blocks the budgeted estimator draws between deadline probes:
+/// small enough that `DeadlineExceeded { stage: "estimate" }` fires within
+/// microseconds of the deadline, large enough that the `Instant` read is
+/// amortized to noise.
 pub const DEADLINE_CHECK_BLOCKS: u32 = 8;
 
 #[cfg(test)]
@@ -379,6 +490,16 @@ mod tests {
     }
 
     #[test]
+    fn widths_follow_the_sample_budget() {
+        assert_eq!(block_words_for_samples(0), 1);
+        assert_eq!(block_words_for_samples(127), 1);
+        assert_eq!(block_words_for_samples(128), 2);
+        assert_eq!(block_words_for_samples(255), 2);
+        assert_eq!(block_words_for_samples(256), 4);
+        assert_eq!(block_words_for_samples(1 << 20), 4);
+    }
+
+    #[test]
     fn rejects_the_impossible_event_and_zero_samples() {
         let mut s = ProbabilitySpace::new();
         s.add_bool_variable(0.5).unwrap();
@@ -393,9 +514,13 @@ mod tests {
             s2
         };
         let programs = compile_one(DnfEvent::new([Assignment::new([(0, 0)]).unwrap()]), &s2);
-        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
+        let mut kernel = BitKarpLuby::new(programs.clone(), 0).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         assert!(kernel.estimate(0, &mut rng).is_err());
+        assert!(matches!(
+            BitKarpLuby::new_with_width(programs, 0, 3),
+            Err(ConfidenceError::InvalidParameter(_))
+        ));
     }
 
     #[test]
@@ -411,14 +536,17 @@ mod tests {
         ]);
         let exact_p = exact::probability(&event, &s).unwrap();
         let programs = compile_one(event, &s);
-        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
-        assert_eq!(kernel.num_terms(), 2);
-        let mut rng = ChaCha8Rng::seed_from_u64(42);
-        let p_hat = kernel.estimate(40_000, &mut rng).unwrap();
-        assert!(
-            (p_hat - exact_p).abs() < 0.02,
-            "estimate {p_hat} too far from exact {exact_p}"
-        );
+        for words in [1usize, 2, 4] {
+            let mut kernel = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            assert_eq!(kernel.num_terms(), 2);
+            assert_eq!(kernel.lanes(), 64 * words as u32);
+            let mut rng = ChaCha8Rng::seed_from_u64(42);
+            let p_hat = kernel.estimate(40_000, &mut rng).unwrap();
+            assert!(
+                (p_hat - exact_p).abs() < 0.02,
+                "estimate {p_hat} too far from exact {exact_p} at width {words}"
+            );
+        }
     }
 
     #[test]
@@ -433,10 +561,15 @@ mod tests {
             Assignment::new([(y, 0)]).unwrap(),
         ]);
         let programs = compile_one(event, &s);
-        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(9);
-        let p_hat = kernel.estimate(60_000, &mut rng).unwrap();
-        assert!((p_hat - 0.75).abs() < 0.015, "estimate {p_hat} vs 0.75");
+        for words in [1usize, 4] {
+            let mut kernel = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(9);
+            let p_hat = kernel.estimate(60_000, &mut rng).unwrap();
+            assert!(
+                (p_hat - 0.75).abs() < 0.015,
+                "estimate {p_hat} vs 0.75 at width {words}"
+            );
+        }
     }
 
     #[test]
@@ -450,13 +583,15 @@ mod tests {
         ]);
         let exact_p = exact::probability(&event, &s).unwrap();
         let programs = compile_one(event, &s);
-        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(31);
-        let p_hat = kernel.estimate(60_000, &mut rng).unwrap();
-        assert!(
-            (p_hat - exact_p).abs() < 0.015,
-            "estimate {p_hat} vs exact {exact_p}"
-        );
+        for words in [1usize, 2, 4] {
+            let mut kernel = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(31);
+            let p_hat = kernel.estimate(60_000, &mut rng).unwrap();
+            assert!(
+                (p_hat - exact_p).abs() < 0.015,
+                "estimate {p_hat} vs exact {exact_p} at width {words}"
+            );
+        }
     }
 
     #[test]
@@ -469,16 +604,18 @@ mod tests {
             Assignment::new([(y, 1)]).unwrap(),
         ]);
         let programs = compile_one(event, &s);
-        let mut a = BitKarpLuby::new(programs.clone(), 0).unwrap();
-        let mut b = BitKarpLuby::new(programs, 0).unwrap();
-        let mut r1 = ChaCha8Rng::seed_from_u64(11);
-        let mut r2 = ChaCha8Rng::seed_from_u64(11);
-        let mut r3 = ChaCha8Rng::seed_from_u64(12);
-        let ea = a.estimate(1000, &mut r1).unwrap();
-        let eb = b.estimate(1000, &mut r2).unwrap();
-        assert_eq!(ea, eb, "one seed must give bit-identical estimates");
-        let ec = a.estimate(1000, &mut r3).unwrap();
-        assert_ne!(ea, ec, "different seeds must diverge");
+        for words in [1usize, 2, 4] {
+            let mut a = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut b = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut r1 = ChaCha8Rng::seed_from_u64(11);
+            let mut r2 = ChaCha8Rng::seed_from_u64(11);
+            let mut r3 = ChaCha8Rng::seed_from_u64(12);
+            let ea = a.estimate(1000, &mut r1).unwrap();
+            let eb = b.estimate(1000, &mut r2).unwrap();
+            assert_eq!(ea, eb, "one seed must give bit-identical estimates");
+            let ec = a.estimate(1000, &mut r3).unwrap();
+            assert_ne!(ea, ec, "different seeds must diverge");
+        }
     }
 
     #[test]
@@ -489,11 +626,35 @@ mod tests {
         // block's count is bounded by the lane budget.
         let event = DnfEvent::new([Assignment::new([(0, 0)]).unwrap()]);
         let programs = compile_one(event, &s);
-        let mut kernel = BitKarpLuby::new(programs, 0).unwrap();
-        let mut rng = ChaCha8Rng::seed_from_u64(5);
-        for lanes in [1u32, 7, 33, 64] {
-            let x = kernel.sample_block(&mut rng, lanes);
-            assert!(x <= lanes);
+        for words in [1usize, 2, 4] {
+            let mut kernel = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            for lanes in [1u32, 7, 33, 64, 64 * words as u32] {
+                let x = kernel.sample_block(&mut rng, lanes);
+                assert!(x <= lanes);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_blocks_fill_every_word() {
+        // A certain-per-term single-variable event at p close to 1: each of
+        // the four words must carry successes, proving lanes past 64 are
+        // really sampled and counted.
+        let mut s = ProbabilitySpace::new();
+        s.add_bool_variable(0.999).unwrap();
+        let event = DnfEvent::new([Assignment::new([(0, 0)]).unwrap()]);
+        let programs = compile_one(event, &s);
+        let mut kernel = BitKarpLuby::new_with_width(programs, 0, 4).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut out = [0u64; MAX_BLOCK_WORDS];
+        kernel.sample_block_words(&mut rng, &mut out);
+        for (w, &word) in out.iter().enumerate() {
+            assert!(
+                word.count_ones() > 32,
+                "word {w} carries only {} successes",
+                word.count_ones()
+            );
         }
     }
 }

@@ -13,7 +13,12 @@
 //!   Hunter–Worsley upper bound `P ≤ S₁ − max_T Σ_{(i,j) ∈ T} P(tᵢ ∧ tⱼ)`,
 //!   where `T` ranges over spanning trees of the term-intersection graph and
 //!   the maximum-weight tree is found greedily (Prim).  Both refine the
-//!   first-order box, never widen it.
+//!   first-order box, never widen it.  On small enough events (at most
+//!   [`DEFAULT_TRIPLE_TERM_LIMIT`] terms) the pass also takes the
+//!   degree-three Bonferroni truncation `P ≤ S₁ − S₂ + S₃` — a second,
+//!   independent upper bound that is strictly tighter than Hunter–Worsley
+//!   exactly when the pairwise overlaps overcount (its cubic term-merge
+//!   cost is why it stays capped well below the pairwise limit).
 //!
 //! The engine's σ̂ operators use the resulting `[lower, upper]` box to decide
 //! candidates whose predicate is constant over the box *before any sampling*
@@ -29,6 +34,14 @@ use crate::event::{DnfEvent, ProbabilitySpace};
 /// dominate the sampling it is meant to save, so the first-order bounds are
 /// returned unchanged.
 pub const DEFAULT_PAIRWISE_TERM_LIMIT: usize = 48;
+
+/// Largest number of (simplified) terms for which the inclusion–exclusion
+/// round also computes the degree-three Bonferroni upper bound
+/// `S₁ − S₂ + S₃`; the triple pass costs `n³` term merges, so it is capped
+/// far below the pairwise limit.  The effective cap is the *minimum* of
+/// this and the caller's pairwise limit, so shrinking the pairwise limit
+/// always shrinks (or disables) the triple pass with it.
+pub const DEFAULT_TRIPLE_TERM_LIMIT: usize = 16;
 
 /// Exact lower/upper bounds on an event's probability.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -107,22 +120,56 @@ pub fn event_bounds_with_limit(
     let s1: f64 = weights.iter().sum();
 
     // Pairwise intersection weights `P(tᵢ ∧ tⱼ)` (0 when inconsistent).
+    // The merged assignments are kept only while the triple pass below can
+    // use them.
+    let triples = n <= pairwise_limit.min(DEFAULT_TRIPLE_TERM_LIMIT);
     let mut pair = vec![0.0f64; n * n];
+    let mut merged_pairs: Vec<Option<crate::event::Assignment>> = if triples {
+        vec![None; n * n]
+    } else {
+        Vec::new()
+    };
     let mut s2 = 0.0f64;
     for i in 0..n {
         for j in i + 1..n {
-            let w = match terms[i].merge(&terms[j]) {
+            let merged = terms[i].merge(&terms[j]);
+            let w = match &merged {
                 Some(merged) => merged.weight(space)?,
                 None => 0.0,
             };
             pair[i * n + j] = w;
             pair[j * n + i] = w;
             s2 += w;
+            if triples {
+                merged_pairs[i * n + j] = merged;
+            }
         }
     }
 
     // Degree-two Bonferroni lower bound.
     let bonferroni_lower = s1 - s2;
+
+    // Degree-three Bonferroni upper bound `S₁ − S₂ + S₃` (odd truncations
+    // of inclusion–exclusion are upper bounds).  Cubic in the term count,
+    // so only small events pay for it.
+    let bonferroni3_upper = if triples {
+        let mut s3 = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let Some(ij) = &merged_pairs[i * n + j] else {
+                    continue;
+                };
+                for term in &terms[j + 1..n] {
+                    if let Some(ijk) = ij.merge(term) {
+                        s3 += ijk.weight(space)?;
+                    }
+                }
+            }
+        }
+        s1 - s2 + s3
+    } else {
+        f64::INFINITY
+    };
 
     // Hunter–Worsley: subtracting any spanning tree of pairwise
     // intersections from S₁ stays an upper bound; Prim finds the
@@ -153,7 +200,11 @@ pub fn event_bounds_with_limit(
 
     // Intersect with the first-order box; floating-point noise must never
     // invert the enclosure.
-    let upper = first.upper.min(hunter_upper).max(0.0);
+    let upper = first
+        .upper
+        .min(hunter_upper)
+        .min(bonferroni3_upper)
+        .max(0.0);
     let lower = first.lower.max(bonferroni_lower).min(upper);
     Ok(EventBounds { lower, upper })
 }
@@ -254,6 +305,54 @@ mod tests {
         // The first-order box is strictly wider (0.5 ≤ p ≤ 1.0).
         let first = event_bounds_first_order(&event, &s).unwrap();
         assert!(first.width() > 0.2);
+    }
+
+    #[test]
+    fn degree_three_tightens_the_upper_bound_past_hunter_worsley() {
+        // x ∨ y ∨ z over independent p = 0.5 Booleans: exact 0.875.
+        // Hunter–Worsley subtracts a two-edge spanning tree from S₁
+        // (1.5 − 0.5 = 1.0, no better than the trivial cap), while the
+        // degree-three truncation S₁ − S₂ + S₃ = 1.5 − 0.75 + 0.125 hits
+        // the exact value.
+        let mut s = ProbabilitySpace::new();
+        let terms: Vec<Assignment> = (0..3)
+            .map(|_| {
+                let v = s.add_bool_variable(0.5).unwrap();
+                Assignment::new([(v, 0)]).unwrap()
+            })
+            .collect();
+        let event = DnfEvent::new(terms);
+        let b = event_bounds(&event, &s).unwrap();
+        let p = exact::probability(&event, &s).unwrap();
+        assert!((p - 0.875).abs() < 1e-12);
+        assert!(
+            (b.upper - p).abs() < 1e-12,
+            "upper {} vs exact {p}",
+            b.upper
+        );
+        assert!(b.lower <= p + 1e-12);
+    }
+
+    #[test]
+    fn the_triple_pass_respects_the_caller_limit() {
+        // Four overlapping terms with a pairwise limit of 3: no pass at all
+        // runs (the existing contract), so the caller limit caps the triple
+        // pass along with the pairwise one.
+        let mut s = ProbabilitySpace::new();
+        let terms: Vec<Assignment> = (0..4)
+            .map(|_| {
+                let v = s.add_bool_variable(0.3).unwrap();
+                Assignment::new([(v, 0)]).unwrap()
+            })
+            .collect();
+        let event = DnfEvent::new(terms);
+        let first = event_bounds_first_order(&event, &s).unwrap();
+        assert_eq!(event_bounds_with_limit(&event, &s, 3).unwrap(), first);
+        // At the limit, the refined box encloses the exact probability.
+        let refined = event_bounds_with_limit(&event, &s, 4).unwrap();
+        let p = exact::probability(&event, &s).unwrap();
+        assert!(refined.lower <= p + 1e-12 && p <= refined.upper + 1e-12);
+        assert!(refined.width() < first.width());
     }
 
     #[test]

@@ -33,7 +33,7 @@
 
 use crate::error::{ConfidenceError, Result};
 use crate::event::{DnfEvent, ProbabilitySpace, VarId};
-use crate::exact;
+use crate::{cost, dnnf, exact};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
@@ -110,6 +110,17 @@ pub struct LineagePrograms {
     /// Warm exact-confidence state: Shannon expansion runs at most once per
     /// batch, after which exact requests are lookups.
     exact_cache: OnceLock<std::result::Result<Vec<f64>, ConfidenceError>>,
+    /// Per-event structural d-DNNF size estimates (cost-model input),
+    /// computed lazily and memoised.
+    dnnf_estimates: Vec<OnceLock<u64>>,
+    /// Per-event d-DNNF backend outcomes: `Some((probability, nodes))` when
+    /// compilation fit the node budget, `None` when it aborted.  Sticky —
+    /// the attempt runs at most once per compiled batch, so it rides the
+    /// same content-addressed caching as the programs themselves.
+    dnnf_results: Vec<OnceLock<Option<(f64, u32)>>>,
+    /// Memoised content fingerprint of the arena (see
+    /// [`LineagePrograms::fingerprint`]).
+    content_fingerprint: OnceLock<u64>,
 }
 
 impl std::fmt::Debug for LineagePrograms {
@@ -233,6 +244,7 @@ impl LineagePrograms {
             });
         }
 
+        let num_events = events.len();
         Ok(LineagePrograms {
             events,
             space: space.clone(),
@@ -247,6 +259,9 @@ impl LineagePrograms {
             event_vars,
             programs,
             exact_cache: OnceLock::new(),
+            dnnf_estimates: (0..num_events).map(|_| OnceLock::new()).collect(),
+            dnnf_results: (0..num_events).map(|_| OnceLock::new()).collect(),
+            content_fingerprint: OnceLock::new(),
         })
     }
 
@@ -305,6 +320,101 @@ impl LineagePrograms {
 
     pub(crate) fn program(&self, index: usize) -> &EventProgram {
         &self.programs[index]
+    }
+
+    /// Content fingerprint of the compiled arena: FNV-1a over every flat
+    /// buffer (programs, instruction ranges, thresholds, weights), so two
+    /// batches fingerprint equal exactly when their compiled content —
+    /// events *and* probabilities — is identical.  This is what derives the
+    /// canonical per-event sampling streams of shared-sampling engines and
+    /// keys their shared block tallies; computed once and memoised.
+    pub fn fingerprint(&self) -> u64 {
+        *self.content_fingerprint.get_or_init(|| {
+            fn mix(mut h: u64, x: u64) -> u64 {
+                for b in x.to_le_bytes() {
+                    h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h
+            }
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            h = mix(h, self.programs.len() as u64);
+            for p in &self.programs {
+                h = mix(h, u64::from(p.term_start));
+                h = mix(h, u64::from(p.term_len));
+                h = mix(h, u64::from(p.var_start));
+                h = mix(h, u64::from(p.var_len));
+                h = mix(h, p.total_weight.to_bits());
+                h = mix(h, p.trivial.map_or(u64::MAX, |t| t.to_bits()));
+            }
+            for &t in &self.event_terms {
+                h = mix(h, u64::from(t));
+            }
+            for &c in &self.event_cum {
+                h = mix(h, c.to_bits());
+            }
+            for &v in &self.event_vars {
+                h = mix(h, u64::from(v));
+            }
+            for &(start, len) in &self.terms {
+                h = mix(h, u64::from(start));
+                h = mix(h, u64::from(len));
+            }
+            for &l in &self.term_lits {
+                h = mix(h, u64::from(l));
+            }
+            for &s in &self.slot_var {
+                h = mix(h, u64::from(s));
+            }
+            for v in &self.vars {
+                h = mix(h, u64::from(v.alt_start));
+                h = mix(h, u64::from(v.alt_len));
+            }
+            for &t in &self.alt_thresholds {
+                h = mix(h, t);
+            }
+            for &s in &self.alt_slots {
+                h = mix(h, u64::from(s));
+            }
+            h
+        })
+    }
+
+    /// Structural d-DNNF circuit-size estimate of event `index` — the
+    /// cost-model input ([`cost::estimated_nodes`]) — computed lazily and
+    /// memoised per event.
+    pub fn dnnf_estimate(&self, index: usize) -> u64 {
+        *self.dnnf_estimates[index].get_or_init(|| cost::estimated_nodes(&self.events[index]))
+    }
+
+    /// The exact probability of event `index` via the d-DNNF backend, or
+    /// `None` when compilation exceeded `budget` nodes.
+    ///
+    /// The attempt runs at most once per compiled batch and the outcome —
+    /// success *or* abort — is memoised next to the programs, so warm
+    /// requests pay a lookup.  The budget is engine-configuration, constant
+    /// across the batch's lifetime, which keeps the outcome a pure function
+    /// of event content and configuration (warm ≡ cold).
+    pub fn dnnf_probability(&self, index: usize, budget: u32) -> Option<f64> {
+        if let Some(p) = self.trivial(index) {
+            return Some(p);
+        }
+        self.dnnf_results[index]
+            .get_or_init(|| {
+                dnnf::Dnnf::compile(&self.events[index], &self.space, budget)
+                    .and_then(|circuit| {
+                        Ok((circuit.wmc(&self.space)?, circuit.node_count() as u32))
+                    })
+                    .ok()
+            })
+            .map(|(p, _)| p)
+    }
+
+    /// Circuit node count of event `index` when the d-DNNF backend has
+    /// compiled it (`None` before the first attempt or after an abort).
+    pub fn dnnf_nodes(&self, index: usize) -> Option<u32> {
+        self.dnnf_results[index]
+            .get()
+            .and_then(|r| r.map(|(_, n)| n))
     }
 
     /// The exact probabilities of all events of the batch, computed by
@@ -410,6 +520,61 @@ mod tests {
         // Second call returns the same memoised slice.
         let again = programs.exact_probabilities().unwrap();
         assert_eq!(first.as_ptr(), again.as_ptr());
+    }
+
+    #[test]
+    fn fingerprints_are_content_addressed() {
+        let s = space();
+        let batch = vec![DnfEvent::new([a(&[(0, 0)]), a(&[(1, 1)])])];
+        let p1 = LineagePrograms::compile(batch.clone(), &s).unwrap();
+        let p2 = LineagePrograms::compile(batch.clone(), &s).unwrap();
+        // Identical content → identical fingerprint, across instances.
+        assert_eq!(p1.fingerprint(), p2.fingerprint());
+        let p3 = LineagePrograms::compile(vec![DnfEvent::new([a(&[(0, 1)])])], &s).unwrap();
+        assert_ne!(p1.fingerprint(), p3.fingerprint());
+        // Same structure over different probabilities must not collide: the
+        // thresholds and weights are part of the content.
+        let mut s2 = ProbabilitySpace::new();
+        s2.add_variable(vec![0.5, 0.5]).unwrap();
+        s2.add_bool_variable(0.5).unwrap();
+        let p4 = LineagePrograms::compile(batch, &s2).unwrap();
+        assert_ne!(p1.fingerprint(), p4.fingerprint());
+    }
+
+    #[test]
+    fn dnnf_outcomes_are_memoised_next_to_the_programs() {
+        let s = space();
+        let events = vec![
+            DnfEvent::new([a(&[(0, 0)]), a(&[(1, 1)])]),
+            DnfEvent::never(),
+        ];
+        let programs = LineagePrograms::compile(events.clone(), &s).unwrap();
+        assert!(programs.dnnf_estimate(0) > 2);
+        assert_eq!(programs.dnnf_nodes(0), None, "no attempt yet");
+        let p = programs.dnnf_probability(0, 1 << 10).unwrap();
+        let expected = exact::probability(&events[0], &s).unwrap();
+        assert!((p - expected).abs() < 1e-12);
+        assert!(programs.dnnf_nodes(0).unwrap() > 0);
+        // Trivial events bypass compilation entirely.
+        assert_eq!(programs.dnnf_probability(1, 1 << 10), Some(0.0));
+        assert_eq!(programs.dnnf_nodes(1), None);
+    }
+
+    #[test]
+    fn aborted_dnnf_attempts_are_sticky() {
+        let s = space();
+        let events = vec![DnfEvent::new([
+            a(&[(0, 0), (1, 0)]),
+            a(&[(1, 1), (2, 0)]),
+            a(&[(0, 1), (2, 2)]),
+        ])];
+        let programs = LineagePrograms::compile(events, &s).unwrap();
+        assert_eq!(programs.dnnf_probability(0, 2), None, "budget 2 must abort");
+        // The abort is memoised: a later, larger budget does not re-attempt
+        // (the budget is engine-constant in practice; stickiness keeps the
+        // outcome content-deterministic).
+        assert_eq!(programs.dnnf_probability(0, 1 << 20), None);
+        assert_eq!(programs.dnnf_nodes(0), None);
     }
 
     #[test]

@@ -1,0 +1,461 @@
+//! Smoothed d-DNNF knowledge compilation: the exact backend of the
+//! estimation layer.
+//!
+//! Exact confidence computation is #P-complete (Theorem 3.4), but events of
+//! moderate *width* — few interacting variables per independent component —
+//! compile into a polynomial-size circuit on which weighted model counting
+//! is linear.  This module compiles a [`DnfEvent`] bottom-up into a
+//! **deterministic, decomposable negation normal form** (d-DNNF):
+//!
+//! * **deterministic OR** arises from Shannon expansion: a `Decision` node
+//!   on variable `X` branches per alternative, and the branches are mutually
+//!   exclusive by construction (`X` takes exactly one value);
+//! * **decomposable AND** arises from independence factorisation: the
+//!   components of [`DnfEvent::independent_components`] mention disjoint
+//!   variables, so `¬F = ⋀ ¬C_i` is a `Product` node whose children share
+//!   no variable;
+//! * **negation** stays sound for probability-weighted counting because every
+//!   node's count *is* the probability of its sub-event — per-variable
+//!   weights sum to 1, so unmentioned variables marginalise away implicitly
+//!   (the weighted form of smoothing) and `wmc(¬n) = 1 − wmc(n)`.
+//!
+//! Shannon expansion follows a **min-fill variable order** computed once per
+//! event on its primal graph (variables adjacent iff they co-occur in a
+//! term): eliminating low-fill variables first keeps the residual sub-events
+//! narrow, which is what bounds the circuit size in practice.  Structurally
+//! identical sub-circuits are **hash-consed** (node-level deduplication) and
+//! sub-events are memoised by their sorted term list, so shared cofactors
+//! compile once.
+//!
+//! Compilation carries a hard **node budget**: the instant the arena would
+//! exceed it, compilation aborts with [`ConfidenceError::TooLarge`] and the
+//! caller falls back to sampling — the abort costs at most the budget, never
+//! an exponential blow-up.  The [`crate::cost`] model decides per event
+//! whether attempting compilation beats the Chernoff-implied sample bill;
+//! [`crate::LineagePrograms`] memoises outcomes content-addressed next to
+//! the compiled lineage so a serving engine compiles each event at most
+//! once.
+//!
+//! This module is part of the deterministic core: no `HashMap` iteration
+//! order, no clocks — compilation is a pure function of the event, the
+//! space, and the budget.
+
+use crate::error::{ConfidenceError, Result};
+use crate::event::{Assignment, DnfEvent, ProbabilitySpace, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Above this many distinct variables the min-fill computation (quadratic
+/// per elimination step) would dominate compilation; wider events fall back
+/// to the natural ascending order.  Components this wide rarely fit a node
+/// budget unless they factor into independent pieces, which the
+/// factorisation step exploits regardless of the order.
+const MIN_FILL_VAR_LIMIT: usize = 400;
+
+/// One node of the compiled circuit.  Children always precede parents in
+/// the arena, so a single forward pass evaluates the circuit.
+#[derive(Clone, Debug, PartialEq)]
+enum Node {
+    /// The certain event.
+    True,
+    /// The impossible event.
+    False,
+    /// `1 − child`: sound because node counts are probabilities (see module
+    /// docs).
+    Not { child: u32 },
+    /// Shannon decision on `var`: child `a` is the cofactor under
+    /// `X_var = a`, weighted by `Pr[X_var = a]` during counting
+    /// (deterministic OR — the branches are mutually exclusive).
+    Decision {
+        /// The decision variable.
+        var: VarId,
+        /// Range into the flat child buffer, one child per alternative.
+        child_start: u32,
+        /// Number of alternatives.
+        child_len: u32,
+    },
+    /// Conjunction of variable-disjoint children (decomposable AND).
+    Product {
+        /// Range into the flat child buffer.
+        child_start: u32,
+        /// Number of children.
+        child_len: u32,
+    },
+}
+
+/// A compiled event: a smoothed d-DNNF circuit plus its weighted model
+/// count, produced by [`Dnnf::compile`].
+#[derive(Clone, Debug)]
+pub struct Dnnf {
+    nodes: Vec<Node>,
+    children: Vec<u32>,
+    root: u32,
+}
+
+/// Hash-consing key: `(tag, decision variable, children)`.
+type ConsKey = (u8, VarId, Vec<u32>);
+
+struct Compiler<'a> {
+    space: &'a ProbabilitySpace,
+    /// Shannon branch order: lower rank expands first.
+    rank: BTreeMap<VarId, u32>,
+    nodes: Vec<Node>,
+    children: Vec<u32>,
+    /// Node-level deduplication (`BTreeMap`: deterministic, lint-clean).
+    cons: BTreeMap<ConsKey, u32>,
+    /// Sub-event memo keyed by sorted terms, like the Shannon reference.
+    memo: BTreeMap<Vec<Assignment>, u32>,
+    max_nodes: u32,
+}
+
+impl<'a> Compiler<'a> {
+    fn intern(&mut self, tag: u8, var: VarId, child_ids: Vec<u32>) -> Result<u32> {
+        let key = (tag, var, child_ids);
+        if let Some(&id) = self.cons.get(&key) {
+            return Ok(id);
+        }
+        if self.nodes.len() as u32 >= self.max_nodes {
+            return Err(ConfidenceError::TooLarge {
+                what: "d-DNNF compilation".into(),
+                limit: self.max_nodes as u128,
+            });
+        }
+        let (tag, var, child_ids) = (key.0, key.1, key.2.clone());
+        let node = match tag {
+            0 => Node::True,
+            1 => Node::False,
+            2 => Node::Not {
+                child: child_ids[0],
+            },
+            3 => {
+                let child_start = self.children.len() as u32;
+                self.children.extend_from_slice(&child_ids);
+                Node::Decision {
+                    var,
+                    child_start,
+                    child_len: child_ids.len() as u32,
+                }
+            }
+            _ => {
+                let child_start = self.children.len() as u32;
+                self.children.extend_from_slice(&child_ids);
+                Node::Product {
+                    child_start,
+                    child_len: child_ids.len() as u32,
+                }
+            }
+        };
+        let id = self.nodes.len() as u32;
+        self.nodes.push(node);
+        self.cons.insert((tag, var, child_ids), id);
+        Ok(id)
+    }
+
+    fn compile(&mut self, event: &DnfEvent) -> Result<u32> {
+        if event.is_never() {
+            return self.intern(1, 0, Vec::new());
+        }
+        if event.is_certain() {
+            return self.intern(0, 0, Vec::new());
+        }
+
+        let key: Vec<Assignment> = {
+            let mut terms = event.terms().to_vec();
+            terms.sort();
+            terms
+        };
+        if let Some(&id) = self.memo.get(&key) {
+            return Ok(id);
+        }
+
+        // Factor into independent components first: ¬F = ⋀ ¬C_i is a
+        // decomposable AND (the components share no variables).
+        let components = event.independent_components();
+        let id = if components.len() > 1 {
+            let mut negated = Vec::with_capacity(components.len());
+            for c in components {
+                let child = self.compile(&c)?;
+                negated.push(self.intern(2, 0, vec![child])?);
+            }
+            let product = self.intern(4, 0, negated)?;
+            self.intern(2, 0, vec![product])?
+        } else {
+            // Shannon expansion on the lowest-ranked mentioned variable.
+            let var = event
+                .variables()
+                .into_iter()
+                .min_by_key(|v| (self.rank.get(v).copied().unwrap_or(u32::MAX), *v))
+                .expect("non-trivial event mentions a variable");
+            let alternatives = self.space.num_alternatives(var)?;
+            let mut child_ids = Vec::with_capacity(alternatives);
+            for alt in 0..alternatives {
+                // Condition the DNF on X_var = alt: terms requiring another
+                // alternative disappear; the variable is removed elsewhere.
+                let mut restricted = Vec::new();
+                for term in event.terms() {
+                    let (assigned, rest) = term.without(var);
+                    match assigned {
+                        Some(a) if a != alt => continue,
+                        _ => restricted.push(rest),
+                    }
+                }
+                let sub = DnfEvent::new(restricted).simplified();
+                child_ids.push(self.compile(&sub)?);
+            }
+            self.intern(3, var, child_ids)?
+        };
+
+        self.memo.insert(key, id);
+        Ok(id)
+    }
+}
+
+/// Greedy min-fill elimination order over the event's primal graph; ties
+/// break toward the smaller variable id so the order is deterministic.
+fn min_fill_order(event: &DnfEvent) -> BTreeMap<VarId, u32> {
+    let vars = event.variables();
+    let mut rank = BTreeMap::new();
+    if vars.len() > MIN_FILL_VAR_LIMIT {
+        for (i, v) in vars.into_iter().enumerate() {
+            rank.insert(v, i as u32);
+        }
+        return rank;
+    }
+    let mut adjacency: BTreeMap<VarId, BTreeSet<VarId>> =
+        vars.iter().map(|&v| (v, BTreeSet::new())).collect();
+    for term in event.terms() {
+        let mentioned: Vec<VarId> = term.variables().collect();
+        for (i, &a) in mentioned.iter().enumerate() {
+            for &b in &mentioned[i + 1..] {
+                adjacency.get_mut(&a).expect("known var").insert(b);
+                adjacency.get_mut(&b).expect("known var").insert(a);
+            }
+        }
+    }
+    let mut next = 0u32;
+    while !adjacency.is_empty() {
+        // Fill count of v: neighbor pairs not already adjacent.
+        let (&best, _) = adjacency
+            .iter()
+            .min_by_key(|(&v, neighbors)| {
+                let ns: Vec<VarId> = neighbors.iter().copied().collect();
+                let mut fill = 0usize;
+                for (i, &a) in ns.iter().enumerate() {
+                    for &b in &ns[i + 1..] {
+                        if !adjacency[&a].contains(&b) {
+                            fill += 1;
+                        }
+                    }
+                }
+                (fill, v)
+            })
+            .expect("non-empty adjacency");
+        let neighbors: Vec<VarId> = adjacency[&best].iter().copied().collect();
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                adjacency.get_mut(&a).expect("known var").insert(b);
+                adjacency.get_mut(&b).expect("known var").insert(a);
+            }
+        }
+        for &n in &neighbors {
+            adjacency.get_mut(&n).expect("known var").remove(&best);
+        }
+        adjacency.remove(&best);
+        rank.insert(best, next);
+        next += 1;
+    }
+    rank
+}
+
+impl Dnnf {
+    /// Compiles an event into a d-DNNF circuit of at most `max_nodes` nodes.
+    ///
+    /// Fails with [`ConfidenceError::TooLarge`] the moment the budget would
+    /// be exceeded (abort-and-fallback: the caller samples instead), and
+    /// with the space's own errors when the event mentions undeclared
+    /// variables or alternatives.
+    pub fn compile(event: &DnfEvent, space: &ProbabilitySpace, max_nodes: u32) -> Result<Dnnf> {
+        let simplified = event.simplified();
+        let mut compiler = Compiler {
+            space,
+            rank: min_fill_order(&simplified),
+            nodes: Vec::new(),
+            children: Vec::new(),
+            cons: BTreeMap::new(),
+            memo: BTreeMap::new(),
+            max_nodes: max_nodes.max(2),
+        };
+        let root = compiler.compile(&simplified)?;
+        Ok(Dnnf {
+            nodes: compiler.nodes,
+            children: compiler.children,
+            root,
+        })
+    }
+
+    /// Number of circuit nodes (after hash-consing).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Weighted model counting: one forward pass over the arena (children
+    /// precede parents), each node's value being the probability of its
+    /// sub-event.  Linear in the circuit size.
+    pub fn wmc(&self, space: &ProbabilitySpace) -> Result<f64> {
+        let mut value = vec![0.0f64; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            value[i] = match node {
+                Node::True => 1.0,
+                Node::False => 0.0,
+                Node::Not { child } => 1.0 - value[*child as usize],
+                Node::Decision {
+                    var,
+                    child_start,
+                    child_len,
+                } => {
+                    let mut acc = 0.0;
+                    for alt in 0..*child_len as usize {
+                        let child = self.children[*child_start as usize + alt];
+                        acc += space.probability(*var, alt)? * value[child as usize];
+                    }
+                    acc
+                }
+                Node::Product {
+                    child_start,
+                    child_len,
+                } => {
+                    let mut acc = 1.0;
+                    for k in 0..*child_len as usize {
+                        let child = self.children[*child_start as usize + k];
+                        acc *= value[child as usize];
+                    }
+                    acc
+                }
+            };
+        }
+        Ok(value[self.root as usize].clamp(0.0, 1.0))
+    }
+}
+
+/// Compiles and counts in one call: the exact probability of the event via
+/// the d-DNNF backend, or [`ConfidenceError::TooLarge`] when the circuit
+/// exceeds `max_nodes`.
+pub fn probability(event: &DnfEvent, space: &ProbabilitySpace, max_nodes: u32) -> Result<f64> {
+    Dnnf::compile(event, space, max_nodes)?.wmc(space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact;
+
+    fn a(pairs: &[(usize, usize)]) -> Assignment {
+        Assignment::new(pairs.iter().copied()).unwrap()
+    }
+
+    fn space() -> ProbabilitySpace {
+        let mut s = ProbabilitySpace::new();
+        s.add_variable(vec![2.0 / 3.0, 1.0 / 3.0]).unwrap(); // 0
+        s.add_bool_variable(0.5).unwrap(); // 1
+        s.add_bool_variable(0.5).unwrap(); // 2
+        s.add_variable(vec![0.25, 0.25, 0.5]).unwrap(); // 3
+        s
+    }
+
+    #[test]
+    fn trivial_events_compile_to_leaves() {
+        let s = space();
+        let never = Dnnf::compile(&DnfEvent::never(), &s, 16).unwrap();
+        assert_eq!(never.wmc(&s).unwrap(), 0.0);
+        assert_eq!(never.node_count(), 1);
+        let certain = Dnnf::compile(&DnfEvent::new([Assignment::always()]), &s, 16).unwrap();
+        assert_eq!(certain.wmc(&s).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn coin_event_counts_exactly() {
+        // Example 2.2: fair coin with two heads, or the double-headed coin.
+        let s = space();
+        let event = DnfEvent::new([a(&[(0, 0), (1, 0), (2, 0)]), a(&[(0, 1)])]);
+        let p = probability(&event, &s, 64).unwrap();
+        assert!((p - 0.5).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn multivalued_and_overlap_match_shannon() {
+        let s = space();
+        let events = [
+            DnfEvent::new([a(&[(1, 0)]), a(&[(2, 0)])]),
+            DnfEvent::new([a(&[(3, 1)]), a(&[(3, 2), (1, 0)])]),
+            DnfEvent::new([a(&[(0, 0)]), a(&[(0, 1)])]),
+            DnfEvent::new([a(&[(0, 0), (3, 0)]), a(&[(1, 1), (2, 0)]), a(&[(3, 2)])]),
+        ];
+        for event in events {
+            let expected = exact::probability(&event, &s).unwrap();
+            let got = probability(&event, &s, 1 << 12).unwrap();
+            assert!(
+                (got - expected).abs() < 1e-12,
+                "wmc {got} vs shannon {expected} for {event:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn independent_components_stay_linear() {
+        // n independent pair-components: the circuit grows linearly, far
+        // under an exponential worst case.
+        let mut s = ProbabilitySpace::new();
+        let mut terms = Vec::new();
+        let n = 50;
+        for _ in 0..n {
+            let x = s.add_bool_variable(0.5).unwrap();
+            let y = s.add_bool_variable(0.5).unwrap();
+            terms.push(Assignment::new([(x, 0), (y, 0)]).unwrap());
+        }
+        let f = DnfEvent::new(terms);
+        let circuit = Dnnf::compile(&f, &s, 4096).unwrap();
+        assert!(circuit.node_count() < 20 * n);
+        let expected = 1.0 - (1.0 - 0.25f64).powi(n as i32);
+        assert!((circuit.wmc(&s).unwrap() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn the_node_budget_aborts_compilation() {
+        let mut s = ProbabilitySpace::new();
+        let mut terms = Vec::new();
+        // A chain x_i ∧ x_{i+1} keeps everything one component.
+        let vars: Vec<usize> = (0..24).map(|_| s.add_bool_variable(0.5).unwrap()).collect();
+        for w in vars.windows(2) {
+            terms.push(Assignment::new([(w[0], 0), (w[1], 0)]).unwrap());
+        }
+        let f = DnfEvent::new(terms);
+        let err = Dnnf::compile(&f, &s, 4).unwrap_err();
+        assert!(matches!(err, ConfidenceError::TooLarge { .. }));
+        // A generous budget compiles the same event fine.
+        let p = probability(&f, &s, 1 << 14).unwrap();
+        let expected = exact::probability(&f, &s).unwrap();
+        assert!((p - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hash_consing_shares_identical_cofactors() {
+        let mut s = ProbabilitySpace::new();
+        let x = s.add_bool_variable(0.5).unwrap();
+        let y = s.add_bool_variable(0.5).unwrap();
+        let z = s.add_bool_variable(0.5).unwrap();
+        // Both x-branches leave the same cofactor over {y, z}.
+        let f = DnfEvent::new([a(&[(x, 0), (y, 0)]), a(&[(x, 1), (y, 0)]), a(&[(z, 0)])]);
+        let circuit = Dnnf::compile(&f, &s, 256).unwrap();
+        let expected = exact::probability(&f, &s).unwrap();
+        assert!((circuit.wmc(&s).unwrap() - expected).abs() < 1e-12);
+        // y=0 ∨ z=0 appears under both x branches; consing keeps the arena
+        // strictly smaller than the un-shared expansion would be.
+        assert!(circuit.node_count() <= 12, "{}", circuit.node_count());
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        let s = space();
+        let f = DnfEvent::new([a(&[(17, 0)])]);
+        assert!(Dnnf::compile(&f, &s, 64).is_err());
+    }
+}

@@ -40,6 +40,7 @@
 use crate::adaptive::IncrementalEstimator;
 use crate::bitworld::BitKarpLuby;
 use crate::compile::LineagePrograms;
+use crate::cost::{self, Backend};
 use crate::error::Result;
 use crate::event::{DnfEvent, ProbabilitySpace};
 use crate::exact;
@@ -184,16 +185,34 @@ impl ConfidenceEstimator for ExactEstimator {
 pub struct FprasEstimator {
     params: FprasParams,
     deadline: Option<std::time::Instant>,
+    exact_backend: u32,
 }
 
 impl FprasEstimator {
     /// Creates an estimator drawing the Chernoff-bound sample count for the
-    /// given (ε, δ).
+    /// given (ε, δ).  The d-DNNF backend starts disabled; see
+    /// [`with_exact_backend`](FprasEstimator::with_exact_backend).
     pub fn new(params: FprasParams) -> Self {
         FprasEstimator {
             params,
             deadline: None,
+            exact_backend: 0,
         }
+    }
+
+    /// Enables the exact d-DNNF backend on the compiled path with a hard
+    /// circuit budget of `node_budget` nodes (0 disables it).
+    ///
+    /// When the [`crate::cost`] model judges an event's estimated circuit
+    /// smaller than both the budget and the Chernoff sample bill, the event
+    /// is compiled ([`crate::dnnf`]) and answered **exactly** — the estimate
+    /// is seed-independent, flagged `exact`, and still within every (ε, δ)
+    /// guarantee (an exact answer trivially is).  Oversized circuits abort
+    /// at the budget and fall back to sampling, bit-identical to a
+    /// backend-free run of the same seed.
+    pub fn with_exact_backend(mut self, node_budget: u32) -> Self {
+        self.exact_backend = node_budget;
+        self
     }
 
     /// Attaches a cooperative deadline to the bit-parallel compiled path:
@@ -247,7 +266,24 @@ impl ConfidenceEstimator for FprasEstimator {
             });
         }
         let m = self.params.samples_for(programs.num_terms(index))?;
-        let mut kernel = BitKarpLuby::new(programs.clone(), index)?;
+        // Backend choice: compile to d-DNNF and answer exactly when the cost
+        // model says the circuit is cheaper than the Chernoff sample bill.
+        if self.exact_backend > 0
+            && cost::choose_backend(programs.dnnf_estimate(index), m as u64, self.exact_backend)
+                == Backend::Exact
+        {
+            if let Some(p) = programs.dnnf_probability(index, self.exact_backend) {
+                return Ok(EventEstimate {
+                    estimate: p,
+                    samples: 0,
+                    exact: true,
+                });
+            }
+        }
+        // The block width follows the ε/δ-implied sample budget: Chernoff
+        // budgets past 256 ride the 4-word (256-lane) block.
+        let words = crate::bitworld::block_words_for_samples(m);
+        let mut kernel = BitKarpLuby::new_with_width(programs.clone(), index, words)?;
         // The bit-parallel path is RNG-bound, so it derives its per-event
         // sub-RNG as a xoshiro256** small RNG (simulation-grade, several
         // times the throughput of ChaCha) from the same per-event seed.
@@ -266,6 +302,7 @@ impl ConfidenceEstimator for FprasEstimator {
 pub struct BatchedIncrementalEstimator {
     batches: usize,
     deadline: Option<std::time::Instant>,
+    exact_backend: u32,
 }
 
 impl BatchedIncrementalEstimator {
@@ -275,7 +312,18 @@ impl BatchedIncrementalEstimator {
         BatchedIncrementalEstimator {
             batches,
             deadline: None,
+            exact_backend: 0,
         }
+    }
+
+    /// Enables the exact d-DNNF backend on the compiled path with a hard
+    /// circuit budget of `node_budget` nodes (0 disables it); the sample
+    /// bill side of the cost comparison is `l · |F|`, the total draws the
+    /// fixed batches would make.  See
+    /// [`FprasEstimator::with_exact_backend`].
+    pub fn with_exact_backend(mut self, node_budget: u32) -> Self {
+        self.exact_backend = node_budget;
+        self
     }
 
     /// Attaches a cooperative deadline: the clock is probed between batches
@@ -315,6 +363,16 @@ impl ConfidenceEstimator for BatchedIncrementalEstimator {
         seed: u64,
     ) -> Result<EventEstimate> {
         let mut estimator = IncrementalEstimator::from_compiled(programs, index)?;
+        if self.exact_backend > 0 && !estimator.is_trivial() {
+            let bill = (self.batches as u64).saturating_mul(programs.num_terms(index) as u64);
+            if cost::choose_backend(programs.dnnf_estimate(index), bill, self.exact_backend)
+                == Backend::Exact
+            {
+                if let Some(p) = programs.dnnf_probability(index, self.exact_backend) {
+                    estimator.resolve_exactly(p);
+                }
+            }
+        }
         self.drive(&mut estimator, seed)
     }
 }
@@ -474,6 +532,68 @@ mod tests {
             .estimate_compiled_batch(&programs, 7)
             .unwrap();
         assert_eq!(free, budgeted);
+    }
+
+    #[test]
+    fn the_exact_backend_answers_compiled_events_exactly() {
+        let (events, space) = batch_setup(12);
+        let programs = Arc::new(LineagePrograms::compile(events, &space).unwrap());
+        let reference = ExactEstimator
+            .estimate_compiled_batch(&programs, 0)
+            .unwrap();
+        let params = FprasParams::new(0.2, 0.05).unwrap();
+        let backed =
+            FprasEstimator::new(params).with_exact_backend(crate::cost::DEFAULT_NODE_BUDGET);
+        let a = backed.estimate_compiled_batch(&programs, 7).unwrap();
+        let b = backed.estimate_compiled_batch(&programs, 8).unwrap();
+        // Exact answers are seed-independent.
+        assert_eq!(a, b);
+        for (got, want) in a.iter().zip(&reference) {
+            assert!(
+                got.exact && got.samples == 0,
+                "cost model should fire: {got:?}"
+            );
+            assert!((got.estimate - want.estimate).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn the_incremental_estimator_resolves_exact_backend_answers() {
+        let (events, space) = batch_setup(10);
+        let programs = Arc::new(LineagePrograms::compile(events, &space).unwrap());
+        let reference = ExactEstimator
+            .estimate_compiled_batch(&programs, 0)
+            .unwrap();
+        let backed = BatchedIncrementalEstimator::new(64)
+            .with_exact_backend(crate::cost::DEFAULT_NODE_BUDGET);
+        let out = backed.estimate_compiled_batch(&programs, 7).unwrap();
+        assert_eq!(out, backed.estimate_compiled_batch(&programs, 9).unwrap());
+        let mut resolved = 0;
+        for (got, want) in out.iter().zip(&reference) {
+            if got.exact {
+                resolved += 1;
+                assert_eq!(got.samples, 0);
+                assert!((got.estimate - want.estimate).abs() < 1e-9);
+            }
+        }
+        assert!(resolved > 0, "the cost model never fired on small events");
+    }
+
+    #[test]
+    fn an_unattainable_node_budget_is_bit_identical_to_no_backend() {
+        let (events, space) = batch_setup(12);
+        let programs = Arc::new(LineagePrograms::compile(events, &space).unwrap());
+        let params = FprasParams::new(0.25, 0.1).unwrap();
+        // Budget 2 rejects every non-trivial event at the estimate screen, so
+        // the sampling path — including its RNG stream — is untouched.
+        let plain = FprasEstimator::new(params)
+            .estimate_compiled_batch(&programs, 21)
+            .unwrap();
+        let gated = FprasEstimator::new(params)
+            .with_exact_backend(2)
+            .estimate_compiled_batch(&programs, 21)
+            .unwrap();
+        assert_eq!(plain, gated);
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //!   [`BitKarpLuby`] decides **64 sampled worlds per word** (one AND/OR per
 //!   instruction), with [`bitworld::bernoulli_block`] drawing 64 Bernoulli
 //!   lanes from ~7 words of randomness.
+//! * [`dnnf`] — smoothed d-DNNF knowledge compilation (Shannon expansion on
+//!   a min-fill order, hash-consing, hard node budget with
+//!   abort-and-fallback) plus linear-time weighted model counting: the
+//!   exact, seed-independent backend for moderate-width events.
+//! * [`cost`] — the per-event compile-vs-sample decision ([`Backend`]):
+//!   a structural circuit-size estimate against the hard node budget and
+//!   the Chernoff-implied sample bill.
 //! * [`estimator`] — the unified [`ConfidenceEstimator`] layer: exact, FPRAS
 //!   and fixed-batch incremental estimation behind one trait that evaluates
 //!   *batches* of events in parallel (rayon), deterministically under a
@@ -57,6 +64,8 @@ pub mod bitworld;
 pub mod bounds;
 pub mod chernoff;
 pub mod compile;
+pub mod cost;
+pub mod dnnf;
 mod error;
 pub mod estimator;
 mod event;
@@ -68,9 +77,11 @@ pub use adaptive::IncrementalEstimator;
 pub use bitworld::BitKarpLuby;
 pub use bounds::{
     event_bounds, event_bounds_first_order, event_bounds_with_limit, EventBounds,
-    DEFAULT_PAIRWISE_TERM_LIMIT,
+    DEFAULT_PAIRWISE_TERM_LIMIT, DEFAULT_TRIPLE_TERM_LIMIT,
 };
 pub use compile::LineagePrograms;
+pub use cost::Backend;
+pub use dnnf::Dnnf;
 pub use error::{ConfidenceError, Result};
 pub use estimator::{
     event_seed, BatchedIncrementalEstimator, ConfidenceEstimator, EventEstimate, ExactEstimator,

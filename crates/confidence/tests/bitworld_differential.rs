@@ -118,6 +118,36 @@ proptest! {
         );
     }
 
+    /// Every block width (1, 2 and 4 words — 64, 128 and 256 lanes) lands
+    /// within the shared Chernoff tolerance of the exact value, and each
+    /// width is bit-deterministic per seed.
+    #[test]
+    fn every_block_width_matches_exact_and_is_deterministic(
+        (event, space) in arb_event(),
+        seed in 0u64..24,
+    ) {
+        let exact_p = exact::probability(&event, &space).unwrap();
+        prop_assume!(exact_p > 0.02 && !event.is_certain());
+        let m = chernoff::required_samples(0.5, 1e-3, event.num_terms()).unwrap();
+        let programs = Arc::new(LineagePrograms::compile(vec![event], &space).unwrap());
+        for words in [1usize, 2, 4] {
+            let mut kernel = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let estimate = kernel.estimate(m, &mut rng).unwrap();
+            prop_assert!(
+                (estimate - exact_p).abs() <= 0.5 * exact_p + 1e-9,
+                "width {words}: {estimate} vs exact {exact_p} (m = {m})"
+            );
+            let mut again = BitKarpLuby::new_with_width(programs.clone(), 0, words).unwrap();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            prop_assert_eq!(
+                again.estimate(m, &mut rng).unwrap(),
+                estimate,
+                "width {} must be bit-deterministic per seed", words
+            );
+        }
+    }
+
     /// Repeated bit-parallel runs under one seed are bit-identical, and the
     /// compiled estimator layer is deterministic end to end.
     #[test]

@@ -1,8 +1,11 @@
 //! Property tests for confidence computation: agreement of the exact
-//! methods, Chernoff-bound monotonicity, and statistical sanity of the
-//! Karp–Luby estimator on randomly generated events.
+//! methods (Shannon expansion vs compiled d-DNNF weighted model counting),
+//! Chernoff-bound monotonicity, and statistical sanity of the Karp–Luby
+//! estimator on randomly generated events.
 
-use confidence::{chernoff, exact, Assignment, DnfEvent, KarpLubyEstimator, ProbabilitySpace};
+use confidence::{
+    chernoff, dnnf, exact, Assignment, DnfEvent, KarpLubyEstimator, ProbabilitySpace,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -36,8 +39,72 @@ fn arb_event() -> impl Strategy<Value = (DnfEvent, ProbabilitySpace)> {
         })
 }
 
+/// Random events over *multi-valued* variables (2–4 alternatives each, with
+/// arbitrary normalized weights), the general finite world-table case.
+fn arb_multivalued_event() -> impl Strategy<Value = (DnfEvent, ProbabilitySpace)> {
+    (
+        proptest::collection::vec(proptest::collection::vec(1u32..50, 2..5), 2..7),
+        proptest::collection::vec(
+            proptest::collection::vec((0usize..7, 0usize..4), 1..4),
+            1..5,
+        ),
+    )
+        .prop_map(|(raw_weights, raw_terms)| {
+            let mut space = ProbabilitySpace::new();
+            let mut alt_counts = Vec::new();
+            for weights in &raw_weights {
+                let total: u32 = weights.iter().sum();
+                let probs: Vec<f64> = weights.iter().map(|&w| w as f64 / total as f64).collect();
+                alt_counts.push(probs.len());
+                space.add_variable(probs).unwrap();
+            }
+            let n = alt_counts.len();
+            let mut terms = Vec::new();
+            for pairs in raw_terms {
+                let pairs: Vec<(usize, usize)> = pairs
+                    .into_iter()
+                    .map(|(v, a)| (v % n, a % alt_counts[v % n]))
+                    .collect();
+                if let Ok(a) = Assignment::new(pairs) {
+                    terms.push(a);
+                }
+            }
+            if terms.is_empty() {
+                terms.push(Assignment::new([(0, 0)]).unwrap());
+            }
+            (DnfEvent::new(terms), space)
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// The compiled d-DNNF's weighted model count is *exact*: it equals the
+    /// Shannon-expansion reference on random Boolean events.
+    #[test]
+    fn dnnf_wmc_matches_shannon_on_boolean_events((event, space) in arb_event()) {
+        let reference = exact::probability(&event, &space).unwrap();
+        let compiled = dnnf::probability(&event, &space, 1 << 16).unwrap();
+        prop_assert!(
+            (compiled - reference).abs() < 1e-9,
+            "d-DNNF {compiled} vs Shannon {reference}"
+        );
+    }
+
+    /// Same agreement on events over multi-valued variables, where the
+    /// decision nodes fan out over every alternative and smoothing weights
+    /// each unmentioned alternative by its marginal.
+    #[test]
+    fn dnnf_wmc_matches_shannon_on_multivalued_events(
+        (event, space) in arb_multivalued_event(),
+    ) {
+        let reference = exact::probability(&event, &space).unwrap();
+        let compiled = dnnf::probability(&event, &space, 1 << 16).unwrap();
+        prop_assert!(
+            (compiled - reference).abs() < 1e-9,
+            "d-DNNF {compiled} vs Shannon {reference}"
+        );
+    }
 
     /// Probability monotonicity: adding a term to a DNF never decreases its
     /// probability, and the probability never exceeds the sum of term

@@ -88,6 +88,25 @@ pub struct EvalConfig {
     /// at roughly one chunk.  Results are bit-identical for any value; this
     /// is purely a memory/scale knob.
     pub spill_budget_bytes: usize,
+    /// Hard circuit budget (nodes) of the exact d-DNNF backend on the
+    /// approximate-confidence path; `0` (the default) disables the backend.
+    /// When enabled, the per-event cost model compiles moderate-width
+    /// lineages and answers them **exactly** — seed-independent, zero
+    /// samples, trivially within every (ε, δ) guarantee — while oversized
+    /// circuits abort at the budget and sample exactly as before
+    /// (bit-identical to a backend-free run).
+    /// `confidence::cost::DEFAULT_NODE_BUDGET` is the recommended setting
+    /// for serving.
+    pub exact_backend_node_budget: u32,
+    /// Derive approximate-confidence sampling streams from the *content* of
+    /// the compiled lineage arena instead of the caller's seed.  Answers
+    /// become pure functions of (content, configuration, ε/δ) — still one
+    /// legitimate Karp–Luby run within every (ε, δ) guarantee — which lets
+    /// concurrent serving requests that resolve to the same compiled events
+    /// share one drawn block tally (see `engine::sched`) without breaking
+    /// warm ≡ cold bit-identity.  Off by default: the classic behavior
+    /// draws per-request streams from the caller's RNG.
+    pub shared_sampling: bool,
 }
 
 /// Default shard count: one chunk per hardware thread, capped (chunking has
@@ -113,6 +132,8 @@ impl Default for EvalConfig {
             prune_approx_select: true,
             pairwise_bound_limit: confidence::DEFAULT_PAIRWISE_TERM_LIMIT,
             spill_budget_bytes: 0,
+            exact_backend_node_budget: 0,
+            shared_sampling: false,
         }
     }
 }
@@ -151,6 +172,20 @@ impl EvalConfig {
         self.spill_budget_bytes = bytes;
         self
     }
+
+    /// Sets the exact d-DNNF backend's hard node budget (`0` disables the
+    /// backend; `confidence::cost::DEFAULT_NODE_BUDGET` is the recommended
+    /// serving setting).
+    pub fn with_exact_backend(mut self, node_budget: u32) -> Self {
+        self.exact_backend_node_budget = node_budget;
+        self
+    }
+
+    /// Enables or disables content-derived (shared) sampling streams.
+    pub fn with_shared_sampling(mut self, shared: bool) -> Self {
+        self.shared_sampling = shared;
+        self
+    }
 }
 
 /// Evaluation statistics.
@@ -169,6 +204,14 @@ pub struct EvalStats {
     /// Number of σ̂ candidates decided by exact confidence bounds before any
     /// sampling (a subset of `approx_select_decisions`).
     pub approx_select_pruned: u64,
+    /// Approximate-confidence events answered exactly by the compiled
+    /// d-DNNF backend (or trivially) — zero samples drawn.
+    pub exact_compiled_answers: u64,
+    /// Approximate-confidence events answered by Karp–Luby sampling.
+    pub sampled_answers: u64,
+    /// Sampled events served from the shared block scheduler's tally
+    /// instead of drawing fresh blocks (shared-sampling engines only).
+    pub shared_block_hits: u64,
 }
 
 /// One evaluated (sub)query result.
@@ -278,6 +321,7 @@ impl UEngine {
             rng: dyn_rng,
             spaces: SpaceCache::new(),
             deadline: None,
+            sampler: None,
         };
         let result = if sequential {
             physical.execute_sequential(&mut ctx)?

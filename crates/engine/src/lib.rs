@@ -51,6 +51,7 @@ pub mod ops;
 pub mod physical;
 mod predicate_compile;
 pub mod provenance;
+pub mod sched;
 pub mod serving;
 mod space;
 mod storage;
@@ -66,6 +67,7 @@ pub use exec::{
 pub use naive_engine::{evaluate_naive, evaluate_naive_plan, NaiveOutput};
 pub use physical::{ExecContext, ExecSnapshot, OpClass, PhysicalOperator, PhysicalPlan, PureCtx};
 pub use predicate_compile::compile_predicate;
+pub use sched::SampleScheduler;
 pub use serving::{
     DatabaseGuard, DegradedAnswer, DegradedReason, Request, RetryPolicy, ServingAnswer,
     ServingEngine, ServingLimits, ServingSession, ServingStats,

@@ -104,6 +104,11 @@ pub struct ExecContext<'a> {
     /// never interrupts.  The probes draw no randomness, so runs that
     /// complete are bit-identical to deadline-free runs.
     pub deadline: Option<std::time::Instant>,
+    /// The serving engine's shared block scheduler, present only on
+    /// shared-sampling serving paths.  Purely a tally cache: answers are
+    /// identical with or without it (canonical content-derived streams),
+    /// so plain evaluations pass `None`.
+    pub sampler: Option<std::sync::Arc<crate::sched::SampleScheduler>>,
 }
 
 /// Read-only state available to pure operators, which the slot executor may
@@ -1624,7 +1629,11 @@ impl PhysicalOperator for ConfOp {
         let lineage = compiled.relation_events(&input.relation)?;
         let estimator: Box<dyn ConfidenceEstimator> = match self.params {
             None => Box::new(ExactEstimator),
-            Some(params) => Box::new(FprasEstimator::new(params).with_deadline(ctx.deadline)),
+            Some(params) => Box::new(
+                FprasEstimator::new(params)
+                    .with_exact_backend(ctx.config.exact_backend_node_budget)
+                    .with_deadline(ctx.deadline),
+            ),
         };
         // The failpoint sits *before* the master-seed draw: a retried
         // request that faulted here has consumed no caller randomness, so
@@ -1633,26 +1642,73 @@ impl PhysicalOperator for ConfOp {
             crate::faults::fire("estimate", ctx.deadline)?;
         }
         // Exact estimation consumes no randomness; leave the caller's RNG
-        // stream untouched in that case.
+        // stream untouched in that case.  Shared-sampling runs *draw* the
+        // seed (so the caller's stream advances exactly as it always has)
+        // but replace it with the arena's content fingerprint below.
         let master_seed = if self.params.is_some() {
             ctx.rng.next_u64()
         } else {
             0
         };
-        let estimates = estimator
-            .estimate_compiled_batch(lineage.programs(), master_seed)
-            .map_err(|e| deadline_interrupt(EngineError::Confidence(e)))?;
+        let programs = lineage.programs();
+        let estimates = match self.params {
+            Some(params) if ctx.config.shared_sampling => {
+                // Canonical streams: every per-event sub-RNG derives from
+                // the compiled arena's content fingerprint, so the answer is
+                // a pure function of (content, configuration, ε/δ) — the
+                // precondition for sharing drawn blocks across requests.
+                let canonical = programs.fingerprint();
+                let drawn: Vec<(confidence::EventEstimate, bool)> = (0..programs.len())
+                    .into_par_iter()
+                    .map(|i| -> Result<(confidence::EventEstimate, bool)> {
+                        let draw =
+                            || estimator.estimate_compiled(programs, i, event_seed(canonical, i));
+                        let routed = match (&ctx.sampler, programs.trivial(i)) {
+                            // Non-trivial events consult the shared block
+                            // scheduler; the tally key includes the Chernoff
+                            // bill so prepared queries with different (ε, δ)
+                            // never alias.
+                            (Some(sampler), None) => {
+                                let m = params
+                                    .samples_for(programs.num_terms(i))
+                                    .map_err(EngineError::Confidence)?;
+                                sampler
+                                    .estimate(canonical, i as u32, m as u64, draw)
+                                    .map_err(EngineError::Confidence)?
+                            }
+                            _ => (draw().map_err(EngineError::Confidence)?, false),
+                        };
+                        Ok(routed)
+                    })
+                    .collect::<Result<Vec<_>>>()
+                    .map_err(deadline_interrupt)?;
+                ctx.stats.shared_block_hits += drawn.iter().filter(|(_, hit)| *hit).count() as u64;
+                drawn.into_iter().map(|(estimate, _)| estimate).collect()
+            }
+            _ => estimator
+                .estimate_compiled_batch(programs, master_seed)
+                .map_err(|e| deadline_interrupt(EngineError::Confidence(e)))?,
+        };
 
         let mut out = URelation::empty(schema);
         let mut errors: BTreeMap<Tuple, f64> = BTreeMap::new();
-        for (t, estimate) in lineage.tuples().iter().zip(&estimates) {
+        for (i, (t, estimate)) in lineage.tuples().iter().zip(&estimates).enumerate() {
             // Stats keep the pre-pipeline semantics: exact mode counts model-
             // counting calls, FPRAS mode counts samples (0 for trivial
-            // events, which are answered without sampling).
+            // events, which are answered without sampling).  Backend
+            // attribution is per non-trivial event: the d-DNNF path flags
+            // `exact` with zero samples, everything else was sampled.
             if self.params.is_none() {
                 ctx.stats.exact_confidence_calls += 1;
             } else {
                 ctx.stats.karp_luby_samples += estimate.samples;
+                if lineage.programs().trivial(i).is_none() {
+                    if estimate.exact {
+                        ctx.stats.exact_compiled_answers += 1;
+                    } else {
+                        ctx.stats.sampled_answers += 1;
+                    }
+                }
             }
             let out_t = t.with_appended(Value::float(estimate.estimate));
             out.insert(Condition::always(), out_t.clone())?;
@@ -1998,7 +2054,9 @@ impl ApproxSelectOp {
                 // Failpoint before the seed draw: see `ConfOp::execute`.
                 crate::faults::fire("estimate", ctx.deadline)?;
                 let master_seed = ctx.rng.next_u64();
-                let estimator = BatchedIncrementalEstimator::new(l).with_deadline(ctx.deadline);
+                let estimator = BatchedIncrementalEstimator::new(l)
+                    .with_exact_backend(ctx.config.exact_backend_node_budget)
+                    .with_deadline(ctx.deadline);
                 // Estimate only the events of unpruned candidates, each with
                 // the sub-RNG seed of its original flat index.
                 let needed: Vec<usize> = (0..num_candidates)
@@ -2019,6 +2077,14 @@ impl ApproxSelectOp {
                     vec![None; events.len()];
                 for (idx, estimate) in estimated {
                     ctx.stats.karp_luby_samples += estimate.samples;
+                    let (programs, event) = &handles[idx];
+                    if programs.trivial(*event).is_none() {
+                        if estimate.exact {
+                            ctx.stats.exact_compiled_answers += 1;
+                        } else {
+                            ctx.stats.sampled_answers += 1;
+                        }
+                    }
                     estimates[idx] = Some(estimate);
                 }
                 (0..num_candidates)
@@ -2051,13 +2117,26 @@ impl ApproxSelectOp {
                 // Failpoint before the seed draw: see `ConfOp::execute`.
                 crate::faults::fire("estimate", ctx.deadline)?;
                 let master_seed = ctx.rng.next_u64();
+                // Cost-model inputs for the exact backend: the sample bill
+                // is the Chernoff count the Figure 3 driver would reach at
+                // its floor accuracy (ε₀, δ) — a conservative proxy for the
+                // run's total draws.
+                let node_budget = ctx.config.exact_backend_node_budget;
+                let bill_params = if node_budget > 0 {
+                    Some(
+                        FprasParams::new(self.epsilon0, self.delta)
+                            .map_err(EngineError::Confidence)?,
+                    )
+                } else {
+                    None
+                };
                 // One Figure 3 run per unpruned candidate, all candidates in
                 // parallel, each on its own seeded RNG.
-                let outcomes: Vec<(bool, f64, u64)> = (0..num_candidates)
+                let outcomes: Vec<(bool, f64, u64, u64)> = (0..num_candidates)
                     .into_par_iter()
                     .map(|i| {
                         if let Some(keep) = pruned[i] {
-                            return Ok((keep, 0.0, 0));
+                            return Ok((keep, 0.0, 0, 0));
                         }
                         // Per-candidate xoshiro sub-RNG: the Figure 3 loop
                         // below is bit-parallel-sampling-bound.
@@ -2070,18 +2149,52 @@ impl ApproxSelectOp {
                                     .map_err(EngineError::Confidence)
                             })
                             .collect::<Result<_>>()?;
+                        // Resolve term estimators exactly where compilation
+                        // beats the sample bill: the Figure 3 loop then
+                        // treats them as zero-width, seed-independent inputs.
+                        let mut resolved = 0u64;
+                        if let Some(bill_params) = bill_params {
+                            for (state, (programs, event)) in
+                                estimators.iter_mut().zip(&handles[i * k..(i + 1) * k])
+                            {
+                                if state.is_trivial() {
+                                    continue;
+                                }
+                                let m = bill_params
+                                    .samples_for(programs.num_terms(*event))
+                                    .map_err(EngineError::Confidence)?;
+                                if confidence::cost::choose_backend(
+                                    programs.dnnf_estimate(*event),
+                                    m as u64,
+                                    node_budget,
+                                ) == confidence::Backend::Exact
+                                {
+                                    if let Some(p) = programs.dnnf_probability(*event, node_budget)
+                                    {
+                                        state.resolve_exactly(p);
+                                        resolved += 1;
+                                    }
+                                }
+                            }
+                        }
                         let decision =
                             approximate_predicate(predicate, &mut estimators, params, &mut rng)
                                 .map_err(|e| deadline_interrupt(EngineError::Approx(e)))?;
-                        Ok((decision.value, decision.error_bound, decision.samples))
+                        Ok((
+                            decision.value,
+                            decision.error_bound,
+                            decision.samples,
+                            resolved,
+                        ))
                     })
                     .collect::<Result<_>>()?;
-                for &(_, _, samples) in &outcomes {
+                for &(_, _, samples, resolved) in &outcomes {
                     ctx.stats.karp_luby_samples += samples;
+                    ctx.stats.exact_compiled_answers += resolved;
                 }
                 Ok(outcomes
                     .into_iter()
-                    .map(|(value, error, _)| (value, error))
+                    .map(|(value, error, _, _)| (value, error))
                     .collect())
             }
         }
@@ -2115,6 +2228,7 @@ mod tests {
             rng,
             spaces: SpaceCache::new(),
             deadline: None,
+            sampler: None,
         }
     }
 

@@ -230,6 +230,19 @@ pub struct ServingStats {
     /// deadline expired mid-sampling or the cold gate was saturated (see
     /// [`ServingEngine::evaluate_degradable`]).
     pub degraded_answers: u64,
+    /// Approximate-confidence events answered *exactly* by the compiled
+    /// d-DNNF backend (seed-independent, zero samples drawn) because the
+    /// cost model priced compilation below the Chernoff sampling bill (see
+    /// [`EvalConfig::exact_backend_node_budget`]).
+    pub exact_compiled_answers: u64,
+    /// Approximate-confidence events answered by Karp–Luby sampling —
+    /// the complement of `exact_compiled_answers` among non-trivial
+    /// estimated events.
+    pub sampled_answers: u64,
+    /// Estimated events served from the shared block scheduler's
+    /// previously drawn tallies instead of re-running the sampler (see
+    /// [`EvalConfig::shared_sampling`]).
+    pub shared_block_hits: u64,
 }
 
 /// Everything the pool needs to know about one prepared query's
@@ -1081,6 +1094,9 @@ struct Counters {
     retries: AtomicU64,
     entries_quarantined: AtomicU64,
     degraded_answers: AtomicU64,
+    exact_compiled_answers: AtomicU64,
+    sampled_answers: AtomicU64,
+    shared_block_hits: AtomicU64,
 }
 
 /// A read guard over the served database (see [`ServingEngine::database`]).
@@ -1135,6 +1151,12 @@ pub struct ServingEngine {
     admission: Gate,
     cold_admission: Gate,
     counters: Counters,
+    /// The cross-request shared block scheduler, consulted by estimation
+    /// only when the effective configuration enables
+    /// [`EvalConfig::shared_sampling`] (canonical content-derived streams
+    /// make its tallies pure functions of their keys, so attaching it
+    /// never changes an answer).
+    sampler: Arc<crate::sched::SampleScheduler>,
 }
 
 impl ServingEngine {
@@ -1183,6 +1205,7 @@ impl ServingEngine {
                 "gate.cold.counter",
             ),
             counters: Counters::default(),
+            sampler: Arc::new(crate::sched::SampleScheduler::new()),
         })
     }
 
@@ -1538,6 +1561,7 @@ impl ServingEngine {
                     rng: dyn_rng,
                     spaces: SpaceCache::new(),
                     deadline,
+                    sampler: config.shared_sampling.then(|| Arc::clone(&self.sampler)),
                 };
                 // Quarantine region: a panicking resume (an operator bug, or
                 // an injected fault) drops only this run's pool entry — the
@@ -1564,6 +1588,7 @@ impl ServingEngine {
                         return Err(EngineError::Panicked { stage: "warm-eval" });
                     }
                 };
+                self.absorb_estimation_stats(&ctx.stats);
                 return Ok(EvalOutput {
                     result,
                     database: ctx.database,
@@ -1617,6 +1642,7 @@ impl ServingEngine {
             rng: dyn_rng,
             spaces: SpaceCache::new(),
             deadline,
+            sampler: config.shared_sampling.then(|| Arc::clone(&self.sampler)),
         };
         // Quarantine region (see the warm path above).  The failpoint fires
         // *inside* it: an injected cold-eval panic must be caught here, and
@@ -1634,11 +1660,26 @@ impl ServingEngine {
             }
         };
         self.absorb_if_current(epoch, &profile, &snapshot, &key);
+        self.absorb_estimation_stats(&ctx.stats);
         Ok(EvalOutput {
             result,
             database: ctx.database,
             stats: ctx.stats,
         })
+    }
+
+    /// Rolls one evaluation's estimation-backend counters into the engine
+    /// totals surfaced by [`stats`](ServingEngine::stats).
+    fn absorb_estimation_stats(&self, stats: &EvalStats) {
+        self.counters
+            .exact_compiled_answers
+            .fetch_add(stats.exact_compiled_answers, Ordering::Relaxed);
+        self.counters
+            .sampled_answers
+            .fetch_add(stats.sampled_answers, Ordering::Relaxed);
+        self.counters
+            .shared_block_hits
+            .fetch_add(stats.shared_block_hits, Ordering::Relaxed);
     }
 
     /// Evaluates a [`Request`], degrading to a guaranteed-bounds answer when
@@ -1714,6 +1755,7 @@ impl ServingEngine {
             rng: &mut dummy,
             spaces: SpaceCache::new(),
             deadline: None,
+            sampler: None,
         };
         let bounds = physical.execute_bounds(&mut ctx, config.pairwise_bound_limit)?;
         Ok(DegradedAnswer { bounds, reason })
@@ -1860,6 +1902,9 @@ impl ServingEngine {
             retries: self.counters.retries.load(Ordering::Relaxed),
             entries_quarantined: self.counters.entries_quarantined.load(Ordering::Relaxed),
             degraded_answers: self.counters.degraded_answers.load(Ordering::Relaxed),
+            exact_compiled_answers: self.counters.exact_compiled_answers.load(Ordering::Relaxed),
+            sampled_answers: self.counters.sampled_answers.load(Ordering::Relaxed),
+            shared_block_hits: self.counters.shared_block_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -2451,6 +2496,7 @@ mod tests {
             rng: dyn_rng,
             spaces: SpaceCache::new(),
             deadline: None,
+            sampler: None,
         };
         let (_, snapshot) = prepared.physical.execute_capturing(&mut ctx).unwrap();
 
@@ -2524,6 +2570,59 @@ mod tests {
         let direct = engine.evaluate(&db, &query, &mut direct_rng).unwrap();
         assert_eq!(warm.result.relation, direct.result.relation);
         assert_eq!(warm.stats, direct.stats);
+    }
+
+    #[test]
+    fn shared_sampling_reuses_drawn_blocks_without_changing_answers() {
+        let db = coin_db();
+        let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let config = EvalConfig::default().with_shared_sampling(true);
+        let serving = ServingEngine::new(config, db).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first = serving.evaluate(text, &mut rng).unwrap();
+        assert_eq!(
+            serving.stats().shared_block_hits,
+            0,
+            "the first request draws every block itself"
+        );
+        // A second request with a *different* caller seed: canonical
+        // content-derived streams make the answer a pure function of
+        // (content, configuration, ε/δ), so it matches the first bit for
+        // bit — and its tallies come from the scheduler, not a re-run.
+        let mut rng2 = ChaCha8Rng::seed_from_u64(999);
+        let second = serving.evaluate(text, &mut rng2).unwrap();
+        assert_eq!(first.result.relation, second.result.relation);
+        let stats = serving.stats();
+        assert!(stats.shared_block_hits > 0, "stats: {stats:?}");
+        assert!(stats.sampled_answers > 0, "stats: {stats:?}");
+        assert_eq!(stats.exact_compiled_answers, 0, "backend is off by default");
+    }
+
+    #[test]
+    fn the_exact_backend_answers_narrow_aconf_queries_seed_independently() {
+        let db = coin_db();
+        let text = "aconf[0.3, 0.1](project[CoinType](repairkey[ @ Count](Coins)))";
+        let config =
+            EvalConfig::default().with_exact_backend(confidence::cost::DEFAULT_NODE_BUDGET);
+        let serving = ServingEngine::new(config, db.clone()).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first = serving.evaluate(text, &mut rng).unwrap();
+        let mut rng2 = ChaCha8Rng::seed_from_u64(31337);
+        let second = serving.evaluate(text, &mut rng2).unwrap();
+        // Every event of the coin query is narrow enough to compile, so the
+        // answers are exact and independent of the caller's seed.
+        assert_eq!(first.result.relation, second.result.relation);
+        let stats = serving.stats();
+        assert!(stats.exact_compiled_answers > 0, "stats: {stats:?}");
+        assert_eq!(stats.sampled_answers, 0, "stats: {stats:?}");
+        assert_eq!(first.stats.karp_luby_samples, 0, "no samples drawn");
+        // The compiled answers agree with exact model counting.
+        let exact_text = "conf(project[CoinType](repairkey[ @ Count](Coins)))";
+        let exact_engine = UEngine::new(EvalConfig::exact());
+        let query = algebra::parse_query(exact_text).unwrap();
+        let mut exact_rng = ChaCha8Rng::seed_from_u64(0);
+        let exact = exact_engine.evaluate(&db, &query, &mut exact_rng).unwrap();
+        assert_eq!(first.result.relation, exact.result.relation);
     }
 
     #[test]

@@ -40,7 +40,9 @@ use urel::{UDatabase, URelation, WTable};
 /// Segment file magic.
 const MAGIC: [u8; 4] = *b"USEG";
 /// Segment format version; bump on any wire-format change.
-const VERSION: u32 = 1;
+/// Version 2 widened the warm-entry statistics block with the estimation
+/// backend counters (exact-compiled / sampled answers, shared block hits).
+const VERSION: u32 = 2;
 /// Frame header: magic + version + payload length + digest pair.
 const HEADER_LEN: usize = 4 + 4 + 8 + 8 + 8;
 /// Seed separating the second digest's stream from the first.
@@ -362,6 +364,9 @@ pub(crate) fn put_warm(out: &mut Vec<u8>, warm: &WarmEntry) {
         warm.stats.approx_select_operators,
         warm.stats.approx_select_decisions,
         warm.stats.approx_select_pruned,
+        warm.stats.exact_compiled_answers,
+        warm.stats.sampled_answers,
+        warm.stats.shared_block_hits,
     ] {
         segment::put_u64(out, n);
     }
@@ -395,6 +400,9 @@ pub(crate) fn take_warm(payload: &[u8]) -> urel::Result<WarmEntry> {
         approx_select_operators: cur.take_u64()?,
         approx_select_decisions: cur.take_u64()?,
         approx_select_pruned: cur.take_u64()?,
+        exact_compiled_answers: cur.take_u64()?,
+        sampled_answers: cur.take_u64()?,
+        shared_block_hits: cur.take_u64()?,
     };
     let database = take_database(&mut cur)?;
     let stateful_footprint = take_string_set(&mut cur)?;
@@ -581,6 +589,9 @@ mod tests {
                 approx_select_operators: 0,
                 approx_select_decisions: 4,
                 approx_select_pruned: 1,
+                exact_compiled_answers: 3,
+                sampled_answers: 5,
+                shared_block_hits: 2,
             },
             database: db.clone(),
             stateful_footprint: BTreeSet::from(["R".to_owned()]),

@@ -93,6 +93,10 @@ pub enum LockRank {
     SpaceCache = 90,
     /// A compiled space's lineage-event cache.
     LineageCache = 100,
+    /// The shared-sampling block scheduler's tally cache (acquired briefly
+    /// around lookups/inserts during estimation; never held across a
+    /// sampling run).
+    SharedSampler = 110,
     /// A pool worker's job deque (`rayon::lockcheck::RANK_WORKER_DEQUE`).
     WorkerDeque = 200,
     /// The pool wakeup channel: generation counter + shutdown flag.
@@ -107,7 +111,7 @@ pub enum LockRank {
 impl LockRank {
     /// Every rank, lowest first — the doc table and the cross-crate pin
     /// test iterate this.
-    pub const ALL: [LockRank; 14] = [
+    pub const ALL: [LockRank; 15] = [
         LockRank::TestExclusive,
         LockRank::GateCold,
         LockRank::GateAdmission,
@@ -118,6 +122,7 @@ impl LockRank {
         LockRank::Pool,
         LockRank::SpaceCache,
         LockRank::LineageCache,
+        LockRank::SharedSampler,
         LockRank::WorkerDeque,
         LockRank::PoolSignal,
         LockRank::PoolBatch,
@@ -143,6 +148,7 @@ impl LockRank {
             LockRank::Pool => "Pool",
             LockRank::SpaceCache => "SpaceCache",
             LockRank::LineageCache => "LineageCache",
+            LockRank::SharedSampler => "SharedSampler",
             LockRank::WorkerDeque => "WorkerDeque",
             LockRank::PoolSignal => "PoolSignal",
             LockRank::PoolBatch => "PoolBatch",
@@ -168,6 +174,9 @@ impl LockRank {
                 "the compiled-space cache (forked under the `Pool` write lock on COW)"
             }
             LockRank::LineageCache => "a compiled space's lineage-event cache",
+            LockRank::SharedSampler => {
+                "the shared-sampling block scheduler's tally cache (never held across sampling)"
+            }
             LockRank::WorkerDeque => "a pool worker's job deque (vendored pool)",
             LockRank::PoolSignal => {
                 "the pool wakeup channel: generation + shutdown (vendored pool)"

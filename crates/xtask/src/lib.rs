@@ -61,11 +61,14 @@ const RAW_LOCK_EXEMPT: [&str; 2] = ["crates/engine/src/sync.rs", "vendor/rayon/s
 /// delta maintenance.  See ARCHITECTURE.md invariant 2 (bit-replayable
 /// answers) for why time and hash order are forbidden here.
 const DETERMINISTIC_DIRS: [&str; 2] = ["crates/algebra/src/", "crates/urel/src/"];
-const DETERMINISTIC_FILES: [&str; 4] = [
+const DETERMINISTIC_FILES: [&str; 7] = [
     "crates/confidence/src/compile.rs",
     "crates/confidence/src/bitworld.rs",
+    "crates/confidence/src/dnnf.rs",
+    "crates/confidence/src/cost.rs",
     "crates/engine/src/physical.rs",
     "crates/engine/src/delta.rs",
+    "crates/engine/src/sched.rs",
 ];
 
 /// Where the failpoint registry lives and where every site must be

@@ -155,6 +155,56 @@ fn bonferroni_bounds_shrink_the_pruning_band_on_the_workload_suites() {
     );
 }
 
+/// The bound ladder — first order (limit 0), pairwise + degree-three up to
+/// the triple cap (limit 16), full pairwise (limit 48) — must be monotone:
+/// larger limits prune at least as many candidates and never cost extra
+/// samples, with identical keep/drop decisions at every rung.
+#[test]
+fn the_bound_ladder_is_monotone_and_decision_stable() {
+    let run_with_limit = |db: &UDatabase, query: &algebra::Query, limit: usize, seed: u64| {
+        let engine = UEngine::new(
+            EvalConfig {
+                approx_select: ApproxSelectMode::Adaptive,
+                confidence: ConfidenceMode::Exact,
+                ..EvalConfig::default()
+            }
+            .with_pairwise_bound_limit(limit),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let out = engine.evaluate(db, query, &mut rng).expect("σ̂ evaluation");
+        (out.result.relation.possible_tuples(), out.stats)
+    };
+    let ladder = [
+        0,
+        confidence::DEFAULT_TRIPLE_TERM_LIMIT,
+        confidence::DEFAULT_PAIRWISE_TERM_LIMIT,
+    ];
+    for (name, db, query) in suites() {
+        for seed in 0..4u64 {
+            let runs: Vec<_> = ladder
+                .iter()
+                .map(|&limit| run_with_limit(&db, &query, limit, seed))
+                .collect();
+            for pair in runs.windows(2) {
+                let (looser_result, looser_stats) = &pair[0];
+                let (tighter_result, tighter_stats) = &pair[1];
+                assert_eq!(
+                    looser_result, tighter_result,
+                    "{name}: a tighter bound limit changed a decision (seed {seed})"
+                );
+                assert!(
+                    tighter_stats.approx_select_pruned >= looser_stats.approx_select_pruned,
+                    "{name}: a tighter limit pruned fewer candidates (seed {seed})"
+                );
+                assert!(
+                    tighter_stats.karp_luby_samples <= looser_stats.karp_luby_samples,
+                    "{name}: a tighter limit cost extra samples (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn pruning_agrees_with_the_exact_reference() {
     // Pruned decisions come from exact bounds, so the pruned adaptive result
